@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+Every benchmark consumes the same session-scoped synthetic study (the
+four large IXPs, both address families, calibration scale), so dataset
+generation cost is paid once. Each bench prints the series/rows the
+corresponding paper artefact reports, with the paper's reference values
+alongside, then times the analysis kernel with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Study
+from repro.ixp import LARGE_FOUR, get_profile
+from repro.workload import ScenarioConfig, SnapshotGenerator
+
+SCALE = 0.05
+SEED = 20211004
+
+
+@pytest.fixture(scope="session")
+def study() -> Study:
+    return Study.synthetic(ixps=LARGE_FOUR, families=(4, 6), scale=SCALE,
+                           seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def aggregates_v4(study):
+    return study.aggregates(4)
+
+
+@pytest.fixture(scope="session")
+def aggregates_v6(study):
+    return study.aggregates(6)
+
+
+@pytest.fixture(scope="session")
+def netnod_generator():
+    """Small IXP used for the snapshot-series benches (Tables 3/4)."""
+    return SnapshotGenerator(get_profile("netnod"),
+                             ScenarioConfig(scale=SCALE, seed=41))
+
+
+def emit(title: str, body: str) -> None:
+    """Print a bench artefact in a greppable block."""
+    print(f"\n===== {title} =====")
+    print(body)

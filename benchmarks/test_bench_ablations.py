@@ -1,0 +1,127 @@
+"""Ablation benches for the design choices DESIGN.md §5 calls out.
+
+1. Dictionary union (RS config ∪ website docs) — §3 found RS configs
+   incomplete; classifying with the RS-only dictionary must increase the
+   unknown share.
+2. Sanitation valley threshold — sweep the 30% rule and report how many
+   snapshots each threshold removes.
+3. Accepted vs filtered routes — the paper analyses accepted routes
+   only ("filtered ones will have no routing impact").
+4. Action-community scrubbing — the reason route collectors cannot see
+   action communities (paper footnote 1): the export view after RFC 7947
+   processing carries (nearly) none of them.
+"""
+
+import pytest
+
+from repro.collector.sanitation import sanitise
+from repro.core.aggregate import aggregate_snapshot
+from repro.core.report import format_table
+from repro.ixp import SOURCE_RS_CONFIG, dictionary_pair_for, get_profile
+from repro.ixp.dictionary import CommunityDictionary
+from repro.workload import ScenarioConfig, SnapshotGenerator
+
+from conftest import SCALE, SEED, emit
+
+
+def test_ablation_dictionary_union(benchmark, study):
+    """Unknown share with the union vs the RS-config-only dictionary."""
+    snapshot = study.snapshots[("decix-fra", 4)]
+    union = study.dictionaries["decix-fra"]
+    rs_only, _website = dictionary_pair_for(get_profile("decix-fra"))
+
+    agg_union = study.aggregate("decix-fra", 4)
+    agg_rs_only = benchmark(aggregate_snapshot, snapshot, rs_only)
+
+    rows = [
+        {"dictionary": "rs-config ∪ website (paper §3)",
+         "entries": len(union),
+         "defined_share": agg_union.defined_share},
+        {"dictionary": "rs-config only (ablation)",
+         "entries": len(rs_only),
+         "defined_share": agg_rs_only.defined_share},
+    ]
+    emit("Ablation — dictionary union vs RS config only",
+         format_table(rows))
+    # the RS-only dictionary resolves strictly less
+    assert agg_rs_only.defined_share < agg_union.defined_share
+    assert len(rs_only) < len(union)
+
+
+def test_ablation_sanitation_threshold(benchmark):
+    """Sweep the valley threshold of the §3 sanitation rule."""
+    generator = SnapshotGenerator(
+        get_profile("bcix"),
+        ScenarioConfig(scale=0.02, seed=47, failure_rate=0.135))
+    snapshots = [generator.snapshot(4, day) for day in range(28)]
+    injected = sum(1 for s in snapshots if s.meta["degraded"])
+
+    def sweep():
+        return {threshold: len(sanitise(
+            snapshots, drop_threshold=threshold).removed)
+            for threshold in (0.1, 0.2, 0.3, 0.4, 0.5)}
+
+    removed = benchmark(sweep)
+    rows = [{"threshold": t, "removed": n, "injected_failures": injected}
+            for t, n in sorted(removed.items())]
+    emit("Ablation — sanitation valley threshold sweep", format_table(rows))
+    # lower thresholds remove at least as much as higher ones
+    values = [removed[t] for t in sorted(removed)]
+    assert values == sorted(values, reverse=True)
+    # the paper's 30% rule catches the injected failures
+    assert removed[0.3] >= max(1, injected - 1)
+
+
+def test_ablation_accepted_vs_filtered(benchmark):
+    """Filtered routes exist but are excluded from the analyses."""
+    generator = SnapshotGenerator(
+        get_profile("decix-fra"), ScenarioConfig(scale=0.02, seed=49))
+    server = benchmark(generator.populated_route_server, 4)
+    accepted = len(server.accepted_routes())
+    filtered = len(server.filtered_routes())
+    # push a clearly filterable announcement and observe the split move
+    from repro.bgp.aspath import AsPath
+    from repro.bgp.route import Route
+    peer = server.peer_asns()[0]
+    server.announce(Route(prefix="10.66.0.0/16", next_hop="80.81.192.10",
+                          as_path=AsPath.from_asns([peer]),
+                          peer_asn=peer))
+    rows = [{"set": "accepted", "routes": accepted},
+            {"set": "filtered", "routes": filtered + 1}]
+    emit("Ablation — accepted vs filtered route sets", format_table(rows))
+    assert len(server.filtered_routes()) == filtered + 1
+    assert len(server.accepted_routes()) == accepted
+
+
+def test_ablation_scrubbing_hides_actions_downstream(benchmark, study):
+    """Reproduce footnote 1: after RFC 7947 export processing, action
+    communities are gone — a route collector peering *behind* an RS
+    member would see (almost) none of them."""
+    generator = SnapshotGenerator(
+        get_profile("linx"), ScenarioConfig(scale=0.02, seed=51))
+    server = generator.populated_route_server(4)
+    observer = server.peer_asns()[0]
+
+    exported = benchmark(server.export_to, observer)
+    dictionary = generator.dictionary
+
+    def action_instances(routes):
+        count = 0
+        for route in routes:
+            for community in route.communities:
+                semantics = dictionary.lookup(community)
+                if semantics is not None and semantics.is_action:
+                    count += 1
+        return count
+
+    at_lg = action_instances(server.accepted_routes())
+    downstream = action_instances(exported)
+    rows = [
+        {"vantage": "IXP LG (Adj-RIB-In)", "action_instances": at_lg},
+        {"vantage": "downstream of RS member (post-export)",
+         "action_instances": downstream},
+    ]
+    emit("Ablation — action-community visibility by vantage point "
+         "(paper footnote 1)", format_table(rows))
+    assert at_lg > 0
+    assert downstream < at_lg * 0.01

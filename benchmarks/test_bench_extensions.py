@@ -1,0 +1,78 @@
+"""Extension benches: the paper's future work and follow-up checks.
+
+1. Extended/large action communities — §4 leaves them "for future
+   work"; `repro.core.nonstandard` implements that analysis. Expected
+   shape: large ≫ extended, mirrors of the standard do-not-announce
+   family, near-total target consistency with the standard tags.
+2. The 28 June 2022 re-collection (§5.3): AMS-IX and LINX now carry
+   blackhole routes (1367 and 27 at paper scale, a ~50:1 ratio).
+"""
+
+from repro.core.nonstandard import nonstandard_summary
+from repro.core.report import format_table
+from repro.ixp import LARGE_FOUR, get_profile
+from repro.ixp.schemes.common import BLACKHOLE_COMMUNITY
+from repro.workload import ScenarioConfig, SnapshotGenerator
+from repro.workload.generator import (
+    FINAL_WEEKLY_DAY,
+    POST_STUDY_BLACKHOLE_ROUTES,
+)
+
+from conftest import SCALE, SEED, emit
+
+
+def test_extension_nonstandard_communities(benchmark, study):
+    inputs = [(study.snapshots[(ixp, 4)], study.dictionaries[ixp])
+              for ixp in LARGE_FOUR]
+    rows = benchmark(nonstandard_summary, inputs)
+    emit("Extension — extended/large action communities (IPv4)",
+         format_table(rows))
+    for row in rows:
+        # large mirrors dominate the non-standard encodings
+        assert row["large_instances"] > row["extended_instances"]
+        # the mirrors express the avoid semantics
+        assert row["dna_share"] > 0.5
+        # mirrored targets are consistent with the standard tags
+        assert row["mirror_consistency"] > 0.9, row
+    # AMS-IX has the smallest non-standard footprint (Fig. 2: 96.5%
+    # standard)
+    by_ixp = {row["ixp"]: row for row in rows}
+    totals = {ixp: row["large_instances"] + row["extended_instances"]
+              for ixp, row in by_ixp.items()}
+    share = {ixp: totals[ixp]
+             / max(1, study.aggregate(ixp, 4).defined_count)
+             for ixp in totals}
+    assert min(share, key=share.get) == "amsix"
+
+
+def test_extension_blackholing_recheck(benchmark):
+    """§5.3: "on June 28th 2022 ... 1367 and 27 routes with blackholing
+    on AMS-IX and LINX respectively"."""
+
+    def collect():
+        counts = {}
+        for ixp in ("amsix", "linx"):
+            generator = SnapshotGenerator(
+                get_profile(ixp),
+                ScenarioConfig(scale=SCALE, seed=SEED, post_study=True))
+            snapshot = generator.snapshot(4, FINAL_WEEKLY_DAY,
+                                          degraded=False)
+            counts[ixp] = sum(
+                1 for route in snapshot.routes
+                if BLACKHOLE_COMMUNITY in route.communities)
+        return counts
+
+    counts = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = [{"ixp": ixp,
+             "blackhole_routes": count,
+             "paper_routes": POST_STUDY_BLACKHOLE_ROUTES[ixp],
+             "paper_scaled": round(
+                 POST_STUDY_BLACKHOLE_ROUTES[ixp] * SCALE)}
+            for ixp, count in counts.items()]
+    emit("Extension — June 2022 blackholing re-collection",
+         format_table(rows))
+    # shape: both now accept blackholing; AMS-IX carries far more
+    assert counts["amsix"] >= 10 * max(1, counts["linx"])
+    assert counts["linx"] >= 1
+    scaled = POST_STUDY_BLACKHOLE_ROUTES["amsix"] * SCALE
+    assert 0.4 * scaled <= counts["amsix"] <= 1.6 * scaled

@@ -1,0 +1,43 @@
+"""Fig. 2 — prevalence of standard vs extended vs large communities.
+
+Paper: standard communities consistently represent more than 80% of the
+IXP-defined instances at each IXP (IX.br 84.9%, DE-CIX 90.9%, LINX
+85.0%, AMS-IX 96.5% for IPv4), which is why §5 analyses standard
+communities only.
+"""
+
+from repro.core.prevalence import community_kinds
+from repro.core.report import format_table, render_share_bars
+from repro.ixp import get_profile
+
+from conftest import emit
+
+
+def test_fig2(benchmark, aggregates_v4, aggregates_v6):
+    rows_v4 = benchmark(community_kinds, aggregates_v4)
+    rows_v6 = community_kinds(aggregates_v6)
+
+    for row in rows_v4:
+        row["paper_standard_share"] = get_profile(
+            row["ixp"]).calibration.standard_share
+    emit("Fig. 2 (IPv4) — community kinds",
+         render_share_bars(rows_v4, "ixp",
+                           ["standard_share", "large_share",
+                            "extended_share"])
+         + "\n" + format_table(
+             rows_v4, columns=["ixp", "total_defined", "standard_share",
+                               "paper_standard_share", "large_share",
+                               "extended_share"]))
+    emit("Fig. 2 (IPv6) — community kinds",
+         render_share_bars(rows_v6, "ixp",
+                           ["standard_share", "large_share",
+                            "extended_share"]))
+
+    for row in rows_v4:
+        assert row["standard_share"] > 0.8
+        assert abs(row["standard_share"]
+                   - row["paper_standard_share"]) < 0.06
+        # large mirrors outnumber extended ones at every IXP
+        assert row["large_share"] >= row["extended_share"]
+    # AMS-IX has the most standard-heavy mix (96.5% in the paper)
+    assert max(rows_v4, key=lambda r: r["standard_share"])["ixp"] == "amsix"

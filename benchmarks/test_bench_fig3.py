@@ -1,0 +1,52 @@
+"""Fig. 3 — action vs informational communities.
+
+Paper (§5.1): action communities represent at least 66.6% of the
+standard IXP-defined instances at each of the four large IXPs (IX.br
+70.5%, DE-CIX 70.4%, LINX 83.6%, AMS-IX 83.4% for IPv4), and more than
+95% at Netnod and BCIX.
+"""
+
+from repro.core import Study
+from repro.core.prevalence import action_vs_informational
+from repro.core.report import format_table, render_share_bars
+from repro.ixp import get_profile
+
+from conftest import SCALE, SEED, emit
+
+
+def test_fig3(benchmark, aggregates_v4, aggregates_v6):
+    rows_v4 = benchmark(action_vs_informational, aggregates_v4)
+    rows_v6 = action_vs_informational(aggregates_v6)
+
+    for family, rows in ((4, rows_v4), (6, rows_v6)):
+        for row in rows:
+            calibration = get_profile(row["ixp"]).calibration
+            row["paper_action_share"] = (
+                calibration.action_share if family == 4
+                else calibration.action_share_v6)
+        emit(f"Fig. 3 (IPv{family}) — action vs informational",
+             render_share_bars(rows, "ixp",
+                               ["action_share", "informational_share"])
+             + "\n" + format_table(
+                 rows, columns=["ixp", "total_standard_defined",
+                                "action_share", "paper_action_share"]))
+
+    for rows in (rows_v4, rows_v6):
+        for row in rows:
+            assert row["action_share"] >= 0.63
+            assert abs(row["action_share"]
+                       - row["paper_action_share"]) < 0.06
+
+
+def test_fig3_small_ixps_over_95_percent(benchmark):
+    """§5.1: "in Netnod Stockholm and BCIX action communities
+    represented more than 95%"."""
+    study = Study.synthetic(ixps=("bcix", "netnod"), families=(4,),
+                            scale=SCALE, seed=SEED)
+    rows = benchmark.pedantic(
+        lambda: action_vs_informational(study.aggregates(4)),
+        rounds=1, iterations=1)
+    emit("Fig. 3 addendum — BCIX/Netnod action shares",
+         format_table(rows, columns=["ixp", "action_share"]))
+    for row in rows:
+        assert row["action_share"] > 0.92, row

@@ -1,0 +1,76 @@
+"""Fig. 4 — who uses action communities, and how concentrated.
+
+4a: 35.5–54% of RS members (v4) / 24.1–33.6% (v6) use action
+    communities; 61.7–76.6% of IPv4 routes carry one.
+4b: 1% of ASes hold ~50–60% of the instances at the European IXPs and
+    86% at IX.br-SP; 90% of ASes hold under 5%.
+4c: per-AS route share and action-community share are correlated
+    (diagonal), with outliers only above the diagonal.
+"""
+
+from repro.core.report import format_table
+from repro.core.usage import (
+    ases_using_actions,
+    concentration_at,
+    prefix_community_correlation,
+    usage_concentration,
+    usage_concentration_curve,
+)
+from repro.ixp import get_profile
+
+from conftest import emit
+
+
+def test_fig4a(benchmark, aggregates_v4, aggregates_v6):
+    rows_v4 = benchmark(ases_using_actions, aggregates_v4)
+    rows_v6 = ases_using_actions(aggregates_v6)
+    for family, rows in ((4, rows_v4), (6, rows_v6)):
+        for row in rows:
+            calibration = get_profile(row["ixp"]).calibration
+            row["paper_ases_fraction"] = (
+                calibration.members_using_actions if family == 4
+                else calibration.members_using_actions_v6)
+        emit(f"Fig. 4a (IPv{family}) — ASes using action communities",
+             format_table(rows, columns=[
+                 "ixp", "rs_members", "ases_using_actions",
+                 "ases_fraction", "paper_ases_fraction",
+                 "routes_fraction", "action_instances"]))
+    for row in rows_v4:
+        assert abs(row["ases_fraction"] - row["paper_ases_fraction"]) < 0.07
+        assert 0.5 < row["routes_fraction"] < 0.9
+    # smallest share at AMS-IX, largest at DE-CIX/IX.br (paper §5.2)
+    assert min(rows_v4, key=lambda r: r["ases_fraction"])["ixp"] == "amsix"
+
+
+def test_fig4b(benchmark, aggregates_v4):
+    rows = benchmark(usage_concentration, aggregates_v4)
+    for row in rows:
+        row["paper_top_1pct"] = get_profile(
+            row["ixp"]).calibration.top1pct_share
+    emit("Fig. 4b — action-community concentration",
+         format_table(rows, columns=[
+             "ixp", "action_instances", "top_1pct_share", "paper_top_1pct",
+             "top_10pct_share", "bottom_90pct_share"]))
+    by_ixp = {row["ixp"]: row for row in rows}
+    assert by_ixp["ixbr-sp"]["top_1pct_share"] > 0.7    # paper: 86%
+    for ixp in ("decix-fra", "linx", "amsix"):
+        assert 0.4 <= by_ixp[ixp]["top_1pct_share"] <= 0.7  # 50–60%
+    for row in rows:
+        assert row["bottom_90pct_share"] < 0.16  # paper: <5%
+
+    # the full cumulative curve is monotone and saturates
+    curve = usage_concentration_curve(aggregates_v4[0])
+    assert curve[-1][1] == 1.0
+
+
+def test_fig4c(benchmark, aggregates_v4):
+    rows = benchmark(prefix_community_correlation, aggregates_v4)
+    emit("Fig. 4c — route share vs community share correlation",
+         format_table(rows))
+    for row in rows:
+        # points hug the diagonal → strong positive log-log correlation
+        assert row["log_pearson"] > 0.35, row
+        # dots above the diagonal (big ASes tagging little) exist;
+        # the opposite corner stays (nearly) empty — paper §5.2.
+        assert row["far_below_diagonal"] <= max(
+            2, row["far_above_diagonal"])

@@ -1,0 +1,52 @@
+"""Fig. 5 — the top-20 most used action communities per IXP.
+
+Paper (§5.4): the most frequent communities restrict route propagation;
+the top community avoids Hurricane Electric at IX.br-SP (4.27%), is the
+do-not-announce-to-all at DE-CIX (2.8%), avoids Google at LINX (3.10%)
+and OVHcloud at AMS-IX (2.83%). Content providers dominate the targets,
+and the four IXPs share avoided ASes.
+"""
+
+from repro.core.favorites import top_action_communities, top_target_intersection
+from repro.core.report import format_table
+from repro.ixp import LARGE_FOUR
+
+from conftest import emit
+
+#: CPs the paper names among the shared top targets.
+_PAPER_CP_TARGETS = {15169, 20940, 16276, 2906, 13335, 60781, 15133,
+                     714, 32934, 8075, 16509, 54113, 22822, 6939}
+
+
+def test_fig5(benchmark, study, aggregates_v4):
+    def build_all():
+        return {ixp: top_action_communities(
+            study.aggregate(ixp, 4), study.dictionaries[ixp], 20)
+            for ixp in LARGE_FOUR}
+
+    tops = benchmark(build_all)
+    for ixp, rows in tops.items():
+        emit(f"Fig. 5 — top-20 action communities at {ixp} (IPv4)",
+             format_table(rows[:10], columns=[
+                 "community", "category", "target_name", "target_at_rs",
+                 "instances", "share"]))
+
+    for ixp, rows in tops.items():
+        top = rows[0]
+        # the #1 community is always a propagation-limiting action with
+        # a low single-digit share of all instances (paper: 2.8–4.3%)
+        assert top["category"] in ("do-not-announce-to",
+                                   "announce-only-to")
+        assert 0.005 < top["share"] < 0.15, (ixp, top)
+        # content providers dominate the top-20 single-AS targets
+        cp_rows = [row for row in rows
+                   if row["target"] and row["target"].startswith("AS")
+                   and int(row["target"][2:]) in _PAPER_CP_TARGETS]
+        assert len(cp_rows) >= 5, ixp
+
+    # §5.4: a sizeable intersection of avoided ASes across all four IXPs
+    common = top_target_intersection(tops)
+    emit("Fig. 5 addendum — targets common to all four top-20 lists",
+         str(common))
+    assert len(common) >= 3
+    assert set(common) & _PAPER_CP_TARGETS

@@ -1,0 +1,52 @@
+"""Fig. 6 — top action communities targeting non-RS-member ASes.
+
+Paper (§5.5): 31.8% (IX.br-SP), 49.5% (DE-CIX), 64.3% (LINX), and 54.3%
+(AMS-IX) of IPv4 action instances target ASes with no RS session; these
+ineffective communities are themselves among the most popular overall
+(6/4/10/8 of the respective top-20s) and mostly target content
+providers.
+"""
+
+from repro.core.ineffective import (
+    ineffective_summary,
+    overlap_with_overall_top,
+    top_ineffective_communities,
+)
+from repro.core.report import format_table
+from repro.ixp import LARGE_FOUR, get_profile
+
+from conftest import emit
+
+_PAPER_OVERLAP_V4 = {"ixbr-sp": 6, "decix-fra": 4, "linx": 10, "amsix": 8}
+
+
+def test_fig6(benchmark, study, aggregates_v4):
+    rows = benchmark(ineffective_summary, aggregates_v4)
+    for row in rows:
+        row["paper_share"] = get_profile(
+            row["ixp"]).calibration.ineffective_share
+    emit("§5.5 — share of action instances targeting non-RS members",
+         format_table(rows, columns=[
+             "ixp", "action_instances", "ineffective_instances",
+             "ineffective_share", "paper_share"]))
+
+    for row in rows:
+        assert row["ineffective_share"] > 0.2
+        assert abs(row["ineffective_share"] - row["paper_share"]) < 0.12
+
+    for ixp in LARGE_FOUR:
+        aggregate = study.aggregate(ixp, 4)
+        top = top_ineffective_communities(
+            aggregate, study.dictionaries[ixp], 10)
+        emit(f"Fig. 6 — top ineffective communities at {ixp}",
+             format_table(top, columns=[
+                 "community", "category", "target_name", "instances",
+                 "share_of_ineffective", "overall_top20_rank"]))
+        # several ineffective communities sit inside the overall top-20
+        overlap = overlap_with_overall_top(aggregate)
+        paper = _PAPER_OVERLAP_V4[ixp]
+        assert overlap >= max(2, paper - 5), (ixp, overlap, paper)
+        # all listed targets are genuinely absent from the RS
+        at_rs = set(aggregate.rs_member_asns)
+        for row in top:
+            assert int(row["target"][2:]) not in at_rs

@@ -1,0 +1,47 @@
+"""Fig. 7 — the ASes tagging routes against non-RS members ("culprits").
+
+Paper (§5.5): most are large ISPs; Hurricane Electric appears at every
+IXP and alone accounts for 24.2–59.4% of the ineffective instances;
+seven of the DE-CIX top-10 culprits also appear in the AMS-IX top-10.
+"""
+
+from repro.core.ineffective import culprit_overlap, culprit_share, top_culprit_ases
+from repro.core.report import format_table
+from repro.ixp import LARGE_FOUR
+from repro.workload.registry import HURRICANE_ELECTRIC, KNOWN_BY_ASN
+
+from conftest import emit
+
+
+def test_fig7(benchmark, study, aggregates_v4):
+    def build_all():
+        return {ixp: top_culprit_ases(study.aggregate(ixp, 4), 10)
+                for ixp in LARGE_FOUR}
+
+    culprits = benchmark(build_all)
+    he_shares = {}
+    for ixp, rows in culprits.items():
+        emit(f"Fig. 7 — top-10 culprit ASes at {ixp} (IPv4)",
+             format_table(rows, columns=["asn", "name", "instances",
+                                         "share"]))
+        he_shares[ixp] = culprit_share(
+            study.aggregate(ixp, 4), HURRICANE_ELECTRIC.asn)
+
+    emit("Fig. 7 addendum — Hurricane Electric's share of ineffective "
+         "instances (paper: 24.2–59.4%)", str(he_shares))
+
+    for ixp, rows in culprits.items():
+        # Hurricane Electric leads everywhere
+        assert rows[0]["asn"] == HURRICANE_ELECTRIC.asn, ixp
+        assert 0.15 < he_shares[ixp] < 0.95
+        # large transit ISPs dominate the list
+        transit = [row for row in rows
+                   if (known := KNOWN_BY_ASN.get(row["asn"]))
+                   and known.defensive_tagger]
+        assert len(transit) >= 3, ixp
+
+    # cross-IXP overlap (paper: 7 of 10 between DE-CIX and AMS-IX)
+    overlap = culprit_overlap(culprits, "decix-fra", "amsix")
+    emit("Fig. 7 addendum — DE-CIX ∩ AMS-IX top-10 culprits",
+         str(overlap))
+    assert len(overlap) >= 4

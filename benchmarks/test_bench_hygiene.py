@@ -1,0 +1,52 @@
+"""§5.6 counterfactual — the member-database hygiene proposal.
+
+The paper's operators reject pruning avoid-lists from PeeringDB/IXPDB
+because the databases lag reality ("could lead to traffic disruptions")
+and every membership change forces full re-announcements. This bench
+runs the proposal and prints the trade-off the operators reasoned about
+qualitatively: database staleness vs residual waste vs disruption risk
+vs update churn.
+"""
+
+from repro.core.hygiene import simulate_hygiene, staleness_sweep
+from repro.core.report import format_table
+from repro.ixp import get_profile
+from repro.workload import ScenarioConfig, SnapshotGenerator
+
+from conftest import SCALE, SEED, emit
+
+
+def test_hygiene_staleness_tradeoff(benchmark):
+    generator = SnapshotGenerator(get_profile("decix-fra"),
+                                  ScenarioConfig(scale=0.02, seed=SEED))
+    rows = benchmark(staleness_sweep, generator, 4, 40, (0, 1, 7, 30))
+    emit("§5.6 — database staleness vs waste/disruption trade-off",
+         format_table(rows))
+    by_staleness = {row["staleness_days"]: row for row in rows}
+    # a real-time database would be perfect...
+    assert by_staleness[0]["residual_waste_pairs"] == 0
+    assert by_staleness[0]["disruption_pairs"] == 0
+    # ...and even stale, pruning removes the bulk of the pairs (the
+    # famous CPs are never at the RS, at any staleness)
+    for row in rows:
+        assert row["pruned_pairs"] > 0
+
+
+def test_hygiene_update_churn(benchmark):
+    generator = SnapshotGenerator(get_profile("decix-fra"),
+                                  ScenarioConfig(scale=0.02, seed=SEED))
+
+    def run():
+        return simulate_hygiene(generator, 4, list(range(38, 52)),
+                                staleness_days=2)
+
+    days = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("§5.6 — daily pruning outcome with a 2-day-stale database",
+         format_table([day.as_dict() for day in days], columns=[
+             "day", "kept_pairs", "pruned_pairs",
+             "residual_waste_pairs", "disruption_pairs",
+             "update_messages"]))
+    # the update-storm objection: membership churn triggers
+    # re-announcements on multiple days of a two-week window
+    churn_days = sum(1 for day in days[1:] if day.update_messages > 0)
+    assert churn_days >= 1

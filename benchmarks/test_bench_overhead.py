@@ -1,0 +1,50 @@
+"""§5.6 — operational implications, quantified.
+
+The paper's discussion: ineffective communities burden the RS ("needs
+to do the filtering"), and DE-CIX's "too many communities" import cap
+creates a hygiene incentive. These benches print the memory/processing
+overhead attributable to ineffective tagging and the cap-sweep trade-off
+curve.
+"""
+
+from repro.core.overhead import max_communities_cap_sweep, overhead_summary
+from repro.core.report import format_table
+from repro.ixp import LARGE_FOUR
+
+from conftest import emit
+
+
+def test_overhead_summary(benchmark, study, aggregates_v4):
+    rows = benchmark(lambda: [overhead_summary(a) for a in aggregates_v4])
+    emit("§5.6 — RS overhead attributable to community tagging (IPv4)",
+         format_table(rows, columns=[
+             "ixp", "community_bytes", "ineffective_bytes",
+             "ineffective_bytes_share", "wasted_lookup_share"]))
+    for row in rows:
+        # a fifth to two-thirds of the RS's community memory and policy
+        # work serves tags with no routing effect (paper: 31.8–64.3% of
+        # action instances)
+        assert 0.1 < row["wasted_lookup_share"] < 0.8
+        assert row["ineffective_bytes_share"] > 0.05
+
+
+def test_max_communities_cap_sweep(benchmark, study):
+    snapshot = study.snapshots[("decix-fra", 4)]
+    dictionary = study.dictionaries["decix-fra"]
+
+    rows = benchmark(max_communities_cap_sweep, snapshot, dictionary,
+                     (200, 100, 50, 30, 20))
+    emit("§5.6 — DE-CIX-style max-communities cap sweep (IPv4)",
+         format_table([row.as_dict() for row in rows]))
+
+    by_cap = {row.cap: row for row in rows}
+    # rejections grow monotonically as the cap tightens
+    assert by_cap[20].rejected_routes >= by_cap[200].rejected_routes
+    # a tight cap hits a small fraction of routes but suppresses a
+    # large share of the tagging — that asymmetry is the incentive
+    tight = by_cap[20]
+    if tight.rejected_routes:
+        aggregate = study.aggregate("decix-fra", 4)
+        suppressed = (tight.suppressed_action_instances
+                      / aggregate.std_action_count)
+        assert suppressed > tight.rejected_fraction

@@ -1,0 +1,39 @@
+"""Table 1 — "The eight IXPs in numbers".
+
+Regenerates the summary row per IXP (members at RS, observed prefixes,
+observed routes, per family) from the latest synthetic snapshots and
+prints them next to the paper's values. The benchmark times the summary
+construction.
+
+Shape checks: DE-CIX has the most routes, IX.br the most members, and
+AMS-IX's route count equals its prefix count.
+"""
+
+from repro.core.report import format_table
+from repro.core.summary import route_to_prefix_ratio, summary_table
+
+from conftest import emit
+
+
+def test_table1(benchmark, study):
+    rows = benchmark(summary_table, study.snapshots.values())
+    emit("Table 1 — IXPs in numbers (measured vs paper)", format_table(
+        rows,
+        columns=["ixp", "members_rs_v4", "paper_members_rs_v4",
+                 "prefixes_v4", "paper_prefixes_v4",
+                 "routes_v4", "paper_routes_v4",
+                 "members_rs_v6", "paper_members_rs_v6",
+                 "routes_v6", "paper_routes_v6"]))
+
+    by_key = {row["key"]: row for row in rows}
+    # who wins: DE-CIX most routes, IX.br most RS members
+    assert max(rows, key=lambda r: r["routes_v4"])["key"] == "decix-fra"
+    assert max(rows, key=lambda r: r["members_rs_v4"])["key"] == "ixbr-sp"
+    # AMS-IX: one route per prefix (ratio 1); DE-CIX: ~2 routes/prefix
+    assert abs(route_to_prefix_ratio(by_key["amsix"]) - 1.0) < 0.02
+    assert route_to_prefix_ratio(by_key["decix-fra"]) > 1.3
+    # scaled counts track the paper's proportions
+    for row in rows:
+        paper_ratio = row["paper_routes_v4"] / row["paper_prefixes_v4"]
+        measured_ratio = route_to_prefix_ratio(row)
+        assert abs(measured_ratio - paper_ratio) < 0.45

@@ -1,0 +1,81 @@
+"""Table 2 + §5.3 — ASes and occurrences per action-community type.
+
+Paper Table 2 (IPv4 user fractions): do-not-announce-to 27.6–48.3%,
+announce-only-to 6.1–24.4%, prepend-to 0–8.3%, blackholing essentially
+only at DE-CIX (15.7%). §5.3 occurrences: do-not-announce-to 66.6–92%,
+announce-only-to 17.7–31.4%, prepend-to <1.9%, blackholing <0.4%.
+"""
+
+from repro.core.favorites import (
+    ases_per_action_type,
+    occurrences_per_action_type,
+)
+from repro.core.report import format_table
+from repro.ixp import get_profile
+
+from conftest import emit
+
+_PAPER_USERS_V4 = {
+    ("ixbr-sp", "do-not-announce-to"): 0.483,
+    ("ixbr-sp", "announce-only-to"): 0.061,
+    ("ixbr-sp", "prepend-to"): 0.057,
+    ("ixbr-sp", "blackholing"): 0.0,
+    ("decix-fra", "do-not-announce-to"): 0.381,
+    ("decix-fra", "announce-only-to"): 0.244,
+    ("decix-fra", "prepend-to"): 0.083,
+    ("decix-fra", "blackholing"): 0.157,
+    ("linx", "do-not-announce-to"): 0.276,
+    ("linx", "announce-only-to"): 0.209,
+    ("linx", "prepend-to"): 0.015,
+    ("linx", "blackholing"): 0.0,
+    ("amsix", "do-not-announce-to"): 0.283,
+    ("amsix", "announce-only-to"): 0.126,
+    ("amsix", "prepend-to"): 0.0,
+    ("amsix", "blackholing"): 0.014,
+}
+
+
+def test_table2_users(benchmark, aggregates_v4):
+    rows = benchmark(ases_per_action_type, aggregates_v4)
+    for row in rows:
+        row["paper_fraction"] = _PAPER_USERS_V4[(row["ixp"],
+                                                 row["category"])]
+    emit("Table 2 (IPv4) — ASes using each action type",
+         format_table(rows, columns=["ixp", "category", "ases",
+                                     "fraction", "paper_fraction"]))
+    for row in rows:
+        assert abs(row["fraction"] - row["paper_fraction"]) < 0.09, row
+    # do-not-announce-to is the most popular type at every IXP
+    by_ixp = {}
+    for row in rows:
+        by_ixp.setdefault(row["ixp"], {})[row["category"]] = row["ases"]
+    for ixp, counts in by_ixp.items():
+        assert counts["do-not-announce-to"] == max(counts.values()), ixp
+    # blackholing is popular only at DE-CIX
+    assert by_ixp["decix-fra"]["blackholing"] > 0
+    assert by_ixp["ixbr-sp"]["blackholing"] == 0
+    assert by_ixp["linx"]["blackholing"] == 0
+
+
+def test_section53_occurrences(benchmark, aggregates_v4):
+    rows = benchmark(occurrences_per_action_type, aggregates_v4)
+    for row in rows:
+        usage = get_profile(row["ixp"]).category_usage
+        row["paper_share"] = {
+            "do-not-announce-to": usage.dna_occ,
+            "announce-only-to": usage.ao_occ,
+            "prepend-to": usage.prepend_occ,
+            "blackholing": usage.blackhole_occ,
+        }[row["category"]]
+    emit("§5.3 (IPv4) — occurrences per action type",
+         format_table(rows, columns=["ixp", "category", "instances",
+                                     "share", "paper_share"]))
+    for row in rows:
+        if row["category"] == "do-not-announce-to":
+            assert 0.6 < row["share"] < 0.95
+        elif row["category"] == "announce-only-to":
+            assert 0.1 < row["share"] < 0.4
+        elif row["category"] == "prepend-to":
+            assert row["share"] < 0.05
+        else:
+            assert row["share"] < 0.02

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Route-server action-community mechanics, step by step.
+
+Demonstrates (on a hand-built DE-CIX-style route server) what each
+action community actually does to route propagation — the semantics the
+paper's taxonomy describes in §5.3 — and why the same communities are
+invisible downstream (footnote 1):
+
+* ``0:<peer>``     blocks export towards one peer;
+* ``0:<rs>``       blocks export towards everyone;
+* ``<rs>:<peer>``  re-opens export for one peer under a default deny;
+* ``65502:<peer>`` prepends 2x towards one peer only;
+* ``65535:666``    blackholes a host route;
+* export processing scrubs the action communities, so a downstream
+  route collector never sees them.
+
+Run:  python examples/route_server_policy.py
+"""
+
+from repro.bgp.aspath import AsPath
+from repro.bgp.communities import standard
+from repro.bgp.route import Route
+from repro.ixp import dictionary_for, get_profile
+from repro.ixp.member import Member, MemberRole
+from repro.routeserver import RouteServer, RouteServerConfig
+
+ANNOUNCER = 60010   # our AS
+ISP_A = 60020       # a peer we like
+ISP_B = 60030       # a peer we avoid
+CP = 15169          # a content provider peer
+
+
+def build_server() -> RouteServer:
+    profile = get_profile("decix-fra")
+    config = RouteServerConfig(
+        rs_asn=profile.rs_asn, family=4,
+        dictionary=dictionary_for(profile),
+        blackholing_enabled=True)
+    server = RouteServer(config)
+    for asn, name in ((ANNOUNCER, "Example Networks"),
+                      (ISP_A, "Friendly ISP"),
+                      (ISP_B, "Avoided ISP"),
+                      (CP, "Google")):
+        server.add_peer(Member(asn=asn, name=name,
+                               role=MemberRole.ACCESS_ISP))
+    return server
+
+
+def announce(server: RouteServer, prefix: str, *communities) -> Route:
+    return server.announce(Route(
+        prefix=prefix, next_hop="80.81.192.77",
+        as_path=AsPath.from_asns([ANNOUNCER]),
+        peer_asn=ANNOUNCER,
+        communities=frozenset(communities)))
+
+
+def who_receives(server: RouteServer, prefix: str) -> str:
+    receivers = []
+    for peer in (ISP_A, ISP_B, CP):
+        exported = {r.prefix: r for r in server.export_to(peer)}
+        if prefix in exported:
+            route = exported[prefix]
+            suffix = (f" (path {route.as_path})"
+                      if route.as_path.length > 1 else "")
+            receivers.append(f"AS{peer}{suffix}")
+    return ", ".join(receivers) if receivers else "nobody"
+
+
+def main() -> None:
+    server = build_server()
+    rs = server.config.rs_asn
+
+    print("1. No action communities — multilateral default:")
+    announce(server, "20.90.0.0/16")
+    print(f"   20.90.0.0/16 -> {who_receives(server, '20.90.0.0/16')}")
+
+    print(f"\n2. 0:{ISP_B} — do not announce to the avoided ISP:")
+    announce(server, "20.91.0.0/16", standard(0, ISP_B))
+    print(f"   20.91.0.0/16 -> {who_receives(server, '20.91.0.0/16')}")
+
+    print(f"\n3. 0:{rs} + {rs}:{ISP_A} — deny all, allow one:")
+    announce(server, "20.92.0.0/16", standard(0, rs),
+             standard(rs, ISP_A))
+    print(f"   20.92.0.0/16 -> {who_receives(server, '20.92.0.0/16')}")
+
+    print(f"\n4. 65502:{CP} — prepend 2x towards the content provider:")
+    announce(server, "20.93.0.0/16", standard(65502, CP))
+    print(f"   20.93.0.0/16 -> {who_receives(server, '20.93.0.0/16')}")
+
+    print("\n5. 65535:666 — blackhole a host route under attack:")
+    announce(server, "20.90.0.66/32", standard(65535, 666))
+    print(f"   20.90.0.66/32 -> {who_receives(server, '20.90.0.66/32')}")
+
+    print(f"\n6. 0:59999 — target an AS with NO session at the RS "
+          "(§5.5's ineffective case):")
+    stored = announce(server, "20.94.0.0/16", standard(0, 59999))
+    print(f"   20.94.0.0/16 -> {who_receives(server, '20.94.0.0/16')}"
+          " — identical to case 1, the community achieved nothing")
+    print(f"   ineffective targets detected by the RS: "
+          f"{sorted(server.ineffective_targets_of(stored))}")
+
+    print("\n7. Visibility (paper footnote 1): the LG sees the action "
+          "communities, a downstream collector does not.")
+    at_lg = next(r for r in server.accepted_routes(ANNOUNCER)
+                 if r.prefix == "20.91.0.0/16")
+    downstream = next(r for r in server.export_to(ISP_A)
+                      if r.prefix == "20.91.0.0/16")
+    print(f"   at the LG:   {sorted(str(c) for c in at_lg.communities)}")
+    print(f"   downstream:  "
+          f"{sorted(str(c) for c in downstream.communities)}")
+
+
+if __name__ == "__main__":
+    main()

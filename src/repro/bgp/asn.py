@@ -1,0 +1,109 @@
+"""Autonomous System Number (ASN) handling.
+
+Provides parsing/validation of 16- and 32-bit AS numbers, the ``asdot``
+notation used by some operators, and the bogon-ASN predicate used by route
+server import filters (RFC 7607, RFC 4893, RFC 5398, RFC 6996, RFC 7300).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, Union
+
+from .errors import MalformedAsnError
+
+#: Maximum value of a 16-bit (legacy) AS number.
+MAX_ASN16 = 0xFFFF
+#: Maximum value of a 32-bit AS number.
+MAX_ASN32 = 0xFFFFFFFF
+
+#: Reserved/bogon ASN ranges, as (low, high) inclusive tuples.
+#: Sources: RFC 7607 (AS 0), RFC 5398 (documentation, 64496-64511 and
+#: 65536-65551), RFC 6996 (private use, 64512-65534 and 4200000000-
+#: 4294967294), RFC 7300 (last ASNs 65535 and 4294967295), plus the
+#: AS_TRANS value 23456 from RFC 4893 which must never originate routes.
+BOGON_ASN_RANGES: Tuple[Tuple[int, int], ...] = (
+    (0, 0),                      # RFC 7607: AS 0 is reserved
+    (23456, 23456),              # RFC 4893: AS_TRANS
+    (64496, 64511),              # RFC 5398: documentation
+    (64512, 65534),              # RFC 6996: private use (16-bit)
+    (65535, 65535),              # RFC 7300: last 16-bit ASN
+    (65536, 65551),              # RFC 5398: documentation (32-bit)
+    (4200000000, 4294967294),    # RFC 6996: private use (32-bit)
+    (4294967295, 4294967295),    # RFC 7300: last 32-bit ASN
+)
+
+
+def parse_asn(value: Union[int, str]) -> int:
+    """Parse an AS number from an int, decimal string, or asdot string.
+
+    >>> parse_asn(64500)
+    64500
+    >>> parse_asn("AS65000")
+    65000
+    >>> parse_asn("1.10")        # asdot: 1 * 65536 + 10
+    65546
+
+    Raises:
+        MalformedAsnError: if the value is not a valid AS number.
+    """
+    if isinstance(value, bool):
+        raise MalformedAsnError(f"not an AS number: {value!r}")
+    if isinstance(value, int):
+        asn = value
+    elif isinstance(value, str):
+        text = value.strip()
+        if text.upper().startswith("AS"):
+            text = text[2:]
+        try:
+            if "." in text:
+                high_s, low_s = text.split(".", 1)
+                high, low = int(high_s), int(low_s)
+                if not (0 <= high <= MAX_ASN16 and 0 <= low <= MAX_ASN16):
+                    raise ValueError(text)
+                asn = (high << 16) | low
+            else:
+                asn = int(text)
+        except ValueError as exc:
+            raise MalformedAsnError(f"cannot parse ASN from {value!r}") from exc
+    else:
+        raise MalformedAsnError(f"cannot parse ASN from {value!r}")
+    if not 0 <= asn <= MAX_ASN32:
+        raise MalformedAsnError(f"ASN out of range: {asn}")
+    return asn
+
+
+def format_asdot(asn: int) -> str:
+    """Render *asn* in asdot notation (plain decimal when it fits 16 bits).
+
+    >>> format_asdot(65546)
+    '1.10'
+    >>> format_asdot(64500)
+    '64500'
+    """
+    asn = parse_asn(asn)
+    if asn <= MAX_ASN16:
+        return str(asn)
+    return f"{asn >> 16}.{asn & 0xFFFF}"
+
+
+def is_16bit(asn: int) -> bool:
+    """Return True when *asn* fits in 16 bits (encodable in a standard
+    community field)."""
+    return 0 <= asn <= MAX_ASN16
+
+
+def is_bogon_asn(asn: int) -> bool:
+    """Return True when *asn* falls in a reserved/bogon range.
+
+    Route servers reject routes whose AS-path contains a bogon ASN; this is
+    one of the §3 "filtered routes" criteria.
+    """
+    for low, high in BOGON_ASN_RANGES:
+        if low <= asn <= high:
+            return True
+    return False
+
+
+def contains_bogon_asn(asns: Iterable[int]) -> bool:
+    """Return True when any ASN in *asns* is a bogon."""
+    return any(is_bogon_asn(a) for a in asns)

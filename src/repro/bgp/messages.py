@@ -1,0 +1,350 @@
+"""BGP-4 UPDATE message wire encoding/decoding (RFC 4271 + extensions).
+
+The collector in this reproduction talks JSON to the Looking Glass, but the
+route server substrate speaks real BGP framing between simulated peers and
+the RS, which keeps the substrate honest: every announced route round-trips
+through the actual UPDATE wire format, including the COMMUNITIES (RFC
+1997), EXTENDED COMMUNITIES (RFC 4360), and LARGE COMMUNITIES (RFC 8092)
+path attributes, 4-octet AS paths (RFC 6793), and MP_REACH_NLRI (RFC 4760)
+for IPv6.
+
+Only the pieces needed by the reproduction are implemented; unsupported
+attribute types are preserved opaquely so decode→encode is lossless.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .aspath import AS_SEQUENCE, AS_SET, AsPath, AsPathSegment
+from .communities import (
+    ExtendedCommunity,
+    LargeCommunity,
+    StandardCommunity,
+)
+from .errors import MessageDecodeError, MessageEncodeError
+
+MARKER = b"\xff" * 16
+HEADER_LEN = 19
+MAX_MESSAGE_LEN = 4096
+
+MSG_OPEN = 1
+MSG_UPDATE = 2
+MSG_NOTIFICATION = 3
+MSG_KEEPALIVE = 4
+
+# Path attribute type codes.
+ATTR_ORIGIN = 1
+ATTR_AS_PATH = 2
+ATTR_NEXT_HOP = 3
+ATTR_MED = 4
+ATTR_LOCAL_PREF = 5
+ATTR_COMMUNITIES = 8
+ATTR_MP_REACH_NLRI = 14
+ATTR_MP_UNREACH_NLRI = 15
+ATTR_EXTENDED_COMMUNITIES = 16
+ATTR_LARGE_COMMUNITIES = 32
+
+FLAG_OPTIONAL = 0x80
+FLAG_TRANSITIVE = 0x40
+FLAG_PARTIAL = 0x20
+FLAG_EXTENDED_LENGTH = 0x10
+
+ORIGIN_IGP = 0
+ORIGIN_EGP = 1
+ORIGIN_INCOMPLETE = 2
+
+AFI_IPV4 = 1
+AFI_IPV6 = 2
+SAFI_UNICAST = 1
+
+
+def _encode_prefix(prefix: str) -> bytes:
+    """NLRI encoding: length byte + minimal address bytes."""
+    net = ipaddress.ip_network(prefix)
+    nbytes = (net.prefixlen + 7) // 8
+    return bytes([net.prefixlen]) + net.network_address.packed[:nbytes]
+
+
+def _decode_prefixes(blob: bytes, family: int) -> List[str]:
+    """Decode a run of NLRI-encoded prefixes."""
+    addr_len = 4 if family == 4 else 16
+    prefixes: List[str] = []
+    offset = 0
+    while offset < len(blob):
+        plen = blob[offset]
+        offset += 1
+        nbytes = (plen + 7) // 8
+        if nbytes > addr_len or offset + nbytes > len(blob):
+            raise MessageDecodeError(
+                f"truncated NLRI at offset {offset} (plen {plen})")
+        padded = blob[offset:offset + nbytes] + b"\x00" * (addr_len - nbytes)
+        offset += nbytes
+        address = ipaddress.ip_address(padded)
+        prefixes.append(f"{address}/{plen}")
+    return prefixes
+
+
+def _encode_as_path(path: AsPath) -> bytes:
+    """Encode AS_PATH with 4-octet ASNs (RFC 6793 capable peers)."""
+    out = bytearray()
+    for segment in path.segments:
+        if len(segment.asns) > 255:
+            raise MessageEncodeError("AS_PATH segment too long")
+        out.append(segment.segment_type)
+        out.append(len(segment.asns))
+        for asn in segment.asns:
+            out += struct.pack("!I", asn)
+    return bytes(out)
+
+
+def _decode_as_path(blob: bytes) -> AsPath:
+    segments: List[AsPathSegment] = []
+    offset = 0
+    while offset < len(blob):
+        if offset + 2 > len(blob):
+            raise MessageDecodeError("truncated AS_PATH segment header")
+        seg_type, count = blob[offset], blob[offset + 1]
+        offset += 2
+        need = count * 4
+        if seg_type not in (AS_SEQUENCE, AS_SET):
+            raise MessageDecodeError(f"bad AS_PATH segment type {seg_type}")
+        if offset + need > len(blob):
+            raise MessageDecodeError("truncated AS_PATH segment body")
+        asns = struct.unpack(f"!{count}I", blob[offset:offset + need])
+        offset += need
+        segments.append(AsPathSegment(seg_type, asns))
+    if not segments:
+        raise MessageDecodeError("empty AS_PATH")
+    return AsPath(tuple(segments))
+
+
+@dataclass(frozen=True)
+class PathAttribute:
+    """A raw path attribute (flags, type code, value bytes)."""
+
+    flags: int
+    type_code: int
+    value: bytes
+
+    def encode(self) -> bytes:
+        flags = self.flags
+        if len(self.value) > 255:
+            flags |= FLAG_EXTENDED_LENGTH
+            header = struct.pack("!BBH", flags, self.type_code,
+                                 len(self.value))
+        else:
+            flags &= ~FLAG_EXTENDED_LENGTH
+            header = struct.pack("!BBB", flags, self.type_code,
+                                 len(self.value))
+        return header + self.value
+
+
+@dataclass
+class UpdateMessage:
+    """A decoded BGP UPDATE.
+
+    ``nlri``/``withdrawn`` carry IPv4 prefixes from the classic fields;
+    IPv6 reachability travels in ``mp_nlri``/``mp_withdrawn`` per RFC 4760.
+    """
+
+    nlri: List[str] = field(default_factory=list)
+    withdrawn: List[str] = field(default_factory=list)
+    origin: Optional[int] = None
+    as_path: Optional[AsPath] = None
+    next_hop: Optional[str] = None
+    med: Optional[int] = None
+    local_pref: Optional[int] = None
+    communities: Tuple[StandardCommunity, ...] = ()
+    extended_communities: Tuple[ExtendedCommunity, ...] = ()
+    large_communities: Tuple[LargeCommunity, ...] = ()
+    mp_nlri: List[str] = field(default_factory=list)
+    mp_next_hop: Optional[str] = None
+    mp_withdrawn: List[str] = field(default_factory=list)
+    unknown_attributes: List[PathAttribute] = field(default_factory=list)
+
+    # -- encoding ----------------------------------------------------
+
+    def _path_attributes(self) -> List[PathAttribute]:
+        attrs: List[PathAttribute] = []
+        if self.origin is not None:
+            attrs.append(PathAttribute(
+                FLAG_TRANSITIVE, ATTR_ORIGIN, bytes([self.origin])))
+        if self.as_path is not None:
+            attrs.append(PathAttribute(
+                FLAG_TRANSITIVE, ATTR_AS_PATH, _encode_as_path(self.as_path)))
+        if self.next_hop is not None:
+            packed = ipaddress.ip_address(self.next_hop).packed
+            if len(packed) != 4:
+                raise MessageEncodeError(
+                    "NEXT_HOP attribute is IPv4-only; use mp_next_hop")
+            attrs.append(PathAttribute(FLAG_TRANSITIVE, ATTR_NEXT_HOP, packed))
+        if self.med is not None:
+            attrs.append(PathAttribute(
+                FLAG_OPTIONAL, ATTR_MED, struct.pack("!I", self.med)))
+        if self.local_pref is not None:
+            attrs.append(PathAttribute(
+                FLAG_TRANSITIVE, ATTR_LOCAL_PREF,
+                struct.pack("!I", self.local_pref)))
+        if self.communities:
+            blob = b"".join(c.to_bytes() for c in sorted(self.communities))
+            attrs.append(PathAttribute(
+                FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_COMMUNITIES, blob))
+        if self.extended_communities:
+            blob = b"".join(
+                c.to_bytes() for c in sorted(self.extended_communities))
+            attrs.append(PathAttribute(
+                FLAG_OPTIONAL | FLAG_TRANSITIVE,
+                ATTR_EXTENDED_COMMUNITIES, blob))
+        if self.large_communities:
+            blob = b"".join(
+                c.to_bytes() for c in sorted(self.large_communities))
+            attrs.append(PathAttribute(
+                FLAG_OPTIONAL | FLAG_TRANSITIVE,
+                ATTR_LARGE_COMMUNITIES, blob))
+        if self.mp_nlri:
+            if self.mp_next_hop is None:
+                raise MessageEncodeError("mp_nlri requires mp_next_hop")
+            next_hop = ipaddress.ip_address(self.mp_next_hop).packed
+            body = struct.pack("!HBB", AFI_IPV6, SAFI_UNICAST, len(next_hop))
+            body += next_hop + b"\x00"  # reserved SNPA byte
+            body += b"".join(_encode_prefix(p) for p in self.mp_nlri)
+            attrs.append(PathAttribute(
+                FLAG_OPTIONAL, ATTR_MP_REACH_NLRI, body))
+        if self.mp_withdrawn:
+            body = struct.pack("!HB", AFI_IPV6, SAFI_UNICAST)
+            body += b"".join(_encode_prefix(p) for p in self.mp_withdrawn)
+            attrs.append(PathAttribute(
+                FLAG_OPTIONAL, ATTR_MP_UNREACH_NLRI, body))
+        attrs.extend(self.unknown_attributes)
+        return attrs
+
+    def encode(self) -> bytes:
+        """Serialise to a full BGP message (header + body)."""
+        withdrawn = b"".join(_encode_prefix(p) for p in self.withdrawn)
+        attrs = b"".join(a.encode() for a in self._path_attributes())
+        nlri = b"".join(_encode_prefix(p) for p in self.nlri)
+        body = (struct.pack("!H", len(withdrawn)) + withdrawn
+                + struct.pack("!H", len(attrs)) + attrs + nlri)
+        total = HEADER_LEN + len(body)
+        if total > MAX_MESSAGE_LEN:
+            raise MessageEncodeError(
+                f"UPDATE would be {total} bytes (max {MAX_MESSAGE_LEN})")
+        return MARKER + struct.pack("!HB", total, MSG_UPDATE) + body
+
+    # -- decoding ----------------------------------------------------
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "UpdateMessage":
+        """Parse a full BGP message; must be a single UPDATE."""
+        msg_type, body = decode_header(blob)
+        if msg_type != MSG_UPDATE:
+            raise MessageDecodeError(f"not an UPDATE (type {msg_type})")
+        if len(body) < 4:
+            raise MessageDecodeError("UPDATE body too short")
+        update = cls()
+        (withdrawn_len,) = struct.unpack("!H", body[:2])
+        offset = 2
+        if offset + withdrawn_len > len(body):
+            raise MessageDecodeError("withdrawn length exceeds body")
+        update.withdrawn = _decode_prefixes(
+            body[offset:offset + withdrawn_len], 4)
+        offset += withdrawn_len
+        (attrs_len,) = struct.unpack("!H", body[offset:offset + 2])
+        offset += 2
+        if offset + attrs_len > len(body):
+            raise MessageDecodeError("attribute length exceeds body")
+        attrs_end = offset + attrs_len
+        while offset < attrs_end:
+            flags = body[offset]
+            type_code = body[offset + 1]
+            if flags & FLAG_EXTENDED_LENGTH:
+                (length,) = struct.unpack("!H", body[offset + 2:offset + 4])
+                offset += 4
+            else:
+                length = body[offset + 2]
+                offset += 3
+            if offset + length > attrs_end:
+                raise MessageDecodeError(
+                    f"attribute {type_code} overruns attribute section")
+            value = body[offset:offset + length]
+            offset += length
+            update._apply_attribute(flags, type_code, value)
+        update.nlri = _decode_prefixes(body[attrs_end:], 4)
+        return update
+
+    def _apply_attribute(self, flags: int, type_code: int,
+                         value: bytes) -> None:
+        if type_code == ATTR_ORIGIN:
+            self.origin = value[0]
+        elif type_code == ATTR_AS_PATH:
+            self.as_path = _decode_as_path(value)
+        elif type_code == ATTR_NEXT_HOP:
+            self.next_hop = str(ipaddress.ip_address(value))
+        elif type_code == ATTR_MED:
+            (self.med,) = struct.unpack("!I", value)
+        elif type_code == ATTR_LOCAL_PREF:
+            (self.local_pref,) = struct.unpack("!I", value)
+        elif type_code == ATTR_COMMUNITIES:
+            if len(value) % 4:
+                raise MessageDecodeError("COMMUNITIES length not * 4")
+            self.communities = tuple(
+                StandardCommunity.from_bytes(value[i:i + 4])
+                for i in range(0, len(value), 4))
+        elif type_code == ATTR_EXTENDED_COMMUNITIES:
+            if len(value) % 8:
+                raise MessageDecodeError("EXT COMMUNITIES length not * 8")
+            self.extended_communities = tuple(
+                ExtendedCommunity.from_bytes(value[i:i + 8])
+                for i in range(0, len(value), 8))
+        elif type_code == ATTR_LARGE_COMMUNITIES:
+            if len(value) % 12:
+                raise MessageDecodeError("LARGE COMMUNITIES length not * 12")
+            self.large_communities = tuple(
+                LargeCommunity.from_bytes(value[i:i + 12])
+                for i in range(0, len(value), 12))
+        elif type_code == ATTR_MP_REACH_NLRI:
+            if len(value) < 5:
+                raise MessageDecodeError("MP_REACH too short")
+            afi, safi, nh_len = struct.unpack("!HBB", value[:4])
+            if afi != AFI_IPV6 or safi != SAFI_UNICAST:
+                self.unknown_attributes.append(
+                    PathAttribute(flags, type_code, value))
+                return
+            next_hop = value[4:4 + nh_len]
+            self.mp_next_hop = str(ipaddress.ip_address(next_hop[:16]))
+            rest = value[4 + nh_len + 1:]  # skip reserved byte
+            self.mp_nlri = _decode_prefixes(rest, 6)
+        elif type_code == ATTR_MP_UNREACH_NLRI:
+            afi, safi = struct.unpack("!HB", value[:3])
+            if afi != AFI_IPV6 or safi != SAFI_UNICAST:
+                self.unknown_attributes.append(
+                    PathAttribute(flags, type_code, value))
+                return
+            self.mp_withdrawn = _decode_prefixes(value[3:], 6)
+        else:
+            self.unknown_attributes.append(
+                PathAttribute(flags, type_code, value))
+
+
+def decode_header(blob: bytes) -> Tuple[int, bytes]:
+    """Validate a BGP message header; return (type, body)."""
+    if len(blob) < HEADER_LEN:
+        raise MessageDecodeError(f"message too short: {len(blob)} bytes")
+    if blob[:16] != MARKER:
+        raise MessageDecodeError("bad marker")
+    (length, msg_type) = struct.unpack("!HB", blob[16:19])
+    if length != len(blob):
+        raise MessageDecodeError(
+            f"length field {length} != actual {len(blob)}")
+    if not HEADER_LEN <= length <= MAX_MESSAGE_LEN:
+        raise MessageDecodeError(f"length field out of range: {length}")
+    return msg_type, blob[HEADER_LEN:]
+
+
+def encode_keepalive() -> bytes:
+    """A KEEPALIVE is just the 19-byte header."""
+    return MARKER + struct.pack("!HB", HEADER_LEN, MSG_KEEPALIVE)

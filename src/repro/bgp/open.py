@@ -1,0 +1,128 @@
+"""BGP OPEN message and capabilities (RFC 4271 §4.2, RFC 5492).
+
+Used by the session layer to negotiate 4-octet-AS (RFC 6793) and
+multiprotocol (RFC 4760) capabilities between a simulated member router
+and the route server.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .errors import MessageDecodeError, MessageEncodeError
+from .messages import MARKER, MSG_OPEN, decode_header
+
+BGP_VERSION = 4
+AS_TRANS = 23456
+
+CAP_MULTIPROTOCOL = 1
+CAP_FOUR_OCTET_AS = 65
+
+OPT_PARAM_CAPABILITIES = 2
+
+
+@dataclass(frozen=True)
+class Capability:
+    """One RFC 5492 capability TLV."""
+
+    code: int
+    value: bytes = b""
+
+    def encode(self) -> bytes:
+        if len(self.value) > 255:
+            raise MessageEncodeError("capability value too long")
+        return bytes([self.code, len(self.value)]) + self.value
+
+    @classmethod
+    def multiprotocol(cls, afi: int, safi: int) -> "Capability":
+        return cls(CAP_MULTIPROTOCOL, struct.pack("!HBB", afi, 0, safi))
+
+    @classmethod
+    def four_octet_as(cls, asn: int) -> "Capability":
+        return cls(CAP_FOUR_OCTET_AS, struct.pack("!I", asn))
+
+
+@dataclass
+class OpenMessage:
+    """A BGP OPEN."""
+
+    asn: int
+    hold_time: int
+    bgp_identifier: str
+    capabilities: List[Capability] = field(default_factory=list)
+
+    @property
+    def four_octet_asn(self) -> Optional[int]:
+        for capability in self.capabilities:
+            if capability.code == CAP_FOUR_OCTET_AS and len(
+                    capability.value) == 4:
+                return struct.unpack("!I", capability.value)[0]
+        return None
+
+    @property
+    def effective_asn(self) -> int:
+        """The 4-octet ASN when advertised, else the OPEN field."""
+        four = self.four_octet_asn
+        return four if four is not None else self.asn
+
+    def supports_multiprotocol(self, afi: int, safi: int) -> bool:
+        needle = struct.pack("!HBB", afi, 0, safi)
+        return any(c.code == CAP_MULTIPROTOCOL and c.value == needle
+                   for c in self.capabilities)
+
+    def encode(self) -> bytes:
+        my_as = self.asn if self.asn <= 0xFFFF else AS_TRANS
+        identifier = ipaddress.IPv4Address(self.bgp_identifier).packed
+        caps = b"".join(c.encode() for c in self.capabilities)
+        opt_params = b""
+        if caps:
+            if len(caps) > 253:
+                raise MessageEncodeError("capabilities too long")
+            opt_params = bytes([OPT_PARAM_CAPABILITIES, len(caps)]) + caps
+        body = (bytes([BGP_VERSION]) + struct.pack("!HH", my_as,
+                                                   self.hold_time)
+                + identifier + bytes([len(opt_params)]) + opt_params)
+        total = len(MARKER) + 3 + len(body)
+        return MARKER + struct.pack("!HB", total, MSG_OPEN) + body
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "OpenMessage":
+        msg_type, body = decode_header(blob)
+        if msg_type != MSG_OPEN:
+            raise MessageDecodeError(f"not an OPEN (type {msg_type})")
+        if len(body) < 10:
+            raise MessageDecodeError("OPEN body too short")
+        version = body[0]
+        if version != BGP_VERSION:
+            raise MessageDecodeError(f"unsupported BGP version {version}")
+        asn, hold_time = struct.unpack("!HH", body[1:5])
+        identifier = str(ipaddress.IPv4Address(body[5:9]))
+        opt_len = body[9]
+        if 10 + opt_len != len(body):
+            raise MessageDecodeError("OPEN optional-parameter overrun")
+        capabilities: List[Capability] = []
+        offset = 10
+        end = 10 + opt_len
+        while offset < end:
+            if offset + 2 > end:
+                raise MessageDecodeError("truncated optional parameter")
+            param_type, param_len = body[offset], body[offset + 1]
+            offset += 2
+            value = body[offset:offset + param_len]
+            offset += param_len
+            if param_type != OPT_PARAM_CAPABILITIES:
+                continue
+            cap_offset = 0
+            while cap_offset < len(value):
+                if cap_offset + 2 > len(value):
+                    raise MessageDecodeError("truncated capability")
+                code, cap_len = value[cap_offset], value[cap_offset + 1]
+                cap_offset += 2
+                capabilities.append(Capability(
+                    code, value[cap_offset:cap_offset + cap_len]))
+                cap_offset += cap_len
+        return cls(asn=asn, hold_time=hold_time,
+                   bgp_identifier=identifier, capabilities=capabilities)

@@ -1,0 +1,111 @@
+"""IP prefix handling built on :mod:`ipaddress`.
+
+Wraps the stdlib network types with the checks a route server performs on
+announced prefixes: address-family detection, bogon membership, and the
+"too specific / too broad" length bounds from the paper's §3 sanitation
+description (IPv4 accepted range is /8../24 on the studied route servers).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Tuple, Union
+
+from .errors import MalformedPrefixError
+
+Network = Union[ipaddress.IPv4Network, ipaddress.IPv6Network]
+
+#: IPv4 bogon prefixes (RFC 6890 special-purpose registries and friends).
+BOGON_V4: Tuple[str, ...] = (
+    "0.0.0.0/8",        # "this network"
+    "10.0.0.0/8",       # RFC 1918
+    "100.64.0.0/10",    # RFC 6598 CGN
+    "127.0.0.0/8",      # loopback
+    "169.254.0.0/16",   # link local
+    "172.16.0.0/12",    # RFC 1918
+    "192.0.0.0/24",     # IETF protocol assignments
+    "192.0.2.0/24",     # TEST-NET-1
+    "192.168.0.0/16",   # RFC 1918
+    "198.18.0.0/15",    # benchmarking
+    "198.51.100.0/24",  # TEST-NET-2
+    "203.0.113.0/24",   # TEST-NET-3
+    "224.0.0.0/4",      # multicast
+    "240.0.0.0/4",      # reserved
+)
+
+#: IPv6 bogon prefixes.
+BOGON_V6: Tuple[str, ...] = (
+    "::/8",             # unspecified/loopback/v4-mapped region
+    "100::/64",         # discard-only
+    "2001:db8::/32",    # documentation
+    "fc00::/7",         # unique local
+    "fe80::/10",        # link local
+    "ff00::/8",         # multicast
+)
+
+_BOGON_V4_NETS = tuple(ipaddress.ip_network(p) for p in BOGON_V4)
+_BOGON_V6_NETS = tuple(ipaddress.ip_network(p) for p in BOGON_V6)
+
+
+def parse_prefix(value: Union[str, Network]) -> Network:
+    """Parse a CIDR string into an IPv4Network or IPv6Network.
+
+    >>> parse_prefix("203.0.113.0/24").prefixlen
+    24
+
+    Raises:
+        MalformedPrefixError: when the string is not valid CIDR, or has
+            host bits set (announcements always carry true prefixes).
+    """
+    if isinstance(value, (ipaddress.IPv4Network, ipaddress.IPv6Network)):
+        return value
+    if not isinstance(value, str):
+        raise MalformedPrefixError(f"cannot parse prefix from {value!r}")
+    try:
+        return ipaddress.ip_network(value.strip(), strict=True)
+    except ValueError as exc:
+        raise MalformedPrefixError(f"cannot parse prefix from {value!r}") from exc
+
+
+def address_family(prefix: Union[str, Network]) -> int:
+    """Return 4 or 6 for the given prefix."""
+    return parse_prefix(prefix).version
+
+
+def is_bogon_prefix(prefix: Union[str, Network]) -> bool:
+    """Return True when *prefix* overlaps a bogon (special-purpose) block.
+
+    A route server rejects announcements for these; see §3 "filtered
+    routes" (bogon prefixes are one of the rejection reasons).
+    """
+    net = parse_prefix(prefix)
+    pool = _BOGON_V4_NETS if net.version == 4 else _BOGON_V6_NETS
+    return any(net.overlaps(bogon) for bogon in pool)
+
+
+def is_too_specific(prefix: Union[str, Network],
+                    max_v4: int = 24, max_v6: int = 48) -> bool:
+    """Return True when the prefix is longer than the accepted maximum.
+
+    The paper notes route servers reject prefixes "too specific (>/24)".
+    """
+    net = parse_prefix(prefix)
+    limit = max_v4 if net.version == 4 else max_v6
+    return net.prefixlen > limit
+
+
+def is_too_broad(prefix: Union[str, Network],
+                 min_v4: int = 8, min_v6: int = 16) -> bool:
+    """Return True when the prefix is shorter than the accepted minimum.
+
+    The paper notes route servers reject prefixes "too broad (</8)".
+    The default /16 floor for IPv6 mirrors common BIRD RS templates.
+    """
+    net = parse_prefix(prefix)
+    limit = min_v4 if net.version == 4 else min_v6
+    return net.prefixlen < limit
+
+
+def canonical(prefix: Union[str, Network]) -> str:
+    """Return the canonical compressed string form of a prefix."""
+    return str(parse_prefix(prefix))

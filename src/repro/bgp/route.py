@@ -1,0 +1,135 @@
+"""The route model shared by the route server, looking glass, and analysis.
+
+A :class:`Route` is a single (prefix, attributes) entry as seen at one
+vantage point — here, an IXP route server RIB. It mirrors exactly what the
+paper's snapshots capture for every route (§3): prefix, next-hop, AS-path,
+and the three lists of BGP communities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Tuple
+
+from .aspath import AsPath
+from .communities import (
+    Community,
+    ExtendedCommunity,
+    LargeCommunity,
+    StandardCommunity,
+    parse_community,
+)
+from .prefix import address_family, canonical
+
+
+@dataclass(frozen=True)
+class Route:
+    """An accepted (or filtered) route at a route server.
+
+    Attributes:
+        prefix: canonical CIDR string, e.g. ``"203.0.113.0/24"``.
+        next_hop: IP address of the announcing peer's router.
+        as_path: the AS_PATH as received (origin rightmost).
+        peer_asn: ASN of the RS peer that announced the route (equals
+            ``as_path.first_asn`` unless the peer inserted prepends of a
+            different ASN, which the RS would reject anyway).
+        communities: standard communities attached by the announcing AS
+            and/or the route server.
+        extended_communities / large_communities: the other flavours.
+        filtered: True when the RS rejected the route at import; the
+            analysis only consumes accepted routes, but the collector
+            records both so the accepted/filtered split can be studied.
+        filter_reason: the import filter that rejected the route.
+    """
+
+    prefix: str
+    next_hop: str
+    as_path: AsPath
+    peer_asn: int
+    communities: FrozenSet[StandardCommunity] = field(default_factory=frozenset)
+    extended_communities: FrozenSet[ExtendedCommunity] = field(default_factory=frozenset)
+    large_communities: FrozenSet[LargeCommunity] = field(default_factory=frozenset)
+    filtered: bool = False
+    filter_reason: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "prefix", canonical(self.prefix))
+        object.__setattr__(self, "communities", frozenset(self.communities))
+        object.__setattr__(self, "extended_communities",
+                           frozenset(self.extended_communities))
+        object.__setattr__(self, "large_communities",
+                           frozenset(self.large_communities))
+
+    @property
+    def family(self) -> int:
+        """4 or 6."""
+        return address_family(self.prefix)
+
+    @property
+    def origin_asn(self) -> int:
+        return self.as_path.origin_asn
+
+    def all_communities(self) -> Tuple[Community, ...]:
+        """Every community on the route, standard first, deterministic order."""
+        return (tuple(sorted(self.communities))
+                + tuple(sorted(self.extended_communities))
+                + tuple(sorted(self.large_communities)))
+
+    @property
+    def community_count(self) -> int:
+        """Total community instances on this route (all flavours)."""
+        return (len(self.communities) + len(self.extended_communities)
+                + len(self.large_communities))
+
+    def with_communities(self,
+                         communities: Iterable[StandardCommunity]) -> "Route":
+        """Return a copy with the standard community set replaced."""
+        return replace(self, communities=frozenset(communities))
+
+    def without_communities(
+            self, drop: Iterable[StandardCommunity]) -> "Route":
+        """Return a copy with the given standard communities removed
+        (how a route server scrubs action communities before export)."""
+        return replace(self, communities=self.communities - frozenset(drop))
+
+    def with_prepend(self, asn: int, count: int) -> "Route":
+        """Return a copy with the AS path prepended (prepend-to action)."""
+        return replace(self, as_path=self.as_path.prepended(asn, count))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict, the schema served by the Looking Glass API."""
+        payload: Dict[str, Any] = {
+            "prefix": self.prefix,
+            "next_hop": self.next_hop,
+            "as_path": str(self.as_path),
+            "peer_asn": self.peer_asn,
+            "communities": sorted(str(c) for c in self.communities),
+            "extended_communities": sorted(
+                str(c) for c in self.extended_communities),
+            "large_communities": sorted(
+                str(c) for c in self.large_communities),
+        }
+        if self.filtered:
+            payload["filtered"] = True
+            payload["filter_reason"] = self.filter_reason
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Route":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            prefix=payload["prefix"],
+            next_hop=payload["next_hop"],
+            as_path=AsPath.from_string(payload["as_path"]),
+            peer_asn=int(payload["peer_asn"]),
+            communities=frozenset(
+                parse_community(c) for c in payload.get("communities", ())),
+            extended_communities=frozenset(
+                parse_community(c)
+                for c in payload.get("extended_communities", ())),
+            large_communities=frozenset(
+                parse_community(c)
+                for c in payload.get("large_communities", ())),
+            filtered=bool(payload.get("filtered", False)),
+            filter_reason=payload.get("filter_reason"),
+        )

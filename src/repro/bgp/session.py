@@ -1,0 +1,255 @@
+"""A minimal BGP-4 session state machine (RFC 4271 §8, simplified).
+
+Gives the route-server substrate a real session life cycle: peers
+exchange OPENs, confirm with KEEPALIVEs, feed UPDATEs, and expire on
+hold-timer timeout. Time is logical (caller-advanced), so tests are
+deterministic and instant.
+
+The implemented FSM collapses the TCP-level states (Connect/Active)
+into ``IDLE`` → ``OPEN_SENT`` → ``OPEN_CONFIRM`` → ``ESTABLISHED``,
+which is the portion that matters above an already-connected transport.
+
+Notifications use a small subset of RFC 4271 §6 codes.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from .errors import MessageDecodeError
+from .messages import (
+    MARKER,
+    MSG_KEEPALIVE,
+    MSG_NOTIFICATION,
+    MSG_OPEN,
+    MSG_UPDATE,
+    UpdateMessage,
+    decode_header,
+    encode_keepalive,
+)
+from .open import Capability, OpenMessage
+
+NOTIFY_OPEN_ERROR = 2
+NOTIFY_HOLD_TIMER_EXPIRED = 4
+NOTIFY_CEASE = 6
+
+
+def encode_notification(code: int, subcode: int = 0,
+                        data: bytes = b"") -> bytes:
+    body = bytes([code, subcode]) + data
+    total = len(MARKER) + 3 + len(body)
+    return MARKER + struct.pack("!HB", total, MSG_NOTIFICATION) + body
+
+
+def decode_notification(blob: bytes) -> Tuple[int, int, bytes]:
+    msg_type, body = decode_header(blob)
+    if msg_type != MSG_NOTIFICATION:
+        raise MessageDecodeError(f"not a NOTIFICATION (type {msg_type})")
+    if len(body) < 2:
+        raise MessageDecodeError("NOTIFICATION body too short")
+    return body[0], body[1], body[2:]
+
+
+class SessionState(str, enum.Enum):
+    IDLE = "idle"
+    OPEN_SENT = "open-sent"
+    OPEN_CONFIRM = "open-confirm"
+    ESTABLISHED = "established"
+
+
+@dataclass
+class BgpSession:
+    """One side of a BGP session over an abstract ordered transport.
+
+    The caller wires two sessions together by delivering whatever
+    :meth:`outbox` produces to the other side's :meth:`receive`, and
+    advances logical time with :meth:`tick`.
+
+    Attributes:
+        local_asn / local_id: this speaker.
+        hold_time: proposed hold time (seconds, logical).
+        on_update: callback invoked with each received UpdateMessage
+            once ESTABLISHED (e.g. feeding a RouteServer).
+    """
+
+    local_asn: int
+    local_id: str
+    hold_time: int = 90
+    on_update: Optional[Callable[[UpdateMessage], None]] = None
+
+    state: SessionState = SessionState.IDLE
+    peer_open: Optional[OpenMessage] = None
+    negotiated_hold_time: int = 0
+    last_error: Optional[str] = None
+
+    _outbox: List[bytes] = field(default_factory=list)
+    _clock: float = 0.0
+    _last_received: float = 0.0
+    _last_sent_keepalive: float = 0.0
+
+    # -- session control --------------------------------------------------
+
+    def start(self) -> None:
+        """Transport is up: send our OPEN."""
+        if self.state is not SessionState.IDLE:
+            raise RuntimeError(f"cannot start from {self.state}")
+        self._outbox.append(self._make_open().encode())
+        self.state = SessionState.OPEN_SENT
+        self._last_received = self._clock
+
+    def stop(self, code: int = NOTIFY_CEASE) -> None:
+        """Administratively close (sends NOTIFICATION cease)."""
+        if self.state is not SessionState.IDLE:
+            self._outbox.append(encode_notification(code))
+        self._reset("administrative stop")
+
+    def _make_open(self) -> OpenMessage:
+        return OpenMessage(
+            asn=min(self.local_asn, 0xFFFF) if self.local_asn <= 0xFFFF
+            else 23456,
+            hold_time=self.hold_time,
+            bgp_identifier=self.local_id,
+            capabilities=[
+                Capability.four_octet_as(self.local_asn),
+                Capability.multiprotocol(1, 1),
+                Capability.multiprotocol(2, 1),
+            ])
+
+    def _reset(self, reason: str) -> None:
+        self.state = SessionState.IDLE
+        self.peer_open = None
+        self.negotiated_hold_time = 0
+        self.last_error = reason
+
+    # -- I/O ----------------------------------------------------------------
+
+    def outbox(self) -> List[bytes]:
+        """Drain queued outbound messages."""
+        out, self._outbox = self._outbox, []
+        return out
+
+    def send_update(self, update: UpdateMessage) -> None:
+        if self.state is not SessionState.ESTABLISHED:
+            raise RuntimeError("cannot send UPDATE before ESTABLISHED")
+        self._outbox.append(update.encode())
+
+    def receive(self, blob: bytes) -> None:
+        """Process one inbound BGP message."""
+        try:
+            msg_type, _body = decode_header(blob)
+        except MessageDecodeError as error:
+            self._outbox.append(encode_notification(1))  # header error
+            self._reset(f"header error: {error}")
+            return
+        self._last_received = self._clock
+        if msg_type == MSG_NOTIFICATION:
+            code, subcode, _ = decode_notification(blob)
+            self._reset(f"notification received: code {code}/{subcode}")
+            return
+        handler = {
+            MSG_OPEN: self._handle_open,
+            MSG_KEEPALIVE: self._handle_keepalive,
+            MSG_UPDATE: self._handle_update,
+        }.get(msg_type)
+        if handler is None:
+            self._outbox.append(encode_notification(1, 3))
+            self._reset(f"unexpected message type {msg_type}")
+            return
+        handler(blob)
+
+    def _handle_open(self, blob: bytes) -> None:
+        if self.state is not SessionState.OPEN_SENT:
+            self._outbox.append(encode_notification(NOTIFY_OPEN_ERROR))
+            self._reset(f"OPEN in state {self.state}")
+            return
+        try:
+            peer_open = OpenMessage.decode(blob)
+        except MessageDecodeError as error:
+            self._outbox.append(encode_notification(NOTIFY_OPEN_ERROR))
+            self._reset(f"bad OPEN: {error}")
+            return
+        if peer_open.hold_time not in (0,) and peer_open.hold_time < 3:
+            self._outbox.append(encode_notification(NOTIFY_OPEN_ERROR, 6))
+            self._reset("unacceptable hold time")
+            return
+        self.peer_open = peer_open
+        self.negotiated_hold_time = min(
+            self.hold_time, peer_open.hold_time) or 0
+        self._outbox.append(encode_keepalive())
+        self.state = SessionState.OPEN_CONFIRM
+
+    def _handle_keepalive(self, _blob: bytes) -> None:
+        if self.state is SessionState.OPEN_CONFIRM:
+            self.state = SessionState.ESTABLISHED
+        elif self.state is not SessionState.ESTABLISHED:
+            self._outbox.append(encode_notification(5))  # FSM error
+            self._reset(f"KEEPALIVE in state {self.state}")
+
+    def _handle_update(self, blob: bytes) -> None:
+        if self.state is not SessionState.ESTABLISHED:
+            self._outbox.append(encode_notification(5))
+            self._reset(f"UPDATE in state {self.state}")
+            return
+        update = UpdateMessage.decode(blob)
+        if self.on_update is not None:
+            self.on_update(update)
+
+    # -- timers --------------------------------------------------------------
+
+    def tick(self, seconds: float) -> None:
+        """Advance logical time: emits KEEPALIVEs (every hold/3) and
+        expires the session on hold-timer timeout."""
+        self._clock += seconds
+        if self.state is SessionState.IDLE:
+            return
+        hold = self.negotiated_hold_time or self.hold_time
+        if hold and self._clock - self._last_received > hold:
+            self._outbox.append(
+                encode_notification(NOTIFY_HOLD_TIMER_EXPIRED))
+            self._reset("hold timer expired")
+            return
+        keepalive_interval = max(1.0, hold / 3.0) if hold else None
+        if (keepalive_interval is not None
+                and self.state in (SessionState.OPEN_CONFIRM,
+                                   SessionState.ESTABLISHED)
+                and self._clock - self._last_sent_keepalive
+                >= keepalive_interval):
+            self._outbox.append(encode_keepalive())
+            self._last_sent_keepalive = self._clock
+
+    @property
+    def established(self) -> bool:
+        return self.state is SessionState.ESTABLISHED
+
+
+def connect(a: BgpSession, b: BgpSession,
+            max_rounds: int = 10) -> bool:
+    """Drive two sessions to ESTABLISHED over a lossless in-memory
+    transport; returns True on success."""
+    a.start()
+    b.start()
+    for _ in range(max_rounds):
+        moved = False
+        for blob in a.outbox():
+            b.receive(blob)
+            moved = True
+        for blob in b.outbox():
+            a.receive(blob)
+            moved = True
+        if a.established and b.established:
+            return True
+        if not moved:
+            break
+    return a.established and b.established
+
+
+def pump(a: BgpSession, b: BgpSession, rounds: int = 4) -> None:
+    """Exchange queued messages between two connected sessions."""
+    for _ in range(rounds):
+        for blob in a.outbox():
+            b.receive(blob)
+        for blob in b.outbox():
+            a.receive(blob)

@@ -1,0 +1,212 @@
+"""``repro-study`` command-line interface.
+
+Subcommands:
+
+* ``generate`` — build the synthetic dataset (snapshots + dictionaries)
+  into a :class:`~repro.collector.store.DatasetStore` directory;
+* ``analyze``  — run the paper's analyses over a store (or directly over
+  freshly generated snapshots) and print the figures/tables;
+* ``serve``    — start a Looking Glass HTTP server over a generated
+  route server, for interactive poking / the scraping example;
+* ``sanitise`` — run the §3 valley sanitation over a store and report
+  what would be removed;
+* ``export``   — write every figure/table's data as CSV (and optionally
+  one JSON bundle) for external plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .collector import DatasetStore, sanitise
+from .core import Study
+from .core.report import format_table, render_share_bars
+from .ixp import ALL_IXPS, LARGE_FOUR, get_profile
+from .workload import ScenarioConfig, SnapshotGenerator, weekly_days
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--ixps", nargs="+", default=list(LARGE_FOUR),
+                        choices=list(ALL_IXPS), metavar="IXP",
+                        help="IXP keys (default: the four largest)")
+    parser.add_argument("--families", nargs="+", type=int, default=[4, 6],
+                        choices=[4, 6], help="address families")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="population scale vs the paper (default 0.05)")
+    parser.add_argument("--seed", type=int, default=20211004)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    store = DatasetStore(args.store)
+    config = ScenarioConfig(scale=args.scale, seed=args.seed)
+    for ixp in args.ixps:
+        generator = SnapshotGenerator(get_profile(ixp), config)
+        store.save_dictionary(ixp, generator.dictionary)
+        days = weekly_days() if args.weekly else range(args.days)
+        for family in args.families:
+            for day in days:
+                snapshot = generator.snapshot(
+                    family, day, degraded=None if args.failures else False)
+                path = store.save_snapshot(snapshot)
+                print(f"wrote {path}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    if args.store:
+        store = DatasetStore(args.store)
+        snapshots = []
+        dictionaries = {}
+        for ixp in args.ixps:
+            dictionaries[ixp] = store.load_dictionary(ixp)
+            for family in args.families:
+                snapshot = store.latest_snapshot(ixp, family)
+                if snapshot is not None:
+                    snapshots.append(snapshot)
+        study = Study.from_snapshots(snapshots, dictionaries)
+    else:
+        study = Study.synthetic(ixps=args.ixps, families=args.families,
+                                scale=args.scale, seed=args.seed)
+
+    print(format_table(study.table1(), title="Table 1 — IXPs in numbers"))
+    for family in args.families:
+        print(f"\n== IPv{family} ==")
+        print(render_share_bars(
+            study.ixp_defined_vs_unknown(family), "ixp",
+            ["defined_share", "unknown_share"]))
+        print(render_share_bars(
+            study.action_vs_informational(family), "ixp",
+            ["action_share", "informational_share"]))
+        print(format_table(study.ases_using_actions(family),
+                           title=f"Fig. 4a (IPv{family})"))
+        print(format_table(study.ineffective_summary(family),
+                           title=f"§5.5 ineffective shares (IPv{family})"))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .lg import LookingGlassServer
+
+    config = ScenarioConfig(scale=args.scale, seed=args.seed)
+    mounts = {}
+    for ixp in args.ixps:
+        generator = SnapshotGenerator(get_profile(ixp), config)
+        for family in args.families:
+            print(f"populating {ixp} v{family} ...", flush=True)
+            mounts[(ixp, family)] = generator.populated_route_server(family)
+    server = LookingGlassServer(mounts, port=args.port,
+                                failure_rate=args.failure_rate)
+    url = server.start()
+    print(f"Looking glass serving at {url}")
+    for (ixp, family) in mounts:
+        print(f"  {url}/{ixp}/v{family}/api/v1/neighbors")
+    try:
+        import time
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+def cmd_sanitise(args: argparse.Namespace) -> int:
+    store = DatasetStore(args.store)
+    for ixp in args.ixps:
+        for family in args.families:
+            snapshots = list(store.iter_snapshots(ixp, family))
+            if not snapshots:
+                continue
+            report = sanitise(snapshots)
+            print(f"{ixp} v{family}: kept {len(report.kept)}, removed "
+                  f"{len(report.removed)} "
+                  f"({report.removed_fraction * 100:.1f}%)")
+            for snapshot in report.removed:
+                reason = report.reasons[snapshot.key]
+                print(f"  valley in {reason}: {snapshot.key}")
+                if args.delete:
+                    store.delete_snapshot(
+                        snapshot.ixp, snapshot.family, snapshot.captured_on)
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from .core.export import export_study_csv, export_study_json
+
+    if args.store:
+        store = DatasetStore(args.store)
+        snapshots = []
+        dictionaries = {}
+        for ixp in args.ixps:
+            dictionaries[ixp] = store.load_dictionary(ixp)
+            for family in args.families:
+                snapshot = store.latest_snapshot(ixp, family)
+                if snapshot is not None:
+                    snapshots.append(snapshot)
+        study = Study.from_snapshots(snapshots, dictionaries)
+    else:
+        study = Study.synthetic(ixps=args.ixps, families=args.families,
+                                scale=args.scale, seed=args.seed)
+    paths = export_study_csv(study, args.out, families=args.families)
+    for path in paths:
+        print(f"wrote {path}")
+    if args.json:
+        print(f"wrote {export_study_json(study, args.json, args.families)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    _add_common(p_gen)
+    p_gen.add_argument("--store", required=True, help="dataset directory")
+    p_gen.add_argument("--weekly", action="store_true",
+                       help="one snapshot per week (12) instead of daily")
+    p_gen.add_argument("--days", type=int, default=84,
+                       help="daily snapshots to generate (without --weekly)")
+    p_gen.add_argument("--failures", action="store_true",
+                       help="inject LG collection failures (§3 valleys)")
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_ana = sub.add_parser("analyze", help="run the paper's analyses")
+    _add_common(p_ana)
+    p_ana.add_argument("--store", help="dataset directory (else generate "
+                                       "in memory)")
+    p_ana.set_defaults(func=cmd_analyze)
+
+    p_srv = sub.add_parser("serve", help="serve a Looking Glass")
+    _add_common(p_srv)
+    p_srv.add_argument("--port", type=int, default=8642)
+    p_srv.add_argument("--failure-rate", type=float, default=0.0)
+    p_srv.set_defaults(func=cmd_serve)
+
+    p_san = sub.add_parser("sanitise", help="run §3 valley sanitation")
+    _add_common(p_san)
+    p_san.add_argument("--store", required=True)
+    p_san.add_argument("--delete", action="store_true",
+                       help="actually delete valley snapshots")
+    p_san.set_defaults(func=cmd_sanitise)
+
+    p_exp = sub.add_parser("export", help="export figure/table data")
+    _add_common(p_exp)
+    p_exp.add_argument("--store", help="dataset directory (else generate "
+                                       "in memory)")
+    p_exp.add_argument("--out", required=True, help="CSV output directory")
+    p_exp.add_argument("--json", help="also write one JSON bundle here")
+    p_exp.set_defaults(func=cmd_export)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Collection substrate: snapshots, dataset store, sanitation, scraper."""
+
+from .sanitation import (
+    DEFAULT_DROP_THRESHOLD,
+    SanitationReport,
+    sanitise,
+    sanitise_many,
+)
+from . import mrt
+from .scraper import ScrapeReport, SnapshotScraper
+from .snapshot import Snapshot, snapshots_sorted
+from .store import DatasetStore
+
+__all__ = [
+    "Snapshot", "snapshots_sorted", "DatasetStore",
+    "SnapshotScraper", "ScrapeReport", "mrt",
+    "SanitationReport", "sanitise", "sanitise_many",
+    "DEFAULT_DROP_THRESHOLD",
+]

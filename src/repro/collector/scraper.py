@@ -1,0 +1,98 @@
+"""Snapshot scraper: drives the LG client the way §3 describes.
+
+For each (IXP, family): first fetch the summary (the list of peers and
+their route counts), then collect all accepted routes per peer, then
+assemble a :class:`~repro.collector.snapshot.Snapshot`. The community
+dictionary is the union of the LG ``/config`` payload and a "website"
+dictionary supplied by the caller (§3's two sources).
+
+Collection is resilient: a peer whose route fetch keeps failing is
+recorded in the report rather than aborting the snapshot — partial
+snapshots are exactly what the sanitation pass (§3) exists to catch.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..bgp.route import Route
+from ..ixp.dictionary import CommunityDictionary
+from ..ixp.member import Member, MemberRole
+from ..lg.client import LookingGlassClient, LookingGlassError
+from .snapshot import Snapshot
+
+
+@dataclass
+class ScrapeReport:
+    """Outcome of one snapshot collection."""
+
+    snapshot: Optional[Snapshot] = None
+    peers_attempted: int = 0
+    peers_collected: int = 0
+    peers_failed: List[int] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.peers_failed and self.snapshot is not None
+
+
+class SnapshotScraper:
+    """Collects one snapshot from a Looking Glass."""
+
+    def __init__(self, client: LookingGlassClient) -> None:
+        self.client = client
+
+    def fetch_dictionary(
+            self,
+            website_dictionary: Optional[CommunityDictionary] = None,
+    ) -> CommunityDictionary:
+        """The §3 dictionary: LG config ∪ website documentation."""
+        rs_dictionary = self.client.config_dictionary()
+        if website_dictionary is None:
+            return rs_dictionary
+        return CommunityDictionary.union(
+            rs_dictionary.ixp_name, rs_dictionary, website_dictionary)
+
+    def collect(self, captured_on: Optional[str] = None) -> ScrapeReport:
+        """Collect the snapshot: summary first, then per-peer routes."""
+        report = ScrapeReport()
+        captured_on = captured_on or _dt.date.today().isoformat()
+        neighbors = self.client.neighbors()
+        members: List[Member] = []
+        routes: List[Route] = []
+        filtered_count = 0
+        for neighbor in neighbors:
+            if not neighbor.established:
+                continue
+            report.peers_attempted += 1
+            members.append(Member(
+                asn=neighbor.asn,
+                name=neighbor.name,
+                role=MemberRole.ACCESS_ISP,  # role is not observable
+                at_rs_v4=self.client.family == 4,
+                at_rs_v6=self.client.family == 6,
+            ))
+            try:
+                peer_routes = list(self.client.routes(neighbor.asn))
+            except LookingGlassError:
+                report.peers_failed.append(neighbor.asn)
+                continue
+            report.peers_collected += 1
+            routes.extend(peer_routes)
+            filtered_count += neighbor.routes_filtered
+        report.snapshot = Snapshot(
+            ixp=self.client.ixp,
+            family=self.client.family,
+            captured_on=captured_on,
+            members=members,
+            routes=routes,
+            filtered_count=filtered_count,
+            meta={
+                "source": self.client.base_url,
+                "peers_failed": list(report.peers_failed),
+                "degraded": bool(report.peers_failed),
+            },
+        )
+        return report

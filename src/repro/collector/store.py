@@ -1,0 +1,107 @@
+"""On-disk dataset store.
+
+The paper releases "a twelve-week dataset containing daily snapshots …
+and a dictionary containing more than 3000 communities". This store
+keeps the same two artefacts:
+
+* one gzipped JSON file per snapshot under
+  ``<root>/<ixp>/v<family>/<date>.json.gz``, and
+* one JSON dictionary file per IXP under
+  ``<root>/<ixp>/dictionary.json``.
+
+The layout is intentionally boring: everything is introspectable with
+``zcat`` and ``jq``.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..ixp.dictionary import CommunityDictionary
+from .snapshot import Snapshot
+
+
+class DatasetStore:
+    """Filesystem-backed store of snapshots and dictionaries."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- snapshots -----------------------------------------------------
+
+    def _snapshot_path(self, ixp: str, family: int, date: str) -> Path:
+        return self.root / ixp / f"v{family}" / f"{date}.json.gz"
+
+    def save_snapshot(self, snapshot: Snapshot) -> Path:
+        path = self._snapshot_path(
+            snapshot.ixp, snapshot.family, snapshot.captured_on)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            json.dump(snapshot.to_dict(), handle, separators=(",", ":"))
+        return path
+
+    def load_snapshot(self, ixp: str, family: int, date: str) -> Snapshot:
+        path = self._snapshot_path(ixp, family, date)
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            return Snapshot.from_dict(json.load(handle))
+
+    def delete_snapshot(self, ixp: str, family: int, date: str) -> bool:
+        path = self._snapshot_path(ixp, family, date)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def snapshot_dates(self, ixp: str, family: int) -> List[str]:
+        directory = self.root / ixp / f"v{family}"
+        if not directory.is_dir():
+            return []
+        return sorted(p.name[:-len(".json.gz")]
+                      for p in directory.glob("*.json.gz"))
+
+    def iter_snapshots(self, ixp: str, family: int) -> Iterator[Snapshot]:
+        for date in self.snapshot_dates(ixp, family):
+            yield self.load_snapshot(ixp, family, date)
+
+    def latest_snapshot(self, ixp: str, family: int) -> Optional[Snapshot]:
+        dates = self.snapshot_dates(ixp, family)
+        if not dates:
+            return None
+        return self.load_snapshot(ixp, family, dates[-1])
+
+    def ixps(self) -> List[str]:
+        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+
+    # -- dictionaries ----------------------------------------------------
+
+    def save_dictionary(self, ixp: str,
+                        dictionary: CommunityDictionary) -> Path:
+        path = self.root / ixp / "dictionary.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(dictionary.to_dict(), handle, indent=1)
+        return path
+
+    def load_dictionary(self, ixp: str) -> CommunityDictionary:
+        path = self.root / ixp / "dictionary.json"
+        with open(path, encoding="utf-8") as handle:
+            return CommunityDictionary.from_dict(json.load(handle))
+
+    def has_dictionary(self, ixp: str) -> bool:
+        return (self.root / ixp / "dictionary.json").exists()
+
+    # -- bulk helpers ------------------------------------------------------
+
+    def summary_table(self, ixp: str, family: int) -> List[Dict[str, int]]:
+        """Per-date summary counters — the inputs to Tables 3 and 4."""
+        rows = []
+        for snapshot in self.iter_snapshots(ixp, family):
+            row: Dict[str, int] = {"date": snapshot.captured_on}  # type: ignore[dict-item]
+            row.update(snapshot.summary())
+            rows.append(row)
+        return rows

@@ -1,0 +1,200 @@
+"""Single-pass snapshot aggregation.
+
+All of §4/§5's analyses are views over the same per-snapshot counters, so
+this module walks a snapshot's routes exactly once and materialises a
+:class:`SnapshotAggregate` holding everything the analysis modules need:
+Fig. 1 (defined/unknown), Fig. 2 (kinds), Fig. 3 (action/informational),
+Fig. 4 (per-AS usage), Fig. 5 (per-community counts), Fig. 6/7
+(ineffective targeting), and Table 2 (per-category usage).
+
+Counting conventions follow the paper:
+
+* an *instance* is one community on one route ("if there are two action
+  communities in a route, we add two", §5.2);
+* §5-level analyses consider **standard** communities only (§4 "we focus
+  now on standard communities");
+* a route "has an action community" if at least one of its standard
+  communities is an IXP-defined action (§5.2);
+* an action community is *ineffective* when its target is a single AS
+  that has no session with this route server (§5.5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..bgp.communities import Community, StandardCommunity
+from ..collector.snapshot import Snapshot
+from ..ixp.dictionary import CommunityDictionary
+from ..ixp.taxonomy import ActionCategory, TargetKind
+from .classification import Classifier
+
+
+@dataclass
+class SnapshotAggregate:
+    """Every §4/§5 counter for one (IXP, family, day) snapshot."""
+
+    ixp: str
+    family: int
+    captured_on: str
+
+    # population
+    member_count: int = 0
+    route_count: int = 0
+    prefix_count: int = 0
+    rs_member_asns: FrozenSet[int] = frozenset()
+
+    # Fig. 1: IXP-defined vs unknown (all community kinds)
+    defined_count: int = 0
+    unknown_count: int = 0
+
+    # Fig. 2: kinds among IXP-defined instances
+    kind_counts: Counter = field(default_factory=Counter)
+
+    # Fig. 3: standard IXP-defined split
+    std_action_count: int = 0
+    std_informational_count: int = 0
+
+    # Fig. 4: per-AS usage (standard action instances)
+    per_as_action: Counter = field(default_factory=Counter)
+    per_as_routes: Counter = field(default_factory=Counter)
+    routes_with_action: int = 0
+    ases_using_actions: Set[int] = field(default_factory=set)
+
+    # Table 2 / §5.3: categories
+    category_instances: Counter = field(default_factory=Counter)
+    ases_by_category: Dict[ActionCategory, Set[int]] = field(
+        default_factory=dict)
+
+    # Fig. 5: per-community action counts
+    community_instances: Counter = field(default_factory=Counter)
+
+    # §5.5 / Figs. 6-7: ineffective targeting
+    ineffective_instances: int = 0
+    ineffective_by_community: Counter = field(default_factory=Counter)
+    ineffective_by_culprit: Counter = field(default_factory=Counter)
+    effective_targets: Counter = field(default_factory=Counter)
+    ineffective_targets: Counter = field(default_factory=Counter)
+
+    # -- derived ---------------------------------------------------------
+
+    @property
+    def total_instances(self) -> int:
+        return self.defined_count + self.unknown_count
+
+    @property
+    def defined_share(self) -> float:
+        total = self.total_instances
+        return self.defined_count / total if total else 0.0
+
+    @property
+    def standard_share(self) -> float:
+        """Standard share among IXP-defined instances (Fig. 2)."""
+        total = sum(self.kind_counts.values())
+        return self.kind_counts["standard"] / total if total else 0.0
+
+    @property
+    def action_share(self) -> float:
+        """Action share among standard IXP-defined instances (Fig. 3)."""
+        total = self.std_action_count + self.std_informational_count
+        return self.std_action_count / total if total else 0.0
+
+    @property
+    def action_instances(self) -> int:
+        return self.std_action_count
+
+    @property
+    def members_using_actions_fraction(self) -> float:
+        if not self.member_count:
+            return 0.0
+        return len(self.ases_using_actions) / self.member_count
+
+    @property
+    def routes_with_action_fraction(self) -> float:
+        return (self.routes_with_action / self.route_count
+                if self.route_count else 0.0)
+
+    @property
+    def ineffective_share(self) -> float:
+        """Fraction of action instances targeting non-RS members."""
+        return (self.ineffective_instances / self.std_action_count
+                if self.std_action_count else 0.0)
+
+    def category_users_fraction(self, category: ActionCategory) -> float:
+        users = self.ases_by_category.get(category, set())
+        return len(users) / self.member_count if self.member_count else 0.0
+
+    def top_communities(self, limit: int = 20) -> List[
+            Tuple[StandardCommunity, int]]:
+        """Fig. 5: the most-seen action communities."""
+        return self.community_instances.most_common(limit)
+
+    def top_ineffective_communities(self, limit: int = 20) -> List[
+            Tuple[StandardCommunity, int]]:
+        """Fig. 6: most-seen actions targeting non-RS members."""
+        return self.ineffective_by_community.most_common(limit)
+
+    def top_culprits(self, limit: int = 10) -> List[Tuple[int, int]]:
+        """Fig. 7: ASes tagging the most ineffective communities."""
+        return self.ineffective_by_culprit.most_common(limit)
+
+
+def aggregate_snapshot(snapshot: Snapshot,
+                       dictionary: CommunityDictionary,
+                       classifier: Optional[Classifier] = None,
+                       ) -> SnapshotAggregate:
+    """Walk *snapshot* once and produce its :class:`SnapshotAggregate`."""
+    classifier = classifier or Classifier(dictionary)
+    aggregate = SnapshotAggregate(
+        ixp=snapshot.ixp,
+        family=snapshot.family,
+        captured_on=snapshot.captured_on,
+        member_count=snapshot.member_count,
+        route_count=snapshot.route_count,
+        prefix_count=snapshot.prefix_count,
+        rs_member_asns=frozenset(snapshot.member_asns()),
+    )
+    rs_asns = aggregate.rs_member_asns
+    for category in ActionCategory:
+        aggregate.ases_by_category[category] = set()
+
+    for route in snapshot.routes:
+        peer = route.peer_asn
+        aggregate.per_as_routes[peer] += 1
+        route_has_action = False
+        for classified in classifier.classify_route(route):
+            if not classified.ixp_defined:
+                aggregate.unknown_count += 1
+                continue
+            aggregate.defined_count += 1
+            aggregate.kind_counts[classified.kind] += 1
+            if classified.kind != "standard":
+                continue
+            if classified.is_informational:
+                aggregate.std_informational_count += 1
+                continue
+            # standard IXP-defined action instance
+            aggregate.std_action_count += 1
+            route_has_action = True
+            aggregate.per_as_action[peer] += 1
+            aggregate.ases_using_actions.add(peer)
+            category = classified.category
+            assert category is not None
+            aggregate.category_instances[category] += 1
+            aggregate.ases_by_category[category].add(peer)
+            community = classified.community
+            aggregate.community_instances[community] += 1
+            target_asn = classified.target_asn
+            if target_asn is not None:
+                if target_asn in rs_asns:
+                    aggregate.effective_targets[target_asn] += 1
+                else:
+                    aggregate.ineffective_instances += 1
+                    aggregate.ineffective_by_community[community] += 1
+                    aggregate.ineffective_by_culprit[peer] += 1
+                    aggregate.ineffective_targets[target_asn] += 1
+        if route_has_action:
+            aggregate.routes_with_action += 1
+    return aggregate

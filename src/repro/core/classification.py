@@ -1,0 +1,93 @@
+"""Community classification against an IXP dictionary.
+
+The first stage of the paper's pipeline: every community instance seen on
+a route is classified along three axes —
+
+1. **kind**: standard / extended / large (Fig. 2);
+2. **IXP-defined vs unknown**: does the IXP's dictionary resolve it
+   (Fig. 1)?
+3. **role**: informational vs action, and for actions the category and
+   target (Figs. 3, 5–7, Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..bgp.communities import Community
+from ..bgp.route import Route
+from ..ixp.dictionary import CommunityDictionary, Semantics
+from ..ixp.taxonomy import ActionCategory, CommunityRole, Target, TargetKind
+
+
+@dataclass(frozen=True)
+class ClassifiedCommunity:
+    """One community instance with its classification."""
+
+    community: Community
+    kind: str                          # "standard" | "extended" | "large"
+    semantics: Optional[Semantics]     # None → unknown to the IXP
+
+    @property
+    def ixp_defined(self) -> bool:
+        return self.semantics is not None
+
+    @property
+    def is_action(self) -> bool:
+        return self.semantics is not None and self.semantics.is_action
+
+    @property
+    def is_informational(self) -> bool:
+        return (self.semantics is not None
+                and self.semantics.role is CommunityRole.INFORMATIONAL)
+
+    @property
+    def category(self) -> Optional[ActionCategory]:
+        return self.semantics.category if self.semantics else None
+
+    @property
+    def target(self) -> Optional[Target]:
+        return self.semantics.target if self.semantics else None
+
+    @property
+    def target_asn(self) -> Optional[int]:
+        """The targeted peer ASN, when the target is a single AS."""
+        target = self.target
+        if target is not None and target.kind is TargetKind.PEER_AS:
+            return target.asn
+        return None
+
+
+class Classifier:
+    """Memoising classifier for one IXP dictionary.
+
+    The same community value appears on thousands of routes, so lookups
+    are cached; a full snapshot classifies in one pass.
+    """
+
+    def __init__(self, dictionary: CommunityDictionary) -> None:
+        self.dictionary = dictionary
+        self._cache: Dict[Community, ClassifiedCommunity] = {}
+
+    def classify(self, community: Community) -> ClassifiedCommunity:
+        cached = self._cache.get(community)
+        if cached is None:
+            cached = ClassifiedCommunity(
+                community=community,
+                kind=community.kind,
+                semantics=self.dictionary.lookup(community),
+            )
+            self._cache[community] = cached
+        return cached
+
+    def classify_route(self, route: Route) -> List[ClassifiedCommunity]:
+        """Classify every community instance on *route* (all flavours)."""
+        return [self.classify(community)
+                for community in route.all_communities()]
+
+    def iter_action_communities(
+            self, route: Route) -> Iterator[ClassifiedCommunity]:
+        for classified in self.classify_route(route):
+            if classified.is_action:
+                yield classified

@@ -1,0 +1,108 @@
+"""Figure/table data export (CSV and JSON).
+
+The paper releases its dataset for reproduction; this module gives the
+same courtesy: every figure/table view of a :class:`Study` can be
+written as plain CSV (one file per artefact) or one JSON bundle, ready
+for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .pipeline import Study
+
+#: artefact name → Study method building its rows (per family).
+_FAMILY_ARTEFACTS = (
+    ("fig1_defined_vs_unknown", "ixp_defined_vs_unknown"),
+    ("fig2_community_kinds", "community_kinds"),
+    ("fig3_action_vs_informational", "action_vs_informational"),
+    ("fig4a_ases_using_actions", "ases_using_actions"),
+    ("fig4b_concentration", "usage_concentration"),
+    ("fig4c_correlation", "prefix_community_correlation"),
+    ("table2_ases_per_type", "table2"),
+    ("s53_occurrences_per_type", "occurrences_per_action_type"),
+    ("s55_ineffective_summary", "ineffective_summary"),
+)
+
+#: per-IXP artefacts (name, Study method, limit kwarg).
+_PER_IXP_ARTEFACTS = (
+    ("fig5_top_communities", "top_action_communities", 20),
+    ("fig6_top_ineffective", "top_ineffective_communities", 20),
+    ("fig7_top_culprits", "top_culprit_ases", 10),
+)
+
+
+def write_csv(rows: Sequence[Mapping[str, object]], path: Path) -> Path:
+    """Write dict-rows to one CSV file (columns from the first row)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        path.write_text("")
+        return path
+    columns = list(rows[0].keys())
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns,
+                                extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def study_rows(study: Study,
+               families: Sequence[int] = (4, 6),
+               ) -> Dict[str, List[Dict[str, object]]]:
+    """All artefact rows of *study*, keyed by artefact name."""
+    bundle: Dict[str, List[Dict[str, object]]] = {
+        "table1_summary": study.table1(),
+    }
+    for name, method in _FAMILY_ARTEFACTS:
+        rows: List[Dict[str, object]] = []
+        for family in families:
+            rows.extend(getattr(study, method)(family))
+        bundle[name] = rows
+    ixps = sorted({ixp for ixp, _family in study.snapshots})
+    for name, method, limit in _PER_IXP_ARTEFACTS:
+        rows = []
+        for ixp in ixps:
+            for family in families:
+                if (ixp, family) not in study.snapshots:
+                    continue
+                rows.extend(getattr(study, method)(ixp, family, limit))
+        bundle[name] = rows
+    # Fig. 4b full curves, flattened
+    curves: List[Dict[str, object]] = []
+    for ixp in ixps:
+        for family in families:
+            if (ixp, family) not in study.snapshots:
+                continue
+            for as_fraction, share in study.concentration_curve(
+                    ixp, family):
+                curves.append({"ixp": ixp, "family": family,
+                               "as_fraction": as_fraction,
+                               "cumulative_share": share})
+    bundle["fig4b_curves"] = curves
+    return bundle
+
+
+def export_study_csv(study: Study, directory: Path,
+                     families: Sequence[int] = (4, 6)) -> List[Path]:
+    """Write one CSV per artefact under *directory*; returns the paths."""
+    directory = Path(directory)
+    paths = []
+    for name, rows in study_rows(study, families).items():
+        paths.append(write_csv(rows, directory / f"{name}.csv"))
+    return sorted(paths)
+
+
+def export_study_json(study: Study, path: Path,
+                      families: Sequence[int] = (4, 6)) -> Path:
+    """Write the whole artefact bundle as one JSON document."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(study_rows(study, families), handle, indent=1)
+    return path

@@ -1,0 +1,111 @@
+"""§5.3–§5.4 analyses: Table 2, per-category occurrences, and Fig. 5.
+
+Which action types ASes use, how many instances each type contributes,
+and which specific communities (and therefore targets) top the charts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..ixp.dictionary import CommunityDictionary
+from ..ixp.taxonomy import ActionCategory, TargetKind
+from ..workload.registry import network_name
+from .aggregate import SnapshotAggregate
+
+#: Table 2 row order.
+CATEGORY_ORDER = (
+    ActionCategory.DO_NOT_ANNOUNCE_TO,
+    ActionCategory.ANNOUNCE_ONLY_TO,
+    ActionCategory.PREPEND_TO,
+    ActionCategory.BLACKHOLING,
+)
+
+
+def ases_per_action_type(
+        aggregates: Iterable[SnapshotAggregate]) -> List[Dict[str, object]]:
+    """Table 2: number and fraction of RS member ASes using each action
+    community type."""
+    rows = []
+    for aggregate in aggregates:
+        for category in CATEGORY_ORDER:
+            users = aggregate.ases_by_category.get(category, set())
+            rows.append({
+                "ixp": aggregate.ixp,
+                "family": aggregate.family,
+                "category": category.value,
+                "ases": len(users),
+                "fraction": (len(users) / aggregate.member_count
+                             if aggregate.member_count else 0.0),
+            })
+    return rows
+
+
+def occurrences_per_action_type(
+        aggregates: Iterable[SnapshotAggregate]) -> List[Dict[str, object]]:
+    """§5.3 in-text numbers: occurrences of each action type.
+
+    The paper: do-not-announce-to 66.6–92.0%, announce-only-to
+    17.7–31.4%, prepend-to <1.9%, blackholing <0.4% (IPv4).
+    """
+    rows = []
+    for aggregate in aggregates:
+        total = sum(aggregate.category_instances.values())
+        for category in CATEGORY_ORDER:
+            count = aggregate.category_instances.get(category, 0)
+            rows.append({
+                "ixp": aggregate.ixp,
+                "family": aggregate.family,
+                "category": category.value,
+                "instances": count,
+                "share": count / total if total else 0.0,
+            })
+    return rows
+
+
+def top_action_communities(
+        aggregate: SnapshotAggregate,
+        dictionary: CommunityDictionary,
+        limit: int = 20) -> List[Dict[str, object]]:
+    """Fig. 5: the top-N most used action communities at one IXP, with
+    category, target, and whether the target is at the RS."""
+    rows = []
+    total = aggregate.action_instances
+    for community, count in aggregate.top_communities(limit):
+        semantics = dictionary.lookup(community)
+        target = semantics.target if semantics else None
+        target_asn = (target.asn if target is not None
+                      and target.kind is TargetKind.PEER_AS else None)
+        rows.append({
+            "ixp": aggregate.ixp,
+            "family": aggregate.family,
+            "community": str(community),
+            "category": (semantics.category.value
+                         if semantics and semantics.category else None),
+            "target": str(target) if target is not None else None,
+            "target_name": (network_name(target_asn)
+                            if target_asn is not None else None),
+            "target_at_rs": (target_asn in aggregate.rs_member_asns
+                             if target_asn is not None else None),
+            "instances": count,
+            "share": count / total if total else 0.0,
+        })
+    return rows
+
+
+def top_target_intersection(per_ixp_tops: Dict[str, List[Dict[str, object]]],
+                            ) -> List[int]:
+    """§5.4: targeted ASNs common to the top lists of *all* given IXPs
+    (the paper finds six common avoided ASes among the four largest)."""
+    sets = []
+    for rows in per_ixp_tops.values():
+        asns = set()
+        for row in rows:
+            target = row.get("target")
+            if isinstance(target, str) and target.startswith("AS"):
+                asns.add(int(target[2:]))
+        sets.append(asns)
+    if not sets:
+        return []
+    common = set.intersection(*sets)
+    return sorted(common)

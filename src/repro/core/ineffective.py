@@ -1,0 +1,116 @@
+"""§5.5 analyses: ineffective action communities (Figures 6 and 7).
+
+Action communities targeting ASes with no session at the route server
+achieve nothing — "no practical routing effect and only increasing
+processing and memory storage overheads". This module quantifies them:
+their overall share, the top communities doing it (Fig. 6), and the
+"culprit" ASes responsible (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..ixp.dictionary import CommunityDictionary
+from ..ixp.taxonomy import TargetKind
+from ..workload.registry import network_name
+from .aggregate import SnapshotAggregate
+
+
+def ineffective_summary(
+        aggregates: Iterable[SnapshotAggregate]) -> List[Dict[str, object]]:
+    """Per-IXP share of action instances targeting non-RS members.
+
+    The paper: 31.8% (IX.br-SP) to 64.3% (LINX) for IPv4.
+    """
+    rows = []
+    for aggregate in aggregates:
+        rows.append({
+            "ixp": aggregate.ixp,
+            "family": aggregate.family,
+            "action_instances": aggregate.action_instances,
+            "ineffective_instances": aggregate.ineffective_instances,
+            "ineffective_share": aggregate.ineffective_share,
+        })
+    return rows
+
+
+def top_ineffective_communities(
+        aggregate: SnapshotAggregate,
+        dictionary: CommunityDictionary,
+        limit: int = 20) -> List[Dict[str, object]]:
+    """Fig. 6: top-N action communities targeting non-RS members."""
+    total = aggregate.ineffective_instances
+    # Rank of each community in the *overall* top list, to reproduce the
+    # paper's observation that many ineffective communities are also
+    # among the most popular overall.
+    overall_rank = {community: rank for rank, (community, _count)
+                    in enumerate(aggregate.top_communities(20), start=1)}
+    rows = []
+    for community, count in aggregate.top_ineffective_communities(limit):
+        semantics = dictionary.lookup(community)
+        target = semantics.target if semantics else None
+        target_asn = (target.asn if target is not None
+                      and target.kind is TargetKind.PEER_AS else None)
+        rows.append({
+            "ixp": aggregate.ixp,
+            "family": aggregate.family,
+            "community": str(community),
+            "category": (semantics.category.value
+                         if semantics and semantics.category else None),
+            "target": str(target) if target is not None else None,
+            "target_name": (network_name(target_asn)
+                            if target_asn is not None else None),
+            "instances": count,
+            "share_of_ineffective": count / total if total else 0.0,
+            "overall_top20_rank": overall_rank.get(community),
+        })
+    return rows
+
+
+def overlap_with_overall_top(aggregate: SnapshotAggregate,
+                             limit: int = 20) -> int:
+    """§5.5: how many of the overall top-*limit* action communities
+    target non-RS members (six at IX.br-SP, four at DE-CIX, ten at LINX,
+    eight at AMS-IX for IPv4)."""
+    ineffective = set(aggregate.ineffective_by_community)
+    return sum(1 for community, _count in aggregate.top_communities(limit)
+               if community in ineffective)
+
+
+def top_culprit_ases(
+        aggregate: SnapshotAggregate,
+        limit: int = 10) -> List[Dict[str, object]]:
+    """Fig. 7: ASes announcing the most routes with action communities
+    targeting non-RS members — mostly large ISPs, with Hurricane
+    Electric responsible for 24.2–59.4% of cases everywhere."""
+    total = aggregate.ineffective_instances
+    rows = []
+    for asn, count in aggregate.top_culprits(limit):
+        rows.append({
+            "ixp": aggregate.ixp,
+            "family": aggregate.family,
+            "asn": asn,
+            "name": network_name(asn),
+            "instances": count,
+            "share": count / total if total else 0.0,
+        })
+    return rows
+
+
+def culprit_share(aggregate: SnapshotAggregate, asn: int) -> float:
+    """Share of one AS in the IXP's ineffective instances (the paper
+    tracks Hurricane Electric, AS6939)."""
+    if not aggregate.ineffective_instances:
+        return 0.0
+    return (aggregate.ineffective_by_culprit.get(asn, 0)
+            / aggregate.ineffective_instances)
+
+
+def culprit_overlap(per_ixp_culprits: Dict[str, List[Dict[str, object]]],
+                    first: str, second: str) -> List[int]:
+    """§5.5: culprit ASNs appearing in the top-10 of two IXPs (the paper
+    finds seven of the DE-CIX top-10 also in the AMS-IX top-10)."""
+    def asn_set(key: str) -> set:
+        return {row["asn"] for row in per_ixp_culprits.get(key, ())}
+    return sorted(asn_set(first) & asn_set(second))

@@ -1,0 +1,118 @@
+"""Extension analysis: extended and large action communities.
+
+The paper explicitly scopes these out ("leaving the others for future
+work", §4). This module implements that future work on the same
+aggregates' inputs: how many members mirror their standard actions into
+RFC 8092 large (or RFC 4360 extended) encodings, which categories the
+mirrors express, and whether the mirrored targets are consistent with
+the standard ones.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..bgp.communities import LargeCommunity, StandardCommunity
+from ..collector.snapshot import Snapshot
+from ..ixp.dictionary import CommunityDictionary
+from ..ixp.taxonomy import ActionCategory, TargetKind
+from .classification import Classifier
+
+
+@dataclass
+class NonStandardAggregate:
+    """Counters over extended/large IXP-defined action instances."""
+
+    ixp: str
+    family: int
+    large_action_instances: int = 0
+    extended_action_instances: int = 0
+    ases_using_large: Set[int] = field(default_factory=set)
+    ases_using_extended: Set[int] = field(default_factory=set)
+    category_instances: Counter = field(default_factory=Counter)
+    #: routes where a large/extended action appears alongside a standard
+    #: action naming the same target (the "mirror" pattern).
+    mirrored_routes: int = 0
+    #: routes carrying a non-standard action with NO standard mirror —
+    #: semantics only expressible in the wider encodings (e.g. 32-bit
+    #: targets).
+    exclusive_routes: int = 0
+
+    @property
+    def total_instances(self) -> int:
+        return self.large_action_instances + self.extended_action_instances
+
+    @property
+    def mirror_consistency(self) -> float:
+        total = self.mirrored_routes + self.exclusive_routes
+        return self.mirrored_routes / total if total else 0.0
+
+
+def aggregate_nonstandard(snapshot: Snapshot,
+                          dictionary: CommunityDictionary,
+                          ) -> NonStandardAggregate:
+    """Walk *snapshot* and count extended/large action usage."""
+    classifier = Classifier(dictionary)
+    aggregate = NonStandardAggregate(ixp=snapshot.ixp,
+                                     family=snapshot.family)
+    for route in snapshot.routes:
+        standard_targets: Set[int] = set()
+        nonstd_targets: Set[int] = set()
+        has_nonstd = False
+        for classified in classifier.classify_route(route):
+            if not classified.is_action:
+                continue
+            target_asn = classified.target_asn
+            if classified.kind == "standard":
+                if target_asn is not None:
+                    standard_targets.add(target_asn)
+                continue
+            has_nonstd = True
+            if classified.kind == "large":
+                aggregate.large_action_instances += 1
+                aggregate.ases_using_large.add(route.peer_asn)
+            else:
+                aggregate.extended_action_instances += 1
+                aggregate.ases_using_extended.add(route.peer_asn)
+            category = classified.category
+            assert category is not None
+            aggregate.category_instances[category] += 1
+            if target_asn is not None:
+                nonstd_targets.add(target_asn)
+        if has_nonstd:
+            if nonstd_targets and nonstd_targets <= standard_targets:
+                aggregate.mirrored_routes += 1
+            else:
+                aggregate.exclusive_routes += 1
+    return aggregate
+
+
+def nonstandard_summary(
+        snapshots_and_dictionaries: Iterable[
+            Tuple[Snapshot, CommunityDictionary]],
+) -> List[Dict[str, object]]:
+    """Row view of the extension analysis, one row per snapshot."""
+    rows = []
+    for snapshot, dictionary in snapshots_and_dictionaries:
+        aggregate = aggregate_nonstandard(snapshot, dictionary)
+        rows.append({
+            "ixp": aggregate.ixp,
+            "family": aggregate.family,
+            "large_instances": aggregate.large_action_instances,
+            "extended_instances": aggregate.extended_action_instances,
+            "ases_using_large": len(aggregate.ases_using_large),
+            "ases_using_extended": len(aggregate.ases_using_extended),
+            "mirror_consistency": aggregate.mirror_consistency,
+            "dna_share": _category_share(
+                aggregate, ActionCategory.DO_NOT_ANNOUNCE_TO),
+        })
+    return rows
+
+
+def _category_share(aggregate: NonStandardAggregate,
+                    category: ActionCategory) -> float:
+    total = sum(aggregate.category_instances.values())
+    return (aggregate.category_instances[category] / total
+            if total else 0.0)

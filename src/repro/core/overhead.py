@@ -1,0 +1,127 @@
+"""§5.6 operational implications, quantified.
+
+The paper's discussion section argues that communities targeting
+non-RS-members create "unnecessary overheads at the IXP infrastructure"
+and mentions DE-CIX's countermeasure — filtering routes with "too many
+communities" — as an incentive for ASes to hygienise their tagging.
+This module turns both arguments into numbers:
+
+* :func:`overhead_summary` — memory (attribute bytes in the RIB) and
+  processing (policy lookups per route propagation) attributable to
+  ineffective action communities;
+* :func:`max_communities_cap_sweep` — how many routes a given
+  max-communities import cap would reject, per cap value, and how much
+  of the rejected tagging is ineffective anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..collector.snapshot import Snapshot
+from ..ixp.dictionary import CommunityDictionary
+from .aggregate import SnapshotAggregate
+from .classification import Classifier
+
+#: wire size of one community instance per flavour (RFC 1997/4360/8092).
+_BYTES_PER_KIND = {"standard": 4, "extended": 8, "large": 12}
+
+
+def overhead_summary(aggregate: SnapshotAggregate) -> Dict[str, object]:
+    """RS overheads attributable to community tagging (one snapshot).
+
+    Memory: bytes of community attributes held in the Adj-RIB-Ins.
+    Processing: every accepted route's action communities are evaluated
+    once per candidate export peer — ineffective targets burn those
+    lookups for nothing (§5.5: "only increasing processing and memory
+    storage overheads").
+    """
+    community_bytes = sum(
+        count * _BYTES_PER_KIND[kind]
+        for kind, count in aggregate.kind_counts.items())
+    # unknown instances are standard-sized in our substrate
+    community_bytes += 4 * aggregate.unknown_count
+    ineffective_bytes = 4 * aggregate.ineffective_instances
+    peers = max(0, aggregate.member_count - 1)
+    total_lookups = aggregate.std_action_count * peers
+    wasted_lookups = aggregate.ineffective_instances * peers
+    return {
+        "ixp": aggregate.ixp,
+        "family": aggregate.family,
+        "community_bytes": community_bytes,
+        "ineffective_bytes": ineffective_bytes,
+        "ineffective_bytes_share": (
+            ineffective_bytes / community_bytes if community_bytes
+            else 0.0),
+        "policy_lookups_per_propagation": total_lookups,
+        "wasted_lookups_per_propagation": wasted_lookups,
+        "wasted_lookup_share": (wasted_lookups / total_lookups
+                                if total_lookups else 0.0),
+    }
+
+
+@dataclass(frozen=True)
+class CapSweepRow:
+    """Effect of one max-communities import cap."""
+
+    cap: int
+    rejected_routes: int
+    rejected_fraction: float
+    #: action instances the cap would remove from the RIB...
+    suppressed_action_instances: int
+    #: ...of which this many were ineffective anyway.
+    suppressed_ineffective_instances: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "cap": self.cap,
+            "rejected_routes": self.rejected_routes,
+            "rejected_fraction": self.rejected_fraction,
+            "suppressed_action_instances":
+                self.suppressed_action_instances,
+            "suppressed_ineffective_instances":
+                self.suppressed_ineffective_instances,
+        }
+
+
+def max_communities_cap_sweep(snapshot: Snapshot,
+                              dictionary: CommunityDictionary,
+                              caps: Sequence[int] = (100, 50, 30, 20, 10),
+                              ) -> List[CapSweepRow]:
+    """Simulate DE-CIX's "too many communities" import cap (§5.6).
+
+    For each cap, count the routes whose total community count exceeds
+    it, and how many of their action instances were ineffective —
+    i.e. how well the blunt cap aligns with the actual waste.
+    """
+    classifier = Classifier(dictionary)
+    rs_members = frozenset(snapshot.member_asns())
+    per_route: List[tuple] = []
+    for route in snapshot.routes:
+        actions = 0
+        ineffective = 0
+        for classified in classifier.classify_route(route):
+            if not classified.is_action or classified.kind != "standard":
+                continue
+            actions += 1
+            target = classified.target_asn
+            if target is not None and target not in rs_members:
+                ineffective += 1
+        per_route.append((route.community_count, actions, ineffective))
+
+    total_routes = len(per_route)
+    rows: List[CapSweepRow] = []
+    for cap in sorted(caps, reverse=True):
+        rejected = [(count, actions, ineffective)
+                    for count, actions, ineffective in per_route
+                    if count > cap]
+        rows.append(CapSweepRow(
+            cap=cap,
+            rejected_routes=len(rejected),
+            rejected_fraction=(len(rejected) / total_routes
+                               if total_routes else 0.0),
+            suppressed_action_instances=sum(r[1] for r in rejected),
+            suppressed_ineffective_instances=sum(r[2] for r in rejected),
+        ))
+    return rows

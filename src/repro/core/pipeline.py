@@ -1,0 +1,190 @@
+"""End-to-end study pipeline.
+
+Glues the substrates together the way the paper's methodology does:
+
+1. **generate/collect** snapshots per IXP and family (synthetic stand-in
+   for the LG scraping, or actual LG scraping via
+   :mod:`repro.collector.scraper`);
+2. **sanitise** daily series (valley rule, §3);
+3. **aggregate** the analysis snapshot (latest weekly, §4);
+4. expose every figure/table through one :class:`Study` object.
+
+``Study`` is the main entry point of the public API::
+
+    from repro import Study
+    study = Study.synthetic(scale=0.05)
+    fig3 = study.action_vs_informational()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..collector.sanitation import SanitationReport, sanitise
+from ..collector.snapshot import Snapshot
+from ..ixp.dictionary import CommunityDictionary
+from ..ixp.profiles import (
+    ALL_IXPS,
+    LARGE_FOUR,
+    IxpProfile,
+    get_profile,
+)
+from ..ixp.schemes import dictionary_for
+from ..workload.generator import (
+    FINAL_WEEKLY_DAY,
+    ScenarioConfig,
+    SnapshotGenerator,
+)
+from . import favorites, ineffective, prevalence, stability, summary, usage
+from .aggregate import SnapshotAggregate, aggregate_snapshot
+from .classification import Classifier
+
+Key = Tuple[str, int]  # (ixp key, family)
+
+
+@dataclass
+class Study:
+    """A loaded study: one analysis snapshot per (IXP, family), plus the
+    dictionaries needed to classify them."""
+
+    snapshots: Dict[Key, Snapshot] = field(default_factory=dict)
+    dictionaries: Dict[str, CommunityDictionary] = field(default_factory=dict)
+    _aggregates: Dict[Key, SnapshotAggregate] = field(default_factory=dict)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def synthetic(cls, ixps: Sequence[str] = LARGE_FOUR,
+                  families: Sequence[int] = (4, 6),
+                  scale: float = 0.05,
+                  seed: int = 20211004,
+                  day: int = FINAL_WEEKLY_DAY) -> "Study":
+        """Build a study from the synthetic generator (no I/O)."""
+        study = cls()
+        config = ScenarioConfig(scale=scale, seed=seed)
+        for ixp_key in ixps:
+            profile = get_profile(ixp_key)
+            generator = SnapshotGenerator(profile, config)
+            study.dictionaries[ixp_key] = generator.dictionary
+            for family in families:
+                study.snapshots[(ixp_key, family)] = generator.snapshot(
+                    family, day, degraded=False)
+        return study
+
+    @classmethod
+    def from_snapshots(cls, snapshots: Iterable[Snapshot],
+                       dictionaries: Optional[
+                           Dict[str, CommunityDictionary]] = None) -> "Study":
+        """Build a study from already-collected snapshots (e.g. loaded
+        from a :class:`~repro.collector.store.DatasetStore`)."""
+        study = cls()
+        for snapshot in snapshots:
+            study.snapshots[(snapshot.ixp, snapshot.family)] = snapshot
+            if dictionaries and snapshot.ixp in dictionaries:
+                study.dictionaries[snapshot.ixp] = dictionaries[snapshot.ixp]
+            elif snapshot.ixp not in study.dictionaries:
+                study.dictionaries[snapshot.ixp] = dictionary_for(
+                    get_profile(snapshot.ixp))
+        return study
+
+    # -- aggregation ---------------------------------------------------
+
+    def aggregate(self, ixp: str, family: int) -> SnapshotAggregate:
+        key = (ixp, family)
+        if key not in self._aggregates:
+            snapshot = self.snapshots[key]
+            dictionary = self.dictionaries[ixp]
+            self._aggregates[key] = aggregate_snapshot(snapshot, dictionary)
+        return self._aggregates[key]
+
+    def aggregates(self, family: Optional[int] = None,
+                   ixps: Optional[Sequence[str]] = None,
+                   ) -> List[SnapshotAggregate]:
+        keys = sorted(self.snapshots, key=self._paper_order)
+        out = []
+        for ixp, fam in keys:
+            if family is not None and fam != family:
+                continue
+            if ixps is not None and ixp not in ixps:
+                continue
+            out.append(self.aggregate(ixp, fam))
+        return out
+
+    @staticmethod
+    def _paper_order(key: Key) -> Tuple[int, int]:
+        ixp, family = key
+        order = list(ALL_IXPS)
+        position = order.index(ixp) if ixp in order else len(order)
+        return (position, family)
+
+    # -- figures / tables ------------------------------------------------
+
+    def table1(self) -> List[Dict[str, object]]:
+        return summary.summary_table(self.snapshots.values())
+
+    def ixp_defined_vs_unknown(self, family: Optional[int] = None):
+        """Fig. 1 rows."""
+        return prevalence.ixp_defined_vs_unknown(self.aggregates(family))
+
+    def community_kinds(self, family: Optional[int] = None):
+        """Fig. 2 rows."""
+        return prevalence.community_kinds(self.aggregates(family))
+
+    def action_vs_informational(self, family: Optional[int] = None):
+        """Fig. 3 rows."""
+        return prevalence.action_vs_informational(self.aggregates(family))
+
+    def ases_using_actions(self, family: Optional[int] = None):
+        """Fig. 4a rows."""
+        return usage.ases_using_actions(self.aggregates(family))
+
+    def usage_concentration(self, family: Optional[int] = None):
+        """Fig. 4b checkpoint rows."""
+        return usage.usage_concentration(self.aggregates(family))
+
+    def concentration_curve(self, ixp: str, family: int = 4):
+        """Fig. 4b full curve for one IXP."""
+        return usage.usage_concentration_curve(self.aggregate(ixp, family))
+
+    def prefix_community_correlation(self, family: Optional[int] = None):
+        """Fig. 4c summary rows."""
+        return usage.prefix_community_correlation(self.aggregates(family))
+
+    def table2(self, family: Optional[int] = None):
+        return favorites.ases_per_action_type(self.aggregates(family))
+
+    def occurrences_per_action_type(self, family: Optional[int] = None):
+        return favorites.occurrences_per_action_type(self.aggregates(family))
+
+    def top_action_communities(self, ixp: str, family: int = 4,
+                               limit: int = 20):
+        """Fig. 5 rows for one IXP."""
+        return favorites.top_action_communities(
+            self.aggregate(ixp, family), self.dictionaries[ixp], limit)
+
+    def ineffective_summary(self, family: Optional[int] = None):
+        """§5.5 headline shares."""
+        return ineffective.ineffective_summary(self.aggregates(family))
+
+    def top_ineffective_communities(self, ixp: str, family: int = 4,
+                                    limit: int = 20):
+        """Fig. 6 rows for one IXP."""
+        return ineffective.top_ineffective_communities(
+            self.aggregate(ixp, family), self.dictionaries[ixp], limit)
+
+    def top_culprit_ases(self, ixp: str, family: int = 4, limit: int = 10):
+        """Fig. 7 rows for one IXP."""
+        return ineffective.top_culprit_ases(
+            self.aggregate(ixp, family), limit)
+
+
+def sanitised_series(generator: SnapshotGenerator, family: int,
+                     days: Sequence[int],
+                     degrade: bool = True) -> SanitationReport:
+    """Generate a daily series (optionally with failure injection) and
+    run the §3 sanitation over it."""
+    snapshots = [generator.snapshot(family, day,
+                                    degraded=None if degrade else False)
+                 for day in days]
+    return sanitise(snapshots)

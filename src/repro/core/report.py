@@ -1,0 +1,84 @@
+"""Plain-text rendering of the paper's tables and figure series.
+
+Benchmarks and examples print through these helpers so the output reads
+like the paper's artefacts ("who wins, by roughly what factor"), with a
+paper-reference column where available.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render dict-rows as a fixed-width text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        if value is None:
+            return "-"
+        return str(value)
+
+    rendered = [[cell(row.get(col)) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i])
+                       for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i])
+                               for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    return f"{value * 100:.1f}%"
+
+
+def paper_vs_measured(rows: Iterable[Mapping[str, object]],
+                      pairs: Sequence[Sequence[str]],
+                      key_column: str = "ixp",
+                      title: Optional[str] = None) -> str:
+    """A compact paper-vs-measured comparison table.
+
+    ``pairs`` is a sequence of (measured_column, paper_column) names;
+    each becomes two adjacent columns.
+    """
+    out_rows: List[Dict[str, object]] = []
+    for row in rows:
+        out: Dict[str, object] = {key_column: row.get(key_column)}
+        for measured_col, paper_col in pairs:
+            out[measured_col] = row.get(measured_col)
+            out[f"paper:{paper_col}"] = row.get(paper_col)
+        out_rows.append(out)
+    return format_table(out_rows, title=title)
+
+
+def render_share_bars(rows: Sequence[Mapping[str, object]],
+                      label_key: str, share_keys: Sequence[str],
+                      width: int = 40) -> str:
+    """ASCII stacked bars — the closest text analogue of Figs. 1–3."""
+    lines = []
+    glyphs = "#*o.@+"
+    for row in rows:
+        label = str(row.get(label_key))
+        shares = [float(row.get(key, 0.0)) for key in share_keys]
+        bar = ""
+        for index, share in enumerate(shares):
+            bar += glyphs[index % len(glyphs)] * round(share * width)
+        legend = " ".join(f"{key}={share * 100:.1f}%"
+                          for key, share in zip(share_keys, shares))
+        lines.append(f"{label:>14} |{bar:<{width}}| {legend}")
+    return "\n".join(lines)

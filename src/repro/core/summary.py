@@ -1,0 +1,66 @@
+"""Table 1: the studied IXPs in numbers.
+
+Builds the per-IXP summary (members, members at RS, observed prefixes,
+observed routes, per family) from latest snapshots, alongside the
+paper's reference values for paper-vs-measured reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..collector.snapshot import Snapshot
+from ..ixp.profiles import IxpProfile, get_profile
+
+
+def ixp_summary(snapshot_v4: Snapshot,
+                snapshot_v6: Optional[Snapshot] = None,
+                profile: Optional[IxpProfile] = None) -> Dict[str, object]:
+    """One Table 1 row from an IXP's latest v4 (and optional v6)
+    snapshots."""
+    profile = profile or get_profile(snapshot_v4.ixp)
+    row: Dict[str, object] = {
+        "ixp": profile.name,
+        "key": profile.key,
+        "location": profile.location,
+        "members_rs_v4": snapshot_v4.member_count,
+        "prefixes_v4": snapshot_v4.prefix_count,
+        "routes_v4": snapshot_v4.route_count,
+        "paper_members_total": profile.paper.members_total,
+        "paper_members_rs_v4": profile.paper.members_rs_v4,
+        "paper_prefixes_v4": profile.paper.prefixes_v4,
+        "paper_routes_v4": profile.paper.routes_v4,
+        "avg_daily_traffic": profile.paper.avg_daily_traffic,
+    }
+    if snapshot_v6 is not None:
+        row.update({
+            "members_rs_v6": snapshot_v6.member_count,
+            "prefixes_v6": snapshot_v6.prefix_count,
+            "routes_v6": snapshot_v6.route_count,
+            "paper_members_rs_v6": profile.paper.members_rs_v6,
+            "paper_prefixes_v6": profile.paper.prefixes_v6,
+            "paper_routes_v6": profile.paper.routes_v6,
+        })
+    return row
+
+
+def summary_table(snapshots: Iterable[Snapshot]) -> List[Dict[str, object]]:
+    """Table 1 from a mixed collection of latest snapshots (grouped by
+    IXP, v4 and v6 merged into one row per IXP)."""
+    by_ixp: Dict[str, Dict[int, Snapshot]] = {}
+    for snapshot in snapshots:
+        by_ixp.setdefault(snapshot.ixp, {})[snapshot.family] = snapshot
+    rows = []
+    for ixp_key in sorted(by_ixp):
+        families = by_ixp[ixp_key]
+        if 4 not in families:
+            continue
+        rows.append(ixp_summary(families[4], families.get(6)))
+    return rows
+
+
+def route_to_prefix_ratio(row: Dict[str, object], family: int = 4) -> float:
+    """Routes per distinct prefix — 1.0 at AMS-IX, up to ~2 at DE-CIX."""
+    routes = row.get(f"routes_v{family}", 0)
+    prefixes = row.get(f"prefixes_v{family}", 0)
+    return routes / prefixes if prefixes else 0.0  # type: ignore[operator]

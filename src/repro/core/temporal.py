@@ -1,0 +1,109 @@
+"""Temporal analyses over snapshot series.
+
+The paper's Appendix A only quantifies *stability* (min/max variation);
+this module supports the longitudinal questions its released dataset
+enables: how the action share, the set of tagging ASes, and the
+ineffective share move across the twelve weeks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..collector.snapshot import Snapshot, snapshots_sorted
+from ..ixp.dictionary import CommunityDictionary
+from .aggregate import SnapshotAggregate, aggregate_snapshot
+from .classification import Classifier
+
+
+def aggregate_series(snapshots: Sequence[Snapshot],
+                     dictionary: CommunityDictionary,
+                     ) -> List[SnapshotAggregate]:
+    """Aggregate a chronological series, sharing one classifier cache."""
+    classifier = Classifier(dictionary)
+    return [aggregate_snapshot(snapshot, dictionary, classifier)
+            for snapshot in snapshots_sorted(snapshots)]
+
+
+def share_trend(aggregates: Sequence[SnapshotAggregate],
+                ) -> List[Dict[str, object]]:
+    """Per-snapshot headline shares — one row per date."""
+    rows = []
+    for aggregate in aggregates:
+        rows.append({
+            "date": aggregate.captured_on,
+            "members": aggregate.member_count,
+            "routes": aggregate.route_count,
+            "defined_share": aggregate.defined_share,
+            "action_share": aggregate.action_share,
+            "members_using_actions":
+                aggregate.members_using_actions_fraction,
+            "ineffective_share": aggregate.ineffective_share,
+        })
+    return rows
+
+
+@dataclass(frozen=True)
+class TaggerChurn:
+    """Week-over-week movement in the set of action-tagging ASes."""
+
+    date: str
+    joined: Tuple[int, ...]
+    left: Tuple[int, ...]
+    stable: int
+
+    @property
+    def churn_count(self) -> int:
+        return len(self.joined) + len(self.left)
+
+
+def tagger_churn(aggregates: Sequence[SnapshotAggregate],
+                 ) -> List[TaggerChurn]:
+    """Which ASes started/stopped using action communities between
+    consecutive snapshots."""
+    churn: List[TaggerChurn] = []
+    previous: Optional[Set[int]] = None
+    for aggregate in aggregates:
+        current = set(aggregate.ases_using_actions)
+        if previous is not None:
+            churn.append(TaggerChurn(
+                date=aggregate.captured_on,
+                joined=tuple(sorted(current - previous)),
+                left=tuple(sorted(previous - current)),
+                stable=len(current & previous)))
+        previous = current
+    return churn
+
+
+def trend_slope(rows: Sequence[Dict[str, object]], key: str) -> float:
+    """Least-squares slope of a metric per snapshot step (index units).
+
+    Positive → the metric grows over the window.
+    """
+    values = [float(row[key]) for row in rows]
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean_x = (n - 1) / 2.0
+    mean_y = sum(values) / n
+    numerator = sum((i - mean_x) * (v - mean_y)
+                    for i, v in enumerate(values))
+    denominator = sum((i - mean_x) ** 2 for i in range(n))
+    return numerator / denominator if denominator else 0.0
+
+
+def persistent_targets(aggregates: Sequence[SnapshotAggregate],
+                       minimum_presence: float = 1.0) -> List[int]:
+    """Target ASNs of ineffective communities present in at least
+    ``minimum_presence`` of the snapshots — the §5.6 "defensive"
+    avoid-list entries that stay tagged week after week."""
+    if not aggregates:
+        return []
+    counts: Dict[int, int] = {}
+    for aggregate in aggregates:
+        for target in aggregate.ineffective_targets:
+            counts[target] = counts.get(target, 0) + 1
+    threshold = minimum_presence * len(aggregates)
+    return sorted(target for target, count in counts.items()
+                  if count >= threshold)

@@ -1,0 +1,142 @@
+"""§5.2 usage analyses: Figures 4a, 4b, and 4c.
+
+Who uses action communities, how concentrated the usage is across ASes,
+and how per-AS community counts correlate with per-AS route counts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .aggregate import SnapshotAggregate
+
+
+def ases_using_actions(
+        aggregates: Iterable[SnapshotAggregate]) -> List[Dict[str, object]]:
+    """Fig. 4a: ASes using action communities (count and fraction of RS
+    members) and routes tagged with at least one action community."""
+    rows = []
+    for aggregate in aggregates:
+        rows.append({
+            "ixp": aggregate.ixp,
+            "family": aggregate.family,
+            "rs_members": aggregate.member_count,
+            "ases_using_actions": len(aggregate.ases_using_actions),
+            "ases_fraction": aggregate.members_using_actions_fraction,
+            "routes": aggregate.route_count,
+            "routes_with_actions": aggregate.routes_with_action,
+            "routes_fraction": aggregate.routes_with_action_fraction,
+            "action_instances": aggregate.action_instances,
+        })
+    return rows
+
+
+def usage_concentration_curve(
+        aggregate: SnapshotAggregate) -> List[Tuple[float, float]]:
+    """Fig. 4b: cumulative share of action instances vs fraction of ASes.
+
+    ASes are ranked by descending contribution; the curve gives, for the
+    top x-fraction of RS members, the y-fraction of all action-community
+    instances they account for.
+    """
+    counts = sorted(aggregate.per_as_action.values(), reverse=True)
+    total = sum(counts)
+    members = max(aggregate.member_count, len(counts))
+    if not total or not members:
+        return []
+    curve: List[Tuple[float, float]] = []
+    cumulative = 0
+    for index, count in enumerate(counts, start=1):
+        cumulative += count
+        curve.append((index / members, cumulative / total))
+    return curve
+
+
+def concentration_at(aggregate: SnapshotAggregate,
+                     as_fraction: float) -> float:
+    """Share of action instances held by the top *as_fraction* of RS
+    members (e.g. 0.01 → the paper's "1% of the ASes" checkpoints)."""
+    counts = sorted(aggregate.per_as_action.values(), reverse=True)
+    total = sum(counts)
+    members = max(aggregate.member_count, len(counts))
+    if not total or not members:
+        return 0.0
+    top_n = max(1, math.floor(members * as_fraction))
+    return sum(counts[:top_n]) / total
+
+
+def usage_concentration(
+        aggregates: Iterable[SnapshotAggregate]) -> List[Dict[str, object]]:
+    """Fig. 4b summary rows: concentration checkpoints per IXP."""
+    rows = []
+    for aggregate in aggregates:
+        rows.append({
+            "ixp": aggregate.ixp,
+            "family": aggregate.family,
+            "action_instances": aggregate.action_instances,
+            "top_1pct_share": concentration_at(aggregate, 0.01),
+            "top_10pct_share": concentration_at(aggregate, 0.10),
+            "bottom_90pct_share": 1.0 - concentration_at(aggregate, 0.10),
+        })
+    return rows
+
+
+def prefix_community_points(
+        aggregate: SnapshotAggregate) -> List[Tuple[float, float]]:
+    """Fig. 4c: one (community-share, route-share) point per AS.
+
+    Points near the diagonal mean an AS contributes routes and action
+    communities in similar proportion.
+    """
+    total_actions = sum(aggregate.per_as_action.values())
+    total_routes = sum(aggregate.per_as_routes.values())
+    if not total_actions or not total_routes:
+        return []
+    points = []
+    for asn, action_count in aggregate.per_as_action.items():
+        route_count = aggregate.per_as_routes.get(asn, 0)
+        points.append((action_count / total_actions,
+                       route_count / total_routes))
+    return points
+
+
+def _pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x <= 0 or var_y <= 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def prefix_community_correlation(
+        aggregates: Iterable[SnapshotAggregate]) -> List[Dict[str, object]]:
+    """Fig. 4c summary: per-IXP correlation between route share and
+    action-community share (log-log Pearson, as the figure is log-log),
+    plus how many ASes sit far above the diagonal (big announcers that
+    tag little) vs far below (the paper observes the former exists, the
+    latter does not)."""
+    rows = []
+    for aggregate in aggregates:
+        points = prefix_community_points(aggregate)
+        log_points = [(math.log10(c), math.log10(r))
+                      for c, r in points if c > 0 and r > 0]
+        correlation = _pearson([p[0] for p in log_points],
+                               [p[1] for p in log_points])
+        above = sum(1 for c, r in points if r > c * 10)
+        below = sum(1 for c, r in points if c > r * 10 and r > 0)
+        rows.append({
+            "ixp": aggregate.ixp,
+            "family": aggregate.family,
+            "ases": len(points),
+            "log_pearson": correlation,
+            "far_above_diagonal": above,
+            "far_below_diagonal": below,
+        })
+    return rows

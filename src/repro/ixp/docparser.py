@@ -1,0 +1,195 @@
+"""Parser and renderer for IXP community documentation text.
+
+The paper's §3 builds half of its dictionary from "the documentation
+published at the corresponding IXP website". This module models that
+source concretely: a plain-text documentation format (one community per
+line, the way IXP route-server guides render their tables), a renderer
+that writes a :class:`~repro.ixp.dictionary.CommunityDictionary` out as
+such documentation, and a parser that reads it back.
+
+Format (lines; ``#`` comments and blanks ignored)::
+
+    0:<peer-as>        | action        | do-not-announce-to | do not announce to <peer-as>
+    0:6939             | action        | do-not-announce-to | do not announce to Hurricane Electric
+    6695:6695          | action        | announce-only-to!all | announce to all peers
+    65501:<peer-as>    | action        | prepend-to+1       | prepend 1x to <peer-as>
+    65535:666          | action        | blackholing        | blackhole (RFC 7999)
+    6695:1000          | informational | -                  | route learned at primary site
+    6695:0:<target>    | action        | do-not-announce-to | large-community mirror
+
+Columns: community (concrete, or with one ``<...>`` placeholder in the
+last field), role, category (with ``!all`` marking an all-peers target
+and ``+N`` a prepend count), description.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..bgp.communities import parse_community
+from .dictionary import (
+    SOURCE_WEBSITE,
+    CommunityDictionary,
+    CommunityEntry,
+    CommunityRule,
+    ExtendedCommunityRule,
+    LargeCommunityRule,
+    Semantics,
+)
+from .taxonomy import ActionCategory, CommunityRole, Target, TargetKind
+
+
+class DocumentationError(ValueError):
+    """A documentation line could not be parsed."""
+
+
+_PLACEHOLDER = re.compile(r"<[^>]+>")
+
+
+def _split_category(token: str) -> Tuple[Optional[ActionCategory],
+                                         bool, int]:
+    """Parse the category column → (category, all_peers, prepend_count)."""
+    if token == "-":
+        return None, False, 0
+    all_peers = token.endswith("!all")
+    if all_peers:
+        token = token[:-len("!all")]
+    prepend_count = 0
+    if "+" in token:
+        token, _, count_text = token.partition("+")
+        prepend_count = int(count_text)
+    try:
+        category = ActionCategory(token)
+    except ValueError as exc:
+        raise DocumentationError(f"unknown category {token!r}") from exc
+    return category, all_peers, prepend_count
+
+
+def parse_line(line: str, ixp_name: str = "") -> Optional[object]:
+    """Parse one documentation line → CommunityEntry or a rule object.
+
+    Returns None for blank/comment lines.
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    parts = [part.strip() for part in stripped.split("|")]
+    if len(parts) != 4:
+        raise DocumentationError(
+            f"expected 4 |-separated columns, got {len(parts)}: {line!r}")
+    community_text, role_text, category_text, description = parts
+    try:
+        role = CommunityRole(role_text)
+    except ValueError as exc:
+        raise DocumentationError(f"unknown role {role_text!r}") from exc
+    category, all_peers, prepend_count = _split_category(category_text)
+    if role is CommunityRole.ACTION and category is None:
+        raise DocumentationError(f"action line without category: {line!r}")
+
+    fields = community_text.split(":")
+    has_placeholder = bool(_PLACEHOLDER.search(community_text))
+    if has_placeholder:
+        if _PLACEHOLDER.search(":".join(fields[:-1])):
+            raise DocumentationError(
+                f"placeholder only allowed in the last field: {line!r}")
+        if role is not CommunityRole.ACTION or category is None:
+            raise DocumentationError(
+                f"parameterised line must be an action: {line!r}")
+        if len(fields) == 2:
+            return CommunityRule(
+                asn_field=int(fields[0]), category=category,
+                prepend_count=prepend_count, description=description,
+                source=SOURCE_WEBSITE)
+        if len(fields) == 3:
+            return LargeCommunityRule(
+                global_admin=int(fields[0]), function=int(fields[1]),
+                category=category, prepend_count=prepend_count,
+                description=description, source=SOURCE_WEBSITE)
+        raise DocumentationError(f"cannot parameterise: {line!r}")
+
+    community = parse_community(community_text)
+    if role is CommunityRole.INFORMATIONAL:
+        semantics = Semantics(role=role, description=description)
+    else:
+        if all_peers:
+            target: Optional[Target] = Target.all_peers()
+        elif category is ActionCategory.BLACKHOLING:
+            target = Target.none()
+        else:
+            # concrete action lines encode the target in the last field
+            last = int(community_text.rsplit(":", 1)[1])
+            target = Target.peer(last) if last else Target.all_peers()
+        semantics = Semantics(role=role, category=category, target=target,
+                              description=description,
+                              prepend_count=prepend_count)
+    return CommunityEntry(community, semantics, source=SOURCE_WEBSITE)
+
+
+def parse_documentation(text: str, ixp_name: str) -> CommunityDictionary:
+    """Parse a whole documentation page into a website dictionary."""
+    dictionary = CommunityDictionary(ixp_name)
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        try:
+            item = parse_line(line, ixp_name)
+        except DocumentationError as error:
+            raise DocumentationError(
+                f"line {line_number}: {error}") from error
+        if item is None:
+            continue
+        if isinstance(item, CommunityEntry):
+            dictionary.add_entry(item)
+        else:
+            dictionary.add_rule(item)
+    return dictionary
+
+
+def _category_token(semantics: Semantics) -> str:
+    if semantics.category is None:
+        return "-"
+    token = semantics.category.value
+    if semantics.prepend_count:
+        token += f"+{semantics.prepend_count}"
+    if (semantics.target is not None
+            and semantics.target.kind is TargetKind.ALL_PEERS):
+        token += "!all"
+    return token
+
+
+def render_documentation(dictionary: CommunityDictionary) -> str:
+    """Render a dictionary as a documentation page (inverse of
+    :func:`parse_documentation` for website-expressible content)."""
+    lines = [f"# {dictionary.ixp_name} BGP communities", ""]
+    lines.append("# informational")
+    for entry in sorted(dictionary.informational_entries(),
+                        key=lambda e: str(e.community)):
+        lines.append(f"{entry.community} | informational | - | "
+                     f"{entry.semantics.description}")
+    lines.append("")
+    lines.append("# actions")
+    for entry in sorted(dictionary.action_entries(),
+                        key=lambda e: str(e.community)):
+        lines.append(
+            f"{entry.community} | action | "
+            f"{_category_token(entry.semantics)} | "
+            f"{entry.semantics.description}")
+    lines.append("")
+    lines.append("# parameterised families")
+    for rule in dictionary.rules():
+        if isinstance(rule, CommunityRule):
+            token = rule.category.value
+            if rule.prepend_count:
+                token += f"+{rule.prepend_count}"
+            lines.append(f"{rule.asn_field}:<peer-as> | action | "
+                         f"{token} | {rule.description}")
+        elif isinstance(rule, LargeCommunityRule):
+            token = rule.category.value
+            if rule.prepend_count:
+                token += f"+{rule.prepend_count}"
+            lines.append(f"{rule.global_admin}:{rule.function}:<target> "
+                         f"| action | {token} | {rule.description}")
+        elif isinstance(rule, ExtendedCommunityRule):
+            # extended families are not expressible in the plain-text
+            # documentation format; they come from the RS config side.
+            continue
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,95 @@
+"""IXP member modelling.
+
+A :class:`Member` is one AS connected to the IXP. Members may or may not
+have a BGP session with the route server (the paper's §3 distinguishes
+total members from members *at the RS*: 72.2% for IPv4 and 57.1% for IPv6
+on average), and per address family at that.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+class MemberRole(str, enum.Enum):
+    """Business role of a member network.
+
+    Roles drive both tagging behaviour (large ISPs tag aggressively,
+    §5.5) and targeting (content providers are the most-avoided targets,
+    §5.4).
+    """
+
+    CONTENT_PROVIDER = "content-provider"
+    TRANSIT_ISP = "transit-isp"
+    ACCESS_ISP = "access-isp"
+    ENTERPRISE = "enterprise"
+    EDUCATION = "education"
+    CLOUD = "cloud"
+
+
+@dataclass(frozen=True)
+class Member:
+    """One IXP member AS.
+
+    Attributes:
+        asn: the member's AS number.
+        name: human-readable network name.
+        role: business role (see :class:`MemberRole`).
+        at_rs_v4 / at_rs_v6: whether the member maintains a BGP session
+            with the IPv4 / IPv6 route server. A member with neither is
+            bilateral-only — precisely the kind of AS that action
+            communities *uselessly* target in §5.5.
+        peering_ip_v4 / peering_ip_v6: addresses on the peering LAN.
+        prefix_count_v4 / prefix_count_v6: how many prefixes the member
+            originates towards the RS (0 for sessions that only listen).
+    """
+
+    asn: int
+    name: str
+    role: MemberRole
+    at_rs_v4: bool = True
+    at_rs_v6: bool = False
+    peering_ip_v4: Optional[str] = None
+    peering_ip_v6: Optional[str] = None
+    prefix_count_v4: int = 0
+    prefix_count_v6: int = 0
+
+    def at_rs(self, family: int) -> bool:
+        """Is this member at the route server for the given family?"""
+        return self.at_rs_v4 if family == 4 else self.at_rs_v6
+
+    def prefix_count(self, family: int) -> int:
+        return self.prefix_count_v4 if family == 4 else self.prefix_count_v6
+
+    def peering_ip(self, family: int) -> Optional[str]:
+        return self.peering_ip_v4 if family == 4 else self.peering_ip_v6
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form used in LG ``/neighbors`` responses and snapshots."""
+        return {
+            "asn": self.asn,
+            "name": self.name,
+            "role": self.role.value,
+            "at_rs_v4": self.at_rs_v4,
+            "at_rs_v6": self.at_rs_v6,
+            "peering_ip_v4": self.peering_ip_v4,
+            "peering_ip_v6": self.peering_ip_v6,
+            "prefix_count_v4": self.prefix_count_v4,
+            "prefix_count_v6": self.prefix_count_v6,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Member":
+        return cls(
+            asn=int(payload["asn"]),
+            name=str(payload["name"]),
+            role=MemberRole(payload["role"]),
+            at_rs_v4=bool(payload.get("at_rs_v4", True)),
+            at_rs_v6=bool(payload.get("at_rs_v6", False)),
+            peering_ip_v4=payload.get("peering_ip_v4"),
+            peering_ip_v6=payload.get("peering_ip_v6"),
+            prefix_count_v4=int(payload.get("prefix_count_v4", 0)),
+            prefix_count_v6=int(payload.get("prefix_count_v6", 0)),
+        )

@@ -1,0 +1,442 @@
+"""Profiles of the eight studied IXPs.
+
+Each :class:`IxpProfile` carries the public facts the paper reports in
+Table 1 (membership, RS membership, prefixes, routes) plus the
+calibration knobs the synthetic workload generator uses so that the
+reproduction's aggregate statistics land in the paper's bands (see
+DESIGN.md §7). The numbers of the paper's latest snapshot (4 Oct 2021)
+are kept verbatim as ``paper_*`` reference fields so benchmarks can print
+paper-vs-measured rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class PaperNumbers:
+    """Table 1 reference values (latest paper snapshot)."""
+
+    members_total: int
+    members_rs_v4: int
+    members_rs_v6: int
+    prefixes_v4: int
+    prefixes_v6: int
+    routes_v4: int
+    routes_v6: int
+    avg_daily_traffic: str
+
+
+@dataclass(frozen=True)
+class CategoryUsage:
+    """Table 2 + §5.3 reference values for one IXP.
+
+    ``*_users_*`` fields are fractions of RS members using each action
+    type (Table 2); ``*_occ`` fields are the shares of action-community
+    *occurrences* per category (§5.3 in-text numbers), IPv4.
+    """
+
+    dna_users_v4: float
+    dna_users_v6: float
+    ao_users_v4: float
+    ao_users_v6: float
+    prepend_users_v4: float
+    prepend_users_v6: float
+    blackhole_users_v4: float
+    blackhole_users_v6: float
+    dna_occ: float
+    ao_occ: float
+    prepend_occ: float
+    blackhole_occ: float
+
+
+@dataclass(frozen=True)
+class CalibrationTargets:
+    """Paper-reported shares used to parameterise the workload.
+
+    All fractions are for IPv4 unless suffixed ``_v6``.
+    """
+
+    ixp_defined_share: float        # Fig. 1 (v4)
+    ixp_defined_share_v6: float     # Fig. 1 (v6)
+    standard_share: float           # Fig. 2 (v4)
+    action_share: float             # Fig. 3 (v4)
+    action_share_v6: float          # Fig. 3 (v6)
+    members_using_actions: float    # Fig. 4a (v4)
+    members_using_actions_v6: float  # Fig. 4a (v6)
+    routes_with_actions: float      # §5.2 (v4)
+    ineffective_share: float        # §5.5 (v4): actions targeting non-RS
+    ineffective_share_v6: float     # §5.5 (v6)
+    dna_occurrence_share: float     # §5.3: do-not-announce occurrences
+    supports_blackholing: bool
+    supports_prepending: bool
+    # Derived from the paper's figure counts (see DESIGN.md §7): mean
+    # action-community instances per route, informational tags the RS
+    # stamps per route, routes carrying at least one action (v6), the
+    # share of action instances held by the top 1% of ASes (Fig. 4b),
+    # and the exponent tying avoid-list size to table size.
+    actions_per_route_v4: float = 10.0
+    actions_per_route_v6: float = 10.0
+    info_tags_v4: float = 2.0
+    info_tags_v6: float = 2.0
+    routes_with_actions_v6: float = 0.65
+    top1pct_share: float = 0.55
+    size_exponent: float = 0.5
+    # empirical correction factors (fit once against the paper's bands;
+    # see tests/core/test_calibration.py): multiplier on the
+    # ineffective-target draw bias and on the non-standard mirror budget.
+    ineffective_correction: float = 1.0
+    nonstd_correction: float = 1.0
+
+
+@dataclass(frozen=True)
+class IxpProfile:
+    """Static description of one IXP."""
+
+    key: str                  # short machine name, e.g. "ixbr-sp"
+    name: str                 # display name, e.g. "IX.br-SP"
+    location: str
+    rs_asn: int               # route server ASN (communities use this)
+    mgmt_asn_block: int       # base ASN for auxiliary communities
+    peering_lan_v4: str
+    peering_lan_v6: str
+    dictionary_size: int      # paper §3 dictionary entry count
+    paper: PaperNumbers
+    calibration: CalibrationTargets
+    category_usage: "CategoryUsage" = None  # type: ignore[assignment]
+    is_large: bool = True     # the four IXPs the paper focuses on
+
+
+#: Route server ASNs: IX.br-SP uses AS26162, DE-CIX Frankfurt AS6695,
+#: LINX AS8714, AMS-IX AS6777, BCIX AS16374, DE-CIX Madrid AS8631 (IXP
+#: route server ASN per their docs; Madrid/NYC share the DE-CIX scheme),
+#: DE-CIX NYC AS63034, Netnod AS52005 (values as documented publicly at
+#: collection time; they parameterise the community schemes).
+PROFILES: Dict[str, IxpProfile] = {}
+
+
+def _register(profile: IxpProfile) -> IxpProfile:
+    PROFILES[profile.key] = profile
+    return profile
+
+
+IXBR_SP = _register(IxpProfile(
+    key="ixbr-sp",
+    name="IX.br-SP",
+    location="São Paulo, Brazil",
+    rs_asn=26162,
+    mgmt_asn_block=65000,
+    peering_lan_v4="187.16.216.0/21",
+    peering_lan_v6="2001:12f8::/32",
+    dictionary_size=649,
+    paper=PaperNumbers(
+        members_total=2338, members_rs_v4=1803, members_rs_v6=1627,
+        prefixes_v4=163981, prefixes_v6=60203,
+        routes_v4=282697, routes_v6=88652,
+        avg_daily_traffic="9.6 Tbps"),
+    calibration=CalibrationTargets(
+        ixp_defined_share=0.833, ixp_defined_share_v6=0.913,
+        standard_share=0.849,
+        action_share=0.705, action_share_v6=0.705,
+        members_using_actions=0.519, members_using_actions_v6=0.293,
+        routes_with_actions=0.737,
+        ineffective_share=0.318, ineffective_share_v6=0.403,
+        dna_occurrence_share=0.80,
+        supports_blackholing=False, supports_prepending=True,
+        actions_per_route_v4=10.5, actions_per_route_v6=10.7,
+        info_tags_v4=4.4, info_tags_v6=4.5,
+        routes_with_actions_v6=0.70, top1pct_share=0.86,
+        size_exponent=0.78,
+        ineffective_correction=1.20, nonstd_correction=1.0),
+    category_usage=CategoryUsage(
+        dna_users_v4=0.483, dna_users_v6=0.273,
+        ao_users_v4=0.061, ao_users_v6=0.021,
+        prepend_users_v4=0.057, prepend_users_v6=0.029,
+        blackhole_users_v4=0.0, blackhole_users_v6=0.0,
+        dna_occ=0.8, ao_occ=0.185, prepend_occ=0.015, blackhole_occ=0.0),
+))
+
+DECIX_FRA = _register(IxpProfile(
+    key="decix-fra",
+    name="DE-CIX",
+    location="Frankfurt, Germany",
+    rs_asn=6695,
+    mgmt_asn_block=65500,
+    peering_lan_v4="80.81.192.0/21",
+    peering_lan_v6="2001:7f8::/32",
+    dictionary_size=774,
+    paper=PaperNumbers(
+        members_total=1072, members_rs_v4=874, members_rs_v6=711,
+        prefixes_v4=451544, prefixes_v6=65395,
+        routes_v4=888478, routes_v6=130084,
+        avg_daily_traffic="9.27 Tbps"),
+    calibration=CalibrationTargets(
+        ixp_defined_share=0.802, ixp_defined_share_v6=0.809,
+        standard_share=0.909,
+        action_share=0.704, action_share_v6=0.665,
+        members_using_actions=0.540, members_using_actions_v6=0.336,
+        routes_with_actions=0.617,
+        ineffective_share=0.495, ineffective_share_v6=0.404,
+        dna_occurrence_share=0.666,
+        supports_blackholing=True, supports_prepending=True,
+        actions_per_route_v4=9.5, actions_per_route_v6=8.0,
+        info_tags_v4=4.0, info_tags_v6=4.0,
+        routes_with_actions_v6=0.487, top1pct_share=0.55,
+        size_exponent=0.5,
+        ineffective_correction=0.97, nonstd_correction=0.86),
+    category_usage=CategoryUsage(
+        dna_users_v4=0.381, dna_users_v6=0.231,
+        ao_users_v4=0.244, ao_users_v6=0.157,
+        prepend_users_v4=0.083, prepend_users_v6=0.039,
+        blackhole_users_v4=0.157, blackhole_users_v6=0.014,
+        dna_occ=0.666, ao_occ=0.314, prepend_occ=0.016, blackhole_occ=0.004),
+))
+
+LINX = _register(IxpProfile(
+    key="linx",
+    name="LINX",
+    location="London, United Kingdom",
+    rs_asn=8714,
+    mgmt_asn_block=65010,
+    peering_lan_v4="195.66.224.0/21",
+    peering_lan_v6="2001:7f8:4::/48",
+    dictionary_size=58,
+    paper=PaperNumbers(
+        members_total=847, members_rs_v4=669, members_rs_v6=508,
+        prefixes_v4=241084, prefixes_v6=62912,
+        routes_v4=315215, routes_v6=79690,
+        avg_daily_traffic="3.8 Tbps"),
+    calibration=CalibrationTargets(
+        ixp_defined_share=0.861, ixp_defined_share_v6=0.889,
+        standard_share=0.850,
+        action_share=0.836, action_share_v6=0.858,
+        members_using_actions=0.404, members_using_actions_v6=0.285,
+        routes_with_actions=0.766,
+        ineffective_share=0.643, ineffective_share_v6=0.526,
+        dna_occurrence_share=0.70,
+        supports_blackholing=False, supports_prepending=True,
+        actions_per_route_v4=13.2, actions_per_route_v6=11.4,
+        info_tags_v4=2.59, info_tags_v6=1.9,
+        routes_with_actions_v6=0.855, top1pct_share=0.55,
+        size_exponent=0.5,
+        ineffective_correction=1.05, nonstd_correction=0.95),
+    category_usage=CategoryUsage(
+        dna_users_v4=0.276, dna_users_v6=0.169,
+        ao_users_v4=0.209, ao_users_v6=0.159,
+        prepend_users_v4=0.015, prepend_users_v6=0.012,
+        blackhole_users_v4=0.0, blackhole_users_v6=0.0,
+        dna_occ=0.7, ao_occ=0.292, prepend_occ=0.008, blackhole_occ=0.0),
+))
+
+AMSIX = _register(IxpProfile(
+    key="amsix",
+    name="AMS-IX",
+    location="Amsterdam, Netherlands",
+    rs_asn=6777,
+    mgmt_asn_block=65020,
+    peering_lan_v4="80.249.208.0/21",
+    peering_lan_v6="2001:7f8:1::/64",
+    dictionary_size=37,
+    paper=PaperNumbers(
+        members_total=861, members_rs_v4=636, members_rs_v6=488,
+        prefixes_v4=252704, prefixes_v6=61528,
+        routes_v4=252704, routes_v6=61528,
+        avg_daily_traffic="7.6 Tbps"),
+    calibration=CalibrationTargets(
+        ixp_defined_share=0.868, ixp_defined_share_v6=0.925,
+        standard_share=0.965,
+        action_share=0.834, action_share_v6=0.804,
+        members_using_actions=0.355, members_using_actions_v6=0.241,
+        routes_with_actions=0.68,
+        ineffective_share=0.543, ineffective_share_v6=0.459,
+        dna_occurrence_share=0.75,
+        supports_blackholing=False, supports_prepending=False,
+        actions_per_route_v4=15.2, actions_per_route_v6=12.3,
+        info_tags_v4=3.02, info_tags_v6=3.0,
+        routes_with_actions_v6=0.70, top1pct_share=0.55,
+        size_exponent=0.5,
+        ineffective_correction=0.90, nonstd_correction=0.74),
+    category_usage=CategoryUsage(
+        dna_users_v4=0.283, dna_users_v6=0.176,
+        ao_users_v4=0.126, ao_users_v6=0.096,
+        prepend_users_v4=0.0, prepend_users_v6=0.0,
+        blackhole_users_v4=0.014, blackhole_users_v6=0.002,
+        dna_occ=0.75, ao_occ=0.246, prepend_occ=0.0, blackhole_occ=0.004),
+))
+
+DECIX_MAD = _register(IxpProfile(
+    key="decix-mad",
+    name="DE-CIX Mad",
+    location="Madrid, Spain",
+    rs_asn=8631,
+    mgmt_asn_block=65500,
+    peering_lan_v4="185.1.56.0/22",
+    peering_lan_v6="2001:7f8:a0::/48",
+    dictionary_size=774,
+    paper=PaperNumbers(
+        members_total=214, members_rs_v4=151, members_rs_v6=85,
+        prefixes_v4=116237, prefixes_v6=45321,
+        routes_v4=125812, routes_v6=48711,
+        avg_daily_traffic="492 Gbps"),
+    calibration=CalibrationTargets(
+        ixp_defined_share=0.82, ixp_defined_share_v6=0.85,
+        standard_share=0.90,
+        action_share=0.72, action_share_v6=0.70,
+        members_using_actions=0.45, members_using_actions_v6=0.30,
+        routes_with_actions=0.62,
+        ineffective_share=0.45, ineffective_share_v6=0.40,
+        dna_occurrence_share=0.70,
+        supports_blackholing=True, supports_prepending=True,
+        actions_per_route_v4=9.5, actions_per_route_v6=8.0,
+        info_tags_v4=3.7, info_tags_v6=3.5,
+        routes_with_actions_v6=0.60, top1pct_share=0.50,
+        size_exponent=0.5,
+        ineffective_correction=0.95, nonstd_correction=0.9),
+    category_usage=CategoryUsage(
+        dna_users_v4=0.35, dna_users_v6=0.22,
+        ao_users_v4=0.2, ao_users_v6=0.13,
+        prepend_users_v4=0.06, prepend_users_v6=0.03,
+        blackhole_users_v4=0.1, blackhole_users_v6=0.01,
+        dna_occ=0.7, ao_occ=0.28, prepend_occ=0.015, blackhole_occ=0.005),
+    is_large=False,
+))
+
+DECIX_NYC = _register(IxpProfile(
+    key="decix-nyc",
+    name="DE-CIX NYC",
+    location="New York, USA",
+    rs_asn=63034,
+    mgmt_asn_block=65500,
+    peering_lan_v4="206.130.10.0/23",
+    peering_lan_v6="2001:504:36::/64",
+    dictionary_size=774,
+    paper=PaperNumbers(
+        members_total=256, members_rs_v4=171, members_rs_v6=145,
+        prefixes_v4=162469, prefixes_v6=48951,
+        routes_v4=186983, routes_v6=61638,
+        avg_daily_traffic="941 Gbps"),
+    calibration=CalibrationTargets(
+        ixp_defined_share=0.82, ixp_defined_share_v6=0.85,
+        standard_share=0.90,
+        action_share=0.72, action_share_v6=0.70,
+        members_using_actions=0.45, members_using_actions_v6=0.30,
+        routes_with_actions=0.62,
+        ineffective_share=0.45, ineffective_share_v6=0.40,
+        dna_occurrence_share=0.70,
+        supports_blackholing=True, supports_prepending=True,
+        actions_per_route_v4=8.1, actions_per_route_v6=8.0,
+        info_tags_v4=3.2, info_tags_v6=3.0,
+        routes_with_actions_v6=0.60, top1pct_share=0.50,
+        size_exponent=0.5,
+        ineffective_correction=0.95, nonstd_correction=0.9),
+    category_usage=CategoryUsage(
+        dna_users_v4=0.35, dna_users_v6=0.22,
+        ao_users_v4=0.2, ao_users_v6=0.13,
+        prepend_users_v4=0.06, prepend_users_v6=0.03,
+        blackhole_users_v4=0.1, blackhole_users_v6=0.01,
+        dna_occ=0.7, ao_occ=0.28, prepend_occ=0.015, blackhole_occ=0.005),
+    is_large=False,
+))
+
+BCIX = _register(IxpProfile(
+    key="bcix",
+    name="BCIX",
+    location="Berlin, Germany",
+    rs_asn=16374,
+    mgmt_asn_block=65030,
+    peering_lan_v4="193.178.185.0/24",
+    peering_lan_v6="2001:7f8:19:1::/64",
+    dictionary_size=50,
+    paper=PaperNumbers(
+        members_total=145, members_rs_v4=88, members_rs_v6=78,
+        prefixes_v4=106249, prefixes_v6=46873,
+        routes_v4=111115, routes_v6=50569,
+        avg_daily_traffic="640 Gbps"),
+    calibration=CalibrationTargets(
+        ixp_defined_share=0.85, ixp_defined_share_v6=0.88,
+        standard_share=0.92,
+        # §5.1: at BCIX action communities are >95% of IXP-defined
+        # standard communities.
+        action_share=0.96, action_share_v6=0.96,
+        members_using_actions=0.40, members_using_actions_v6=0.28,
+        routes_with_actions=0.65,
+        ineffective_share=0.40, ineffective_share_v6=0.38,
+        dna_occurrence_share=0.75,
+        supports_blackholing=False, supports_prepending=True,
+        actions_per_route_v4=11.2, actions_per_route_v6=11.0,
+        info_tags_v4=0.47, info_tags_v6=0.5,
+        routes_with_actions_v6=0.62, top1pct_share=0.50,
+        size_exponent=0.5,
+        ineffective_correction=0.95, nonstd_correction=0.9),
+    category_usage=CategoryUsage(
+        dna_users_v4=0.32, dna_users_v6=0.2,
+        ao_users_v4=0.12, ao_users_v6=0.08,
+        prepend_users_v4=0.03, prepend_users_v6=0.02,
+        blackhole_users_v4=0.0, blackhole_users_v6=0.0,
+        dna_occ=0.78, ao_occ=0.21, prepend_occ=0.01, blackhole_occ=0.0),
+    is_large=False,
+))
+
+NETNOD = _register(IxpProfile(
+    key="netnod",
+    name="Netnod",
+    location="Stockholm, Sweden",
+    rs_asn=52005,
+    mgmt_asn_block=65040,
+    peering_lan_v4="194.68.123.0/24",
+    peering_lan_v6="2001:7f8:d:ff::/64",
+    dictionary_size=67,
+    paper=PaperNumbers(
+        members_total=187, members_rs_v4=127, members_rs_v6=101,
+        prefixes_v4=132179, prefixes_v6=45507,
+        routes_v4=150670, routes_v6=48874,
+        avg_daily_traffic="1.12 Tbps"),
+    calibration=CalibrationTargets(
+        ixp_defined_share=0.85, ixp_defined_share_v6=0.88,
+        standard_share=0.92,
+        action_share=0.96, action_share_v6=0.96,
+        members_using_actions=0.42, members_using_actions_v6=0.30,
+        routes_with_actions=0.66,
+        ineffective_share=0.42, ineffective_share_v6=0.40,
+        dna_occurrence_share=0.78,
+        supports_blackholing=False, supports_prepending=True,
+        actions_per_route_v4=25.0, actions_per_route_v6=14.0,
+        info_tags_v4=1.06, info_tags_v6=0.6,
+        routes_with_actions_v6=0.62, top1pct_share=0.50,
+        size_exponent=0.5,
+        ineffective_correction=0.95, nonstd_correction=0.9),
+    category_usage=CategoryUsage(
+        dna_users_v4=0.34, dna_users_v6=0.22,
+        ao_users_v4=0.12, ao_users_v6=0.08,
+        prepend_users_v4=0.03, prepend_users_v6=0.02,
+        blackhole_users_v4=0.0, blackhole_users_v6=0.0,
+        dna_occ=0.82, ao_occ=0.17, prepend_occ=0.01, blackhole_occ=0.0),
+    is_large=False,
+))
+
+#: The four IXPs the paper's analysis focuses on, in paper order.
+LARGE_FOUR: Tuple[str, ...] = ("ixbr-sp", "decix-fra", "linx", "amsix")
+
+#: All eight, in Table 1 order.
+ALL_IXPS: Tuple[str, ...] = (
+    "ixbr-sp", "decix-fra", "linx", "amsix",
+    "decix-mad", "decix-nyc", "bcix", "netnod")
+
+
+def get_profile(key: str) -> IxpProfile:
+    """Look up an IXP profile by key; raises KeyError with the valid set."""
+    try:
+        return PROFILES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown IXP {key!r}; valid keys: {sorted(PROFILES)}") from None
+
+
+def large_profiles() -> Tuple[IxpProfile, ...]:
+    return tuple(PROFILES[k] for k in LARGE_FOUR)
+
+
+def all_profiles() -> Tuple[IxpProfile, ...]:
+    return tuple(PROFILES[k] for k in ALL_IXPS)

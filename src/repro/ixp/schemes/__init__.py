@@ -1,0 +1,62 @@
+"""Per-IXP community schemes and the dictionary factory.
+
+:func:`dictionary_for` returns the union dictionary (RS config ∪ website
+docs) for an IXP profile, which is what the paper classifies with;
+:func:`dictionary_pair_for` returns the two sources separately for the
+dictionary-union ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..dictionary import CommunityDictionary
+from ..profiles import IxpProfile
+from . import amsix, bcix, decix, ixbr, linx, netnod
+from .common import (
+    BLACKHOLE_COMMUNITY,
+    FAMOUS_TARGETS,
+    SchemeSpec,
+    build_pair,
+    build_union,
+    documented_target_asns,
+)
+
+_SPECS: Dict[str, SchemeSpec] = {
+    "ixbr-sp": ixbr.SPEC,
+    "decix-fra": decix.FRANKFURT,
+    "decix-mad": decix.MADRID,
+    "decix-nyc": decix.NEW_YORK,
+    "linx": linx.SPEC,
+    "amsix": amsix.SPEC,
+    "bcix": bcix.SPEC,
+    "netnod": netnod.SPEC,
+}
+
+
+def spec_for(profile: IxpProfile) -> SchemeSpec:
+    """The community scheme spec for an IXP profile."""
+    try:
+        return _SPECS[profile.key]
+    except KeyError:
+        raise KeyError(f"no community scheme for IXP {profile.key!r}; "
+                       f"known: {sorted(_SPECS)}") from None
+
+
+def dictionary_for(profile: IxpProfile) -> CommunityDictionary:
+    """The union dictionary for *profile* (RS config ∪ website docs)."""
+    return build_union(spec_for(profile), profile.name)
+
+
+def dictionary_pair_for(
+        profile: IxpProfile,
+) -> Tuple[CommunityDictionary, CommunityDictionary]:
+    """The (rs-config, website) dictionaries before taking the union."""
+    return build_pair(spec_for(profile), profile.name)
+
+
+__all__ = [
+    "SchemeSpec", "spec_for", "dictionary_for", "dictionary_pair_for",
+    "build_pair", "build_union", "documented_target_asns",
+    "FAMOUS_TARGETS", "BLACKHOLE_COMMUNITY",
+]

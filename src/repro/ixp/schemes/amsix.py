@@ -1,0 +1,27 @@
+"""AMS-IX (Amsterdam) community scheme.
+
+AMS-IX route servers (AS6777) document the smallest scheme of the four
+large IXPs — 37 concrete entries. Standard-community prepending is only
+available towards *all* peers; fine-grained prepending requires extended
+communities (paper §5.3), so ``supports_targeted_prepend`` is False and
+Table 2 reports zero ASes using prepend-to standard communities at
+AMS-IX. Blackholing was not documented during the collection window.
+"""
+
+from __future__ import annotations
+
+from .common import SchemeSpec
+
+SPEC = SchemeSpec(
+    rs_asn=6777,
+    prepend_bases=((65511, 1), (65512, 2), (65513, 3)),
+    supports_targeted_prepend=False,
+    # The RS accepts RFC 7999 blackhole requests even though the website
+    # documentation does not mention the service — Table 2 still shows 9
+    # ASes (1.4%) using blackholing at AMS-IX; the paper's June 2022
+    # re-collection found 1367 blackhole routes, suggesting the service
+    # was being introduced.
+    supports_blackholing=True,
+    informational_count=11,
+    documented_target_count=10,
+)

@@ -1,0 +1,19 @@
+"""BCIX (Berlin) community scheme.
+
+BCIX (route servers in AS16374) documents a 50-entry scheme. Per §5.1,
+action communities represent more than 95% of the IXP-defined standard
+communities seen at BCIX — its route server adds few informational tags.
+"""
+
+from __future__ import annotations
+
+from .common import SchemeSpec
+
+SPEC = SchemeSpec(
+    rs_asn=16374,
+    prepend_bases=((65021, 1), (65022, 2), (65023, 3)),
+    supports_targeted_prepend=True,
+    supports_blackholing=False,
+    informational_count=10,
+    documented_target_count=7,
+)

@@ -1,0 +1,37 @@
+"""DE-CIX community scheme (Frankfurt, Madrid, New York).
+
+DE-CIX documents per-peer propagation control (``0:<peer>``,
+``<rs>:<peer>``), targeted prepending via ``65501..65503:<peer>``, and
+RFC 7999 blackholing — DE-CIX markets "advanced blackholing" as a
+service, which is why Table 2 shows blackholing usage essentially only
+at DE-CIX.
+
+Every DE-CIX location shares the same documented scheme, hence the paper
+reports the same 774-entry dictionary for Frankfurt, Madrid, and New
+York: 18 informational tags + 6 fixed actions + 5 entries for each of
+the 150 documented targets.
+"""
+
+from __future__ import annotations
+
+from .common import SchemeSpec
+
+
+def spec_for(rs_asn: int) -> SchemeSpec:
+    """DE-CIX spec parameterised by the location's RS ASN."""
+    return SchemeSpec(
+        rs_asn=rs_asn,
+        prepend_bases=((65501, 1), (65502, 2), (65503, 3)),
+        supports_targeted_prepend=True,
+        supports_blackholing=True,
+        informational_count=18,
+        documented_target_count=150,
+        # Filanco (AS29076) is the top IPv6 do-not-announce target at
+        # DE-CIX in §5.4.
+        extra_documented_targets=(29076, 3320, 6830, 12876, 24940),
+    )
+
+
+FRANKFURT = spec_for(6695)
+MADRID = spec_for(8631)
+NEW_YORK = spec_for(63034)

@@ -1,0 +1,29 @@
+"""IX.br (São Paulo) community scheme.
+
+IX.br's route servers (AS26162) document the common BIRD conventions:
+``0:<peer>`` / ``26162:<peer>`` for propagation control, and the
+``65001..65003:<peer>`` family for 1–3× prepending. No blackholing
+community was supported during the paper's collection window (§5.3,
+confirmed by the IX.br Forum presentation cited as [32]).
+
+The dictionary has 649 concrete entries, matching the paper's §3 count:
+14 informational tags + 5 fixed actions + 5 entries for each of the 126
+documented targets.
+"""
+
+from __future__ import annotations
+
+from .common import SchemeSpec
+
+SPEC = SchemeSpec(
+    rs_asn=26162,
+    prepend_bases=((65001, 1), (65002, 2), (65003, 3)),
+    supports_targeted_prepend=True,
+    supports_blackholing=False,
+    informational_count=14,
+    documented_target_count=126,
+    # Brazilian networks named in the IX.br documentation examples
+    # (paper §5.4: NIC-Simet, RNP, Itaú, CDNetworks appear in the top
+    # announce-only-to communities at IX.br-SP).
+    extra_documented_targets=(1916, 14026, 28571, 36408, 52863, 61568),
+)

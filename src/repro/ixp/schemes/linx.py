@@ -1,0 +1,21 @@
+"""LINX (London) community scheme.
+
+LINX route servers (AS8714) document a compact scheme — 58 concrete
+entries. AS-path prepending on the LINX route servers was announced on
+29 June 2021 (paper [41]), a few weeks before the collection window,
+which the paper uses to explain the small number of ASes using
+prepend-to there (Table 2: 10 ASes, 1.5%).
+"""
+
+from __future__ import annotations
+
+from .common import SchemeSpec
+
+SPEC = SchemeSpec(
+    rs_asn=8714,
+    prepend_bases=((65011, 1), (65012, 2), (65013, 3)),
+    supports_targeted_prepend=True,
+    supports_blackholing=False,
+    informational_count=13,
+    documented_target_count=8,
+)

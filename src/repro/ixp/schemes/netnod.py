@@ -1,0 +1,19 @@
+"""Netnod (Stockholm) community scheme.
+
+Netnod's route servers (AS52005) document a 67-entry scheme. Like BCIX,
+action communities dominate the IXP-defined standard communities seen
+there (>95%, §5.1).
+"""
+
+from __future__ import annotations
+
+from .common import SchemeSpec
+
+SPEC = SchemeSpec(
+    rs_asn=52005,
+    prepend_bases=((65031, 1), (65032, 2), (65033, 3)),
+    supports_targeted_prepend=True,
+    supports_blackholing=False,
+    informational_count=12,
+    documented_target_count=10,
+)

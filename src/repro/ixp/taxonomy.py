@@ -1,0 +1,92 @@
+"""Community taxonomy used throughout the reproduction.
+
+The paper groups IXP-defined communities into **informational** and
+**action** communities, and the actions into four categories (§5.3):
+
+* ``do-not-announce-to`` — do not export the route to the target;
+* ``announce-only-to``  — export the route only to the target(s);
+* ``prepend-to``        — prepend before exporting to the target;
+* ``blackholing``       — drop traffic towards the prefix (RFC 7999).
+
+Targets can be a single peer AS, every peer, or a region/facility group.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class CommunityRole(str, enum.Enum):
+    """Informational (added by the RS) vs action (added by members)."""
+
+    INFORMATIONAL = "informational"
+    ACTION = "action"
+
+
+class ActionCategory(str, enum.Enum):
+    """The four action groups from §5.3 of the paper."""
+
+    DO_NOT_ANNOUNCE_TO = "do-not-announce-to"
+    ANNOUNCE_ONLY_TO = "announce-only-to"
+    PREPEND_TO = "prepend-to"
+    BLACKHOLING = "blackholing"
+
+    @property
+    def limits_propagation(self) -> bool:
+        """The two categories "intended to limit the propagation of a
+        route" (paper §5.3)."""
+        return self in (ActionCategory.DO_NOT_ANNOUNCE_TO,
+                        ActionCategory.ANNOUNCE_ONLY_TO)
+
+
+class TargetKind(str, enum.Enum):
+    """What an action community is aimed at."""
+
+    PEER_AS = "peer-as"
+    ALL_PEERS = "all-peers"
+    REGION = "region"
+    NONE = "none"         # blackholing acts on the prefix, not a peer
+
+
+@dataclass(frozen=True)
+class Target:
+    """The target of an action community.
+
+    ``asn`` is set for :attr:`TargetKind.PEER_AS`; ``region`` for
+    :attr:`TargetKind.REGION`; both are None for ALL_PEERS / NONE.
+    """
+
+    kind: TargetKind
+    asn: Optional[int] = None
+    region: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is TargetKind.PEER_AS and self.asn is None:
+            raise ValueError("PEER_AS target requires an ASN")
+        if self.kind is TargetKind.REGION and not self.region:
+            raise ValueError("REGION target requires a region name")
+
+    @classmethod
+    def peer(cls, asn: int) -> "Target":
+        return cls(TargetKind.PEER_AS, asn=asn)
+
+    @classmethod
+    def all_peers(cls) -> "Target":
+        return cls(TargetKind.ALL_PEERS)
+
+    @classmethod
+    def for_region(cls, name: str) -> "Target":
+        return cls(TargetKind.REGION, region=name)
+
+    @classmethod
+    def none(cls) -> "Target":
+        return cls(TargetKind.NONE)
+
+    def __str__(self) -> str:
+        if self.kind is TargetKind.PEER_AS:
+            return f"AS{self.asn}"
+        if self.kind is TargetKind.REGION:
+            return f"region:{self.region}"
+        return self.kind.value

@@ -1,0 +1,14 @@
+"""Looking Glass substrate: JSON API, HTTP server, resilient client."""
+
+from .api import DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, NeighborSummary
+from .dialects import DIALECT_ALICE, DIALECT_BIRDSEYE, DIALECTS
+from .client import ClientStats, LookingGlassClient, LookingGlassError
+from .ratelimit import InstabilityInjector, TokenBucket
+from .server import LookingGlassServer
+
+__all__ = [
+    "LookingGlassServer", "LookingGlassClient", "LookingGlassError",
+    "ClientStats", "NeighborSummary", "TokenBucket",
+    "InstabilityInjector", "DEFAULT_PAGE_SIZE", "MAX_PAGE_SIZE",
+    "DIALECT_ALICE", "DIALECT_BIRDSEYE", "DIALECTS",
+]

@@ -1,0 +1,153 @@
+"""Looking Glass HTTP client.
+
+Consumes the :mod:`repro.lg.api` endpoints with the robustness the
+paper's collection needed (§3): retry with exponential backoff on 5xx,
+honouring ``Retry-After`` on 429, and a single persistent connection
+("we kept a single connection to the LG server, to avoid overloading
+it" — the client is strictly sequential).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..bgp.route import Route
+from ..ixp.dictionary import CommunityDictionary
+from . import api
+
+
+class LookingGlassError(Exception):
+    """The LG could not be queried (after retries)."""
+
+
+@dataclass
+class ClientStats:
+    """Counters for observability and tests."""
+
+    requests: int = 0
+    retries: int = 0
+    rate_limited: int = 0
+    server_errors: int = 0
+
+
+@dataclass
+class LookingGlassClient:
+    """Sequential LG client for one (ixp, family) mount.
+
+    ``dialect`` selects the remote API flavour ("alice" default, or
+    "birdseye"); responses are normalised to the common types either
+    way — the Periscope-style unification the paper's scraping needed.
+    """
+
+    base_url: str
+    ixp: str
+    family: int
+    dialect: str = "alice"
+    max_retries: int = 5
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    #: sleep function — injectable so tests run instantly.
+    sleep: Any = time.sleep
+    stats: ClientStats = field(default_factory=ClientStats)
+
+    def _url(self, resource: str) -> str:
+        return (f"{self.base_url}/{self.ixp}/v{self.family}"
+                f"{api.API_PREFIX}{resource}")
+
+    def _get(self, resource: str) -> Dict[str, Any]:
+        """GET with retries; raises LookingGlassError when exhausted."""
+        return self._get_raw(self._url(resource))
+
+    def _get_raw(self, url: str) -> Dict[str, Any]:
+        last_error: Optional[str] = None
+        for attempt in range(self.max_retries + 1):
+            self.stats.requests += 1
+            try:
+                with urllib.request.urlopen(url, timeout=30) as response:
+                    return json.load(response)
+            except urllib.error.HTTPError as error:
+                if error.code == 429:
+                    self.stats.rate_limited += 1
+                    retry_after = float(
+                        error.headers.get("Retry-After", "0.1") or 0.1)
+                    delay = min(self.backoff_cap, max(retry_after, 0.01))
+                elif 500 <= error.code < 600:
+                    self.stats.server_errors += 1
+                    delay = min(self.backoff_cap,
+                                self.backoff_base * (2 ** attempt))
+                else:
+                    raise LookingGlassError(
+                        f"GET {url} failed: HTTP {error.code}") from error
+                last_error = f"HTTP {error.code}"
+            except urllib.error.URLError as error:
+                delay = min(self.backoff_cap,
+                            self.backoff_base * (2 ** attempt))
+                last_error = str(error.reason)
+            if attempt < self.max_retries:
+                self.stats.retries += 1
+                self.sleep(delay)
+        raise LookingGlassError(
+            f"GET {url} failed after {self.max_retries + 1} attempts "
+            f"({last_error})")
+
+    # -- endpoints -------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        return self._get("/status")
+
+    def config_dictionary(self) -> CommunityDictionary:
+        """The RS-config half of the paper's dictionary (§3)."""
+        return CommunityDictionary.from_dict(self._get("/config"))
+
+    def neighbors(self) -> List[api.NeighborSummary]:
+        from . import dialects
+        if self.dialect == dialects.DIALECT_BIRDSEYE:
+            payload = self._get_raw(
+                f"{self.base_url}/{self.ixp}/v{self.family}"
+                "/api/protocols")
+        else:
+            payload = self._get("/neighbors")
+        return dialects.parse_neighbors(payload, self.dialect)
+
+    def routes(self, asn: int, filtered: bool = False,
+               page_size: int = api.DEFAULT_PAGE_SIZE) -> Iterator[Route]:
+        """All (accepted or filtered) routes of one neighbor, following
+        pagination (dialect-aware)."""
+        from . import dialects
+        page = 1
+        while True:
+            if self.dialect == dialects.DIALECT_BIRDSEYE:
+                if filtered:
+                    raise LookingGlassError(
+                        "the birdseye dialect does not expose the "
+                        "filtered route set")
+                payload = self._get_raw(
+                    f"{self.base_url}/{self.ixp}/v{self.family}"
+                    f"/api/routes/pb_{asn}?page={page}"
+                    f"&page_size={page_size}")
+            else:
+                query = f"/neighbors/{asn}/routes?page={page}" \
+                        f"&page_size={page_size}"
+                if filtered:
+                    query += "&filtered=1"
+                payload = self._get(query)
+            yield from dialects.parse_routes(payload, self.dialect)
+            if page >= dialects.total_pages(payload, self.dialect):
+                return
+            page += 1
+
+    def all_routes(self, filtered: bool = False) -> List[Route]:
+        """Accepted (or filtered) routes of every established neighbor,
+        collected peer by peer — the paper's §3 procedure ("for each
+        peer, we collect all the accepted routes")."""
+        routes: List[Route] = []
+        for neighbor in self.neighbors():
+            if not neighbor.established:
+                continue
+            routes.extend(self.routes(neighbor.asn, filtered=filtered))
+        return routes

@@ -1,0 +1,72 @@
+"""Token-bucket rate limiting for the Looking Glass server.
+
+The paper's collection "was subject to communication failures because of
+LG instability and/or query rate limits" (§3, citing Periscope). The
+simulated LG reproduces both: a token bucket that returns HTTP 429 when
+clients query too fast, and a configurable instability injector that
+fails a fraction of requests with HTTP 503.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..utils import stable_fraction
+
+
+class TokenBucket:
+    """Classic token bucket; thread-safe (the HTTP server is threaded)."""
+
+    def __init__(self, rate_per_second: float, burst: int) -> None:
+        if rate_per_second <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate_per_second
+        self.capacity = max(1, burst)
+        self._tokens = float(self.capacity)
+        self._updated = time.monotonic()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take *tokens* if available; never blocks."""
+        with self._lock:
+            now = time.monotonic()
+            elapsed = now - self._updated
+            self._updated = now
+            self._tokens = min(self.capacity,
+                               self._tokens + elapsed * self.rate)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def retry_after(self) -> float:
+        """Suggested wait (seconds) before the next token is available."""
+        with self._lock:
+            missing = max(0.0, 1.0 - self._tokens)
+            return missing / self.rate
+
+
+@dataclass
+class InstabilityInjector:
+    """Deterministically fails a fraction of requests (HTTP 503).
+
+    Failures are keyed on (seed, counter) so test runs are reproducible,
+    and bursty: failures cluster in runs of `burst_length`, mimicking an
+    LG falling over for a stretch rather than coin-flip noise.
+    """
+
+    failure_rate: float = 0.0
+    burst_length: int = 5
+    seed: int = 7
+    _counter: int = 0
+
+    def should_fail(self) -> bool:
+        if self.failure_rate <= 0:
+            return False
+        window = self._counter // max(1, self.burst_length)
+        self._counter += 1
+        return stable_fraction(self.seed, window) < self.failure_rate

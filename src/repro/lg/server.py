@@ -1,0 +1,208 @@
+"""Looking Glass HTTP server (stdlib only).
+
+Serves one or more route servers over the JSON API described in
+:mod:`repro.lg.api`, with token-bucket rate limiting (HTTP 429) and
+optional instability injection (HTTP 503) — the two failure modes the
+paper's §3 collection had to survive.
+
+Usage::
+
+    server = LookingGlassServer({("decix-fra", 4): route_server})
+    with server.serve() as base_url:
+        ...  # point a LookingGlassClient at base_url
+
+URL layout (one route server per (ixp, family) mount):
+
+    /<ixp>/v<family>/api/v1/status
+    /<ixp>/v<family>/api/v1/config
+    /<ixp>/v<family>/api/v1/neighbors
+    /<ixp>/v<family>/api/v1/neighbors/<asn>/routes?page=N[&filtered=1]
+"""
+
+from __future__ import annotations
+
+import contextlib
+import datetime as _dt
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Iterator, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..routeserver.server import RouteServer
+from . import api, dialects
+from .ratelimit import InstabilityInjector, TokenBucket
+
+_ROUTE_PATTERN = re.compile(
+    r"^/(?P<ixp>[\w.-]+)/v(?P<family>[46])" + api.API_PREFIX
+    + r"(?P<resource>/status|/config|/neighbors"
+    + r"|/neighbors/(?P<asn>\d+)/routes)$")
+
+#: birdseye URL layout: /<ixp>/v<family>/api/protocols and
+#: /<ixp>/v<family>/api/routes/pb_<asn>
+_BIRDSEYE_PATTERN = re.compile(
+    r"^/(?P<ixp>[\w.-]+)/v(?P<family>[46])/api"
+    r"(?P<resource>/protocols|/routes/pb_(?P<asn>\d+))$")
+
+
+class LookingGlassServer:
+    """An HTTP Looking Glass over in-memory route servers."""
+
+    def __init__(self, route_servers: Dict[Tuple[str, int], RouteServer],
+                 rate_per_second: float = 200.0,
+                 burst: int = 200,
+                 failure_rate: float = 0.0,
+                 host: str = "127.0.0.1",
+                 port: int = 0,
+                 dialect_overrides: Optional[Dict[str, str]] = None,
+                 ) -> None:
+        self.route_servers = dict(route_servers)
+        #: IXP key → dialect; alice unless overridden (e.g. BCIX runs
+        #: birdseye). The server answers BOTH URL layouts regardless —
+        #: this records which frontend an IXP nominally runs.
+        self.dialects = dict(dialect_overrides or {})
+        self.bucket = TokenBucket(rate_per_second, burst)
+        self.injector = InstabilityInjector(failure_rate=failure_rate)
+        self.host = host
+        self.port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- request handling (framework-free) ------------------------------
+
+    def handle(self, path: str) -> Tuple[int, Dict[str, object]]:
+        """Resolve one GET request path to (status, JSON payload).
+
+        Pure function of server state — exercised directly by unit tests
+        without sockets, and by the HTTP handler below.
+        """
+        if self.injector.should_fail():
+            return 503, api.error_payload("looking glass unstable", 503)
+        if not self.bucket.try_acquire():
+            return 429, api.error_payload("query rate limit exceeded", 429)
+        parsed = urlparse(path)
+        match = _ROUTE_PATTERN.match(parsed.path)
+        if not match:
+            birdseye = _BIRDSEYE_PATTERN.match(parsed.path)
+            if birdseye is not None:
+                return self._handle_birdseye(birdseye, parsed.query)
+            return 404, api.error_payload(f"no such resource: {path}", 404)
+        key = (match.group("ixp"), int(match.group("family")))
+        server = self.route_servers.get(key)
+        if server is None:
+            return 404, api.error_payload(
+                f"no route server mounted at {key}", 404)
+        resource = match.group("resource")
+        query = parse_qs(parsed.query)
+        if resource == "/status":
+            return 200, api.status_payload(
+                key[0], key[1], server.config.rs_asn,
+                _dt.datetime.now(_dt.timezone.utc).isoformat())
+        if resource == "/config":
+            if server.config.dictionary is None:
+                return 500, api.error_payload("no dictionary", 500)
+            return 200, server.config.dictionary.to_dict()
+        if resource == "/neighbors":
+            return 200, api.neighbors_payload(server.peers_summary())
+        # /neighbors/<asn>/routes
+        asn = int(match.group("asn"))
+        if not server.has_peer(asn):
+            return 404, api.error_payload(f"no neighbor AS{asn}", 404)
+        filtered = query.get("filtered", ["0"])[0] in ("1", "true")
+        page = max(1, int(query.get("page", ["1"])[0]))
+        page_size = min(api.MAX_PAGE_SIZE,
+                        max(1, int(query.get("page_size",
+                                             [str(api.DEFAULT_PAGE_SIZE)])[0])))
+        routes = (server.filtered_routes(asn) if filtered
+                  else server.accepted_routes(asn))
+        routes.sort(key=lambda r: r.prefix)
+        total = len(routes)
+        start = (page - 1) * page_size
+        page_routes = routes[start:start + page_size]
+        return 200, api.routes_payload(
+            page_routes, page, page_size, total, filtered)
+
+    def _handle_birdseye(self, match, query_text: str,
+                         ) -> Tuple[int, Dict[str, object]]:
+        """Serve the birdseye URL layout (BCIX-style deployments)."""
+        key = (match.group("ixp"), int(match.group("family")))
+        server = self.route_servers.get(key)
+        if server is None:
+            return 404, api.error_payload(
+                f"no route server mounted at {key}", 404)
+        query = parse_qs(query_text)
+        resource = match.group("resource")
+        if resource == "/protocols":
+            return 200, dialects.birdseye_protocols(
+                server.peers_summary())
+        asn = int(match.group("asn"))
+        if not server.has_peer(asn):
+            return 404, api.error_payload(f"no protocol pb_{asn}", 404)
+        page = max(1, int(query.get("page", ["1"])[0]))
+        page_size = min(api.MAX_PAGE_SIZE,
+                        max(1, int(query.get("page_size",
+                                             [str(api.DEFAULT_PAGE_SIZE)]
+                                             )[0])))
+        routes = server.accepted_routes(asn)
+        routes.sort(key=lambda r: r.prefix)
+        total = len(routes)
+        start = (page - 1) * page_size
+        return 200, dialects.birdseye_routes(
+            routes[start:start + page_size], page, page_size, total)
+
+    # -- HTTP plumbing ---------------------------------------------------
+
+    def _make_handler(self):
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+                status, payload = outer.handle(self.path)
+                body = json.dumps(payload).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                if status == 429:
+                    self.send_header(
+                        "Retry-After",
+                        f"{outer.bucket.retry_after:.3f}")
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt: str, *args: object) -> None:
+                pass  # keep test output clean
+
+        return Handler
+
+    def start(self) -> str:
+        """Start serving in a daemon thread; returns the base URL."""
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self.port), self._make_handler())
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True)
+        self._thread.start()
+        return self.base_url
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+            self._thread = None
+
+    @contextlib.contextmanager
+    def serve(self) -> Iterator[str]:
+        """Context-manager form of start/stop."""
+        url = self.start()
+        try:
+            yield url
+        finally:
+            self.stop()

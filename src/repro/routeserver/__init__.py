@@ -1,0 +1,29 @@
+"""Route-server substrate: RFC 7947 simulator with action communities."""
+
+from .config import RouteServerConfig
+from .filters import (
+    BogonAsnFilter,
+    BogonPrefixFilter,
+    FilterChain,
+    FilterVerdict,
+    MaxCommunitiesFilter,
+    PathLengthFilter,
+    PathLoopFilter,
+    PeerAsFilter,
+    PrefixLengthFilter,
+    WrongFamilyFilter,
+)
+from .policy import PolicyEngine, RoutePolicy
+from .rib import AdjRibIn, RibStore
+from .server import PeerSession, RouteServer
+from .updates import build_updates, build_withdrawals, replay_export
+
+__all__ = [
+    "RouteServer", "RouteServerConfig", "PeerSession",
+    "FilterChain", "FilterVerdict", "PolicyEngine", "RoutePolicy",
+    "AdjRibIn", "RibStore",
+    "build_updates", "build_withdrawals", "replay_export",
+    "WrongFamilyFilter", "BogonPrefixFilter", "BogonAsnFilter",
+    "PathLengthFilter", "PathLoopFilter", "PrefixLengthFilter",
+    "PeerAsFilter", "MaxCommunitiesFilter",
+]

@@ -1,0 +1,73 @@
+"""Route server configuration.
+
+Mirrors the knobs visible in public BIRD route-server configs at the
+studied IXPs: import-filter bounds (§3 lists the rejection reasons:
+bogon prefixes or ASNs, AS paths too long, prefixes too specific or too
+broad), the max-communities guard DE-CIX applies ("filters routes with
+too many communities", §5.6), whether action communities are scrubbed
+before export (RFC 7947 §2.2.2 behaviour, "will typically do" per §2),
+and which informational tags the RS adds at import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..bgp.communities import StandardCommunity
+from ..ixp.dictionary import CommunityDictionary
+
+
+@dataclass
+class RouteServerConfig:
+    """Configuration of one (IXP, address family) route server."""
+
+    rs_asn: int
+    family: int = 4
+    dictionary: Optional[CommunityDictionary] = None
+
+    # Import filter bounds.
+    max_as_path_length: int = 32
+    min_prefix_len_v4: int = 8
+    max_prefix_len_v4: int = 24
+    min_prefix_len_v6: int = 16
+    max_prefix_len_v6: int = 48
+    #: None disables the guard; DE-CIX-style deployments set it.
+    max_communities: Optional[int] = None
+    reject_bogon_prefixes: bool = True
+    reject_bogon_asns: bool = True
+    reject_as_path_loops: bool = True
+    #: require the leftmost AS-path ASN to equal the announcing peer ASN
+    #: (standard RS peer-AS check).
+    enforce_peer_as: bool = True
+
+    # Policy behaviour.
+    scrub_action_communities: bool = True
+    add_informational_communities: bool = True
+    #: informational tags the RS stamps on every accepted route; defaults
+    #: to the first informational entries of the dictionary.
+    informational_tags: Tuple[StandardCommunity, ...] = ()
+    #: mean informational tags per route; None stamps the whole tuple on
+    #: every route, a float (e.g. 2.6) stamps the first two tags always
+    #: and the third on 60% of routes (deterministic per prefix).
+    informational_per_route: Optional[float] = None
+    #: accept RFC 7999 blackhole requests (DE-CIX yes; others at the
+    #: paper's collection time, no).
+    blackholing_enabled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.family not in (4, 6):
+            raise ValueError(f"family must be 4 or 6, got {self.family}")
+        if not self.informational_tags and self.dictionary is not None:
+            self.informational_tags = tuple(
+                entry.community for entry in
+                list(self.dictionary.informational_entries())[:2]
+                if isinstance(entry.community, StandardCommunity))
+
+    @property
+    def min_prefix_len(self) -> int:
+        return self.min_prefix_len_v4 if self.family == 4 else self.min_prefix_len_v6
+
+    @property
+    def max_prefix_len(self) -> int:
+        return self.max_prefix_len_v4 if self.family == 4 else self.max_prefix_len_v6

@@ -1,0 +1,223 @@
+"""Route server import filters.
+
+The §3 sanitation text enumerates why route servers reject ("filter")
+routes: *bogon prefixes or ASNs, AS paths too long, and prefixes too
+specific (>/24) or too broad (</8)*. Each reason is one small filter
+class here; a :class:`FilterChain` evaluates them in order and reports
+the first rejection. Filtered routes are kept (marked) rather than
+dropped, because the LG exposes both the filtered and accepted sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Protocol, Sequence
+
+from ..bgp.asn import is_bogon_asn
+from ..bgp.prefix import is_bogon_prefix, is_too_broad, is_too_specific
+from ..bgp.route import Route
+from .config import RouteServerConfig
+
+
+@dataclass(frozen=True)
+class FilterVerdict:
+    """Outcome of running one filter (or the whole chain)."""
+
+    accepted: bool
+    reason: Optional[str] = None
+
+    @classmethod
+    def accept(cls) -> "FilterVerdict":
+        return cls(True)
+
+    @classmethod
+    def reject(cls, reason: str) -> "FilterVerdict":
+        return cls(False, reason)
+
+
+class ImportFilter(Protocol):
+    """One import filter; returns a verdict for a candidate route."""
+
+    name: str
+
+    def evaluate(self, route: Route) -> FilterVerdict: ...
+
+
+class WrongFamilyFilter:
+    """Reject routes of the other address family (v4 RS vs v6 RS)."""
+
+    name = "wrong-family"
+
+    def __init__(self, family: int) -> None:
+        self._family = family
+
+    def evaluate(self, route: Route) -> FilterVerdict:
+        if route.family != self._family:
+            return FilterVerdict.reject(
+                f"{self.name}: IPv{route.family} route on IPv{self._family} RS")
+        return FilterVerdict.accept()
+
+
+class BogonPrefixFilter:
+    """Reject announcements for special-purpose (bogon) prefixes."""
+
+    name = "bogon-prefix"
+
+    def evaluate(self, route: Route) -> FilterVerdict:
+        if is_bogon_prefix(route.prefix):
+            return FilterVerdict.reject(f"{self.name}: {route.prefix}")
+        return FilterVerdict.accept()
+
+
+class BogonAsnFilter:
+    """Reject routes whose AS path contains a reserved/private ASN."""
+
+    name = "bogon-asn"
+
+    def evaluate(self, route: Route) -> FilterVerdict:
+        for asn in route.as_path.unique_asns():
+            if is_bogon_asn(asn):
+                return FilterVerdict.reject(f"{self.name}: AS{asn} in path")
+        return FilterVerdict.accept()
+
+
+class PathLengthFilter:
+    """Reject implausibly long AS paths (prepend abuse / leaks)."""
+
+    name = "as-path-too-long"
+
+    def __init__(self, max_length: int) -> None:
+        self._max_length = max_length
+
+    def evaluate(self, route: Route) -> FilterVerdict:
+        if route.as_path.length > self._max_length:
+            return FilterVerdict.reject(
+                f"{self.name}: {route.as_path.length} > {self._max_length}")
+        return FilterVerdict.accept()
+
+
+class PathLoopFilter:
+    """Reject paths with non-adjacent ASN repeats (routing loops)."""
+
+    name = "as-path-loop"
+
+    def evaluate(self, route: Route) -> FilterVerdict:
+        if route.as_path.has_loop():
+            return FilterVerdict.reject(f"{self.name}: {route.as_path}")
+        return FilterVerdict.accept()
+
+
+class PrefixLengthFilter:
+    """Reject prefixes too specific or too broad for the family."""
+
+    name = "prefix-length"
+
+    def __init__(self, min_len: int, max_len: int, family: int) -> None:
+        self._min = min_len
+        self._max = max_len
+        self._family = family
+
+    def evaluate(self, route: Route) -> FilterVerdict:
+        kwargs = ({"min_v4": self._min} if self._family == 4
+                  else {"min_v6": self._min})
+        if is_too_broad(route.prefix, **kwargs):
+            return FilterVerdict.reject(
+                f"{self.name}: {route.prefix} too broad (< /{self._min})")
+        kwargs = ({"max_v4": self._max} if self._family == 4
+                  else {"max_v6": self._max})
+        if is_too_specific(route.prefix, **kwargs):
+            return FilterVerdict.reject(
+                f"{self.name}: {route.prefix} too specific (> /{self._max})")
+        return FilterVerdict.accept()
+
+
+class PeerAsFilter:
+    """Reject routes whose leftmost path ASN is not the announcing peer."""
+
+    name = "peer-as-mismatch"
+
+    def evaluate(self, route: Route) -> FilterVerdict:
+        if route.as_path.first_asn != route.peer_asn:
+            return FilterVerdict.reject(
+                f"{self.name}: first AS {route.as_path.first_asn} != "
+                f"peer AS {route.peer_asn}")
+        return FilterVerdict.accept()
+
+
+class MaxCommunitiesFilter:
+    """Reject routes carrying more communities than allowed.
+
+    This is the DE-CIX "too many communities" guard discussed in §5.6 as
+    an incentive for ASes to hygienise their tagging.
+    """
+
+    name = "too-many-communities"
+
+    def __init__(self, max_communities: int) -> None:
+        self._max = max_communities
+
+    def evaluate(self, route: Route) -> FilterVerdict:
+        if route.community_count > self._max:
+            return FilterVerdict.reject(
+                f"{self.name}: {route.community_count} > {self._max}")
+        return FilterVerdict.accept()
+
+
+class BlackholePrefixLengthExemption:
+    """Not a filter by itself — helper predicate used by the chain to
+    allow host routes (/32, /128) when they carry the RFC 7999 blackhole
+    community on a blackholing-enabled RS."""
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+
+    def applies(self, route: Route) -> bool:
+        from ..ixp.schemes.common import BLACKHOLE_COMMUNITY
+        return self.enabled and BLACKHOLE_COMMUNITY in route.communities
+
+
+class FilterChain:
+    """Ordered import-filter evaluation with first-reject semantics."""
+
+    def __init__(self, filters: Sequence[ImportFilter],
+                 blackhole_exemption: Optional[
+                     BlackholePrefixLengthExemption] = None) -> None:
+        self._filters: List[ImportFilter] = list(filters)
+        self._blackhole_exemption = blackhole_exemption
+
+    @classmethod
+    def from_config(cls, config: RouteServerConfig) -> "FilterChain":
+        """Build the standard chain for a route-server config."""
+        filters: List[ImportFilter] = [WrongFamilyFilter(config.family)]
+        if config.enforce_peer_as:
+            filters.append(PeerAsFilter())
+        if config.reject_bogon_prefixes:
+            filters.append(BogonPrefixFilter())
+        if config.reject_bogon_asns:
+            filters.append(BogonAsnFilter())
+        filters.append(PathLengthFilter(config.max_as_path_length))
+        if config.reject_as_path_loops:
+            filters.append(PathLoopFilter())
+        filters.append(PrefixLengthFilter(
+            config.min_prefix_len, config.max_prefix_len, config.family))
+        if config.max_communities is not None:
+            filters.append(MaxCommunitiesFilter(config.max_communities))
+        return cls(filters, BlackholePrefixLengthExemption(
+            config.blackholing_enabled))
+
+    def evaluate(self, route: Route) -> FilterVerdict:
+        """Run the chain; first rejection wins."""
+        exempt_prefix_len = (self._blackhole_exemption is not None
+                             and self._blackhole_exemption.applies(route))
+        for import_filter in self._filters:
+            if exempt_prefix_len and isinstance(
+                    import_filter, PrefixLengthFilter):
+                continue
+            verdict = import_filter.evaluate(route)
+            if not verdict.accepted:
+                return verdict
+        return FilterVerdict.accept()
+
+    @property
+    def filter_names(self) -> List[str]:
+        return [f.name for f in self._filters]

@@ -1,0 +1,175 @@
+"""Action-community export policy (RFC 7947 §2.2.2 style).
+
+Given an accepted route carrying action communities, the policy decides,
+for each candidate export peer:
+
+* whether the route may be exported to that peer at all
+  (do-not-announce-to / announce-only-to semantics), and
+* how many prepends to apply (prepend-to semantics),
+
+and whether the route is a blackhole request. Evaluation follows the
+BIRD route-server convention used at the studied IXPs:
+
+1. ``0:<peer>``  (do-not-announce-to <peer>)      → deny, most specific;
+2. ``<rs>:<peer>`` (announce-only-to <peer>)      → allow;
+3. ``0:<rs>``    (do-not-announce-to everyone)    → deny;
+4. otherwise                                       → allow (default).
+
+The same evaluation is what makes communities targeting ASes *not* at
+the route server pointless (§5.5): rule 1 and 2 never fire for a peer
+that does not exist, so the RS performs matching work for nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..bgp.communities import StandardCommunity
+from ..bgp.route import Route
+from ..ixp.dictionary import CommunityDictionary, Semantics
+from ..ixp.taxonomy import ActionCategory, Target, TargetKind
+
+
+@dataclass(frozen=True)
+class RoutePolicy:
+    """The parsed action-community intent of one route.
+
+    Built once per route, then queried per candidate export peer.
+    """
+
+    deny_all: bool = False
+    deny_peers: FrozenSet[int] = frozenset()
+    allow_peers: FrozenSet[int] = frozenset()
+    allow_all_explicit: bool = False
+    #: peer ASN → prepend count (0 key means "all peers").
+    prepend_counts: Dict[int, int] = field(default_factory=dict)
+    prepend_all: int = 0
+    blackhole: bool = False
+    #: action communities found on the route (for scrubbing).
+    action_communities: FrozenSet[StandardCommunity] = frozenset()
+
+    def export_allowed(self, peer_asn: int) -> bool:
+        """May this route be exported to *peer_asn*?"""
+        if self.blackhole:
+            # Blackhole routes are redistributed to all peers that accept
+            # them; propagation scoping still applies on top.
+            pass
+        if peer_asn in self.deny_peers:
+            return False
+        if peer_asn in self.allow_peers:
+            return True
+        if self.deny_all:
+            return self.allow_all_explicit
+        return True
+
+    def prepends_for(self, peer_asn: int) -> int:
+        """Prepend count to apply when exporting to *peer_asn*."""
+        return max(self.prepend_counts.get(peer_asn, 0), self.prepend_all)
+
+
+class PolicyEngine:
+    """Compiles routes' action communities into :class:`RoutePolicy`."""
+
+    def __init__(self, dictionary: CommunityDictionary, rs_asn: int,
+                 blackholing_enabled: bool = False) -> None:
+        self._dictionary = dictionary
+        self._rs_asn = rs_asn
+        self._blackholing_enabled = blackholing_enabled
+
+    def classify_actions(
+            self, route: Route,
+    ) -> List[Tuple[StandardCommunity, Semantics]]:
+        """Action communities on *route* with their semantics."""
+        actions: List[Tuple[StandardCommunity, Semantics]] = []
+        for community in sorted(route.communities):
+            semantics = self._dictionary.lookup(community)
+            if semantics is not None and semantics.is_action:
+                actions.append((community, semantics))
+        return actions
+
+    def compile(self, route: Route) -> RoutePolicy:
+        """Parse the route's action communities into a policy."""
+        deny_all = False
+        allow_all_explicit = False
+        blackhole = False
+        deny_peers: Set[int] = set()
+        allow_peers: Set[int] = set()
+        prepend_counts: Dict[int, int] = {}
+        prepend_all = 0
+        action_communities: Set[StandardCommunity] = set()
+
+        for community, semantics in self.classify_actions(route):
+            action_communities.add(community)
+            category = semantics.category
+            target = semantics.target or Target.none()
+            if category is ActionCategory.BLACKHOLING:
+                blackhole = self._blackholing_enabled
+            elif category is ActionCategory.DO_NOT_ANNOUNCE_TO:
+                if target.kind is TargetKind.ALL_PEERS:
+                    deny_all = True
+                elif target.kind is TargetKind.PEER_AS:
+                    deny_peers.add(target.asn)  # type: ignore[arg-type]
+            elif category is ActionCategory.ANNOUNCE_ONLY_TO:
+                if target.kind is TargetKind.ALL_PEERS:
+                    allow_all_explicit = True
+                elif target.kind is TargetKind.PEER_AS:
+                    allow_peers.add(target.asn)  # type: ignore[arg-type]
+            elif category is ActionCategory.PREPEND_TO:
+                count = semantics.prepend_count
+                if target.kind is TargetKind.ALL_PEERS:
+                    prepend_all = max(prepend_all, count)
+                elif target.kind is TargetKind.PEER_AS:
+                    asn = target.asn  # type: ignore[assignment]
+                    prepend_counts[asn] = max(
+                        prepend_counts.get(asn, 0), count)
+        # The presence of any announce-only-to community flips the default
+        # to deny (that is what "only" means) unless an explicit
+        # announce-to-all is also present.
+        if allow_peers and not allow_all_explicit:
+            deny_all = True
+        return RoutePolicy(
+            deny_all=deny_all,
+            deny_peers=frozenset(deny_peers),
+            allow_peers=frozenset(allow_peers),
+            allow_all_explicit=allow_all_explicit,
+            prepend_counts=prepend_counts,
+            prepend_all=prepend_all,
+            blackhole=blackhole,
+            action_communities=frozenset(action_communities),
+        )
+
+    def export_route(self, route: Route, policy: RoutePolicy,
+                     peer_asn: int, scrub: bool = True) -> Optional[Route]:
+        """The route as it would be exported to *peer_asn*, or None.
+
+        Applies prepends and (by default) scrubs action communities —
+        the behaviour that makes action communities invisible at
+        classic route collectors (paper footnote 1) and IXP LGs the
+        right vantage point.
+        """
+        if peer_asn == route.peer_asn:
+            return None  # never export back to the announcer
+        if not policy.export_allowed(peer_asn):
+            return None
+        exported = route
+        prepends = policy.prepends_for(peer_asn)
+        if prepends:
+            exported = exported.with_prepend(route.peer_asn, prepends)
+        if scrub and policy.action_communities:
+            exported = exported.without_communities(
+                policy.action_communities)
+        return exported
+
+    def ineffective_targets(self, route: Route,
+                            rs_peer_asns: Iterable[int]) -> Set[int]:
+        """Targets of the route's action communities that are not RS
+        peers — the §5.5 "no practical routing effect" set."""
+        present = set(rs_peer_asns)
+        missing: Set[int] = set()
+        for _, semantics in self.classify_actions(route):
+            target = semantics.target
+            if (target is not None and target.kind is TargetKind.PEER_AS
+                    and target.asn not in present):
+                missing.add(target.asn)  # type: ignore[arg-type]
+        return missing

@@ -1,0 +1,133 @@
+"""UPDATE stream generation from route sets.
+
+A real route server doesn't hand its peers a RIB dump — it streams BGP
+UPDATEs, packing prefixes that share path attributes into one message
+and splitting at the 4096-byte protocol limit (RFC 4271 §4). This
+module converts an export view (a list of routes towards one peer) into
+exactly that stream, which closes the loop for the session layer: a
+:class:`~repro.bgp.session.BgpSession` can replay an Adj-RIB-Out to a
+downstream speaker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from ..bgp.errors import MessageEncodeError
+from ..bgp.messages import MAX_MESSAGE_LEN, UpdateMessage
+from ..bgp.route import Route
+
+#: attribute-set key: everything that must be identical for two NLRI to
+#: share one UPDATE.
+_AttrKey = Tuple[str, str, frozenset, frozenset, frozenset]
+
+
+def _attribute_key(route: Route) -> _AttrKey:
+    return (str(route.as_path), route.next_hop, route.communities,
+            route.extended_communities, route.large_communities)
+
+
+def _base_update(route: Route, family: int) -> UpdateMessage:
+    update = UpdateMessage(
+        origin=0,
+        as_path=route.as_path,
+        communities=tuple(sorted(route.communities)),
+        extended_communities=tuple(sorted(route.extended_communities)),
+        large_communities=tuple(sorted(route.large_communities)),
+    )
+    if family == 4:
+        update.next_hop = route.next_hop
+    else:
+        update.mp_next_hop = route.next_hop
+    return update
+
+
+def _encoded_size(update: UpdateMessage) -> int:
+    return len(update.encode())
+
+
+def build_updates(routes: Iterable[Route]) -> List[UpdateMessage]:
+    """Pack *routes* into a minimal list of UPDATE messages.
+
+    Routes sharing the exact same path attributes coalesce; each message
+    stays within the 4096-byte BGP limit. Raises
+    :class:`~repro.bgp.errors.MessageEncodeError` if a single route's
+    attributes alone exceed the limit.
+    """
+    groups: Dict[_AttrKey, List[Route]] = {}
+    order: List[_AttrKey] = []
+    for route in routes:
+        key = _attribute_key(route)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(route)
+
+    updates: List[UpdateMessage] = []
+    for key in order:
+        group = groups[key]
+        family = group[0].family
+        pending = sorted(route.prefix for route in group)
+        while pending:
+            update = _base_update(group[0], family)
+            placed = 0
+            for prefix in pending:
+                if family == 4:
+                    update.nlri.append(prefix)
+                else:
+                    update.mp_nlri.append(prefix)
+                try:
+                    size = _encoded_size(update)
+                except MessageEncodeError:
+                    size = MAX_MESSAGE_LEN + 1
+                if size > MAX_MESSAGE_LEN:
+                    if family == 4:
+                        update.nlri.pop()
+                    else:
+                        update.mp_nlri.pop()
+                    break
+                placed += 1
+            if placed == 0:
+                raise MessageEncodeError(
+                    f"attributes of {pending[0]} exceed the 4096-byte "
+                    "UPDATE limit on their own")
+            pending = pending[placed:]
+            updates.append(update)
+    return updates
+
+
+def build_withdrawals(prefixes: Iterable[str],
+                      family: int) -> List[UpdateMessage]:
+    """Pack withdrawn prefixes into UPDATE messages."""
+    updates: List[UpdateMessage] = []
+    pending = sorted(set(prefixes))
+    while pending:
+        update = UpdateMessage()
+        placed = 0
+        for prefix in pending:
+            if family == 4:
+                update.withdrawn.append(prefix)
+            else:
+                update.mp_withdrawn.append(prefix)
+            try:
+                size = _encoded_size(update)
+            except MessageEncodeError:
+                size = MAX_MESSAGE_LEN + 1
+            if size > MAX_MESSAGE_LEN:
+                if family == 4:
+                    update.withdrawn.pop()
+                else:
+                    update.mp_withdrawn.pop()
+                break
+            placed += 1
+        if placed == 0:
+            raise MessageEncodeError("cannot place a single withdrawal")
+        pending = pending[placed:]
+        updates.append(update)
+    return updates
+
+
+def replay_export(server, peer_asn: int) -> Iterator[bytes]:
+    """Encode the Adj-RIB-Out towards *peer_asn* as wire UPDATEs."""
+    for update in build_updates(server.export_to(peer_asn)):
+        yield update.encode()

@@ -1,0 +1,33 @@
+"""Small shared utilities.
+
+Determinism helpers: Python's builtin ``hash()`` is randomised per
+process (PYTHONHASHSEED), and ``random.Random(tuple)`` seeds via that
+hash — so neither can anchor a reproducible dataset. Everything in this
+package that needs a derived seed goes through :func:`stable_seed` /
+:func:`stable_fraction`, which hash through SHA-256 instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Tuple
+
+
+def stable_seed(*parts: object) -> int:
+    """A 64-bit seed derived deterministically from *parts*.
+
+    Stable across processes and Python versions (unlike ``hash``).
+    """
+    blob = "\x1f".join(repr(part) for part in parts).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+
+
+def stable_rng(*parts: object) -> random.Random:
+    """A :class:`random.Random` seeded with :func:`stable_seed`."""
+    return random.Random(stable_seed(*parts))
+
+
+def stable_fraction(*parts: object) -> float:
+    """A deterministic pseudo-uniform float in [0, 1) from *parts*."""
+    return (stable_seed(*parts) % 10_000_019) / 10_000_019.0

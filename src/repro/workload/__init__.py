@@ -1,0 +1,33 @@
+"""Synthetic workload: populations, behaviours, snapshot series."""
+
+from .behavior import MemberBehavior, TargetCatalog, build_behaviors
+from .generator import (
+    FINAL_WEEKLY_DAY,
+    STUDY_DAYS,
+    STUDY_START,
+    STUDY_WEEKS,
+    ScenarioConfig,
+    SnapshotGenerator,
+    day_to_date,
+    degrade_snapshot,
+    final_week_days,
+    weekly_days,
+)
+from .registry import ALL_KNOWN, KNOWN_BY_ASN, KnownNetwork, network_name
+from .topology import (
+    CustomerPrefix,
+    MemberAssets,
+    Population,
+    PrefixAllocator,
+    build_population,
+)
+
+__all__ = [
+    "SnapshotGenerator", "ScenarioConfig", "degrade_snapshot",
+    "weekly_days", "final_week_days", "day_to_date",
+    "STUDY_START", "STUDY_WEEKS", "STUDY_DAYS", "FINAL_WEEKLY_DAY",
+    "Population", "MemberAssets", "CustomerPrefix", "PrefixAllocator",
+    "build_population",
+    "MemberBehavior", "TargetCatalog", "build_behaviors",
+    "KnownNetwork", "ALL_KNOWN", "KNOWN_BY_ASN", "network_name",
+]

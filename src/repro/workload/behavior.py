@@ -1,0 +1,551 @@
+"""Per-member tagging behaviour models.
+
+A :class:`MemberBehavior` describes how one RS member tags the routes it
+announces: which action communities it applies (its "export policy"),
+which large/extended mirrors it sets, which of its own internal
+(unknown-to-the-IXP) communities leak into announcements, and whether it
+requests blackholing.
+
+The builder calibrates the population of behaviours against the paper's
+per-IXP numbers (profiles' :class:`~repro.ixp.profiles.CalibrationTargets`
+and :class:`~repro.ixp.profiles.CategoryUsage`):
+
+* which members use action communities at all (Fig. 4a),
+* which categories each uses (Table 2),
+* how many instances each category contributes (§5.3),
+* how often actions target ASes absent from the RS (§5.5), and
+* how many unknown/non-standard instances appear (Figs. 1–2).
+
+Members' tag sets are mostly *static across their routes* — an AS's
+export policy applies to its whole table — which is exactly what
+produces the route-share/community-share diagonal of Fig. 4c.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..bgp.communities import (
+    ExtendedCommunity,
+    LargeCommunity,
+    StandardCommunity,
+    standard,
+)
+from ..ixp.profiles import IxpProfile
+from ..ixp.schemes import spec_for
+from ..ixp.schemes.common import BLACKHOLE_COMMUNITY, SchemeSpec
+from ..ixp.taxonomy import ActionCategory
+from . import registry
+from .topology import Population
+from ..utils import stable_rng
+
+#: leaked upstream communities seen in the wild (informational tags of
+#: big transit networks); all unknown to every IXP dictionary.
+LEAKED_COMMUNITY_POOL: Tuple[StandardCommunity, ...] = tuple(
+    standard(asn, value)
+    for asn in (3356, 1299, 174, 2914, 3257, 6453, 3491, 701)
+    for value in (100, 123, 500, 666 + 1, 2001, 9003))
+
+
+@dataclass
+class MemberBehavior:
+    """How one member tags the routes it announces."""
+
+    asn: int
+    uses_actions: bool = False
+    categories: FrozenSet[ActionCategory] = frozenset()
+    #: standard action communities applied to (almost) every route.
+    route_tags: Tuple[StandardCommunity, ...] = ()
+    #: RFC 8092 / RFC 4360 mirrors of some of the standard tags.
+    large_tags: Tuple[LargeCommunity, ...] = ()
+    extended_tags: Tuple[ExtendedCommunity, ...] = ()
+    #: member-internal communities that leak to the RS (unknown).
+    unknown_pool: Tuple[StandardCommunity, ...] = ()
+    #: mean unknown communities per route.
+    unknown_per_route: float = 0.0
+    #: fraction of this member's routes that carry the action tags.
+    coverage: float = 1.0
+    #: number of blackhole host-routes this member announces.
+    blackhole_count: int = 0
+
+    @property
+    def action_tag_count(self) -> int:
+        return len(self.route_tags) + len(self.large_tags) + len(
+            self.extended_tags)
+
+
+def _category_probabilities(profile: IxpProfile,
+                            family: int) -> Dict[ActionCategory, float]:
+    usage = profile.category_usage
+    if family == 4:
+        return {
+            ActionCategory.DO_NOT_ANNOUNCE_TO: usage.dna_users_v4,
+            ActionCategory.ANNOUNCE_ONLY_TO: usage.ao_users_v4,
+            ActionCategory.PREPEND_TO: usage.prepend_users_v4,
+            ActionCategory.BLACKHOLING: usage.blackhole_users_v4,
+        }
+    return {
+        ActionCategory.DO_NOT_ANNOUNCE_TO: usage.dna_users_v6,
+        ActionCategory.ANNOUNCE_ONLY_TO: usage.ao_users_v6,
+        ActionCategory.PREPEND_TO: usage.prepend_users_v6,
+        ActionCategory.BLACKHOLING: usage.blackhole_users_v6,
+    }
+
+
+class TargetCatalog:
+    """Weighted pools of action-community targets for one IXP family.
+
+    Split into the *avoid* catalog (networks operators de-peer from over
+    the RS — content providers first, §5.4) and the *announce* catalog
+    (networks operators whitelist). Each entry knows whether the target
+    is at the RS, which decides effectiveness (§5.5).
+    """
+
+    def __init__(self, population: Population, family: int,
+                 rng: random.Random) -> None:
+        at_rs = set(population.rs_member_asns(family))
+        self.at_rs = at_rs
+        avoid: List[Tuple[int, float, bool]] = []
+        for known in (registry.CONTENT_PROVIDERS + registry.REGIONAL_ISPS
+                      + (registry.HURRICANE_ELECTRIC,)):
+            present = known.asn in at_rs
+            avoid.append((known.asn, known.target_weight, present))
+        # A second tier of avoid-targets: RS members (effective draws)
+        # and synthetic absent networks (ineffective draws). Every RS
+        # member is a possible target — big announcers with higher
+        # weight — so the effective pool does not saturate even in
+        # small scaled-down populations.
+        ranked_members = sorted(
+            (m for m in population.rs_members(family)),
+            key=lambda m: -m.prefix_count(family))
+        big_members = ranked_members[:60]
+        named = {a for a, _, _ in avoid}
+        for rank, member in enumerate(ranked_members):
+            if member.asn in named:
+                continue
+            weight = 0.8 if rank < 60 else 0.25
+            avoid.append((member.asn, weight, True))
+        for index in range(120):
+            absent_asn = 56000 + index * 13
+            if absent_asn not in at_rs:
+                avoid.append((absent_asn, 0.35, False))
+        self._avoid = avoid
+        self._avoid_effective = [t for t in avoid if t[2]]
+        self._avoid_ineffective = [t for t in avoid if not t[2]]
+
+        announce: List[Tuple[int, float, bool]] = []
+        announce_named = {n.asn for n in registry.ANNOUNCE_TARGETS}
+        for known in registry.ANNOUNCE_TARGETS:
+            announce.append((known.asn, known.target_weight,
+                             known.asn in at_rs))
+        for rank, member in enumerate(ranked_members):
+            if member.asn in announce_named:
+                continue
+            announce.append((member.asn, 0.5 if rank < 15 else 0.2, True))
+        self._announce = announce
+
+    def avoid_pool(self) -> List[Tuple[int, float, bool]]:
+        """The full avoid catalog (asn, weight, at_rs) — its size bounds
+        how many distinct avoid-targets one member can name."""
+        return list(self._avoid)
+
+    def sample_avoid(self, rng: random.Random, count: int,
+                     ineffective_bias: float) -> List[int]:
+        """Sample *count* distinct avoid-targets.
+
+        ``ineffective_bias`` is the probability of drawing from the
+        not-at-RS pool — the §5.5 calibration knob.
+        """
+        chosen: Set[int] = set()
+        guard = 0
+        while len(chosen) < count and guard < count * 20:
+            guard += 1
+            pool = (self._avoid_ineffective
+                    if rng.random() < ineffective_bias
+                    else self._avoid_effective)
+            if not pool:
+                pool = self._avoid
+            asns, weights, _ = zip(*pool)
+            chosen.add(rng.choices(asns, weights=weights, k=1)[0])
+        return sorted(chosen)
+
+    def sample_announce(self, rng: random.Random, count: int) -> List[int]:
+        chosen: Set[int] = set()
+        guard = 0
+        while len(chosen) < count and guard < count * 20:
+            guard += 1
+            asns, weights, _ = zip(*self._announce)
+            chosen.add(rng.choices(asns, weights=weights, k=1)[0])
+        return sorted(chosen)
+
+
+def _solve_beta(n_users: int, top_count: int, share_target: float) -> float:
+    """Solve for the rank-weight exponent β such that the top
+    *top_count* of *n_users* rank weights ``j**-β`` hold *share_target*
+    of the total — the Fig. 4b concentration, made scale-invariant."""
+    if n_users <= 1 or top_count >= n_users:
+        return 0.5
+
+    def share(beta: float) -> float:
+        weights = [1.0 / ((j + 1) ** beta) for j in range(n_users)]
+        total = sum(weights)
+        return sum(weights[:top_count]) / total
+
+    low, high = 0.01, 4.0
+    for _ in range(60):
+        mid = (low + high) / 2.0
+        if share(mid) < share_target:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0
+
+
+def _tiered_instance_weights(n_users: int, member_count: int,
+                             top1_share: float,
+                             top10_share: float = 0.96) -> List[float]:
+    """Per-rank instance weights reproducing Fig. 4b's two checkpoints.
+
+    The paper reports the cumulative curve at two points: the top 1% of
+    RS members hold ``top1_share`` of the instances, and the bottom 90%
+    hold under ~5%. A three-tier allocation (top 1%, 1–10%, tail) with
+    gentle within-tier decay hits both by construction at any scale.
+    """
+    if n_users <= 0:
+        return []
+    k1 = max(1, int(member_count * 0.01))
+    k10 = max(k1 + 1, int(member_count * 0.10))
+    k1 = min(k1, n_users)
+    k10 = min(k10, n_users)
+    top1 = min(top1_share, 1.0)
+    mid = max(0.0, min(1.0, top10_share) - top1)
+    tail = max(0.0, 1.0 - top1 - mid)
+    tiers = [(0, k1, top1), (k1, k10, mid), (k10, n_users, tail)]
+    weights = [0.0] * n_users
+    leftover = 0.0
+    for start, end, mass in tiers:
+        size = end - start
+        if size <= 0:
+            leftover += mass
+            continue
+        raw = [1.0 / ((j + 1) ** 0.8) for j in range(size)]
+        raw_total = sum(raw)
+        for offset, value in enumerate(raw):
+            weights[start + offset] = (mass + leftover) * value / raw_total
+        leftover = 0.0
+    total = sum(weights) or 1.0
+    return [w / total for w in weights]
+
+
+def build_behaviors(profile: IxpProfile, population: Population,
+                    family: int, seed: int = 7) -> Dict[int, MemberBehavior]:
+    """Build calibrated behaviours for every RS member of *population*."""
+    rng = stable_rng(seed, profile.key, family)
+    spec = spec_for(profile)
+    rs16 = min(spec.rs_asn, 0xFFFF)
+    calibration = profile.calibration
+    catalog = TargetCatalog(population, family, rng)
+
+    members = population.rs_members(family)
+    route_counts = _route_counts(population, family)
+    total_routes = sum(route_counts.get(m.asn, 0) for m in members)
+
+    p_use = (calibration.members_using_actions if family == 4
+             else calibration.members_using_actions_v6)
+    category_probs = _category_probabilities(profile, family)
+
+    # ---- quota selection of action users (Fig. 4a): defensive taggers
+    # always tag; the rest are a deterministic-size random sample so the
+    # realised fraction matches the paper even for small populations.
+    defensive_asns = {m.asn for m in members
+                      if (known := registry.KNOWN_BY_ASN.get(m.asn))
+                      and known.defensive_tagger}
+    eligible = [m for m in members if route_counts.get(m.asn, 0) > 0]
+    target_users = round(p_use * len(members))
+    # Defensive transit networks tag by default, but in small
+    # populations they cannot be allowed to blow past the Fig. 4a quota
+    # — keep at most ~3/4 of the user budget for them, Hurricane
+    # Electric first (it must remain the top culprit, §5.5).
+    defensive_ordered = sorted(
+        (m.asn for m in eligible if m.asn in defensive_asns),
+        key=lambda asn: (0 if asn == registry.HURRICANE_ELECTRIC.asn else 1,
+                         -route_counts.get(asn, 0), asn))
+    defensive_cap = max(1, min(len(defensive_ordered),
+                               round(target_users * 0.75)))
+    defensive_users = set(defensive_ordered[:defensive_cap])
+    others = [m for m in eligible if m.asn not in defensive_users]
+    extra_needed = max(0, min(len(others),
+                              target_users - len(defensive_users)))
+    sampled = set(rng.sample(range(len(others)), extra_needed))
+    user_asns = (defensive_users
+                 | {m.asn for i, m in enumerate(others) if i in sampled})
+
+    # ---- quota per-category assignment (Table 2): every user gets
+    # do-not-announce eligibility by default; the rarer categories are
+    # deterministic-size random subsets of the users.
+    users_ordered = [m for m in members if m.asn in user_asns]
+    n_users = len(users_ordered)
+    conditional = {category: min(1.0, probability / max(p_use, 1e-9))
+                   for category, probability in category_probs.items()}
+    category_members: Dict[ActionCategory, Set[int]] = {}
+    for category, probability in conditional.items():
+        if category is ActionCategory.BLACKHOLING and not (
+                calibration.supports_blackholing):
+            category_members[category] = set()
+            continue
+        quota = min(n_users, round(probability * n_users))
+        if category is ActionCategory.DO_NOT_ANNOUNCE_TO:
+            # defensive taggers are always do-not-announce users.
+            chosen = set(defensive_users)
+            pool = [m.asn for m in users_ordered if m.asn not in chosen]
+            chosen |= set(rng.sample(pool, max(0, min(len(pool),
+                                                      quota - len(chosen)))))
+        elif category is ActionCategory.ANNOUNCE_ONLY_TO:
+            # Announce-only users skew towards the big announcers (the
+            # larger the AS, the more complex its routing policy, §5.2),
+            # and the very largest action users always hold both
+            # propagation categories — that keeps the combined Fig. 4b
+            # head aligned across categories. Weighted sampling without
+            # replacement (Efraimidis-Spirakis).
+            by_routes = sorted(
+                users_ordered,
+                key=lambda m: -route_counts.get(m.asn, 0))
+            head_count = max(1, int(len(members) * 0.01))
+            chosen = {m.asn for m in by_routes[:min(head_count, quota)]}
+            remaining = [m for m in users_ordered if m.asn not in chosen]
+            keyed = sorted(
+                remaining,
+                key=lambda m: rng.random() ** (
+                    1.0 / (route_counts.get(m.asn, 0) + 1.0)))
+            for member in keyed:
+                if len(chosen) >= quota:
+                    break
+                chosen.add(member.asn)
+        else:
+            chosen = set(rng.sample([m.asn for m in users_ordered],
+                                    quota))
+        category_members[category] = chosen
+    # Every user must use at least one category; the fallback is
+    # do-not-announce-to. To keep the Table 2 quota honest, users that
+    # hold another category are trimmed back out of the
+    # do-not-announce set, most-categorised first.
+    dna_quota = len(category_members[ActionCategory.DO_NOT_ANNOUNCE_TO])
+    assigned = set().union(*category_members.values())
+    for member in users_ordered:
+        if member.asn not in assigned:
+            category_members[ActionCategory.DO_NOT_ANNOUNCE_TO].add(
+                member.asn)
+    dna_set = category_members[ActionCategory.DO_NOT_ANNOUNCE_TO]
+    surplus = len(dna_set) - dna_quota
+    if surplus > 0:
+        other_sets = [chosen for category, chosen in
+                      category_members.items()
+                      if category is not ActionCategory.DO_NOT_ANNOUNCE_TO]
+        removable = [asn for asn in sorted(dna_set)
+                     if asn not in defensive_users
+                     and any(asn in chosen for chosen in other_sets)]
+        for asn in removable[:surplus]:
+            dna_set.discard(asn)
+
+    # The §5.5 knob: probability that an avoid-target draw comes from the
+    # not-at-RS pool.
+    ineffective_share = (calibration.ineffective_share if family == 4
+                         else calibration.ineffective_share_v6)
+    # Announce-only-to targets are whitelisted RS members (effective by
+    # construction), so essentially all ineffective instances come from
+    # the do-not-announce family — its draw bias must carry the whole
+    # §5.5 share.
+    usage_ref = profile.category_usage
+    ineffective_bias = min(
+        0.95,
+        ineffective_share / max(usage_ref.dna_occ, 0.1)
+        * calibration.ineffective_correction)
+
+    # Non-standard mirrors: make (1 - standard_share) of the IXP-defined
+    # instances non-standard, split ~85/15 between large and extended.
+    nonstd_ratio = (1.0 - calibration.standard_share) / max(
+        calibration.standard_share, 1e-9)
+
+    # Unknown-instance budget (Fig. 1): unknown / defined ratio.
+    defined_share = (calibration.ixp_defined_share if family == 4
+                     else calibration.ixp_defined_share_v6)
+    unknown_ratio = (1.0 - defined_share) / max(defined_share, 1e-9)
+
+    info_per_route = (calibration.info_tags_v4 if family == 4
+                      else calibration.info_tags_v6)
+    actions_per_route = (calibration.actions_per_route_v4 if family == 4
+                         else calibration.actions_per_route_v6)
+
+    # ---- coverage (routes with >=1 action community, §5.2).
+    routes_with_actions = (calibration.routes_with_actions if family == 4
+                           else calibration.routes_with_actions_v6)
+    tagger_routes = sum(route_counts.get(asn, 0) for asn in user_asns)
+    coverage_global = min(1.0, routes_with_actions * total_routes
+                          / max(1, tagger_routes))
+
+    # ---- per-user instance budgets, per category. The total action
+    # budget splits across categories by the §5.3 occurrence shares;
+    # within a category, users are ranked by table size and weighted by
+    # the Fig. 4b tiered curve (top 1% hold the paper's share, the
+    # bottom 90% of members under ~5%).
+    budget = actions_per_route * total_routes
+    usage = profile.category_usage
+    occurrence_shares = {
+        ActionCategory.DO_NOT_ANNOUNCE_TO: usage.dna_occ,
+        ActionCategory.ANNOUNCE_ONLY_TO: usage.ao_occ,
+        ActionCategory.PREPEND_TO: usage.prepend_occ,
+        ActionCategory.BLACKHOLING: usage.blackhole_occ,
+    }
+
+    def ranked(category: ActionCategory) -> List[int]:
+        return sorted(
+            category_members[category],
+            key=lambda asn: (-route_counts.get(asn, 0),
+                             0 if asn in defensive_users else 1, asn))
+
+    size_plans: Dict[ActionCategory, Dict[int, float]] = {}
+    for category in (ActionCategory.DO_NOT_ANNOUNCE_TO,
+                     ActionCategory.ANNOUNCE_ONLY_TO):
+        users = ranked(category)
+        weights = _tiered_instance_weights(
+            len(users), len(members), calibration.top1pct_share)
+        category_budget = budget * occurrence_shares[category]
+        plan: Dict[int, float] = {}
+        for rank, asn in enumerate(users):
+            wanted = category_budget * weights[rank]
+            plan[asn] = wanted / max(
+                1.0, route_counts.get(asn, 0) * coverage_global)
+        size_plans[category] = plan
+
+    catalog_capacity = len(catalog.avoid_pool())
+    behaviors: Dict[int, MemberBehavior] = {}
+
+    for member in members:
+        asn = member.asn
+        if asn not in user_asns:
+            behavior = MemberBehavior(asn=asn)
+            behavior.unknown_pool = _unknown_pool(asn, rng)
+            behavior.unknown_per_route = unknown_ratio * info_per_route
+            behaviors[asn] = behavior
+            continue
+
+        routes = route_counts.get(asn, 0)
+        tags: List[StandardCommunity] = []
+        categories: Set[ActionCategory] = {
+            category for category, chosen in category_members.items()
+            if asn in chosen}
+
+        if ActionCategory.DO_NOT_ANNOUNCE_TO in categories:
+            size = round(size_plans[ActionCategory.DO_NOT_ANNOUNCE_TO]
+                         .get(asn, 1.0))
+            size = max(1, min(size, catalog_capacity))
+            p_dna_all = 0.10 if spec.supports_blackholing else 0.04
+            if rng.random() < p_dna_all:
+                tags.append(spec.dna_all)
+                size = max(1, size - 1)
+            for target in catalog.sample_avoid(rng, size,
+                                               ineffective_bias):
+                tags.append(standard(0, target))
+        if ActionCategory.ANNOUNCE_ONLY_TO in categories:
+            size = round(size_plans[ActionCategory.ANNOUNCE_ONLY_TO]
+                         .get(asn, 1.0))
+            size = max(1, min(size, catalog_capacity))
+            # At DE-CIX/LINX the single most common announce-only-to is
+            # the redistribute-to-all form (§5.4); it rides alongside
+            # the specific whitelist.
+            p_ao_all = 0.75 if profile.key != "ixbr-sp" else 0.25
+            if rng.random() < p_ao_all:
+                tags.append(spec.announce_all)
+                size = max(0, size - 1)
+            for target in catalog.sample_announce(rng, size):
+                tags.append(standard(rs16, target))
+        blackhole_count = 0
+        if (ActionCategory.PREPEND_TO in categories
+                and spec.prepend_bases):
+            if spec.supports_targeted_prepend:
+                for target in catalog.sample_avoid(
+                        rng, rng.randint(1, 3), ineffective_bias * 0.6):
+                    base_field, _count = rng.choice(spec.prepend_bases)
+                    tags.append(standard(base_field, target))
+            else:
+                base_field, _count = rng.choice(spec.prepend_bases)
+                tags.append(standard(base_field, rs16))
+        if ActionCategory.BLACKHOLING in categories:
+            blackhole_count = rng.randint(1, 3)
+
+        # De-duplicate while preserving insertion order.
+        unique_tags = tuple(dict.fromkeys(tags))
+
+        large_tags: List[LargeCommunity] = []
+        extended_tags: List[ExtendedCommunity] = []
+        # Mirrors ride on tagged routes only, while informational tags
+        # cover every route — hence the coverage correction.
+        expected_nonstd = calibration.nonstd_correction * nonstd_ratio * (
+            len(unique_tags) + info_per_route / max(coverage_global, 0.05))
+        for tag in unique_tags:
+            if len(large_tags) + len(extended_tags) >= expected_nonstd:
+                break
+            target_value = tag.value
+            if tag.asn == 0 and tag != spec.dna_all:
+                if rng.random() < 0.85:
+                    large_tags.append(LargeCommunity(
+                        spec.rs_asn, 0, target_value))
+                else:
+                    extended_tags.append(ExtendedCommunity(
+                        0x00, 0x02, rs16, target_value))
+            elif tag.asn == rs16 and tag != spec.announce_all:
+                large_tags.append(LargeCommunity(
+                    spec.rs_asn, 1, target_value))
+
+        behavior = MemberBehavior(asn=asn)
+        behavior.uses_actions = True
+        behavior.categories = frozenset(categories)
+        behavior.route_tags = unique_tags
+        behavior.large_tags = tuple(large_tags)
+        behavior.extended_tags = tuple(extended_tags)
+        behavior.blackhole_count = blackhole_count
+        behavior.coverage = min(1.0, max(
+            0.05, coverage_global * rng.uniform(0.95, 1.05)))
+        behavior.unknown_per_route = unknown_ratio * (
+            behavior.coverage * (len(unique_tags) + len(large_tags)
+                                 + len(extended_tags))
+            + info_per_route)
+        behavior.unknown_pool = _unknown_pool(
+            asn, rng, size=int(behavior.unknown_per_route * 3) + 6)
+        behaviors[asn] = behavior
+    return behaviors
+
+
+def _unknown_pool(asn: int, rng: random.Random,
+                  size: int = 6) -> Tuple[StandardCommunity, ...]:
+    """A member's internal communities plus a couple of leaked upstream
+    tags — everything the IXP dictionary cannot resolve (Fig. 1).
+
+    *size* scales with the member's unknown-per-route rate: sampling is
+    without replacement per route, so the pool must comfortably exceed
+    the per-route draw count.
+    """
+    own_count = max(4, size - 2)
+    own = tuple(standard(min(asn, 0xFFFF), value)
+                for value in rng.sample(range(100, 900),
+                                        min(own_count, 500)))
+    leaked = tuple(rng.sample(LEAKED_COMMUNITY_POOL,
+                              min(2 + size // 8,
+                                  len(LEAKED_COMMUNITY_POOL))))
+    return own + leaked
+
+
+def _route_counts(population: Population, family: int) -> Dict[int, int]:
+    """Announced-route counts per member (own + customer re-announced)."""
+    counts: Dict[int, int] = {}
+    for asn, assets in population.assets.items():
+        counts[asn] = len(assets.own_prefixes(family))
+    for customer in population.customer_prefixes:
+        if customer.family != family:
+            continue
+        for transit_asn in customer.transit_asns:
+            counts[transit_asn] = counts.get(transit_asn, 0) + 1
+    return counts

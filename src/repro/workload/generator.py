@@ -1,0 +1,400 @@
+"""Twelve-week snapshot series generator.
+
+Drives the whole substrate end-to-end for one IXP: the synthetic
+population announces its routes (with per-member tagging behaviour) into
+a :class:`~repro.routeserver.RouteServer`, which filters, stamps
+informational communities, and stores; the generator then captures the
+accepted Adj-RIB-In as a :class:`~repro.collector.snapshot.Snapshot` —
+the same artefact the paper scrapes from the Looking Glasses.
+
+Temporal structure follows §4 and Appendix A:
+
+* 12 weeks of captures starting 19 Jul 2021 (the paper's window);
+* small day-to-day churn (<4% within a week, Table 3);
+* slow growth over the window (<~15% over 12 weeks, Table 4);
+* occasional *collection failures* that produce the ≥30% "valleys" the
+  paper's sanitation removes (13.5% of snapshots).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..bgp.aspath import AsPath
+from ..bgp.communities import StandardCommunity
+from ..bgp.route import Route
+from ..collector.snapshot import Snapshot
+from ..ixp.dictionary import CommunityDictionary
+from ..ixp.member import Member
+from ..ixp.profiles import IxpProfile
+from ..ixp.schemes import dictionary_for, spec_for
+from ..ixp.schemes.common import BLACKHOLE_COMMUNITY
+from ..routeserver.config import RouteServerConfig
+from ..routeserver.server import RouteServer
+from .behavior import MemberBehavior, build_behaviors
+from .topology import Population, build_population
+from ..utils import stable_fraction, stable_rng
+
+#: the paper's collection window.
+STUDY_START = _dt.date(2021, 7, 19)
+STUDY_WEEKS = 12
+STUDY_DAYS = STUDY_WEEKS * 7
+#: the snapshot the paper's cross-sectional analyses use (4 Oct 2021) is
+#: the last weekly capture: day 77 of the window.
+FINAL_WEEKLY_DAY = (STUDY_WEEKS - 1) * 7
+#: day offset of the paper's 28 June 2022 re-collection (§5.3).
+POST_STUDY_DAY = (_dt.date(2022, 6, 28) - STUDY_START).days
+#: blackhole route counts the re-collection found (paper §5.3).
+POST_STUDY_BLACKHOLE_ROUTES = {"amsix": 1367, "linx": 27}
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs of the synthetic study."""
+
+    scale: float = 0.05
+    seed: int = 20211004
+    #: fraction of *daily* snapshots hit by collection failures (§3
+    #: sanitation removed 13.5% of them).
+    failure_rate: float = 0.135
+    #: member session flap probability per day.
+    member_flap_rate: float = 0.006
+    #: baseline prefix-absence probability that decays over the window
+    #: (new announcements appear over time → slow growth, Table 4).
+    drift_absence: float = 0.06
+    #: amplitude of the day-to-day absence jitter (keeps within-week
+    #: variation under the ~4% of Table 3).
+    daily_jitter: float = 0.012
+    #: simulate the paper's 28 June 2022 re-collection (§5.3): AMS-IX
+    #: and LINX start accepting RFC 7999 blackhole routes (1367 and 27
+    #: routes respectively at paper scale).
+    post_study: bool = False
+
+
+def weekly_days() -> List[int]:
+    """Day offsets of the Monday weekly snapshots (§4)."""
+    return [week * 7 for week in range(STUDY_WEEKS)]
+
+
+def final_week_days() -> List[int]:
+    """Day offsets of the last seven daily snapshots (Table 3)."""
+    return list(range(STUDY_DAYS - 7, STUDY_DAYS))
+
+
+def day_to_date(day: int) -> str:
+    return (STUDY_START + _dt.timedelta(days=day)).isoformat()
+
+
+class SnapshotGenerator:
+    """Generates route-server snapshots for one IXP profile."""
+
+    def __init__(self, profile: IxpProfile,
+                 config: Optional[ScenarioConfig] = None) -> None:
+        self.profile = profile
+        self.config = config or ScenarioConfig()
+        self.population: Population = build_population(
+            profile, scale=self.config.scale, seed=self.config.seed)
+        self.dictionary: CommunityDictionary = dictionary_for(profile)
+        if (self.config.post_study
+                and profile.key in POST_STUDY_BLACKHOLE_ROUTES):
+            self._enable_post_study_blackholing_entry()
+        self._spec = spec_for(profile)
+        self._behaviors: Dict[int, Dict[int, MemberBehavior]] = {}
+        self._join_days: Dict[int, int] = self._assign_join_days()
+
+    def _enable_post_study_blackholing_entry(self) -> None:
+        """Add the RFC 7999 entry to the dictionary — "which may
+        indicate the introduction of support to this community"
+        (§5.3)."""
+        from ..ixp.dictionary import CommunityEntry, Semantics
+        from ..ixp.schemes.common import BLACKHOLE_COMMUNITY
+        from ..ixp.taxonomy import CommunityRole, Target
+        from ..ixp.taxonomy import ActionCategory as _Category
+        self.dictionary.add_entry(CommunityEntry(
+            community=BLACKHOLE_COMMUNITY,
+            semantics=Semantics(
+                role=CommunityRole.ACTION,
+                category=_Category.BLACKHOLING,
+                target=Target.none(),
+                description="blackhole traffic for this prefix "
+                            "(RFC 7999, introduced post-study)")))
+
+    # -- population dynamics -------------------------------------------
+
+    def _assign_join_days(self) -> Dict[int, int]:
+        """A small share of members joins during the window, producing
+        the slow growth in Tables 3/4.
+
+        Only small announcers join late: a large member appearing
+        mid-window would produce a step change far beyond the paper's
+        observed 12-week variation (max 18.03%, Table 4).
+        """
+        rng = stable_rng(self.config.seed, self.profile.key, "joins")
+        sizes = sorted(
+            member.prefix_count_v4 + member.prefix_count_v6
+            for member in self.population.members)
+        median_size = sizes[len(sizes) // 2] if sizes else 0
+        join_days: Dict[int, int] = {}
+        for member in self.population.members:
+            size = member.prefix_count_v4 + member.prefix_count_v6
+            small = size <= max(1, median_size)
+            if small and rng.random() < 0.08:
+                join_days[member.asn] = rng.randint(1, STUDY_DAYS - 8)
+            else:
+                join_days[member.asn] = 0
+        return join_days
+
+    def behaviors(self, family: int) -> Dict[int, MemberBehavior]:
+        if family not in self._behaviors:
+            behaviors = build_behaviors(
+                self.profile, self.population, family,
+                seed=self.config.seed)
+            if (self.config.post_study
+                    and self.profile.key in POST_STUDY_BLACKHOLE_ROUTES
+                    and family == 4):
+                self._inject_post_study_blackholing(behaviors)
+            self._behaviors[family] = behaviors
+        return self._behaviors[family]
+
+    def _inject_post_study_blackholing(
+            self, behaviors: Dict[int, MemberBehavior]) -> None:
+        """§5.3's June 2022 re-collection: a handful of members start
+        using RFC 7999 blackholing at AMS-IX (1367 routes) and LINX
+        (27 routes); counts scale with the population."""
+        paper_routes = POST_STUDY_BLACKHOLE_ROUTES[self.profile.key]
+        wanted = max(1, round(paper_routes * self.config.scale))
+        rng = stable_rng(self.config.seed, self.profile.key,
+                         "post-study-bh")
+        candidates = [b for b in behaviors.values()
+                      if self.population.assets[b.asn].own_prefixes_v4]
+        rng.shuffle(candidates)
+        per_member_cap = max(1, wanted // 3)
+        remaining = wanted
+        for behavior in candidates:
+            if remaining <= 0:
+                break
+            count = min(per_member_cap, remaining)
+            behavior.blackhole_count += count
+            remaining -= count
+
+    def _info_rate(self, family: int) -> float:
+        calibration = self.profile.calibration
+        return (calibration.info_tags_v4 if family == 4
+                else calibration.info_tags_v6)
+
+    def route_server(self, family: int) -> RouteServer:
+        """A freshly configured (empty) route server for this IXP."""
+        info_entries = [
+            entry.community
+            for entry in self.dictionary.informational_entries()
+            if isinstance(entry.community, StandardCommunity)]
+        blackholing = self.profile.calibration.supports_blackholing or (
+            self.config.post_study
+            and self.profile.key in POST_STUDY_BLACKHOLE_ROUTES)
+        config = RouteServerConfig(
+            rs_asn=self.profile.rs_asn,
+            family=family,
+            dictionary=self.dictionary,
+            blackholing_enabled=blackholing,
+            informational_tags=tuple(
+                info_entries[:max(1, -(-int(self._info_rate(family) + 1)))]),
+            informational_per_route=self._info_rate(family),
+        )
+        return RouteServer(config)
+
+    # -- member-level announcements ---------------------------------------
+
+    def members_present(self, family: int, day: int) -> List[Member]:
+        """RS members with an established session on *day*."""
+        rng = stable_rng(self.config.seed, self.profile.key, family, day,
+                         "flap")
+        present: List[Member] = []
+        for member in self.population.rs_members(family):
+            if self._join_days[member.asn] > day:
+                continue
+            if rng.random() < self.config.member_flap_rate:
+                continue
+            present.append(member)
+        return present
+
+    def _prefix_present(self, prefix: str, day: int) -> bool:
+        """Deterministic per-prefix presence with decaying absence: the
+        same prefix flaps consistently across days, and overall counts
+        grow slowly over the window."""
+        base_absence = self.config.drift_absence * (
+            1.0 - day / max(1, STUDY_DAYS))
+        daily = stable_fraction(prefix, self.config.seed, day)
+        threshold = base_absence + (
+            self.config.daily_jitter
+            * stable_fraction(prefix, self.config.seed, day, "jitter"))
+        return daily > threshold
+
+    def announcements_for(self, member: Member, family: int,
+                          day: int) -> List[Route]:
+        """Everything *member* announces to the RS on *day*."""
+        behavior = self.behaviors(family).get(member.asn)
+        assets = self.population.assets[member.asn]
+        next_hop = member.peering_ip(family) or (
+            "192.0.2.1" if family == 4 else "2001:db8::1")
+        rng = stable_rng(self.config.seed, self.profile.key, family,
+                         member.asn, "routes")
+        routes: List[Route] = []
+
+        def communities_for(prefix: str) -> Tuple[
+                frozenset, frozenset, frozenset]:
+            if behavior is None:
+                return frozenset(), frozenset(), frozenset()
+            covered = (behavior.uses_actions
+                       and stable_fraction(prefix, "cov")
+                       < behavior.coverage)
+            std = set(behavior.route_tags) if covered else set()
+            large = set(behavior.large_tags) if covered else set()
+            extended = set(behavior.extended_tags) if covered else set()
+            unknown_count = int(behavior.unknown_per_route)
+            remainder = behavior.unknown_per_route - unknown_count
+            if stable_fraction(prefix, "unk") < remainder:
+                unknown_count += 1
+            if unknown_count and behavior.unknown_pool:
+                picker = stable_rng(prefix, "unkpick")
+                std.update(picker.sample(
+                    behavior.unknown_pool,
+                    min(unknown_count, len(behavior.unknown_pool))))
+            return frozenset(std), frozenset(large), frozenset(extended)
+
+        own_prepend = rng.random() < 0.10  # origin prepending habit
+        for prefix in assets.own_prefixes(family):
+            if not self._prefix_present(prefix, day):
+                continue
+            path_asns = [member.asn, member.asn] if own_prepend else [
+                member.asn]
+            std, large, extended = communities_for(prefix)
+            routes.append(Route(
+                prefix=prefix,
+                next_hop=next_hop,
+                as_path=AsPath.from_asns(path_asns),
+                peer_asn=member.asn,
+                communities=std,
+                large_communities=large,
+                extended_communities=extended,
+            ))
+
+        for customer in self.population.customer_prefixes:
+            if customer.family != family:
+                continue
+            if member.asn not in customer.transit_asns:
+                continue
+            if not self._prefix_present(customer.prefix, day):
+                continue
+            std, large, extended = communities_for(customer.prefix)
+            routes.append(Route(
+                prefix=customer.prefix,
+                next_hop=next_hop,
+                as_path=AsPath.from_asns([member.asn, customer.origin_asn]),
+                peer_asn=member.asn,
+                communities=std,
+                large_communities=large,
+                extended_communities=extended,
+            ))
+
+        if behavior is not None and behavior.blackhole_count:
+            routes.extend(self._blackhole_routes(
+                member, assets, behavior, family, next_hop))
+        return routes
+
+    def _blackhole_routes(self, member: Member, assets, behavior,
+                          family: int, next_hop: str) -> List[Route]:
+        """Host routes carrying the RFC 7999 community (DDoS defence)."""
+        own = assets.own_prefixes(family)
+        if not own:
+            return []
+        import ipaddress
+        routes: List[Route] = []
+        base = ipaddress.ip_network(own[0])
+        host_len = 32 if family == 4 else 128
+        for index in range(behavior.blackhole_count):
+            address = base.network_address + 7 + index
+            routes.append(Route(
+                prefix=f"{address}/{host_len}",
+                next_hop=next_hop,
+                as_path=AsPath.from_asns([member.asn]),
+                peer_asn=member.asn,
+                communities=frozenset({BLACKHOLE_COMMUNITY}),
+            ))
+        return routes
+
+    # -- snapshots ----------------------------------------------------------
+
+    def populated_route_server(self, family: int,
+                               day: int = FINAL_WEEKLY_DAY) -> RouteServer:
+        """A route server loaded with one day's announcements."""
+        server = self.route_server(family)
+        for member in self.members_present(family, day):
+            server.add_peer(member)
+            for route in self.announcements_for(member, family, day):
+                server.announce(route)
+        return server
+
+    def snapshot(self, family: int, day: int = FINAL_WEEKLY_DAY,
+                 degraded: Optional[bool] = None) -> Snapshot:
+        """Capture the snapshot for *day*.
+
+        ``degraded`` forces (True) or suppresses (False) a collection
+        failure; None draws from :attr:`ScenarioConfig.failure_rate`.
+        """
+        server = self.populated_route_server(family, day)
+        members = [session.member for session in server.peers()]
+        routes = server.accepted_routes()
+        filtered = len(server.filtered_routes())
+        snapshot = Snapshot(
+            ixp=self.profile.key,
+            family=family,
+            captured_on=day_to_date(day),
+            members=members,
+            routes=routes,
+            filtered_count=filtered,
+            meta={"scale": self.config.scale, "seed": self.config.seed,
+                  "day": day, "degraded": False},
+        )
+        rng = stable_rng(self.config.seed, self.profile.key, family, day,
+                         "failure")
+        if degraded is None:
+            degraded = rng.random() < self.config.failure_rate
+        if degraded:
+            snapshot = degrade_snapshot(snapshot, rng)
+        return snapshot
+
+    def weekly_series(self, family: int,
+                      degrade: bool = False) -> Iterator[Snapshot]:
+        """The twelve Monday snapshots (§4)."""
+        for day in weekly_days():
+            yield self.snapshot(
+                family, day, degraded=None if degrade else False)
+
+    def final_week_series(self, family: int) -> Iterator[Snapshot]:
+        """The last seven daily snapshots (Appendix A, Table 3)."""
+        for day in final_week_days():
+            yield self.snapshot(family, day, degraded=False)
+
+
+def degrade_snapshot(snapshot: Snapshot,
+                     rng: random.Random) -> Snapshot:
+    """Simulate an LG collection failure: a ≥30% valley in members and
+    routes — exactly the §3 signature the sanitation pass removes."""
+    keep_fraction = rng.uniform(0.35, 0.65)
+    keep_count = max(1, round(len(snapshot.members) * keep_fraction))
+    members = sorted(rng.sample(snapshot.members, keep_count),
+                     key=lambda m: m.asn)
+    kept_asns = {m.asn for m in members}
+    routes = [r for r in snapshot.routes if r.peer_asn in kept_asns]
+    return Snapshot(
+        ixp=snapshot.ixp,
+        family=snapshot.family,
+        captured_on=snapshot.captured_on,
+        members=members,
+        routes=routes,
+        filtered_count=snapshot.filtered_count,
+        meta={**snapshot.meta, "degraded": True},
+    )

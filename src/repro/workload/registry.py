@@ -1,0 +1,183 @@
+"""Catalogue of networks populating the synthetic IXPs.
+
+The paper's findings name real networks: Hurricane Electric as the top
+"culprit" (§5.5), content providers (Google, Akamai, OVHcloud, Netflix,
+Cloudflare, LeaseWeb, Edgecast, Apple) as the most-avoided targets
+(§5.4), Brazilian networks (NIC-Simet, RNP, Itaú, CDNetworks) as
+announce-only-to targets at IX.br. This module defines those *named*
+networks plus deterministic synthetic filler so populations of any size
+can be built.
+
+All named ASNs are public facts from the routing system; their behaviour
+here is synthetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..ixp.member import MemberRole
+
+
+@dataclass(frozen=True)
+class KnownNetwork:
+    """A named network with a role and IXP-presence disposition."""
+
+    asn: int
+    name: str
+    role: MemberRole
+    #: joins the studied IXPs as a member (on the peering LAN)...
+    joins_ixps: bool
+    #: ...but maintains RS sessions? CPs tend to prefer PNIs and stay off
+    #: the route servers (§5.4), which is what makes communities
+    #: targeting them ineffective (§5.5).
+    at_rs: bool
+    #: weight for being *picked as a target* of action communities.
+    target_weight: float
+    #: large transit networks announce many routes and tag defensively
+    #: (§5.6): avoid-lists kept regardless of who is at the RS.
+    defensive_tagger: bool = False
+
+
+#: Hurricane Electric: at every IXP, at the RS, announces a huge table,
+#: and tags defensively — the paper finds it responsible for 24.2–59.4%
+#: of the action communities targeting non-RS members.
+HURRICANE_ELECTRIC = KnownNetwork(
+    6939, "Hurricane Electric", MemberRole.TRANSIT_ISP,
+    joins_ixps=True, at_rs=True, target_weight=9.0, defensive_tagger=True)
+
+#: Content providers / clouds. Mostly IXP members *not* at the route
+#: server: "these networks offer opportunities to exchange large traffic
+#: volumes, becoming attractive partners over PNIs instead of
+#: multilateral peering" (§5.4).
+CONTENT_PROVIDERS: Tuple[KnownNetwork, ...] = (
+    KnownNetwork(15169, "Google", MemberRole.CONTENT_PROVIDER,
+                 joins_ixps=True, at_rs=False, target_weight=10.0),
+    KnownNetwork(20940, "Akamai", MemberRole.CONTENT_PROVIDER,
+                 joins_ixps=True, at_rs=False, target_weight=8.0),
+    KnownNetwork(16276, "OVHcloud", MemberRole.CLOUD,
+                 joins_ixps=True, at_rs=False, target_weight=9.5),
+    KnownNetwork(2906, "Netflix", MemberRole.CONTENT_PROVIDER,
+                 joins_ixps=True, at_rs=False, target_weight=7.0),
+    KnownNetwork(13335, "Cloudflare", MemberRole.CONTENT_PROVIDER,
+                 joins_ixps=True, at_rs=True, target_weight=6.5),
+    KnownNetwork(60781, "LeaseWeb", MemberRole.CLOUD,
+                 joins_ixps=True, at_rs=False, target_weight=6.0),
+    KnownNetwork(15133, "Edgecast", MemberRole.CONTENT_PROVIDER,
+                 joins_ixps=True, at_rs=False, target_weight=5.0),
+    KnownNetwork(714, "Apple", MemberRole.CONTENT_PROVIDER,
+                 joins_ixps=True, at_rs=False, target_weight=4.5),
+    KnownNetwork(32934, "Meta", MemberRole.CONTENT_PROVIDER,
+                 joins_ixps=True, at_rs=True, target_weight=4.0),
+    KnownNetwork(8075, "Microsoft", MemberRole.CLOUD,
+                 joins_ixps=True, at_rs=False, target_weight=4.0),
+    KnownNetwork(16509, "Amazon", MemberRole.CLOUD,
+                 joins_ixps=True, at_rs=True, target_weight=3.5),
+    KnownNetwork(54113, "Fastly", MemberRole.CONTENT_PROVIDER,
+                 joins_ixps=True, at_rs=False, target_weight=3.0),
+    KnownNetwork(22822, "Limelight", MemberRole.CONTENT_PROVIDER,
+                 joins_ixps=True, at_rs=False, target_weight=2.5),
+)
+
+#: Large transit ISPs: RS members with big tables and defensive
+#: avoid-lists — the Fig. 7 culprit population.
+TRANSIT_ISPS: Tuple[KnownNetwork, ...] = (
+    HURRICANE_ELECTRIC,
+    KnownNetwork(3356, "Lumen", MemberRole.TRANSIT_ISP,
+                 joins_ixps=True, at_rs=True, target_weight=2.0,
+                 defensive_tagger=True),
+    KnownNetwork(6453, "TATA Communications", MemberRole.TRANSIT_ISP,
+                 joins_ixps=True, at_rs=True, target_weight=1.5,
+                 defensive_tagger=True),
+    KnownNetwork(2914, "NTT", MemberRole.TRANSIT_ISP,
+                 joins_ixps=True, at_rs=True, target_weight=1.5,
+                 defensive_tagger=True),
+    KnownNetwork(1299, "Arelion", MemberRole.TRANSIT_ISP,
+                 joins_ixps=True, at_rs=True, target_weight=1.2,
+                 defensive_tagger=True),
+    KnownNetwork(174, "Cogent", MemberRole.TRANSIT_ISP,
+                 joins_ixps=True, at_rs=True, target_weight=1.2,
+                 defensive_tagger=True),
+    KnownNetwork(9002, "RETN", MemberRole.TRANSIT_ISP,
+                 joins_ixps=True, at_rs=True, target_weight=1.0,
+                 defensive_tagger=True),
+    KnownNetwork(6762, "Sparkle", MemberRole.TRANSIT_ISP,
+                 joins_ixps=True, at_rs=True, target_weight=1.0,
+                 defensive_tagger=True),
+)
+
+#: Regional ISPs the paper names as avoided targets despite not being at
+#: the route servers (PROLINK and Syntegra Telecom, §5.4).
+REGIONAL_ISPS: Tuple[KnownNetwork, ...] = (
+    KnownNetwork(28669, "PROLINK", MemberRole.ACCESS_ISP,
+                 joins_ixps=True, at_rs=False, target_weight=3.0),
+    KnownNetwork(53062, "Syntegra Telecom", MemberRole.ACCESS_ISP,
+                 joins_ixps=True, at_rs=False, target_weight=2.8),
+    KnownNetwork(29076, "Filanco", MemberRole.ACCESS_ISP,
+                 joins_ixps=True, at_rs=False, target_weight=2.6),
+)
+
+#: Networks that appear as *announce-only-to* targets at IX.br (§5.4):
+#: educational networks, an enterprise, and a content provider.
+ANNOUNCE_TARGETS: Tuple[KnownNetwork, ...] = (
+    KnownNetwork(14026, "NIC-Simet", MemberRole.EDUCATION,
+                 joins_ixps=True, at_rs=True, target_weight=2.0),
+    KnownNetwork(1916, "RNP", MemberRole.EDUCATION,
+                 joins_ixps=True, at_rs=True, target_weight=1.8),
+    KnownNetwork(28571, "Itau", MemberRole.ENTERPRISE,
+                 joins_ixps=True, at_rs=True, target_weight=1.6),
+    KnownNetwork(36408, "CDNetworks", MemberRole.CONTENT_PROVIDER,
+                 joins_ixps=True, at_rs=True, target_weight=1.5),
+)
+
+ALL_KNOWN: Tuple[KnownNetwork, ...] = (
+    CONTENT_PROVIDERS + TRANSIT_ISPS + REGIONAL_ISPS + ANNOUNCE_TARGETS)
+
+KNOWN_BY_ASN: Dict[int, KnownNetwork] = {n.asn: n for n in ALL_KNOWN}
+
+
+def network_name(asn: int) -> str:
+    """Display name for an ASN (synthetic fallback)."""
+    known = KNOWN_BY_ASN.get(asn)
+    return known.name if known else f"SyntheticNet-{asn}"
+
+
+#: role mix for synthetic filler members, (role, weight). Skewed towards
+#: access ISPs / enterprises, which dominate IXP memberships.
+SYNTHETIC_ROLE_MIX: Tuple[Tuple[MemberRole, float], ...] = (
+    (MemberRole.ACCESS_ISP, 0.52),
+    (MemberRole.ENTERPRISE, 0.18),
+    (MemberRole.TRANSIT_ISP, 0.12),
+    (MemberRole.CONTENT_PROVIDER, 0.10),
+    (MemberRole.EDUCATION, 0.05),
+    (MemberRole.CLOUD, 0.03),
+)
+
+#: base of the synthetic ASN space; chosen clear of reserved ranges and
+#: of every named ASN above (named ASNs are all < 61000).
+SYNTHETIC_ASN_BASE = 61100
+
+#: ASNs a synthetic member must never take: the route-server ASNs of the
+#: eight IXPs (a member colliding with an RS ASN would make its internal
+#: communities look IXP-defined).
+_RESERVED_SYNTHETIC_ASNS = frozenset(
+    {26162, 6695, 8714, 6777, 8631, 63034, 16374, 52005})
+
+
+def synthetic_asn(index: int) -> int:
+    """Deterministic public-range 16-bit ASN for synthetic member *index*.
+
+    Stays below 64496 (start of the reserved space) — the route server's
+    bogon-ASN filter must never fire on a legitimate synthetic member —
+    and skips the route-server ASNs.
+    """
+    asn = SYNTHETIC_ASN_BASE + index
+    for reserved in sorted(_RESERVED_SYNTHETIC_ASNS):
+        if asn >= reserved >= SYNTHETIC_ASN_BASE:
+            asn += 1
+    if asn >= 64496:
+        raise ValueError(
+            f"synthetic member index {index} exhausts the public "
+            f"16-bit ASN space (max {64496 - SYNTHETIC_ASN_BASE - 1})")
+    return asn

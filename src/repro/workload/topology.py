@@ -1,0 +1,321 @@
+"""Synthetic IXP population builder.
+
+Builds, for one IXP profile, a scaled member population with:
+
+* the named networks from :mod:`repro.workload.registry` (HE, CPs, ...);
+* synthetic filler members with a realistic role mix;
+* RS-session flags per family calibrated to Table 1's members-at-RS
+  fractions (on average 72.2% for IPv4 and 57.1% for IPv6, §3);
+* Zipf-distributed per-member prefix counts (few huge announcers, many
+  small ones — the prerequisite for Fig. 4b's concentration);
+* concrete prefix assignments from non-bogon address space; and
+* multihomed customer prefixes announced by several transit members,
+  which is why Table 1 shows more routes than prefixes everywhere except
+  AMS-IX.
+
+Everything is driven by a seeded :class:`random.Random`, so populations
+are fully reproducible.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ixp.member import Member, MemberRole
+from ..ixp.profiles import IxpProfile
+from . import registry
+from ..utils import stable_rng
+
+
+class PrefixAllocator:
+    """Deterministic, collision-free prefix allocator.
+
+    Hands out prefixes of varying length from a large non-bogon pool,
+    each allocation consuming an aligned block so prefixes never overlap.
+    """
+
+    #: pools deliberately inside allocated-looking, non-bogon space.
+    V4_BASE = int(ipaddress.IPv4Address("20.0.0.0"))
+    V4_LIMIT = int(ipaddress.IPv4Address("100.0.0.0"))
+    V6_BASE = int(ipaddress.IPv6Address("2600::"))
+    V6_LIMIT = int(ipaddress.IPv6Address("2800::"))
+
+    def __init__(self) -> None:
+        self._cursor_v4 = self.V4_BASE
+        self._cursor_v6 = self.V6_BASE
+
+    def allocate(self, family: int, prefixlen: int) -> str:
+        if family == 4:
+            block = 1 << (32 - prefixlen)
+            # round the cursor up to block alignment
+            start = (self._cursor_v4 + block - 1) // block * block
+            if start + block > self.V4_LIMIT:
+                raise RuntimeError("IPv4 allocation pool exhausted")
+            self._cursor_v4 = start + block
+            return f"{ipaddress.IPv4Address(start)}/{prefixlen}"
+        block = 1 << (128 - prefixlen)
+        start = (self._cursor_v6 + block - 1) // block * block
+        if start + block > self.V6_LIMIT:
+            raise RuntimeError("IPv6 allocation pool exhausted")
+        self._cursor_v6 = start + block
+        return f"{ipaddress.IPv6Address(start)}/{prefixlen}"
+
+
+@dataclass
+class MemberAssets:
+    """Per-member announcement inputs."""
+
+    member: Member
+    own_prefixes_v4: List[str] = field(default_factory=list)
+    own_prefixes_v6: List[str] = field(default_factory=list)
+
+    def own_prefixes(self, family: int) -> List[str]:
+        return self.own_prefixes_v4 if family == 4 else self.own_prefixes_v6
+
+
+@dataclass(frozen=True)
+class CustomerPrefix:
+    """A downstream (non-member) customer prefix announced to the RS by
+    one or more transit members — AS path ``[transit, customer]``."""
+
+    prefix: str
+    origin_asn: int
+    transit_asns: Tuple[int, ...]
+    family: int
+
+
+@dataclass
+class Population:
+    """A complete synthetic population for one IXP."""
+
+    profile: IxpProfile
+    scale: float
+    seed: int
+    assets: Dict[int, MemberAssets] = field(default_factory=dict)
+    customer_prefixes: List[CustomerPrefix] = field(default_factory=list)
+
+    @property
+    def members(self) -> List[Member]:
+        return [a.member for a in self.assets.values()]
+
+    def member(self, asn: int) -> Member:
+        return self.assets[asn].member
+
+    def rs_members(self, family: int) -> List[Member]:
+        return [m for m in self.members if m.at_rs(family)]
+
+    def rs_member_asns(self, family: int) -> List[int]:
+        return sorted(m.asn for m in self.rs_members(family))
+
+    def announcing_members(self, family: int) -> List[Member]:
+        """RS members that actually share routes (§3 captures peers with
+        sessions "regardless whether the AS shares routes or not")."""
+        return [m for m in self.rs_members(family)
+                if self.assets[m.asn].own_prefixes(family)
+                or any(m.asn in cp.transit_asns
+                       for cp in self.customer_prefixes
+                       if cp.family == family)]
+
+
+def _zipf_counts(rng: random.Random, n_members: int, total: int,
+                 exponent: float = 1.05) -> List[int]:
+    """Distribute *total* prefixes over *n_members* with a Zipf shape.
+
+    Rank 1 gets the lion's share; the long tail gets one or two. Counts
+    are exact: they sum to *total* (remainders spread deterministically).
+    """
+    if n_members <= 0:
+        return []
+    weights = [1.0 / (rank ** exponent) for rank in range(1, n_members + 1)]
+    weight_sum = sum(weights)
+    raw = [total * w / weight_sum for w in weights]
+    counts = [max(1, int(x)) for x in raw]
+    # Adjust to the exact total: trim from the head or pad the tail.
+    difference = total - sum(counts)
+    index = 0
+    while difference != 0 and n_members > 0:
+        position = index % n_members
+        if difference > 0:
+            counts[position] += 1
+            difference -= 1
+        elif counts[position] > 1:
+            counts[position] -= 1
+            difference += 1
+        index += 1
+        if index > 10 * n_members + abs(difference) * 2:
+            break  # give up exactness in pathological corner cases
+    return counts
+
+
+def _scaled(value: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, round(value * scale))
+
+
+def build_population(profile: IxpProfile, scale: float = 0.05,
+                     seed: int = 20211004) -> Population:
+    """Build the synthetic population for *profile* at the given scale.
+
+    ``scale`` multiplies the paper's Table 1 member/prefix counts; 1.0
+    reproduces full size (slow), the default 0.05 keeps benchmark runs
+    snappy while preserving all distributional shapes.
+    """
+    rng = stable_rng(seed, profile.key)
+    allocator = PrefixAllocator()
+    population = Population(profile=profile, scale=scale, seed=seed)
+
+    total_members = _scaled(profile.paper.members_total, scale, minimum=48)
+    rs_fraction_v4 = profile.paper.members_rs_v4 / profile.paper.members_total
+    rs_fraction_v6 = profile.paper.members_rs_v6 / profile.paper.members_total
+
+    lan_v4 = ipaddress.ip_network(profile.peering_lan_v4)
+    lan_v6 = ipaddress.ip_network(profile.peering_lan_v6)
+    host_v4 = int(lan_v4.network_address) + 10
+    host_v6 = int(lan_v6.network_address) + 10
+
+    members: List[Member] = []
+
+    def make_member(asn: int, name: str, role: MemberRole,
+                    at_rs_v4: bool, at_rs_v6: bool) -> Member:
+        nonlocal host_v4, host_v6
+        peering_v4 = str(ipaddress.IPv4Address(host_v4))
+        peering_v6 = str(ipaddress.IPv6Address(host_v6))
+        host_v4 += 1
+        host_v6 += 1
+        return Member(
+            asn=asn, name=name, role=role,
+            at_rs_v4=at_rs_v4, at_rs_v6=at_rs_v6,
+            peering_ip_v4=peering_v4, peering_ip_v6=peering_v6)
+
+    # 1. Named networks first: they anchor the paper's findings. At
+    #    small scales a full complement of named networks would crowd
+    #    out the synthetic population (and distort the members-at-RS
+    #    fraction), so inclusion is capped; priority goes to the
+    #    defensive transit networks (the Fig. 7 culprits), then the
+    #    announce-to whitelist targets, then content providers. Named
+    #    networks that do not join are still *targets* — just strictly
+    #    ineffective ones (§5.5).
+    named_priority: List[registry.KnownNetwork] = list(
+        registry.TRANSIT_ISPS)
+    named_priority += list(registry.ANNOUNCE_TARGETS)
+    named_priority += [n for n in registry.CONTENT_PROVIDERS if n.at_rs]
+    named_priority += [n for n in registry.CONTENT_PROVIDERS
+                       if not n.at_rs]
+    named_priority += list(registry.REGIONAL_ISPS)
+    named_cap = max(8, round(total_members * 0.28))
+    for known in named_priority[:named_cap]:
+        if not known.joins_ixps:
+            continue
+        at_rs_v4 = known.at_rs
+        at_rs_v6 = known.at_rs and rng.random() < 0.85
+        members.append(make_member(
+            known.asn, known.name, known.role, at_rs_v4, at_rs_v6))
+
+    # 2. Synthetic filler up to the member total. The named networks
+    #    above skew towards not-at-RS content providers, so compensate
+    #    the synthetic draw probabilities to keep the *overall*
+    #    members-at-RS fractions on the paper's Table 1 values.
+    roles, role_weights = zip(*registry.SYNTHETIC_ROLE_MIX)
+    synthetic_needed = max(0, total_members - len(members))
+    named_rs_v4 = sum(1 for m in members if m.at_rs_v4)
+    named_rs_v6 = sum(1 for m in members if m.at_rs_v6)
+    target_rs_v4 = round(total_members * rs_fraction_v4)
+    target_rs_v6 = round(total_members * rs_fraction_v6)
+    p_synth_v4 = (min(1.0, max(0.0, (target_rs_v4 - named_rs_v4)
+                               / synthetic_needed))
+                  if synthetic_needed else 0.0)
+    expected_synth_v4 = p_synth_v4 * synthetic_needed
+    p_synth_v6 = (min(1.0, max(0.0, (target_rs_v6 - named_rs_v6)
+                               / max(expected_synth_v4, 1e-9)))
+                  if synthetic_needed else 0.0)
+    for index in range(synthetic_needed):
+        asn = registry.synthetic_asn(index)
+        role = rng.choices(roles, weights=role_weights, k=1)[0]
+        at_rs_v4 = rng.random() < p_synth_v4
+        # v6 presence is correlated with v4 presence but sparser.
+        at_rs_v6 = at_rs_v4 and rng.random() < p_synth_v6
+        members.append(make_member(
+            asn, f"SyntheticNet-{asn}", role, at_rs_v4, at_rs_v6))
+
+    # 3. Zipf prefix counts over the *announcing* members. Named transit
+    #    networks get pushed towards the head by sorting the ranks so
+    #    big ISPs and CPs-at-RS lead.
+    def head_priority(member: Member) -> int:
+        known = registry.KNOWN_BY_ASN.get(member.asn)
+        if known and known.asn == registry.HURRICANE_ELECTRIC.asn:
+            return 0          # HE announces the biggest table (§5.5)
+        if known and known.defensive_tagger:
+            return 1          # then the other transit giants
+        if known:
+            return 2
+        if member.role in (MemberRole.TRANSIT_ISP, MemberRole.CLOUD):
+            return 3
+        return 4
+
+    for family in (4, 6):
+        rs_members = [m for m in members if m.at_rs(family)]
+        rs_members.sort(key=lambda m: (head_priority(m), m.asn))
+        paper_prefixes = (profile.paper.prefixes_v4 if family == 4
+                          else profile.paper.prefixes_v6)
+        total_prefixes = _scaled(paper_prefixes, scale, minimum=60)
+        # Keep a slice of the prefix budget for multihomed customers.
+        routes_ratio = (
+            (profile.paper.routes_v4 if family == 4
+             else profile.paper.routes_v6)
+            / max(1, paper_prefixes))
+        customer_share = min(0.45, max(0.0, routes_ratio - 1.0) / 2.0)
+        customer_prefix_count = int(total_prefixes * customer_share)
+        own_total = total_prefixes - customer_prefix_count
+        counts = _zipf_counts(rng, len(rs_members), own_total)
+        for member, count in zip(rs_members, counts):
+            assets = population.assets.setdefault(
+                member.asn, MemberAssets(member))
+            plen_choices = ((20, 21, 22, 23, 24) if family == 4
+                            else (32, 36, 40, 44, 48))
+            prefixes = [allocator.allocate(
+                family, rng.choice(plen_choices)) for _ in range(count)]
+            if family == 4:
+                assets.own_prefixes_v4 = prefixes
+            else:
+                assets.own_prefixes_v6 = prefixes
+
+        # 4. Multihomed customer prefixes: origin is a non-member stub
+        #    AS, announced via 2-3 transit members — this is what makes
+        #    routes exceed prefixes (Table 1).
+        transit_members = [m for m in rs_members
+                           if m.role is MemberRole.TRANSIT_ISP]
+        if transit_members and customer_prefix_count:
+            for index in range(customer_prefix_count):
+                origin = 64000 + (index % 400)  # stub ASN space, public
+                fanout = 2 if rng.random() < 0.7 else 3
+                fanout = min(fanout, len(transit_members))
+                transits = tuple(sorted(
+                    m.asn for m in rng.sample(transit_members, fanout)))
+                plen = rng.choice((22, 23, 24) if family == 4
+                                  else (44, 46, 48))
+                population.customer_prefixes.append(CustomerPrefix(
+                    prefix=allocator.allocate(family, plen),
+                    origin_asn=origin,
+                    transit_asns=transits,
+                    family=family))
+
+    # Record prefix counts on the Member objects (summary metadata).
+    refreshed: Dict[int, MemberAssets] = {}
+    for asn, assets in population.assets.items():
+        member = assets.member
+        from dataclasses import replace as dc_replace
+        updated = dc_replace(
+            member,
+            prefix_count_v4=len(assets.own_prefixes_v4),
+            prefix_count_v6=len(assets.own_prefixes_v6))
+        refreshed[asn] = MemberAssets(
+            updated, assets.own_prefixes_v4, assets.own_prefixes_v6)
+    # Members with no prefixes (listen-only sessions) still matter for
+    # the member-at-RS denominators; keep them in the population.
+    for member in members:
+        if member.asn not in refreshed:
+            refreshed[member.asn] = MemberAssets(member)
+    population.assets = refreshed
+    return population

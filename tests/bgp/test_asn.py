@@ -1,0 +1,117 @@
+"""Tests for repro.bgp.asn."""
+
+import pytest
+
+from repro.bgp.asn import (
+    MAX_ASN16,
+    MAX_ASN32,
+    contains_bogon_asn,
+    format_asdot,
+    is_16bit,
+    is_bogon_asn,
+    parse_asn,
+)
+from repro.bgp.errors import MalformedAsnError
+
+
+class TestParseAsn:
+    def test_plain_int(self):
+        assert parse_asn(64500) == 64500
+
+    def test_zero_is_parseable(self):
+        # AS0 parses (it appears in community fields) even though it is
+        # a bogon as an actual AS number.
+        assert parse_asn(0) == 0
+
+    def test_decimal_string(self):
+        assert parse_asn("6939") == 6939
+
+    def test_as_prefixed_string(self):
+        assert parse_asn("AS15169") == 15169
+
+    def test_lowercase_as_prefix(self):
+        assert parse_asn("as15169") == 15169
+
+    def test_asdot(self):
+        assert parse_asn("1.10") == 65546
+
+    def test_asdot_zero_high(self):
+        assert parse_asn("0.64500") == 64500
+
+    def test_max_32bit(self):
+        assert parse_asn(MAX_ASN32) == MAX_ASN32
+
+    def test_negative_rejected(self):
+        with pytest.raises(MalformedAsnError):
+            parse_asn(-1)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(MalformedAsnError):
+            parse_asn(MAX_ASN32 + 1)
+
+    def test_garbage_string_rejected(self):
+        with pytest.raises(MalformedAsnError):
+            parse_asn("not-an-asn")
+
+    def test_asdot_out_of_range_rejected(self):
+        with pytest.raises(MalformedAsnError):
+            parse_asn("70000.1")
+
+    def test_bool_rejected(self):
+        with pytest.raises(MalformedAsnError):
+            parse_asn(True)
+
+    def test_none_rejected(self):
+        with pytest.raises(MalformedAsnError):
+            parse_asn(None)
+
+
+class TestFormatAsdot:
+    def test_16bit_stays_decimal(self):
+        assert format_asdot(64500) == "64500"
+
+    def test_32bit_becomes_dotted(self):
+        assert format_asdot(65546) == "1.10"
+
+    def test_roundtrip(self):
+        for asn in (0, 1, 65535, 65536, 4200000000, MAX_ASN32):
+            assert parse_asn(format_asdot(asn)) == asn
+
+
+class TestBogons:
+    def test_as0_is_bogon(self):
+        assert is_bogon_asn(0)
+
+    def test_as_trans_is_bogon(self):
+        assert is_bogon_asn(23456)
+
+    def test_private_16bit_range(self):
+        assert is_bogon_asn(64512)
+        assert is_bogon_asn(65534)
+
+    def test_last_16bit(self):
+        assert is_bogon_asn(65535)
+
+    def test_documentation_ranges(self):
+        assert is_bogon_asn(64496)
+        assert is_bogon_asn(65551)
+
+    def test_private_32bit_range(self):
+        assert is_bogon_asn(4200000000)
+        assert is_bogon_asn(4294967294)
+
+    def test_public_asns_are_not_bogons(self):
+        for asn in (6939, 15169, 3356, 64495, 65552, 4199999999):
+            assert not is_bogon_asn(asn), asn
+
+    def test_contains_bogon(self):
+        assert contains_bogon_asn([6939, 64512])
+        assert not contains_bogon_asn([6939, 15169])
+        assert not contains_bogon_asn([])
+
+
+class TestIs16Bit:
+    def test_boundaries(self):
+        assert is_16bit(0)
+        assert is_16bit(MAX_ASN16)
+        assert not is_16bit(MAX_ASN16 + 1)

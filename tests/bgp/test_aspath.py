@@ -1,0 +1,106 @@
+"""Tests for repro.bgp.aspath."""
+
+import pytest
+
+from repro.bgp.aspath import AS_SEQUENCE, AS_SET, AsPath, AsPathSegment
+from repro.bgp.errors import MalformedAsPathError
+
+
+class TestSegment:
+    def test_sequence_length(self):
+        assert AsPathSegment(AS_SEQUENCE, (1, 2, 3)).length == 3
+
+    def test_set_counts_as_one(self):
+        assert AsPathSegment(AS_SET, (1, 2, 3)).length == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(MalformedAsPathError):
+            AsPathSegment(AS_SEQUENCE, ())
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(MalformedAsPathError):
+            AsPathSegment(9, (1,))
+
+    def test_str(self):
+        assert str(AsPathSegment(AS_SEQUENCE, (1, 2))) == "1 2"
+        assert str(AsPathSegment(AS_SET, (1, 2))) == "{1,2}"
+
+
+class TestAsPath:
+    def test_from_asns(self):
+        path = AsPath.from_asns([6939, 3356, 701])
+        assert path.first_asn == 6939
+        assert path.origin_asn == 701
+        assert path.length == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(MalformedAsPathError):
+            AsPath.from_asns([])
+
+    def test_from_string_simple(self):
+        path = AsPath.from_string("6939 3356 701")
+        assert list(path.asns()) == [6939, 3356, 701]
+
+    def test_from_string_with_set(self):
+        path = AsPath.from_string("6939 {3356,701}")
+        assert path.length == 2
+        assert path.segments[1].segment_type == AS_SET
+
+    def test_from_string_set_then_sequence(self):
+        path = AsPath.from_string("{1,2} 3")
+        assert path.segments[0].segment_type == AS_SET
+        assert path.origin_asn == 3
+
+    def test_string_roundtrip(self):
+        for text in ("6939", "6939 6939 701", "1 {2,3} 4"):
+            assert str(AsPath.from_string(text)) == text
+
+    def test_unterminated_set_rejected(self):
+        with pytest.raises(MalformedAsPathError):
+            AsPath.from_string("1 {2,3")
+
+    def test_nested_set_rejected(self):
+        with pytest.raises(MalformedAsPathError):
+            AsPath.from_string("1 {2 {3}}")
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(MalformedAsPathError):
+            AsPath.from_string("   ")
+
+    def test_unique_asns(self):
+        path = AsPath.from_asns([5, 5, 6, 7, 6])
+        assert path.unique_asns() == (5, 6, 7)
+
+    def test_len_dunder(self):
+        assert len(AsPath.from_asns([1, 2, 3])) == 3
+
+
+class TestLoops:
+    def test_prepends_are_not_loops(self):
+        assert not AsPath.from_asns([6939, 6939, 6939, 701]).has_loop()
+
+    def test_non_adjacent_repeat_is_loop(self):
+        assert AsPath.from_asns([6939, 701, 6939]).has_loop()
+
+    def test_clean_path(self):
+        assert not AsPath.from_asns([1, 2, 3]).has_loop()
+
+
+class TestPrepend:
+    def test_prepend_merges_into_sequence(self):
+        path = AsPath.from_asns([64500, 701]).prepended(64500, 2)
+        assert list(path.asns()) == [64500, 64500, 64500, 701]
+        assert len(path.segments) == 1
+
+    def test_prepend_zero_is_noop(self):
+        path = AsPath.from_asns([1])
+        assert path.prepended(1, 0) is path
+
+    def test_prepend_before_set(self):
+        path = AsPath((AsPathSegment(AS_SET, (1, 2)),)).prepended(9, 1)
+        assert path.segments[0].segment_type == AS_SEQUENCE
+        assert path.first_asn == 9
+
+    def test_prepend_increases_length(self):
+        path = AsPath.from_asns([1, 2])
+        assert path.prepended(1, 3).length == 5

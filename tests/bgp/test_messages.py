@@ -1,0 +1,158 @@
+"""Tests for the BGP UPDATE wire codec."""
+
+import pytest
+
+from repro.bgp.aspath import AS_SET, AsPath, AsPathSegment
+from repro.bgp.communities import ExtendedCommunity, large, standard
+from repro.bgp.errors import MessageDecodeError, MessageEncodeError
+from repro.bgp.messages import (
+    HEADER_LEN,
+    MARKER,
+    MSG_KEEPALIVE,
+    UpdateMessage,
+    decode_header,
+    encode_keepalive,
+)
+
+
+def full_update() -> UpdateMessage:
+    return UpdateMessage(
+        nlri=["203.0.113.0/24", "198.51.100.0/25"],
+        withdrawn=["192.0.2.0/24"],
+        origin=0,
+        as_path=AsPath.from_asns([64500, 6939]),
+        next_hop="195.66.224.10",
+        med=50,
+        local_pref=100,
+        communities=(standard(0, 6939), standard(8714, 8714)),
+        extended_communities=(ExtendedCommunity(0, 2, 8714, 15169),),
+        large_communities=(large(8714, 0, 16276),),
+    )
+
+
+class TestRoundtrip:
+    def test_full_roundtrip(self):
+        update = full_update()
+        decoded = UpdateMessage.decode(update.encode())
+        assert decoded.nlri == update.nlri
+        assert decoded.withdrawn == update.withdrawn
+        assert decoded.origin == update.origin
+        assert str(decoded.as_path) == str(update.as_path)
+        assert decoded.next_hop == update.next_hop
+        assert decoded.med == update.med
+        assert decoded.local_pref == update.local_pref
+        assert set(decoded.communities) == set(update.communities)
+        assert set(decoded.extended_communities) == set(
+            update.extended_communities)
+        assert set(decoded.large_communities) == set(
+            update.large_communities)
+
+    def test_ipv6_mp_reach_roundtrip(self):
+        update = UpdateMessage(
+            origin=0,
+            as_path=AsPath.from_asns([64500]),
+            mp_nlri=["2600::/32", "2600:100::/40"],
+            mp_next_hop="2001:7f8:4::1",
+            communities=(standard(0, 6939),),
+        )
+        decoded = UpdateMessage.decode(update.encode())
+        assert decoded.mp_nlri == update.mp_nlri
+        assert decoded.mp_next_hop == "2001:7f8:4::1"
+
+    def test_ipv6_withdraw_roundtrip(self):
+        update = UpdateMessage(mp_withdrawn=["2600::/32"])
+        decoded = UpdateMessage.decode(update.encode())
+        assert decoded.mp_withdrawn == ["2600::/32"]
+
+    def test_as_set_roundtrip(self):
+        path = AsPath((AsPathSegment(AS_SET, (64500, 64501)),))
+        update = UpdateMessage(nlri=["203.0.113.0/24"], origin=0,
+                               as_path=path, next_hop="192.0.2.1")
+        decoded = UpdateMessage.decode(update.encode())
+        assert decoded.as_path.segments[0].segment_type == AS_SET
+
+    def test_4byte_asn_roundtrip(self):
+        path = AsPath.from_asns([4200000000 - 1, 64500])
+        update = UpdateMessage(nlri=["203.0.113.0/24"], origin=0,
+                               as_path=path, next_hop="192.0.2.1")
+        decoded = UpdateMessage.decode(update.encode())
+        assert decoded.as_path.first_asn == 4200000000 - 1
+
+    def test_empty_update(self):
+        decoded = UpdateMessage.decode(UpdateMessage().encode())
+        assert decoded.nlri == []
+        assert decoded.withdrawn == []
+
+
+class TestErrors:
+    def test_mp_nlri_without_next_hop(self):
+        with pytest.raises(MessageEncodeError):
+            UpdateMessage(mp_nlri=["2600::/32"]).encode()
+
+    def test_ipv6_next_hop_in_classic_field(self):
+        update = UpdateMessage(nlri=["203.0.113.0/24"], origin=0,
+                               as_path=AsPath.from_asns([1]),
+                               next_hop="2001:db8::1")
+        with pytest.raises(MessageEncodeError):
+            update.encode()
+
+    def test_bad_marker(self):
+        blob = bytearray(full_update().encode())
+        blob[0] = 0
+        with pytest.raises(MessageDecodeError):
+            UpdateMessage.decode(bytes(blob))
+
+    def test_truncated(self):
+        with pytest.raises(MessageDecodeError):
+            UpdateMessage.decode(MARKER[:10])
+
+    def test_length_mismatch(self):
+        blob = full_update().encode() + b"\x00"
+        with pytest.raises(MessageDecodeError):
+            UpdateMessage.decode(blob)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(MessageDecodeError):
+            UpdateMessage.decode(encode_keepalive())
+
+    def test_oversized_update_rejected(self):
+        update = UpdateMessage(
+            nlri=[f"20.{i}.{j}.0/24" for i in range(8) for j in range(200)],
+            origin=0, as_path=AsPath.from_asns([1]), next_hop="192.0.2.1")
+        with pytest.raises(MessageEncodeError):
+            update.encode()
+
+    def test_corrupt_communities_length(self):
+        update = UpdateMessage(nlri=["203.0.113.0/24"], origin=0,
+                               as_path=AsPath.from_asns([1]),
+                               next_hop="192.0.2.1",
+                               communities=(standard(1, 2),))
+        blob = bytearray(update.encode())
+        # Find the COMMUNITIES attribute (type 8) and shrink its length
+        # by one byte to force a modulo error.
+        index = blob.find(bytes([0xC0, 8, 4]))
+        assert index > 0
+        blob[index + 2] = 3
+        blob[16:18] = (len(blob) - 1).to_bytes(2, "big")
+        with pytest.raises(MessageDecodeError):
+            UpdateMessage.decode(bytes(blob[:-1]))
+
+
+class TestHeader:
+    def test_keepalive(self):
+        msg_type, body = decode_header(encode_keepalive())
+        assert msg_type == MSG_KEEPALIVE
+        assert body == b""
+
+    def test_header_len(self):
+        assert len(encode_keepalive()) == HEADER_LEN
+
+    def test_unknown_attribute_preserved(self):
+        from repro.bgp.messages import PathAttribute
+        update = UpdateMessage(
+            nlri=["203.0.113.0/24"], origin=0,
+            as_path=AsPath.from_asns([1]), next_hop="192.0.2.1",
+            unknown_attributes=[PathAttribute(0xC0, 99, b"\x01\x02")])
+        decoded = UpdateMessage.decode(update.encode())
+        assert decoded.unknown_attributes[0].type_code == 99
+        assert decoded.unknown_attributes[0].value == b"\x01\x02"

@@ -1,0 +1,73 @@
+"""Tests for the OPEN message and capabilities."""
+
+import pytest
+
+from repro.bgp.errors import MessageDecodeError
+from repro.bgp.messages import encode_keepalive
+from repro.bgp.open import (
+    AS_TRANS,
+    CAP_FOUR_OCTET_AS,
+    Capability,
+    OpenMessage,
+)
+
+
+def make_open(asn=64496 + 10000, hold=90):
+    return OpenMessage(
+        asn=min(asn, 0xFFFF), hold_time=hold,
+        bgp_identifier="192.0.2.1",
+        capabilities=[Capability.four_octet_as(asn),
+                      Capability.multiprotocol(1, 1)])
+
+
+class TestRoundtrip:
+    def test_basic(self):
+        decoded = OpenMessage.decode(make_open().encode())
+        assert decoded.hold_time == 90
+        assert decoded.bgp_identifier == "192.0.2.1"
+
+    def test_capabilities_preserved(self):
+        decoded = OpenMessage.decode(make_open().encode())
+        assert decoded.supports_multiprotocol(1, 1)
+        assert not decoded.supports_multiprotocol(2, 1)
+
+    def test_no_capabilities(self):
+        plain = OpenMessage(asn=60500, hold_time=30,
+                            bgp_identifier="10.0.0.1")
+        decoded = OpenMessage.decode(plain.encode())
+        assert decoded.capabilities == []
+        assert decoded.effective_asn == 60500
+
+
+class TestFourOctetAs:
+    def test_32bit_asn_uses_as_trans(self):
+        wide = OpenMessage(asn=AS_TRANS, hold_time=90,
+                           bgp_identifier="192.0.2.1",
+                           capabilities=[
+                               Capability.four_octet_as(4199999999)])
+        decoded = OpenMessage.decode(wide.encode())
+        assert decoded.asn == AS_TRANS
+        assert decoded.effective_asn == 4199999999
+
+    def test_four_octet_capability_value(self):
+        cap = Capability.four_octet_as(6939)
+        assert cap.code == CAP_FOUR_OCTET_AS
+        assert len(cap.value) == 4
+
+
+class TestErrors:
+    def test_not_an_open(self):
+        with pytest.raises(MessageDecodeError):
+            OpenMessage.decode(encode_keepalive())
+
+    def test_truncated_body(self):
+        blob = bytearray(make_open().encode())
+        blob[16:18] = (24).to_bytes(2, "big")
+        with pytest.raises(MessageDecodeError):
+            OpenMessage.decode(bytes(blob[:24]))
+
+    def test_bad_version(self):
+        blob = bytearray(make_open().encode())
+        blob[19] = 5  # version byte
+        with pytest.raises(MessageDecodeError):
+            OpenMessage.decode(bytes(blob))

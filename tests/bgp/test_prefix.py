@@ -1,0 +1,105 @@
+"""Tests for repro.bgp.prefix."""
+
+import ipaddress
+
+import pytest
+
+from repro.bgp.errors import MalformedPrefixError
+from repro.bgp.prefix import (
+    address_family,
+    canonical,
+    is_bogon_prefix,
+    is_too_broad,
+    is_too_specific,
+    parse_prefix,
+)
+
+
+class TestParse:
+    def test_v4(self):
+        net = parse_prefix("203.0.113.0/24")
+        assert net.version == 4
+        assert net.prefixlen == 24
+
+    def test_v6(self):
+        net = parse_prefix("2001:db8::/32")
+        assert net.version == 6
+
+    def test_passthrough_network_object(self):
+        net = ipaddress.ip_network("10.0.0.0/8")
+        assert parse_prefix(net) is net
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(MalformedPrefixError):
+            parse_prefix("203.0.113.1/24")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(MalformedPrefixError):
+            parse_prefix("not-a-prefix")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(MalformedPrefixError):
+            parse_prefix(42)
+
+    def test_whitespace_tolerated(self):
+        assert str(parse_prefix(" 203.0.113.0/24 ")) == "203.0.113.0/24"
+
+
+class TestFamilyAndCanonical:
+    def test_family_v4(self):
+        assert address_family("198.51.100.0/24") == 4
+
+    def test_family_v6(self):
+        assert address_family("2001:db8::/48") == 6
+
+    def test_canonical_compresses_v6(self):
+        assert canonical("2001:0db8:0000::/48") == "2001:db8::/48"
+
+
+class TestBogonPrefix:
+    @pytest.mark.parametrize("prefix", [
+        "10.0.0.0/8", "10.1.0.0/16", "192.168.1.0/24", "172.16.0.0/12",
+        "127.0.0.0/8", "169.254.0.0/16", "100.64.0.0/10", "224.0.0.0/4",
+        "0.0.0.0/8", "198.18.0.0/15",
+    ])
+    def test_v4_bogons(self, prefix):
+        assert is_bogon_prefix(prefix)
+
+    @pytest.mark.parametrize("prefix", [
+        "2001:db8::/32", "fc00::/7", "fe80::/10", "ff00::/8", "100::/64",
+    ])
+    def test_v6_bogons(self, prefix):
+        assert is_bogon_prefix(prefix)
+
+    @pytest.mark.parametrize("prefix", [
+        "20.0.0.0/16", "8.8.8.0/24", "185.1.56.0/22", "2600::/32",
+        "2001:7f8::/32",
+    ])
+    def test_public_space_not_bogon(self, prefix):
+        assert not is_bogon_prefix(prefix)
+
+    def test_overlap_counts_as_bogon(self):
+        # a supernet containing RFC1918 space overlaps → bogon
+        assert is_bogon_prefix("8.0.0.0/5")  # covers 10/8
+
+
+class TestLengthBounds:
+    def test_too_specific_v4(self):
+        assert is_too_specific("203.0.113.0/25")
+        assert not is_too_specific("203.0.113.0/24")
+
+    def test_too_specific_v6(self):
+        assert is_too_specific("2600::/49")
+        assert not is_too_specific("2600::/48")
+
+    def test_too_broad_v4(self):
+        assert is_too_broad("20.0.0.0/7")
+        assert not is_too_broad("20.0.0.0/8")
+
+    def test_too_broad_v6(self):
+        assert is_too_broad("2600::/15")
+        assert not is_too_broad("2600::/16")
+
+    def test_custom_limits(self):
+        assert is_too_specific("203.0.113.0/24", max_v4=23)
+        assert not is_too_broad("20.0.0.0/7", min_v4=7)

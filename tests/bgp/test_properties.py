@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) for the BGP substrate invariants."""
+
+import ipaddress
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.aspath import AsPath
+from repro.bgp.communities import (
+    ExtendedCommunity,
+    LargeCommunity,
+    StandardCommunity,
+    parse_community,
+)
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.asn import format_asdot, parse_asn
+
+u16 = st.integers(min_value=0, max_value=0xFFFF)
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+u8 = st.integers(min_value=0, max_value=0xFF)
+
+standard_communities = st.builds(StandardCommunity, asn=u16, value=u16)
+large_communities = st.builds(
+    LargeCommunity, global_admin=u32, local_data1=u32, local_data2=u32)
+extended_communities = st.builds(
+    ExtendedCommunity, type_high=u8, type_low=u8,
+    global_admin=u16, local_admin=u32)
+
+public_asns = st.integers(min_value=1, max_value=64495)
+as_paths = st.lists(public_asns, min_size=1, max_size=12).map(
+    AsPath.from_asns)
+
+
+@st.composite
+def v4_prefixes(draw):
+    plen = draw(st.integers(min_value=8, max_value=24))
+    base = draw(st.integers(min_value=0, max_value=(1 << plen) - 1))
+    address = base << (32 - plen)
+    return f"{ipaddress.IPv4Address(address)}/{plen}"
+
+
+@st.composite
+def v6_prefixes(draw):
+    plen = draw(st.integers(min_value=16, max_value=48))
+    base = draw(st.integers(min_value=0, max_value=(1 << plen) - 1))
+    address = base << (128 - plen)
+    return f"{ipaddress.IPv6Address(address)}/{plen}"
+
+
+class TestCommunityProperties:
+    @given(standard_communities)
+    def test_standard_string_roundtrip(self, community):
+        assert parse_community(str(community)) == community
+
+    @given(standard_communities)
+    def test_standard_bytes_roundtrip(self, community):
+        assert StandardCommunity.from_bytes(
+            community.to_bytes()) == community
+
+    @given(standard_communities)
+    def test_u32_roundtrip(self, community):
+        assert StandardCommunity.from_u32(community.to_u32()) == community
+
+    @given(large_communities)
+    def test_large_string_roundtrip(self, community):
+        assert parse_community(str(community)) == community
+
+    @given(large_communities)
+    def test_large_bytes_roundtrip(self, community):
+        assert LargeCommunity.from_bytes(community.to_bytes()) == community
+
+    @given(extended_communities)
+    def test_extended_bytes_roundtrip(self, community):
+        assert ExtendedCommunity.from_bytes(
+            community.to_bytes()) == community
+
+    @given(standard_communities, standard_communities)
+    def test_ordering_total(self, a, b):
+        assert (a < b) or (b < a) or (a == b)
+
+
+class TestAsnProperties:
+    @given(u32)
+    def test_asdot_roundtrip(self, asn):
+        assert parse_asn(format_asdot(asn)) == asn
+
+
+class TestAsPathProperties:
+    @given(as_paths)
+    def test_string_roundtrip(self, path):
+        assert AsPath.from_string(str(path)) == path
+
+    @given(as_paths)
+    def test_length_counts_every_asn(self, path):
+        assert path.length == len(list(path.asns()))
+
+    @given(as_paths, public_asns,
+           st.integers(min_value=1, max_value=5))
+    def test_prepend_adds_exactly_count(self, path, asn, count):
+        assert path.prepended(asn, count).length == path.length + count
+
+    @given(as_paths, st.integers(min_value=1, max_value=5))
+    def test_self_prepend_never_creates_loop(self, path, count):
+        prepended = path.prepended(path.first_asn, count)
+        assert prepended.has_loop() == path.has_loop()
+
+
+class TestUpdateProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        nlri=st.lists(v4_prefixes(), min_size=0, max_size=8, unique=True),
+        withdrawn=st.lists(v4_prefixes(), min_size=0, max_size=4,
+                           unique=True),
+        path=as_paths,
+        comms=st.lists(standard_communities, max_size=8, unique=True),
+        larges=st.lists(large_communities, max_size=4, unique=True),
+    )
+    def test_update_roundtrip(self, nlri, withdrawn, path, comms, larges):
+        update = UpdateMessage(
+            nlri=nlri, withdrawn=withdrawn, origin=0, as_path=path,
+            next_hop="192.0.2.1", communities=tuple(comms),
+            large_communities=tuple(larges))
+        decoded = UpdateMessage.decode(update.encode())
+        assert sorted(decoded.nlri) == sorted(nlri)
+        assert sorted(decoded.withdrawn) == sorted(withdrawn)
+        assert set(decoded.communities) == set(comms)
+        assert set(decoded.large_communities) == set(larges)
+
+    @settings(max_examples=50, deadline=None)
+    @given(nlri=st.lists(v6_prefixes(), min_size=1, max_size=8,
+                         unique=True), path=as_paths)
+    def test_v6_update_roundtrip(self, nlri, path):
+        update = UpdateMessage(origin=0, as_path=path,
+                               mp_nlri=nlri, mp_next_hop="2001:7f8::1")
+        decoded = UpdateMessage.decode(update.encode())
+        assert sorted(decoded.mp_nlri) == sorted(nlri)

@@ -1,0 +1,85 @@
+"""Tests for repro.bgp.route."""
+
+import pytest
+
+from repro.bgp.aspath import AsPath
+from repro.bgp.communities import ExtendedCommunity, large, standard
+from repro.bgp.route import Route
+
+
+def make_route(**overrides):
+    defaults = dict(
+        prefix="203.0.113.0/24",
+        next_hop="195.66.224.10",
+        as_path=AsPath.from_asns([64500]),
+        peer_asn=64500,
+        communities=frozenset({standard(0, 6939), standard(8714, 1000)}),
+    )
+    defaults.update(overrides)
+    return Route(**defaults)
+
+
+class TestRoute:
+    def test_family_v4(self):
+        assert make_route().family == 4
+
+    def test_family_v6(self):
+        route = make_route(prefix="2600::/32", next_hop="2001:db8::1")
+        assert route.family == 6
+
+    def test_prefix_canonicalised(self):
+        route = make_route(prefix="2600:0000::/32")
+        assert route.prefix == "2600::/32"
+
+    def test_origin_asn(self):
+        route = make_route(as_path=AsPath.from_asns([64500, 64999]))
+        assert route.origin_asn == 64999
+
+    def test_community_count_all_flavours(self):
+        route = make_route(
+            large_communities=frozenset({large(8714, 0, 6939)}),
+            extended_communities=frozenset(
+                {ExtendedCommunity(0, 2, 8714, 6939)}))
+        assert route.community_count == 4
+
+    def test_all_communities_deterministic_order(self):
+        route = make_route()
+        assert route.all_communities() == route.all_communities()
+        assert len(route.all_communities()) == 2
+
+    def test_without_communities(self):
+        route = make_route()
+        scrubbed = route.without_communities({standard(0, 6939)})
+        assert standard(0, 6939) not in scrubbed.communities
+        assert standard(8714, 1000) in scrubbed.communities
+
+    def test_with_prepend(self):
+        route = make_route().with_prepend(64500, 2)
+        assert route.as_path.length == 3
+
+    def test_lists_coerced_to_frozensets(self):
+        route = make_route(communities=[standard(1, 2), standard(1, 2)])
+        assert isinstance(route.communities, frozenset)
+        assert len(route.communities) == 1
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        route = make_route(
+            large_communities=frozenset({large(8714, 0, 6939)}),
+            extended_communities=frozenset(
+                {ExtendedCommunity(0, 2, 8714, 6939)}))
+        assert Route.from_dict(route.to_dict()) == route
+
+    def test_filtered_roundtrip(self):
+        route = make_route(filtered=True, filter_reason="bogon-prefix: x")
+        restored = Route.from_dict(route.to_dict())
+        assert restored.filtered
+        assert restored.filter_reason.startswith("bogon-prefix")
+
+    def test_accepted_route_has_no_filter_keys(self):
+        assert "filtered" not in make_route().to_dict()
+
+    def test_dict_communities_are_strings(self):
+        payload = make_route().to_dict()
+        assert all(isinstance(c, str) for c in payload["communities"])

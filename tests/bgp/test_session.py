@@ -1,0 +1,176 @@
+"""Tests for the BGP session FSM."""
+
+import pytest
+
+from repro.bgp.aspath import AsPath
+from repro.bgp.communities import standard
+from repro.bgp.messages import UpdateMessage, encode_keepalive
+from repro.bgp.session import (
+    NOTIFY_HOLD_TIMER_EXPIRED,
+    BgpSession,
+    SessionState,
+    connect,
+    decode_notification,
+    encode_notification,
+    pump,
+)
+
+
+def pair(hold_a=90, hold_b=90):
+    a = BgpSession(local_asn=60500, local_id="192.0.2.1",
+                   hold_time=hold_a)
+    b = BgpSession(local_asn=6695, local_id="192.0.2.2",
+                   hold_time=hold_b)
+    return a, b
+
+
+class TestEstablishment:
+    def test_connect_reaches_established(self):
+        a, b = pair()
+        assert connect(a, b)
+        assert a.state is SessionState.ESTABLISHED
+        assert b.state is SessionState.ESTABLISHED
+
+    def test_peer_open_recorded(self):
+        a, b = pair()
+        connect(a, b)
+        assert a.peer_open.effective_asn == 6695
+        assert b.peer_open.effective_asn == 60500
+
+    def test_hold_time_negotiated_to_minimum(self):
+        a, b = pair(hold_a=90, hold_b=30)
+        connect(a, b)
+        assert a.negotiated_hold_time == 30
+        assert b.negotiated_hold_time == 30
+
+    def test_cannot_start_twice(self):
+        a, _ = pair()
+        a.start()
+        with pytest.raises(RuntimeError):
+            a.start()
+
+    def test_32bit_asn_via_capability(self):
+        a = BgpSession(local_asn=4199999999, local_id="192.0.2.9")
+        b = BgpSession(local_asn=6695, local_id="192.0.2.2")
+        connect(a, b)
+        assert b.peer_open.effective_asn == 4199999999
+
+
+class TestUpdates:
+    def test_update_delivered_to_callback(self):
+        received = []
+        a, b = pair()
+        b.on_update = received.append
+        connect(a, b)
+        a.send_update(UpdateMessage(
+            nlri=["20.0.0.0/16"], origin=0,
+            as_path=AsPath.from_asns([60500]),
+            next_hop="192.0.2.1",
+            communities=(standard(0, 6939),)))
+        pump(a, b)
+        assert len(received) == 1
+        assert received[0].nlri == ["20.0.0.0/16"]
+        assert standard(0, 6939) in received[0].communities
+
+    def test_update_before_established_raises(self):
+        a, _ = pair()
+        with pytest.raises(RuntimeError):
+            a.send_update(UpdateMessage())
+
+    def test_update_in_wrong_state_resets_peer(self):
+        a, b = pair()
+        a.start()
+        b.start()
+        update = UpdateMessage().encode()
+        b.receive(update)  # b is OPEN_SENT — FSM error
+        assert b.state is SessionState.IDLE
+        assert "UPDATE in state" in b.last_error
+
+
+class TestTimers:
+    def test_hold_timer_expiry(self):
+        a, b = pair(hold_a=30, hold_b=30)
+        connect(a, b)
+        a.tick(31)
+        assert a.state is SessionState.IDLE
+        assert a.last_error == "hold timer expired"
+        # the NOTIFICATION is queued for the peer
+        notifications = [blob for blob in a.outbox()
+                         if blob[18] == 3]
+        assert notifications
+        code, _sub, _data = decode_notification(notifications[0])
+        assert code == NOTIFY_HOLD_TIMER_EXPIRED
+
+    def test_keepalives_prevent_expiry(self):
+        a, b = pair(hold_a=30, hold_b=30)
+        connect(a, b)
+        for _ in range(10):
+            a.tick(9)
+            b.tick(9)
+            pump(a, b)
+        assert a.established and b.established
+
+    def test_keepalive_cadence(self):
+        a, b = pair(hold_a=30, hold_b=30)
+        connect(a, b)
+        a.outbox()  # drain
+        a.tick(11)  # > hold/3
+        keepalives = [blob for blob in a.outbox() if len(blob) == 19]
+        assert keepalives
+
+
+class TestTeardown:
+    def test_stop_sends_cease(self):
+        a, b = pair()
+        connect(a, b)
+        a.stop()
+        assert a.state is SessionState.IDLE
+        for blob in a.outbox():
+            b.receive(blob)
+        assert b.state is SessionState.IDLE
+        assert "notification" in b.last_error
+
+    def test_garbage_resets(self):
+        a, b = pair()
+        connect(a, b)
+        a.receive(b"\x00" * 25)
+        assert a.state is SessionState.IDLE
+
+    def test_notification_roundtrip(self):
+        blob = encode_notification(6, 2, b"bye")
+        assert decode_notification(blob) == (6, 2, b"bye")
+
+
+class TestEndToEndWithRouteServer:
+    def test_session_feeds_route_server(self):
+        """Member router speaks BGP to the RS over the FSM layer."""
+        from repro.ixp import dictionary_for, get_profile
+        from repro.ixp.member import Member, MemberRole
+        from repro.routeserver import RouteServer, RouteServerConfig
+
+        profile = get_profile("decix-fra")
+        server = RouteServer(RouteServerConfig(
+            rs_asn=profile.rs_asn, family=4,
+            dictionary=dictionary_for(profile)))
+        member_asn = 60777
+        server.add_peer(Member(asn=member_asn, name="Member",
+                               role=MemberRole.ACCESS_ISP))
+
+        rs_session = BgpSession(
+            local_asn=profile.rs_asn, local_id="80.81.192.1",
+            on_update=lambda update: server.announce_update(
+                member_asn, update.encode()))
+        member_session = BgpSession(local_asn=member_asn,
+                                    local_id="80.81.192.77")
+        assert connect(member_session, rs_session)
+
+        member_session.send_update(UpdateMessage(
+            nlri=["20.55.0.0/16"], origin=0,
+            as_path=AsPath.from_asns([member_asn]),
+            next_hop="80.81.192.77",
+            communities=(standard(0, 6939),)))
+        pump(member_session, rs_session)
+
+        routes = server.accepted_routes(member_asn)
+        assert len(routes) == 1
+        assert standard(0, 6939) in routes[0].communities

@@ -1,0 +1,84 @@
+"""Property-based tests (hypothesis) for the sanitation invariants."""
+
+import datetime
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.aspath import AsPath
+from repro.bgp.route import Route
+from repro.collector import Snapshot, sanitise
+from repro.ixp.member import Member, MemberRole
+
+
+def build_series(member_counts):
+    """A snapshot series whose member counts are the given list; prefix
+    counts track members (x5) so only the members metric drives the
+    valley decisions."""
+    start = datetime.date(2021, 7, 19)
+    series = []
+    for index, count in enumerate(member_counts):
+        date = (start + datetime.timedelta(days=index)).isoformat()
+        members = [Member(asn=60000 + i, name=f"AS{60000 + i}",
+                          role=MemberRole.ACCESS_ISP)
+                   for i in range(count)]
+        routes = [Route(prefix=f"20.{i // 200}.{i % 200}.0/24",
+                        next_hop="192.0.2.1",
+                        as_path=AsPath.from_asns([60000]),
+                        peer_asn=60000)
+                  for i in range(count * 5)]
+        series.append(Snapshot(ixp="prop", family=4, captured_on=date,
+                               members=members, routes=routes))
+    return series
+
+
+counts_lists = st.lists(st.integers(min_value=10, max_value=200),
+                        min_size=1, max_size=15)
+
+
+class TestSanitationProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(counts_lists)
+    def test_partition_is_exact(self, counts):
+        series = build_series(counts)
+        report = sanitise(series)
+        assert len(report.kept) + len(report.removed) == len(series)
+        assert set(report.reasons) == {s.key for s in report.removed}
+
+    @settings(max_examples=60, deadline=None)
+    @given(counts_lists)
+    def test_first_snapshot_always_kept(self, counts):
+        report = sanitise(build_series(counts))
+        assert report.kept[0].captured_on == "2021-07-19"
+
+    @settings(max_examples=60, deadline=None)
+    @given(counts_lists)
+    def test_idempotent(self, counts):
+        series = build_series(counts)
+        first = sanitise(series)
+        second = sanitise(first.kept)
+        assert not second.removed
+
+    @settings(max_examples=60, deadline=None)
+    @given(counts_lists)
+    def test_stricter_threshold_removes_no_less(self, counts):
+        series = build_series(counts)
+        strict = sanitise(series, drop_threshold=0.15)
+        loose = sanitise(series, drop_threshold=0.45)
+        assert len(strict.removed) >= len(loose.removed)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=20, max_value=100))
+    def test_flat_series_untouched(self, count):
+        report = sanitise(build_series([count] * 8))
+        assert not report.removed
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=50, max_value=200),
+           st.floats(min_value=0.31, max_value=0.9))
+    def test_single_valley_always_caught(self, baseline, drop):
+        dipped = max(1, int(baseline * (1.0 - drop)))
+        report = sanitise(build_series(
+            [baseline, baseline, dipped, baseline, baseline]))
+        assert len(report.removed) == 1
+        assert report.removed[0].member_count == dipped

@@ -1,0 +1,114 @@
+"""Tests for the §3 valley sanitation."""
+
+import pytest
+
+from repro.bgp.aspath import AsPath
+from repro.bgp.route import Route
+from repro.collector import Snapshot, sanitise
+from repro.collector.sanitation import _is_valley
+from repro.ixp.member import Member, MemberRole
+
+
+def snapshot(date, members, prefixes):
+    """Snapshot with the requested member and prefix counts."""
+    member_objs = [Member(asn=60000 + i, name=f"AS{60000 + i}",
+                          role=MemberRole.ACCESS_ISP)
+                   for i in range(members)]
+    routes = [Route(prefix=f"20.{i // 250}.{i % 250}.0/24",
+                    next_hop="192.0.2.1",
+                    as_path=AsPath.from_asns([60000]),
+                    peer_asn=60000)
+              for i in range(prefixes)]
+    return Snapshot(ixp="linx", family=4, captured_on=date,
+                    members=member_objs, routes=routes)
+
+
+def series(counts, start_day=19):
+    return [snapshot(f"2021-07-{start_day + i:02d}", members, prefixes)
+            for i, (members, prefixes) in enumerate(counts)]
+
+
+class TestValleyPredicate:
+    def test_basic_valley(self):
+        assert _is_valley(100, 60, [95], 0.30, 0.10)
+
+    def test_small_drop_is_not_a_valley(self):
+        assert not _is_valley(100, 80, [95], 0.30, 0.10)
+
+    def test_no_recovery_is_not_a_valley(self):
+        # a real event (members left), not a collection failure
+        assert not _is_valley(100, 60, [58, 61, 60], 0.30, 0.10)
+
+    def test_zero_previous(self):
+        assert not _is_valley(0, 0, [10], 0.30, 0.10)
+
+
+class TestSanitise:
+    def test_clean_series_untouched(self):
+        snaps = series([(100, 500), (101, 505), (99, 498), (102, 510)])
+        report = sanitise(snaps)
+        assert not report.removed
+        assert len(report.kept) == 4
+
+    def test_member_valley_removed(self):
+        snaps = series([(100, 500), (55, 500), (100, 500)])
+        report = sanitise(snaps)
+        assert len(report.removed) == 1
+        assert report.removed[0].captured_on == "2021-07-20"
+        assert report.reasons[report.removed[0].key] == "members"
+
+    def test_prefix_valley_removed(self):
+        snaps = series([(100, 500), (100, 200), (100, 495)])
+        report = sanitise(snaps)
+        assert len(report.removed) == 1
+        assert report.reasons[report.removed[0].key] == "prefixes"
+
+    def test_multi_day_valley_removed_entirely(self):
+        snaps = series([(100, 500), (50, 240), (52, 250), (100, 500)])
+        report = sanitise(snaps)
+        assert len(report.removed) == 2
+
+    def test_permanent_drop_kept(self):
+        # a genuine shrink (no recovery) must NOT be sanitised away
+        snaps = series([(100, 500), (60, 300), (61, 305), (60, 300)])
+        report = sanitise(snaps)
+        assert not report.removed
+
+    def test_removed_fraction(self):
+        snaps = series([(100, 500), (55, 250), (100, 500), (101, 505)])
+        report = sanitise(snaps)
+        assert report.removed_fraction == pytest.approx(0.25)
+
+    def test_threshold_configurable(self):
+        snaps = series([(100, 500), (75, 500), (100, 500)])
+        assert not sanitise(snaps, drop_threshold=0.30).removed
+        assert sanitise(snaps, drop_threshold=0.20).removed
+
+    def test_mixed_series_rejected(self):
+        a = snapshot("2021-07-19", 10, 10)
+        b = Snapshot(ixp="amsix", family=4, captured_on="2021-07-20")
+        with pytest.raises(ValueError):
+            sanitise([a, b])
+
+    def test_out_of_order_input_handled(self):
+        snaps = series([(100, 500), (55, 250), (100, 500)])
+        report = sanitise(list(reversed(snaps)))
+        assert len(report.removed) == 1
+
+
+class TestEndToEndWithGenerator:
+    def test_injected_failures_are_caught(self):
+        """Degraded snapshots from the generator look exactly like the
+        paper's valleys, and the sanitation finds them."""
+        from repro.ixp import get_profile
+        from repro.workload import ScenarioConfig, SnapshotGenerator
+
+        generator = SnapshotGenerator(
+            get_profile("bcix"), ScenarioConfig(scale=0.02, seed=31))
+        days = list(range(0, 28))
+        degrade_on = {5, 13, 21}
+        snaps = [generator.snapshot(4, day, degraded=day in degrade_on)
+                 for day in days]
+        report = sanitise(snaps)
+        removed_days = {s.meta["day"] for s in report.removed}
+        assert removed_days == degrade_on

@@ -1,0 +1,100 @@
+"""Tests for the snapshot scraper's failure handling (no sockets —
+drives the LG server's handler through a stub client)."""
+
+import pytest
+
+from repro.collector.scraper import ScrapeReport, SnapshotScraper
+from repro.ixp import dictionary_for, dictionary_pair_for, get_profile
+from repro.lg.api import NeighborSummary
+from repro.lg.client import LookingGlassError
+
+
+class StubClient:
+    """A LookingGlassClient stand-in with scripted behaviour."""
+
+    def __init__(self, neighbors, routes_by_asn, failing=()):
+        self.ixp = "linx"
+        self.family = 4
+        self.base_url = "stub://lg"
+        self._neighbors = neighbors
+        self._routes = routes_by_asn
+        self._failing = set(failing)
+
+    def neighbors(self):
+        return self._neighbors
+
+    def routes(self, asn, filtered=False):
+        if asn in self._failing:
+            raise LookingGlassError(f"AS{asn} keeps timing out")
+        yield from self._routes.get(asn, [])
+
+    def config_dictionary(self):
+        rs_dict, _ = dictionary_pair_for(get_profile("linx"))
+        return rs_dict
+
+
+def neighbor(asn, accepted=1, state="Established"):
+    return NeighborSummary(asn=asn, name=f"AS{asn}", state=state,
+                           routes_accepted=accepted, routes_filtered=2)
+
+
+def make_route(prefix, peer):
+    from repro.bgp.aspath import AsPath
+    from repro.bgp.route import Route
+    return Route(prefix=prefix, next_hop="195.66.224.1",
+                 as_path=AsPath.from_asns([peer]), peer_asn=peer)
+
+
+class TestCollect:
+    def test_happy_path(self):
+        client = StubClient(
+            [neighbor(60001), neighbor(60002)],
+            {60001: [make_route("20.0.0.0/16", 60001)],
+             60002: [make_route("20.1.0.0/16", 60002)]})
+        report = SnapshotScraper(client).collect("2021-10-04")
+        assert report.complete
+        assert report.snapshot.route_count == 2
+        assert report.snapshot.filtered_count == 4
+        assert not report.snapshot.meta["degraded"]
+
+    def test_failed_peer_recorded_not_fatal(self):
+        client = StubClient(
+            [neighbor(60001), neighbor(60002)],
+            {60001: [make_route("20.0.0.0/16", 60001)]},
+            failing={60002})
+        report = SnapshotScraper(client).collect("2021-10-04")
+        assert not report.complete
+        assert report.peers_failed == [60002]
+        assert report.peers_collected == 1
+        # partial snapshots are flagged for the sanitation pass
+        assert report.snapshot.meta["degraded"]
+        assert report.snapshot.meta["peers_failed"] == [60002]
+
+    def test_idle_sessions_skipped(self):
+        client = StubClient(
+            [neighbor(60001), neighbor(60002, state="Idle")],
+            {60001: [make_route("20.0.0.0/16", 60001)]})
+        report = SnapshotScraper(client).collect("2021-10-04")
+        assert report.peers_attempted == 1
+        assert report.snapshot.member_count == 1
+
+    def test_default_date_is_today(self):
+        import datetime
+        client = StubClient([], {})
+        report = SnapshotScraper(client).collect()
+        assert report.snapshot.captured_on == \
+            datetime.date.today().isoformat()
+
+
+class TestDictionary:
+    def test_without_website_returns_rs_config(self):
+        client = StubClient([], {})
+        dictionary = SnapshotScraper(client).fetch_dictionary()
+        rs_dict, _ = dictionary_pair_for(get_profile("linx"))
+        assert len(dictionary) == len(rs_dict)
+
+    def test_union_with_website(self):
+        client = StubClient([], {})
+        _, website = dictionary_pair_for(get_profile("linx"))
+        dictionary = SnapshotScraper(client).fetch_dictionary(website)
+        assert len(dictionary) == get_profile("linx").dictionary_size

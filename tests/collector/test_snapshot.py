@@ -1,0 +1,96 @@
+"""Tests for the snapshot model."""
+
+import pytest
+
+from repro.bgp.aspath import AsPath
+from repro.bgp.communities import standard
+from repro.bgp.route import Route
+from repro.collector.snapshot import Snapshot, snapshots_sorted
+from repro.ixp.member import Member, MemberRole
+
+
+def member(asn):
+    return Member(asn=asn, name=f"AS{asn}", role=MemberRole.ACCESS_ISP)
+
+
+def route(prefix, peer, comms=()):
+    return Route(prefix=prefix, next_hop="192.0.2.1",
+                 as_path=AsPath.from_asns([peer]), peer_asn=peer,
+                 communities=frozenset(comms))
+
+
+@pytest.fixture()
+def snapshot():
+    return Snapshot(
+        ixp="linx", family=4, captured_on="2021-10-04",
+        members=[member(1), member(2)],
+        routes=[
+            route("20.0.0.0/16", 1, {standard(0, 6939), standard(1, 2)}),
+            route("20.1.0.0/16", 1),
+            route("20.0.0.0/16", 2, {standard(0, 6939)}),
+        ],
+        filtered_count=3,
+    )
+
+
+class TestCounters:
+    def test_member_count(self, snapshot):
+        assert snapshot.member_count == 2
+
+    def test_route_count(self, snapshot):
+        assert snapshot.route_count == 3
+
+    def test_prefix_count_dedupes(self, snapshot):
+        assert snapshot.prefix_count == 2
+
+    def test_community_count_is_instances(self, snapshot):
+        assert snapshot.community_count == 3
+
+    def test_summary(self, snapshot):
+        assert snapshot.summary() == {
+            "members": 2, "prefixes": 2, "routes": 3, "communities": 3}
+
+    def test_routes_by_peer(self, snapshot):
+        by_peer = snapshot.routes_by_peer()
+        assert len(by_peer[1]) == 2
+        assert len(by_peer[2]) == 1
+
+    def test_key(self, snapshot):
+        assert snapshot.key == "linx/v4/2021-10-04"
+
+
+class TestValidation:
+    def test_bad_family(self):
+        with pytest.raises(ValueError):
+            Snapshot(ixp="x", family=5, captured_on="2021-10-04")
+
+    def test_bad_date(self):
+        with pytest.raises(ValueError):
+            Snapshot(ixp="x", family=4, captured_on="04/10/2021")
+
+
+class TestSerialisation:
+    def test_roundtrip(self, snapshot):
+        restored = Snapshot.from_dict(snapshot.to_dict())
+        assert restored.summary() == snapshot.summary()
+        assert restored.member_asns() == snapshot.member_asns()
+        assert restored.routes[0].communities == \
+            snapshot.routes[0].communities
+
+    def test_meta_preserved(self, snapshot):
+        snapshot.meta["degraded"] = True
+        assert Snapshot.from_dict(snapshot.to_dict()).meta["degraded"]
+
+
+class TestSorting:
+    def test_chronological_within_groups(self):
+        snaps = [
+            Snapshot(ixp="b", family=4, captured_on="2021-08-01"),
+            Snapshot(ixp="a", family=6, captured_on="2021-07-19"),
+            Snapshot(ixp="a", family=4, captured_on="2021-07-26"),
+            Snapshot(ixp="a", family=4, captured_on="2021-07-19"),
+        ]
+        ordered = snapshots_sorted(snaps)
+        assert [(s.ixp, s.family, s.captured_on) for s in ordered] == [
+            ("a", 4, "2021-07-19"), ("a", 4, "2021-07-26"),
+            ("a", 6, "2021-07-19"), ("b", 4, "2021-08-01")]

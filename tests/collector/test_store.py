@@ -1,0 +1,80 @@
+"""Tests for the on-disk dataset store."""
+
+import pytest
+
+from repro.collector import DatasetStore, Snapshot
+from repro.ixp import dictionary_for, get_profile
+
+
+def snapshot(date, ixp="linx", family=4):
+    return Snapshot(ixp=ixp, family=family, captured_on=date)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return DatasetStore(tmp_path / "dataset")
+
+
+class TestSnapshots:
+    def test_save_and_load(self, store):
+        store.save_snapshot(snapshot("2021-07-19"))
+        loaded = store.load_snapshot("linx", 4, "2021-07-19")
+        assert loaded.key == "linx/v4/2021-07-19"
+
+    def test_dates_sorted(self, store):
+        for date in ("2021-08-02", "2021-07-19", "2021-07-26"):
+            store.save_snapshot(snapshot(date))
+        assert store.snapshot_dates("linx", 4) == [
+            "2021-07-19", "2021-07-26", "2021-08-02"]
+
+    def test_latest(self, store):
+        for date in ("2021-07-19", "2021-10-04"):
+            store.save_snapshot(snapshot(date))
+        assert store.latest_snapshot("linx", 4).captured_on == "2021-10-04"
+
+    def test_latest_empty_is_none(self, store):
+        assert store.latest_snapshot("linx", 4) is None
+
+    def test_families_separated(self, store):
+        store.save_snapshot(snapshot("2021-07-19", family=4))
+        store.save_snapshot(snapshot("2021-07-19", family=6))
+        assert store.snapshot_dates("linx", 4) == ["2021-07-19"]
+        assert store.snapshot_dates("linx", 6) == ["2021-07-19"]
+
+    def test_delete(self, store):
+        store.save_snapshot(snapshot("2021-07-19"))
+        assert store.delete_snapshot("linx", 4, "2021-07-19")
+        assert not store.delete_snapshot("linx", 4, "2021-07-19")
+        assert store.snapshot_dates("linx", 4) == []
+
+    def test_iter_snapshots(self, store):
+        for date in ("2021-07-19", "2021-07-26"):
+            store.save_snapshot(snapshot(date))
+        assert [s.captured_on for s in store.iter_snapshots("linx", 4)] == \
+            ["2021-07-19", "2021-07-26"]
+
+    def test_ixps_listing(self, store):
+        store.save_snapshot(snapshot("2021-07-19", ixp="linx"))
+        store.save_snapshot(snapshot("2021-07-19", ixp="amsix"))
+        assert store.ixps() == ["amsix", "linx"]
+
+    def test_summary_table(self, store):
+        store.save_snapshot(snapshot("2021-07-19"))
+        rows = store.summary_table("linx", 4)
+        assert rows[0]["date"] == "2021-07-19"
+        assert rows[0]["routes"] == 0
+
+
+class TestDictionaries:
+    def test_roundtrip(self, store):
+        dictionary = dictionary_for(get_profile("amsix"))
+        store.save_dictionary("amsix", dictionary)
+        assert store.has_dictionary("amsix")
+        loaded = store.load_dictionary("amsix")
+        assert len(loaded) == len(dictionary)
+        assert len(loaded.rules()) == len(dictionary.rules())
+
+    def test_missing_dictionary(self, store):
+        assert not store.has_dictionary("linx")
+        with pytest.raises(FileNotFoundError):
+            store.load_dictionary("linx")

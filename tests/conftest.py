@@ -1,0 +1,74 @@
+"""Shared fixtures.
+
+Generation is the expensive part of the suite, so populations,
+generators, snapshots, and aggregates are session-scoped and shared by
+every test that does not mutate them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Study
+from repro.core.aggregate import aggregate_snapshot
+from repro.ixp import get_profile
+from repro.workload import ScenarioConfig, SnapshotGenerator
+
+#: tiny scale for tests that only need structure, not statistics.
+TINY = ScenarioConfig(scale=0.012, seed=99)
+#: the scale the statistical (calibration) tests run at.
+CALIBRATION = ScenarioConfig(scale=0.05, seed=20211004)
+
+
+@pytest.fixture(scope="session")
+def linx_generator() -> SnapshotGenerator:
+    return SnapshotGenerator(get_profile("linx"), TINY)
+
+
+@pytest.fixture(scope="session")
+def decix_generator() -> SnapshotGenerator:
+    return SnapshotGenerator(get_profile("decix-fra"), TINY)
+
+
+@pytest.fixture(scope="session")
+def linx_snapshot(linx_generator):
+    return linx_generator.snapshot(4, degraded=False)
+
+
+@pytest.fixture(scope="session")
+def linx_snapshot_v6(linx_generator):
+    return linx_generator.snapshot(6, degraded=False)
+
+
+@pytest.fixture(scope="session")
+def decix_snapshot(decix_generator):
+    return decix_generator.snapshot(4, degraded=False)
+
+
+@pytest.fixture(scope="session")
+def linx_aggregate(linx_snapshot, linx_generator):
+    return aggregate_snapshot(linx_snapshot, linx_generator.dictionary)
+
+
+@pytest.fixture(scope="session")
+def decix_aggregate(decix_snapshot, decix_generator):
+    return aggregate_snapshot(decix_snapshot, decix_generator.dictionary)
+
+
+@pytest.fixture(scope="session")
+def tiny_study(linx_generator, decix_generator, linx_snapshot,
+               decix_snapshot, linx_snapshot_v6) -> Study:
+    study = Study()
+    study.snapshots[("linx", 4)] = linx_snapshot
+    study.snapshots[("linx", 6)] = linx_snapshot_v6
+    study.snapshots[("decix-fra", 4)] = decix_snapshot
+    study.dictionaries["linx"] = linx_generator.dictionary
+    study.dictionaries["decix-fra"] = decix_generator.dictionary
+    return study
+
+
+@pytest.fixture(scope="session")
+def calibration_study() -> Study:
+    """The four large IXPs at calibration scale — used by the paper-band
+    integration tests; expensive, built once."""
+    return Study.synthetic(scale=CALIBRATION.scale, seed=CALIBRATION.seed)

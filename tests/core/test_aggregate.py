@@ -1,0 +1,157 @@
+"""Tests for the single-pass snapshot aggregator."""
+
+import pytest
+
+from repro.bgp.aspath import AsPath
+from repro.bgp.communities import large, standard
+from repro.bgp.route import Route
+from repro.collector.snapshot import Snapshot
+from repro.core.aggregate import aggregate_snapshot
+from repro.ixp import dictionary_for, get_profile
+from repro.ixp.member import Member, MemberRole
+from repro.ixp.taxonomy import ActionCategory
+
+
+def member(asn):
+    return Member(asn=asn, name=f"AS{asn}", role=MemberRole.ACCESS_ISP)
+
+
+def route(prefix, peer, comms=(), larges=()):
+    return Route(prefix=prefix, next_hop="80.81.192.10",
+                 as_path=AsPath.from_asns([peer]), peer_asn=peer,
+                 communities=frozenset(comms),
+                 large_communities=frozenset(larges))
+
+
+@pytest.fixture(scope="module")
+def hand_built():
+    """A snapshot small enough to verify every counter by hand.
+
+    Peers at RS: 60001, 60002, 6939. Communities:
+      route A (60001): dna-HE (action, effective), info tag, unknown
+      route B (60001): dna-Google (action, INEFFECTIVE: 15169 not at RS)
+      route C (60002): announce-all (action, all-peers target), large
+                       mirror dna 20940 (defined, large kind, ineffective
+                       but NOT standard so excluded from §5 counters)
+      route D (6939):  no communities at all
+    """
+    dictionary = dictionary_for(get_profile("decix-fra"))
+    snapshot = Snapshot(
+        ixp="decix-fra", family=4, captured_on="2021-10-04",
+        members=[member(60001), member(60002), member(6939)],
+        routes=[
+            route("20.0.0.0/16", 60001,
+                  {standard(0, 6939), standard(6695, 1000),
+                   standard(3356, 3)}),
+            route("20.1.0.0/16", 60001, {standard(0, 15169)}),
+            route("20.2.0.0/16", 60002, {standard(6695, 6695)},
+                  larges={large(6695, 0, 20940)}),
+            route("20.3.0.0/16", 6939),
+        ])
+    return aggregate_snapshot(snapshot, dictionary)
+
+
+class TestHandCounted:
+    def test_population(self, hand_built):
+        assert hand_built.member_count == 3
+        assert hand_built.route_count == 4
+        assert hand_built.prefix_count == 4
+
+    def test_fig1_counts(self, hand_built):
+        # defined: dna-HE, info, dna-Google, announce-all, large mirror
+        assert hand_built.defined_count == 5
+        assert hand_built.unknown_count == 1  # 3356:3
+
+    def test_fig2_kinds(self, hand_built):
+        assert hand_built.kind_counts["standard"] == 4
+        assert hand_built.kind_counts["large"] == 1
+        assert hand_built.kind_counts["extended"] == 0
+
+    def test_fig3_split(self, hand_built):
+        assert hand_built.std_action_count == 3
+        assert hand_built.std_informational_count == 1
+        assert hand_built.action_share == pytest.approx(0.75)
+
+    def test_fig4a(self, hand_built):
+        assert hand_built.ases_using_actions == {60001, 60002}
+        assert hand_built.routes_with_action == 3
+        assert hand_built.members_using_actions_fraction == pytest.approx(
+            2 / 3)
+
+    def test_per_as_counters(self, hand_built):
+        assert hand_built.per_as_action[60001] == 2
+        assert hand_built.per_as_action[60002] == 1
+        assert hand_built.per_as_routes[6939] == 1
+
+    def test_table2_sets(self, hand_built):
+        dna = hand_built.ases_by_category[ActionCategory.DO_NOT_ANNOUNCE_TO]
+        ao = hand_built.ases_by_category[ActionCategory.ANNOUNCE_ONLY_TO]
+        assert dna == {60001}
+        assert ao == {60002}
+
+    def test_category_instances(self, hand_built):
+        assert hand_built.category_instances[
+            ActionCategory.DO_NOT_ANNOUNCE_TO] == 2
+        assert hand_built.category_instances[
+            ActionCategory.ANNOUNCE_ONLY_TO] == 1
+
+    def test_fig5_top_communities(self, hand_built):
+        top = dict(hand_built.top_communities())
+        assert top[standard(0, 6939)] == 1
+        assert top[standard(0, 15169)] == 1
+        assert top[standard(6695, 6695)] == 1
+
+    def test_ineffective(self, hand_built):
+        # only dna-Google targets a non-RS AS; dna-HE is effective
+        # (6939 at RS); announce-all has no single-AS target.
+        assert hand_built.ineffective_instances == 1
+        assert hand_built.ineffective_share == pytest.approx(1 / 3)
+        assert hand_built.ineffective_by_culprit == {60001: 1}
+        assert hand_built.ineffective_targets == {15169: 1}
+        assert hand_built.effective_targets == {6939: 1}
+
+    def test_top_culprits(self, hand_built):
+        assert hand_built.top_culprits() == [(60001, 1)]
+
+
+class TestGeneratedSnapshot:
+    def test_instance_conservation(self, linx_snapshot, linx_aggregate):
+        """defined + unknown == total community instances on routes."""
+        total = sum(route.community_count for route in linx_snapshot.routes)
+        assert linx_aggregate.total_instances == total
+
+    def test_kind_counts_sum_to_defined(self, linx_aggregate):
+        assert sum(linx_aggregate.kind_counts.values()) == \
+            linx_aggregate.defined_count
+
+    def test_std_split_sums(self, linx_aggregate):
+        assert (linx_aggregate.std_action_count
+                + linx_aggregate.std_informational_count) == \
+            linx_aggregate.kind_counts["standard"]
+
+    def test_per_as_action_sums_to_total(self, linx_aggregate):
+        assert sum(linx_aggregate.per_as_action.values()) == \
+            linx_aggregate.std_action_count
+
+    def test_category_instances_sum_to_total(self, linx_aggregate):
+        assert sum(linx_aggregate.category_instances.values()) == \
+            linx_aggregate.std_action_count
+
+    def test_community_instances_sum_to_total(self, linx_aggregate):
+        assert sum(linx_aggregate.community_instances.values()) == \
+            linx_aggregate.std_action_count
+
+    def test_ineffective_bounded_by_total(self, linx_aggregate):
+        assert 0 < linx_aggregate.ineffective_instances <= \
+            linx_aggregate.std_action_count
+
+    def test_ineffective_split_consistent(self, linx_aggregate):
+        targeted = (sum(linx_aggregate.effective_targets.values())
+                    + sum(linx_aggregate.ineffective_targets.values()))
+        assert targeted <= linx_aggregate.std_action_count
+        assert sum(linx_aggregate.ineffective_by_culprit.values()) == \
+            linx_aggregate.ineffective_instances
+
+    def test_users_subset_of_members(self, linx_aggregate):
+        assert linx_aggregate.ases_using_actions <= \
+            set(linx_aggregate.rs_member_asns)

@@ -1,0 +1,150 @@
+"""Tests for the §4/§5 analysis modules (prevalence, usage, favourites,
+ineffective) over generated snapshots."""
+
+import pytest
+
+from repro.core import favorites, ineffective, prevalence, usage
+from repro.core.usage import concentration_at, usage_concentration_curve
+from repro.ixp.taxonomy import ActionCategory
+
+
+class TestPrevalence:
+    def test_fig1_shares_sum_to_one(self, linx_aggregate):
+        row = prevalence.ixp_defined_vs_unknown([linx_aggregate])[0]
+        assert row["defined_share"] + row["unknown_share"] == \
+            pytest.approx(1.0)
+        assert row["defined"] + row["unknown"] == row["total_instances"]
+
+    def test_fig2_shares_sum_to_one(self, linx_aggregate):
+        row = prevalence.community_kinds([linx_aggregate])[0]
+        assert (row["standard_share"] + row["extended_share"]
+                + row["large_share"]) == pytest.approx(1.0)
+
+    def test_fig3_shares_sum_to_one(self, linx_aggregate):
+        row = prevalence.action_vs_informational([linx_aggregate])[0]
+        assert row["action_share"] + row["informational_share"] == \
+            pytest.approx(1.0)
+
+    def test_rows_carry_identity(self, linx_aggregate, decix_aggregate):
+        rows = prevalence.ixp_defined_vs_unknown(
+            [linx_aggregate, decix_aggregate])
+        assert [r["ixp"] for r in rows] == ["linx", "decix-fra"]
+
+
+class TestUsage:
+    def test_fig4a_consistency(self, linx_aggregate):
+        row = usage.ases_using_actions([linx_aggregate])[0]
+        assert row["ases_using_actions"] <= row["rs_members"]
+        assert row["routes_with_actions"] <= row["routes"]
+        assert 0 < row["ases_fraction"] < 1
+
+    def test_fig4b_curve_monotone(self, linx_aggregate):
+        curve = usage_concentration_curve(linx_aggregate)
+        assert curve
+        xs = [p[0] for p in curve]
+        ys = [p[1] for p in curve]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_concentration_monotone_in_fraction(self, linx_aggregate):
+        c1 = concentration_at(linx_aggregate, 0.01)
+        c10 = concentration_at(linx_aggregate, 0.10)
+        c100 = concentration_at(linx_aggregate, 1.0)
+        assert c1 <= c10 <= c100 == pytest.approx(1.0)
+
+    def test_fig4c_points_are_shares(self, linx_aggregate):
+        points = usage.prefix_community_points(linx_aggregate)
+        assert points
+        comm_total = sum(p[0] for p in points)
+        assert comm_total == pytest.approx(1.0)
+        for comm_share, route_share in points:
+            assert 0 <= comm_share <= 1 and 0 <= route_share <= 1
+
+    def test_fig4c_correlation_positive(self, linx_aggregate):
+        row = usage.prefix_community_correlation([linx_aggregate])[0]
+        assert row["log_pearson"] > 0.3
+
+    def test_fig4c_upper_left_only(self, linx_aggregate):
+        """Paper: big announcers that tag little exist; small announcers
+        that tag enormously do not."""
+        row = usage.prefix_community_correlation([linx_aggregate])[0]
+        assert row["far_below_diagonal"] <= row["far_above_diagonal"] + 2
+
+
+class TestFavorites:
+    def test_table2_rows_per_category(self, linx_aggregate):
+        rows = favorites.ases_per_action_type([linx_aggregate])
+        assert len(rows) == 4
+        categories = [row["category"] for row in rows]
+        assert categories[0] == "do-not-announce-to"
+
+    def test_table2_dna_most_popular(self, linx_aggregate):
+        rows = {row["category"]: row["ases"]
+                for row in favorites.ases_per_action_type([linx_aggregate])}
+        assert rows["do-not-announce-to"] == max(rows.values())
+
+    def test_occurrence_shares_sum_to_one(self, linx_aggregate):
+        rows = favorites.occurrences_per_action_type([linx_aggregate])
+        assert sum(row["share"] for row in rows) == pytest.approx(1.0)
+
+    def test_fig5_sorted_desc(self, linx_aggregate, linx_generator):
+        rows = favorites.top_action_communities(
+            linx_aggregate, linx_generator.dictionary, limit=20)
+        counts = [row["instances"] for row in rows]
+        assert counts == sorted(counts, reverse=True)
+        assert len(rows) <= 20
+
+    def test_fig5_rows_annotated(self, linx_aggregate, linx_generator):
+        rows = favorites.top_action_communities(
+            linx_aggregate, linx_generator.dictionary, limit=5)
+        for row in rows:
+            assert row["category"] in {c.value for c in ActionCategory}
+            assert 0 < row["share"] <= 1
+
+    def test_target_intersection(self):
+        tops = {
+            "a": [{"target": "AS6939"}, {"target": "AS15169"},
+                  {"target": "all-peers"}],
+            "b": [{"target": "AS6939"}, {"target": "AS20940"}],
+        }
+        assert favorites.top_target_intersection(tops) == [6939]
+
+
+class TestIneffective:
+    def test_summary_share_in_unit_interval(self, linx_aggregate):
+        row = ineffective.ineffective_summary([linx_aggregate])[0]
+        assert 0 < row["ineffective_share"] < 1
+
+    def test_fig6_targets_never_at_rs(self, linx_aggregate,
+                                      linx_generator):
+        rows = ineffective.top_ineffective_communities(
+            linx_aggregate, linx_generator.dictionary, limit=20)
+        at_rs = set(linx_aggregate.rs_member_asns)
+        for row in rows:
+            assert row["target"].startswith("AS")
+            assert int(row["target"][2:]) not in at_rs
+
+    def test_fig6_overlap_with_overall_top(self, linx_aggregate):
+        overlap = ineffective.overlap_with_overall_top(linx_aggregate)
+        assert 0 < overlap <= 20
+
+    def test_fig7_culprits_sorted(self, linx_aggregate):
+        rows = ineffective.top_culprit_ases(linx_aggregate, limit=10)
+        counts = [row["instances"] for row in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_hurricane_electric_top_culprit(self, linx_aggregate):
+        rows = ineffective.top_culprit_ases(linx_aggregate, limit=1)
+        assert rows[0]["asn"] == 6939
+        assert rows[0]["name"] == "Hurricane Electric"
+
+    def test_culprit_share_helper(self, linx_aggregate):
+        share = ineffective.culprit_share(linx_aggregate, 6939)
+        assert share == pytest.approx(
+            ineffective.top_culprit_ases(linx_aggregate, 1)[0]["share"])
+
+    def test_culprit_overlap_helper(self):
+        culprits = {"a": [{"asn": 1}, {"asn": 2}],
+                    "b": [{"asn": 2}, {"asn": 3}]}
+        assert ineffective.culprit_overlap(culprits, "a", "b") == [2]

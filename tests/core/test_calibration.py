@@ -1,0 +1,274 @@
+"""Paper-band integration tests.
+
+The point of the reproduction: running the full pipeline (population →
+route server → snapshot → classification → analysis) must land every
+headline statistic of the paper inside (a tolerance band around) the
+published value. One synthetic study at calibration scale, shared across
+all tests (session fixture).
+
+Bands are deliberately wider than the calibration targets: the generator
+is stochastic, and the claim being tested is the paper's *shape* (who
+wins, by roughly what factor), not digit-exact agreement.
+"""
+
+import pytest
+
+from repro.core.usage import concentration_at
+from repro.ixp import LARGE_FOUR, get_profile
+
+LARGE = list(LARGE_FOUR)
+
+
+def agg(study, ixp, family=4):
+    return study.aggregate(ixp, family)
+
+
+class TestFig1DefinedShare:
+    """Fig. 1: >80% of community instances are IXP-defined."""
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_v4_share_matches_paper(self, calibration_study, ixp):
+        aggregate = agg(calibration_study, ixp)
+        paper = get_profile(ixp).calibration.ixp_defined_share
+        assert aggregate.defined_share == pytest.approx(paper, abs=0.05)
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_v6_share_matches_paper(self, calibration_study, ixp):
+        aggregate = agg(calibration_study, ixp, 6)
+        paper = get_profile(ixp).calibration.ixp_defined_share_v6
+        assert aggregate.defined_share == pytest.approx(paper, abs=0.06)
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_over_80_percent(self, calibration_study, ixp):
+        assert agg(calibration_study, ixp).defined_share > 0.75
+
+
+class TestFig2StandardShare:
+    """Fig. 2: standard communities are >80% of IXP-defined instances."""
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_standard_dominates(self, calibration_study, ixp):
+        aggregate = agg(calibration_study, ixp)
+        paper = get_profile(ixp).calibration.standard_share
+        assert aggregate.standard_share == pytest.approx(paper, abs=0.05)
+        assert aggregate.standard_share > 0.8
+
+    def test_amsix_has_highest_standard_share(self, calibration_study):
+        shares = {ixp: agg(calibration_study, ixp).standard_share
+                  for ixp in LARGE}
+        assert max(shares, key=shares.get) == "amsix"
+
+
+class TestFig3ActionShare:
+    """Fig. 3 / §5.1: action communities are at least two-thirds of the
+    standard IXP-defined instances."""
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_v4_matches_paper(self, calibration_study, ixp):
+        aggregate = agg(calibration_study, ixp)
+        paper = get_profile(ixp).calibration.action_share
+        assert aggregate.action_share == pytest.approx(paper, abs=0.05)
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_at_least_two_thirds(self, calibration_study, ixp):
+        assert agg(calibration_study, ixp).action_share >= 0.63
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_v6_matches_paper(self, calibration_study, ixp):
+        aggregate = agg(calibration_study, ixp, 6)
+        paper = get_profile(ixp).calibration.action_share_v6
+        assert aggregate.action_share == pytest.approx(paper, abs=0.06)
+
+
+class TestFig4aMembersUsingActions:
+    """Fig. 4a: 35.5–54% of RS members use action communities (v4)."""
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_v4_fraction(self, calibration_study, ixp):
+        aggregate = agg(calibration_study, ixp)
+        paper = get_profile(ixp).calibration.members_using_actions
+        assert aggregate.members_using_actions_fraction == pytest.approx(
+            paper, abs=0.06)
+
+    def test_ordering_decix_highest_amsix_lowest(self, calibration_study):
+        fractions = {ixp: agg(calibration_study,
+                              ixp).members_using_actions_fraction
+                     for ixp in LARGE}
+        assert max(fractions, key=fractions.get) in ("decix-fra", "ixbr-sp")
+        assert min(fractions, key=fractions.get) == "amsix"
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_routes_with_actions(self, calibration_study, ixp):
+        aggregate = agg(calibration_study, ixp)
+        paper = get_profile(ixp).calibration.routes_with_actions
+        assert aggregate.routes_with_action_fraction == pytest.approx(
+            paper, abs=0.08)
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_more_routes_than_ases_tagged(self, calibration_study, ixp):
+        """Paper: route shares exceed AS shares — big ASes tag more."""
+        aggregate = agg(calibration_study, ixp)
+        assert aggregate.routes_with_action_fraction > \
+            aggregate.members_using_actions_fraction
+
+
+class TestFig4bConcentration:
+    """Fig. 4b: few ASes hold most action-community instances."""
+
+    def test_ixbr_extreme_concentration(self, calibration_study):
+        share = concentration_at(agg(calibration_study, "ixbr-sp"), 0.01)
+        assert share > 0.7  # paper: 86%
+
+    @pytest.mark.parametrize("ixp", ["decix-fra", "linx", "amsix"])
+    def test_european_top1pct_around_half(self, calibration_study, ixp):
+        share = concentration_at(agg(calibration_study, ixp), 0.01)
+        assert 0.4 <= share <= 0.7  # paper: 50–60%
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_bottom_90pct_hold_little(self, calibration_study, ixp):
+        """Paper: 90% of ASes account for <5% of the communities."""
+        share = 1.0 - concentration_at(agg(calibration_study, ixp), 0.10)
+        assert share < 0.15
+
+
+class TestTable2Categories:
+    """Table 2: users per action type, per IXP."""
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_dna_most_popular_everywhere(self, calibration_study, ixp):
+        from repro.ixp.taxonomy import ActionCategory
+        aggregate = agg(calibration_study, ixp)
+        counts = {category: len(aggregate.ases_by_category[category])
+                  for category in ActionCategory}
+        assert counts[ActionCategory.DO_NOT_ANNOUNCE_TO] == \
+            max(counts.values())
+
+    def test_blackholing_popular_only_at_decix(self, calibration_study):
+        from repro.ixp.taxonomy import ActionCategory
+        fractions = {
+            ixp: agg(calibration_study, ixp).category_users_fraction(
+                ActionCategory.BLACKHOLING)
+            for ixp in LARGE}
+        assert fractions["decix-fra"] > 0.08   # paper: 15.7%
+        assert fractions["ixbr-sp"] == 0.0
+        assert fractions["linx"] == 0.0
+        assert fractions["amsix"] < 0.05       # paper: 1.4%
+
+    def test_no_prepending_at_amsix(self, calibration_study):
+        from repro.ixp.taxonomy import ActionCategory
+        aggregate = agg(calibration_study, "amsix")
+        # AMS-IX standard prepending is to-all-peers only, so no AS
+        # prepends towards a *specific* peer; paper Table 2 reports 0.
+        targeted = [c for c in aggregate.community_instances
+                    if 65511 <= c.asn <= 65513 and c.value != 6777]
+        assert not targeted
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_dna_fraction_matches_table2(self, calibration_study, ixp):
+        from repro.ixp.taxonomy import ActionCategory
+        aggregate = agg(calibration_study, ixp)
+        paper = get_profile(ixp).category_usage.dna_users_v4
+        measured = aggregate.category_users_fraction(
+            ActionCategory.DO_NOT_ANNOUNCE_TO)
+        assert measured == pytest.approx(paper, abs=0.08)
+
+
+class TestSection53Occurrences:
+    """§5.3: do-not-announce-to dominates occurrences (66.6–92%)."""
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_dna_share_of_occurrences(self, calibration_study, ixp):
+        from repro.ixp.taxonomy import ActionCategory
+        aggregate = agg(calibration_study, ixp)
+        total = sum(aggregate.category_instances.values())
+        dna = aggregate.category_instances[
+            ActionCategory.DO_NOT_ANNOUNCE_TO]
+        assert 0.6 <= dna / total <= 0.95
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_prepend_and_blackhole_negligible(self, calibration_study,
+                                              ixp):
+        from repro.ixp.taxonomy import ActionCategory
+        aggregate = agg(calibration_study, ixp)
+        total = sum(aggregate.category_instances.values())
+        prepend = aggregate.category_instances[ActionCategory.PREPEND_TO]
+        blackhole = aggregate.category_instances[
+            ActionCategory.BLACKHOLING]
+        assert prepend / total < 0.05   # paper: <1.9%
+        assert blackhole / total < 0.02  # paper: <0.4%
+
+
+class TestFig5Favourites:
+    """§5.4: the top communities avoid content providers."""
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_top20_mostly_propagation_limiting(self, calibration_study,
+                                               ixp):
+        study = calibration_study
+        rows = study.top_action_communities(ixp, 4, limit=20)
+        limiting = [row for row in rows
+                    if row["category"] in ("do-not-announce-to",
+                                           "announce-only-to")]
+        assert len(limiting) >= 15
+
+    def test_known_cps_among_top_targets(self, calibration_study):
+        from repro.core import favorites
+        tops = {ixp: calibration_study.top_action_communities(ixp, 4)
+                for ixp in LARGE}
+        common = favorites.top_target_intersection(tops)
+        cp_asns = {15169, 20940, 16276, 13335, 2906, 60781, 6939}
+        assert set(common) & cp_asns, common
+
+
+class TestSection55Ineffective:
+    """§5.5: >31.8% of action instances target non-RS members."""
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_share_matches_paper(self, calibration_study, ixp):
+        aggregate = agg(calibration_study, ixp)
+        paper = get_profile(ixp).calibration.ineffective_share
+        assert aggregate.ineffective_share == pytest.approx(paper,
+                                                            abs=0.10)
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_above_one_third_threshold(self, calibration_study, ixp):
+        assert agg(calibration_study, ixp).ineffective_share > 0.25
+
+    def test_linx_has_largest_share(self, calibration_study):
+        shares = {ixp: agg(calibration_study, ixp).ineffective_share
+                  for ixp in LARGE}
+        assert shares["linx"] >= shares["ixbr-sp"]
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_ineffective_communities_in_overall_top20(
+            self, calibration_study, ixp):
+        """Paper: 4–10 of each IXP's top-20 communities target non-RS
+        members."""
+        from repro.core.ineffective import overlap_with_overall_top
+        overlap = overlap_with_overall_top(agg(calibration_study, ixp))
+        assert 2 <= overlap <= 20
+
+    @pytest.mark.parametrize("ixp", LARGE)
+    def test_hurricane_electric_is_top_culprit(self, calibration_study,
+                                               ixp):
+        """Paper: HE appears in all IXPs, responsible for 24.2–59.4%."""
+        from repro.core.ineffective import culprit_share
+        share = culprit_share(agg(calibration_study, ixp), 6939)
+        assert 0.15 <= share <= 0.95
+
+    def test_culprits_are_large_isps(self, calibration_study):
+        from repro.workload.registry import KNOWN_BY_ASN
+        rows = calibration_study.top_culprit_ases("decix-fra", 4, limit=5)
+        known = [KNOWN_BY_ASN.get(row["asn"]) for row in rows]
+        transit = [k for k in known if k and k.defensive_tagger]
+        assert len(transit) >= 2
+
+    def test_culprit_overlap_across_ixps(self, calibration_study):
+        """Paper: seven of the DE-CIX top-10 culprits also in the
+        AMS-IX top-10."""
+        from repro.core.ineffective import culprit_overlap
+        culprits = {
+            ixp: calibration_study.top_culprit_ases(ixp, 4, limit=10)
+            for ixp in ("decix-fra", "amsix")}
+        overlap = culprit_overlap(culprits, "decix-fra", "amsix")
+        assert len(overlap) >= 4

@@ -1,0 +1,83 @@
+"""Tests for the community classifier."""
+
+import pytest
+
+from repro.bgp.aspath import AsPath
+from repro.bgp.communities import ExtendedCommunity, large, standard
+from repro.bgp.route import Route
+from repro.core.classification import Classifier
+from repro.ixp import dictionary_for, get_profile
+from repro.ixp.taxonomy import ActionCategory
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    return Classifier(dictionary_for(get_profile("decix-fra")))
+
+
+class TestClassify:
+    def test_action_community(self, classifier):
+        classified = classifier.classify(standard(0, 6939))
+        assert classified.ixp_defined and classified.is_action
+        assert classified.category is ActionCategory.DO_NOT_ANNOUNCE_TO
+        assert classified.target_asn == 6939
+
+    def test_informational_community(self, classifier):
+        classified = classifier.classify(standard(6695, 1000))
+        assert classified.ixp_defined and classified.is_informational
+        assert not classified.is_action
+        assert classified.category is None
+
+    def test_unknown_community(self, classifier):
+        classified = classifier.classify(standard(3356, 3))
+        assert not classified.ixp_defined
+        assert not classified.is_action
+        assert classified.target is None
+
+    def test_all_peers_target_has_no_asn(self, classifier):
+        classified = classifier.classify(standard(0, 6695))
+        assert classified.is_action
+        assert classified.target_asn is None
+
+    def test_large_mirror(self, classifier):
+        classified = classifier.classify(large(6695, 0, 15169))
+        assert classified.kind == "large"
+        assert classified.is_action
+        assert classified.target_asn == 15169
+
+    def test_extended_mirror(self, classifier):
+        classified = classifier.classify(
+            ExtendedCommunity(0, 2, 6695, 15169))
+        assert classified.kind == "extended"
+        assert classified.is_action
+
+    def test_memoisation_returns_same_object(self, classifier):
+        a = classifier.classify(standard(0, 777))
+        b = classifier.classify(standard(0, 777))
+        assert a is b
+
+
+class TestClassifyRoute:
+    def test_all_flavours_classified(self, classifier):
+        route = Route(
+            prefix="20.0.0.0/16", next_hop="80.81.192.10",
+            as_path=AsPath.from_asns([60500]), peer_asn=60500,
+            communities=frozenset({standard(0, 6939),
+                                   standard(6695, 1000),
+                                   standard(3356, 3)}),
+            large_communities=frozenset({large(6695, 0, 15169)}),
+            extended_communities=frozenset(
+                {ExtendedCommunity(0, 2, 6695, 20940)}),
+        )
+        classified = classifier.classify_route(route)
+        assert len(classified) == 5
+        actions = [c for c in classified if c.is_action]
+        assert len(actions) == 3
+
+    def test_iter_action_communities(self, classifier):
+        route = Route(
+            prefix="20.0.0.0/16", next_hop="80.81.192.10",
+            as_path=AsPath.from_asns([60500]), peer_asn=60500,
+            communities=frozenset({standard(0, 6939), standard(3356, 3)}))
+        actions = list(classifier.iter_action_communities(route))
+        assert [a.community for a in actions] == [standard(0, 6939)]

@@ -1,0 +1,68 @@
+"""Tests for the CSV/JSON artefact export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.core.export import (
+    export_study_csv,
+    export_study_json,
+    study_rows,
+    write_csv,
+)
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        path = write_csv(rows, tmp_path / "out.csv")
+        with open(path) as handle:
+            restored = list(csv.DictReader(handle))
+        assert restored == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+    def test_empty(self, tmp_path):
+        path = write_csv([], tmp_path / "empty.csv")
+        assert path.read_text() == ""
+
+    def test_creates_directories(self, tmp_path):
+        path = write_csv([{"a": 1}], tmp_path / "deep" / "out.csv")
+        assert path.exists()
+
+
+class TestStudyExport:
+    def test_bundle_has_every_artefact(self, tiny_study):
+        bundle = study_rows(tiny_study, families=(4,))
+        expected = {"table1_summary", "fig1_defined_vs_unknown",
+                    "fig2_community_kinds",
+                    "fig3_action_vs_informational",
+                    "fig4a_ases_using_actions", "fig4b_concentration",
+                    "fig4b_curves", "fig4c_correlation",
+                    "table2_ases_per_type", "s53_occurrences_per_type",
+                    "s55_ineffective_summary", "fig5_top_communities",
+                    "fig6_top_ineffective", "fig7_top_culprits"}
+        assert set(bundle) == expected
+        for name, rows in bundle.items():
+            assert rows, name
+
+    def test_csv_export(self, tmp_path, tiny_study):
+        paths = export_study_csv(tiny_study, tmp_path / "csv",
+                                 families=(4,))
+        assert len(paths) == 14
+        fig1 = next(p for p in paths if "fig1" in p.name)
+        with open(fig1) as handle:
+            rows = list(csv.DictReader(handle))
+        assert {row["ixp"] for row in rows} == {"linx", "decix-fra"}
+
+    def test_json_export(self, tmp_path, tiny_study):
+        path = export_study_json(tiny_study, tmp_path / "bundle.json",
+                                 families=(4,))
+        bundle = json.loads(path.read_text())
+        assert "fig7_top_culprits" in bundle
+        assert bundle["s55_ineffective_summary"][0]["ineffective_share"] > 0
+
+    def test_curves_are_flat_rows(self, tiny_study):
+        bundle = study_rows(tiny_study, families=(4,))
+        for point in bundle["fig4b_curves"][:5]:
+            assert 0 < point["as_fraction"] <= 1
+            assert 0 < point["cumulative_share"] <= 1

@@ -1,0 +1,107 @@
+"""Tests for the §5.6 member-database hygiene simulation."""
+
+import pytest
+
+from repro.core.hygiene import (
+    HygieneDay,
+    MemberDatabase,
+    simulate_hygiene,
+    staleness_sweep,
+)
+from repro.ixp import get_profile
+from repro.workload import ScenarioConfig, SnapshotGenerator
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return SnapshotGenerator(get_profile("linx"),
+                             ScenarioConfig(scale=0.02, seed=81))
+
+
+class TestMemberDatabase:
+    def test_fresh_database_matches_rs(self, generator):
+        database = MemberDatabase(generator, 4, staleness_days=0)
+        at_rs = {m.asn for m in generator.members_present(4, 40)}
+        assert database.membership(40) == at_rs
+
+    def test_stale_database_reflects_the_past(self, generator):
+        database = MemberDatabase(generator, 4, staleness_days=10)
+        past = {m.asn for m in generator.members_present(4, 30)}
+        assert database.membership(40) == past
+
+    def test_clamps_at_day_zero(self, generator):
+        database = MemberDatabase(generator, 4, staleness_days=30)
+        assert database.membership(5) == frozenset(
+            m.asn for m in generator.members_present(4, 0))
+
+    def test_lists_member(self, generator):
+        database = MemberDatabase(generator, 4, staleness_days=0)
+        asn = next(iter(database.membership(10)))
+        assert database.lists_member(asn, 10)
+        assert not database.lists_member(59999, 10)
+
+
+class TestSimulateHygiene:
+    def test_fresh_database_is_perfect(self, generator):
+        rows = simulate_hygiene(generator, 4, [40], staleness_days=0)
+        day = rows[0]
+        # fresh view: nothing kept is waste, nothing pruned disrupts
+        assert day.residual_waste_pairs == 0
+        assert day.disruption_pairs == 0
+        assert day.kept_pairs > 0
+        assert day.pruned_pairs > 0  # the famous absent CPs
+
+    def test_pruning_removes_the_cp_targets(self, generator):
+        rows = simulate_hygiene(generator, 4, [40], staleness_days=0)
+        # the avoid catalog is dominated by off-RS content providers,
+        # so pruning removes a large share of the pairs
+        day = rows[0]
+        assert day.pruned_pairs > day.kept_pairs * 0.3
+
+    def test_stale_database_leaves_waste_or_disrupts(self, generator):
+        rows = simulate_hygiene(generator, 4, [40], staleness_days=21)
+        day = rows[0]
+        assert (day.residual_waste_pairs + day.disruption_pairs) >= 0
+        # shares are well-defined fractions
+        assert 0 <= day.residual_waste_share <= 1
+        assert 0 <= day.disruption_share <= 1
+
+    def test_churn_counted_from_second_day(self, generator):
+        rows = simulate_hygiene(generator, 4, [40, 41, 42],
+                                staleness_days=1)
+        assert rows[0].update_messages == 0
+        assert all(isinstance(r.update_messages, int) for r in rows)
+
+    def test_membership_change_forces_updates(self, generator):
+        """When the DB view changes between days, affected taggers must
+        re-announce — §5.6's update-storm objection."""
+        rows = simulate_hygiene(generator, 4, list(range(38, 52)),
+                                staleness_days=2)
+        assert sum(r.update_messages for r in rows[1:]) > 0
+
+    def test_as_dict(self):
+        day = HygieneDay(day=1, kept_pairs=10, pruned_pairs=5,
+                         residual_waste_pairs=2, disruption_pairs=1,
+                         update_messages=3)
+        payload = day.as_dict()
+        assert payload["residual_waste_share"] == pytest.approx(0.2)
+        assert payload["disruption_share"] == pytest.approx(0.2)
+
+
+class TestStalenessSweep:
+    def test_zero_staleness_row_is_clean(self, generator):
+        rows = staleness_sweep(generator, 4, day=40,
+                               staleness_values=(0, 7, 21))
+        by_staleness = {row["staleness_days"]: row for row in rows}
+        assert by_staleness[0]["residual_waste_pairs"] == 0
+        assert by_staleness[0]["disruption_pairs"] == 0
+
+    def test_errors_never_decrease_with_more_staleness(self, generator):
+        rows = staleness_sweep(generator, 4, day=40,
+                               staleness_values=(0, 35))
+        fresh, stale = rows[0], rows[1]
+        errors_fresh = (fresh["residual_waste_pairs"]
+                        + fresh["disruption_pairs"])
+        errors_stale = (stale["residual_waste_pairs"]
+                        + stale["disruption_pairs"])
+        assert errors_stale >= errors_fresh

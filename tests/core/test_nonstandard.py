@@ -1,0 +1,116 @@
+"""Tests for the extended/large community extension analysis."""
+
+import pytest
+
+from repro.bgp.aspath import AsPath
+from repro.bgp.communities import ExtendedCommunity, large, standard
+from repro.bgp.route import Route
+from repro.collector.snapshot import Snapshot
+from repro.core.nonstandard import (
+    aggregate_nonstandard,
+    nonstandard_summary,
+)
+from repro.ixp import dictionary_for, get_profile
+from repro.ixp.member import Member, MemberRole
+from repro.ixp.taxonomy import ActionCategory
+
+
+def member(asn):
+    return Member(asn=asn, name=f"AS{asn}", role=MemberRole.ACCESS_ISP)
+
+
+def route(prefix, peer, comms=(), larges=(), exts=()):
+    return Route(prefix=prefix, next_hop="80.81.192.10",
+                 as_path=AsPath.from_asns([peer]), peer_asn=peer,
+                 communities=frozenset(comms),
+                 large_communities=frozenset(larges),
+                 extended_communities=frozenset(exts))
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    return dictionary_for(get_profile("decix-fra"))
+
+
+class TestHandBuilt:
+    def test_mirrored_route(self, dictionary):
+        snapshot = Snapshot(
+            ixp="decix-fra", family=4, captured_on="2021-10-04",
+            members=[member(60001)],
+            routes=[route("20.0.0.0/16", 60001,
+                          comms={standard(0, 15169)},
+                          larges={large(6695, 0, 15169)})])
+        aggregate = aggregate_nonstandard(snapshot, dictionary)
+        assert aggregate.large_action_instances == 1
+        assert aggregate.mirrored_routes == 1
+        assert aggregate.exclusive_routes == 0
+        assert aggregate.mirror_consistency == 1.0
+        assert aggregate.ases_using_large == {60001}
+
+    def test_exclusive_32bit_target(self, dictionary):
+        """A large community naming a 32-bit target has no standard
+        mirror — the reason the wider encodings exist."""
+        snapshot = Snapshot(
+            ixp="decix-fra", family=4, captured_on="2021-10-04",
+            members=[member(60001)],
+            routes=[route("20.0.0.0/16", 60001,
+                          larges={large(6695, 0, 4210000001)})])
+        aggregate = aggregate_nonstandard(snapshot, dictionary)
+        assert aggregate.exclusive_routes == 1
+        assert aggregate.mirrored_routes == 0
+
+    def test_extended_counted_separately(self, dictionary):
+        snapshot = Snapshot(
+            ixp="decix-fra", family=4, captured_on="2021-10-04",
+            members=[member(60001)],
+            routes=[route("20.0.0.0/16", 60001,
+                          comms={standard(0, 15169)},
+                          exts={ExtendedCommunity(0, 2, 6695, 15169)})])
+        aggregate = aggregate_nonstandard(snapshot, dictionary)
+        assert aggregate.extended_action_instances == 1
+        assert aggregate.large_action_instances == 0
+        assert aggregate.ases_using_extended == {60001}
+
+    def test_categories_recorded(self, dictionary):
+        snapshot = Snapshot(
+            ixp="decix-fra", family=4, captured_on="2021-10-04",
+            members=[member(60001)],
+            routes=[route("20.0.0.0/16", 60001,
+                          larges={large(6695, 0, 15169),
+                                  large(6695, 1, 20940)})])
+        aggregate = aggregate_nonstandard(snapshot, dictionary)
+        assert aggregate.category_instances[
+            ActionCategory.DO_NOT_ANNOUNCE_TO] == 1
+        assert aggregate.category_instances[
+            ActionCategory.ANNOUNCE_ONLY_TO] == 1
+
+    def test_unknown_large_ignored(self, dictionary):
+        snapshot = Snapshot(
+            ixp="decix-fra", family=4, captured_on="2021-10-04",
+            members=[member(60001)],
+            routes=[route("20.0.0.0/16", 60001,
+                          larges={large(3356, 9, 9)})])
+        aggregate = aggregate_nonstandard(snapshot, dictionary)
+        assert aggregate.total_instances == 0
+
+
+class TestGenerated:
+    def test_summary_over_generated_snapshot(self, linx_snapshot,
+                                             linx_generator):
+        rows = nonstandard_summary(
+            [(linx_snapshot, linx_generator.dictionary)])
+        row = rows[0]
+        assert row["large_instances"] > 0
+        assert row["mirror_consistency"] > 0.9
+        assert row["dna_share"] > 0.5
+
+    def test_consistency_with_fig2_counts(self, linx_snapshot,
+                                          linx_generator, linx_aggregate):
+        aggregate = aggregate_nonstandard(linx_snapshot,
+                                          linx_generator.dictionary)
+        # every large/extended *action* is also an IXP-defined instance
+        # counted by the Fig. 2 kind counters
+        assert aggregate.large_action_instances <= \
+            linx_aggregate.kind_counts["large"]
+        assert aggregate.extended_action_instances <= \
+            linx_aggregate.kind_counts["extended"]

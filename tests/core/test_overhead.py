@@ -1,0 +1,75 @@
+"""Tests for the §5.6 overhead quantification."""
+
+import pytest
+
+from repro.core.overhead import (
+    CapSweepRow,
+    max_communities_cap_sweep,
+    overhead_summary,
+)
+
+
+class TestOverheadSummary:
+    def test_fields_consistent(self, linx_aggregate):
+        row = overhead_summary(linx_aggregate)
+        assert row["community_bytes"] > 0
+        assert 0 < row["ineffective_bytes"] <= row["community_bytes"]
+        assert 0 < row["ineffective_bytes_share"] < 1
+        assert row["wasted_lookups_per_propagation"] <= \
+            row["policy_lookups_per_propagation"]
+
+    def test_wasted_share_equals_ineffective_share(self, linx_aggregate):
+        row = overhead_summary(linx_aggregate)
+        assert row["wasted_lookup_share"] == pytest.approx(
+            linx_aggregate.ineffective_share)
+
+    def test_bytes_account_for_kinds(self, linx_aggregate):
+        row = overhead_summary(linx_aggregate)
+        floor = 4 * (sum(linx_aggregate.kind_counts.values())
+                     + linx_aggregate.unknown_count)
+        assert row["community_bytes"] >= floor
+
+
+class TestCapSweep:
+    def test_monotone_in_cap(self, linx_snapshot, linx_generator):
+        rows = max_communities_cap_sweep(
+            linx_snapshot, linx_generator.dictionary,
+            caps=(100, 50, 30, 20, 10))
+        rejected = [row.rejected_routes for row in rows]
+        # caps are returned high→low; rejections grow as the cap drops
+        assert rejected == sorted(rejected)
+        assert rows[0].cap == 100 and rows[-1].cap == 10
+
+    def test_cap_zero_rejects_every_tagged_route(self, linx_snapshot,
+                                                 linx_generator):
+        rows = max_communities_cap_sweep(
+            linx_snapshot, linx_generator.dictionary, caps=(0,))
+        # every generated route carries at least an informational tag
+        assert rows[0].rejected_fraction == pytest.approx(1.0)
+
+    def test_huge_cap_rejects_nothing(self, linx_snapshot,
+                                      linx_generator):
+        rows = max_communities_cap_sweep(
+            linx_snapshot, linx_generator.dictionary, caps=(10_000,))
+        assert rows[0].rejected_routes == 0
+        assert rows[0].suppressed_action_instances == 0
+
+    def test_cap_targets_heavy_taggers(self, linx_snapshot,
+                                       linx_generator, linx_aggregate):
+        """A moderate cap suppresses a disproportionate share of the
+        ineffective tagging — the §5.6 incentive argument."""
+        rows = max_communities_cap_sweep(
+            linx_snapshot, linx_generator.dictionary, caps=(30,))
+        row = rows[0]
+        if row.rejected_routes == 0:
+            pytest.skip("no route above the cap at this scale")
+        suppressed_share = (row.suppressed_ineffective_instances
+                            / linx_aggregate.ineffective_instances)
+        assert suppressed_share > row.rejected_fraction
+
+    def test_as_dict(self):
+        row = CapSweepRow(cap=30, rejected_routes=5,
+                          rejected_fraction=0.1,
+                          suppressed_action_instances=100,
+                          suppressed_ineffective_instances=60)
+        assert row.as_dict()["cap"] == 30

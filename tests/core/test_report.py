@@ -1,0 +1,49 @@
+"""Tests for the text rendering helpers."""
+
+from repro.core.report import (
+    format_table,
+    paper_vs_measured,
+    percent,
+    render_share_bars,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table([{"a": 1, "b": "xy"}, {"a": 22, "b": None}])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "22" in lines[3]
+        assert "-" in lines[3]  # None rendered as dash
+
+    def test_floats_three_decimals(self):
+        text = format_table([{"x": 0.123456}])
+        assert "0.123" in text
+
+    def test_title(self):
+        assert format_table([{"a": 1}], title="T").startswith("T\n")
+
+    def test_empty(self):
+        assert "(empty)" in format_table([])
+
+    def test_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestHelpers:
+    def test_percent(self):
+        assert percent(0.505) == "50.5%"
+
+    def test_paper_vs_measured_pairs_columns(self):
+        rows = [{"ixp": "linx", "measured": 10, "paper_value": 12}]
+        text = paper_vs_measured(rows, [("measured", "paper_value")])
+        header = text.splitlines()[0]
+        assert "measured" in header and "paper:paper_value" in header
+
+    def test_share_bars_width(self):
+        rows = [{"ixp": "linx", "s1": 0.8, "s2": 0.2}]
+        text = render_share_bars(rows, "ixp", ["s1", "s2"], width=20)
+        assert text.count("#") == 16
+        assert text.count("*") == 4
+        assert "80.0%" in text

@@ -1,0 +1,96 @@
+"""Tests for the temporal (series) analyses."""
+
+import pytest
+
+from repro.core.temporal import (
+    TaggerChurn,
+    aggregate_series,
+    persistent_targets,
+    share_trend,
+    tagger_churn,
+    trend_slope,
+)
+from repro.ixp import get_profile
+from repro.workload import ScenarioConfig, SnapshotGenerator
+
+
+@pytest.fixture(scope="module")
+def series():
+    generator = SnapshotGenerator(get_profile("bcix"),
+                                  ScenarioConfig(scale=0.02, seed=71))
+    snapshots = [generator.snapshot(4, day, degraded=False)
+                 for day in (0, 21, 42, 63, 77)]
+    return aggregate_series(snapshots, generator.dictionary)
+
+
+class TestSeries:
+    def test_chronological(self, series):
+        dates = [aggregate.captured_on for aggregate in series]
+        assert dates == sorted(dates)
+
+    def test_share_trend_rows(self, series):
+        rows = share_trend(series)
+        assert len(rows) == len(series)
+        for row in rows:
+            assert 0 < row["action_share"] < 1
+            assert 0 < row["defined_share"] < 1
+
+    def test_shares_stable_across_window(self, series):
+        """The behavioural mix is stationary: the §4/§5 shares move only
+        marginally across the twelve weeks."""
+        rows = share_trend(series)
+        action = [row["action_share"] for row in rows]
+        assert max(action) - min(action) < 0.05
+
+    def test_routes_grow(self, series):
+        rows = share_trend(series)
+        assert trend_slope(rows, "routes") > 0
+
+
+class TestTrendSlope:
+    def test_increasing(self):
+        rows = [{"v": 1.0}, {"v": 2.0}, {"v": 3.0}]
+        assert trend_slope(rows, "v") == pytest.approx(1.0)
+
+    def test_flat(self):
+        rows = [{"v": 2.0}] * 5
+        assert trend_slope(rows, "v") == 0.0
+
+    def test_short_series(self):
+        assert trend_slope([{"v": 1.0}], "v") == 0.0
+
+
+class TestChurn:
+    def test_one_fewer_than_snapshots(self, series):
+        assert len(tagger_churn(series)) == len(series) - 1
+
+    def test_tagger_set_mostly_stable(self, series):
+        for churn in tagger_churn(series):
+            assert churn.stable > 0
+            assert churn.churn_count <= churn.stable
+
+    def test_churn_count(self):
+        churn = TaggerChurn("2021-08-02", joined=(1, 2), left=(3,),
+                            stable=10)
+        assert churn.churn_count == 3
+
+    def test_empty_series(self):
+        assert tagger_churn([]) == []
+
+
+class TestPersistentTargets:
+    def test_defensive_targets_persist(self, series):
+        """§5.6: avoid-lists are defensive and static — the big CP
+        targets stay tagged in every snapshot."""
+        always = persistent_targets(series, minimum_presence=1.0)
+        assert always
+        # famous content providers among them
+        assert {15169, 16276, 20940} & set(always)
+
+    def test_threshold_monotone(self, series):
+        strict = persistent_targets(series, minimum_presence=1.0)
+        loose = persistent_targets(series, minimum_presence=0.5)
+        assert set(strict) <= set(loose)
+
+    def test_empty(self):
+        assert persistent_targets([]) == []

@@ -1,0 +1,203 @@
+"""Tests for repro.ixp.dictionary."""
+
+import json
+
+import pytest
+
+from repro.bgp.communities import ExtendedCommunity, large, parse_community, standard
+from repro.ixp.dictionary import (
+    SOURCE_BOTH,
+    SOURCE_RS_CONFIG,
+    SOURCE_WEBSITE,
+    CommunityDictionary,
+    CommunityEntry,
+    CommunityRule,
+    ExtendedCommunityRule,
+    LargeCommunityRule,
+    Semantics,
+    rule_from_dict,
+)
+from repro.ixp.taxonomy import ActionCategory, CommunityRole, Target, TargetKind
+
+
+def info(description="tag"):
+    return Semantics(role=CommunityRole.INFORMATIONAL,
+                     description=description)
+
+
+def action(category=ActionCategory.DO_NOT_ANNOUNCE_TO, target=None):
+    return Semantics(role=CommunityRole.ACTION, category=category,
+                     target=target or Target.peer(6939))
+
+
+class TestSemantics:
+    def test_action_requires_category(self):
+        with pytest.raises(ValueError):
+            Semantics(role=CommunityRole.ACTION)
+
+    def test_informational_rejects_category(self):
+        with pytest.raises(ValueError):
+            Semantics(role=CommunityRole.INFORMATIONAL,
+                      category=ActionCategory.BLACKHOLING)
+
+    def test_is_action(self):
+        assert action().is_action
+        assert not info().is_action
+
+
+class TestLookup:
+    def test_exact_entry(self):
+        d = CommunityDictionary("X", entries=[
+            CommunityEntry(standard(0, 6939), action())])
+        assert d.lookup(standard(0, 6939)).is_action
+
+    def test_unknown_returns_none(self):
+        d = CommunityDictionary("X")
+        assert d.lookup(standard(3356, 3)) is None
+        assert standard(3356, 3) not in d
+
+    def test_rule_match(self):
+        d = CommunityDictionary("X", rules=[
+            CommunityRule(asn_field=0,
+                          category=ActionCategory.DO_NOT_ANNOUNCE_TO)])
+        semantics = d.lookup(standard(0, 15169))
+        assert semantics.category is ActionCategory.DO_NOT_ANNOUNCE_TO
+        assert semantics.target == Target.peer(15169)
+
+    def test_entry_takes_precedence_over_rule(self):
+        d = CommunityDictionary("X", entries=[
+            CommunityEntry(standard(0, 6939), info("special"))],
+            rules=[CommunityRule(asn_field=0,
+                                 category=ActionCategory.DO_NOT_ANNOUNCE_TO)])
+        assert not d.lookup(standard(0, 6939)).is_action
+
+    def test_rule_value_bounds(self):
+        rule = CommunityRule(asn_field=0,
+                             category=ActionCategory.DO_NOT_ANNOUNCE_TO,
+                             value_low=100, value_high=200)
+        assert rule.match(standard(0, 150)) is not None
+        assert rule.match(standard(0, 99)) is None
+        assert rule.match(standard(0, 201)) is None
+
+    def test_rule_ignores_other_kinds(self):
+        rule = CommunityRule(asn_field=0,
+                             category=ActionCategory.DO_NOT_ANNOUNCE_TO)
+        assert rule.match(large(0, 1, 2)) is None
+
+    def test_large_rule(self):
+        rule = LargeCommunityRule(global_admin=26162, function=0,
+                                  category=ActionCategory.DO_NOT_ANNOUNCE_TO)
+        semantics = rule.match(large(26162, 0, 4200000123))
+        assert semantics.target == Target.peer(4200000123)
+        assert rule.match(large(26162, 1, 5)) is None
+        assert rule.match(standard(26162, 0)) is None
+
+    def test_large_rule_zero_target_is_all_peers(self):
+        rule = LargeCommunityRule(global_admin=1, function=0,
+                                  category=ActionCategory.DO_NOT_ANNOUNCE_TO)
+        assert rule.match(large(1, 0, 0)).target.kind is TargetKind.ALL_PEERS
+
+    def test_extended_rule(self):
+        rule = ExtendedCommunityRule(
+            global_admin=8714, type_high=0, type_low=2,
+            category=ActionCategory.DO_NOT_ANNOUNCE_TO)
+        semantics = rule.match(ExtendedCommunity(0, 2, 8714, 15169))
+        assert semantics.target == Target.peer(15169)
+        assert rule.match(ExtendedCommunity(0, 3, 8714, 15169)) is None
+
+    def test_prepend_rule_carries_count(self):
+        rule = CommunityRule(asn_field=65501,
+                             category=ActionCategory.PREPEND_TO,
+                             prepend_count=2)
+        assert rule.match(standard(65501, 64500)).prepend_count == 2
+
+
+class TestSourcesAndUnion:
+    def test_same_entry_from_both_sources_merges(self):
+        d = CommunityDictionary("X")
+        d.add_entry(CommunityEntry(standard(0, 1), action(),
+                                   SOURCE_RS_CONFIG))
+        d.add_entry(CommunityEntry(standard(0, 1), action(),
+                                   SOURCE_WEBSITE))
+        assert len(d) == 1
+        assert next(d.entries()).source == SOURCE_BOTH
+
+    def test_union_counts_unique_entries(self):
+        a = CommunityDictionary("X", entries=[
+            CommunityEntry(standard(0, 1), action(), SOURCE_RS_CONFIG)])
+        b = CommunityDictionary("X", entries=[
+            CommunityEntry(standard(0, 1), action(), SOURCE_WEBSITE),
+            CommunityEntry(standard(0, 2), action(), SOURCE_WEBSITE)])
+        union = CommunityDictionary.union("X", a, b)
+        assert len(union) == 2
+
+    def test_union_dedupes_rules(self):
+        rule = CommunityRule(asn_field=0,
+                             category=ActionCategory.DO_NOT_ANNOUNCE_TO)
+        a = CommunityDictionary("X", rules=[rule])
+        b = CommunityDictionary("X", rules=[rule])
+        assert len(CommunityDictionary.union("X", a, b).rules()) == 1
+
+    def test_restricted_to_source(self):
+        d = CommunityDictionary("X", entries=[
+            CommunityEntry(standard(0, 1), action(), SOURCE_RS_CONFIG),
+            CommunityEntry(standard(0, 2), action(), SOURCE_WEBSITE),
+            CommunityEntry(standard(0, 3), action(), SOURCE_BOTH)])
+        rs_only = d.restricted_to_source(SOURCE_RS_CONFIG)
+        assert len(rs_only) == 2
+        assert standard(0, 2) not in rs_only
+
+
+class TestViews:
+    def test_action_and_informational_partitions(self):
+        d = CommunityDictionary("X", entries=[
+            CommunityEntry(standard(0, 1), action()),
+            CommunityEntry(standard(9, 1000), info())])
+        assert len(list(d.action_entries())) == 1
+        assert len(list(d.informational_entries())) == 1
+
+    def test_communities_by_category(self):
+        d = CommunityDictionary("X", entries=[
+            CommunityEntry(standard(0, 1), action()),
+            CommunityEntry(standard(9, 1), action(
+                ActionCategory.ANNOUNCE_ONLY_TO))])
+        dna = d.communities_by_category(ActionCategory.DO_NOT_ANNOUNCE_TO)
+        assert dna == {standard(0, 1)}
+
+
+class TestSerialisation:
+    def test_json_roundtrip_preserves_lookup(self):
+        d = CommunityDictionary("X", entries=[
+            CommunityEntry(standard(0, 6939), action()),
+            CommunityEntry(standard(9, 1000), info()),
+        ], rules=[
+            CommunityRule(asn_field=0,
+                          category=ActionCategory.DO_NOT_ANNOUNCE_TO),
+            LargeCommunityRule(global_admin=9, function=0,
+                               category=ActionCategory.DO_NOT_ANNOUNCE_TO),
+            ExtendedCommunityRule(global_admin=9, type_high=0, type_low=2,
+                                  category=ActionCategory.ANNOUNCE_ONLY_TO),
+        ])
+        blob = json.dumps(d.to_dict())
+        restored = CommunityDictionary.from_dict(json.loads(blob))
+        assert len(restored) == len(d)
+        assert len(restored.rules()) == 3
+        for community in (standard(0, 6939), standard(0, 12345),
+                          large(9, 0, 7), ExtendedCommunity(0, 2, 9, 7)):
+            original = d.lookup(community)
+            round_tripped = restored.lookup(community)
+            assert (original is None) == (round_tripped is None)
+            if original is not None:
+                assert original.category == round_tripped.category
+                assert original.target == round_tripped.target
+
+    def test_rule_from_dict_dispatch(self):
+        std = CommunityRule(asn_field=0,
+                            category=ActionCategory.DO_NOT_ANNOUNCE_TO)
+        lrg = LargeCommunityRule(global_admin=1, function=2,
+                                 category=ActionCategory.PREPEND_TO,
+                                 prepend_count=1)
+        ext = ExtendedCommunityRule(global_admin=1, type_high=0, type_low=2,
+                                    category=ActionCategory.ANNOUNCE_ONLY_TO)
+        for rule in (std, lrg, ext):
+            assert rule_from_dict(rule.to_dict()) == rule

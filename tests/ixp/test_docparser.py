@@ -1,0 +1,128 @@
+"""Tests for the documentation parser/renderer."""
+
+import pytest
+
+from repro.bgp.communities import large, standard
+from repro.ixp import dictionary_for, get_profile
+from repro.ixp.docparser import (
+    DocumentationError,
+    parse_documentation,
+    parse_line,
+    render_documentation,
+)
+from repro.ixp.dictionary import (
+    CommunityEntry,
+    CommunityRule,
+    LargeCommunityRule,
+)
+from repro.ixp.taxonomy import ActionCategory, TargetKind
+
+
+class TestParseLine:
+    def test_blank_and_comment(self):
+        assert parse_line("") is None
+        assert parse_line("   # note") is None
+
+    def test_concrete_action(self):
+        entry = parse_line(
+            "0:6939 | action | do-not-announce-to | avoid HE")
+        assert isinstance(entry, CommunityEntry)
+        assert entry.community == standard(0, 6939)
+        assert entry.semantics.category is \
+            ActionCategory.DO_NOT_ANNOUNCE_TO
+        assert entry.semantics.target.asn == 6939
+
+    def test_all_peers_marker(self):
+        entry = parse_line(
+            "6695:6695 | action | announce-only-to!all | announce to all")
+        assert entry.semantics.target.kind is TargetKind.ALL_PEERS
+
+    def test_prepend_count(self):
+        entry = parse_line(
+            "65502:6695 | action | prepend-to+2!all | prepend 2x to all")
+        assert entry.semantics.prepend_count == 2
+
+    def test_blackhole_target_none(self):
+        entry = parse_line(
+            "65535:666 | action | blackholing | blackhole")
+        assert entry.semantics.target.kind is TargetKind.NONE
+
+    def test_informational(self):
+        entry = parse_line("6695:1000 | informational | - | learned at X")
+        assert not entry.semantics.is_action
+        assert entry.semantics.description == "learned at X"
+
+    def test_standard_rule(self):
+        rule = parse_line(
+            "0:<peer-as> | action | do-not-announce-to | dna family")
+        assert isinstance(rule, CommunityRule)
+        assert rule.asn_field == 0
+
+    def test_large_rule(self):
+        rule = parse_line(
+            "6695:0:<target> | action | do-not-announce-to | large dna")
+        assert isinstance(rule, LargeCommunityRule)
+        assert rule.global_admin == 6695 and rule.function == 0
+
+    def test_large_concrete_entry(self):
+        entry = parse_line(
+            "6695:0:15169 | action | do-not-announce-to | avoid Google")
+        assert entry.community == large(6695, 0, 15169)
+
+    @pytest.mark.parametrize("bad", [
+        "0:6939 | action | do-not-announce-to",       # 3 columns
+        "0:6939 | wizard | do-not-announce-to | x",   # bad role
+        "0:6939 | action | explode | x",              # bad category
+        "0:<p> | informational | - | x",              # placeholder info
+        "<p>:1 | action | do-not-announce-to | x",    # placeholder first
+        "0:6939 | action | - | x",                    # action w/o category
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(DocumentationError):
+            parse_line(bad)
+
+
+class TestDocumentRoundtrip:
+    @pytest.mark.parametrize("key", ["linx", "decix-fra", "amsix"])
+    def test_render_parse_preserves_classification(self, key):
+        """Rendering the scheme documentation and re-parsing it must
+        classify exactly like the original — the §3 website-source
+        pipeline, made concrete."""
+        original = dictionary_for(get_profile(key))
+        text = render_documentation(original)
+        parsed = parse_documentation(text, original.ixp_name)
+        assert len(parsed) == len(original)
+        probes = [standard(0, 6939), standard(0, 54321),
+                  standard(65535, 666),
+                  standard(get_profile(key).rs_asn & 0xFFFF, 1000),
+                  large(get_profile(key).rs_asn, 0, 15169),
+                  standard(3356, 3)]
+        for community in probes:
+            original_semantics = original.lookup(community)
+            parsed_semantics = parsed.lookup(community)
+            # extended-rule coverage is RS-config-side only, everything
+            # else must match
+            if original_semantics is None:
+                assert parsed_semantics is None, community
+            else:
+                assert parsed_semantics is not None, community
+                assert parsed_semantics.category == \
+                    original_semantics.category
+                assert parsed_semantics.role == original_semantics.role
+
+    def test_line_numbers_in_errors(self):
+        text = "0:1 | action | do-not-announce-to | ok\nbroken line"
+        with pytest.raises(DocumentationError) as error:
+            parse_documentation(text, "X")
+        assert "line 2" in str(error.value)
+
+    def test_parse_documentation_counts(self):
+        text = """
+# sample page
+0:6939 | action | do-not-announce-to | avoid HE
+8714:1000 | informational | - | tag
+0:<peer-as> | action | do-not-announce-to | family
+"""
+        dictionary = parse_documentation(text, "sample")
+        assert len(dictionary) == 2
+        assert len(dictionary.rules()) == 1

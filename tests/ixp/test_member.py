@@ -1,0 +1,51 @@
+"""Tests for repro.ixp.member."""
+
+import pytest
+
+from repro.ixp.member import Member, MemberRole
+
+
+def make_member(**overrides):
+    defaults = dict(asn=6939, name="Hurricane Electric",
+                    role=MemberRole.TRANSIT_ISP,
+                    at_rs_v4=True, at_rs_v6=False,
+                    peering_ip_v4="195.66.224.21",
+                    peering_ip_v6="2001:7f8:4::1b1b:1",
+                    prefix_count_v4=120, prefix_count_v6=40)
+    defaults.update(overrides)
+    return Member(**defaults)
+
+
+class TestMember:
+    def test_at_rs_per_family(self):
+        member = make_member()
+        assert member.at_rs(4)
+        assert not member.at_rs(6)
+
+    def test_prefix_count_per_family(self):
+        member = make_member()
+        assert member.prefix_count(4) == 120
+        assert member.prefix_count(6) == 40
+
+    def test_peering_ip_per_family(self):
+        member = make_member()
+        assert member.peering_ip(4) == "195.66.224.21"
+        assert member.peering_ip(6).startswith("2001:7f8:4::")
+
+    def test_roundtrip(self):
+        member = make_member()
+        assert Member.from_dict(member.to_dict()) == member
+
+    def test_from_dict_defaults(self):
+        member = Member.from_dict(
+            {"asn": 1, "name": "X", "role": "access-isp"})
+        assert member.at_rs_v4 and not member.at_rs_v6
+        assert member.prefix_count_v4 == 0
+
+    def test_roles_enumeration(self):
+        assert MemberRole("content-provider") is MemberRole.CONTENT_PROVIDER
+        assert len(list(MemberRole)) == 6
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make_member().asn = 2

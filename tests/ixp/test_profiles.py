@@ -1,0 +1,97 @@
+"""Tests for repro.ixp.profiles (Table 1 reference data)."""
+
+import pytest
+
+from repro.ixp import (
+    ALL_IXPS,
+    LARGE_FOUR,
+    all_profiles,
+    get_profile,
+    large_profiles,
+)
+
+
+class TestRegistry:
+    def test_eight_ixps(self):
+        assert len(ALL_IXPS) == 8
+        assert len(all_profiles()) == 8
+
+    def test_large_four_order(self):
+        assert LARGE_FOUR == ("ixbr-sp", "decix-fra", "linx", "amsix")
+        assert [p.key for p in large_profiles()] == list(LARGE_FOUR)
+
+    def test_unknown_key_raises_with_hint(self):
+        with pytest.raises(KeyError) as err:
+            get_profile("lonap")
+        assert "lonap" in str(err.value)
+
+    def test_keys_are_consistent(self):
+        for key in ALL_IXPS:
+            assert get_profile(key).key == key
+
+
+class TestPaperNumbers:
+    """Table 1 values, spot-checked against the paper."""
+
+    def test_ixbr_is_largest_by_members(self):
+        members = {p.key: p.paper.members_total for p in all_profiles()}
+        assert max(members, key=members.get) == "ixbr-sp"
+        assert members["ixbr-sp"] == 2338
+
+    def test_decix_has_most_routes(self):
+        routes = {p.key: p.paper.routes_v4 for p in all_profiles()}
+        assert max(routes, key=routes.get) == "decix-fra"
+        assert routes["decix-fra"] == 888478
+
+    def test_amsix_routes_equal_prefixes(self):
+        # The one IXP in Table 1 where every prefix has a single route.
+        amsix = get_profile("amsix").paper
+        assert amsix.routes_v4 == amsix.prefixes_v4
+        assert amsix.routes_v6 == amsix.prefixes_v6
+
+    def test_members_at_rs_less_than_total(self):
+        for profile in all_profiles():
+            assert profile.paper.members_rs_v4 < profile.paper.members_total
+            assert profile.paper.members_rs_v6 <= profile.paper.members_rs_v4
+
+    def test_rs_fraction_near_paper_averages(self):
+        # §3: RS members average 72.2% (v4) and 57.1% (v6) of totals.
+        v4 = sum(p.paper.members_rs_v4 / p.paper.members_total
+                 for p in all_profiles()) / 8
+        v6 = sum(p.paper.members_rs_v6 / p.paper.members_total
+                 for p in all_profiles()) / 8
+        assert abs(v4 - 0.722) < 0.05
+        assert abs(v6 - 0.571) < 0.06
+
+
+class TestCalibration:
+    def test_action_share_at_least_two_thirds(self):
+        # §5.1: action communities are >= 66.6% everywhere.
+        for profile in all_profiles():
+            assert profile.calibration.action_share >= 0.666
+
+    def test_small_nordic_ixps_over_95(self):
+        for key in ("bcix", "netnod"):
+            assert get_profile(key).calibration.action_share >= 0.95
+
+    def test_blackholing_only_where_documented(self):
+        supported = {p.key for p in all_profiles()
+                     if p.calibration.supports_blackholing}
+        assert "decix-fra" in supported
+        assert "ixbr-sp" not in supported
+        assert "linx" not in supported
+
+    def test_category_usage_present_everywhere(self):
+        for profile in all_profiles():
+            usage = profile.category_usage
+            assert 0 < usage.dna_users_v4 < 1
+            # do-not-announce-to is the most popular type at every IXP
+            # (Table 2).
+            assert usage.dna_users_v4 >= usage.ao_users_v4
+            assert usage.dna_occ >= 0.666
+
+    def test_ineffective_shares_in_paper_band(self):
+        # §5.5: "more than 31.8%" everywhere, up to 64.3% (v4).
+        for profile in all_profiles():
+            share = profile.calibration.ineffective_share
+            assert 0.30 <= share <= 0.65

@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for the dictionary invariants."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.communities import LargeCommunity, StandardCommunity
+from repro.ixp.dictionary import (
+    CommunityDictionary,
+    CommunityEntry,
+    CommunityRule,
+    LargeCommunityRule,
+    Semantics,
+)
+from repro.ixp.taxonomy import ActionCategory, CommunityRole, Target
+
+u16 = st.integers(min_value=0, max_value=0xFFFF)
+u16_pos = st.integers(min_value=1, max_value=0xFFFF)
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+categories = st.sampled_from(list(ActionCategory))
+
+standard_communities = st.builds(StandardCommunity, asn=u16, value=u16)
+large_communities = st.builds(LargeCommunity, global_admin=u32,
+                              local_data1=u32, local_data2=u32)
+
+action_entries = st.builds(
+    lambda community, category: CommunityEntry(
+        community, Semantics(role=CommunityRole.ACTION, category=category,
+                             target=Target.all_peers())),
+    standard_communities, categories)
+
+info_entries = st.builds(
+    lambda community: CommunityEntry(
+        community, Semantics(role=CommunityRole.INFORMATIONAL,
+                             description="tag")),
+    standard_communities)
+
+std_rules = st.builds(CommunityRule, asn_field=u16, category=categories)
+large_rules = st.builds(LargeCommunityRule, global_admin=u32,
+                        function=u32, category=categories)
+
+
+@st.composite
+def dictionaries(draw):
+    entries = draw(st.lists(st.one_of(action_entries, info_entries),
+                            max_size=15))
+    rules = draw(st.lists(st.one_of(std_rules, large_rules), max_size=5,
+                          unique_by=lambda r: r.dedupe_key()))
+    return CommunityDictionary("prop", entries=entries, rules=rules)
+
+
+class TestLookupProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(dictionaries(), st.one_of(standard_communities,
+                                     large_communities))
+    def test_lookup_never_crashes_and_is_consistent(self, dictionary,
+                                                    community):
+        first = dictionary.lookup(community)
+        second = dictionary.lookup(community)
+        assert first == second
+        assert (community in dictionary) == (first is not None)
+
+    @settings(max_examples=50, deadline=None)
+    @given(dictionaries())
+    def test_every_entry_resolves_to_itself(self, dictionary):
+        for entry in dictionary.entries():
+            assert dictionary.lookup(entry.community) == entry.semantics
+
+    @settings(max_examples=50, deadline=None)
+    @given(dictionaries())
+    def test_json_roundtrip_preserves_size_and_rules(self, dictionary):
+        payload = json.loads(json.dumps(dictionary.to_dict()))
+        restored = CommunityDictionary.from_dict(payload)
+        assert len(restored) == len(dictionary)
+        assert len(restored.rules()) == len(dictionary.rules())
+
+    @settings(max_examples=50, deadline=None)
+    @given(dictionaries(), st.lists(standard_communities, max_size=20))
+    def test_json_roundtrip_preserves_classification(self, dictionary,
+                                                     communities):
+        restored = CommunityDictionary.from_dict(
+            json.loads(json.dumps(dictionary.to_dict())))
+        for community in communities:
+            original = dictionary.lookup(community)
+            round_tripped = restored.lookup(community)
+            assert (original is None) == (round_tripped is None)
+            if original is not None:
+                assert original.role == round_tripped.role
+                assert original.category == round_tripped.category
+
+    @settings(max_examples=50, deadline=None)
+    @given(dictionaries(), dictionaries())
+    def test_union_is_superset(self, a, b):
+        union = CommunityDictionary.union("u", a, b)
+        for dictionary in (a, b):
+            for entry in dictionary.entries():
+                assert entry.community in union
+
+    @settings(max_examples=50, deadline=None)
+    @given(dictionaries())
+    def test_union_idempotent_on_size(self, dictionary):
+        union = CommunityDictionary.union("u", dictionary, dictionary)
+        assert len(union) == len(dictionary)
+        assert len(union.rules()) == len(dictionary.rules())
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.builds(CommunityRule, asn_field=u16, category=categories),
+           standard_communities)
+    def test_rule_match_implies_fields(self, rule, community):
+        semantics = rule.match(community)
+        if semantics is not None:
+            assert community.asn == rule.asn_field
+            assert rule.value_low <= community.value <= rule.value_high
+            assert semantics.category is rule.category

@@ -1,0 +1,164 @@
+"""Tests for the per-IXP community schemes (§3 dictionary)."""
+
+import pytest
+
+from repro.bgp.communities import ExtendedCommunity, large, standard
+from repro.ixp import (
+    SOURCE_RS_CONFIG,
+    SOURCE_WEBSITE,
+    all_profiles,
+    dictionary_for,
+    dictionary_pair_for,
+    get_profile,
+    spec_for,
+)
+from repro.ixp.schemes.common import BLACKHOLE_COMMUNITY, documented_target_asns
+from repro.ixp.taxonomy import ActionCategory, TargetKind
+
+#: paper §3: dictionary sizes per IXP.
+PAPER_SIZES = {
+    "ixbr-sp": 649, "decix-fra": 774, "decix-mad": 774, "decix-nyc": 774,
+    "linx": 58, "amsix": 37, "bcix": 50, "netnod": 67,
+}
+
+
+class TestDictionarySizes:
+    @pytest.mark.parametrize("key,size", sorted(PAPER_SIZES.items()))
+    def test_paper_entry_counts(self, key, size):
+        profile = get_profile(key)
+        assert len(dictionary_for(profile)) == size
+
+    def test_total_across_ixps_matches_paper(self):
+        total = sum(len(dictionary_for(p)) for p in all_profiles())
+        assert total == 3183  # "Our dictionary has 3,183 BGP communities"
+
+
+class TestSchemeSemantics:
+    def test_dna_all(self):
+        d = dictionary_for(get_profile("decix-fra"))
+        semantics = d.lookup(standard(0, 6695))
+        assert semantics.category is ActionCategory.DO_NOT_ANNOUNCE_TO
+        assert semantics.target.kind is TargetKind.ALL_PEERS
+
+    def test_announce_all(self):
+        d = dictionary_for(get_profile("decix-fra"))
+        semantics = d.lookup(standard(6695, 6695))
+        assert semantics.category is ActionCategory.ANNOUNCE_ONLY_TO
+        assert semantics.target.kind is TargetKind.ALL_PEERS
+
+    def test_dna_rule_for_undocumented_target(self):
+        d = dictionary_for(get_profile("linx"))
+        semantics = d.lookup(standard(0, 12345))
+        assert semantics.category is ActionCategory.DO_NOT_ANNOUNCE_TO
+        assert semantics.target.asn == 12345
+
+    def test_prepend_levels(self):
+        d = dictionary_for(get_profile("decix-fra"))
+        for base, count in ((65501, 1), (65502, 2), (65503, 3)):
+            semantics = d.lookup(standard(base, 15169))
+            assert semantics.category is ActionCategory.PREPEND_TO
+            assert semantics.prepend_count == count
+
+    def test_blackhole_at_decix(self):
+        d = dictionary_for(get_profile("decix-fra"))
+        assert d.lookup(BLACKHOLE_COMMUNITY).category is \
+            ActionCategory.BLACKHOLING
+
+    def test_no_blackhole_at_ixbr_or_linx(self):
+        # IX.br reported no blackholing support in 2021; LINX docs did
+        # not mention it (§5.3).
+        for key in ("ixbr-sp", "linx"):
+            d = dictionary_for(get_profile(key))
+            assert d.lookup(BLACKHOLE_COMMUNITY) is None
+
+    def test_blackhole_at_amsix(self):
+        # Table 2 shows 9 ASes using blackholing at AMS-IX.
+        d = dictionary_for(get_profile("amsix"))
+        assert d.lookup(BLACKHOLE_COMMUNITY) is not None
+
+    def test_informational_tags(self):
+        d = dictionary_for(get_profile("ixbr-sp"))
+        semantics = d.lookup(standard(26162, 1000))
+        assert semantics is not None
+        assert not semantics.is_action
+
+    def test_large_mirror_rules(self):
+        profile = get_profile("ixbr-sp")
+        d = dictionary_for(profile)
+        semantics = d.lookup(large(26162, 0, 15169))
+        assert semantics.category is ActionCategory.DO_NOT_ANNOUNCE_TO
+        assert semantics.target.asn == 15169
+
+    def test_extended_mirror_rule(self):
+        d = dictionary_for(get_profile("linx"))
+        semantics = d.lookup(ExtendedCommunity(0, 2, 8714, 15169))
+        assert semantics.category is ActionCategory.DO_NOT_ANNOUNCE_TO
+
+    def test_other_ixps_communities_are_unknown(self):
+        # A DE-CIX community means nothing at LINX (different RS ASN).
+        d = dictionary_for(get_profile("linx"))
+        assert d.lookup(standard(6695, 15169)) is None
+
+    def test_famous_targets_documented(self):
+        d = dictionary_for(get_profile("decix-fra"))
+        semantics = d.lookup(standard(0, 6939))
+        assert "Hurricane Electric" in semantics.description
+
+
+class TestSources:
+    def test_rs_config_is_incomplete(self):
+        """§3: "we discovered that this list could be incomplete" —
+        the website documentation adds entries beyond the RS config."""
+        for profile in all_profiles():
+            rs_dict, website_dict = dictionary_pair_for(profile)
+            union = dictionary_for(profile)
+            assert len(rs_dict) < len(union), profile.key
+
+    def test_union_is_superset_of_both(self):
+        profile = get_profile("amsix")
+        rs_dict, website_dict = dictionary_pair_for(profile)
+        union = dictionary_for(profile)
+        for entry in rs_dict.entries():
+            assert entry.community in union
+        for entry in website_dict.entries():
+            assert entry.community in union
+
+    def test_restricting_union_to_rs_loses_website_only(self):
+        profile = get_profile("decix-fra")
+        union = dictionary_for(profile)
+        rs_only = union.restricted_to_source(SOURCE_RS_CONFIG)
+        assert len(rs_only) < len(union)
+
+
+class TestDocumentedTargets:
+    def test_exact_count(self):
+        assert len(documented_target_asns(150)) == 150
+
+    def test_famous_first(self):
+        targets = documented_target_asns(5)
+        assert targets[0] == 6939  # Hurricane Electric
+
+    def test_no_duplicates(self):
+        targets = documented_target_asns(200)
+        assert len(set(targets)) == 200
+
+    def test_extra_targets_included(self):
+        targets = documented_target_asns(30, extra=(1916, 14026))
+        assert 1916 in targets and 14026 in targets
+
+    def test_all_16bit_public(self):
+        for asn in documented_target_asns(200):
+            assert 0 < asn < 64496
+
+
+class TestSpecLookup:
+    def test_spec_for_every_profile(self):
+        for profile in all_profiles():
+            spec = spec_for(profile)
+            assert spec.rs_asn == profile.rs_asn
+
+    def test_unknown_profile_raises(self):
+        import dataclasses
+        fake = dataclasses.replace(get_profile("linx"), key="nope")
+        with pytest.raises(KeyError):
+            spec_for(fake)

@@ -1,0 +1,55 @@
+"""Tests for repro.ixp.taxonomy."""
+
+import pytest
+
+from repro.ixp.taxonomy import ActionCategory, CommunityRole, Target, TargetKind
+
+
+class TestActionCategory:
+    def test_four_categories(self):
+        assert len(list(ActionCategory)) == 4
+
+    def test_propagation_limiting(self):
+        assert ActionCategory.DO_NOT_ANNOUNCE_TO.limits_propagation
+        assert ActionCategory.ANNOUNCE_ONLY_TO.limits_propagation
+        assert not ActionCategory.PREPEND_TO.limits_propagation
+        assert not ActionCategory.BLACKHOLING.limits_propagation
+
+    def test_values_match_paper_terms(self):
+        assert ActionCategory.DO_NOT_ANNOUNCE_TO.value == "do-not-announce-to"
+        assert ActionCategory.BLACKHOLING.value == "blackholing"
+
+
+class TestTarget:
+    def test_peer(self):
+        target = Target.peer(6939)
+        assert target.kind is TargetKind.PEER_AS
+        assert target.asn == 6939
+        assert str(target) == "AS6939"
+
+    def test_all_peers(self):
+        assert str(Target.all_peers()) == "all-peers"
+
+    def test_region(self):
+        target = Target.for_region("frankfurt")
+        assert str(target) == "region:frankfurt"
+
+    def test_none(self):
+        assert Target.none().kind is TargetKind.NONE
+
+    def test_peer_requires_asn(self):
+        with pytest.raises(ValueError):
+            Target(TargetKind.PEER_AS)
+
+    def test_region_requires_name(self):
+        with pytest.raises(ValueError):
+            Target(TargetKind.REGION)
+
+    def test_frozen_and_hashable(self):
+        assert len({Target.peer(1), Target.peer(1), Target.peer(2)}) == 2
+
+
+class TestRole:
+    def test_roles(self):
+        assert CommunityRole.ACTION.value == "action"
+        assert CommunityRole.INFORMATIONAL.value == "informational"

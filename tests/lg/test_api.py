@@ -1,0 +1,113 @@
+"""Tests for the LG JSON payload builders/parsers and the HTTP-free
+request handler."""
+
+import pytest
+
+from repro.bgp.aspath import AsPath
+from repro.bgp.route import Route
+from repro.lg import api
+from repro.lg.server import LookingGlassServer
+
+
+def make_route(prefix="20.0.0.0/16", peer=60001):
+    return Route(prefix=prefix, next_hop="195.66.224.1",
+                 as_path=AsPath.from_asns([peer]), peer_asn=peer)
+
+
+class TestPayloads:
+    def test_status_payload(self):
+        payload = api.status_payload("linx", 4, 8714, "2021-10-04T00:00Z")
+        assert payload["status"] == "ok"
+        assert payload["rs_asn"] == 8714
+
+    def test_neighbors_payload_counts(self):
+        payload = api.neighbors_payload([{"asn": 1}, {"asn": 2}])
+        assert payload["count"] == 2
+
+    def test_routes_payload_pagination_math(self):
+        routes = [make_route(f"20.{i}.0.0/16") for i in range(5)]
+        payload = api.routes_payload(routes[:2], page=1, page_size=2,
+                                     total=5, filtered=False)
+        assert payload["pagination"]["total_pages"] == 3
+        assert len(payload["routes"]) == 2
+        assert api.total_pages(payload) == 3
+
+    def test_routes_payload_empty(self):
+        payload = api.routes_payload([], page=1, page_size=10, total=0,
+                                     filtered=True)
+        assert payload["pagination"]["total_pages"] == 1
+        assert payload["filtered"]
+
+    def test_parse_routes_page_roundtrip(self):
+        routes = [make_route()]
+        payload = api.routes_payload(routes, 1, 10, 1, False)
+        assert api.parse_routes_page(payload) == routes
+
+    def test_neighbor_summary_from_dict(self):
+        summary = api.NeighborSummary.from_dict(
+            {"asn": 6939, "routes_accepted": 9})
+        assert summary.asn == 6939
+        assert summary.name == "AS6939"
+        assert summary.established
+
+
+class TestHandlerWithoutSockets:
+    """The server's handle() is a pure function — cover the routing and
+    error paths without opening sockets."""
+
+    @pytest.fixture()
+    def server(self, linx_generator):
+        return LookingGlassServer(
+            {("linx", 4): linx_generator.populated_route_server(4)},
+            rate_per_second=1e9, burst=10**6)
+
+    def test_status_route(self, server):
+        status, payload = server.handle("/linx/v4/api/v1/status")
+        assert status == 200
+        assert payload["ixp"] == "linx"
+
+    def test_config_route(self, server):
+        status, payload = server.handle("/linx/v4/api/v1/config")
+        assert status == 200
+        assert payload["entries"]
+
+    def test_unknown_path_404(self, server):
+        status, payload = server.handle("/nope")
+        assert status == 404
+
+    def test_unknown_mount_404(self, server):
+        status, _ = server.handle("/amsix/v4/api/v1/status")
+        assert status == 404
+
+    def test_unknown_neighbor_404(self, server):
+        status, _ = server.handle("/linx/v4/api/v1/neighbors/99/routes")
+        assert status == 404
+
+    def test_routes_with_query_params(self, server):
+        status, neighbors = server.handle("/linx/v4/api/v1/neighbors")
+        asn = neighbors["neighbors"][0]["asn"]
+        status, payload = server.handle(
+            f"/linx/v4/api/v1/neighbors/{asn}/routes?page=1&page_size=3")
+        assert status == 200
+        assert len(payload["routes"]) <= 3
+
+    def test_filtered_flag(self, server):
+        status, neighbors = server.handle("/linx/v4/api/v1/neighbors")
+        asn = neighbors["neighbors"][0]["asn"]
+        status, payload = server.handle(
+            f"/linx/v4/api/v1/neighbors/{asn}/routes?filtered=1")
+        assert status == 200
+        assert payload["filtered"]
+
+    def test_rate_limit_429(self, linx_generator):
+        server = LookingGlassServer(
+            {("linx", 4): linx_generator.populated_route_server(4)},
+            rate_per_second=0.0001, burst=1)
+        assert server.handle("/linx/v4/api/v1/status")[0] == 200
+        assert server.handle("/linx/v4/api/v1/status")[0] == 429
+
+    def test_instability_503(self, server):
+        server.injector.failure_rate = 1.0
+        status, payload = server.handle("/linx/v4/api/v1/status")
+        assert status == 503
+        assert payload["status"] == "error"

@@ -1,0 +1,70 @@
+"""Tests for the LG token bucket and instability injector."""
+
+import pytest
+
+from repro.lg.ratelimit import InstabilityInjector, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_allowed_then_blocked(self):
+        bucket = TokenBucket(rate_per_second=0.0001, burst=3)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_over_time(self, monkeypatch):
+        import repro.lg.ratelimit as rl
+        clock = [0.0]
+        monkeypatch.setattr(rl.time, "monotonic", lambda: clock[0])
+        bucket = TokenBucket(rate_per_second=10.0, burst=1)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock[0] += 0.2  # 2 tokens accrue, capped at capacity 1
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_capacity_cap(self, monkeypatch):
+        import repro.lg.ratelimit as rl
+        clock = [0.0]
+        monkeypatch.setattr(rl.time, "monotonic", lambda: clock[0])
+        bucket = TokenBucket(rate_per_second=100.0, burst=2)
+        clock[0] += 100.0
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_retry_after_positive_when_empty(self):
+        bucket = TokenBucket(rate_per_second=1.0, burst=1)
+        bucket.try_acquire()
+        assert bucket.retry_after > 0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_per_second=0, burst=1)
+
+
+class TestInstabilityInjector:
+    def test_zero_rate_never_fails(self):
+        injector = InstabilityInjector(failure_rate=0.0)
+        assert not any(injector.should_fail() for _ in range(100))
+
+    def test_full_rate_always_fails(self):
+        injector = InstabilityInjector(failure_rate=1.0)
+        assert all(injector.should_fail() for _ in range(100))
+
+    def test_failures_come_in_bursts(self):
+        injector = InstabilityInjector(failure_rate=0.3, burst_length=10,
+                                       seed=3)
+        outcomes = [injector.should_fail() for _ in range(500)]
+        assert any(outcomes) and not all(outcomes)
+        # within a burst window, outcomes are uniform
+        for start in range(0, 500, 10):
+            window = outcomes[start:start + 10]
+            assert len(set(window)) == 1
+
+    def test_deterministic_per_seed(self):
+        a = InstabilityInjector(failure_rate=0.4, seed=1)
+        b = InstabilityInjector(failure_rate=0.4, seed=1)
+        assert [a.should_fail() for _ in range(50)] == \
+            [b.should_fail() for _ in range(50)]

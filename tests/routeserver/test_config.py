@@ -1,0 +1,85 @@
+"""Tests for RouteServerConfig."""
+
+import pytest
+
+from repro.bgp.communities import standard
+from repro.ixp import dictionary_for, get_profile
+from repro.routeserver import RouteServer, RouteServerConfig
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    return dictionary_for(get_profile("linx"))
+
+
+class TestValidation:
+    def test_bad_family_rejected(self, dictionary):
+        with pytest.raises(ValueError):
+            RouteServerConfig(rs_asn=8714, family=5,
+                              dictionary=dictionary)
+
+    def test_server_requires_dictionary(self):
+        with pytest.raises(ValueError):
+            RouteServer(RouteServerConfig(rs_asn=8714, family=4))
+
+
+class TestDefaults:
+    def test_informational_tags_default_from_dictionary(self, dictionary):
+        config = RouteServerConfig(rs_asn=8714, family=4,
+                                   dictionary=dictionary)
+        assert len(config.informational_tags) == 2
+        for tag in config.informational_tags:
+            semantics = dictionary.lookup(tag)
+            assert semantics is not None and not semantics.is_action
+
+    def test_explicit_tags_not_overridden(self, dictionary):
+        tags = (standard(8714, 1005),)
+        config = RouteServerConfig(rs_asn=8714, family=4,
+                                   dictionary=dictionary,
+                                   informational_tags=tags)
+        assert config.informational_tags == tags
+
+    def test_prefix_bounds_per_family(self, dictionary):
+        v4 = RouteServerConfig(rs_asn=8714, family=4,
+                               dictionary=dictionary)
+        v6 = RouteServerConfig(rs_asn=8714, family=6,
+                               dictionary=dictionary)
+        assert (v4.min_prefix_len, v4.max_prefix_len) == (8, 24)
+        assert (v6.min_prefix_len, v6.max_prefix_len) == (16, 48)
+
+    def test_paper_defaults(self, dictionary):
+        config = RouteServerConfig(rs_asn=8714, family=4,
+                                   dictionary=dictionary)
+        assert config.scrub_action_communities
+        assert config.reject_bogon_prefixes
+        assert config.reject_bogon_asns
+        assert not config.blackholing_enabled
+        assert config.max_communities is None
+
+
+class TestFractionalInformational:
+    def test_rate_realised_in_expectation(self, dictionary):
+        """A 2.5 informational rate stamps the third tag on ~half the
+        routes (deterministic per prefix)."""
+        from repro.bgp.aspath import AsPath
+        from repro.bgp.route import Route
+        from repro.ixp.member import Member, MemberRole
+
+        pool = tuple(entry.community for entry in
+                     list(dictionary.informational_entries())[:3])
+        config = RouteServerConfig(
+            rs_asn=8714, family=4, dictionary=dictionary,
+            informational_tags=pool, informational_per_route=2.5)
+        server = RouteServer(config)
+        server.add_peer(Member(asn=60001, name="X",
+                               role=MemberRole.ACCESS_ISP))
+        total_tags = 0
+        n_routes = 400
+        for i in range(n_routes):
+            stored = server.announce(Route(
+                prefix=f"20.{i // 200}.{i % 200}.0/24",
+                next_hop="195.66.224.1",
+                as_path=AsPath.from_asns([60001]), peer_asn=60001))
+            total_tags += sum(1 for c in stored.communities if c in pool)
+        mean = total_tags / n_routes
+        assert 2.35 < mean < 2.65

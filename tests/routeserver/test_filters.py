@@ -1,0 +1,134 @@
+"""Tests for the §3 import filters."""
+
+import pytest
+
+from repro.bgp.aspath import AsPath
+from repro.bgp.communities import standard
+from repro.bgp.route import Route
+from repro.ixp import dictionary_for, get_profile
+from repro.ixp.schemes.common import BLACKHOLE_COMMUNITY
+from repro.routeserver.config import RouteServerConfig
+from repro.routeserver.filters import (
+    BogonAsnFilter,
+    BogonPrefixFilter,
+    FilterChain,
+    MaxCommunitiesFilter,
+    PathLengthFilter,
+    PathLoopFilter,
+    PeerAsFilter,
+    PrefixLengthFilter,
+    WrongFamilyFilter,
+)
+
+
+def route(prefix="20.20.20.0/24", asns=(60500,), peer=None, comms=(),
+          next_hop="192.0.2.1"):
+    return Route(prefix=prefix, next_hop=next_hop,
+                 as_path=AsPath.from_asns(list(asns)),
+                 peer_asn=peer if peer is not None else asns[0],
+                 communities=frozenset(comms))
+
+
+class TestIndividualFilters:
+    def test_wrong_family(self):
+        f = WrongFamilyFilter(4)
+        assert f.evaluate(route()).accepted
+        assert not f.evaluate(route(prefix="2600::/32",
+                                    next_hop="2001:db8::1")).accepted
+
+    def test_bogon_prefix(self):
+        f = BogonPrefixFilter()
+        assert not f.evaluate(route(prefix="10.1.0.0/16")).accepted
+        assert f.evaluate(route(prefix="20.1.0.0/16")).accepted
+
+    def test_bogon_asn_in_path(self):
+        f = BogonAsnFilter()
+        verdict = f.evaluate(route(asns=(60500, 64512)))
+        assert not verdict.accepted
+        assert "64512" in verdict.reason
+
+    def test_path_length(self):
+        f = PathLengthFilter(3)
+        assert f.evaluate(route(asns=(1, 2, 3))).accepted
+        assert not f.evaluate(route(asns=(1, 2, 3, 4), peer=1)).accepted
+
+    def test_path_loop(self):
+        f = PathLoopFilter()
+        assert not f.evaluate(route(asns=(1, 2, 1), peer=1)).accepted
+        assert f.evaluate(route(asns=(1, 1, 2), peer=1)).accepted
+
+    def test_prefix_length_bounds(self):
+        f = PrefixLengthFilter(8, 24, 4)
+        assert f.evaluate(route()).accepted
+        assert not f.evaluate(route(prefix="20.0.0.0/25")).accepted
+        assert not f.evaluate(route(prefix="20.0.0.0/7")).accepted
+
+    def test_peer_as(self):
+        f = PeerAsFilter()
+        assert f.evaluate(route(asns=(60500,), peer=60500)).accepted
+        assert not f.evaluate(route(asns=(60500,), peer=60501)).accepted
+
+    def test_max_communities(self):
+        f = MaxCommunitiesFilter(2)
+        ok = route(comms={standard(0, 1), standard(0, 2)})
+        too_many = route(comms={standard(0, 1), standard(0, 2),
+                                standard(0, 3)})
+        assert f.evaluate(ok).accepted
+        assert not f.evaluate(too_many).accepted
+
+
+@pytest.fixture()
+def chain():
+    profile = get_profile("decix-fra")
+    config = RouteServerConfig(rs_asn=6695, family=4,
+                               dictionary=dictionary_for(profile),
+                               blackholing_enabled=True,
+                               max_communities=50)
+    return FilterChain.from_config(config)
+
+
+class TestChain:
+    def test_accepts_clean_route(self, chain):
+        assert chain.evaluate(route()).accepted
+
+    def test_first_reject_wins(self, chain):
+        # bogon prefix fires before path-length
+        verdict = chain.evaluate(route(prefix="10.0.0.0/16",
+                                       asns=tuple([60500] * 40)))
+        assert not verdict.accepted
+        assert "bogon-prefix" in verdict.reason
+
+    def test_blackhole_host_route_exempt_from_prefix_length(self, chain):
+        blackholed = route(prefix="20.0.0.7/32",
+                           comms={BLACKHOLE_COMMUNITY})
+        assert chain.evaluate(blackholed).accepted
+
+    def test_host_route_without_blackhole_rejected(self, chain):
+        assert not chain.evaluate(route(prefix="20.0.0.7/32")).accepted
+
+    def test_blackhole_exemption_only_when_enabled(self):
+        profile = get_profile("linx")
+        config = RouteServerConfig(rs_asn=8714, family=4,
+                                   dictionary=dictionary_for(profile),
+                                   blackholing_enabled=False)
+        chain = FilterChain.from_config(config)
+        blackholed = route(prefix="20.0.0.7/32",
+                           comms={BLACKHOLE_COMMUNITY})
+        assert not chain.evaluate(blackholed).accepted
+
+    def test_filter_names_listed(self, chain):
+        names = chain.filter_names
+        assert "bogon-prefix" in names
+        assert "too-many-communities" in names
+
+    def test_v6_chain(self):
+        profile = get_profile("amsix")
+        config = RouteServerConfig(rs_asn=6777, family=6,
+                                   dictionary=dictionary_for(profile))
+        chain6 = FilterChain.from_config(config)
+        v6_route = route(prefix="2600::/32", next_hop="2001:db8::1")
+        assert chain6.evaluate(v6_route).accepted
+        assert not chain6.evaluate(route()).accepted  # v4 on v6 RS
+        too_specific = route(prefix="2600::1:0:0:0:0/96",
+                             next_hop="2001:db8::1")
+        assert not chain6.evaluate(too_specific).accepted

@@ -1,0 +1,145 @@
+"""Tests for the action-community export policy (RFC 7947 semantics)."""
+
+import pytest
+
+from repro.bgp.aspath import AsPath
+from repro.bgp.communities import large, standard
+from repro.bgp.route import Route
+from repro.ixp import dictionary_for, get_profile
+from repro.ixp.schemes.common import BLACKHOLE_COMMUNITY
+from repro.routeserver.policy import PolicyEngine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    profile = get_profile("decix-fra")
+    return PolicyEngine(dictionary_for(profile), rs_asn=6695,
+                        blackholing_enabled=True)
+
+
+def route(comms=(), peer=60500, prefix="20.10.0.0/20"):
+    return Route(prefix=prefix, next_hop="80.81.192.10",
+                 as_path=AsPath.from_asns([peer]),
+                 peer_asn=peer, communities=frozenset(comms))
+
+
+class TestCompile:
+    def test_no_actions_allows_everyone(self, engine):
+        policy = engine.compile(route())
+        assert policy.export_allowed(6939)
+        assert not policy.deny_all
+
+    def test_dna_specific(self, engine):
+        policy = engine.compile(route({standard(0, 6939)}))
+        assert not policy.export_allowed(6939)
+        assert policy.export_allowed(15169)
+
+    def test_dna_all(self, engine):
+        policy = engine.compile(route({standard(0, 6695)}))
+        assert not policy.export_allowed(6939)
+
+    def test_dna_all_with_explicit_allow(self, engine):
+        policy = engine.compile(route({standard(0, 6695),
+                                       standard(6695, 6939)}))
+        assert policy.export_allowed(6939)
+        assert not policy.export_allowed(15169)
+
+    def test_announce_only_implies_default_deny(self, engine):
+        # "only" means: without dna-all, an announce-to set still scopes
+        # the export to the named peers.
+        policy = engine.compile(route({standard(6695, 6939)}))
+        assert policy.export_allowed(6939)
+        assert not policy.export_allowed(15169)
+
+    def test_deny_beats_allow_for_same_peer(self, engine):
+        policy = engine.compile(route({standard(0, 6939),
+                                       standard(6695, 6939)}))
+        assert not policy.export_allowed(6939)
+
+    def test_announce_all_community(self, engine):
+        policy = engine.compile(route({standard(6695, 6695)}))
+        assert policy.export_allowed(6939)
+        assert policy.allow_all_explicit
+
+    def test_prepend_specific(self, engine):
+        policy = engine.compile(route({standard(65502, 6939)}))
+        assert policy.prepends_for(6939) == 2
+        assert policy.prepends_for(15169) == 0
+
+    def test_prepend_to_all(self, engine):
+        policy = engine.compile(route({standard(65501, 6695)}))
+        assert policy.prepends_for(6939) == 1
+
+    def test_max_prepend_wins(self, engine):
+        policy = engine.compile(route({standard(65501, 6939),
+                                       standard(65503, 6939)}))
+        assert policy.prepends_for(6939) == 3
+
+    def test_blackhole_flag(self, engine):
+        policy = engine.compile(route({BLACKHOLE_COMMUNITY}))
+        assert policy.blackhole
+
+    def test_blackhole_ignored_when_disabled(self):
+        profile = get_profile("decix-fra")
+        engine = PolicyEngine(dictionary_for(profile), rs_asn=6695,
+                              blackholing_enabled=False)
+        policy = engine.compile(route({BLACKHOLE_COMMUNITY}))
+        assert not policy.blackhole
+
+    def test_large_community_actions_apply(self, engine):
+        policy = engine.compile(route(()))
+        # large mirrors live in large_communities, compile only reads
+        # standard communities — large actions are classified but not
+        # compiled (the studied route servers act on the standard set).
+        assert policy.export_allowed(6939)
+
+    def test_informational_communities_are_inert(self, engine):
+        policy = engine.compile(route({standard(6695, 1000)}))
+        assert policy.export_allowed(6939)
+        assert not policy.action_communities
+
+
+class TestExport:
+    def test_never_export_back_to_announcer(self, engine):
+        announced = route()
+        policy = engine.compile(announced)
+        assert engine.export_route(announced, policy, 60500) is None
+
+    def test_scrubbing_removes_action_communities(self, engine):
+        announced = route({standard(0, 6939), standard(6695, 1000)})
+        policy = engine.compile(announced)
+        exported = engine.export_route(announced, policy, 15169)
+        assert standard(0, 6939) not in exported.communities
+        assert standard(6695, 1000) in exported.communities  # info kept
+
+    def test_scrub_disabled_keeps_actions(self, engine):
+        announced = route({standard(0, 6939)})
+        policy = engine.compile(announced)
+        exported = engine.export_route(announced, policy, 15169,
+                                       scrub=False)
+        assert standard(0, 6939) in exported.communities
+
+    def test_prepends_applied_on_export(self, engine):
+        announced = route({standard(65503, 6939)})
+        policy = engine.compile(announced)
+        exported = engine.export_route(announced, policy, 6939)
+        assert exported.as_path.length == 4
+        untouched = engine.export_route(announced, policy, 15169)
+        assert untouched.as_path.length == 1
+
+    def test_denied_export_returns_none(self, engine):
+        announced = route({standard(0, 6939)})
+        policy = engine.compile(announced)
+        assert engine.export_route(announced, policy, 6939) is None
+
+
+class TestIneffectiveTargets:
+    def test_targets_not_at_rs_detected(self, engine):
+        announced = route({standard(0, 6939), standard(0, 15169),
+                           standard(0, 20940)})
+        missing = engine.ineffective_targets(announced, [6939, 60500])
+        assert missing == {15169, 20940}
+
+    def test_all_peers_target_never_ineffective(self, engine):
+        announced = route({standard(0, 6695)})
+        assert engine.ineffective_targets(announced, [60500]) == set()

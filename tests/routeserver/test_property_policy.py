@@ -1,0 +1,101 @@
+"""Property-based tests (hypothesis) for the export-policy invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.aspath import AsPath
+from repro.bgp.communities import StandardCommunity, standard
+from repro.bgp.route import Route
+from repro.ixp import dictionary_for, get_profile
+from repro.routeserver.policy import PolicyEngine
+
+_DICTIONARY = dictionary_for(get_profile("decix-fra"))
+_ENGINE = PolicyEngine(_DICTIONARY, rs_asn=6695, blackholing_enabled=True)
+
+peer_asns = st.integers(min_value=1, max_value=64495)
+
+#: communities drawn from the DE-CIX action families plus noise.
+action_communities = st.one_of(
+    st.builds(lambda t: standard(0, t), peer_asns),       # dna
+    st.builds(lambda t: standard(6695, t), peer_asns),    # announce-only
+    st.builds(lambda t: standard(65501, t), peer_asns),   # prepend 1x
+    st.builds(lambda t: standard(65503, t), peer_asns),   # prepend 3x
+    st.just(standard(0, 6695)),                           # dna-all
+    st.just(standard(6695, 6695)),                        # announce-all
+    st.builds(StandardCommunity,                          # noise
+              asn=st.integers(min_value=1, max_value=64495),
+              value=st.integers(min_value=0, max_value=0xFFFF)),
+)
+
+
+def make_route(communities, announcer):
+    return Route(prefix="20.10.0.0/20", next_hop="80.81.192.9",
+                 as_path=AsPath.from_asns([announcer]),
+                 peer_asn=announcer,
+                 communities=frozenset(communities))
+
+
+class TestPolicyProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(st.frozensets(action_communities, max_size=8), peer_asns,
+           peer_asns)
+    def test_explicit_deny_always_wins(self, communities, announcer,
+                                       peer):
+        route = make_route(communities | {standard(0, peer)}, announcer)
+        policy = _ENGINE.compile(route)
+        assert not policy.export_allowed(peer)
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.frozensets(action_communities, max_size=8), peer_asns)
+    def test_no_propagation_actions_means_allow(self, communities,
+                                                peer):
+        filtered = frozenset(
+            c for c in communities
+            if not (c.asn in (0, 6695)))  # keep only prepend/noise
+        policy = _ENGINE.compile(make_route(filtered, 60001))
+        assert policy.export_allowed(peer)
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.frozensets(action_communities, max_size=8), peer_asns)
+    def test_export_never_returns_to_announcer(self, communities,
+                                               announcer):
+        route = make_route(communities, announcer)
+        policy = _ENGINE.compile(route)
+        assert _ENGINE.export_route(route, policy, announcer) is None
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.frozensets(action_communities, max_size=8), peer_asns)
+    def test_exported_route_is_scrubbed(self, communities, peer):
+        route = make_route(communities, 60001)
+        policy = _ENGINE.compile(route)
+        exported = _ENGINE.export_route(route, policy, peer)
+        if exported is None:
+            return
+        for community in exported.communities:
+            semantics = _DICTIONARY.lookup(community)
+            assert semantics is None or not semantics.is_action
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.frozensets(action_communities, max_size=8), peer_asns)
+    def test_prepends_never_negative_and_bounded(self, communities,
+                                                 peer):
+        policy = _ENGINE.compile(make_route(communities, 60001))
+        assert 0 <= policy.prepends_for(peer) <= 3
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.frozensets(action_communities, max_size=8), peer_asns)
+    def test_export_preserves_prefix_and_origin(self, communities, peer):
+        route = make_route(communities, 60001)
+        policy = _ENGINE.compile(route)
+        exported = _ENGINE.export_route(route, policy, peer)
+        if exported is not None:
+            assert exported.prefix == route.prefix
+            assert exported.origin_asn == route.origin_asn
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.frozensets(action_communities, max_size=8))
+    def test_ineffective_targets_disjoint_from_present(self, communities):
+        route = make_route(communities, 60001)
+        present = [6939, 15169, 60001]
+        missing = _ENGINE.ineffective_targets(route, present)
+        assert not missing & set(present)

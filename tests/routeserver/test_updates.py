@@ -1,0 +1,130 @@
+"""Tests for UPDATE stream generation."""
+
+import pytest
+
+from repro.bgp.aspath import AsPath
+from repro.bgp.communities import standard
+from repro.bgp.errors import MessageEncodeError
+from repro.bgp.messages import MAX_MESSAGE_LEN, UpdateMessage
+from repro.bgp.route import Route
+from repro.routeserver.updates import (
+    build_updates,
+    build_withdrawals,
+    replay_export,
+)
+
+
+def route(prefix, comms=(), path=(60001,), family=4):
+    next_hop = "195.66.224.1" if family == 4 else "2001:7f8:4::1"
+    return Route(prefix=prefix, next_hop=next_hop,
+                 as_path=AsPath.from_asns(list(path)), peer_asn=path[0],
+                 communities=frozenset(comms))
+
+
+class TestGrouping:
+    def test_same_attributes_coalesce(self):
+        routes = [route(f"20.{i}.0.0/16", comms={standard(8714, 1000)})
+                  for i in range(10)]
+        updates = build_updates(routes)
+        assert len(updates) == 1
+        assert len(updates[0].nlri) == 10
+
+    def test_different_communities_split(self):
+        routes = [route("20.0.0.0/16", comms={standard(8714, 1000)}),
+                  route("20.1.0.0/16", comms={standard(8714, 1001)})]
+        updates = build_updates(routes)
+        assert len(updates) == 2
+
+    def test_different_paths_split(self):
+        routes = [route("20.0.0.0/16", path=(60001,)),
+                  route("20.1.0.0/16", path=(60001, 777))]
+        assert len(build_updates(routes)) == 2
+
+    def test_v6_uses_mp_reach(self):
+        updates = build_updates([route("2600::/32", family=6)])
+        assert updates[0].mp_nlri == ["2600::/32"]
+        assert updates[0].next_hop is None
+        assert updates[0].mp_next_hop is not None
+
+    def test_empty(self):
+        assert build_updates([]) == []
+
+
+class TestSizeLimit:
+    def test_large_group_splits_within_limit(self):
+        routes = [route(f"20.{i // 250}.{i % 250}.0/24",
+                        comms={standard(8714, 1000 + j) for j in range(30)})
+                  for i in range(1500)]
+        updates = build_updates(routes)
+        assert len(updates) > 1
+        total_nlri = sum(len(u.nlri) for u in updates)
+        assert total_nlri == 1500
+        for update in updates:
+            assert len(update.encode()) <= MAX_MESSAGE_LEN
+
+    def test_every_update_decodable(self):
+        routes = [route(f"20.{i // 250}.{i % 250}.0/24")
+                  for i in range(600)]
+        for update in build_updates(routes):
+            decoded = UpdateMessage.decode(update.encode())
+            assert decoded.nlri
+
+    def test_no_prefix_lost_or_duplicated(self):
+        prefixes = {f"20.{i // 200}.{i % 200}.0/24" for i in range(900)}
+        updates = build_updates([route(p) for p in prefixes])
+        seen = [p for u in updates for p in u.nlri]
+        assert len(seen) == len(prefixes)
+        assert set(seen) == prefixes
+
+
+class TestWithdrawals:
+    def test_basic(self):
+        updates = build_withdrawals(["20.0.0.0/16", "20.1.0.0/16"], 4)
+        assert len(updates) == 1
+        assert sorted(updates[0].withdrawn) == ["20.0.0.0/16",
+                                                "20.1.0.0/16"]
+
+    def test_v6(self):
+        updates = build_withdrawals(["2600::/32"], 6)
+        assert updates[0].mp_withdrawn == ["2600::/32"]
+
+    def test_many_split_within_limit(self):
+        prefixes = [f"20.{i // 250}.{i % 250}.0/24" for i in range(3000)]
+        updates = build_withdrawals(prefixes, 4)
+        assert len(updates) > 1
+        assert sum(len(u.withdrawn) for u in updates) == 3000
+        for update in updates:
+            assert len(update.encode()) <= MAX_MESSAGE_LEN
+
+    def test_duplicates_removed(self):
+        updates = build_withdrawals(["20.0.0.0/16"] * 5, 4)
+        assert sum(len(u.withdrawn) for u in updates) == 1
+
+
+class TestReplayExport:
+    def test_replay_feeds_a_downstream_session(self):
+        """Full loop: RS export view → UPDATE stream → another speaker
+        decodes every message; scrubbed action communities stay gone."""
+        from repro.ixp import dictionary_for, get_profile
+        from repro.ixp.member import Member, MemberRole
+        from repro.routeserver import RouteServer, RouteServerConfig
+
+        profile = get_profile("linx")
+        server = RouteServer(RouteServerConfig(
+            rs_asn=profile.rs_asn, family=4,
+            dictionary=dictionary_for(profile)))
+        for asn in (60001, 60002):
+            server.add_peer(Member(asn=asn, name=f"AS{asn}",
+                                   role=MemberRole.ACCESS_ISP))
+        for i in range(50):
+            server.announce(route(f"20.0.{i}.0/24",
+                                  comms={standard(0, 6939)},
+                                  path=(60001,)))
+        blobs = list(replay_export(server, 60002))
+        assert blobs
+        received_prefixes = []
+        for blob in blobs:
+            decoded = UpdateMessage.decode(blob)
+            received_prefixes.extend(decoded.nlri)
+            assert standard(0, 6939) not in decoded.communities
+        assert len(received_prefixes) == 50

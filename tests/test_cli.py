@@ -1,0 +1,102 @@
+"""Tests for the repro-study CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands(self):
+        parser = build_parser()
+        for command in ("generate", "analyze", "serve", "sanitise"):
+            args = parser.parse_args(
+                [command, "--ixps", "linx"]
+                + (["--store", "x"] if command in ("generate", "sanitise")
+                   else []))
+            assert args.command == command
+
+    def test_defaults_large_four(self):
+        args = build_parser().parse_args(["analyze"])
+        assert args.ixps == ["ixbr-sp", "decix-fra", "linx", "amsix"]
+        assert args.families == [4, 6]
+
+    def test_rejects_unknown_ixp(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "--ixps", "lonap"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestGenerateAndSanitise:
+    def test_generate_weekly_then_analyze(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "ds")
+        exit_code = main([
+            "generate", "--store", store_dir, "--ixps", "bcix",
+            "--families", "4", "--scale", "0.012", "--weekly"])
+        assert exit_code == 0
+        written = capsys.readouterr().out
+        assert written.count("wrote") == 12
+
+        exit_code = main([
+            "analyze", "--store", store_dir, "--ixps", "bcix",
+            "--families", "4"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "ineffective" in output
+
+    def test_generate_daily_with_failures_then_sanitise(
+            self, tmp_path, capsys):
+        store_dir = str(tmp_path / "ds")
+        assert main(["generate", "--store", store_dir, "--ixps", "bcix",
+                     "--families", "4", "--scale", "0.012",
+                     "--days", "20", "--failures"]) == 0
+        capsys.readouterr()
+        assert main(["sanitise", "--store", store_dir, "--ixps", "bcix",
+                     "--families", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "kept" in output
+
+    def test_sanitise_delete_removes_files(self, tmp_path, capsys):
+        from repro.collector import DatasetStore
+        store_dir = str(tmp_path / "ds")
+        main(["generate", "--store", store_dir, "--ixps", "bcix",
+              "--families", "4", "--scale", "0.012", "--days", "20",
+              "--failures"])
+        store = DatasetStore(store_dir)
+        before = len(store.snapshot_dates("bcix", 4))
+        capsys.readouterr()
+        main(["sanitise", "--store", store_dir, "--ixps", "bcix",
+              "--families", "4", "--delete"])
+        output = capsys.readouterr().out
+        after = len(store.snapshot_dates("bcix", 4))
+        removed = output.count("valley in")
+        assert after == before - removed
+
+
+class TestAnalyzeInMemory:
+    def test_analyze_without_store(self, capsys):
+        assert main(["analyze", "--ixps", "bcix", "--families", "4",
+                     "--scale", "0.012"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig. 4a" in output
+        assert "defined_share" in output
+
+
+class TestExport:
+    def test_export_csv_and_json(self, tmp_path, capsys):
+        out = tmp_path / "csv"
+        bundle = tmp_path / "bundle.json"
+        assert main(["export", "--ixps", "bcix", "--families", "4",
+                     "--scale", "0.012", "--out", str(out),
+                     "--json", str(bundle)]) == 0
+        output = capsys.readouterr().out
+        assert output.count("wrote") == 15  # 14 CSVs + 1 JSON
+        assert (out / "fig1_defined_vs_unknown.csv").exists()
+        assert bundle.exists()
+        payload = json.loads(bundle.read_text())
+        assert payload["s55_ineffective_summary"]

@@ -1,0 +1,152 @@
+"""Tests for the tagging-behaviour model."""
+
+import pytest
+
+from repro.bgp.communities import standard
+from repro.ixp import get_profile
+from repro.ixp.taxonomy import ActionCategory
+from repro.workload.behavior import (
+    TargetCatalog,
+    _solve_beta,
+    build_behaviors,
+)
+from repro.workload.topology import build_population
+from repro.utils import stable_rng
+
+
+@pytest.fixture(scope="module")
+def decix_population():
+    return build_population(get_profile("decix-fra"), scale=0.04, seed=17)
+
+
+@pytest.fixture(scope="module")
+def decix_behaviors(decix_population):
+    return build_behaviors(get_profile("decix-fra"), decix_population, 4,
+                           seed=17)
+
+
+class TestSolveBeta:
+    def test_share_increases_with_beta(self):
+        low = _solve_beta(1000, 10, 0.3)
+        high = _solve_beta(1000, 10, 0.8)
+        assert high > low
+
+    def test_solution_reproduces_share(self):
+        n, top, share = 500, 5, 0.6
+        beta = _solve_beta(n, top, share)
+        weights = [1.0 / ((j + 1) ** beta) for j in range(n)]
+        achieved = sum(weights[:top]) / sum(weights)
+        assert abs(achieved - share) < 0.01
+
+    def test_degenerate_populations(self):
+        assert _solve_beta(1, 1, 0.9) == 0.5
+        assert _solve_beta(5, 5, 0.9) == 0.5
+
+
+class TestTargetCatalog:
+    def test_effective_pool_at_rs(self, decix_population):
+        catalog = TargetCatalog(decix_population, 4, stable_rng(1))
+        at_rs = set(decix_population.rs_member_asns(4))
+        for asn, _w, effective in catalog.avoid_pool():
+            assert effective == (asn in at_rs)
+
+    def test_sample_avoid_distinct(self, decix_population):
+        catalog = TargetCatalog(decix_population, 4, stable_rng(1))
+        targets = catalog.sample_avoid(stable_rng(2), 15, 0.5)
+        assert len(targets) == len(set(targets)) == 15
+
+    def test_full_bias_yields_only_ineffective(self, decix_population):
+        catalog = TargetCatalog(decix_population, 4, stable_rng(1))
+        at_rs = set(decix_population.rs_member_asns(4))
+        targets = catalog.sample_avoid(stable_rng(2), 10, 1.0)
+        assert not set(targets) & at_rs
+
+    def test_zero_bias_yields_only_effective(self, decix_population):
+        catalog = TargetCatalog(decix_population, 4, stable_rng(1))
+        at_rs = set(decix_population.rs_member_asns(4))
+        targets = catalog.sample_avoid(stable_rng(2), 10, 0.0)
+        assert set(targets) <= at_rs
+
+
+class TestBuildBehaviors:
+    def test_every_rs_member_has_behavior(self, decix_population,
+                                           decix_behaviors):
+        rs = {m.asn for m in decix_population.rs_members(4)}
+        assert set(decix_behaviors) == rs
+
+    def test_user_fraction_matches_quota(self, decix_population,
+                                         decix_behaviors):
+        profile = get_profile("decix-fra")
+        users = sum(1 for b in decix_behaviors.values() if b.uses_actions)
+        target = profile.calibration.members_using_actions
+        actual = users / len(decix_behaviors)
+        assert abs(actual - target) < 0.05
+
+    def test_hurricane_electric_is_a_defensive_user(self, decix_behaviors):
+        he = decix_behaviors[6939]
+        assert he.uses_actions
+        assert ActionCategory.DO_NOT_ANNOUNCE_TO in he.categories
+        assert len(he.route_tags) >= 10
+
+    def test_category_quotas_respect_table2_ordering(self, decix_behaviors):
+        counts = {category: 0 for category in ActionCategory}
+        for behavior in decix_behaviors.values():
+            for category in behavior.categories:
+                counts[category] += 1
+        # do-not-announce-to is the most used type (Table 2).
+        assert counts[ActionCategory.DO_NOT_ANNOUNCE_TO] == max(
+            counts.values())
+        # DE-CIX supports blackholing and has users of it.
+        assert counts[ActionCategory.BLACKHOLING] > 0
+
+    def test_no_blackholing_where_unsupported(self):
+        population = build_population(get_profile("linx"), scale=0.04,
+                                      seed=17)
+        behaviors = build_behaviors(get_profile("linx"), population, 4,
+                                    seed=17)
+        for behavior in behaviors.values():
+            assert ActionCategory.BLACKHOLING not in behavior.categories
+            assert behavior.blackhole_count == 0
+
+    def test_tags_are_valid_scheme_communities(self, decix_behaviors):
+        from repro.ixp import dictionary_for
+        dictionary = dictionary_for(get_profile("decix-fra"))
+        for behavior in decix_behaviors.values():
+            for tag in behavior.route_tags:
+                semantics = dictionary.lookup(tag)
+                assert semantics is not None and semantics.is_action, tag
+
+    def test_unknown_pool_is_unknown_to_dictionary(self, decix_behaviors):
+        from repro.ixp import dictionary_for
+        dictionary = dictionary_for(get_profile("decix-fra"))
+        for behavior in decix_behaviors.values():
+            for community in behavior.unknown_pool:
+                assert dictionary.lookup(community) is None, community
+
+    def test_mirrors_reference_standard_targets(self, decix_behaviors):
+        for behavior in decix_behaviors.values():
+            standard_targets = {tag.value for tag in behavior.route_tags
+                                if tag.asn == 0}
+            for mirror in behavior.large_tags:
+                if mirror.local_data1 == 0:
+                    assert mirror.local_data2 in standard_targets
+
+    def test_nonusers_still_leak_unknown(self, decix_behaviors):
+        nonusers = [b for b in decix_behaviors.values()
+                    if not b.uses_actions]
+        assert nonusers
+        for behavior in nonusers:
+            assert behavior.unknown_per_route > 0
+            assert not behavior.route_tags
+
+    def test_coverage_bounded(self, decix_behaviors):
+        for behavior in decix_behaviors.values():
+            assert 0.0 < behavior.coverage <= 1.0
+
+    def test_reproducible(self, decix_population):
+        a = build_behaviors(get_profile("decix-fra"), decix_population, 4,
+                            seed=17)
+        b = build_behaviors(get_profile("decix-fra"), decix_population, 4,
+                            seed=17)
+        for asn in a:
+            assert a[asn].route_tags == b[asn].route_tags

@@ -1,0 +1,119 @@
+"""Tests for the snapshot generator."""
+
+import pytest
+
+from repro.ixp import get_profile
+from repro.ixp.schemes.common import BLACKHOLE_COMMUNITY
+from repro.workload import (
+    FINAL_WEEKLY_DAY,
+    STUDY_DAYS,
+    ScenarioConfig,
+    SnapshotGenerator,
+    day_to_date,
+    degrade_snapshot,
+    final_week_days,
+    weekly_days,
+)
+from repro.utils import stable_rng
+
+
+class TestCalendar:
+    def test_twelve_weekly_days(self):
+        days = weekly_days()
+        assert len(days) == 12
+        assert days[0] == 0 and days[-1] == FINAL_WEEKLY_DAY
+
+    def test_final_week(self):
+        days = final_week_days()
+        assert len(days) == 7
+        assert days[-1] == STUDY_DAYS - 1
+
+    def test_final_weekly_is_oct_4(self):
+        # §4: "we use the most recent snapshot, 4th Oct. 2021"
+        assert day_to_date(FINAL_WEEKLY_DAY) == "2021-10-04"
+
+    def test_window_starts_jul_19(self):
+        assert day_to_date(0) == "2021-07-19"
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return SnapshotGenerator(get_profile("decix-fra"),
+                             ScenarioConfig(scale=0.012, seed=23))
+
+
+class TestSnapshots:
+    def test_deterministic(self, generator):
+        a = generator.snapshot(4, 0, degraded=False)
+        other = SnapshotGenerator(get_profile("decix-fra"),
+                                  ScenarioConfig(scale=0.012, seed=23))
+        b = other.snapshot(4, 0, degraded=False)
+        assert a.summary() == b.summary()
+        assert [r.prefix for r in a.routes] == [r.prefix for r in b.routes]
+
+    def test_accepted_routes_have_informational_tags(self, generator):
+        snapshot = generator.snapshot(4, degraded=False)
+        info_rate = sum(
+            1 for route in snapshot.routes
+            if any(c.asn == 6695 and 1000 <= c.value < 1100
+                   for c in route.communities)) / snapshot.route_count
+        assert info_rate > 0.95
+
+    def test_v6_snapshot_uses_v6_prefixes(self, generator):
+        snapshot = generator.snapshot(6, degraded=False)
+        assert snapshot.route_count > 0
+        assert all(route.family == 6 for route in snapshot.routes)
+
+    def test_nothing_filtered_by_default(self, generator):
+        # legitimate members' announcements all pass the import filters
+        # (except blackhole host routes on non-BH IXPs).
+        snapshot = generator.snapshot(4, degraded=False)
+        assert snapshot.filtered_count == 0
+
+    def test_blackhole_routes_present_at_decix(self, generator):
+        snapshot = generator.snapshot(4, degraded=False)
+        blackholed = [r for r in snapshot.routes
+                      if BLACKHOLE_COMMUNITY in r.communities]
+        assert blackholed
+        assert all(r.prefix.endswith("/32") for r in blackholed)
+
+    def test_day_to_day_variation_small(self, generator):
+        a = generator.snapshot(4, 77, degraded=False).summary()
+        b = generator.snapshot(4, 78, degraded=False).summary()
+        for metric in ("members", "prefixes", "routes", "communities"):
+            diff = abs(a[metric] - b[metric]) / max(a[metric], 1)
+            assert diff < 0.06, (metric, a[metric], b[metric])
+
+    def test_growth_over_window(self, generator):
+        first = generator.snapshot(4, 0, degraded=False).summary()
+        last = generator.snapshot(4, FINAL_WEEKLY_DAY,
+                                  degraded=False).summary()
+        assert last["routes"] > first["routes"]
+
+    def test_snapshot_date_stamp(self, generator):
+        snapshot = generator.snapshot(4, 7, degraded=False)
+        assert snapshot.captured_on == day_to_date(7)
+
+
+class TestDegradation:
+    def test_degrade_produces_valley(self, generator):
+        snapshot = generator.snapshot(4, 14, degraded=False)
+        degraded = degrade_snapshot(snapshot, stable_rng(5))
+        assert degraded.meta["degraded"]
+        assert degraded.member_count < snapshot.member_count * 0.7
+        assert degraded.route_count < snapshot.route_count
+
+    def test_degraded_routes_belong_to_kept_members(self, generator):
+        snapshot = generator.snapshot(4, 14, degraded=False)
+        degraded = degrade_snapshot(snapshot, stable_rng(5))
+        kept = set(degraded.member_asns())
+        assert all(route.peer_asn in kept for route in degraded.routes)
+
+    def test_forced_degradation_flag(self, generator):
+        degraded = generator.snapshot(4, 21, degraded=True)
+        assert degraded.meta["degraded"]
+
+    def test_failure_rate_draws_deterministic(self, generator):
+        a = generator.snapshot(4, 28)
+        b = generator.snapshot(4, 28)
+        assert a.meta["degraded"] == b.meta["degraded"]

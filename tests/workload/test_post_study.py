@@ -1,0 +1,76 @@
+"""Tests for the June-2022 post-study scenario (§5.3 re-collection)."""
+
+import pytest
+
+from repro.ixp import get_profile
+from repro.ixp.schemes.common import BLACKHOLE_COMMUNITY
+from repro.workload import ScenarioConfig, SnapshotGenerator
+from repro.workload.generator import (
+    FINAL_WEEKLY_DAY,
+    POST_STUDY_BLACKHOLE_ROUTES,
+    POST_STUDY_DAY,
+    day_to_date,
+)
+
+
+class TestConstants:
+    def test_post_study_day_is_june_28_2022(self):
+        assert day_to_date(POST_STUDY_DAY) == "2022-06-28"
+
+    def test_paper_counts(self):
+        assert POST_STUDY_BLACKHOLE_ROUTES == {"amsix": 1367, "linx": 27}
+
+
+class TestScenario:
+    @pytest.fixture(scope="class")
+    def post_linx(self):
+        return SnapshotGenerator(
+            get_profile("linx"),
+            ScenarioConfig(scale=0.03, seed=91, post_study=True))
+
+    def test_dictionary_gains_blackhole_entry(self, post_linx):
+        semantics = post_linx.dictionary.lookup(BLACKHOLE_COMMUNITY)
+        assert semantics is not None
+        assert semantics.category.value == "blackholing"
+
+    def test_study_window_dictionary_lacks_it(self):
+        generator = SnapshotGenerator(
+            get_profile("linx"), ScenarioConfig(scale=0.03, seed=91))
+        assert generator.dictionary.lookup(BLACKHOLE_COMMUNITY) is None
+
+    def test_blackhole_routes_appear(self, post_linx):
+        snapshot = post_linx.snapshot(4, FINAL_WEEKLY_DAY,
+                                      degraded=False)
+        blackholed = [r for r in snapshot.routes
+                      if BLACKHOLE_COMMUNITY in r.communities]
+        assert blackholed
+        assert all(r.prefix.endswith("/32") for r in blackholed)
+
+    def test_amsix_carries_far_more_than_linx(self):
+        counts = {}
+        for key in ("amsix", "linx"):
+            generator = SnapshotGenerator(
+                get_profile(key),
+                ScenarioConfig(scale=0.05, seed=91, post_study=True))
+            snapshot = generator.snapshot(4, FINAL_WEEKLY_DAY,
+                                          degraded=False)
+            counts[key] = sum(
+                1 for r in snapshot.routes
+                if BLACKHOLE_COMMUNITY in r.communities)
+        # paper ratio is 1367:27 ≈ 50:1
+        assert counts["amsix"] >= 10 * max(1, counts["linx"])
+
+    def test_untouched_ixps_unchanged(self):
+        for post_study in (False, True):
+            generator = SnapshotGenerator(
+                get_profile("ixbr-sp"),
+                ScenarioConfig(scale=0.02, seed=91,
+                               post_study=post_study))
+            assert generator.dictionary.lookup(
+                BLACKHOLE_COMMUNITY) is None
+
+    def test_v6_not_injected(self, post_linx):
+        snapshot = post_linx.snapshot(6, FINAL_WEEKLY_DAY,
+                                      degraded=False)
+        assert not any(BLACKHOLE_COMMUNITY in r.communities
+                       for r in snapshot.routes)

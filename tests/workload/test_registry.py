@@ -1,0 +1,64 @@
+"""Tests for the known-network registry."""
+
+from repro.bgp.asn import is_bogon_asn
+from repro.workload import registry
+
+
+class TestKnownNetworks:
+    def test_hurricane_electric_is_the_defensive_anchor(self):
+        he = registry.HURRICANE_ELECTRIC
+        assert he.asn == 6939
+        assert he.at_rs and he.defensive_tagger
+
+    def test_content_providers_mostly_off_rs(self):
+        off_rs = [n for n in registry.CONTENT_PROVIDERS if not n.at_rs]
+        assert len(off_rs) > len(registry.CONTENT_PROVIDERS) / 2
+
+    def test_no_duplicate_asns(self):
+        asns = [n.asn for n in registry.ALL_KNOWN]
+        assert len(asns) == len(set(asns))
+
+    def test_no_bogon_asns(self):
+        for network in registry.ALL_KNOWN:
+            assert not is_bogon_asn(network.asn), network.name
+
+    def test_network_name_lookup(self):
+        assert registry.network_name(6939) == "Hurricane Electric"
+        assert registry.network_name(61199).startswith("SyntheticNet")
+
+    def test_paper_named_targets_present(self):
+        # §5.4 names these networks explicitly.
+        names = {n.name for n in registry.ALL_KNOWN}
+        for expected in ("Google", "Akamai", "OVHcloud", "Netflix",
+                         "LeaseWeb", "Edgecast", "PROLINK",
+                         "Syntegra Telecom", "NIC-Simet", "RNP", "Itau",
+                         "CDNetworks"):
+            assert expected in names, expected
+
+
+class TestSyntheticAsns:
+    def test_deterministic(self):
+        assert registry.synthetic_asn(7) == registry.synthetic_asn(7)
+
+    def test_monotone_unique(self):
+        asns = [registry.synthetic_asn(i) for i in range(2000)]
+        assert len(set(asns)) == 2000
+
+    def test_never_bogon(self):
+        for i in range(0, 3300, 37):
+            assert not is_bogon_asn(registry.synthetic_asn(i))
+
+    def test_never_collides_with_rs_asns(self):
+        from repro.ixp import all_profiles
+        rs_asns = {p.rs_asn for p in all_profiles()}
+        produced = {registry.synthetic_asn(i) for i in range(3300)}
+        assert not produced & rs_asns
+
+    def test_exhaustion_raises(self):
+        import pytest
+        with pytest.raises(ValueError):
+            registry.synthetic_asn(10 ** 6)
+
+    def test_role_mix_sums_to_one(self):
+        total = sum(w for _, w in registry.SYNTHETIC_ROLE_MIX)
+        assert abs(total - 1.0) < 1e-9

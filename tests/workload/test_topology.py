@@ -1,0 +1,139 @@
+"""Tests for the synthetic population builder."""
+
+import ipaddress
+
+import pytest
+
+from repro.bgp.asn import is_bogon_asn
+from repro.bgp.prefix import is_bogon_prefix, is_too_broad, is_too_specific
+from repro.ixp import get_profile
+from repro.workload.topology import (
+    PrefixAllocator,
+    build_population,
+    _zipf_counts,
+)
+from repro.utils import stable_rng
+
+
+class TestPrefixAllocator:
+    def test_no_overlap_v4(self):
+        allocator = PrefixAllocator()
+        nets = [ipaddress.ip_network(allocator.allocate(4, plen))
+                for plen in (20, 24, 22, 24, 21)]
+        for i, a in enumerate(nets):
+            for b in nets[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_no_overlap_v6(self):
+        allocator = PrefixAllocator()
+        nets = [ipaddress.ip_network(allocator.allocate(6, plen))
+                for plen in (32, 48, 40, 44)]
+        for i, a in enumerate(nets):
+            for b in nets[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_allocations_not_bogon(self):
+        allocator = PrefixAllocator()
+        for _ in range(50):
+            assert not is_bogon_prefix(allocator.allocate(4, 24))
+            assert not is_bogon_prefix(allocator.allocate(6, 48))
+
+
+class TestZipf:
+    def test_sums_exactly(self):
+        rng = stable_rng(1)
+        counts = _zipf_counts(rng, 100, 5000)
+        assert sum(counts) == 5000
+
+    def test_head_heavy(self):
+        rng = stable_rng(1)
+        counts = _zipf_counts(rng, 100, 5000)
+        assert counts[0] > counts[-1] * 10
+
+    def test_everyone_gets_at_least_one(self):
+        rng = stable_rng(1)
+        assert min(_zipf_counts(rng, 50, 500)) >= 1
+
+    def test_empty_population(self):
+        assert _zipf_counts(stable_rng(1), 0, 100) == []
+
+
+@pytest.fixture(scope="module")
+def population():
+    return build_population(get_profile("linx"), scale=0.03, seed=11)
+
+
+class TestPopulation:
+    def test_reproducible(self):
+        a = build_population(get_profile("linx"), scale=0.02, seed=3)
+        b = build_population(get_profile("linx"), scale=0.02, seed=3)
+        assert [m.asn for m in a.members] == [m.asn for m in b.members]
+        assert a.assets[a.members[0].asn].own_prefixes_v4 == \
+            b.assets[b.members[0].asn].own_prefixes_v4
+
+    def test_different_seed_differs(self):
+        a = build_population(get_profile("linx"), scale=0.02, seed=3)
+        b = build_population(get_profile("linx"), scale=0.02, seed=4)
+        assert {m.asn for m in a.rs_members(4)} != \
+            {m.asn for m in b.rs_members(4)}
+
+    def test_member_count_scales(self, population):
+        profile = get_profile("linx")
+        expected = round(profile.paper.members_total * 0.03)
+        assert abs(len(population.members) - max(48, expected)) <= 1
+
+    def test_rs_fraction_tracks_paper(self, population):
+        profile = get_profile("linx")
+        target = profile.paper.members_rs_v4 / profile.paper.members_total
+        actual = len(population.rs_members(4)) / len(population.members)
+        assert abs(actual - target) < 0.15
+
+    def test_v6_rs_members_subset_sparser(self, population):
+        assert len(population.rs_members(6)) < len(population.rs_members(4))
+
+    def test_no_bogon_member_asns(self, population):
+        for member in population.members:
+            assert not is_bogon_asn(member.asn), member.asn
+
+    def test_prefixes_respect_rs_length_bounds(self, population):
+        for assets in population.assets.values():
+            for prefix in assets.own_prefixes_v4:
+                assert not is_too_specific(prefix)
+                assert not is_too_broad(prefix)
+            for prefix in assets.own_prefixes_v6:
+                assert not is_too_specific(prefix)
+                assert not is_too_broad(prefix)
+
+    def test_prefixes_globally_unique(self, population):
+        seen = set()
+        for assets in population.assets.values():
+            for prefix in (assets.own_prefixes_v4 + assets.own_prefixes_v6):
+                assert prefix not in seen
+                seen.add(prefix)
+
+    def test_customer_prefixes_multihomed(self, population):
+        assert population.customer_prefixes
+        for customer in population.customer_prefixes:
+            assert 2 <= len(customer.transit_asns) <= 3
+            # transit ASNs must be RS members of that family
+            rs = set(population.rs_member_asns(customer.family))
+            assert set(customer.transit_asns) <= rs
+
+    def test_hurricane_electric_has_biggest_table(self, population):
+        he_assets = population.assets[6939]
+        biggest = max(
+            (len(a.own_prefixes_v4) for a in population.assets.values()))
+        assert len(he_assets.own_prefixes_v4) == biggest
+
+    def test_peering_ips_on_lan(self, population):
+        lan = ipaddress.ip_network(get_profile("linx").peering_lan_v4)
+        for member in population.members:
+            assert ipaddress.ip_address(member.peering_ip_v4) in lan
+
+    def test_amsix_routes_equal_prefixes(self):
+        # AMS-IX has no multihomed-customer surplus (Table 1).
+        population = build_population(get_profile("amsix"), scale=0.03,
+                                      seed=11)
+        v4_customers = [c for c in population.customer_prefixes
+                        if c.family == 4]
+        assert not v4_customers
