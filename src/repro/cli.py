@@ -10,6 +10,9 @@ Subcommands:
   route server, for interactive poking / the scraping example;
 * ``sanitise`` — run the §3 valley sanitation over a store and report
   what would be removed;
+* ``campaign`` — run a fault-tolerant collection campaign against a
+  Looking Glass URL (checkpointed; re-run with ``--resume`` to pick up
+  an interrupted collection at the last completed peer);
 * ``export``   — write every figure/table's data as CSV (and optionally
   one JSON bundle) for external plotting.
 """
@@ -131,6 +134,39 @@ def cmd_sanitise(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from .collector.campaign import (
+        CampaignConfig,
+        CampaignTarget,
+        CollectionCampaign,
+    )
+
+    store = DatasetStore(args.store)
+    targets = [CampaignTarget(ixp=ixp, family=family,
+                              dialect=args.dialect)
+               for ixp in args.ixps for family in args.families]
+    config = CampaignConfig(
+        base_url=args.url.rstrip("/"),
+        targets=targets,
+        captured_on=args.date,
+        peer_attempts=args.peer_attempts,
+        snapshot_deadline=args.deadline,
+        checkpoint_every=args.checkpoint_every,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        max_retries=args.max_retries,
+        request_timeout=args.timeout,
+    )
+    campaign = CollectionCampaign(store, config)
+    report = campaign.run(resume=args.resume)
+    print(report.format_summary())
+    if report.resumable:
+        print("incomplete targets parked as checkpoints — "
+              "re-run with --resume to continue")
+        return 2
+    return 0 if all(t.status != "failed" for t in report.targets) else 1
+
+
 def cmd_export(args: argparse.Namespace) -> int:
     from .core.export import export_study_csv, export_study_json
 
@@ -192,6 +228,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_san.add_argument("--delete", action="store_true",
                        help="actually delete valley snapshots")
     p_san.set_defaults(func=cmd_sanitise)
+
+    p_camp = sub.add_parser(
+        "campaign", help="run a fault-tolerant collection campaign")
+    p_camp.add_argument("--ixps", nargs="+", default=list(LARGE_FOUR),
+                        choices=list(ALL_IXPS), metavar="IXP",
+                        help="IXP keys (default: the four largest)")
+    p_camp.add_argument("--families", nargs="+", type=int, default=[4, 6],
+                        choices=[4, 6], help="address families")
+    p_camp.add_argument("--url", required=True,
+                        help="Looking Glass base URL (see `serve`)")
+    p_camp.add_argument("--store", required=True,
+                        help="dataset directory for snapshots "
+                             "and checkpoints")
+    p_camp.add_argument("--date", help="snapshot date (default: today)")
+    p_camp.add_argument("--resume", action="store_true",
+                        help="continue from checkpoints; skip dates "
+                             "already collected")
+    p_camp.add_argument("--deadline", type=float, default=None,
+                        help="per-snapshot wall-clock budget, seconds")
+    p_camp.add_argument("--peer-attempts", type=int, default=2,
+                        help="collection attempts per peer")
+    p_camp.add_argument("--max-retries", type=int, default=3,
+                        help="HTTP retries per request")
+    p_camp.add_argument("--timeout", type=float, default=30.0,
+                        help="HTTP request timeout, seconds")
+    p_camp.add_argument("--breaker-threshold", type=int, default=3,
+                        help="consecutive failures that open the "
+                             "circuit breaker")
+    p_camp.add_argument("--breaker-reset", type=float, default=5.0,
+                        help="seconds before an open breaker probes")
+    p_camp.add_argument("--checkpoint-every", type=int, default=1,
+                        help="persist a checkpoint every N peers")
+    p_camp.add_argument("--dialect", default="alice",
+                        choices=["alice", "birdseye"],
+                        help="LG API dialect")
+    p_camp.set_defaults(func=cmd_campaign)
 
     p_exp = sub.add_parser("export", help="export figure/table data")
     _add_common(p_exp)

@@ -1,4 +1,5 @@
-"""Collection substrate: snapshots, dataset store, sanitation, scraper."""
+"""Collection substrate: snapshots, dataset store, sanitation, scraper,
+and fault-tolerant collection campaigns."""
 
 from .sanitation import (
     DEFAULT_DROP_THRESHOLD,
@@ -7,6 +8,14 @@ from .sanitation import (
     sanitise_many,
 )
 from . import mrt
+from .campaign import (
+    CampaignConfig,
+    CampaignReport,
+    CampaignTarget,
+    CollectionCampaign,
+    PeerFailure,
+    TargetReport,
+)
 from .scraper import ScrapeReport, SnapshotScraper
 from .snapshot import Snapshot, snapshots_sorted
 from .store import DatasetStore
@@ -14,6 +23,8 @@ from .store import DatasetStore
 __all__ = [
     "Snapshot", "snapshots_sorted", "DatasetStore",
     "SnapshotScraper", "ScrapeReport", "mrt",
+    "CollectionCampaign", "CampaignConfig", "CampaignTarget",
+    "CampaignReport", "TargetReport", "PeerFailure",
     "SanitationReport", "sanitise", "sanitise_many",
     "DEFAULT_DROP_THRESHOLD",
 ]

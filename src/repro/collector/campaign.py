@@ -1,0 +1,454 @@
+"""Fault-tolerant collection campaigns.
+
+The paper's twelve-week collection "was subject to communication
+failures because of LG instability and/or query rate limits" (§3) —
+13.5% of snapshots had to be discarded in sanitation. This module is
+the campaign layer that makes such a collection survivable: it drives
+multi-(IXP, family) scraping with
+
+* **per-peer retry budgets** — a flaky peer is retried a bounded
+  number of times, then recorded with a failure class instead of
+  aborting the snapshot;
+* **a failure taxonomy** — every lost peer is counted as
+  ``rate_limited`` / ``lg_outage`` / ``timeout`` /
+  ``malformed_payload`` (from the client's typed errors), so campaign
+  reports say *why* data is missing;
+* **per-snapshot deadlines** — a stalling LG cannot eat the whole
+  collection day; the target is parked resumable instead;
+* **checkpointing** — after each collected peer the partial snapshot
+  is persisted through :class:`~repro.collector.store.DatasetStore`,
+  so a crashed or deadline-parked campaign re-run with ``resume=True``
+  picks up at the first un-collected peer without re-fetching anything;
+* **circuit breakers** — one per (ixp, family) mount (via
+  :class:`~repro.lg.breaker.BreakerRegistry`), so a dead LG is probed,
+  not hammered.
+
+Clock and sleep are injectable: tests drive deadlines and breaker
+cooldowns with a fake clock and never block.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..bgp.route import Route
+from ..ixp.member import Member, MemberRole
+from ..lg.api import NeighborSummary
+from ..lg.breaker import BreakerRegistry
+from ..lg.client import (
+    FAILURE_CLASSES,
+    FAILURE_LG_OUTAGE,
+    CircuitOpenError,
+    LookingGlassClient,
+    LookingGlassError,
+    TransientError,
+)
+from .snapshot import Snapshot
+from .store import DatasetStore
+
+CHECKPOINT_VERSION = 1
+
+#: terminal states of one campaign target.
+STATUS_COMPLETE = "complete"            # snapshot written, all peers in
+STATUS_DEGRADED = "degraded"            # snapshot written, peers missing
+STATUS_INCOMPLETE = "incomplete"        # deadline hit; checkpoint kept
+STATUS_FAILED = "failed"                # not even a peer list
+STATUS_ALREADY_COLLECTED = "already_collected"
+
+
+@dataclass(frozen=True)
+class CampaignTarget:
+    """One (IXP, family) mount to collect."""
+
+    ixp: str
+    family: int
+    dialect: str = "alice"
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of one collection campaign."""
+
+    base_url: str
+    targets: Sequence[CampaignTarget]
+    #: snapshot date; defaults to today at run time.
+    captured_on: Optional[str] = None
+    #: attempts per peer (each attempt spends a full client retry
+    #: budget, so this is the *outer* loop of §3's per-peer fetch).
+    peer_attempts: int = 2
+    #: wall-clock budget per snapshot, seconds (None = unbounded).
+    snapshot_deadline: Optional[float] = None
+    #: persist a checkpoint every N collected peers.
+    checkpoint_every: int = 1
+    #: circuit breaker: consecutive failed calls before opening, and
+    #: cooldown before the half-open probe.
+    breaker_threshold: int = 3
+    breaker_reset: float = 5.0
+    #: client hardening knobs (see LookingGlassClient).
+    max_retries: int = 3
+    request_timeout: float = 30.0
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    page_retries: int = 1
+
+
+@dataclass
+class PeerFailure:
+    """One peer lost after the whole retry budget."""
+
+    asn: int
+    failure_class: str
+    error: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"asn": self.asn, "failure_class": self.failure_class,
+                "error": self.error}
+
+
+@dataclass
+class TargetReport:
+    """Outcome of one (IXP, family) target."""
+
+    ixp: str
+    family: int
+    status: str = STATUS_FAILED
+    peers_attempted: int = 0
+    peers_collected: int = 0
+    #: peers restored from a checkpoint instead of re-fetched.
+    peers_resumed: int = 0
+    failures: List[PeerFailure] = field(default_factory=list)
+    #: peers skipped because the mount's breaker was open.
+    circuit_open_skips: int = 0
+    deadline_hit: bool = False
+    snapshot_path: Optional[str] = None
+    error: Optional[str] = None
+    breaker_state: str = "closed"
+    breaker_opens: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def failure_counts(self) -> Dict[str, int]:
+        counts = {cls: 0 for cls in FAILURE_CLASSES}
+        for failure in self.failures:
+            counts[failure.failure_class] = \
+                counts.get(failure.failure_class, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ixp": self.ixp, "family": self.family, "status": self.status,
+            "peers_attempted": self.peers_attempted,
+            "peers_collected": self.peers_collected,
+            "peers_resumed": self.peers_resumed,
+            "failures": [f.to_dict() for f in self.failures],
+            "failure_counts": self.failure_counts,
+            "circuit_open_skips": self.circuit_open_skips,
+            "deadline_hit": self.deadline_hit,
+            "snapshot_path": self.snapshot_path,
+            "error": self.error,
+            "breaker_state": self.breaker_state,
+            "breaker_opens": self.breaker_opens,
+            "elapsed": self.elapsed,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one campaign run over all targets."""
+
+    captured_on: str = ""
+    resumed: bool = False
+    targets: List[TargetReport] = field(default_factory=list)
+
+    @property
+    def failure_counts(self) -> Dict[str, int]:
+        counts = {cls: 0 for cls in FAILURE_CLASSES}
+        for target in self.targets:
+            for cls, count in target.failure_counts.items():
+                counts[cls] = counts.get(cls, 0) + count
+        return counts
+
+    @property
+    def complete(self) -> bool:
+        """Every target produced a full snapshot."""
+        return all(t.status in (STATUS_COMPLETE, STATUS_ALREADY_COLLECTED)
+                   for t in self.targets)
+
+    @property
+    def resumable(self) -> bool:
+        """At least one target parked a checkpoint worth resuming."""
+        return any(t.status == STATUS_INCOMPLETE for t in self.targets)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "captured_on": self.captured_on,
+            "resumed": self.resumed,
+            "failure_counts": self.failure_counts,
+            "targets": [t.to_dict() for t in self.targets],
+        }
+
+    def format_summary(self) -> str:
+        by_status: Dict[str, int] = {}
+        for target in self.targets:
+            by_status[target.status] = by_status.get(target.status, 0) + 1
+        lines = [
+            f"campaign {self.captured_on}: "
+            + ", ".join(f"{count} {status}"
+                        for status, count in sorted(by_status.items()))]
+        for target in self.targets:
+            total = target.peers_attempted + target.peers_resumed
+            have = target.peers_collected + target.peers_resumed
+            parts = [f"  {target.ixp}/v{target.family}: {target.status}",
+                     f"{have}/{total} peers"]
+            if target.peers_resumed:
+                parts.append(f"({target.peers_resumed} from checkpoint)")
+            if target.failures:
+                parts.append("lost " + ", ".join(
+                    f"{count} {cls}" for cls, count
+                    in sorted(target.failure_counts.items()) if count))
+            if target.breaker_opens:
+                parts.append(f"breaker opened x{target.breaker_opens}")
+            if target.error:
+                parts.append(f"error: {target.error}")
+            lines.append(" ".join(parts))
+        return "\n".join(lines)
+
+
+class CollectionCampaign:
+    """Orchestrates one durable collection campaign over a store."""
+
+    def __init__(self, store: DatasetStore, config: CampaignConfig,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        self.store = store
+        self.config = config
+        self.clock = clock
+        self.sleep = sleep
+        self.breakers = BreakerRegistry(
+            failure_threshold=config.breaker_threshold,
+            reset_timeout=config.breaker_reset,
+            clock=clock)
+        self._clients: Dict[Tuple[str, int], LookingGlassClient] = {}
+
+    # -- plumbing --------------------------------------------------------
+
+    def client_for(self, target: CampaignTarget) -> LookingGlassClient:
+        """One persistent client per mount (stats accumulate across
+        the campaign, and the §3 single-connection discipline holds)."""
+        key = (target.ixp, target.family)
+        if key not in self._clients:
+            config = self.config
+            self._clients[key] = LookingGlassClient(
+                base_url=config.base_url,
+                ixp=target.ixp,
+                family=target.family,
+                dialect=target.dialect,
+                max_retries=config.max_retries,
+                backoff_base=config.backoff_base,
+                backoff_cap=config.backoff_cap,
+                timeout=config.request_timeout,
+                page_retries=config.page_retries,
+                breaker=self.breakers.get(target.ixp, target.family),
+                sleep=self.sleep,
+            )
+        return self._clients[key]
+
+    # -- campaign run ----------------------------------------------------
+
+    def run(self, resume: bool = False) -> CampaignReport:
+        """Collect every target; with ``resume=True``, restart from
+        checkpoints and skip snapshots already in the store."""
+        captured_on = (self.config.captured_on
+                       or _dt.date.today().isoformat())
+        report = CampaignReport(captured_on=captured_on, resumed=resume)
+        for target in self.config.targets:
+            report.targets.append(
+                self._collect_target(target, captured_on, resume))
+        return report
+
+    def _collect_target(self, target: CampaignTarget, captured_on: str,
+                        resume: bool) -> TargetReport:
+        report = TargetReport(ixp=target.ixp, family=target.family)
+        started = self.clock()
+        if resume and self.store.has_snapshot(
+                target.ixp, target.family, captured_on):
+            report.status = STATUS_ALREADY_COLLECTED
+            return report
+
+        # progress so far: {asn(str): {"routes": [...], "filtered": n,
+        # "name": str}}
+        peers: Dict[str, Dict[str, Any]] = {}
+        if resume:
+            checkpoint = self.store.load_checkpoint(
+                target.ixp, target.family, captured_on)
+            if checkpoint and checkpoint.get("version") == \
+                    CHECKPOINT_VERSION:
+                peers = dict(checkpoint.get("peers", {}))
+                report.peers_resumed = len(peers)
+        else:
+            self.store.delete_checkpoint(
+                target.ixp, target.family, captured_on)
+
+        client = self.client_for(target)
+        try:
+            neighbors = client.neighbors()
+        except LookingGlassError as error:
+            report.status = STATUS_FAILED
+            report.error = str(error)
+            report.failures.append(PeerFailure(
+                asn=0, failure_class=error.failure_class,
+                error=str(error)))
+            self._note_breaker(target, report, started)
+            return report
+
+        established = [n for n in neighbors if n.established]
+        since_checkpoint = 0
+        for neighbor in established:
+            if str(neighbor.asn) in peers:
+                continue
+            if self._deadline_exceeded(started):
+                report.deadline_hit = True
+                break
+            report.peers_attempted += 1
+            routes = self._collect_peer(client, neighbor, report)
+            if routes is None:
+                continue
+            report.peers_collected += 1
+            peers[str(neighbor.asn)] = {
+                "routes": [route.to_dict() for route in routes],
+                "filtered": neighbor.routes_filtered,
+                "name": neighbor.name,
+            }
+            since_checkpoint += 1
+            if since_checkpoint >= max(1, self.config.checkpoint_every):
+                self._save_checkpoint(target, captured_on, peers, report)
+                since_checkpoint = 0
+
+        if report.deadline_hit:
+            self._save_checkpoint(target, captured_on, peers, report)
+            report.status = STATUS_INCOMPLETE
+        else:
+            snapshot = self._build_snapshot(
+                target, captured_on, established, peers, report)
+            report.snapshot_path = str(self.store.save_snapshot(snapshot))
+            self.store.delete_checkpoint(
+                target.ixp, target.family, captured_on)
+            report.status = (STATUS_COMPLETE if not report.failures
+                             else STATUS_DEGRADED)
+        self._note_breaker(target, report, started)
+        return report
+
+    # -- helpers ---------------------------------------------------------
+
+    def _deadline_exceeded(self, started: float) -> bool:
+        deadline = self.config.snapshot_deadline
+        return (deadline is not None
+                and self.clock() - started >= deadline)
+
+    def _collect_peer(self, client: LookingGlassClient,
+                      neighbor: NeighborSummary,
+                      report: TargetReport) -> Optional[List[Route]]:
+        """One peer's routes under the per-peer retry budget; None when
+        the budget is spent (failure recorded on the report)."""
+        attempts = max(1, self.config.peer_attempts)
+        last: Optional[LookingGlassError] = None
+        for attempt in range(attempts):
+            try:
+                return list(client.routes(neighbor.asn))
+            except CircuitOpenError as error:
+                # The mount is known-down: wait out the cooldown once
+                # rather than burning attempts against a tripped
+                # breaker.
+                report.circuit_open_skips += 1
+                last = error
+                wait = (client.breaker.seconds_until_probe
+                        if client.breaker is not None else 0.0)
+                if attempt < attempts - 1 and wait > 0:
+                    # cushion past the cooldown boundary: sleeping the
+                    # exact remainder can land short of the threshold
+                    # (float rounding, coarse clocks) and deadlock the
+                    # probe.
+                    self.sleep(wait + 1e-3)
+            except TransientError as error:
+                last = error
+            except LookingGlassError as error:
+                last = error
+                break  # definitive (4xx-style) — retrying is pointless
+        assert last is not None
+        report.failures.append(PeerFailure(
+            asn=neighbor.asn, failure_class=last.failure_class,
+            error=str(last)))
+        return None
+
+    def _save_checkpoint(self, target: CampaignTarget, captured_on: str,
+                         peers: Dict[str, Dict[str, Any]],
+                         report: TargetReport) -> None:
+        self.store.save_checkpoint(target.ixp, target.family, captured_on, {
+            "version": CHECKPOINT_VERSION,
+            "ixp": target.ixp,
+            "family": target.family,
+            "captured_on": captured_on,
+            "peers": peers,
+            "failures": [f.to_dict() for f in report.failures],
+        })
+
+    def _build_snapshot(self, target: CampaignTarget, captured_on: str,
+                        established: Sequence[NeighborSummary],
+                        peers: Dict[str, Dict[str, Any]],
+                        report: TargetReport) -> Snapshot:
+        members: List[Member] = []
+        seen = set()
+        for neighbor in established:
+            seen.add(str(neighbor.asn))
+            members.append(Member(
+                asn=neighbor.asn,
+                name=neighbor.name,
+                role=MemberRole.ACCESS_ISP,  # role is not observable
+                at_rs_v4=target.family == 4,
+                at_rs_v6=target.family == 6,
+            ))
+        # checkpointed peers that left the peer list since the first
+        # run still belong to this date's snapshot.
+        for asn, entry in peers.items():
+            if asn not in seen:
+                members.append(Member(
+                    asn=int(asn),
+                    name=entry.get("name", f"AS{asn}"),
+                    role=MemberRole.ACCESS_ISP,
+                    at_rs_v4=target.family == 4,
+                    at_rs_v6=target.family == 6,
+                ))
+        routes: List[Route] = []
+        filtered_count = 0
+        for entry in peers.values():
+            routes.extend(Route.from_dict(r) for r in entry["routes"])
+            filtered_count += int(entry.get("filtered", 0))
+        failed = sorted(f.asn for f in report.failures)
+        return Snapshot(
+            ixp=target.ixp,
+            family=target.family,
+            captured_on=captured_on,
+            members=members,
+            routes=routes,
+            filtered_count=filtered_count,
+            meta={
+                "source": self.config.base_url,
+                "peers_failed": failed,
+                "degraded": bool(failed),
+                "campaign": {
+                    "resumed_peers": report.peers_resumed,
+                    "failure_counts": report.failure_counts,
+                    "circuit_open_skips": report.circuit_open_skips,
+                },
+            },
+        )
+
+    def _note_breaker(self, target: CampaignTarget, report: TargetReport,
+                      started: float) -> None:
+        breaker = self.breakers.get(target.ixp, target.family)
+        report.breaker_state = breaker.state
+        report.breaker_opens = breaker.times_opened
+        report.elapsed = self.clock() - started

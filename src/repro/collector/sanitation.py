@@ -98,7 +98,9 @@ def sanitise(snapshots: Sequence[Snapshot],
 
 def sanitise_many(series: Dict[Tuple[str, int], Sequence[Snapshot]],
                   drop_threshold: float = DEFAULT_DROP_THRESHOLD,
+                  recovery_tolerance: float = DEFAULT_RECOVERY_TOLERANCE,
                   ) -> Dict[Tuple[str, int], SanitationReport]:
     """Sanitise several (IXP, family) series independently."""
-    return {key: sanitise(snapshots, drop_threshold=drop_threshold)
+    return {key: sanitise(snapshots, drop_threshold=drop_threshold,
+                          recovery_tolerance=recovery_tolerance)
             for key, snapshots in series.items()}

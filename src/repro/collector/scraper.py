@@ -32,10 +32,14 @@ class ScrapeReport:
     peers_attempted: int = 0
     peers_collected: int = 0
     peers_failed: List[int] = field(default_factory=list)
+    #: set when the collection failed before any peer could be tried
+    #: (e.g. the neighbor summary itself was unreachable).
+    error: Optional[str] = None
 
     @property
     def complete(self) -> bool:
-        return not self.peers_failed and self.snapshot is not None
+        return (not self.peers_failed and self.snapshot is not None
+                and self.error is None)
 
 
 class SnapshotScraper:
@@ -59,7 +63,13 @@ class SnapshotScraper:
         """Collect the snapshot: summary first, then per-peer routes."""
         report = ScrapeReport()
         captured_on = captured_on or _dt.date.today().isoformat()
-        neighbors = self.client.neighbors()
+        try:
+            neighbors = self.client.neighbors()
+        except LookingGlassError as error:
+            # No peer list means no snapshot — but a failed summary
+            # must not abort a multi-LG collection run.
+            report.error = str(error)
+            return report
         members: List[Member] = []
         routes: List[Route] = []
         filtered_count = 0

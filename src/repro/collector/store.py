@@ -24,6 +24,10 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from ..ixp.dictionary import CommunityDictionary
 from .snapshot import Snapshot
 
+#: suffix distinguishing in-progress campaign checkpoints from
+#: finished snapshots in the same directory.
+CHECKPOINT_SUFFIX = ".ckpt.json.gz"
+
 
 class DatasetStore:
     """Filesystem-backed store of snapshots and dictionaries."""
@@ -62,7 +66,8 @@ class DatasetStore:
         if not directory.is_dir():
             return []
         return sorted(p.name[:-len(".json.gz")]
-                      for p in directory.glob("*.json.gz"))
+                      for p in directory.glob("*.json.gz")
+                      if not p.name.endswith(CHECKPOINT_SUFFIX))
 
     def iter_snapshots(self, ixp: str, family: int) -> Iterator[Snapshot]:
         for date in self.snapshot_dates(ixp, family):
@@ -76,6 +81,47 @@ class DatasetStore:
 
     def ixps(self) -> List[str]:
         return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+
+    # -- campaign checkpoints ----------------------------------------------
+
+    def _checkpoint_path(self, ixp: str, family: int, date: str) -> Path:
+        return self.root / ixp / f"v{family}" / f"{date}{CHECKPOINT_SUFFIX}"
+
+    def save_checkpoint(self, ixp: str, family: int, date: str,
+                        payload: Dict) -> Path:
+        """Persist partial campaign progress (atomic: write + rename),
+        so a crashed collection resumes at the last completed peer."""
+        path = self._checkpoint_path(ixp, family, date)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_suffix(".tmp")
+        # checkpoints are rewritten after every few peers and deleted on
+        # completion — favour write speed over compression ratio.
+        with gzip.open(temporary, "wt", encoding="utf-8",
+                       compresslevel=1) as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        temporary.replace(path)
+        return path
+
+    def load_checkpoint(self, ixp: str, family: int,
+                        date: str) -> Optional[Dict]:
+        path = self._checkpoint_path(ixp, family, date)
+        if not path.exists():
+            return None
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def delete_checkpoint(self, ixp: str, family: int, date: str) -> bool:
+        path = self._checkpoint_path(ixp, family, date)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def has_checkpoint(self, ixp: str, family: int, date: str) -> bool:
+        return self._checkpoint_path(ixp, family, date).exists()
+
+    def has_snapshot(self, ixp: str, family: int, date: str) -> bool:
+        return self._snapshot_path(ixp, family, date).exists()
 
     # -- dictionaries ----------------------------------------------------
 

@@ -1,14 +1,36 @@
 """Looking Glass substrate: JSON API, HTTP server, resilient client."""
 
 from .api import DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, NeighborSummary
+from .breaker import BreakerRegistry, CircuitBreaker
 from .dialects import DIALECT_ALICE, DIALECT_BIRDSEYE, DIALECTS
-from .client import ClientStats, LookingGlassClient, LookingGlassError
-from .ratelimit import InstabilityInjector, TokenBucket
+from .client import (
+    FAILURE_CLASSES,
+    FAILURE_LG_OUTAGE,
+    FAILURE_MALFORMED,
+    FAILURE_RATE_LIMITED,
+    FAILURE_TIMEOUT,
+    CircuitOpenError,
+    ClientStats,
+    LookingGlassClient,
+    LookingGlassError,
+    MalformedPayloadError,
+    OutageError,
+    QueryTimeoutError,
+    RateLimitedError,
+    TransientError,
+)
+from .ratelimit import FaultSchedule, InstabilityInjector, TokenBucket
 from .server import LookingGlassServer
 
 __all__ = [
     "LookingGlassServer", "LookingGlassClient", "LookingGlassError",
+    "TransientError", "RateLimitedError", "OutageError",
+    "QueryTimeoutError", "MalformedPayloadError", "CircuitOpenError",
+    "FAILURE_CLASSES", "FAILURE_RATE_LIMITED", "FAILURE_LG_OUTAGE",
+    "FAILURE_TIMEOUT", "FAILURE_MALFORMED",
+    "CircuitBreaker", "BreakerRegistry",
     "ClientStats", "NeighborSummary", "TokenBucket",
-    "InstabilityInjector", "DEFAULT_PAGE_SIZE", "MAX_PAGE_SIZE",
+    "InstabilityInjector", "FaultSchedule",
+    "DEFAULT_PAGE_SIZE", "MAX_PAGE_SIZE",
     "DIALECT_ALICE", "DIALECT_BIRDSEYE", "DIALECTS",
 ]

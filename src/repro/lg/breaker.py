@@ -1,0 +1,123 @@
+"""Per-LG circuit breaker.
+
+A twelve-week campaign against flaky public Looking Glasses cannot
+afford to burn its whole retry budget against an endpoint that is down
+for an afternoon (§3's "LG instability"). The breaker wraps every
+(ixp, family) mount with the classic three-state machine:
+
+* **closed** — requests flow; consecutive failures are counted;
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker trips and requests are refused instantly (no network I/O)
+  for ``reset_timeout`` seconds;
+* **half-open** — after the cooldown one probe request is let through:
+  success closes the breaker, failure re-opens it (and restarts the
+  cooldown).
+
+The clock is injectable so tests drive the cooldown without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+STATES = (CLOSED, OPEN, HALF_OPEN)
+
+
+@dataclass
+class CircuitBreaker:
+    """Three-state circuit breaker for one LG mount."""
+
+    #: consecutive failures that trip the breaker.
+    failure_threshold: int = 5
+    #: seconds the breaker stays open before allowing a probe.
+    reset_timeout: float = 30.0
+    #: injectable monotonic clock (tests pass a fake).
+    clock: Any = time.monotonic
+
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    #: how many times the breaker has tripped (observability).
+    times_opened: int = 0
+    #: requests refused while open (observability).
+    rejected: int = 0
+    _opened_at: float = field(default=0.0, repr=False)
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        Transitions open → half-open when the cooldown has elapsed, in
+        which case the caller gets exactly one probe.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self.clock() - self._opened_at >= self.reset_timeout:
+                self.state = HALF_OPEN
+                return True
+            self.rejected += 1
+            return False
+        # HALF_OPEN: one probe is already in flight this cooldown; let
+        # the caller through — sequential clients probe one at a time.
+        return True
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or (
+                self.state == CLOSED
+                and self.consecutive_failures >= self.failure_threshold):
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = OPEN
+        self.times_opened += 1
+        self._opened_at = self.clock()
+
+    @property
+    def seconds_until_probe(self) -> float:
+        """How long until an open breaker will allow a probe (0 when
+        closed/half-open or when the cooldown already elapsed)."""
+        if self.state != OPEN:
+            return 0.0
+        return max(0.0, self.reset_timeout
+                   - (self.clock() - self._opened_at))
+
+
+class BreakerRegistry:
+    """One :class:`CircuitBreaker` per (ixp, family) mount.
+
+    A campaign scraping several mounts of the same physical LG keeps
+    independent breaker state per mount — one unstable route server
+    must not blacklist its siblings.
+    """
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout: float = 30.0,
+                 clock: Any = time.monotonic) -> None:
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.clock = clock
+        self._breakers: Dict[Tuple[str, int], CircuitBreaker] = {}
+
+    def get(self, ixp: str, family: int) -> CircuitBreaker:
+        key = (ixp, family)
+        if key not in self._breakers:
+            self._breakers[key] = CircuitBreaker(
+                failure_threshold=self.failure_threshold,
+                reset_timeout=self.reset_timeout,
+                clock=self.clock)
+        return self._breakers[key]
+
+    def states(self) -> Dict[str, str]:
+        """Mount → state, for campaign reports."""
+        return {f"{ixp}/v{family}": breaker.state
+                for (ixp, family), breaker in sorted(self._breakers.items())}

@@ -1,15 +1,25 @@
 """Looking Glass HTTP client.
 
 Consumes the :mod:`repro.lg.api` endpoints with the robustness the
-paper's collection needed (§3): retry with exponential backoff on 5xx,
-honouring ``Retry-After`` on 429, and a single persistent connection
-("we kept a single connection to the LG server, to avoid overloading
-it" — the client is strictly sequential).
+paper's collection needed (§3): retry with full-jitter exponential
+backoff on 5xx/timeouts/garbled payloads, honouring ``Retry-After`` on
+429, a per-mount circuit breaker so a dead LG is not hammered through
+every retry budget, and a single persistent connection ("we kept a
+single connection to the LG server, to avoid overloading it" — the
+client is strictly sequential).
+
+Failures that survive the retry budget are raised as subclasses of
+:class:`LookingGlassError` carrying a ``failure_class`` from the
+campaign taxonomy (``rate_limited`` / ``lg_outage`` / ``timeout`` /
+``malformed_payload``), so the collection layer can count *why* peers
+were lost, not just that they were.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import socket
 import time
 import urllib.error
 import urllib.request
@@ -19,10 +29,56 @@ from typing import Any, Dict, Iterator, List, Optional
 from ..bgp.route import Route
 from ..ixp.dictionary import CommunityDictionary
 from . import api
+from .breaker import CircuitBreaker
+
+#: the §3 failure taxonomy surfaced in campaign reports.
+FAILURE_RATE_LIMITED = "rate_limited"
+FAILURE_LG_OUTAGE = "lg_outage"
+FAILURE_TIMEOUT = "timeout"
+FAILURE_MALFORMED = "malformed_payload"
+FAILURE_CLASSES = (FAILURE_RATE_LIMITED, FAILURE_LG_OUTAGE,
+                   FAILURE_TIMEOUT, FAILURE_MALFORMED)
 
 
 class LookingGlassError(Exception):
     """The LG could not be queried (after retries)."""
+
+    #: which bucket of the failure taxonomy this error falls in.
+    failure_class = FAILURE_LG_OUTAGE
+
+
+class TransientError(LookingGlassError):
+    """A failure worth retrying at a higher level (page / peer)."""
+
+
+class RateLimitedError(TransientError):
+    """HTTP 429 persisted through the whole retry budget."""
+
+    failure_class = FAILURE_RATE_LIMITED
+
+
+class OutageError(TransientError):
+    """5xx or connection-level failure persisted through retries."""
+
+    failure_class = FAILURE_LG_OUTAGE
+
+
+class QueryTimeoutError(TransientError):
+    """The LG kept exceeding the request timeout."""
+
+    failure_class = FAILURE_TIMEOUT
+
+
+class MalformedPayloadError(TransientError):
+    """The LG kept returning truncated/undecodable JSON."""
+
+    failure_class = FAILURE_MALFORMED
+
+
+class CircuitOpenError(LookingGlassError):
+    """Refused locally: the mount's circuit breaker is open."""
+
+    failure_class = FAILURE_LG_OUTAGE
 
 
 @dataclass
@@ -33,6 +89,8 @@ class ClientStats:
     retries: int = 0
     rate_limited: int = 0
     server_errors: int = 0
+    timeouts: int = 0
+    malformed: int = 0
 
 
 @dataclass
@@ -51,8 +109,25 @@ class LookingGlassClient:
     max_retries: int = 5
     backoff_base: float = 0.05
     backoff_cap: float = 2.0
+    #: upper bound on a server-requested Retry-After wait. The server's
+    #: word is honoured (unlike backoff_cap, which only bounds our own
+    #: exponential schedule) but a hostile/buggy header can't stall the
+    #: campaign for an hour.
+    retry_after_cap: float = 60.0
+    #: socket timeout per request, seconds.
+    timeout: float = 30.0
+    #: extra whole-page retries in :meth:`routes` after ``_get_raw``'s
+    #: own budget is spent — one lost page must not discard a peer.
+    page_retries: int = 1
+    #: full-jitter backoff (AWS-style); disable for exact-delay tests.
+    jitter: bool = True
+    #: optional per-mount circuit breaker (campaigns install one).
+    breaker: Optional[CircuitBreaker] = None
     #: sleep function — injectable so tests run instantly.
     sleep: Any = time.sleep
+    #: rng for jitter — seeded so reruns are reproducible.
+    rng: random.Random = field(
+        default_factory=lambda: random.Random(0x1C27))
     stats: ClientStats = field(default_factory=ClientStats)
 
     def _url(self, resource: str) -> str:
@@ -63,37 +138,85 @@ class LookingGlassClient:
         """GET with retries; raises LookingGlassError when exhausted."""
         return self._get_raw(self._url(resource))
 
+    def _backoff_delay(self, attempt: int) -> float:
+        ceiling = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        if not self.jitter:
+            return ceiling
+        return self.rng.uniform(0.0, ceiling)
+
     def _get_raw(self, url: str) -> Dict[str, Any]:
+        if self.breaker is not None and not self.breaker.allow():
+            raise CircuitOpenError(
+                f"GET {url} refused: circuit open for "
+                f"{self.ixp}/v{self.family} "
+                f"({self.breaker.seconds_until_probe:.1f}s until probe)")
         last_error: Optional[str] = None
+        error_type = OutageError
         for attempt in range(self.max_retries + 1):
             self.stats.requests += 1
+            delay: float
             try:
-                with urllib.request.urlopen(url, timeout=30) as response:
-                    return json.load(response)
+                with urllib.request.urlopen(
+                        url, timeout=self.timeout) as response:
+                    body = response.read()
             except urllib.error.HTTPError as error:
                 if error.code == 429:
                     self.stats.rate_limited += 1
+                    error_type = RateLimitedError
                     retry_after = float(
                         error.headers.get("Retry-After", "0.1") or 0.1)
-                    delay = min(self.backoff_cap, max(retry_after, 0.01))
+                    delay = min(self.retry_after_cap,
+                                max(retry_after, 0.01))
                 elif 500 <= error.code < 600:
                     self.stats.server_errors += 1
-                    delay = min(self.backoff_cap,
-                                self.backoff_base * (2 ** attempt))
+                    error_type = OutageError
+                    delay = self._backoff_delay(attempt)
                 else:
+                    # 4xx: the LG is alive and answered definitively.
+                    self._record(success=True)
                     raise LookingGlassError(
                         f"GET {url} failed: HTTP {error.code}") from error
                 last_error = f"HTTP {error.code}"
+            except (socket.timeout, TimeoutError):
+                self.stats.timeouts += 1
+                error_type = QueryTimeoutError
+                last_error = f"timed out after {self.timeout}s"
+                delay = self._backoff_delay(attempt)
             except urllib.error.URLError as error:
-                delay = min(self.backoff_cap,
-                            self.backoff_base * (2 ** attempt))
-                last_error = str(error.reason)
+                if isinstance(error.reason, (socket.timeout, TimeoutError)):
+                    self.stats.timeouts += 1
+                    error_type = QueryTimeoutError
+                    last_error = f"timed out after {self.timeout}s"
+                else:
+                    error_type = OutageError
+                    last_error = str(error.reason)
+                delay = self._backoff_delay(attempt)
+            else:
+                try:
+                    payload = json.loads(body)
+                except ValueError as error:
+                    self.stats.malformed += 1
+                    error_type = MalformedPayloadError
+                    last_error = f"malformed JSON ({error})"
+                    delay = self._backoff_delay(attempt)
+                else:
+                    self._record(success=True)
+                    return payload
             if attempt < self.max_retries:
                 self.stats.retries += 1
                 self.sleep(delay)
-        raise LookingGlassError(
+        self._record(success=False)
+        raise error_type(
             f"GET {url} failed after {self.max_retries + 1} attempts "
             f"({last_error})")
+
+    def _record(self, success: bool) -> None:
+        if self.breaker is None:
+            return
+        if success:
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()
 
     # -- endpoints -------------------------------------------------------
 
@@ -114,6 +237,40 @@ class LookingGlassClient:
             payload = self._get("/neighbors")
         return dialects.parse_neighbors(payload, self.dialect)
 
+    def _page_url(self, asn: int, filtered: bool, page: int,
+                  page_size: int) -> str:
+        from . import dialects
+        if self.dialect == dialects.DIALECT_BIRDSEYE:
+            if filtered:
+                raise LookingGlassError(
+                    "the birdseye dialect does not expose the "
+                    "filtered route set")
+            return (f"{self.base_url}/{self.ixp}/v{self.family}"
+                    f"/api/routes/pb_{asn}?page={page}"
+                    f"&page_size={page_size}")
+        query = f"/neighbors/{asn}/routes?page={page}" \
+                f"&page_size={page_size}"
+        if filtered:
+            query += "&filtered=1"
+        return self._url(query)
+
+    def _fetch_page(self, asn: int, filtered: bool, page: int,
+                    page_size: int) -> Dict[str, Any]:
+        """One routes page, with page-level retry on transient failure
+        (a fresh ``_get_raw`` budget per attempt) so a single lost page
+        does not discard the peer's whole pagination."""
+        attempts = max(0, self.page_retries) + 1
+        for attempt in range(attempts):
+            try:
+                return self._get_raw(
+                    self._page_url(asn, filtered, page, page_size))
+            except CircuitOpenError:
+                raise  # the mount is down; retrying locally is pointless
+            except TransientError:
+                if attempt == attempts - 1:
+                    raise
+        raise AssertionError("unreachable")
+
     def routes(self, asn: int, filtered: bool = False,
                page_size: int = api.DEFAULT_PAGE_SIZE) -> Iterator[Route]:
         """All (accepted or filtered) routes of one neighbor, following
@@ -121,21 +278,7 @@ class LookingGlassClient:
         from . import dialects
         page = 1
         while True:
-            if self.dialect == dialects.DIALECT_BIRDSEYE:
-                if filtered:
-                    raise LookingGlassError(
-                        "the birdseye dialect does not expose the "
-                        "filtered route set")
-                payload = self._get_raw(
-                    f"{self.base_url}/{self.ixp}/v{self.family}"
-                    f"/api/routes/pb_{asn}?page={page}"
-                    f"&page_size={page_size}")
-            else:
-                query = f"/neighbors/{asn}/routes?page={page}" \
-                        f"&page_size={page_size}"
-                if filtered:
-                    query += "&filtered=1"
-                payload = self._get(query)
+            payload = self._fetch_page(asn, filtered, page, page_size)
             yield from dialects.parse_routes(payload, self.dialect)
             if page >= dialects.total_pages(payload, self.dialect):
                 return

@@ -1,20 +1,33 @@
-"""Token-bucket rate limiting for the Looking Glass server.
+"""Rate limiting and fault injection for the Looking Glass server.
 
 The paper's collection "was subject to communication failures because of
 LG instability and/or query rate limits" (§3, citing Periscope). The
 simulated LG reproduces both: a token bucket that returns HTTP 429 when
 clients query too fast, and a configurable instability injector that
 fails a fraction of requests with HTTP 503.
+
+On top of those two probabilistic modes, :class:`FaultSchedule` injects
+the *deterministic* fault shapes a resilient campaign must survive:
+scheduled outage windows (every request in a request-index window gets
+503 — an LG down for an afternoon), slow responses (the server stalls
+before answering, to exercise client timeouts), and truncated JSON
+payloads (the bytes on the wire stop mid-document — the malformed
+responses §3's sanitation existed to catch downstream).
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple
 
 from ..utils import stable_fraction
+
+#: fault kinds a :class:`FaultSchedule` can inject.
+FAULT_OUTAGE = "outage"
+FAULT_SLOW = "slow"
+FAULT_MALFORMED = "malformed"
 
 
 class TokenBucket:
@@ -70,3 +83,53 @@ class InstabilityInjector:
         window = self._counter // max(1, self.burst_length)
         self._counter += 1
         return stable_fraction(self.seed, window) < self.failure_rate
+
+
+@dataclass
+class FaultSchedule:
+    """Deterministic, request-indexed fault plan for the simulated LG.
+
+    All faults are keyed on a request counter rather than wall-clock
+    time, so tests and demos are exactly reproducible:
+
+    * ``outage_windows`` — half-open ``(start, stop)`` request-index
+      intervals during which every request fails with HTTP 503;
+    * ``slow_every`` — every Nth request is delayed by ``slow_delay``
+      seconds before being answered (0 disables);
+    * ``malformed_every`` — every Nth request's JSON body is truncated
+      mid-document (0 disables).
+
+    Outages shadow the other two: a dead LG answers nothing, slowly or
+    otherwise.
+    """
+
+    outage_windows: Sequence[Tuple[int, int]] = ()
+    slow_every: int = 0
+    slow_delay: float = 0.0
+    malformed_every: int = 0
+    _counter: int = field(default=0, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def next_fault(self) -> Optional[str]:
+        """Advance the request counter and return the fault (if any)
+        this request should suffer."""
+        with self._lock:
+            index = self._counter
+            self._counter += 1
+        if any(start <= index < stop
+               for start, stop in self.outage_windows):
+            return FAULT_OUTAGE
+        # counters are 1-based for the "every Nth" modes so that
+        # malformed_every=1 means "every request", not "first only".
+        if self.malformed_every > 0 \
+                and (index + 1) % self.malformed_every == 0:
+            return FAULT_MALFORMED
+        if self.slow_every > 0 and (index + 1) % self.slow_every == 0:
+            return FAULT_SLOW
+        return None
+
+    @property
+    def requests_seen(self) -> int:
+        with self._lock:
+            return self._counter

@@ -26,13 +26,21 @@ import datetime as _dt
 import json
 import re
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Iterator, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from ..routeserver.server import RouteServer
 from . import api, dialects
-from .ratelimit import InstabilityInjector, TokenBucket
+from .ratelimit import (
+    FAULT_MALFORMED,
+    FAULT_OUTAGE,
+    FAULT_SLOW,
+    FaultSchedule,
+    InstabilityInjector,
+    TokenBucket,
+)
 
 _ROUTE_PATTERN = re.compile(
     r"^/(?P<ixp>[\w.-]+)/v(?P<family>[46])" + api.API_PREFIX
@@ -56,6 +64,7 @@ class LookingGlassServer:
                  host: str = "127.0.0.1",
                  port: int = 0,
                  dialect_overrides: Optional[Dict[str, str]] = None,
+                 faults: Optional[FaultSchedule] = None,
                  ) -> None:
         self.route_servers = dict(route_servers)
         #: IXP key → dialect; alice unless overridden (e.g. BCIX runs
@@ -64,6 +73,11 @@ class LookingGlassServer:
         self.dialects = dict(dialect_overrides or {})
         self.bucket = TokenBucket(rate_per_second, burst)
         self.injector = InstabilityInjector(failure_rate=failure_rate)
+        #: deterministic fault plan (outage windows, slow responses,
+        #: truncated JSON); None disables.
+        self.faults = faults
+        #: injectable so slow-response tests need not really stall.
+        self.slow_sleep = time.sleep
         self.host = host
         self.port = port
         self._httpd: Optional[ThreadingHTTPServer] = None
@@ -151,6 +165,31 @@ class LookingGlassServer:
         return 200, dialects.birdseye_routes(
             routes[start:start + page_size], page, page_size, total)
 
+    # -- wire-level faults ----------------------------------------------
+
+    def handle_bytes(self, path: str) -> Tuple[int, bytes, Dict[str, str]]:
+        """One GET rendered to wire bytes, with the fault schedule
+        applied: scheduled outages answer 503 without touching the
+        route servers, slow responses stall before answering, and
+        malformed responses truncate the JSON body mid-document.
+        """
+        fault = self.faults.next_fault() if self.faults else None
+        if fault == FAULT_OUTAGE:
+            body = json.dumps(
+                api.error_payload("scheduled maintenance outage",
+                                  503)).encode("utf-8")
+            return 503, body, {}
+        if fault == FAULT_SLOW:
+            self.slow_sleep(self.faults.slow_delay)
+        status, payload = self.handle(path)
+        body = json.dumps(payload).encode("utf-8")
+        headers: Dict[str, str] = {}
+        if status == 429:
+            headers["Retry-After"] = f"{self.bucket.retry_after:.3f}"
+        if fault == FAULT_MALFORMED and status == 200:
+            body = body[:max(1, len(body) // 2)]
+        return status, body, headers
+
     # -- HTTP plumbing ---------------------------------------------------
 
     def _make_handler(self):
@@ -158,17 +197,19 @@ class LookingGlassServer:
 
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
-                status, payload = outer.handle(self.path)
-                body = json.dumps(payload).encode("utf-8")
-                self.send_response(status)
-                self.send_header("Content-Type", "application/json")
-                self.send_header("Content-Length", str(len(body)))
-                if status == 429:
-                    self.send_header(
-                        "Retry-After",
-                        f"{outer.bucket.retry_after:.3f}")
-                self.end_headers()
-                self.wfile.write(body)
+                status, body, headers = outer.handle_bytes(self.path)
+                try:
+                    self.send_response(status)
+                    self.send_header("Content-Type", "application/json")
+                    self.send_header("Content-Length", str(len(body)))
+                    for name, value in headers.items():
+                        self.send_header(name, value)
+                    self.end_headers()
+                    self.wfile.write(body)
+                except (BrokenPipeError, ConnectionResetError):
+                    # the client gave up (e.g. timed out during a
+                    # scheduled slow response) — nothing to answer.
+                    pass
 
             def log_message(self, fmt: str, *args: object) -> None:
                 pass  # keep test output clean

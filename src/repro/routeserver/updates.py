@@ -46,6 +46,34 @@ def _encoded_size(update: UpdateMessage) -> int:
     return len(update.encode())
 
 
+def _fill_within_limit(pending: List[str], assign) -> int:
+    """Largest prefix count (≥ 0) from *pending* that encodes within
+    the 4096-byte limit.
+
+    ``assign(k)`` must install ``pending[:k]`` into the message and
+    return its encoded size (or raise MessageEncodeError). Encoded size
+    is monotonic in the prefix count, so binary search needs only
+    O(log n) full encodes per message instead of one per prefix.
+    """
+    def fits(count: int) -> bool:
+        try:
+            return assign(count) <= MAX_MESSAGE_LEN
+        except MessageEncodeError:
+            return False
+
+    low, high = 0, len(pending)
+    if fits(high):
+        return high
+    while high - low > 1:  # invariant: low fits, high does not
+        middle = (low + high) // 2
+        if fits(middle):
+            low = middle
+        else:
+            high = middle
+    assign(low)  # leave the message holding the fitting prefix set
+    return low
+
+
 def build_updates(routes: Iterable[Route]) -> List[UpdateMessage]:
     """Pack *routes* into a minimal list of UPDATE messages.
 
@@ -70,23 +98,15 @@ def build_updates(routes: Iterable[Route]) -> List[UpdateMessage]:
         pending = sorted(route.prefix for route in group)
         while pending:
             update = _base_update(group[0], family)
-            placed = 0
-            for prefix in pending:
+
+            def assign(count: int) -> int:
                 if family == 4:
-                    update.nlri.append(prefix)
+                    update.nlri = list(pending[:count])
                 else:
-                    update.mp_nlri.append(prefix)
-                try:
-                    size = _encoded_size(update)
-                except MessageEncodeError:
-                    size = MAX_MESSAGE_LEN + 1
-                if size > MAX_MESSAGE_LEN:
-                    if family == 4:
-                        update.nlri.pop()
-                    else:
-                        update.mp_nlri.pop()
-                    break
-                placed += 1
+                    update.mp_nlri = list(pending[:count])
+                return _encoded_size(update)
+
+            placed = _fill_within_limit(pending, assign)
             if placed == 0:
                 raise MessageEncodeError(
                     f"attributes of {pending[0]} exceed the 4096-byte "
@@ -103,23 +123,15 @@ def build_withdrawals(prefixes: Iterable[str],
     pending = sorted(set(prefixes))
     while pending:
         update = UpdateMessage()
-        placed = 0
-        for prefix in pending:
+
+        def assign(count: int) -> int:
             if family == 4:
-                update.withdrawn.append(prefix)
+                update.withdrawn = list(pending[:count])
             else:
-                update.mp_withdrawn.append(prefix)
-            try:
-                size = _encoded_size(update)
-            except MessageEncodeError:
-                size = MAX_MESSAGE_LEN + 1
-            if size > MAX_MESSAGE_LEN:
-                if family == 4:
-                    update.withdrawn.pop()
-                else:
-                    update.mp_withdrawn.pop()
-                break
-            placed += 1
+                update.mp_withdrawn = list(pending[:count])
+            return _encoded_size(update)
+
+        placed = _fill_within_limit(pending, assign)
         if placed == 0:
             raise MessageEncodeError("cannot place a single withdrawal")
         pending = pending[placed:]

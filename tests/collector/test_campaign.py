@@ -1,0 +1,287 @@
+"""Integration tests for fault-tolerant collection campaigns.
+
+Real HTTP against the simulated LG, but virtual time everywhere else:
+the campaign's clock/sleep are a fake clock, so deadlines, backoff
+waits, and breaker cooldowns all run instantly.
+"""
+
+import pytest
+
+from repro.collector import DatasetStore
+from repro.collector.campaign import (
+    STATUS_ALREADY_COLLECTED,
+    STATUS_COMPLETE,
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_INCOMPLETE,
+    CampaignConfig,
+    CampaignTarget,
+    CollectionCampaign,
+)
+from repro.lg import FaultSchedule, LookingGlassServer
+from repro.lg.client import FAILURE_CLASSES
+
+DATE = "2021-10-04"
+
+
+class FakeClock:
+    """Virtual monotonic time; ``tick`` advances it a little on every
+    read so per-peer work consumes deadline budget."""
+
+    def __init__(self, tick=0.0):
+        self.now = 0.0
+        self.tick = tick
+
+    def __call__(self):
+        self.now += self.tick
+        return self.now
+
+    def sleep(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture(scope="module")
+def mounts(lg_world):
+    return {(ixp, 4): lg_world(ixp)[1] for ixp in ("linx", "bcix")}
+
+
+def start_server(mounts, **kwargs):
+    kwargs.setdefault("rate_per_second", 100_000)
+    kwargs.setdefault("burst", 100_000)
+    return LookingGlassServer(mounts, **kwargs)
+
+
+def make_campaign(store, url, targets=("linx",), clock=None, **kwargs):
+    clock = clock or FakeClock()
+    # coarser checkpoint cadence than the per-peer default: rewriting
+    # the full checkpoint 43 times per run is the tests' hot path, and
+    # a deadline/crash park always writes one more anyway.
+    kwargs.setdefault("checkpoint_every", 8)
+    config = CampaignConfig(
+        base_url=url,
+        targets=[CampaignTarget(ixp=ixp, family=4) for ixp in targets],
+        captured_on=DATE,
+        **kwargs)
+    return CollectionCampaign(store, config, clock=clock,
+                              sleep=clock.sleep)
+
+
+@pytest.fixture(scope="module")
+def clean_run(mounts, tmp_path_factory):
+    """One fault-free two-IXP campaign, shared by the happy-path
+    assertions (report and store are never mutated)."""
+    server = start_server(mounts)
+    store = DatasetStore(tmp_path_factory.mktemp("campaign") / "ds")
+    with server.serve() as url:
+        report = make_campaign(store, url,
+                               targets=("linx", "bcix")).run()
+    return report, store
+
+
+class TestHappyPath:
+    def test_complete_campaign_over_two_ixps(self, mounts, clean_run):
+        report, store = clean_run
+        assert report.complete
+        assert {t.status for t in report.targets} == {STATUS_COMPLETE}
+        for target in report.targets:
+            snapshot = store.load_snapshot(target.ixp, 4, DATE)
+            expected = mounts[(target.ixp, 4)]
+            assert snapshot.route_count == len(expected.accepted_routes())
+            assert not snapshot.meta["degraded"]
+            # no checkpoint debris after a clean finish
+            assert not store.has_checkpoint(target.ixp, 4, DATE)
+
+    def test_report_counts_all_failure_classes(self, clean_run):
+        report, _store = clean_run
+        assert set(report.failure_counts) == set(FAILURE_CLASSES)
+        assert all(count == 0 for count in report.failure_counts.values())
+
+    def test_summary_and_dict_round_trip(self, clean_run):
+        report, _store = clean_run
+        text = report.format_summary()
+        assert "linx/v4" in text
+        assert "complete" in text
+        payload = report.to_dict()
+        assert payload["failure_counts"]
+        assert payload["targets"][0]["status"] == STATUS_COMPLETE
+
+
+class TestResume:
+    def test_deadline_parks_then_resume_completes(self, mounts, tmp_path):
+        """The acceptance path: a campaign interrupted mid-snapshot and
+        re-run with resume completes without re-fetching checkpointed
+        peers (request counts prove it)."""
+        server = start_server(mounts)
+        store = DatasetStore(tmp_path / "ds")
+        reference_store = DatasetStore(tmp_path / "ref")
+        with server.serve() as url:
+            # reference: how many requests a full uninterrupted
+            # collection costs.
+            full = make_campaign(reference_store, url)
+            full_report = full.run()
+            assert full_report.complete
+            full_requests = full.client_for(
+                full.config.targets[0]).stats.requests
+
+            # run 1: every peer costs ~1s of virtual time; the deadline
+            # kills the snapshot partway through.
+            clock = FakeClock(tick=1.0)
+            campaign = make_campaign(store, url, clock=clock,
+                                     snapshot_deadline=5.0)
+            report = campaign.run()
+            target = report.targets[0]
+            assert target.status == STATUS_INCOMPLETE
+            assert target.deadline_hit
+            assert 0 < target.peers_collected
+            assert store.has_checkpoint("linx", 4, DATE)
+            assert not store.has_snapshot("linx", 4, DATE)
+            checkpointed = target.peers_collected
+
+            # run 2: resume. Completes, and the checkpointed peers are
+            # NOT re-fetched.
+            resumed = make_campaign(store, url)
+            resumed_report = resumed.run(resume=True)
+            resumed_target = resumed_report.targets[0]
+            assert resumed_target.status == STATUS_COMPLETE
+            assert resumed_target.peers_resumed == checkpointed
+            resumed_requests = resumed.client_for(
+                resumed.config.targets[0]).stats.requests
+        # each checkpointed peer is at least one routes request the
+        # resumed run did not have to repeat.
+        assert resumed_requests <= full_requests - checkpointed
+        # the stitched snapshot equals the uninterrupted one.
+        snapshot = store.load_snapshot("linx", 4, DATE)
+        reference = reference_store.load_snapshot("linx", 4, DATE)
+        assert snapshot.route_count == reference.route_count
+        assert snapshot.member_count == reference.member_count
+        assert snapshot.meta["campaign"]["resumed_peers"] == checkpointed
+        assert not store.has_checkpoint("linx", 4, DATE)
+
+    def test_resume_skips_already_collected_dates(self, mounts, tmp_path):
+        server = start_server(mounts)
+        store = DatasetStore(tmp_path / "ds")
+        with server.serve() as url:
+            first = make_campaign(store, url).run()
+            assert first.complete
+            again = make_campaign(store, url)
+            second = again.run(resume=True)
+            assert second.targets[0].status == STATUS_ALREADY_COLLECTED
+            # nothing was fetched at all
+            client = again.client_for(again.config.targets[0])
+            assert client.stats.requests == 0
+
+    def test_fresh_run_discards_stale_checkpoint(self, mounts, tmp_path):
+        store = DatasetStore(tmp_path / "ds")
+        store.save_checkpoint("linx", 4, DATE, {
+            "version": 1, "ixp": "linx", "family": 4,
+            "captured_on": DATE,
+            "peers": {"999999": {"routes": [], "filtered": 0,
+                                 "name": "stale"}},
+            "failures": []})
+        server = start_server(mounts)
+        with server.serve() as url:
+            report = make_campaign(store, url).run(resume=False)
+        target = report.targets[0]
+        assert target.peers_resumed == 0
+        snapshot = store.load_snapshot("linx", 4, DATE)
+        assert all(m.asn != 999999 for m in snapshot.members)
+
+
+class TestFaultInjection:
+    def test_campaign_survives_outage_rate_limit_and_malformed(
+            self, mounts, tmp_path):
+        """The acceptance scenario: outage window + rate limiting +
+        malformed payloads over two IXPs. The campaign must finish with
+        per-class failure counts and zero unhandled exceptions, and the
+        breaker must open and recover within the run."""
+        import time as _time
+
+        # requests 5..12 are a hard outage: long enough (>= 2 exhausted
+        # calls at max_retries=1) to trip a threshold-2 breaker, short
+        # enough that plenty of peers remain afterwards for the
+        # half-open probe to succeed and close it again.
+        faults = FaultSchedule(outage_windows=[(5, 13)],
+                               malformed_every=17)
+        server = start_server(mounts, faults=faults,
+                              rate_per_second=2000, burst=25)
+        store = DatasetStore(tmp_path / "ds")
+        clock = FakeClock()
+
+        def paced_sleep(seconds):
+            # fake time for deadlines/cooldowns, plus a sliver of real
+            # time so the server's token bucket actually refills.
+            clock.sleep(seconds)
+            _time.sleep(min(seconds, 0.002))
+
+        with server.serve() as url:
+            config = CampaignConfig(
+                base_url=url,
+                targets=[CampaignTarget(ixp=ixp, family=4)
+                         for ixp in ("linx", "bcix")],
+                captured_on=DATE, checkpoint_every=8,
+                max_retries=1, peer_attempts=2,
+                breaker_threshold=2, breaker_reset=3.0,
+                backoff_base=0.001, backoff_cap=0.01)
+            campaign = CollectionCampaign(store, config, clock=clock,
+                                          sleep=paced_sleep)
+            report = campaign.run()
+
+        # every target terminated in a defined state, snapshots exist
+        # for all non-parked targets.
+        for target in report.targets:
+            assert target.status in (STATUS_COMPLETE, STATUS_DEGRADED,
+                                     STATUS_INCOMPLETE, STATUS_FAILED)
+        produced = [t for t in report.targets
+                    if t.status in (STATUS_COMPLETE, STATUS_DEGRADED)]
+        assert produced, "no snapshot survived the fault injection"
+        # the taxonomy is fully reported
+        counts = report.failure_counts
+        assert set(counts) == set(FAILURE_CLASSES)
+        # the outage window was long enough to trip the breaker, and
+        # the campaign recovered it before finishing.
+        assert any(t.breaker_opens > 0 for t in report.targets)
+        recovered = [t for t in report.targets if t.breaker_opens > 0]
+        assert any(t.breaker_state == "closed" for t in recovered)
+        # degraded snapshots carry the taxonomy in their meta
+        for target in produced:
+            snapshot = store.load_snapshot(target.ixp, 4, DATE)
+            assert set(snapshot.meta["campaign"]["failure_counts"]) \
+                == set(FAILURE_CLASSES)
+
+    def test_unmounted_ixp_fails_cleanly(self, mounts, tmp_path):
+        server = start_server(mounts)
+        store = DatasetStore(tmp_path / "ds")
+        with server.serve() as url:
+            report = make_campaign(store, url,
+                                   targets=("amsix",)).run()
+        target = report.targets[0]
+        assert target.status == STATUS_FAILED
+        assert target.error
+        assert not store.has_snapshot("amsix", 4, DATE)
+
+class TestCampaignCli:
+    def test_run_park_resume_exit_codes(self, mounts, tmp_path, capsys):
+        from repro.cli import main
+
+        server = start_server(mounts)
+        root = str(tmp_path / "ds")
+        with server.serve() as url:
+            base = ["campaign", "--url", url, "--store", root,
+                    "--ixps", "linx", "--families", "4",
+                    "--date", DATE, "--checkpoint-every", "8"]
+            # a zero deadline parks the target immediately: exit 2 and
+            # a checkpoint on disk.
+            assert main(base + ["--deadline", "0"]) == 2
+            out = capsys.readouterr().out
+            assert "incomplete" in out
+            assert "--resume" in out
+            store = DatasetStore(root)
+            assert store.has_checkpoint("linx", 4, DATE)
+            assert not store.has_snapshot("linx", 4, DATE)
+
+            # resuming without the deadline finishes the job: exit 0.
+            assert main(base + ["--resume"]) == 0
+            out = capsys.readouterr().out
+            assert "complete" in out
+            assert store.has_snapshot("linx", 4, DATE)
+            assert not store.has_checkpoint("linx", 4, DATE)

@@ -13,7 +13,7 @@ from repro.ixp.member import Member, MemberRole
 
 def build_series(member_counts):
     """A snapshot series whose member counts are the given list; prefix
-    counts track members (x5) so only the members metric drives the
+    counts track members (x2) so only the members metric drives the
     valley decisions."""
     start = datetime.date(2021, 7, 19)
     series = []
@@ -26,7 +26,7 @@ def build_series(member_counts):
                         next_hop="192.0.2.1",
                         as_path=AsPath.from_asns([60000]),
                         peer_asn=60000)
-                  for i in range(count * 5)]
+                  for i in range(count * 2)]
         series.append(Snapshot(ixp="prop", family=4, captured_on=date,
                                members=members, routes=routes))
     return series
@@ -37,7 +37,7 @@ counts_lists = st.lists(st.integers(min_value=10, max_value=200),
 
 
 class TestSanitationProperties:
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=30, deadline=None)
     @given(counts_lists)
     def test_partition_is_exact(self, counts):
         series = build_series(counts)
@@ -45,13 +45,13 @@ class TestSanitationProperties:
         assert len(report.kept) + len(report.removed) == len(series)
         assert set(report.reasons) == {s.key for s in report.removed}
 
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=30, deadline=None)
     @given(counts_lists)
     def test_first_snapshot_always_kept(self, counts):
         report = sanitise(build_series(counts))
         assert report.kept[0].captured_on == "2021-07-19"
 
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=30, deadline=None)
     @given(counts_lists)
     def test_idempotent(self, counts):
         series = build_series(counts)
@@ -59,7 +59,7 @@ class TestSanitationProperties:
         second = sanitise(first.kept)
         assert not second.removed
 
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=30, deadline=None)
     @given(counts_lists)
     def test_stricter_threshold_removes_no_less(self, counts):
         series = build_series(counts)
@@ -67,13 +67,13 @@ class TestSanitationProperties:
         loose = sanitise(series, drop_threshold=0.45)
         assert len(strict.removed) >= len(loose.removed)
 
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=30, deadline=None)
     @given(st.integers(min_value=20, max_value=100))
     def test_flat_series_untouched(self, count):
         report = sanitise(build_series([count] * 8))
         assert not report.removed
 
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=20, deadline=None)
     @given(st.integers(min_value=50, max_value=200),
            st.floats(min_value=0.31, max_value=0.9))
     def test_single_valley_always_caught(self, baseline, drop):

@@ -105,8 +105,8 @@ class TestEndToEndWithGenerator:
 
         generator = SnapshotGenerator(
             get_profile("bcix"), ScenarioConfig(scale=0.02, seed=31))
-        days = list(range(0, 28))
-        degrade_on = {5, 13, 21}
+        days = list(range(0, 15))
+        degrade_on = {4, 7, 11}
         snaps = [generator.snapshot(4, day, degraded=day in degrade_on)
                  for day in days]
         report = sanitise(snaps)

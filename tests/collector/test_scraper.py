@@ -85,6 +85,19 @@ class TestCollect:
         assert report.snapshot.captured_on == \
             datetime.date.today().isoformat()
 
+    def test_failed_neighbor_summary_not_fatal(self):
+        """A dead LG must yield a failed report, not an unhandled
+        LookingGlassError aborting the whole collection run."""
+        class DeadClient(StubClient):
+            def neighbors(self):
+                raise LookingGlassError("summary endpoint down")
+
+        client = DeadClient([], {})
+        report = SnapshotScraper(client).collect("2021-10-04")
+        assert not report.complete
+        assert report.snapshot is None
+        assert "summary endpoint down" in report.error
+
 
 class TestDictionary:
     def test_without_website_returns_rs_config(self):

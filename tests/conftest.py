@@ -21,6 +21,26 @@ CALIBRATION = ScenarioConfig(scale=0.05, seed=20211004)
 
 
 @pytest.fixture(scope="session")
+def lg_world():
+    """Cache of (generator, populated route server) pairs at the small
+    HTTP-suite scale (0.012, seed 5). Building one route server costs
+    about a second and three suites mount identical ones; the servers
+    are only ever read over HTTP, never mutated."""
+    cache = {}
+
+    def get(ixp: str, family: int = 4):
+        key = (ixp, family)
+        if key not in cache:
+            generator = SnapshotGenerator(
+                get_profile(ixp), ScenarioConfig(scale=0.012, seed=5))
+            cache[key] = (generator,
+                          generator.populated_route_server(family))
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
 def linx_generator() -> SnapshotGenerator:
     return SnapshotGenerator(get_profile("linx"), TINY)
 

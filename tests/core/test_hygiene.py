@@ -75,7 +75,7 @@ class TestSimulateHygiene:
     def test_membership_change_forces_updates(self, generator):
         """When the DB view changes between days, affected taggers must
         re-announce — §5.6's update-storm objection."""
-        rows = simulate_hygiene(generator, 4, list(range(38, 52)),
+        rows = simulate_hygiene(generator, 4, list(range(44, 52)),
                                 staleness_days=2)
         assert sum(r.update_messages for r in rows[1:]) > 0
 

@@ -76,7 +76,7 @@ class TestSanitisedSeries:
         generator = SnapshotGenerator(
             get_profile("bcix"),
             ScenarioConfig(scale=0.015, seed=43, failure_rate=0.2))
-        report = sanitised_series(generator, 4, days=range(21))
+        report = sanitised_series(generator, 4, days=range(14))
         assert report.kept
         degraded_kept = [s for s in report.kept if s.meta.get("degraded")]
         assert not degraded_kept

@@ -69,32 +69,45 @@ class TestHelpers:
 
 
 class TestWithGenerator:
-    """Reproduce the paper's Appendix A headline properties."""
+    """Reproduce the paper's Appendix A headline properties.
+
+    Series generation is the expensive part, so the daily and weekly
+    series are class-scoped fixtures built once and shared by every
+    assertion (they are never mutated).
+    """
 
     @pytest.fixture(scope="class")
     def generator(self):
         from repro.ixp import get_profile
         from repro.workload import ScenarioConfig, SnapshotGenerator
+        # 0.02 is the smallest scale where the Appendix A variation
+        # bands still hold with margin (checked at 0.05/0.03/0.02:
+        # daily 3.45%, weekly ~7%) — series generation dominates this
+        # file's runtime.
         return SnapshotGenerator(get_profile("netnod"),
-                                 ScenarioConfig(scale=0.05, seed=41))
+                                 ScenarioConfig(scale=0.02, seed=41))
 
-    def test_daily_variation_under_paper_bound(self, generator):
+    @pytest.fixture(scope="class")
+    def daily_series(self, generator):
+        return list(generator.final_week_series(4))
+
+    @pytest.fixture(scope="class")
+    def weekly_series(self, generator):
+        return list(generator.weekly_series(4))
+
+    def test_daily_variation_under_paper_bound(self, daily_series):
         """Table 3: within a week, variation stayed under ~4%."""
-        snaps = list(generator.final_week_series(4))
-        rows = weekly_variation(snaps)
+        rows = weekly_variation(daily_series)
         assert max_diff_percent(rows) < 6.0  # paper max was 3.91%
 
-    def test_weekly_variation_moderate(self, generator):
+    def test_weekly_variation_moderate(self, weekly_series):
         """Table 4: over twelve weeks, growth is visible but bounded
         (paper max 18.03%, most under 10%)."""
-        snaps = list(generator.weekly_series(4))
-        rows = period_variation(snaps)
+        rows = period_variation(weekly_series)
         worst = max_diff_percent(rows)
         assert 0.5 < worst < 20.0
 
-    def test_weekly_worse_than_daily(self, generator):
-        daily = max_diff_percent(
-            weekly_variation(list(generator.final_week_series(4))))
-        weekly = max_diff_percent(
-            period_variation(list(generator.weekly_series(4))))
+    def test_weekly_worse_than_daily(self, daily_series, weekly_series):
+        daily = max_diff_percent(weekly_variation(daily_series))
+        weekly = max_diff_percent(period_variation(weekly_series))
         assert weekly > daily

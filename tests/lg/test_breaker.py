@@ -1,0 +1,116 @@
+"""Tests for the per-mount circuit breaker."""
+
+from repro.lg.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerRegistry,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(threshold=3, reset=10.0):
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=threshold,
+                             reset_timeout=reset, clock=clock)
+    return breaker, clock
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker, _clock = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _clock = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.times_opened == 1
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker, _clock = make_breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never two in a row
+
+    def test_open_rejects_until_cooldown(self):
+        breaker, clock = make_breaker(threshold=1, reset=10.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.rejected == 1
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()  # half-open probe
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_success_closes(self):
+        breaker, clock = make_breaker(threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = make_breaker(threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.times_opened == 2
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()
+
+    def test_seconds_until_probe(self):
+        breaker, clock = make_breaker(threshold=1, reset=8.0)
+        assert breaker.seconds_until_probe == 0.0
+        breaker.record_failure()
+        assert breaker.seconds_until_probe == 8.0
+        clock.advance(3.0)
+        assert breaker.seconds_until_probe == 5.0
+        clock.advance(10.0)
+        assert breaker.seconds_until_probe == 0.0
+
+
+class TestRegistry:
+    def test_one_breaker_per_mount(self):
+        registry = BreakerRegistry()
+        a = registry.get("linx", 4)
+        b = registry.get("linx", 6)
+        c = registry.get("linx", 4)
+        assert a is c
+        assert a is not b
+
+    def test_mounts_fail_independently(self):
+        clock = FakeClock()
+        registry = BreakerRegistry(failure_threshold=1, clock=clock)
+        registry.get("linx", 4).record_failure()
+        assert registry.get("linx", 4).state == OPEN
+        assert registry.get("bcix", 4).state == CLOSED
+
+    def test_states_view(self):
+        registry = BreakerRegistry(failure_threshold=1)
+        registry.get("linx", 4).record_failure()
+        registry.get("bcix", 4)
+        assert registry.states() == {"bcix/v4": CLOSED, "linx/v4": OPEN}

@@ -1,8 +1,16 @@
-"""Tests for the LG token bucket and instability injector."""
+"""Tests for the LG token bucket, instability injector, and the
+deterministic fault schedule."""
 
 import pytest
 
-from repro.lg.ratelimit import InstabilityInjector, TokenBucket
+from repro.lg.ratelimit import (
+    FAULT_MALFORMED,
+    FAULT_OUTAGE,
+    FAULT_SLOW,
+    FaultSchedule,
+    InstabilityInjector,
+    TokenBucket,
+)
 
 
 class TestTokenBucket:
@@ -39,6 +47,20 @@ class TestTokenBucket:
         bucket.try_acquire()
         assert bucket.retry_after > 0
 
+    def test_retry_after_zero_when_full(self):
+        """A full bucket needs no wait — the suggested Retry-After is
+        exactly zero, not a negative or bogus value."""
+        bucket = TokenBucket(rate_per_second=1.0, burst=5)
+        assert bucket.retry_after == 0.0
+
+    def test_retry_after_scales_with_rate(self):
+        fast = TokenBucket(rate_per_second=100.0, burst=1)
+        slow = TokenBucket(rate_per_second=1.0, burst=1)
+        fast.try_acquire()
+        slow.try_acquire()
+        assert fast.retry_after < slow.retry_after
+        assert slow.retry_after <= 1.0
+
     def test_invalid_rate(self):
         with pytest.raises(ValueError):
             TokenBucket(rate_per_second=0, burst=1)
@@ -68,3 +90,73 @@ class TestInstabilityInjector:
         b = InstabilityInjector(failure_rate=0.4, seed=1)
         assert [a.should_fail() for _ in range(50)] == \
             [b.should_fail() for _ in range(50)]
+
+    def test_burst_length_one_degenerates_to_per_request(self):
+        """With burst_length=1 each request is its own window — the
+        failure pattern may change on every single request."""
+        injector = InstabilityInjector(failure_rate=0.5, burst_length=1,
+                                       seed=11)
+        outcomes = [injector.should_fail() for _ in range(200)]
+        flips = sum(1 for i in range(1, 200)
+                    if outcomes[i] != outcomes[i - 1])
+        # iid-ish pattern: far more transitions than the ~200/burst
+        # bound a bursty injector would show at burst_length=10.
+        assert flips > 40
+
+    def test_longer_bursts_mean_fewer_transitions(self):
+        short = InstabilityInjector(failure_rate=0.4, burst_length=2,
+                                    seed=9)
+        long = InstabilityInjector(failure_rate=0.4, burst_length=20,
+                                   seed=9)
+        outcomes_short = [short.should_fail() for _ in range(400)]
+        outcomes_long = [long.should_fail() for _ in range(400)]
+        transitions = lambda seq: sum(  # noqa: E731
+            1 for i in range(1, len(seq)) if seq[i] != seq[i - 1])
+        assert transitions(outcomes_long) < transitions(outcomes_short)
+
+    def test_failure_fraction_tracks_rate(self):
+        injector = InstabilityInjector(failure_rate=0.3, burst_length=5,
+                                       seed=13)
+        outcomes = [injector.should_fail() for _ in range(2000)]
+        fraction = sum(outcomes) / len(outcomes)
+        assert 0.15 < fraction < 0.45
+
+
+class TestFaultSchedule:
+    def test_no_faults_by_default(self):
+        schedule = FaultSchedule()
+        assert [schedule.next_fault() for _ in range(20)] == [None] * 20
+        assert schedule.requests_seen == 20
+
+    def test_outage_window_is_half_open_interval(self):
+        schedule = FaultSchedule(outage_windows=[(2, 5)])
+        faults = [schedule.next_fault() for _ in range(7)]
+        assert faults == [None, None, FAULT_OUTAGE, FAULT_OUTAGE,
+                          FAULT_OUTAGE, None, None]
+
+    def test_multiple_windows(self):
+        schedule = FaultSchedule(outage_windows=[(0, 1), (3, 4)])
+        faults = [schedule.next_fault() for _ in range(5)]
+        assert faults == [FAULT_OUTAGE, None, None, FAULT_OUTAGE, None]
+
+    def test_malformed_every_nth(self):
+        schedule = FaultSchedule(malformed_every=3)
+        faults = [schedule.next_fault() for _ in range(6)]
+        assert faults == [None, None, FAULT_MALFORMED,
+                          None, None, FAULT_MALFORMED]
+
+    def test_slow_every_nth(self):
+        schedule = FaultSchedule(slow_every=2, slow_delay=0.5)
+        faults = [schedule.next_fault() for _ in range(4)]
+        assert faults == [None, FAULT_SLOW, None, FAULT_SLOW]
+
+    def test_outage_shadows_other_faults(self):
+        schedule = FaultSchedule(outage_windows=[(0, 10)],
+                                 malformed_every=1, slow_every=1)
+        assert all(schedule.next_fault() == FAULT_OUTAGE
+                   for _ in range(10))
+
+    def test_malformed_takes_precedence_over_slow(self):
+        schedule = FaultSchedule(malformed_every=2, slow_every=2)
+        assert [schedule.next_fault() for _ in range(4)] == [
+            None, FAULT_MALFORMED, None, FAULT_MALFORMED]

@@ -10,15 +10,11 @@ from repro.lg import (
     LookingGlassServer,
 )
 from repro.lg.api import DEFAULT_PAGE_SIZE
-from repro.workload import ScenarioConfig, SnapshotGenerator
 
 
 @pytest.fixture(scope="module")
-def lg_setup():
-    profile = get_profile("linx")
-    generator = SnapshotGenerator(profile, ScenarioConfig(scale=0.012,
-                                                          seed=5))
-    route_server = generator.populated_route_server(4)
+def lg_setup(lg_world):
+    generator, route_server = lg_world("linx")
     server = LookingGlassServer({("linx", 4): route_server},
                                 rate_per_second=10_000, burst=10_000)
     url = server.start()
@@ -138,3 +134,44 @@ class TestScraper:
         scraper = SnapshotScraper(make_client(url))
         merged = scraper.fetch_dictionary(website)
         assert len(merged) == profile.dictionary_size
+
+
+class TestScheduledFaultsOverHttp:
+    """The FaultSchedule exercised end-to-end through real sockets."""
+
+    def test_malformed_payload_reaches_client_taxonomy(self, lg_setup):
+        from repro.lg import FaultSchedule, MalformedPayloadError
+        server, url, _rs, _gen = lg_setup
+        server.faults = FaultSchedule(malformed_every=1)
+        try:
+            client = make_client(url, max_retries=0)
+            with pytest.raises(MalformedPayloadError):
+                client.status()
+            assert client.stats.malformed == 1
+        finally:
+            server.faults = None
+
+    def test_slow_response_trips_client_timeout(self, lg_setup):
+        from repro.lg import FaultSchedule, QueryTimeoutError
+        server, url, _rs, _gen = lg_setup
+        server.faults = FaultSchedule(slow_every=1, slow_delay=0.5)
+        try:
+            client = make_client(url, max_retries=0, timeout=0.1)
+            with pytest.raises(QueryTimeoutError):
+                client.status()
+            assert client.stats.timeouts == 1
+        finally:
+            server.faults = None
+
+    def test_outage_window_then_recovery(self, lg_setup):
+        from repro.lg import FaultSchedule, OutageError
+        server, url, _rs, _gen = lg_setup
+        server.faults = FaultSchedule(outage_windows=[(0, 2)])
+        try:
+            client = make_client(url, max_retries=0)
+            for _ in range(2):
+                with pytest.raises(OutageError):
+                    client.status()
+            assert client.status()["status"] == "ok"
+        finally:
+            server.faults = None

@@ -89,10 +89,10 @@ class TestWithdrawals:
         assert updates[0].mp_withdrawn == ["2600::/32"]
 
     def test_many_split_within_limit(self):
-        prefixes = [f"20.{i // 250}.{i % 250}.0/24" for i in range(3000)]
+        prefixes = [f"20.{i // 250}.{i % 250}.0/24" for i in range(1500)]
         updates = build_withdrawals(prefixes, 4)
         assert len(updates) > 1
-        assert sum(len(u.withdrawn) for u in updates) == 3000
+        assert sum(len(u.withdrawn) for u in updates) == 1500
         for update in updates:
             assert len(update.encode()) <= MAX_MESSAGE_LEN
 

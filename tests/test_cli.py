@@ -31,6 +31,18 @@ class TestParser:
             build_parser().parse_args([])
 
 
+@pytest.fixture(scope="module")
+def failure_store(tmp_path_factory):
+    """One daily-with-failures dataset shared by the sanitise tests
+    (generation dominates their runtime). The non-destructive test
+    runs before the --delete test mutates the store."""
+    store_dir = str(tmp_path_factory.mktemp("cli") / "ds")
+    assert main(["generate", "--store", store_dir, "--ixps", "bcix",
+                 "--families", "4", "--scale", "0.012",
+                 "--days", "14", "--failures"]) == 0
+    return store_dir
+
+
 class TestGenerateAndSanitise:
     def test_generate_weekly_then_analyze(self, tmp_path, capsys):
         store_dir = str(tmp_path / "ds")
@@ -50,27 +62,19 @@ class TestGenerateAndSanitise:
         assert "ineffective" in output
 
     def test_generate_daily_with_failures_then_sanitise(
-            self, tmp_path, capsys):
-        store_dir = str(tmp_path / "ds")
-        assert main(["generate", "--store", store_dir, "--ixps", "bcix",
-                     "--families", "4", "--scale", "0.012",
-                     "--days", "20", "--failures"]) == 0
+            self, failure_store, capsys):
         capsys.readouterr()
-        assert main(["sanitise", "--store", store_dir, "--ixps", "bcix",
-                     "--families", "4"]) == 0
+        assert main(["sanitise", "--store", failure_store, "--ixps",
+                     "bcix", "--families", "4"]) == 0
         output = capsys.readouterr().out
         assert "kept" in output
 
-    def test_sanitise_delete_removes_files(self, tmp_path, capsys):
+    def test_sanitise_delete_removes_files(self, failure_store, capsys):
         from repro.collector import DatasetStore
-        store_dir = str(tmp_path / "ds")
-        main(["generate", "--store", store_dir, "--ixps", "bcix",
-              "--families", "4", "--scale", "0.012", "--days", "20",
-              "--failures"])
-        store = DatasetStore(store_dir)
+        store = DatasetStore(failure_store)
         before = len(store.snapshot_dates("bcix", 4))
         capsys.readouterr()
-        main(["sanitise", "--store", store_dir, "--ixps", "bcix",
+        main(["sanitise", "--store", failure_store, "--ixps", "bcix",
               "--families", "4", "--delete"])
         output = capsys.readouterr().out
         after = len(store.snapshot_dates("bcix", 4))

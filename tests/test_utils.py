@@ -1,9 +1,11 @@
 """Tests for the determinism helpers."""
 
+import os
 import random
 import subprocess
 import sys
 
+import repro
 from repro.utils import stable_fraction, stable_rng, stable_seed
 
 
@@ -22,10 +24,16 @@ class TestStableSeed:
         with PYTHONHASHSEED."""
         code = ("from repro.utils import stable_seed; "
                 "print(stable_seed('decix-fra', 4, 'routes'))")
+        # the child gets a minimal environment, so the package location
+        # (src/ in a checkout, site-packages when installed) must be
+        # put on its PYTHONPATH explicitly.
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__)))
         outputs = {
             subprocess.run(
                 [sys.executable, "-c", code],
-                env={"PYTHONHASHSEED": str(n), "PATH": "/usr/bin:/bin"},
+                env={"PYTHONHASHSEED": str(n), "PATH": "/usr/bin:/bin",
+                     "PYTHONPATH": package_root},
                 capture_output=True, text=True, check=True).stdout
             for n in (0, 1)}
         assert len(outputs) == 1

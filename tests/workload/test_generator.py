@@ -42,17 +42,34 @@ def generator():
                              ScenarioConfig(scale=0.012, seed=23))
 
 
+# snapshot generation dominates this file's runtime — the common days
+# are built once and shared (tests never mutate them).
+@pytest.fixture(scope="module")
+def snap_day0(generator):
+    return generator.snapshot(4, 0, degraded=False)
+
+
+@pytest.fixture(scope="module")
+def snap_default(generator):
+    return generator.snapshot(4, degraded=False)
+
+
+@pytest.fixture(scope="module")
+def snap_day14(generator):
+    return generator.snapshot(4, 14, degraded=False)
+
+
 class TestSnapshots:
-    def test_deterministic(self, generator):
-        a = generator.snapshot(4, 0, degraded=False)
+    def test_deterministic(self, snap_day0):
+        a = snap_day0
         other = SnapshotGenerator(get_profile("decix-fra"),
                                   ScenarioConfig(scale=0.012, seed=23))
         b = other.snapshot(4, 0, degraded=False)
         assert a.summary() == b.summary()
         assert [r.prefix for r in a.routes] == [r.prefix for r in b.routes]
 
-    def test_accepted_routes_have_informational_tags(self, generator):
-        snapshot = generator.snapshot(4, degraded=False)
+    def test_accepted_routes_have_informational_tags(self, snap_default):
+        snapshot = snap_default
         info_rate = sum(
             1 for route in snapshot.routes
             if any(c.asn == 6695 and 1000 <= c.value < 1100
@@ -64,14 +81,14 @@ class TestSnapshots:
         assert snapshot.route_count > 0
         assert all(route.family == 6 for route in snapshot.routes)
 
-    def test_nothing_filtered_by_default(self, generator):
+    def test_nothing_filtered_by_default(self, snap_default):
         # legitimate members' announcements all pass the import filters
         # (except blackhole host routes on non-BH IXPs).
-        snapshot = generator.snapshot(4, degraded=False)
+        snapshot = snap_default
         assert snapshot.filtered_count == 0
 
-    def test_blackhole_routes_present_at_decix(self, generator):
-        snapshot = generator.snapshot(4, degraded=False)
+    def test_blackhole_routes_present_at_decix(self, snap_default):
+        snapshot = snap_default
         blackholed = [r for r in snapshot.routes
                       if BLACKHOLE_COMMUNITY in r.communities]
         assert blackholed
@@ -84,8 +101,8 @@ class TestSnapshots:
             diff = abs(a[metric] - b[metric]) / max(a[metric], 1)
             assert diff < 0.06, (metric, a[metric], b[metric])
 
-    def test_growth_over_window(self, generator):
-        first = generator.snapshot(4, 0, degraded=False).summary()
+    def test_growth_over_window(self, generator, snap_day0):
+        first = snap_day0.summary()
         last = generator.snapshot(4, FINAL_WEEKLY_DAY,
                                   degraded=False).summary()
         assert last["routes"] > first["routes"]
@@ -96,15 +113,15 @@ class TestSnapshots:
 
 
 class TestDegradation:
-    def test_degrade_produces_valley(self, generator):
-        snapshot = generator.snapshot(4, 14, degraded=False)
+    def test_degrade_produces_valley(self, snap_day14):
+        snapshot = snap_day14
         degraded = degrade_snapshot(snapshot, stable_rng(5))
         assert degraded.meta["degraded"]
         assert degraded.member_count < snapshot.member_count * 0.7
         assert degraded.route_count < snapshot.route_count
 
-    def test_degraded_routes_belong_to_kept_members(self, generator):
-        snapshot = generator.snapshot(4, 14, degraded=False)
+    def test_degraded_routes_belong_to_kept_members(self, snap_day14):
+        snapshot = snap_day14
         degraded = degrade_snapshot(snapshot, stable_rng(5))
         kept = set(degraded.member_asns())
         assert all(route.peer_asn in kept for route in degraded.routes)

@@ -51,7 +51,7 @@ class TestScenario:
         for key in ("amsix", "linx"):
             generator = SnapshotGenerator(
                 get_profile(key),
-                ScenarioConfig(scale=0.05, seed=91, post_study=True))
+                ScenarioConfig(scale=0.03, seed=91, post_study=True))
             snapshot = generator.snapshot(4, FINAL_WEEKLY_DAY,
                                           degraded=False)
             counts[key] = sum(
