@@ -1,0 +1,117 @@
+"""Observability overhead: the cost of instrumenting the hot path.
+
+The route server's ``announce`` loop is the tightest instrumented loop
+in the codebase (one counter hit per route, two on accept). This bench
+drives the same announcement batch through it with observability
+disabled (the no-op registry) and enabled (a live registry), and
+asserts the contract from the obs design notes:
+
+* **enabled** must stay under 5% of the uninstrumented-loop cost;
+* **disabled** must be indistinguishable from free (the per-route cost
+  of a ``MetricSet`` resolve plus a no-op ``inc`` is a couple of
+  attribute reads).
+
+Timing uses best-of-N round minima, the standard way to cut scheduler
+noise out of a throughput comparison.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.ixp import get_profile
+from repro.workload import ScenarioConfig, SnapshotGenerator
+
+from conftest import emit
+
+ROUNDS = 9
+OVERHEAD_BUDGET = 1.05  # enabled registry: < 5% on the announce loop
+
+
+def build_workload():
+    """One IXP's announcement batch plus a factory for fresh servers."""
+    generator = SnapshotGenerator(get_profile("netnod"),
+                                  ScenarioConfig(scale=0.05, seed=7))
+    members = list(generator.members_present(4, 0))
+    batches = [(member, list(generator.announcements_for(member, 4, 0)))
+               for member in members]
+
+    def fresh_server():
+        server = generator.route_server(4)
+        for member, _routes in batches:
+            server.add_peer(member)
+        return server
+
+    return batches, fresh_server
+
+
+def announce_all(server, batches) -> int:
+    count = 0
+    for _member, routes in batches:
+        for route in routes:
+            server.announce(route)
+            count += 1
+    return count
+
+
+def one_round_seconds(batches, fresh_server) -> float:
+    """Wall-clock cost of announcing the whole batch once."""
+    server = fresh_server()
+    started = time.perf_counter()
+    announce_all(server, batches)
+    return time.perf_counter() - started
+
+
+def test_enabled_registry_overhead_under_budget():
+    batches, fresh_server = build_workload()
+    routes = sum(len(r) for _m, r in batches)
+
+    obs.disable()
+    announce_all(fresh_server(), batches)  # warm caches / allocator
+    disabled = enabled = float("inf")
+    try:
+        # interleave the two modes round by round so clock-frequency
+        # drift and background load hit both measurements equally
+        for _ in range(ROUNDS):
+            obs.disable()
+            disabled = min(disabled,
+                           one_round_seconds(batches, fresh_server))
+            obs.enable()
+            enabled = min(enabled,
+                          one_round_seconds(batches, fresh_server))
+        # the instrumentation actually measured the (last) round
+        processed = obs.get_registry().value(
+            "repro_routeserver_routes_processed_total")
+        assert processed >= routes
+    finally:
+        obs.disable()
+
+    ratio = enabled / disabled
+    emit("observability overhead — route-server announce loop",
+         f"routes/round:      {routes}\n"
+         f"disabled (no-op):  {disabled * 1e6:9.1f} us/round\n"
+         f"enabled (live):    {enabled * 1e6:9.1f} us/round\n"
+         f"overhead:          {(ratio - 1) * 100:+.2f}%")
+    assert ratio < OVERHEAD_BUDGET, (
+        f"enabled observability costs {(ratio - 1) * 100:.1f}% "
+        f"(budget {(OVERHEAD_BUDGET - 1) * 100:.0f}%)")
+
+
+def test_disabled_instrumentation_is_nanoscale(benchmark):
+    """The disabled-path primitive: resolve the MetricSet, hit the
+    shared no-op child. This is what every instrumented hot path pays
+    per event while observability is off."""
+    import types
+
+    obs.disable()
+    metric_set = obs.MetricSet(lambda reg: types.SimpleNamespace(
+        hits=reg.counter("repro_bench_total", "t").labels()))
+
+    def disabled_op():
+        metric_set().hits.inc()
+
+    benchmark(disabled_op)
+    # generous ceiling: a no-op instrument site must stay well under a
+    # microsecond — orders of magnitude below any announce-loop cost
+    assert benchmark.stats.stats.median < 1e-6

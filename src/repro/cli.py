@@ -14,7 +14,15 @@ Subcommands:
   Looking Glass URL (checkpointed; re-run with ``--resume`` to pick up
   an interrupted collection at the last completed peer);
 * ``export``   — write every figure/table's data as CSV (and optionally
-  one JSON bundle) for external plotting.
+  one JSON bundle) for external plotting;
+* ``metrics``  — fetch a running LG's ``/metrics`` endpoint, validate
+  the Prometheus exposition format, and print it (used by CI to fail
+  on malformed output).
+
+``analyze`` is also reachable as ``pipeline``. Both it and ``campaign``
+accept ``--metrics-out PATH`` to enable the :mod:`repro.obs` registry
+and dump a JSON run report (metrics snapshot + trace summary) on exit —
+including campaign exits that park incomplete targets for ``--resume``.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from . import obs
 from .collector import DatasetStore, sanitise
 from .core import Study
 from .core.report import format_table, render_share_bars
@@ -39,6 +48,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.05,
                         help="population scale vs the paper (default 0.05)")
     parser.add_argument("--seed", type=int, default=20211004)
+
+
+def _dump_metrics(args: argparse.Namespace, kind: str,
+                  meta: Optional[dict] = None) -> None:
+    """Write the run report for ``--metrics-out`` (when given)."""
+    path = getattr(args, "metrics_out", None)
+    if not path:
+        return
+    report = obs.build_run_report(kind, meta=meta or {},
+                                 registry=obs.get_registry(),
+                                 tracer=obs.get_tracer())
+    obs.write_run_report(path, report)
+    print(f"wrote metrics report to {path}")
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -58,6 +80,18 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
+    if args.metrics_out:
+        obs.enable()
+    try:
+        return _run_analyze(args)
+    finally:
+        _dump_metrics(args, "pipeline",
+                      meta={"ixps": list(args.ixps),
+                            "families": list(args.families),
+                            "store": args.store})
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
     if args.store:
         store = DatasetStore(args.store)
         snapshots = []
@@ -86,12 +120,22 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                            title=f"Fig. 4a (IPv{family})"))
         print(format_table(study.ineffective_summary(family),
                            title=f"§5.5 ineffective shares (IPv{family})"))
+    if args.store and obs.enabled():
+        # attach the pipeline's self-measurement to the dataset it read
+        store = DatasetStore(args.store)
+        path = store.save_run_report(
+            "analyze", obs.build_run_report(
+                "pipeline", meta={"ixps": list(args.ixps),
+                                  "families": list(args.families)}))
+        print(f"attached metrics report: {path}")
     return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from .lg import LookingGlassServer
 
+    if not args.no_metrics:
+        obs.enable()  # makes the LG's /metrics endpoint live
     config = ScenarioConfig(scale=args.scale, seed=args.seed)
     mounts = {}
     for ixp in args.ixps:
@@ -105,6 +149,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"Looking glass serving at {url}")
     for (ixp, family) in mounts:
         print(f"  {url}/{ixp}/v{family}/api/v1/neighbors")
+    if not args.no_metrics:
+        print(f"  {url}/metrics")
     try:
         import time
         while True:
@@ -158,13 +204,57 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         request_timeout=args.timeout,
     )
     campaign = CollectionCampaign(store, config)
-    report = campaign.run(resume=args.resume)
-    print(report.format_summary())
-    if report.resumable:
-        print("incomplete targets parked as checkpoints — "
-              "re-run with --resume to continue")
-        return 2
-    return 0 if all(t.status != "failed" for t in report.targets) else 1
+    if args.metrics_out:
+        obs.enable()
+    report = None
+    try:
+        report = campaign.run(resume=args.resume)
+        print(report.format_summary())
+        if report.resumable:
+            print("incomplete targets parked as checkpoints — "
+                  "re-run with --resume to continue")
+            return 2
+        return 0 if all(t.status != "failed" for t in report.targets) else 1
+    finally:
+        # runs on every exit path, including parked (exit 2) campaigns,
+        # so an interrupted collection still leaves its metrics behind
+        _dump_metrics(args, "campaign",
+                      meta=report.to_dict() if report is not None
+                      else {"url": config.base_url, "aborted": True})
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/metrics"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as response:
+            text = response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as error:
+        print(f"metrics fetch failed: {error}", file=sys.stderr)
+        return 1
+    try:
+        families = obs.parse_prometheus(text)
+    except obs.ExpositionFormatError as error:
+        print(f"malformed exposition output: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        payload = {
+            name: {"type": family["type"],
+                   "samples": [
+                       {"name": sample_name, "labels": labels,
+                        "value": value}
+                       for sample_name, labels, value
+                       in family["samples"]]}
+            for name, family in families.items()}
+        print(_json.dumps(payload, indent=1, sort_keys=True))
+    elif not args.quiet:
+        sys.stdout.write(text)
+    print(f"# exposition OK: {len(families)} metric families",
+          file=sys.stderr)
+    return 0
 
 
 def cmd_export(args: argparse.Namespace) -> int:
@@ -210,16 +300,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject LG collection failures (§3 valleys)")
     p_gen.set_defaults(func=cmd_generate)
 
-    p_ana = sub.add_parser("analyze", help="run the paper's analyses")
+    p_ana = sub.add_parser("analyze", aliases=["pipeline"],
+                           help="run the paper's analyses")
     _add_common(p_ana)
     p_ana.add_argument("--store", help="dataset directory (else generate "
                                        "in memory)")
+    p_ana.add_argument("--metrics-out", metavar="PATH",
+                       help="enable observability and write a JSON "
+                            "metrics run report here on exit")
     p_ana.set_defaults(func=cmd_analyze)
 
     p_srv = sub.add_parser("serve", help="serve a Looking Glass")
     _add_common(p_srv)
     p_srv.add_argument("--port", type=int, default=8642)
     p_srv.add_argument("--failure-rate", type=float, default=0.0)
+    p_srv.add_argument("--no-metrics", action="store_true",
+                       help="leave observability off (/metrics reports "
+                            "'disabled')")
     p_srv.set_defaults(func=cmd_serve)
 
     p_san = sub.add_parser("sanitise", help="run §3 valley sanitation")
@@ -263,7 +360,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--dialect", default="alice",
                         choices=["alice", "birdseye"],
                         help="LG API dialect")
+    p_camp.add_argument("--metrics-out", metavar="PATH",
+                        help="enable observability and write a JSON "
+                             "metrics run report here on exit (also on "
+                             "parked/resumable exits)")
     p_camp.set_defaults(func=cmd_campaign)
+
+    p_met = sub.add_parser(
+        "metrics", help="fetch and validate a Looking Glass /metrics "
+                        "exposition")
+    p_met.add_argument("--url", required=True,
+                       help="Looking Glass base URL (see `serve`)")
+    p_met.add_argument("--timeout", type=float, default=10.0,
+                       help="HTTP timeout, seconds")
+    p_met.add_argument("--json", action="store_true",
+                       help="print the parsed families as JSON instead "
+                            "of the raw exposition text")
+    p_met.add_argument("--quiet", action="store_true",
+                       help="validate only; do not print the payload")
+    p_met.set_defaults(func=cmd_metrics)
 
     p_exp = sub.add_parser("export", help="export figure/table data")
     _add_common(p_exp)

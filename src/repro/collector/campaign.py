@@ -21,7 +21,12 @@ multi-(IXP, family) scraping with
   picks up at the first un-collected peer without re-fetching anything;
 * **circuit breakers** — one per (ixp, family) mount (via
   :class:`~repro.lg.breaker.BreakerRegistry`), so a dead LG is probed,
-  not hammered.
+  not hammered — refusals surface as their own ``breaker_open``
+  failure class;
+* **self-measurement** — peers/failures/checkpoints/resumes are
+  metered under ``repro_campaign_*`` (see :mod:`repro.obs`), every
+  checkpoint carries a metrics snapshot, and a finished run writes a
+  JSON run report through the store.
 
 Clock and sleep are injectable: tests drive deadlines and breaker
 cooldowns with a fake clock and never block.
@@ -31,9 +36,11 @@ from __future__ import annotations
 
 import datetime as _dt
 import time
+import types
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..bgp.route import Route
 from ..ixp.member import Member, MemberRole
 from ..lg.api import NeighborSummary
@@ -50,6 +57,30 @@ from .snapshot import Snapshot
 from .store import DatasetStore
 
 CHECKPOINT_VERSION = 1
+
+_METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
+    peers=reg.counter(
+        "repro_campaign_peers_total",
+        "Campaign peers by outcome (collected / failed / resumed)",
+        ("ixp", "family", "outcome")),
+    failures=reg.counter(
+        "repro_campaign_failures_total",
+        "Peers lost after the whole retry budget, by failure class",
+        ("ixp", "family", "class")),
+    checkpoints=reg.counter(
+        "repro_campaign_checkpoints_total",
+        "Checkpoint writes", ("ixp", "family")),
+    resumes=reg.counter(
+        "repro_campaign_resume_total",
+        "Targets restarted from a checkpoint", ("ixp", "family")),
+    targets=reg.counter(
+        "repro_campaign_targets_total",
+        "Campaign targets finished, by terminal status", ("status",)),
+    target_seconds=reg.histogram(
+        "repro_campaign_target_seconds",
+        "Wall-clock time spent on one (ixp, family) target",
+        buckets=(1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0)),
+))
 
 #: terminal states of one campaign target.
 STATUS_COMPLETE = "complete"            # snapshot written, all peers in
@@ -162,6 +193,8 @@ class CampaignReport:
     captured_on: str = ""
     resumed: bool = False
     targets: List[TargetReport] = field(default_factory=list)
+    #: where the observability run report landed (None when disabled).
+    run_report_path: Optional[str] = None
 
     @property
     def failure_counts(self) -> Dict[str, int]:
@@ -188,6 +221,7 @@ class CampaignReport:
             "resumed": self.resumed,
             "failure_counts": self.failure_counts,
             "targets": [t.to_dict() for t in self.targets],
+            "run_report_path": self.run_report_path,
         }
 
     def format_summary(self) -> str:
@@ -260,13 +294,29 @@ class CollectionCampaign:
 
     def run(self, resume: bool = False) -> CampaignReport:
         """Collect every target; with ``resume=True``, restart from
-        checkpoints and skip snapshots already in the store."""
+        checkpoints and skip snapshots already in the store.
+
+        With observability enabled, a JSON run report (metrics
+        snapshot + traces + the campaign summary) is written through
+        the store as ``campaign-<date>``.
+        """
         captured_on = (self.config.captured_on
                        or _dt.date.today().isoformat())
         report = CampaignReport(captured_on=captured_on, resumed=resume)
-        for target in self.config.targets:
-            report.targets.append(
-                self._collect_target(target, captured_on, resume))
+        with obs.span(f"campaign {captured_on}"):
+            for target in self.config.targets:
+                with obs.span(f"target {target.ixp}/v{target.family}"):
+                    outcome = self._collect_target(
+                        target, captured_on, resume)
+                report.targets.append(outcome)
+                _METRICS().targets.labels(outcome.status).inc()
+                _METRICS().target_seconds.labels().observe(
+                    outcome.elapsed)
+        if obs.enabled():
+            report.run_report_path = str(self.store.save_run_report(
+                f"campaign-{captured_on}",
+                obs.build_run_report(
+                    "campaign", meta=report.to_dict())))
         return report
 
     def _collect_target(self, target: CampaignTarget, captured_on: str,
@@ -288,6 +338,13 @@ class CollectionCampaign:
                     CHECKPOINT_VERSION:
                 peers = dict(checkpoint.get("peers", {}))
                 report.peers_resumed = len(peers)
+                if peers:
+                    metrics = _METRICS()
+                    metrics.resumes.labels(
+                        target.ixp, str(target.family)).inc()
+                    metrics.peers.labels(
+                        target.ixp, str(target.family),
+                        "resumed").inc(len(peers))
         else:
             self.store.delete_checkpoint(
                 target.ixp, target.family, captured_on)
@@ -301,6 +358,9 @@ class CollectionCampaign:
             report.failures.append(PeerFailure(
                 asn=0, failure_class=error.failure_class,
                 error=str(error)))
+            _METRICS().failures.labels(
+                target.ixp, str(target.family),
+                error.failure_class).inc()
             self._note_breaker(target, report, started)
             return report
 
@@ -313,10 +373,13 @@ class CollectionCampaign:
                 report.deadline_hit = True
                 break
             report.peers_attempted += 1
-            routes = self._collect_peer(client, neighbor, report)
+            routes = self._collect_peer(client, neighbor, report,
+                                        target)
             if routes is None:
                 continue
             report.peers_collected += 1
+            _METRICS().peers.labels(
+                target.ixp, str(target.family), "collected").inc()
             peers[str(neighbor.asn)] = {
                 "routes": [route.to_dict() for route in routes],
                 "filtered": neighbor.routes_filtered,
@@ -350,7 +413,8 @@ class CollectionCampaign:
 
     def _collect_peer(self, client: LookingGlassClient,
                       neighbor: NeighborSummary,
-                      report: TargetReport) -> Optional[List[Route]]:
+                      report: TargetReport,
+                      target: CampaignTarget) -> Optional[List[Route]]:
         """One peer's routes under the per-peer retry budget; None when
         the budget is spent (failure recorded on the report)."""
         attempts = max(1, self.config.peer_attempts)
@@ -381,19 +445,31 @@ class CollectionCampaign:
         report.failures.append(PeerFailure(
             asn=neighbor.asn, failure_class=last.failure_class,
             error=str(last)))
+        metrics = _METRICS()
+        metrics.peers.labels(
+            target.ixp, str(target.family), "failed").inc()
+        metrics.failures.labels(
+            target.ixp, str(target.family), last.failure_class).inc()
         return None
 
     def _save_checkpoint(self, target: CampaignTarget, captured_on: str,
                          peers: Dict[str, Dict[str, Any]],
                          report: TargetReport) -> None:
-        self.store.save_checkpoint(target.ixp, target.family, captured_on, {
+        payload = {
             "version": CHECKPOINT_VERSION,
             "ixp": target.ixp,
             "family": target.family,
             "captured_on": captured_on,
             "peers": peers,
             "failures": [f.to_dict() for f in report.failures],
-        })
+        }
+        if obs.enabled():
+            # a parked checkpoint carries the metrics that explain it
+            payload["metrics"] = obs.snapshot()
+        self.store.save_checkpoint(
+            target.ixp, target.family, captured_on, payload)
+        _METRICS().checkpoints.labels(
+            target.ixp, str(target.family)).inc()
 
     def _build_snapshot(self, target: CampaignTarget, captured_on: str,
                         established: Sequence[NeighborSummary],

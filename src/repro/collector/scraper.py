@@ -14,14 +14,27 @@ snapshots are exactly what the sanitation pass (§3) exists to catch.
 from __future__ import annotations
 
 import datetime as _dt
+import types
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from ..bgp.route import Route
 from ..ixp.dictionary import CommunityDictionary
 from ..ixp.member import Member, MemberRole
 from ..lg.client import LookingGlassClient, LookingGlassError
 from .snapshot import Snapshot
+
+_METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
+    collected=reg.counter(
+        "repro_scraper_peers_collected_total",
+        "Peers whose routes one-shot scrapes collected",
+        ("ixp", "family")),
+    failed=reg.counter(
+        "repro_scraper_peers_failed_total",
+        "Peers one-shot scrapes lost, by failure class",
+        ("ixp", "family", "class")),
+))
 
 
 @dataclass
@@ -32,6 +45,10 @@ class ScrapeReport:
     peers_attempted: int = 0
     peers_collected: int = 0
     peers_failed: List[int] = field(default_factory=list)
+    #: why each failed peer was lost: ASN → taxonomy failure class
+    #: (``breaker_open`` when the mount's circuit breaker refused the
+    #: fetch — distinct from an observed ``lg_outage``).
+    failure_classes: Dict[int, str] = field(default_factory=dict)
     #: set when the collection failed before any peer could be tried
     #: (e.g. the neighbor summary itself was unreachable).
     error: Optional[str] = None
@@ -86,10 +103,17 @@ class SnapshotScraper:
             ))
             try:
                 peer_routes = list(self.client.routes(neighbor.asn))
-            except LookingGlassError:
+            except LookingGlassError as error:
                 report.peers_failed.append(neighbor.asn)
+                report.failure_classes[neighbor.asn] = \
+                    error.failure_class
+                _METRICS().failed.labels(
+                    self.client.ixp, str(self.client.family),
+                    error.failure_class).inc()
                 continue
             report.peers_collected += 1
+            _METRICS().collected.labels(
+                self.client.ixp, str(self.client.family)).inc()
             routes.extend(peer_routes)
             filtered_count += neighbor.routes_filtered
         report.snapshot = Snapshot(
@@ -102,6 +126,9 @@ class SnapshotScraper:
             meta={
                 "source": self.client.base_url,
                 "peers_failed": list(report.peers_failed),
+                "peer_failure_classes": {
+                    str(asn): cls
+                    for asn, cls in report.failure_classes.items()},
                 "degraded": bool(report.peers_failed),
             },
         )

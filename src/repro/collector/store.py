@@ -28,6 +28,10 @@ from .snapshot import Snapshot
 #: finished snapshots in the same directory.
 CHECKPOINT_SUFFIX = ".ckpt.json.gz"
 
+#: top-level directory holding JSON run reports (metrics + traces),
+#: kept apart from the per-IXP snapshot tree.
+REPORTS_DIR = "reports"
+
 
 class DatasetStore:
     """Filesystem-backed store of snapshots and dictionaries."""
@@ -80,7 +84,8 @@ class DatasetStore:
         return self.load_snapshot(ixp, family, dates[-1])
 
     def ixps(self) -> List[str]:
-        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+        return sorted(p.name for p in self.root.iterdir()
+                      if p.is_dir() and p.name != REPORTS_DIR)
 
     # -- campaign checkpoints ----------------------------------------------
 
@@ -122,6 +127,31 @@ class DatasetStore:
 
     def has_snapshot(self, ixp: str, family: int, date: str) -> bool:
         return self._snapshot_path(ixp, family, date).exists()
+
+    # -- run reports -------------------------------------------------------
+
+    def _report_path(self, name: str) -> Path:
+        return self.root / REPORTS_DIR / f"{name}.json"
+
+    def save_run_report(self, name: str, report: Dict) -> Path:
+        """Persist one observability run report (metrics snapshot +
+        traces; see :mod:`repro.obs.report`) next to the dataset it
+        describes."""
+        from ..obs.report import write_run_report
+        return write_run_report(self._report_path(name), report)
+
+    def load_run_report(self, name: str) -> Dict:
+        with open(self._report_path(name), encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def has_run_report(self, name: str) -> bool:
+        return self._report_path(name).exists()
+
+    def run_report_names(self) -> List[str]:
+        directory = self.root / REPORTS_DIR
+        if not directory.is_dir():
+            return []
+        return sorted(p.stem for p in directory.glob("*.json"))
 
     # -- dictionaries ----------------------------------------------------
 

@@ -18,9 +18,13 @@ Glues the substrates together the way the paper's methodology does:
 
 from __future__ import annotations
 
+import functools
+import time
+import types
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..collector.sanitation import SanitationReport, sanitise
 from ..collector.snapshot import Snapshot
 from ..ixp.dictionary import CommunityDictionary
@@ -42,6 +46,40 @@ from .classification import Classifier
 
 Key = Tuple[str, int]  # (ixp key, family)
 
+_METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
+    stage_seconds=reg.histogram(
+        "repro_pipeline_stage_seconds",
+        "Wall-clock duration of one pipeline stage", ("stage",)),
+    rows=reg.counter(
+        "repro_pipeline_rows_total",
+        "Rows (or objects) produced per pipeline stage", ("stage",)),
+))
+
+
+def _stage(name: str) -> Callable:
+    """Meter one pipeline stage: a nested trace span plus duration
+    histogram and row counter under the given stage label. Zero-cost
+    (one bool check) while observability is disabled."""
+    def decorate(func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            if not obs.enabled():
+                return func(*args, **kwargs)
+            started = time.perf_counter()
+            with obs.span(f"pipeline:{name}"):
+                result = func(*args, **kwargs)
+            metrics = _METRICS()
+            metrics.stage_seconds.labels(name).observe(
+                time.perf_counter() - started)
+            try:
+                rows = len(result)  # type: ignore[arg-type]
+            except TypeError:
+                rows = 1
+            metrics.rows.labels(name).inc(rows)
+            return result
+        return wrapper
+    return decorate
+
 
 @dataclass
 class Study:
@@ -55,6 +93,7 @@ class Study:
     # -- construction ----------------------------------------------------
 
     @classmethod
+    @_stage("generate")
     def synthetic(cls, ixps: Sequence[str] = LARGE_FOUR,
                   families: Sequence[int] = (4, 6),
                   scale: float = 0.05,
@@ -73,6 +112,7 @@ class Study:
         return study
 
     @classmethod
+    @_stage("load")
     def from_snapshots(cls, snapshots: Iterable[Snapshot],
                        dictionaries: Optional[
                            Dict[str, CommunityDictionary]] = None) -> "Study":
@@ -90,6 +130,7 @@ class Study:
 
     # -- aggregation ---------------------------------------------------
 
+    @_stage("aggregate")
     def aggregate(self, ixp: str, family: int) -> SnapshotAggregate:
         key = (ixp, family)
         if key not in self._aggregates:
@@ -120,65 +161,80 @@ class Study:
 
     # -- figures / tables ------------------------------------------------
 
+    @_stage("table1")
     def table1(self) -> List[Dict[str, object]]:
         return summary.summary_table(self.snapshots.values())
 
+    @_stage("fig1")
     def ixp_defined_vs_unknown(self, family: Optional[int] = None):
         """Fig. 1 rows."""
         return prevalence.ixp_defined_vs_unknown(self.aggregates(family))
 
+    @_stage("fig2")
     def community_kinds(self, family: Optional[int] = None):
         """Fig. 2 rows."""
         return prevalence.community_kinds(self.aggregates(family))
 
+    @_stage("fig3")
     def action_vs_informational(self, family: Optional[int] = None):
         """Fig. 3 rows."""
         return prevalence.action_vs_informational(self.aggregates(family))
 
+    @_stage("fig4a")
     def ases_using_actions(self, family: Optional[int] = None):
         """Fig. 4a rows."""
         return usage.ases_using_actions(self.aggregates(family))
 
+    @_stage("fig4b")
     def usage_concentration(self, family: Optional[int] = None):
         """Fig. 4b checkpoint rows."""
         return usage.usage_concentration(self.aggregates(family))
 
+    @_stage("fig4b_curve")
     def concentration_curve(self, ixp: str, family: int = 4):
         """Fig. 4b full curve for one IXP."""
         return usage.usage_concentration_curve(self.aggregate(ixp, family))
 
+    @_stage("fig4c")
     def prefix_community_correlation(self, family: Optional[int] = None):
         """Fig. 4c summary rows."""
         return usage.prefix_community_correlation(self.aggregates(family))
 
+    @_stage("table2")
     def table2(self, family: Optional[int] = None):
         return favorites.ases_per_action_type(self.aggregates(family))
 
+    @_stage("occurrences")
     def occurrences_per_action_type(self, family: Optional[int] = None):
         return favorites.occurrences_per_action_type(self.aggregates(family))
 
+    @_stage("fig5")
     def top_action_communities(self, ixp: str, family: int = 4,
                                limit: int = 20):
         """Fig. 5 rows for one IXP."""
         return favorites.top_action_communities(
             self.aggregate(ixp, family), self.dictionaries[ixp], limit)
 
+    @_stage("ineffective")
     def ineffective_summary(self, family: Optional[int] = None):
         """§5.5 headline shares."""
         return ineffective.ineffective_summary(self.aggregates(family))
 
+    @_stage("fig6")
     def top_ineffective_communities(self, ixp: str, family: int = 4,
                                     limit: int = 20):
         """Fig. 6 rows for one IXP."""
         return ineffective.top_ineffective_communities(
             self.aggregate(ixp, family), self.dictionaries[ixp], limit)
 
+    @_stage("fig7")
     def top_culprit_ases(self, ixp: str, family: int = 4, limit: int = 10):
         """Fig. 7 rows for one IXP."""
         return ineffective.top_culprit_ases(
             self.aggregate(ixp, family), limit)
 
 
+@_stage("sanitise")
 def sanitised_series(generator: SnapshotGenerator, family: int,
                      days: Sequence[int],
                      degrade: bool = True) -> SanitationReport:

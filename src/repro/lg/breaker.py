@@ -19,14 +19,35 @@ The clock is injectable so tests drive the cooldown without sleeping.
 from __future__ import annotations
 
 import time
+import types
 from dataclasses import dataclass, field
 from typing import Any, Dict, Tuple
+
+from .. import obs
 
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half_open"
 
 STATES = (CLOSED, OPEN, HALF_OPEN)
+
+#: numeric encoding of states for the breaker-state gauge.
+STATE_CODES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+_METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
+    transitions=reg.counter(
+        "repro_lg_breaker_transitions_total",
+        "Circuit-breaker state transitions",
+        ("mount", "from_state", "to_state")),
+    rejected=reg.counter(
+        "repro_lg_breaker_rejected_total",
+        "Requests refused locally while the breaker was open",
+        ("mount",)),
+    state=reg.gauge(
+        "repro_lg_breaker_state",
+        "Current breaker state (0 closed, 1 open, 2 half-open)",
+        ("mount",)),
+))
 
 
 @dataclass
@@ -39,6 +60,9 @@ class CircuitBreaker:
     reset_timeout: float = 30.0
     #: injectable monotonic clock (tests pass a fake).
     clock: Any = time.monotonic
+    #: metric label identifying the mount (e.g. ``linx/v4``); breakers
+    #: created anonymously report as ``-``.
+    name: str = "-"
 
     state: str = CLOSED
     consecutive_failures: int = 0
@@ -58,16 +82,18 @@ class CircuitBreaker:
             return True
         if self.state == OPEN:
             if self.clock() - self._opened_at >= self.reset_timeout:
-                self.state = HALF_OPEN
+                self._transition(HALF_OPEN)
                 return True
             self.rejected += 1
+            _METRICS().rejected.labels(self.name).inc()
             return False
         # HALF_OPEN: one probe is already in flight this cooldown; let
         # the caller through — sequential clients probe one at a time.
         return True
 
     def record_success(self) -> None:
-        self.state = CLOSED
+        if self.state != CLOSED:
+            self._transition(CLOSED)
         self.consecutive_failures = 0
 
     def record_failure(self) -> None:
@@ -78,9 +104,16 @@ class CircuitBreaker:
             self._trip()
 
     def _trip(self) -> None:
-        self.state = OPEN
+        self._transition(OPEN)
         self.times_opened += 1
         self._opened_at = self.clock()
+
+    def _transition(self, new_state: str) -> None:
+        metrics = _METRICS()
+        metrics.transitions.labels(self.name, self.state,
+                                   new_state).inc()
+        metrics.state.labels(self.name).set(STATE_CODES[new_state])
+        self.state = new_state
 
     @property
     def seconds_until_probe(self) -> float:
@@ -114,7 +147,8 @@ class BreakerRegistry:
             self._breakers[key] = CircuitBreaker(
                 failure_threshold=self.failure_threshold,
                 reset_timeout=self.reset_timeout,
-                clock=self.clock)
+                clock=self.clock,
+                name=f"{ixp}/v{family}")
         return self._breakers[key]
 
     def states(self) -> Dict[str, str]:

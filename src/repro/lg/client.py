@@ -11,8 +11,13 @@ client is strictly sequential).
 Failures that survive the retry budget are raised as subclasses of
 :class:`LookingGlassError` carrying a ``failure_class`` from the
 campaign taxonomy (``rate_limited`` / ``lg_outage`` / ``timeout`` /
-``malformed_payload``), so the collection layer can count *why* peers
-were lost, not just that they were.
+``malformed_payload`` / ``breaker_open``), so the collection layer can
+count *why* peers were lost, not just that they were.
+
+Every request is also metered through :mod:`repro.obs` (requests,
+retries, per-kind errors, Retry-After hits, backoff sleep time, fetch
+latency) under ``repro_lg_client_*`` — free no-ops unless
+observability is enabled.
 """
 
 from __future__ import annotations
@@ -21,11 +26,13 @@ import json
 import random
 import socket
 import time
+import types
 import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
+from .. import obs
 from ..bgp.route import Route
 from ..ixp.dictionary import CommunityDictionary
 from . import api
@@ -36,8 +43,41 @@ FAILURE_RATE_LIMITED = "rate_limited"
 FAILURE_LG_OUTAGE = "lg_outage"
 FAILURE_TIMEOUT = "timeout"
 FAILURE_MALFORMED = "malformed_payload"
+#: refused locally because the mount's circuit breaker was open — a
+#: distinct class (not an LG outage observation: no request was made).
+FAILURE_BREAKER_OPEN = "breaker_open"
 FAILURE_CLASSES = (FAILURE_RATE_LIMITED, FAILURE_LG_OUTAGE,
-                   FAILURE_TIMEOUT, FAILURE_MALFORMED)
+                   FAILURE_TIMEOUT, FAILURE_MALFORMED,
+                   FAILURE_BREAKER_OPEN)
+
+_METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
+    requests=reg.counter(
+        "repro_lg_client_requests_total",
+        "HTTP requests issued by the LG client", ("ixp", "family")),
+    retries=reg.counter(
+        "repro_lg_client_retries_total",
+        "Request attempts retried after a transient failure",
+        ("ixp", "family")),
+    errors=reg.counter(
+        "repro_lg_client_errors_total",
+        "Request-level failures by kind",
+        ("ixp", "family", "kind")),
+    retry_after=reg.counter(
+        "repro_lg_client_retry_after_total",
+        "429 responses whose Retry-After header was honoured",
+        ("ixp", "family")),
+    backoff=reg.counter(
+        "repro_lg_client_backoff_seconds_total",
+        "Seconds spent sleeping between retries", ("ixp", "family")),
+    fetch=reg.histogram(
+        "repro_lg_client_fetch_seconds",
+        "Latency of one successful page/endpoint fetch "
+        "(including its internal retries)", ("ixp", "family")),
+    exhausted=reg.counter(
+        "repro_lg_client_exhausted_total",
+        "Fetches abandoned with the whole retry budget spent, "
+        "by failure class", ("ixp", "family", "class")),
+))
 
 
 class LookingGlassError(Exception):
@@ -78,7 +118,7 @@ class MalformedPayloadError(TransientError):
 class CircuitOpenError(LookingGlassError):
     """Refused locally: the mount's circuit breaker is open."""
 
-    failure_class = FAILURE_LG_OUTAGE
+    failure_class = FAILURE_BREAKER_OPEN
 
 
 @dataclass
@@ -144,7 +184,13 @@ class LookingGlassClient:
             return ceiling
         return self.rng.uniform(0.0, ceiling)
 
+    @property
+    def _mount_labels(self) -> tuple:
+        return (self.ixp, str(self.family))
+
     def _get_raw(self, url: str) -> Dict[str, Any]:
+        metrics = _METRICS()
+        mount = self._mount_labels
         if self.breaker is not None and not self.breaker.allow():
             raise CircuitOpenError(
                 f"GET {url} refused: circuit open for "
@@ -152,8 +198,10 @@ class LookingGlassClient:
                 f"({self.breaker.seconds_until_probe:.1f}s until probe)")
         last_error: Optional[str] = None
         error_type = OutageError
+        started = time.perf_counter()
         for attempt in range(self.max_retries + 1):
             self.stats.requests += 1
+            metrics.requests.labels(*mount).inc()
             delay: float
             try:
                 with urllib.request.urlopen(
@@ -162,32 +210,40 @@ class LookingGlassClient:
             except urllib.error.HTTPError as error:
                 if error.code == 429:
                     self.stats.rate_limited += 1
+                    metrics.errors.labels(*mount, "rate_limited").inc()
                     error_type = RateLimitedError
                     retry_after = float(
                         error.headers.get("Retry-After", "0.1") or 0.1)
+                    if error.headers.get("Retry-After"):
+                        metrics.retry_after.labels(*mount).inc()
                     delay = min(self.retry_after_cap,
                                 max(retry_after, 0.01))
                 elif 500 <= error.code < 600:
                     self.stats.server_errors += 1
+                    metrics.errors.labels(*mount, "server_error").inc()
                     error_type = OutageError
                     delay = self._backoff_delay(attempt)
                 else:
                     # 4xx: the LG is alive and answered definitively.
                     self._record(success=True)
+                    metrics.errors.labels(*mount, "http_4xx").inc()
                     raise LookingGlassError(
                         f"GET {url} failed: HTTP {error.code}") from error
                 last_error = f"HTTP {error.code}"
             except (socket.timeout, TimeoutError):
                 self.stats.timeouts += 1
+                metrics.errors.labels(*mount, "timeout").inc()
                 error_type = QueryTimeoutError
                 last_error = f"timed out after {self.timeout}s"
                 delay = self._backoff_delay(attempt)
             except urllib.error.URLError as error:
                 if isinstance(error.reason, (socket.timeout, TimeoutError)):
                     self.stats.timeouts += 1
+                    metrics.errors.labels(*mount, "timeout").inc()
                     error_type = QueryTimeoutError
                     last_error = f"timed out after {self.timeout}s"
                 else:
+                    metrics.errors.labels(*mount, "connection").inc()
                     error_type = OutageError
                     last_error = str(error.reason)
                 delay = self._backoff_delay(attempt)
@@ -196,16 +252,23 @@ class LookingGlassClient:
                     payload = json.loads(body)
                 except ValueError as error:
                     self.stats.malformed += 1
+                    metrics.errors.labels(*mount, "malformed").inc()
                     error_type = MalformedPayloadError
                     last_error = f"malformed JSON ({error})"
                     delay = self._backoff_delay(attempt)
                 else:
                     self._record(success=True)
+                    metrics.fetch.labels(*mount).observe(
+                        time.perf_counter() - started)
                     return payload
             if attempt < self.max_retries:
                 self.stats.retries += 1
+                metrics.retries.labels(*mount).inc()
+                metrics.backoff.labels(*mount).inc(delay)
                 self.sleep(delay)
         self._record(success=False)
+        metrics.exhausted.labels(
+            *mount, error_type.failure_class).inc()
         raise error_type(
             f"GET {url} failed after {self.max_retries + 1} attempts "
             f"({last_error})")

@@ -19,15 +19,30 @@ from __future__ import annotations
 
 import threading
 import time
+import types
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Tuple
 
+from .. import obs
 from ..utils import stable_fraction
 
 #: fault kinds a :class:`FaultSchedule` can inject.
 FAULT_OUTAGE = "outage"
 FAULT_SLOW = "slow"
 FAULT_MALFORMED = "malformed"
+
+_METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
+    ratelimited=reg.counter(
+        "repro_lg_server_ratelimited_total",
+        "Requests the simulated LG answered 429 (token bucket empty)"),
+    instability=reg.counter(
+        "repro_lg_server_instability_total",
+        "Requests failed 503 by the probabilistic instability "
+        "injector"),
+    faults=reg.counter(
+        "repro_lg_server_faults_total",
+        "Scheduled faults injected by kind", ("kind",)),
+))
 
 
 class TokenBucket:
@@ -53,6 +68,7 @@ class TokenBucket:
             if self._tokens >= tokens:
                 self._tokens -= tokens
                 return True
+            _METRICS().ratelimited.labels().inc()
             return False
 
     @property
@@ -82,7 +98,10 @@ class InstabilityInjector:
             return False
         window = self._counter // max(1, self.burst_length)
         self._counter += 1
-        return stable_fraction(self.seed, window) < self.failure_rate
+        failing = stable_fraction(self.seed, window) < self.failure_rate
+        if failing:
+            _METRICS().instability.labels().inc()
+        return failing
 
 
 @dataclass
@@ -117,17 +136,20 @@ class FaultSchedule:
         with self._lock:
             index = self._counter
             self._counter += 1
+        fault: Optional[str] = None
         if any(start <= index < stop
                for start, stop in self.outage_windows):
-            return FAULT_OUTAGE
+            fault = FAULT_OUTAGE
         # counters are 1-based for the "every Nth" modes so that
         # malformed_every=1 means "every request", not "first only".
-        if self.malformed_every > 0 \
+        elif self.malformed_every > 0 \
                 and (index + 1) % self.malformed_every == 0:
-            return FAULT_MALFORMED
-        if self.slow_every > 0 and (index + 1) % self.slow_every == 0:
-            return FAULT_SLOW
-        return None
+            fault = FAULT_MALFORMED
+        elif self.slow_every > 0 and (index + 1) % self.slow_every == 0:
+            fault = FAULT_SLOW
+        if fault is not None:
+            _METRICS().faults.labels(fault).inc()
+        return fault
 
     @property
     def requests_seen(self) -> int:

@@ -17,6 +17,9 @@ URL layout (one route server per (ixp, family) mount):
     /<ixp>/v<family>/api/v1/config
     /<ixp>/v<family>/api/v1/neighbors
     /<ixp>/v<family>/api/v1/neighbors/<asn>/routes?page=N[&filtered=1]
+
+plus the ops-plane ``/metrics`` endpoint (Prometheus text format,
+live when :func:`repro.obs.enable` has been called).
 """
 
 from __future__ import annotations
@@ -27,10 +30,12 @@ import json
 import re
 import threading
 import time
+import types
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Iterator, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from .. import obs
 from ..routeserver.server import RouteServer
 from . import api, dialects
 from .ratelimit import (
@@ -52,6 +57,17 @@ _ROUTE_PATTERN = re.compile(
 _BIRDSEYE_PATTERN = re.compile(
     r"^/(?P<ixp>[\w.-]+)/v(?P<family>[46])/api"
     r"(?P<resource>/protocols|/routes/pb_(?P<asn>\d+))$")
+
+#: ops-plane path serving the process metrics in Prometheus text
+#: format (never rate limited, never fault injected).
+METRICS_PATH = "/metrics"
+
+_METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
+    requests=reg.counter(
+        "repro_lg_server_requests_total",
+        "Requests answered by the simulated LG, by HTTP status",
+        ("status",)),
+))
 
 
 class LookingGlassServer:
@@ -172,12 +188,22 @@ class LookingGlassServer:
         applied: scheduled outages answer 503 without touching the
         route servers, slow responses stall before answering, and
         malformed responses truncate the JSON body mid-document.
+
+        ``/metrics`` is the ops plane: it serves the process metrics in
+        Prometheus text format and bypasses rate limiting and fault
+        injection — a flaky LG must still be observable.
         """
+        if urlparse(path).path == METRICS_PATH:
+            text = obs.render_prometheus(obs.get_registry()) \
+                if obs.enabled() else "# observability disabled\n"
+            return 200, text.encode("utf-8"), {
+                "Content-Type": obs.CONTENT_TYPE}
         fault = self.faults.next_fault() if self.faults else None
         if fault == FAULT_OUTAGE:
             body = json.dumps(
                 api.error_payload("scheduled maintenance outage",
                                   503)).encode("utf-8")
+            _METRICS().requests.labels("503").inc()
             return 503, body, {}
         if fault == FAULT_SLOW:
             self.slow_sleep(self.faults.slow_delay)
@@ -188,6 +214,7 @@ class LookingGlassServer:
             headers["Retry-After"] = f"{self.bucket.retry_after:.3f}"
         if fault == FAULT_MALFORMED and status == 200:
             body = body[:max(1, len(body) // 2)]
+        _METRICS().requests.labels(str(status)).inc()
         return status, body, headers
 
     # -- HTTP plumbing ---------------------------------------------------
@@ -200,7 +227,9 @@ class LookingGlassServer:
                 status, body, headers = outer.handle_bytes(self.path)
                 try:
                     self.send_response(status)
-                    self.send_header("Content-Type", "application/json")
+                    self.send_header(
+                        "Content-Type",
+                        headers.pop("Content-Type", "application/json"))
                     self.send_header("Content-Length", str(len(body)))
                     for name, value in headers.items():
                         self.send_header(name, value)

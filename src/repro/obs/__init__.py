@@ -1,0 +1,199 @@
+"""``repro.obs`` — metrics, tracing, and run-report observability.
+
+The subsystem has three parts:
+
+* a process-local :class:`~repro.obs.registry.MetricsRegistry`
+  (counters / gauges / fixed-bucket histograms — thread-safe,
+  labelled, O(1) updates, label-cardinality capped);
+* :class:`~repro.obs.tracing.span` nested wall-clock tracing into a
+  bounded :class:`~repro.obs.tracing.TraceBuffer`;
+* two exporters: Prometheus text exposition
+  (:func:`~repro.obs.export.render_prometheus`, served from the
+  simulated LG's ``/metrics`` endpoint) and JSON run reports
+  (:mod:`repro.obs.report`, attached to campaign checkpoints and
+  written through ``DatasetStore``).
+
+Observability is **disabled by default**: the global registry is a
+null object whose children are shared no-ops, so instrumented hot
+paths cost essentially nothing (see
+``benchmarks/test_bench_obs_overhead.py``). Call :func:`enable` to
+install a live registry + trace buffer::
+
+    import repro.obs as obs
+
+    registry = obs.enable()
+    ...  # run a campaign / pipeline
+    print(obs.render_prometheus(registry))
+
+Instrument sites use :class:`MetricSet`, a generation-cached bundle of
+bound metric children: resolution happens once per enable/disable
+cycle, so the per-update cost is an attribute read, an int compare,
+and one (possibly no-op) method call.
+
+Metric names follow ``repro_<layer>_<name>`` with Prometheus suffix
+conventions (``_total`` counters, ``_seconds`` histograms).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional
+
+from .export import (
+    CONTENT_TYPE,
+    ExpositionFormatError,
+    parse_prometheus,
+    render_prometheus,
+)
+from .registry import (
+    DEFAULT_BUCKETS,
+    DEFAULT_MAX_LABEL_SETS,
+    NOOP_CHILD,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricFamily,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from .report import (
+    build_run_report,
+    load_run_report,
+    metric_value,
+    write_run_report,
+)
+from .tracing import SpanRecord, TraceBuffer, span
+
+__all__ = [
+    "MetricsRegistry", "NullMetricsRegistry", "MetricFamily",
+    "Counter", "Gauge", "Histogram", "MetricError",
+    "NULL_REGISTRY", "NOOP_CHILD",
+    "DEFAULT_BUCKETS", "DEFAULT_MAX_LABEL_SETS",
+    "TraceBuffer", "SpanRecord", "span",
+    "render_prometheus", "parse_prometheus",
+    "ExpositionFormatError", "CONTENT_TYPE",
+    "build_run_report", "write_run_report", "load_run_report",
+    "metric_value",
+    "enable", "disable", "enabled", "reset",
+    "get_registry", "get_tracer", "set_registry", "generation",
+    "MetricSet", "snapshot",
+]
+
+_lock = threading.Lock()
+_registry: Any = NULL_REGISTRY
+_tracer: Optional[TraceBuffer] = None
+#: bumped on every enable/disable/reset so MetricSet caches re-resolve.
+_generation = 1
+
+
+def generation() -> int:
+    """Cache tag for bound metric children (see :class:`MetricSet`)."""
+    return _generation
+
+
+def get_registry() -> Any:
+    """The active registry — a live :class:`MetricsRegistry`, or the
+    shared null registry while observability is disabled."""
+    return _registry
+
+
+def get_tracer() -> Optional[TraceBuffer]:
+    """The active trace buffer, or None while disabled."""
+    return _tracer
+
+
+def enabled() -> bool:
+    return _registry is not NULL_REGISTRY
+
+
+def set_registry(registry: Any,
+                 tracer: Optional[TraceBuffer] = None) -> None:
+    """Install an explicit registry/tracer pair (tests, embedders)."""
+    global _registry, _tracer, _generation
+    with _lock:
+        _registry = registry
+        _tracer = tracer
+        _generation += 1
+
+
+def enable(max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
+           trace_capacity: int = 4096) -> MetricsRegistry:
+    """Turn observability on; returns the installed registry.
+
+    Idempotent: if a live registry is already installed it is kept
+    (and returned), so layered entry points — CLI flag, campaign,
+    tests — can all call ``enable()`` without clobbering each other.
+    """
+    global _registry, _tracer, _generation
+    with _lock:
+        if _registry is NULL_REGISTRY:
+            _registry = MetricsRegistry(max_label_sets=max_label_sets)
+            _tracer = TraceBuffer(capacity=trace_capacity)
+            _generation += 1
+        return _registry  # type: ignore[return-value]
+
+
+def disable() -> None:
+    """Turn observability off (instrument sites fall back to no-ops)."""
+    global _registry, _tracer, _generation
+    with _lock:
+        _registry = NULL_REGISTRY
+        _tracer = None
+        _generation += 1
+
+
+def reset() -> None:
+    """Zero the active registry and trace buffer in place."""
+    global _generation
+    with _lock:
+        _registry.reset()
+        if _tracer is not None:
+            _tracer.clear()
+        _generation += 1
+
+
+class MetricSet:
+    """Generation-cached bundle of bound metric children.
+
+    Construct with a builder that receives the active registry and
+    returns any attribute bag (``types.SimpleNamespace`` works well)
+    of bound children::
+
+        _METRICS = obs.MetricSet(lambda reg: SimpleNamespace(
+            routes=reg.counter(
+                "repro_routeserver_routes_processed_total",
+                "Routes run through the import pipeline").labels(),
+            rejects=reg.counter(
+                "repro_routeserver_filter_rejected_total",
+                "Import-filter rejections", ("rule",)),
+        ))
+
+        def hot_path(self):
+            m = _METRICS()                 # attr read + int compare
+            m.routes.inc()                 # no-op when disabled
+
+    The builder re-runs only when the observability generation changes
+    (enable / disable / reset), so hot paths never pay registration or
+    label-lookup costs. With the null registry every bound child is
+    the shared no-op singleton.
+    """
+
+    __slots__ = ("_build", "_gen", "_bound")
+
+    def __init__(self, build: Callable[[Any], Any]) -> None:
+        self._build = build
+        self._gen = 0  # never a live generation — forces first bind
+        self._bound: Any = None
+
+    def __call__(self) -> Any:
+        if self._gen != _generation:
+            self._bound = self._build(_registry)
+            self._gen = _generation
+        return self._bound
+
+
+def snapshot() -> Dict[str, Any]:
+    """JSON snapshot of the active registry (empty when disabled)."""
+    return _registry.snapshot()

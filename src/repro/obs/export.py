@@ -1,0 +1,215 @@
+"""Prometheus text-format exposition (and its validating parser).
+
+``render_prometheus`` turns a :class:`~repro.obs.registry.MetricsRegistry`
+into the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ served
+by the Looking Glass's ``/metrics`` endpoint and printed by the
+``repro-study metrics`` subcommand.
+
+``parse_prometheus`` is the other half: a strict parser used by the
+golden-format tests and the CI smoke job to prove the endpoint's output
+is well-formed — every sample line must parse, every sample must be
+declared by a ``# TYPE`` line, histogram buckets must be cumulative and
+carry a ``+Inf`` edge, and ``_count``/``_sum`` must be consistent.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+from .registry import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    Histogram,
+    MetricsRegistry,
+)
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$")
+_LABEL_PAIR = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(labelnames: Tuple[str, ...],
+                 labelvalues: Tuple[str, ...],
+                 extra: str = "") -> str:
+    pairs = [f'{name}="{_escape_label(value)}"'
+             for name, value in zip(labelnames, labelvalues)]
+    if extra:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry.families():
+        help_text = family.help_text.replace("\n", " ")
+        lines.append(f"# HELP {family.name} {help_text}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labelvalues, child in family.samples():
+            if family.kind == HISTOGRAM:
+                assert isinstance(child, Histogram)
+                state = child.value
+                cumulative = state["counts"]
+                edges = list(state["buckets"]) + [math.inf]
+                for edge, count in zip(edges, cumulative):
+                    le = _format_value(float(edge))
+                    labels = _labels_text(
+                        family.labelnames, labelvalues,
+                        extra=f'le="{le}"')
+                    lines.append(
+                        f"{family.name}_bucket{labels} {count}")
+                base = _labels_text(family.labelnames, labelvalues)
+                lines.append(f"{family.name}_sum{base} "
+                             f"{_format_value(float(state['sum']))}")
+                lines.append(f"{family.name}_count{base} "
+                             f"{state['count']}")
+            else:
+                labels = _labels_text(family.labelnames, labelvalues)
+                lines.append(
+                    f"{family.name}{labels} "
+                    f"{_format_value(float(child.value))}")  # type: ignore[arg-type]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class ExpositionFormatError(ValueError):
+    """The exposition payload violates the text format."""
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    remaining = text.strip()
+    while remaining:
+        match = _LABEL_PAIR.match(remaining)
+        if match is None:
+            raise ExpositionFormatError(f"bad label syntax: {text!r}")
+        raw = match.group("value")
+        labels[match.group("name")] = (
+            raw.replace('\\"', '"').replace("\\n", "\n")
+            .replace("\\\\", "\\"))
+        remaining = remaining[match.end():].lstrip(",").strip()
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError as error:
+        raise ExpositionFormatError(
+            f"bad sample value: {text!r}") from error
+
+
+def _base_name(sample_name: str, types: Dict[str, str]) -> str:
+    """Map a sample name back to its declared family name."""
+    if sample_name in types:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            candidate = sample_name[:-len(suffix)]
+            if types.get(candidate) == HISTOGRAM:
+                return candidate
+    raise ExpositionFormatError(
+        f"sample {sample_name!r} has no # TYPE declaration")
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse (and validate) a text exposition payload.
+
+    Returns ``{family: {"type": ..., "samples": [(name, labels,
+    value), ...]}}``. Raises :class:`ExpositionFormatError` on any
+    malformed line, undeclared sample, or inconsistent histogram.
+    """
+    types: Dict[str, str] = {}
+    families: Dict[str, Dict[str, object]] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4 or parts[3] not in (
+                    COUNTER, GAUGE, HISTOGRAM, "summary", "untyped"):
+                raise ExpositionFormatError(f"bad TYPE line: {line!r}")
+            name = parts[2]
+            if name in types:
+                raise ExpositionFormatError(
+                    f"duplicate TYPE for {name}")
+            types[name] = parts[3]
+            families[name] = {"type": parts[3], "samples": []}
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ExpositionFormatError(f"bad sample line: {line!r}")
+        labels = _parse_labels(match.group("labels") or "")
+        value = _parse_value(match.group("value"))
+        base = _base_name(match.group("name"), types)
+        families[base]["samples"].append(  # type: ignore[union-attr]
+            (match.group("name"), labels, value))
+    for name, family in families.items():
+        if family["type"] == HISTOGRAM:
+            _validate_histogram(name, family["samples"])  # type: ignore[arg-type]
+    return families
+
+
+def _validate_histogram(name: str,
+                        samples: List[Tuple[str, Dict[str, str], float]]
+                        ) -> None:
+    """Per label set: buckets cumulative, +Inf present and == _count."""
+    by_labels: Dict[Tuple[Tuple[str, str], ...],
+                    Dict[str, object]] = {}
+    for sample_name, labels, value in samples:
+        base_labels = tuple(sorted(
+            (k, v) for k, v in labels.items() if k != "le"))
+        entry = by_labels.setdefault(
+            base_labels, {"buckets": [], "count": None})
+        if sample_name == f"{name}_bucket":
+            if "le" not in labels:
+                raise ExpositionFormatError(
+                    f"{name}_bucket sample without le label")
+            entry["buckets"].append(  # type: ignore[union-attr]
+                (_parse_value(labels["le"]), value))
+        elif sample_name == f"{name}_count":
+            entry["count"] = value
+    for base_labels, entry in by_labels.items():
+        buckets = sorted(entry["buckets"])  # type: ignore[arg-type]
+        if not buckets or buckets[-1][0] != math.inf:
+            raise ExpositionFormatError(
+                f"{name}{dict(base_labels)} lacks a +Inf bucket")
+        counts = [count for _edge, count in buckets]
+        if counts != sorted(counts):
+            raise ExpositionFormatError(
+                f"{name}{dict(base_labels)} buckets not cumulative")
+        if entry["count"] is not None and \
+                counts[-1] != entry["count"]:
+            raise ExpositionFormatError(
+                f"{name}{dict(base_labels)}: +Inf bucket "
+                f"{counts[-1]} != _count {entry['count']}")

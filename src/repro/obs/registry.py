@@ -1,0 +1,393 @@
+"""Process-local metrics registry (zero-dependency).
+
+The collection campaign runs for weeks and the analysis pipeline chews
+through millions of routes; neither can be optimised — or even trusted
+— without self-measurement. This registry is the project's single
+metrics substrate: counters, gauges, and fixed-bucket histograms,
+thread-safe, labelled, O(1) per update, exposable in Prometheus text
+format (:mod:`repro.obs.export`) and as a JSON snapshot attached to
+campaign checkpoints and run reports (:mod:`repro.obs.report`).
+
+Design constraints, in order:
+
+1. **Hot-path cost.** The route server processes updates in a tight
+   loop; an enabled registry must stay under a few percent of that
+   loop, and a *disabled* one must cost essentially nothing. Hence the
+   :class:`NullMetricsRegistry`, whose children are shared no-op
+   singletons, and the generation-counted proxies in
+   :mod:`repro.obs` that let call sites cache resolved children.
+2. **Bounded memory.** Label sets are capped per family
+   (``max_label_sets``); past the cap, updates fold into a single
+   overflow child instead of growing without bound — a campaign
+   scraping a 1000-peer IXP must not DoS itself through its own
+   per-peer labels.
+3. **No dependencies.** Everything here is stdlib.
+
+Metric names follow ``repro_<layer>_<name>`` (Prometheus conventions:
+``_total`` for counters, ``_seconds`` for durations).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+#: label values a family folds excess children into once
+#: ``max_label_sets`` distinct label sets exist.
+OVERFLOW_LABEL = "_overflow_"
+
+#: default per-family cap on distinct label sets.
+DEFAULT_MAX_LABEL_SETS = 256
+
+#: default histogram buckets (seconds-flavoured, latency-friendly).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+                   1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+class MetricError(ValueError):
+    """Invalid metric registration or use."""
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0].isdigit() or not set(name) <= _NAME_OK:
+        raise MetricError(f"invalid metric name: {name!r}")
+    return name
+
+
+class Counter:
+    """Monotonically increasing value for one label set."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Settable value for one label set."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram for one label set.
+
+    ``buckets`` are the inclusive upper edges; a ``+Inf`` bucket is
+    implicit. ``observe`` is O(log n_buckets) — effectively O(1) for
+    the small fixed edge lists used here.
+    """
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def value(self) -> Dict[str, object]:
+        """JSON-able snapshot: cumulative bucket counts, sum, count."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            accumulated = self._sum
+        cumulative: List[int] = []
+        running = 0
+        for count in counts:
+            running += count
+            cumulative.append(running)
+        return {"buckets": list(self.buckets), "counts": cumulative,
+                "sum": accumulated, "count": total}
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+
+class MetricFamily:
+    """One named metric and all its labelled children."""
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 labelnames: Sequence[str],
+                 buckets: Optional[Sequence[float]] = None,
+                 max_label_sets: int = DEFAULT_MAX_LABEL_SETS) -> None:
+        self.name = _check_name(name)
+        self.kind = kind
+        self.help_text = help_text
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self.buckets: Optional[Tuple[float, ...]] = (
+            tuple(buckets) if buckets is not None else None)
+        self.max_label_sets = max_label_sets
+        self._children: Dict[Tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+        if not self.labelnames:
+            # label-free families get their sole child eagerly so the
+            # common `family.labels().inc()` path is one dict hit.
+            self._children[()] = self._new_child()
+
+    def _new_child(self):
+        if self.kind == COUNTER:
+            return Counter()
+        if self.kind == GAUGE:
+            return Gauge()
+        return Histogram(self.buckets or DEFAULT_BUCKETS)
+
+    def labels(self, *values: object):
+        """The child for one label set (created on first use).
+
+        Past ``max_label_sets`` distinct sets, all new sets share one
+        overflow child so memory stays bounded.
+        """
+        if len(values) != len(self.labelnames):
+            raise MetricError(
+                f"{self.name} takes {len(self.labelnames)} label(s) "
+                f"{self.labelnames}, got {len(values)}")
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is not None:
+            return child
+        with self._lock:
+            child = self._children.get(key)
+            if child is not None:
+                return child
+            if len(self._children) >= self.max_label_sets:
+                key = (OVERFLOW_LABEL,) * len(self.labelnames)
+                child = self._children.get(key)
+                if child is not None:
+                    return child
+            child = self._new_child()
+            self._children[key] = child
+            return child
+
+    def samples(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """(label values, child) pairs, sorted for stable exposition."""
+        with self._lock:
+            return sorted(self._children.items())
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        rows = []
+        for key, child in self.samples():
+            rows.append({
+                "labels": dict(zip(self.labelnames, key)),
+                "value": child.value,  # type: ignore[attr-defined]
+            })
+        return rows
+
+
+class MetricsRegistry:
+    """Process-local collection of metric families.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create and
+    idempotent: re-registering the same name with the same signature
+    returns the existing family (so module-level instrument code and
+    tests can both call them freely); re-registering with a different
+    kind or labels raises.
+    """
+
+    def __init__(self,
+                 max_label_sets: int = DEFAULT_MAX_LABEL_SETS) -> None:
+        self.max_label_sets = max_label_sets
+        self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    # -- registration --------------------------------------------------
+
+    def _register(self, name: str, kind: str, help_text: str,
+                  labelnames: Sequence[str],
+                  buckets: Optional[Sequence[float]] = None
+                  ) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or \
+                        family.labelnames != tuple(labelnames):
+                    raise MetricError(
+                        f"metric {name} already registered as "
+                        f"{family.kind}{family.labelnames}")
+                return family
+            family = MetricFamily(
+                name, kind, help_text, labelnames, buckets=buckets,
+                max_label_sets=self.max_label_sets)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._register(name, COUNTER, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._register(name, GAUGE, help_text, labelnames)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS
+                  ) -> MetricFamily:
+        return self._register(name, HISTOGRAM, help_text, labelnames,
+                              buckets=buckets)
+
+    # -- introspection -------------------------------------------------
+
+    def families(self) -> List[MetricFamily]:
+        with self._lock:
+            return [self._families[name]
+                    for name in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        with self._lock:
+            return self._families.get(name)
+
+    def value(self, name: str, *labelvalues: object) -> float:
+        """Convenience for tests: one child's scalar value (0.0 when
+        the family or child does not exist)."""
+        family = self.get(name)
+        if family is None:
+            return 0.0
+        key = tuple(str(v) for v in labelvalues)
+        child = family._children.get(key)
+        if child is None:
+            return 0.0
+        value = child.value  # type: ignore[attr-defined]
+        if isinstance(value, dict):  # histogram
+            return float(value["count"])
+        return float(value)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able dump of every family (the run-report payload)."""
+        out: Dict[str, object] = {}
+        for family in self.families():
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help_text,
+                "labelnames": list(family.labelnames),
+                "samples": family.snapshot(),
+            }
+        return out
+
+    def reset(self) -> None:
+        """Drop every family. Call through :func:`repro.obs.reset`
+        (which also invalidates instrument-site caches) rather than
+        directly — sites holding bound children would otherwise keep
+        updating orphaned objects."""
+        with self._lock:
+            self._families.clear()
+
+
+class _NoopChild:
+    """Shared do-nothing child: every mutator is a no-op and
+    ``labels`` returns itself, so disabled instrument sites neither
+    allocate nor branch."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def labels(self, *values: object) -> "_NoopChild":
+        return self
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+NOOP_CHILD = _NoopChild()
+
+
+class NullMetricsRegistry:
+    """Registry-shaped null object installed while observability is
+    disabled. All factories return the shared no-op child."""
+
+    max_label_sets = 0
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Sequence[str] = ()) -> _NoopChild:
+        return NOOP_CHILD
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Sequence[str] = ()) -> _NoopChild:
+        return NOOP_CHILD
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Iterable[float] = ()) -> _NoopChild:
+        return NOOP_CHILD
+
+    def families(self) -> List[MetricFamily]:
+        return []
+
+    def get(self, name: str) -> None:
+        return None
+
+    def value(self, name: str, *labelvalues: object) -> float:
+        return 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_REGISTRY = NullMetricsRegistry()

@@ -1,0 +1,74 @@
+"""JSON run reports.
+
+A run report is the durable record of one run's self-measurement: a
+metrics snapshot plus the buffered trace spans, with enough context
+(kind, free-form meta) to tell a campaign run from an analysis run.
+Campaign runs write one through
+:meth:`repro.collector.store.DatasetStore.save_run_report` next to the
+snapshots they produced; the CLI's ``--metrics-out`` writes one to an
+arbitrary path (including the parked/exit-2 path, where the report is
+exactly what explains *why* the run parked).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+REPORT_VERSION = 1
+
+
+def build_run_report(kind: str,
+                     meta: Optional[Dict[str, Any]] = None,
+                     registry: Any = None,
+                     tracer: Any = None) -> Dict[str, Any]:
+    """Assemble a JSON-able run report from the current (or given)
+    registry and trace buffer."""
+    from . import get_registry, get_tracer
+    registry = registry if registry is not None else get_registry()
+    tracer = tracer if tracer is not None else get_tracer()
+    return {
+        "version": REPORT_VERSION,
+        "kind": kind,
+        "created": _dt.datetime.now(_dt.timezone.utc).isoformat(),
+        "meta": dict(meta or {}),
+        "metrics": registry.snapshot(),
+        "traces": tracer.snapshot() if tracer is not None else [],
+    }
+
+
+def write_run_report(path: Any, report: Dict[str, Any]) -> Path:
+    """Write one run report as pretty JSON; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+def load_run_report(path: Any) -> Dict[str, Any]:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def metric_value(report: Dict[str, Any], name: str,
+                 **labels: str) -> float:
+    """Pull one sample's value out of a run report (0.0 when absent).
+
+    Histograms yield their observation count. Convenience for tests
+    and for humans grepping a report programmatically.
+    """
+    family = report.get("metrics", {}).get(name)
+    if not family:
+        return 0.0
+    for sample in family.get("samples", []):
+        sample_labels = sample.get("labels", {})
+        if all(sample_labels.get(k) == v for k, v in labels.items()):
+            value = sample.get("value", 0.0)
+            if isinstance(value, dict):
+                return float(value.get("count", 0))
+            return float(value)
+    return 0.0

@@ -1,0 +1,167 @@
+"""Nested wall-clock tracing with a bounded in-memory buffer.
+
+``span("stage")`` is both a context manager and a decorator. Completed
+spans land in a :class:`TraceBuffer` — a bounded ring, so a multi-week
+campaign cannot leak memory through its own traces. Nesting depth and
+the parent span name are tracked per thread, so a trace dump reads as
+an indented call tree:
+
+    with span("pipeline"):
+        with span("aggregate"):
+            ...
+
+The clock is injectable (tests pass a fake); spans are no-ops while
+observability is disabled (see :func:`repro.obs.enabled`).
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+#: default ring capacity — plenty for a run report, bounded for a
+#: multi-week campaign.
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span."""
+
+    name: str
+    start: float
+    duration: float
+    depth: int
+    parent: Optional[str]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "start": self.start,
+                "duration": self.duration, "depth": self.depth,
+                "parent": self.parent}
+
+
+class TraceBuffer:
+    """Bounded ring of completed spans plus per-thread nesting state."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.capacity = capacity
+        self.clock = clock
+        self._spans: deque = deque(maxlen=capacity)
+        self._dropped = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- nesting state -------------------------------------------------
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def push(self, name: str) -> float:
+        stack = self._stack()
+        stack.append(name)
+        return self.clock()
+
+    def pop(self, name: str, started: float) -> SpanRecord:
+        ended = self.clock()
+        stack = self._stack()
+        depth = max(0, len(stack) - 1)
+        parent = stack[-2] if len(stack) >= 2 else None
+        if stack and stack[-1] == name:
+            stack.pop()
+        record = SpanRecord(name=name, start=started,
+                            duration=ended - started,
+                            depth=depth, parent=parent)
+        with self._lock:
+            if len(self._spans) == self._spans.maxlen:
+                self._dropped += 1
+            self._spans.append(record)
+        return record
+
+    # -- introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted because the ring was full."""
+        return self._dropped
+
+    def records(self) -> List[SpanRecord]:
+        with self._lock:
+            return list(self._spans)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        return [record.to_dict() for record in self.records()]
+
+    def durations(self, name: str) -> List[float]:
+        """All recorded durations of spans called *name*."""
+        return [r.duration for r in self.records() if r.name == name]
+
+    def format_tree(self) -> str:
+        """Indented text rendering of the buffered spans."""
+        lines = []
+        for record in self.records():
+            lines.append(f"{'  ' * record.depth}{record.name}: "
+                         f"{record.duration * 1000:.2f}ms")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._dropped = 0
+
+
+class span:
+    """Context manager / decorator timing one named region.
+
+    ``buffer=None`` (the default) resolves the process-global trace
+    buffer at enter time, so a span site written once follows
+    enable/disable at run time. When observability is disabled the
+    span enters and exits without reading the clock.
+    """
+
+    __slots__ = ("name", "_buffer", "_active", "_started")
+
+    def __init__(self, name: str,
+                 buffer: Optional[TraceBuffer] = None) -> None:
+        self.name = name
+        self._buffer = buffer
+        self._active: Optional[TraceBuffer] = None
+        self._started = 0.0
+
+    def _resolve(self) -> Optional[TraceBuffer]:
+        if self._buffer is not None:
+            return self._buffer
+        from . import get_tracer  # late: avoids import cycle
+        return get_tracer()
+
+    def __enter__(self) -> "span":
+        buffer = self._resolve()
+        self._active = buffer
+        if buffer is not None:
+            self._started = buffer.push(self.name)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._active is not None:
+            self._active.pop(self.name, self._started)
+            self._active = None
+
+    def __call__(self, func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any):
+            # fresh instance per call: decorator use must be reentrant.
+            with span(self.name, self._buffer):
+                return func(*args, **kwargs)
+        return wrapper

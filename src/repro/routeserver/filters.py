@@ -10,13 +10,21 @@ dropped, because the LG exposes both the filtered and accepted sets.
 
 from __future__ import annotations
 
+import types
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Protocol, Sequence
 
+from .. import obs
 from ..bgp.asn import is_bogon_asn
 from ..bgp.prefix import is_bogon_prefix, is_too_broad, is_too_specific
 from ..bgp.route import Route
 from .config import RouteServerConfig
+
+_METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
+    rejects=reg.counter(
+        "repro_routeserver_filter_rejected_total",
+        "Import-filter rejections by rule", ("rule",)),
+))
 
 
 @dataclass(frozen=True)
@@ -215,6 +223,7 @@ class FilterChain:
                 continue
             verdict = import_filter.evaluate(route)
             if not verdict.accepted:
+                _METRICS().rejects.labels(import_filter.name).inc()
                 return verdict
         return FilterVerdict.accept()
 

@@ -22,13 +22,22 @@ that does not exist, so the RS performs matching work for nothing.
 
 from __future__ import annotations
 
+import types
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from .. import obs
 from ..bgp.communities import StandardCommunity
 from ..bgp.route import Route
 from ..ixp.dictionary import CommunityDictionary, Semantics
 from ..ixp.taxonomy import ActionCategory, Target, TargetKind
+
+_METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
+    actions=reg.counter(
+        "repro_routeserver_action_applications_total",
+        "Action-community instances compiled into route policies, "
+        "by category", ("category",)),
+))
 
 
 @dataclass(frozen=True)
@@ -102,6 +111,7 @@ class PolicyEngine:
         for community, semantics in self.classify_actions(route):
             action_communities.add(community)
             category = semantics.category
+            _METRICS().actions.labels(category.value).inc()
             target = semantics.target or Target.none()
             if category is ActionCategory.BLACKHOLING:
                 blackhole = self._blackholing_enabled

@@ -14,9 +14,11 @@ sets the paper's §3 describes.
 
 from __future__ import annotations
 
+import types
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..bgp.messages import UpdateMessage
 from ..bgp.route import Route
 from ..ixp.member import Member
@@ -25,6 +27,28 @@ from .config import RouteServerConfig
 from .filters import FilterChain
 from .policy import PolicyEngine, RoutePolicy
 from .rib import RibStore
+
+# Hot-path metrics: every child here is bound once per observability
+# generation (see MetricSet), so `announce` pays one attribute read
+# and one (no-op when disabled) increment per route.
+_METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
+    routes=reg.counter(
+        "repro_routeserver_routes_processed_total",
+        "Announcements run through the import pipeline").labels(),
+    accepted=reg.counter(
+        "repro_routeserver_routes_accepted_total",
+        "Announcements accepted into the Adj-RIB-In").labels(),
+    updates=reg.counter(
+        "repro_routeserver_updates_total",
+        "Encoded BGP UPDATE messages decoded and applied").labels(),
+    withdrawals=reg.counter(
+        "repro_routeserver_withdrawals_total",
+        "Prefix withdrawals processed").labels(),
+    rib_routes=reg.gauge(
+        "repro_routeserver_rib_routes",
+        "Adj-RIB-In size per peer (refreshed on summary reads, "
+        "not per update)", ("peer", "kind")),
+))
 
 
 @dataclass(frozen=True)
@@ -86,8 +110,11 @@ class RouteServer:
         or marked filtered with the rejecting filter's reason)."""
         if route.peer_asn not in self._sessions:
             raise KeyError(f"AS{route.peer_asn} has no session with the RS")
+        metrics = _METRICS()
+        metrics.routes.inc()
         verdict = self._filters.evaluate(route)
         if verdict.accepted:
+            metrics.accepted.inc()
             stored = self._stamp_informational(route)
             stored = replace(stored, filtered=False, filter_reason=None)
         else:
@@ -103,6 +130,7 @@ class RouteServer:
         Withdrawn prefixes are removed; each NLRI becomes an announced
         route. Returns the stored routes.
         """
+        _METRICS().updates.inc()
         update = UpdateMessage.decode(blob)
         for prefix in update.withdrawn + update.mp_withdrawn:
             self.withdraw(peer_asn, prefix)
@@ -126,6 +154,7 @@ class RouteServer:
         return stored
 
     def withdraw(self, peer_asn: int, prefix: str) -> Optional[Route]:
+        _METRICS().withdrawals.inc()
         self._policy_cache.pop((peer_asn, prefix), None)
         if peer_asn in self._sessions:
             return self._ribs.rib_for(peer_asn).withdraw(prefix)
@@ -176,6 +205,8 @@ class RouteServer:
     def peers_summary(self) -> List[Dict[str, object]]:
         """The LG ``/neighbors`` summary: one row per session."""
         rows: List[Dict[str, object]] = []
+        update_gauges = obs.enabled()
+        metrics = _METRICS()
         for session in self.peers():
             rib = self._ribs.rib_for(session.asn)
             rows.append({
@@ -185,6 +216,14 @@ class RouteServer:
                 "routes_accepted": rib.accepted_count,
                 "routes_filtered": rib.filtered_count,
             })
+            if update_gauges:
+                # gauges refresh on this (read-side) path so the
+                # per-announce hot path never allocates label strings
+                peer = str(session.asn)
+                metrics.rib_routes.labels(peer, "accepted").set(
+                    rib.accepted_count)
+                metrics.rib_routes.labels(peer, "filtered").set(
+                    rib.filtered_count)
         return rows
 
     def policy_for(self, route: Route) -> RoutePolicy:

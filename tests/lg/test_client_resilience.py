@@ -216,9 +216,10 @@ class TestCircuitBreaker:
         requests_before = len(urls)
         with pytest.raises(CircuitOpenError) as excinfo:
             client.status()
-        # refused locally: no request went out
+        # refused locally: no request went out — and counted as its
+        # own failure class, not folded into lg_outage
         assert len(urls) == requests_before
-        assert excinfo.value.failure_class == "lg_outage"
+        assert excinfo.value.failure_class == "breaker_open"
 
     def test_half_open_probe_recovers(self, script):
         steps, _urls = script

@@ -1,0 +1,19 @@
+"""Observability-suite fixtures.
+
+The :mod:`repro.obs` globals (registry, tracer, generation counter)
+are process-wide; every test here starts and ends with observability
+disabled so suites cannot contaminate each other through them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    obs.disable()
+    yield
+    obs.disable()

@@ -1,0 +1,153 @@
+"""End-to-end observability: a campaign against a fault-injecting
+Looking Glass must leave a coherent metric trail — retries, breaker
+transitions, per-class failures — in the registry, in the run report
+written through ``DatasetStore``, and on the LG's ``/metrics``
+endpoint."""
+
+from __future__ import annotations
+
+import time as _time
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.collector import DatasetStore
+from repro.collector.campaign import (
+    CampaignConfig,
+    CampaignTarget,
+    CollectionCampaign,
+)
+from repro.lg import FaultSchedule, LookingGlassServer
+from repro.obs.report import metric_value
+
+DATE = "2021-10-04"
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.now += seconds
+        _time.sleep(min(seconds, 0.002))  # let the token bucket refill
+
+
+@pytest.fixture(scope="module")
+def faulty_run(lg_world, tmp_path_factory):
+    """One campaign over a fault-injecting LG with observability on;
+    shared by the read-only assertions below."""
+    mounts = {("linx", 4): lg_world("linx")[1]}
+    # outage long enough to exhaust retries and trip a threshold-2
+    # breaker, short enough that the run recovers within the mount.
+    faults = FaultSchedule(outage_windows=[(5, 13)])
+    server = LookingGlassServer(mounts, faults=faults,
+                                rate_per_second=100_000, burst=100_000)
+    obs.disable()
+    registry = obs.enable()
+    store = DatasetStore(tmp_path_factory.mktemp("obs-campaign") / "ds")
+    clock = FakeClock()
+    with server.serve() as url:
+        config = CampaignConfig(
+            base_url=url,
+            targets=[CampaignTarget(ixp="linx", family=4)],
+            captured_on=DATE, checkpoint_every=8,
+            max_retries=1, peer_attempts=2,
+            breaker_threshold=2, breaker_reset=3.0,
+            backoff_base=0.001, backoff_cap=0.01)
+        campaign = CollectionCampaign(store, config, clock=clock,
+                                      sleep=clock.sleep)
+        report = campaign.run()
+        metrics_text = urllib.request.urlopen(
+            url + "/metrics", timeout=10).read().decode("utf-8")
+    # capture the tracer now: the per-test autouse fixture disables
+    # the obs globals before each test body runs
+    tracer = obs.get_tracer()
+    yield report, store, registry, tracer, metrics_text
+    obs.disable()
+
+
+class TestRegistryTrail:
+    def test_requests_and_retries_counted(self, faulty_run):
+        _report, _store, registry, _tracer, _text = faulty_run
+        assert registry.value("repro_lg_client_requests_total",
+                              "linx", "4") > 0
+        # the outage forced at least one retry and one backoff sleep
+        assert registry.value("repro_lg_client_retries_total",
+                              "linx", "4") > 0
+        assert registry.value("repro_lg_client_backoff_seconds_total",
+                              "linx", "4") > 0
+
+    def test_breaker_transitions_counted(self, faulty_run):
+        _report, _store, registry, _tracer, _text = faulty_run
+        opened = registry.value("repro_lg_breaker_transitions_total",
+                                "linx/v4", "closed", "open")
+        assert opened > 0
+        # the campaign recovered the breaker within the run
+        assert registry.value("repro_lg_breaker_transitions_total",
+                              "linx/v4", "half_open", "closed") > 0
+        assert registry.value("repro_lg_breaker_rejected_total",
+                              "linx/v4") > 0
+
+    def test_breaker_open_failures_distinct_from_outages(self, faulty_run):
+        report, _store, registry, _tracer, _text = faulty_run
+        # the breaker-refused calls are classed breaker_open, and the
+        # registry agrees with the campaign's own taxonomy counts
+        assert report.failure_counts["breaker_open"] > 0
+        assert registry.value("repro_campaign_failures_total",
+                              "linx", "4", "breaker_open") \
+            == report.failure_counts["breaker_open"]
+
+    def test_campaign_peer_outcomes_counted(self, faulty_run):
+        report, _store, registry, _tracer, _text = faulty_run
+        target = report.targets[0]
+        assert registry.value("repro_campaign_peers_total",
+                              "linx", "4", "collected") \
+            == target.peers_collected
+        assert registry.value("repro_campaign_targets_total",
+                              target.status) == 1
+
+
+class TestRunReport:
+    def test_report_written_through_store(self, faulty_run):
+        report, store, _registry, _tracer, _text = faulty_run
+        name = f"campaign-{DATE}"
+        assert store.has_run_report(name)
+        assert name in store.run_report_names()
+        saved = store.load_run_report(name)
+        assert saved["kind"] == "campaign"
+        assert metric_value(saved, "repro_lg_client_retries_total",
+                            ixp="linx", family="4") > 0
+        assert saved["meta"]["targets"][0]["ixp"] == "linx"
+        assert report.run_report_path is not None
+
+    def test_traces_cover_campaign_and_targets(self, faulty_run):
+        _report, _store, _registry, tracer, _text = faulty_run
+        names = {r.name for r in tracer.records()}
+        assert f"campaign {DATE}" in names
+        assert "target linx/v4" in names
+
+
+class TestMetricsEndpoint:
+    def test_exposition_is_valid_and_carries_fault_counters(
+            self, faulty_run):
+        _report, _store, _registry, _tracer, text = faulty_run
+        families = obs.parse_prometheus(text)  # raises if malformed
+        assert families["repro_lg_server_faults_total"]["samples"]
+        server_requests = [
+            value for _name, _labels, value
+            in families["repro_lg_server_requests_total"]["samples"]]
+        assert sum(server_requests) > 0
+
+    def test_endpoint_reports_disabled_without_registry(self, lg_world):
+        obs.disable()
+        mounts = {("linx", 4): lg_world("linx")[1]}
+        server = LookingGlassServer(mounts, rate_per_second=100_000,
+                                    burst=100_000)
+        with server.serve() as url:
+            text = urllib.request.urlopen(
+                url + "/metrics", timeout=10).read().decode("utf-8")
+        assert "disabled" in text

@@ -1,0 +1,162 @@
+"""Prometheus text exposition: golden output, round-trip through the
+validating parser, and the malformed payloads the parser must reject."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.export import (
+    CONTENT_TYPE,
+    ExpositionFormatError,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    errors = reg.counter("repro_lg_client_errors_total",
+                         "Failed requests by kind", ("kind",))
+    errors.labels("timeout").inc(3)
+    errors.labels("rate_limited").inc()
+    reg.gauge("repro_lg_breaker_state",
+              "Breaker state code", ("mount",)).labels("linx/v4").set(1)
+    hist = reg.histogram("repro_lg_client_fetch_seconds",
+                         "Fetch latency", buckets=(0.1, 1.0))
+    # exactly-representable floats so the golden _sum is stable
+    hist.labels().observe(0.0625)
+    hist.labels().observe(0.5)
+    hist.labels().observe(5.0)
+    return reg
+
+
+GOLDEN = """\
+# HELP repro_lg_breaker_state Breaker state code
+# TYPE repro_lg_breaker_state gauge
+repro_lg_breaker_state{mount="linx/v4"} 1
+# HELP repro_lg_client_errors_total Failed requests by kind
+# TYPE repro_lg_client_errors_total counter
+repro_lg_client_errors_total{kind="rate_limited"} 1
+repro_lg_client_errors_total{kind="timeout"} 3
+# HELP repro_lg_client_fetch_seconds Fetch latency
+# TYPE repro_lg_client_fetch_seconds histogram
+repro_lg_client_fetch_seconds_bucket{le="0.1"} 1
+repro_lg_client_fetch_seconds_bucket{le="1"} 2
+repro_lg_client_fetch_seconds_bucket{le="+Inf"} 3
+repro_lg_client_fetch_seconds_sum 5.5625
+repro_lg_client_fetch_seconds_count 3
+"""
+
+
+class TestRender:
+    def test_golden_exposition(self, registry):
+        assert render_prometheus(registry) == GOLDEN
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_esc_total", "t", ("what",)).labels(
+            'quo"te\\slash\nnewline').inc()
+        text = render_prometheus(reg)
+        assert r'what="quo\"te\\slash\nnewline"' in text
+        # and the escaping survives a parse round-trip
+        families = parse_prometheus(text)
+        _, labels, value = families["repro_esc_total"]["samples"][0]
+        assert labels["what"] == 'quo"te\\slash\nnewline'
+        assert value == 1
+
+    def test_content_type_is_prometheus_text(self):
+        assert CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestRoundTrip:
+    def test_parse_recovers_types_and_values(self, registry):
+        families = parse_prometheus(render_prometheus(registry))
+        assert families["repro_lg_client_errors_total"]["type"] \
+            == "counter"
+        assert families["repro_lg_breaker_state"]["type"] == "gauge"
+        assert families["repro_lg_client_fetch_seconds"]["type"] \
+            == "histogram"
+        samples = {
+            (name, tuple(sorted(labels.items()))): value
+            for name, labels, value
+            in families["repro_lg_client_errors_total"]["samples"]}
+        assert samples[("repro_lg_client_errors_total",
+                        (("kind", "timeout"),))] == 3
+
+    def test_histogram_inf_bucket_parsed(self, registry):
+        families = parse_prometheus(render_prometheus(registry))
+        buckets = [
+            (labels["le"], value) for name, labels, value
+            in families["repro_lg_client_fetch_seconds"]["samples"]
+            if name.endswith("_bucket")]
+        assert ("+Inf", 3) in buckets
+
+
+class TestParserRejects:
+    def test_sample_without_type_declaration(self):
+        with pytest.raises(ExpositionFormatError):
+            parse_prometheus("repro_orphan_total 1\n")
+
+    def test_bad_sample_line(self):
+        with pytest.raises(ExpositionFormatError):
+            parse_prometheus(
+                "# TYPE repro_x_total counter\n"
+                "repro_x_total one\n")
+
+    def test_bad_type_line(self):
+        with pytest.raises(ExpositionFormatError):
+            parse_prometheus("# TYPE repro_x_total frobnicator\n")
+
+    def test_duplicate_type_line(self):
+        with pytest.raises(ExpositionFormatError):
+            parse_prometheus(
+                "# TYPE repro_x_total counter\n"
+                "# TYPE repro_x_total counter\n")
+
+    def test_bad_label_syntax(self):
+        with pytest.raises(ExpositionFormatError):
+            parse_prometheus(
+                "# TYPE repro_x_total counter\n"
+                "repro_x_total{kind=unquoted} 1\n")
+
+    def test_histogram_without_inf_bucket(self):
+        with pytest.raises(ExpositionFormatError, match="\\+Inf"):
+            parse_prometheus(
+                "# TYPE repro_h_seconds histogram\n"
+                'repro_h_seconds_bucket{le="1"} 2\n'
+                "repro_h_seconds_count 2\n")
+
+    def test_histogram_not_cumulative(self):
+        with pytest.raises(ExpositionFormatError, match="cumulative"):
+            parse_prometheus(
+                "# TYPE repro_h_seconds histogram\n"
+                'repro_h_seconds_bucket{le="1"} 5\n'
+                'repro_h_seconds_bucket{le="+Inf"} 3\n'
+                "repro_h_seconds_count 3\n")
+
+    def test_histogram_count_mismatch(self):
+        with pytest.raises(ExpositionFormatError, match="_count"):
+            parse_prometheus(
+                "# TYPE repro_h_seconds histogram\n"
+                'repro_h_seconds_bucket{le="1"} 1\n'
+                'repro_h_seconds_bucket{le="+Inf"} 2\n'
+                "repro_h_seconds_count 99\n")
+
+    def test_bucket_without_le_label(self):
+        with pytest.raises(ExpositionFormatError, match="le"):
+            parse_prometheus(
+                "# TYPE repro_h_seconds histogram\n"
+                "repro_h_seconds_bucket 2\n")
+
+    def test_inf_values_parse(self):
+        families = parse_prometheus(
+            "# TYPE repro_g gauge\nrepro_g +Inf\n")
+        assert families["repro_g"]["samples"][0][2] == math.inf

@@ -1,0 +1,220 @@
+"""Registry semantics: counters/gauges/histograms, labels, the
+cardinality cap, the null registry, and MetricSet rebinding."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    NOOP_CHILD,
+    NULL_REGISTRY,
+    OVERFLOW_LABEL,
+    MetricError,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_increments(self, registry):
+        counter = registry.counter("repro_test_total", "t").labels()
+        counter.inc()
+        counter.inc(2.5)
+        assert registry.value("repro_test_total") == 3.5
+
+    def test_negative_increment_rejected(self, registry):
+        counter = registry.counter("repro_test_total", "t").labels()
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_labelled_children_are_independent(self, registry):
+        family = registry.counter("repro_test_total", "t", ("class",))
+        family.labels("timeout").inc()
+        family.labels("timeout").inc()
+        family.labels("lg_outage").inc()
+        assert registry.value("repro_test_total", "timeout") == 2
+        assert registry.value("repro_test_total", "lg_outage") == 1
+        assert registry.value("repro_test_total", "unseen") == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("repro_test_gauge", "t").labels()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert registry.value("repro_test_gauge") == 13
+
+    def test_label_values_coerced_to_str(self, registry):
+        family = registry.gauge("repro_rib", "t", ("peer",))
+        family.labels(64500).set(7)
+        assert registry.value("repro_rib", "64500") == 7
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self, registry):
+        family = registry.histogram("repro_test_seconds", "t",
+                                    buckets=(1.0, 2.0))
+        child = family.labels()
+        child.observe(1.0)   # exactly on an edge → that bucket
+        child.observe(1.5)
+        child.observe(9.0)   # past the last edge → +Inf bucket
+        state = child.value
+        assert state["buckets"] == [1.0, 2.0]
+        # cumulative: le=1 → 1, le=2 → 2, +Inf → 3
+        assert state["counts"] == [1, 2, 3]
+        assert state["count"] == 3
+        assert state["sum"] == pytest.approx(11.5)
+
+    def test_value_reported_as_count_by_helper(self, registry):
+        family = registry.histogram("repro_test_seconds", "t")
+        family.labels().observe(0.2)
+        family.labels().observe(0.4)
+        assert registry.value("repro_test_seconds") == 2
+
+    def test_default_buckets(self, registry):
+        family = registry.histogram("repro_test_seconds", "t")
+        assert family.buckets == DEFAULT_BUCKETS
+
+
+class TestRegistration:
+    def test_get_or_create_is_idempotent(self, registry):
+        first = registry.counter("repro_x_total", "t", ("a",))
+        second = registry.counter("repro_x_total", "t", ("a",))
+        assert first is second
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("repro_x_total", "t")
+        with pytest.raises(MetricError):
+            registry.gauge("repro_x_total", "t")
+
+    def test_label_conflict_raises(self, registry):
+        registry.counter("repro_x_total", "t", ("a",))
+        with pytest.raises(MetricError):
+            registry.counter("repro_x_total", "t", ("a", "b"))
+
+    def test_invalid_name_rejected(self, registry):
+        for bad in ("", "9leading_digit", "has-dash", "has space"):
+            with pytest.raises(MetricError):
+                registry.counter(bad, "t")
+
+    def test_wrong_label_arity_rejected(self, registry):
+        family = registry.counter("repro_x_total", "t", ("a", "b"))
+        with pytest.raises(MetricError):
+            family.labels("only-one")
+
+
+class TestCardinalityCap:
+    def test_excess_label_sets_fold_into_overflow(self):
+        registry = MetricsRegistry(max_label_sets=3)
+        family = registry.counter("repro_peers_total", "t", ("peer",))
+        for peer in range(10):
+            family.labels(str(peer)).inc()
+        # 3 real children + 1 shared overflow child
+        keys = {key for key, _ in family.samples()}
+        assert len(keys) == 4
+        assert (OVERFLOW_LABEL,) in keys
+        # the 7 folded increments all landed on the overflow child
+        assert registry.value("repro_peers_total", OVERFLOW_LABEL) == 7
+
+    def test_existing_children_still_usable_past_cap(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        family = registry.counter("repro_peers_total", "t", ("peer",))
+        family.labels("a").inc()
+        family.labels("b").inc()
+        family.labels("c").inc()  # folds
+        family.labels("a").inc()  # pre-cap child still addressable
+        assert registry.value("repro_peers_total", "a") == 2
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_updates_are_exact(self, registry):
+        family = registry.counter("repro_race_total", "t", ("worker",))
+        histogram = registry.histogram("repro_race_seconds", "t").labels()
+        increments = 5000
+
+        def work(worker):
+            child = family.labels(str(worker % 2))
+            for _ in range(increments):
+                child.inc()
+                histogram.observe(0.001)
+
+        threads = [threading.Thread(target=work, args=(n,))
+                   for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = (registry.value("repro_race_total", "0")
+                 + registry.value("repro_race_total", "1"))
+        assert total == 8 * increments
+        assert registry.value("repro_race_seconds") == 8 * increments
+
+
+class TestNullRegistry:
+    def test_everything_is_a_shared_noop(self):
+        child = NULL_REGISTRY.counter("repro_x_total", "t")
+        assert child is NOOP_CHILD
+        assert child.labels("a", "b") is NOOP_CHILD
+        child.inc()
+        child.observe(1.0)
+        child.set(5)
+        child.dec()
+        assert child.value == 0.0
+        assert NULL_REGISTRY.snapshot() == {}
+        assert NULL_REGISTRY.families() == []
+        assert NULL_REGISTRY.value("anything") == 0.0
+
+
+class TestMetricSet:
+    def test_rebinding_follows_enable_disable(self):
+        import types
+
+        metric_set = obs.MetricSet(lambda reg: types.SimpleNamespace(
+            hits=reg.counter("repro_ms_total", "t").labels()))
+        assert metric_set().hits is NOOP_CHILD  # disabled → no-op
+
+        registry = obs.enable()
+        live = metric_set().hits
+        assert live is not NOOP_CHILD
+        live.inc()
+        assert registry.value("repro_ms_total") == 1
+
+        obs.disable()
+        assert metric_set().hits is NOOP_CHILD
+
+    def test_bound_children_cached_within_generation(self):
+        import types
+
+        calls = []
+
+        def build(reg):
+            calls.append(1)
+            return types.SimpleNamespace(
+                hits=reg.counter("repro_ms_total", "t").labels())
+
+        metric_set = obs.MetricSet(build)
+        obs.enable()
+        first = metric_set()
+        second = metric_set()
+        assert first is second
+        assert len(calls) == 1
+
+    def test_reset_invalidates_bound_children(self):
+        import types
+
+        metric_set = obs.MetricSet(lambda reg: types.SimpleNamespace(
+            hits=reg.counter("repro_ms_total", "t").labels()))
+        registry = obs.enable()
+        metric_set().hits.inc()
+        obs.reset()
+        metric_set().hits.inc()  # rebinds to the recreated family
+        assert registry.value("repro_ms_total") == 1

@@ -1,0 +1,71 @@
+"""JSON run reports: structure, disk round-trip, and the
+``metric_value`` convenience reader."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs.report import (
+    REPORT_VERSION,
+    build_run_report,
+    load_run_report,
+    metric_value,
+    write_run_report,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import TraceBuffer, span
+
+
+def make_report():
+    registry = MetricsRegistry()
+    registry.counter("repro_x_total", "t", ("class",)) \
+        .labels("timeout").inc(4)
+    registry.histogram("repro_x_seconds", "t").labels().observe(0.2)
+    tracer = TraceBuffer(capacity=8)
+    with span("stage", tracer):
+        pass
+    return build_run_report("campaign", meta={"url": "http://lg"},
+                            registry=registry, tracer=tracer)
+
+
+class TestBuild:
+    def test_structure(self):
+        report = make_report()
+        assert report["version"] == REPORT_VERSION
+        assert report["kind"] == "campaign"
+        assert report["meta"] == {"url": "http://lg"}
+        assert "repro_x_total" in report["metrics"]
+        assert [t["name"] for t in report["traces"]] == ["stage"]
+        assert report["created"].endswith("+00:00")  # UTC, explicit
+
+    def test_defaults_to_global_registry(self):
+        obs.enable().counter("repro_g_total", "t").labels().inc()
+        report = build_run_report("pipeline")
+        assert metric_value(report, "repro_g_total") == 1
+
+    def test_disabled_report_is_empty_but_valid(self):
+        report = build_run_report("pipeline")
+        assert report["metrics"] == {}
+        assert report["traces"] == []
+
+
+class TestDiskRoundTrip:
+    def test_write_creates_parents_and_loads_back(self, tmp_path):
+        report = make_report()
+        target = tmp_path / "deep" / "run.json"
+        path = write_run_report(target, report)
+        assert path == target
+        assert load_run_report(path) == report
+
+
+class TestMetricValue:
+    def test_label_match_and_histogram_count(self):
+        report = make_report()
+        assert metric_value(report, "repro_x_total",
+                            **{"class": "timeout"}) == 4
+        assert metric_value(report, "repro_x_seconds") == 1  # count
+
+    def test_absent_family_or_labels_is_zero(self):
+        report = make_report()
+        assert metric_value(report, "repro_missing_total") == 0.0
+        assert metric_value(report, "repro_x_total",
+                            **{"class": "nope"}) == 0.0

@@ -1,0 +1,118 @@
+"""Span tracing: nesting, decorator use, the bounded ring, and the
+disabled-by-default behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import TraceBuffer, span
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+@pytest.fixture
+def buffer():
+    return TraceBuffer(capacity=16, clock=FakeClock())
+
+
+class TestNesting:
+    def test_depth_and_parent_tracked(self, buffer):
+        with span("outer", buffer):
+            with span("inner", buffer):
+                pass
+        records = {r.name: r for r in buffer.records()}
+        assert records["inner"].depth == 1
+        assert records["inner"].parent == "outer"
+        assert records["outer"].depth == 0
+        assert records["outer"].parent is None
+        # inner completes (and is buffered) before outer
+        assert [r.name for r in buffer.records()] == ["inner", "outer"]
+
+    def test_durations_from_injected_clock(self, buffer):
+        with span("timed", buffer):
+            pass
+        [record] = buffer.records()
+        assert record.duration == 1.0  # two clock reads, 1.0 apart
+        assert buffer.durations("timed") == [1.0]
+        assert buffer.durations("other") == []
+
+    def test_format_tree_indents_by_depth(self, buffer):
+        with span("outer", buffer):
+            with span("inner", buffer):
+                pass
+        tree = buffer.format_tree()
+        lines = tree.splitlines()
+        assert lines[0] == "  inner: 1000.00ms"  # depth 1 → indented
+        assert lines[1].startswith("outer")
+
+
+class TestDecorator:
+    def test_decorated_function_is_traced(self, buffer):
+        @span("work", buffer)
+        def work(x):
+            return x * 2
+
+        assert work(21) == 42
+        assert work.__name__ == "work"
+        assert len(buffer.durations("work")) == 1
+
+    def test_decorator_is_reentrant(self, buffer):
+        @span("fib", buffer)
+        def fib(n):
+            return n if n < 2 else fib(n - 1) + fib(n - 2)
+
+        fib(4)
+        records = [r for r in buffer.records() if r.name == "fib"]
+        assert len(records) == 9  # every recursive call traced
+        assert max(r.depth for r in records) > 0
+
+
+class TestBoundedRing:
+    def test_ring_drops_oldest_and_counts_drops(self):
+        buffer = TraceBuffer(capacity=3, clock=FakeClock())
+        for index in range(5):
+            with span(f"s{index}", buffer):
+                pass
+        assert len(buffer) == 3
+        assert buffer.dropped == 2
+        assert [r.name for r in buffer.records()] == ["s2", "s3", "s4"]
+
+    def test_clear_resets_ring_and_drop_count(self):
+        buffer = TraceBuffer(capacity=1, clock=FakeClock())
+        with span("a", buffer):
+            pass
+        with span("b", buffer):
+            pass
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.dropped == 0
+
+
+class TestGlobalResolution:
+    def test_span_is_noop_while_disabled(self):
+        with span("ghost"):
+            pass
+        assert obs.get_tracer() is None  # nothing was installed
+
+    def test_span_lands_in_global_tracer_when_enabled(self):
+        obs.enable()
+        with span("live"):
+            pass
+        tracer = obs.get_tracer()
+        assert [r.name for r in tracer.records()] == ["live"]
+
+    def test_snapshot_is_json_able(self):
+        obs.enable()
+        with span("live"):
+            pass
+        [record] = obs.get_tracer().snapshot()
+        assert set(record) == {"name", "start", "duration", "depth",
+                               "parent"}

@@ -91,6 +91,70 @@ class TestAnalyzeInMemory:
         assert "defined_share" in output
 
 
+class TestObservabilityFlags:
+    @pytest.fixture(autouse=True)
+    def _obs_off_afterwards(self):
+        from repro import obs
+        yield
+        obs.disable()
+
+    def test_pipeline_alias_with_metrics_out(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(["pipeline", "--ixps", "bcix", "--families", "4",
+                     "--scale", "0.012", "--metrics-out", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output  # the alias runs the full analyze
+        report = json.loads(out.read_text())
+        assert report["kind"] == "pipeline"
+        assert "repro_pipeline_stage_seconds" in report["metrics"]
+        assert any(t["name"] == "pipeline:generate"
+                   for t in report["traces"])
+
+    def test_analyze_with_store_attaches_report(self, tmp_path, capsys):
+        from repro.collector import DatasetStore
+        store_dir = str(tmp_path / "ds")
+        assert main(["generate", "--store", store_dir, "--ixps", "bcix",
+                     "--families", "4", "--scale", "0.012",
+                     "--days", "1"]) == 0
+        out = tmp_path / "report.json"
+        assert main(["analyze", "--store", store_dir, "--ixps", "bcix",
+                     "--families", "4", "--metrics-out", str(out)]) == 0
+        capsys.readouterr()
+        assert out.exists()
+        assert DatasetStore(store_dir).has_run_report("analyze")
+
+    def test_analyze_without_flag_leaves_obs_disabled(self, capsys):
+        from repro import obs
+        assert main(["analyze", "--ixps", "bcix", "--families", "4",
+                     "--scale", "0.012"]) == 0
+        capsys.readouterr()
+        assert not obs.enabled()
+
+    def test_metrics_subcommand_validates_live_endpoint(
+            self, tmp_path, capsys):
+        from repro.lg import LookingGlassServer
+        from repro.workload import ScenarioConfig, SnapshotGenerator
+        from repro.ixp import get_profile
+        from repro import obs
+
+        obs.enable()
+        generator = SnapshotGenerator(get_profile("bcix"),
+                                      ScenarioConfig(scale=0.012, seed=5))
+        server = LookingGlassServer(
+            {("bcix", 4): generator.populated_route_server(4)}, port=0)
+        with server.serve() as url:
+            assert main(["metrics", "--url", url]) == 0
+            raw = capsys.readouterr().out
+            assert "# TYPE" in raw
+            assert main(["metrics", "--url", url, "--json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert any(name.startswith("repro_") for name in payload)
+
+    def test_metrics_subcommand_fails_on_unreachable_url(self, capsys):
+        assert main(["metrics", "--url", "http://127.0.0.1:1",
+                     "--timeout", "0.5"]) == 1
+
+
 class TestExport:
     def test_export_csv_and_json(self, tmp_path, capsys):
         out = tmp_path / "csv"
