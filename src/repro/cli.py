@@ -12,7 +12,12 @@ Subcommands:
   what would be removed;
 * ``campaign`` — run a fault-tolerant collection campaign against a
   Looking Glass URL (checkpointed; re-run with ``--resume`` to pick up
-  an interrupted collection at the last completed peer);
+  an interrupted collection at the last completed peer; SIGINT/SIGTERM
+  park the run gracefully with exit code 2);
+* ``fsck``     — verify every artefact in a store against its manifest
+  and embedded checksums; ``--repair`` quarantines damaged files
+  (never deletes) and rebuilds the manifest. Exit 0 = clean,
+  1 = damage found;
 * ``export``   — write every figure/table's data as CSV (and optionally
   one JSON bundle) for external plotting;
 * ``metrics``  — fetch a running LG's ``/metrics`` endpoint, validate
@@ -23,16 +28,20 @@ Subcommands:
 accept ``--metrics-out PATH`` to enable the :mod:`repro.obs` registry
 and dump a JSON run report (metrics snapshot + trace summary) on exit —
 including campaign exits that park incomplete targets for ``--resume``.
+
+Store and I/O failures print a one-line diagnostic and exit 1 instead
+of a raw traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from . import obs
-from .collector import DatasetStore, sanitise
+from .collector import DatasetStore, IntegrityError, sanitise_store
 from .core import Study
 from .core.report import format_table, render_share_bars
 from .ixp import ALL_IXPS, LARGE_FOUR, get_profile
@@ -48,6 +57,38 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.05,
                         help="population scale vs the paper (default 0.05)")
     parser.add_argument("--seed", type=int, default=20211004)
+
+
+def _guarded(func: Callable[[argparse.Namespace], int]
+             ) -> Callable[[argparse.Namespace], int]:
+    """Turn store/IO failures into a one-line diagnostic + exit 1.
+
+    Campaign park exits (2) and other deliberate return codes pass
+    through untouched; only exceptions are translated.
+    """
+    @functools.wraps(func)
+    def wrapper(args: argparse.Namespace) -> int:
+        try:
+            return func(args)
+        except IntegrityError as error:
+            where = f" [{error.path}]" if error.path else ""
+            print(f"error: dataset damage ({error.damage_class})"
+                  f"{where}: {error}", file=sys.stderr)
+            return 1
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    return wrapper
+
+
+def _report_damage(damaged: Sequence) -> None:
+    for record in damaged:
+        print(f"warning: quarantined damaged artefact "
+              f"{record.original} ({record.damage_class}) — treated "
+              f"as a missing day", file=sys.stderr)
 
 
 def _dump_metrics(args: argparse.Namespace, kind: str,
@@ -94,15 +135,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 def _run_analyze(args: argparse.Namespace) -> int:
     if args.store:
         store = DatasetStore(args.store)
-        snapshots = []
-        dictionaries = {}
-        for ixp in args.ixps:
-            dictionaries[ixp] = store.load_dictionary(ixp)
-            for family in args.families:
-                snapshot = store.latest_snapshot(ixp, family)
-                if snapshot is not None:
-                    snapshots.append(snapshot)
-        study = Study.from_snapshots(snapshots, dictionaries)
+        damaged: list = []
+        study = Study.from_store(store, args.ixps, args.families,
+                                 damaged=damaged)
+        _report_damage(damaged)
     else:
         study = Study.synthetic(ixps=args.ixps, families=args.families,
                                 scale=args.scale, seed=args.seed)
@@ -164,13 +200,19 @@ def cmd_sanitise(args: argparse.Namespace) -> int:
     store = DatasetStore(args.store)
     for ixp in args.ixps:
         for family in args.families:
-            snapshots = list(store.iter_snapshots(ixp, family))
-            if not snapshots:
+            report = sanitise_store(store, ixp, family)
+            if not (report.kept or report.removed
+                    or report.quarantined):
                 continue
-            report = sanitise(snapshots)
-            print(f"{ixp} v{family}: kept {len(report.kept)}, removed "
-                  f"{len(report.removed)} "
-                  f"({report.removed_fraction * 100:.1f}%)")
+            line = (f"{ixp} v{family}: kept {len(report.kept)}, removed "
+                    f"{len(report.removed)} "
+                    f"({report.removed_fraction * 100:.1f}%)")
+            if report.quarantined:
+                line += (f", {len(report.quarantined)} quarantined "
+                         f"(missing days)")
+            print(line)
+            for original in report.quarantined:
+                print(f"  quarantined damaged snapshot: {original}")
             for snapshot in report.removed:
                 reason = report.reasons[snapshot.key]
                 print(f"  valley in {reason}: {snapshot.key}")
@@ -185,6 +227,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         CampaignConfig,
         CampaignTarget,
         CollectionCampaign,
+        install_shutdown_handlers,
     )
 
     store = DatasetStore(args.store)
@@ -206,16 +249,24 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     campaign = CollectionCampaign(store, config)
     if args.metrics_out:
         obs.enable()
+    # SIGINT/SIGTERM flush a checkpoint and park resumable (exit 2)
+    # instead of tearing mid-write; a second signal hard-stops.
+    restore_signals = install_shutdown_handlers(campaign)
     report = None
     try:
         report = campaign.run(resume=args.resume)
         print(report.format_summary())
+        if report.interrupted:
+            print("shutdown requested — progress checkpointed; "
+                  "re-run with --resume to continue")
+            return 2
         if report.resumable:
             print("incomplete targets parked as checkpoints — "
                   "re-run with --resume to continue")
             return 2
         return 0 if all(t.status != "failed" for t in report.targets) else 1
     finally:
+        restore_signals()
         # runs on every exit path, including parked (exit 2) campaigns,
         # so an interrupted collection still leaves its metrics behind
         _dump_metrics(args, "campaign",
@@ -257,20 +308,29 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fsck(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .collector import fsck_store
+
+    store = DatasetStore(args.store)
+    report = fsck_store(store, repair=args.repair)
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(report.format_summary())
+    return 0 if report.clean else 1
+
+
 def cmd_export(args: argparse.Namespace) -> int:
     from .core.export import export_study_csv, export_study_json
 
     if args.store:
         store = DatasetStore(args.store)
-        snapshots = []
-        dictionaries = {}
-        for ixp in args.ixps:
-            dictionaries[ixp] = store.load_dictionary(ixp)
-            for family in args.families:
-                snapshot = store.latest_snapshot(ixp, family)
-                if snapshot is not None:
-                    snapshots.append(snapshot)
-        study = Study.from_snapshots(snapshots, dictionaries)
+        damaged: list = []
+        study = Study.from_store(store, args.ixps, args.families,
+                                 damaged=damaged)
+        _report_damage(damaged)
     else:
         study = Study.synthetic(ixps=args.ixps, families=args.families,
                                 scale=args.scale, seed=args.seed)
@@ -298,7 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="daily snapshots to generate (without --weekly)")
     p_gen.add_argument("--failures", action="store_true",
                        help="inject LG collection failures (§3 valleys)")
-    p_gen.set_defaults(func=cmd_generate)
+    p_gen.set_defaults(func=_guarded(cmd_generate))
 
     p_ana = sub.add_parser("analyze", aliases=["pipeline"],
                            help="run the paper's analyses")
@@ -308,7 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ana.add_argument("--metrics-out", metavar="PATH",
                        help="enable observability and write a JSON "
                             "metrics run report here on exit")
-    p_ana.set_defaults(func=cmd_analyze)
+    p_ana.set_defaults(func=_guarded(cmd_analyze))
 
     p_srv = sub.add_parser("serve", help="serve a Looking Glass")
     _add_common(p_srv)
@@ -324,7 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_san.add_argument("--store", required=True)
     p_san.add_argument("--delete", action="store_true",
                        help="actually delete valley snapshots")
-    p_san.set_defaults(func=cmd_sanitise)
+    p_san.set_defaults(func=_guarded(cmd_sanitise))
 
     p_camp = sub.add_parser(
         "campaign", help="run a fault-tolerant collection campaign")
@@ -364,7 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="enable observability and write a JSON "
                              "metrics run report here on exit (also on "
                              "parked/resumable exits)")
-    p_camp.set_defaults(func=cmd_campaign)
+    p_camp.set_defaults(func=_guarded(cmd_campaign))
 
     p_met = sub.add_parser(
         "metrics", help="fetch and validate a Looking Glass /metrics "
@@ -386,7 +446,18 @@ def build_parser() -> argparse.ArgumentParser:
                                        "in memory)")
     p_exp.add_argument("--out", required=True, help="CSV output directory")
     p_exp.add_argument("--json", help="also write one JSON bundle here")
-    p_exp.set_defaults(func=cmd_export)
+    p_exp.set_defaults(func=_guarded(cmd_export))
+
+    p_fsck = sub.add_parser(
+        "fsck", help="verify a store's artefacts; --repair quarantines "
+                     "damage and rebuilds the manifests")
+    p_fsck.add_argument("--store", required=True, help="dataset directory")
+    p_fsck.add_argument("--repair", action="store_true",
+                        help="move damaged artefacts to quarantine/ "
+                             "(never deletes) and rebuild manifests")
+    p_fsck.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+    p_fsck.set_defaults(func=_guarded(cmd_fsck))
     return parser
 
 

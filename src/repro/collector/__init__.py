@@ -1,11 +1,13 @@
-"""Collection substrate: snapshots, dataset store, sanitation, scraper,
-and fault-tolerant collection campaigns."""
+"""Collection substrate: snapshots, durable dataset store, integrity
+and fsck tooling, sanitation, scraper, and fault-tolerant collection
+campaigns."""
 
 from .sanitation import (
     DEFAULT_DROP_THRESHOLD,
     SanitationReport,
     sanitise,
     sanitise_many,
+    sanitise_store,
 )
 from . import mrt
 from .campaign import (
@@ -15,16 +17,39 @@ from .campaign import (
     CollectionCampaign,
     PeerFailure,
     TargetReport,
+    install_shutdown_handlers,
 )
+from .fsck import FsckFinding, FsckReport, fsck_store
+from .integrity import (
+    DAMAGE_CLASSES,
+    ChecksumMismatchError,
+    CrashSchedule,
+    IntegrityError,
+    MalformedArtefactError,
+    QuarantineRecord,
+    SchemaDriftError,
+    SimulatedCrash,
+    TruncatedArtefactError,
+    atomic_write,
+)
+from .manifest import Manifest
 from .scraper import ScrapeReport, SnapshotScraper
 from .snapshot import Snapshot, snapshots_sorted
-from .store import DatasetStore
+from .store import QUARANTINE_DIR, REPORTS_DIR, DatasetStore
 
 __all__ = [
     "Snapshot", "snapshots_sorted", "DatasetStore",
     "SnapshotScraper", "ScrapeReport", "mrt",
     "CollectionCampaign", "CampaignConfig", "CampaignTarget",
     "CampaignReport", "TargetReport", "PeerFailure",
-    "SanitationReport", "sanitise", "sanitise_many",
+    "install_shutdown_handlers",
+    "SanitationReport", "sanitise", "sanitise_many", "sanitise_store",
     "DEFAULT_DROP_THRESHOLD",
+    "IntegrityError", "TruncatedArtefactError",
+    "MalformedArtefactError", "ChecksumMismatchError",
+    "SchemaDriftError", "DAMAGE_CLASSES",
+    "CrashSchedule", "SimulatedCrash", "QuarantineRecord",
+    "atomic_write", "Manifest",
+    "fsck_store", "FsckReport", "FsckFinding",
+    "QUARANTINE_DIR", "REPORTS_DIR",
 ]

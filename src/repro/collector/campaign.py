@@ -26,7 +26,17 @@ multi-(IXP, family) scraping with
 * **self-measurement** — peers/failures/checkpoints/resumes are
   metered under ``repro_campaign_*`` (see :mod:`repro.obs`), every
   checkpoint carries a metrics snapshot, and a finished run writes a
-  JSON run report through the store.
+  JSON run report through the store;
+* **graceful shutdown** — :func:`install_shutdown_handlers` turns
+  SIGINT/SIGTERM into a flush-checkpoint-then-park path: the campaign
+  finishes the in-flight peer, persists a checkpoint, marks the run
+  interrupted (CLI exit 2), and a later ``--resume`` continues it.
+  A second signal falls through to the previous handler (a hard stop
+  for an operator mashing Ctrl-C);
+* **crash-safety** — every store write is atomic and checksummed
+  (see :mod:`repro.collector.integrity`); a corrupt checkpoint found
+  during resume is quarantined by the store and the target restarts
+  from scratch instead of dying.
 
 Clock and sleep are injectable: tests drive deadlines and breaker
 cooldowns with a fake clock and never block.
@@ -35,6 +45,8 @@ cooldowns with a fake clock and never block.
 from __future__ import annotations
 
 import datetime as _dt
+import signal as _signal
+import threading
 import time
 import types
 from dataclasses import dataclass, field
@@ -73,6 +85,9 @@ _METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
     resumes=reg.counter(
         "repro_campaign_resume_total",
         "Targets restarted from a checkpoint", ("ixp", "family")),
+    interruptions=reg.counter(
+        "repro_campaign_interruptions_total",
+        "Graceful-shutdown requests honoured mid-campaign").labels(),
     targets=reg.counter(
         "repro_campaign_targets_total",
         "Campaign targets finished, by terminal status", ("status",)),
@@ -154,6 +169,8 @@ class TargetReport:
     #: peers skipped because the mount's breaker was open.
     circuit_open_skips: int = 0
     deadline_hit: bool = False
+    #: parked by a graceful-shutdown request (SIGINT/SIGTERM).
+    interrupted: bool = False
     snapshot_path: Optional[str] = None
     error: Optional[str] = None
     breaker_state: str = "closed"
@@ -178,6 +195,7 @@ class TargetReport:
             "failure_counts": self.failure_counts,
             "circuit_open_skips": self.circuit_open_skips,
             "deadline_hit": self.deadline_hit,
+            "interrupted": self.interrupted,
             "snapshot_path": self.snapshot_path,
             "error": self.error,
             "breaker_state": self.breaker_state,
@@ -192,6 +210,8 @@ class CampaignReport:
 
     captured_on: str = ""
     resumed: bool = False
+    #: a graceful-shutdown request parked this run before it finished.
+    interrupted: bool = False
     targets: List[TargetReport] = field(default_factory=list)
     #: where the observability run report landed (None when disabled).
     run_report_path: Optional[str] = None
@@ -212,13 +232,17 @@ class CampaignReport:
 
     @property
     def resumable(self) -> bool:
-        """At least one target parked a checkpoint worth resuming."""
-        return any(t.status == STATUS_INCOMPLETE for t in self.targets)
+        """A re-run with ``resume=True`` has work to pick up: a parked
+        checkpoint, or targets never reached before an interruption."""
+        return (self.interrupted
+                or any(t.status == STATUS_INCOMPLETE
+                       for t in self.targets))
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "captured_on": self.captured_on,
             "resumed": self.resumed,
+            "interrupted": self.interrupted,
             "failure_counts": self.failure_counts,
             "targets": [t.to_dict() for t in self.targets],
             "run_report_path": self.run_report_path,
@@ -228,10 +252,13 @@ class CampaignReport:
         by_status: Dict[str, int] = {}
         for target in self.targets:
             by_status[target.status] = by_status.get(target.status, 0) + 1
-        lines = [
-            f"campaign {self.captured_on}: "
-            + ", ".join(f"{count} {status}"
-                        for status, count in sorted(by_status.items()))]
+        headline = (f"campaign {self.captured_on}: "
+                    + ", ".join(f"{count} {status}"
+                                for status, count
+                                in sorted(by_status.items())))
+        if self.interrupted:
+            headline += " (interrupted — parked for --resume)"
+        lines = [headline]
         for target in self.targets:
             total = target.peers_attempted + target.peers_resumed
             have = target.peers_collected + target.peers_resumed
@@ -266,6 +293,22 @@ class CollectionCampaign:
             reset_timeout=config.breaker_reset,
             clock=clock)
         self._clients: Dict[Tuple[str, int], LookingGlassClient] = {}
+        self._shutdown = threading.Event()
+
+    # -- graceful shutdown ------------------------------------------------
+
+    def request_shutdown(self) -> None:
+        """Ask the campaign to park at the next safe boundary: the
+        in-flight peer finishes, a checkpoint is flushed, and the run
+        returns an interrupted (resumable) report. Safe to call from
+        signal handlers and other threads."""
+        if not self._shutdown.is_set():
+            self._shutdown.set()
+            _METRICS().interruptions.inc()
+
+    @property
+    def shutdown_requested(self) -> bool:
+        return self._shutdown.is_set()
 
     # -- plumbing --------------------------------------------------------
 
@@ -305,10 +348,17 @@ class CollectionCampaign:
         report = CampaignReport(captured_on=captured_on, resumed=resume)
         with obs.span(f"campaign {captured_on}"):
             for target in self.config.targets:
+                if self._shutdown.is_set():
+                    # park before touching further targets; resume
+                    # collects them later.
+                    report.interrupted = True
+                    break
                 with obs.span(f"target {target.ixp}/v{target.family}"):
                     outcome = self._collect_target(
                         target, captured_on, resume)
                 report.targets.append(outcome)
+                if outcome.interrupted:
+                    report.interrupted = True
                 _METRICS().targets.labels(outcome.status).inc()
                 _METRICS().target_seconds.labels().observe(
                     outcome.elapsed)
@@ -369,6 +419,9 @@ class CollectionCampaign:
         for neighbor in established:
             if str(neighbor.asn) in peers:
                 continue
+            if self._shutdown.is_set():
+                report.interrupted = True
+                break
             if self._deadline_exceeded(started):
                 report.deadline_hit = True
                 break
@@ -390,7 +443,7 @@ class CollectionCampaign:
                 self._save_checkpoint(target, captured_on, peers, report)
                 since_checkpoint = 0
 
-        if report.deadline_hit:
+        if report.deadline_hit or report.interrupted:
             self._save_checkpoint(target, captured_on, peers, report)
             report.status = STATUS_INCOMPLETE
         else:
@@ -528,3 +581,38 @@ class CollectionCampaign:
         report.breaker_state = breaker.state
         report.breaker_opens = breaker.times_opened
         report.elapsed = self.clock() - started
+
+
+def install_shutdown_handlers(
+        campaign: CollectionCampaign,
+        signals: Sequence[int] = (_signal.SIGINT, _signal.SIGTERM),
+) -> Callable[[], None]:
+    """Route SIGINT/SIGTERM into a graceful flush-checkpoint-then-park.
+
+    The first signal calls :meth:`CollectionCampaign.request_shutdown`
+    and immediately restores the previous handlers, so a second signal
+    behaves as before (typically a hard ``KeyboardInterrupt``).
+    Returns a restore callable for the non-signal exit paths. Signal
+    handlers can only be installed from the main thread; callers on
+    other threads get a no-op restore back.
+    """
+    previous: Dict[int, Any] = {}
+
+    def restore() -> None:
+        for signum, handler in previous.items():
+            try:
+                _signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        previous.clear()
+
+    def handler(signum: int, _frame: Any) -> None:
+        campaign.request_shutdown()
+        restore()
+
+    try:
+        for signum in signals:
+            previous[signum] = _signal.signal(signum, handler)
+    except ValueError:  # not the main thread
+        previous.clear()
+    return restore

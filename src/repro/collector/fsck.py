@@ -1,0 +1,306 @@
+"""Store auditing and repair (``repro-study fsck``).
+
+Walks every artefact in a :class:`~repro.collector.store.DatasetStore`
+— snapshots, checkpoints, dictionaries, run reports, and the manifests
+themselves — and verifies each one both ways: the file against its
+embedded envelope digest, and the file against its manifest entry.
+
+Findings are classified with the shared damage taxonomy
+(:mod:`repro.collector.integrity`):
+
+========================  ==============================================
+class                     meaning
+========================  ==============================================
+``truncated``             gzip stream ends before its end marker
+``malformed``             not gzip / corrupt deflate / invalid JSON
+``checksum_mismatch``     a digest disagrees (gzip CRC, envelope,
+                          or manifest vs a legacy file)
+``schema_drift``          parseable but the wrong shape/kind/version
+``missing_manifest_entry``  a healthy file the manifest does not know
+``manifest_drift``        a self-consistent file whose manifest entry
+                          is stale (e.g. crash between rename and
+                          manifest publish)
+``missing_file``          a manifest entry whose file is gone
+``orphan_temp``           ``*.tmp`` debris from an interrupted write
+========================  ==============================================
+
+With ``repair=True`` damaged files are **quarantined, never deleted**,
+stale/missing manifest records are rewritten from the surviving
+verified files, and dangling entries are dropped. A second fsck over a
+repaired store is clean.
+"""
+
+from __future__ import annotations
+
+import types
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import obs
+from .integrity import (
+    DAMAGE_CHECKSUM,
+    DAMAGE_CLASSES,
+    DAMAGE_MANIFEST_DRIFT,
+    DAMAGE_MISSING_ENTRY,
+    DAMAGE_MISSING_FILE,
+    DAMAGE_ORPHAN_TEMP,
+    IntegrityError,
+    decode_artefact,
+    is_temp_artefact,
+)
+from .manifest import MANIFEST_NAME, Manifest
+from .store import (
+    CHECKPOINT_SUFFIX,
+    QUARANTINE_DIR,
+    REPORTS_DIR,
+    DatasetStore,
+)
+
+_METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
+    runs=reg.counter(
+        "repro_store_fsck_runs_total",
+        "fsck passes, by outcome (clean / damaged)", ("outcome",)),
+    findings=reg.counter(
+        "repro_store_fsck_findings_total",
+        "fsck findings, by damage class", ("class",)),
+    artefacts=reg.counter(
+        "repro_store_fsck_artefacts_total",
+        "Artefacts examined by fsck, by verification outcome",
+        ("outcome",)),
+))
+
+#: repair actions recorded on findings.
+ACTION_QUARANTINED = "quarantined"
+ACTION_MANIFEST_UPDATED = "manifest_updated"
+ACTION_ENTRY_DROPPED = "entry_dropped"
+
+
+@dataclass
+class FsckFinding:
+    """One piece of damage found by an fsck pass."""
+
+    path: str            # store-relative path
+    kind: str            # snapshot / checkpoint / dictionary / ...
+    damage_class: str
+    detail: str
+    #: what --repair did about it (None on audit-only passes).
+    action: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"path": self.path, "kind": self.kind,
+                "class": self.damage_class, "detail": self.detail,
+                "action": self.action}
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one fsck pass over a store."""
+
+    root: str = ""
+    repaired: bool = False
+    scanned: int = 0       # artefact files examined
+    verified: int = 0      # fully healthy (file + manifest agree)
+    findings: List[FsckFinding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        counts = {cls: 0 for cls in DAMAGE_CLASSES}
+        for finding in self.findings:
+            counts[finding.damage_class] = \
+                counts.get(finding.damage_class, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "root": self.root,
+            "repaired": self.repaired,
+            "scanned": self.scanned,
+            "verified": self.verified,
+            "clean": self.clean,
+            "counts": {cls: count for cls, count in self.counts.items()
+                       if count},
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def format_summary(self) -> str:
+        verdict = "clean" if self.clean else "DAMAGED"
+        lines = [f"fsck {self.root}: {verdict} — {self.scanned} "
+                 f"artefacts scanned, {self.verified} verified, "
+                 f"{len(self.findings)} findings"]
+        for cls, count in sorted(self.counts.items()):
+            if count:
+                lines.append(f"  {cls}: {count}")
+        for finding in self.findings:
+            action = f" [{finding.action}]" if finding.action else ""
+            lines.append(f"  {finding.damage_class}: {finding.path} "
+                         f"({finding.detail}){action}")
+        return "\n".join(lines)
+
+
+def _classify_path(scope_name: str, path: Path) -> Optional[
+        Tuple[str, bool]]:
+    """``(kind, is_gzip)`` for an artefact path, or None for files
+    fsck does not manage (quarantine sidecars live outside scopes)."""
+    name = path.name
+    if scope_name == REPORTS_DIR:
+        return ("report", False) if name.endswith(".json") else None
+    if name == "dictionary.json":
+        return "dictionary", False
+    if name.endswith(CHECKPOINT_SUFFIX):
+        return "checkpoint", True
+    if name.endswith(".json.gz"):
+        return "snapshot", True
+    return None
+
+
+def fsck_store(store: DatasetStore, repair: bool = False) -> FsckReport:
+    """Audit (and with ``repair=True``, heal) every artefact in a
+    store. Never deletes data: repair quarantines damaged files and
+    rewrites manifests."""
+    report = FsckReport(root=str(store.root), repaired=repair)
+    with obs.span("fsck"):
+        scopes = [store.root / ixp for ixp in store.ixps()]
+        if (store.root / REPORTS_DIR).is_dir():
+            scopes.append(store.root / REPORTS_DIR)
+        for scope in scopes:
+            _fsck_scope(store, scope, report, repair)
+    metrics = _METRICS()
+    metrics.runs.labels("clean" if report.clean else "damaged").inc()
+    for finding in report.findings:
+        metrics.findings.labels(finding.damage_class).inc()
+    return report
+
+
+def _fsck_scope(store: DatasetStore, scope: Path, report: FsckReport,
+                repair: bool) -> None:
+    try:
+        manifest = Manifest.load(scope, strict=True)
+        manifest_healthy = True
+    except IntegrityError as error:
+        manifest = Manifest(scope)
+        manifest_healthy = False
+        finding = FsckFinding(
+            path=(scope / MANIFEST_NAME).relative_to(
+                store.root).as_posix(),
+            kind="manifest", damage_class=error.damage_class,
+            detail=str(error))
+        if repair:
+            store.quarantine(scope / MANIFEST_NAME, error)
+            finding.action = ACTION_QUARANTINED
+        report.findings.append(finding)
+    manifest_dirty = not manifest_healthy and repair
+
+    seen: Dict[str, Tuple[str, int, str]] = {}
+    present: set = set()
+    for path in sorted(p for p in scope.rglob("*") if p.is_file()):
+        if path.name == MANIFEST_NAME:
+            continue
+        rel_store = path.relative_to(store.root).as_posix()
+        rel_scope = path.relative_to(scope).as_posix()
+        if is_temp_artefact(path):
+            finding = FsckFinding(
+                path=rel_store, kind="temp",
+                damage_class=DAMAGE_ORPHAN_TEMP,
+                detail="interrupted write left temp debris")
+            if repair:
+                error = IntegrityError(
+                    "orphan temp file from an interrupted write", path)
+                error.damage_class = DAMAGE_ORPHAN_TEMP
+                store.quarantine(path, error)
+                finding.action = ACTION_QUARANTINED
+            report.findings.append(finding)
+            continue
+        classified = _classify_path(scope.name, path)
+        if classified is None:
+            continue  # not an artefact this store manages
+        kind, gz = classified
+        present.add(rel_scope)
+        report.scanned += 1
+        try:
+            _payload, digest, self_verified = decode_artefact(
+                path.read_bytes(), kind=kind, gz=gz, path=path)
+        except IntegrityError as error:
+            _METRICS().artefacts.labels("failed").inc()
+            finding = FsckFinding(path=rel_store, kind=kind,
+                                  damage_class=error.damage_class,
+                                  detail=str(error))
+            if repair:
+                store.quarantine(path, error)
+                finding.action = ACTION_QUARANTINED
+                manifest.remove(rel_scope)
+                manifest_dirty = True
+            report.findings.append(finding)
+            continue
+        _METRICS().artefacts.labels("ok").inc()
+        size = path.stat().st_size
+        seen[rel_scope] = (digest, size, kind)
+
+        entry = manifest.get(rel_scope)
+        if entry is None:
+            finding = FsckFinding(
+                path=rel_store, kind=kind,
+                damage_class=DAMAGE_MISSING_ENTRY,
+                detail="verified file absent from the manifest")
+            if repair:
+                manifest.record(rel_scope, digest, size, kind)
+                manifest_dirty = True
+                finding.action = ACTION_MANIFEST_UPDATED
+            report.findings.append(finding)
+        elif entry.get("sha256") != digest:
+            if self_verified:
+                # the file vouches for itself; the ledger is stale
+                # (classic crash between rename and manifest publish).
+                finding = FsckFinding(
+                    path=rel_store, kind=kind,
+                    damage_class=DAMAGE_MANIFEST_DRIFT,
+                    detail="self-consistent file, stale manifest entry")
+                if repair:
+                    manifest.record(rel_scope, digest, size, kind)
+                    manifest_dirty = True
+                    finding.action = ACTION_MANIFEST_UPDATED
+                report.findings.append(finding)
+            else:
+                # a legacy file cannot vouch for itself and the
+                # manifest disagrees: treat the bytes as damaged.
+                error = IntegrityError(
+                    "manifest digest disagrees with un-enveloped file",
+                    path)
+                error.damage_class = DAMAGE_CHECKSUM
+                finding = FsckFinding(
+                    path=rel_store, kind=kind,
+                    damage_class=error.damage_class,
+                    detail=str(error))
+                if repair:
+                    store.quarantine(path, error)
+                    finding.action = ACTION_QUARANTINED
+                    manifest.remove(rel_scope)
+                    manifest_dirty = True
+                report.findings.append(finding)
+        else:
+            report.verified += 1
+
+    for rel_scope in sorted(set(manifest.entries) - present):
+        entry = manifest.entries[rel_scope]
+        finding = FsckFinding(
+            path=(scope / rel_scope).relative_to(store.root).as_posix(),
+            kind=str(entry.get("kind", "artefact")),
+            damage_class=DAMAGE_MISSING_FILE,
+            detail="manifest entry has no file on disk")
+        if repair:
+            manifest.remove(rel_scope)
+            manifest_dirty = True
+            finding.action = ACTION_ENTRY_DROPPED
+        report.findings.append(finding)
+
+    if repair and manifest_dirty:
+        if not manifest_healthy:
+            # rebuild from scratch out of the verified survivors
+            manifest.entries = {}
+            for rel_scope, (digest, size, kind) in seen.items():
+                manifest.record(rel_scope, digest, size, kind)
+        manifest.save()

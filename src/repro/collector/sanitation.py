@@ -34,6 +34,11 @@ class SanitationReport:
     removed: List[Snapshot] = field(default_factory=list)
     #: snapshot key → metric that triggered removal.
     reasons: Dict[str, str] = field(default_factory=dict)
+    #: store-relative paths of snapshots that were quarantined while
+    #: loading the series (see :func:`sanitise_store`) — they never
+    #: reach the valley rule; the series simply has missing days,
+    #: exactly like the paper's discarded collection failures.
+    quarantined: List[str] = field(default_factory=list)
 
     @property
     def removed_fraction(self) -> float:
@@ -93,6 +98,26 @@ def sanitise(snapshots: Sequence[Snapshot],
             report.kept.append(snapshot)
             for metric in VALLEY_METRICS:
                 previous_kept[metric] = summary[metric]
+    return report
+
+
+def sanitise_store(store, ixp: str, family: int,
+                   drop_threshold: float = DEFAULT_DROP_THRESHOLD,
+                   recovery_tolerance: float = DEFAULT_RECOVERY_TOLERANCE,
+                   ) -> SanitationReport:
+    """Sanitise one (IXP, family) series straight off a
+    :class:`~repro.collector.store.DatasetStore`.
+
+    Damaged snapshot files are quarantined by the store while
+    iterating and surface in ``report.quarantined`` — to the valley
+    rule they are simply missing days, the same way the paper treats
+    snapshots its sanitation discarded.
+    """
+    damaged: List = []
+    snapshots = list(store.iter_snapshots(ixp, family, damaged=damaged))
+    report = sanitise(snapshots, drop_threshold=drop_threshold,
+                      recovery_tolerance=recovery_tolerance)
+    report.quarantined = [record.original for record in damaged]
     return report
 
 

@@ -15,6 +15,12 @@ from typing import Any, Dict, Iterable, List, Optional
 from ..bgp.route import Route
 from ..ixp.member import Member
 
+#: top-level keys an on-disk snapshot payload must carry; the store's
+#: schema-drift detection (see :mod:`repro.collector.integrity`)
+#: rejects payloads missing any of them before deserialisation.
+REQUIRED_PAYLOAD_KEYS = ("ixp", "family", "captured_on", "members",
+                         "routes")
+
 
 @dataclass
 class Snapshot:

@@ -1,4 +1,4 @@
-"""On-disk dataset store.
+"""On-disk dataset store — durable and self-healing.
 
 The paper releases "a twelve-week dataset containing daily snapshots …
 and a dictionary containing more than 3000 communities". This store
@@ -7,21 +7,56 @@ keeps the same two artefacts:
 * one gzipped JSON file per snapshot under
   ``<root>/<ixp>/v<family>/<date>.json.gz``, and
 * one JSON dictionary file per IXP under
-  ``<root>/<ixp>/dictionary.json``.
+  ``<root>/<ixp>/dictionary.json``,
 
-The layout is intentionally boring: everything is introspectable with
-``zcat`` and ``jq``.
+plus campaign checkpoints (``<date>.ckpt.json.gz``), observability run
+reports (``reports/*.json``), and a ``MANIFEST.json`` per IXP (and one
+for ``reports/``) recording every artefact's SHA-256.
+
+Durability contract (see :mod:`repro.collector.integrity`):
+
+* **atomic writes** — temp file in the same directory + fsync +
+  rename; a reader can never observe a partially written artefact and
+  a crash at any instant leaves at most invisible ``*.tmp`` debris;
+* **verified reads** — every load checks the gzip framing, the JSON,
+  the envelope's embedded SHA-256, the payload schema, and the
+  manifest, raising the typed :class:`IntegrityError` taxonomy
+  instead of raw tracebacks;
+* **self-healing** — a damaged artefact is moved (never deleted) to
+  ``<root>/quarantine/`` with a machine-readable sidecar record;
+  iterators and ``latest_snapshot`` skip it, campaign resume falls
+  back to a from-scratch collection when its checkpoint is damaged,
+  and ``repro-study fsck`` (:mod:`repro.collector.fsck`) audits and
+  repairs whole stores.
+
+The layout stays boring: everything is introspectable with ``zcat``
+and ``jq``.
 """
 
 from __future__ import annotations
 
-import gzip
+import datetime as _dt
 import json
 import os
+import re
+import threading
+import types
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from .. import obs
 from ..ixp.dictionary import CommunityDictionary
+from .integrity import (
+    ChecksumMismatchError,
+    CrashSchedule,
+    IntegrityError,
+    QuarantineRecord,
+    SchemaDriftError,
+    atomic_write,
+    decode_artefact,
+    encode_artefact,
+)
+from .manifest import MANIFEST_NAME, Manifest, _utcnow
 from .snapshot import Snapshot
 
 #: suffix distinguishing in-progress campaign checkpoints from
@@ -32,93 +67,331 @@ CHECKPOINT_SUFFIX = ".ckpt.json.gz"
 #: kept apart from the per-IXP snapshot tree.
 REPORTS_DIR = "reports"
 
+#: top-level directory damaged artefacts are moved to — never deleted.
+QUARANTINE_DIR = "quarantine"
+
+#: directory names that can never be IXP keys.
+RESERVED_DIRS = (REPORTS_DIR, QUARANTINE_DIR)
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+_METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
+    writes=reg.counter(
+        "repro_store_writes_total",
+        "Artefacts atomically published, by kind", ("kind",)),
+    write_bytes=reg.counter(
+        "repro_store_written_bytes_total",
+        "Bytes atomically published, by artefact kind", ("kind",)),
+    fsyncs=reg.counter(
+        "repro_store_fsyncs_total",
+        "fsync calls issued by atomic writes "
+        "(files + directories)").labels(),
+    verifications=reg.counter(
+        "repro_store_verifications_total",
+        "Artefact read verifications, by kind and outcome",
+        ("kind", "outcome")),
+    integrity_errors=reg.counter(
+        "repro_store_integrity_errors_total",
+        "Verification failures by damage class", ("class",)),
+    quarantines=reg.counter(
+        "repro_store_quarantines_total",
+        "Artefacts moved to quarantine, by damage class", ("class",)),
+))
+
 
 class DatasetStore:
     """Filesystem-backed store of snapshots and dictionaries."""
 
-    def __init__(self, root: os.PathLike) -> None:
+    def __init__(self, root: os.PathLike,
+                 crash_schedule: Optional[CrashSchedule] = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: fault-injection hook consulted at every write boundary
+        #: (None in production — see tests/chaos).
+        self.crash_schedule = crash_schedule
+        self._manifest_lock = threading.RLock()
+
+    # -- naming and validation -------------------------------------------
+
+    @staticmethod
+    def _validate_name(name: str, what: str = "ixp") -> str:
+        """Reject names that could escape the store root (``..``,
+        separators, hidden/temp prefixes) before they reach a path."""
+        if (not isinstance(name, str) or not _NAME_RE.match(name)
+                or ".." in name):
+            raise ValueError(f"invalid {what} name: {name!r}")
+        if what == "ixp" and name in RESERVED_DIRS:
+            raise ValueError(f"{name!r} is a reserved store directory")
+        return name
+
+    @staticmethod
+    def _validate_family(family: int) -> int:
+        if family not in (4, 6):
+            raise ValueError(f"family must be 4 or 6, got {family!r}")
+        return family
+
+    @staticmethod
+    def _validate_date(date: str) -> str:
+        try:
+            _dt.date.fromisoformat(date)
+        except (TypeError, ValueError) as error:
+            raise ValueError(f"invalid snapshot date: {date!r}") \
+                from error
+        return date
+
+    # -- crash / write plumbing ------------------------------------------
+
+    def _crash(self, label: str) -> None:
+        if self.crash_schedule is not None:
+            self.crash_schedule.check(label)
+
+    def _scope_dir(self, path: Path) -> Path:
+        """The manifest scope (first directory under the root) a path
+        belongs to."""
+        rel = path.relative_to(self.root)
+        return self.root / rel.parts[0]
+
+    def _write_artefact(self, path: Path, payload: Any, kind: str, *,
+                        gz: bool, compresslevel: int = 9) -> Path:
+        data, digest = encode_artefact(payload, kind, gz=gz,
+                                       compresslevel=compresslevel)
+        fsyncs = atomic_write(path, data, kind=kind, crash=self._crash)
+        rel = path.relative_to(self._scope_dir(path)).as_posix()
+        with self._manifest_lock:
+            manifest = Manifest.load(self._scope_dir(path))
+            manifest.record(rel, digest, len(data), kind)
+            fsyncs += manifest.save(crash=self._crash)
+        metrics = _METRICS()
+        metrics.writes.labels(kind).inc()
+        metrics.write_bytes.labels(kind).inc(len(data))
+        metrics.fsyncs.inc(fsyncs)
+        return path
+
+    def _forget_manifest_entry(self, path: Path) -> None:
+        scope = self._scope_dir(path)
+        rel = path.relative_to(scope).as_posix()
+        with self._manifest_lock:
+            manifest = Manifest.load(scope)
+            if manifest.remove(rel):
+                fsyncs = manifest.save(crash=self._crash)
+                _METRICS().fsyncs.inc(fsyncs)
+
+    # -- verified reads --------------------------------------------------
+
+    def _read_verified(self, path: Path, kind: str, *, gz: bool) -> Any:
+        """Read + fully verify one artefact; raises the
+        :class:`IntegrityError` taxonomy (after metering) on damage."""
+        data = path.read_bytes()
+        try:
+            payload, digest, self_verified = decode_artefact(
+                data, kind=kind, gz=gz, path=path)
+            entry = None
+            scope = self._scope_dir(path)
+            rel = path.relative_to(scope).as_posix()
+            with self._manifest_lock:
+                entry = Manifest.load(scope).get(rel)
+            if (entry is not None and entry.get("sha256") != digest
+                    and not self_verified):
+                # a legacy (un-enveloped) file cannot vouch for itself;
+                # the manifest is the only witness and it disagrees.
+                raise ChecksumMismatchError(
+                    f"manifest records sha256 "
+                    f"{str(entry.get('sha256'))[:12]}… but file "
+                    f"digests to {digest[:12]}…", path)
+        except IntegrityError as error:
+            metrics = _METRICS()
+            metrics.verifications.labels(kind, "failed").inc()
+            metrics.integrity_errors.labels(error.damage_class).inc()
+            raise
+        _METRICS().verifications.labels(kind, "ok").inc()
+        return payload
+
+    def _load_self_healing(self, path: Path, kind: str, *,
+                           gz: bool) -> Any:
+        """A verified read that quarantines on damage before
+        re-raising (the raised error carries ``.record``)."""
+        try:
+            return self._read_verified(path, kind, gz=gz)
+        except IntegrityError as error:
+            error.record = self.quarantine(path, error)
+            raise
+
+    # -- quarantine ------------------------------------------------------
+
+    def quarantine(self, path: os.PathLike,
+                   error: IntegrityError) -> QuarantineRecord:
+        """Move a damaged file (never delete) under ``quarantine/``,
+        write a machine-readable sidecar record, and drop the file's
+        manifest entry."""
+        path = Path(path)
+        rel = path.relative_to(self.root)
+        destination = self.root / QUARANTINE_DIR / rel
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        final = destination
+        suffix = 0
+        while final.exists():
+            suffix += 1
+            final = destination.with_name(f"{destination.name}.{suffix}")
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        os.replace(path, final)
+        record = QuarantineRecord(
+            original=rel.as_posix(),
+            moved_to=final.relative_to(self.root).as_posix(),
+            damage_class=error.damage_class,
+            detail=str(error),
+            quarantined_at=_utcnow(),
+            size=size,
+        )
+        sidecar = final.parent / (final.name + ".quarantine.json")
+        atomic_write(
+            sidecar,
+            (json.dumps(record.to_dict(), indent=1, sort_keys=True)
+             + "\n").encode("utf-8"),
+            kind="quarantine", crash=self._crash)
+        self._forget_manifest_entry(path)
+        _METRICS().quarantines.labels(error.damage_class).inc()
+        return record
+
+    def quarantine_records(self) -> List[QuarantineRecord]:
+        """Every quarantine sidecar record in the store, sorted by the
+        original artefact path."""
+        directory = self.root / QUARANTINE_DIR
+        if not directory.is_dir():
+            return []
+        records = []
+        for sidecar in sorted(directory.rglob("*.quarantine.json")):
+            try:
+                with open(sidecar, encoding="utf-8") as handle:
+                    records.append(QuarantineRecord.from_dict(
+                        json.load(handle)))
+            except (OSError, ValueError, KeyError):
+                continue  # a torn sidecar must not break the listing
+        return sorted(records, key=lambda r: r.original)
 
     # -- snapshots -----------------------------------------------------
 
     def _snapshot_path(self, ixp: str, family: int, date: str) -> Path:
+        self._validate_name(ixp)
+        self._validate_family(family)
+        self._validate_date(date)
         return self.root / ixp / f"v{family}" / f"{date}.json.gz"
 
     def save_snapshot(self, snapshot: Snapshot) -> Path:
         path = self._snapshot_path(
             snapshot.ixp, snapshot.family, snapshot.captured_on)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with gzip.open(path, "wt", encoding="utf-8") as handle:
-            json.dump(snapshot.to_dict(), handle, separators=(",", ":"))
-        return path
+        return self._write_artefact(path, snapshot.to_dict(),
+                                    "snapshot", gz=True)
 
     def load_snapshot(self, ixp: str, family: int, date: str) -> Snapshot:
+        """Load + verify one snapshot.
+
+        Damaged files raise :class:`IntegrityError` *after* being
+        moved to quarantine (the error's ``record`` says where).
+        """
         path = self._snapshot_path(ixp, family, date)
-        with gzip.open(path, "rt", encoding="utf-8") as handle:
-            return Snapshot.from_dict(json.load(handle))
+        payload = self._load_self_healing(path, "snapshot", gz=True)
+        try:
+            return Snapshot.from_dict(payload)
+        except (KeyError, TypeError, ValueError) as error:
+            drift = SchemaDriftError(
+                f"snapshot payload does not deserialise: {error}", path)
+            drift.record = self.quarantine(path, drift) \
+                if path.exists() else None
+            raise drift from error
 
     def delete_snapshot(self, ixp: str, family: int, date: str) -> bool:
         path = self._snapshot_path(ixp, family, date)
         if path.exists():
             path.unlink()
+            self._forget_manifest_entry(path)
             return True
         return False
 
     def snapshot_dates(self, ixp: str, family: int) -> List[str]:
-        directory = self.root / ixp / f"v{family}"
+        directory = self.root / self._validate_name(ixp) / f"v{family}"
         if not directory.is_dir():
             return []
         return sorted(p.name[:-len(".json.gz")]
                       for p in directory.glob("*.json.gz")
                       if not p.name.endswith(CHECKPOINT_SUFFIX))
 
-    def iter_snapshots(self, ixp: str, family: int) -> Iterator[Snapshot]:
-        for date in self.snapshot_dates(ixp, family):
-            yield self.load_snapshot(ixp, family, date)
+    def iter_snapshots(self, ixp: str, family: int,
+                       damaged: Optional[List[QuarantineRecord]] = None,
+                       ) -> Iterator[Snapshot]:
+        """Yield verified snapshots in date order.
 
-    def latest_snapshot(self, ixp: str, family: int) -> Optional[Snapshot]:
-        dates = self.snapshot_dates(ixp, family)
-        if not dates:
-            return None
-        return self.load_snapshot(ixp, family, dates[-1])
+        Damaged dates are quarantined and skipped — the series simply
+        has a missing day, exactly like a failed collection. Pass a
+        list as ``damaged`` to receive their quarantine records.
+        """
+        for date in self.snapshot_dates(ixp, family):
+            try:
+                yield self.load_snapshot(ixp, family, date)
+            except FileNotFoundError:
+                continue  # raced with a concurrent delete/quarantine
+            except IntegrityError as error:
+                if damaged is not None and error.record is not None:
+                    damaged.append(error.record)
+
+    def latest_snapshot(self, ixp: str, family: int,
+                        damaged: Optional[List[QuarantineRecord]] = None,
+                        ) -> Optional[Snapshot]:
+        """The newest *loadable* snapshot: a damaged latest file is
+        quarantined and the next-newest date is used instead."""
+        for date in reversed(self.snapshot_dates(ixp, family)):
+            try:
+                return self.load_snapshot(ixp, family, date)
+            except FileNotFoundError:
+                continue
+            except IntegrityError as error:
+                if damaged is not None and error.record is not None:
+                    damaged.append(error.record)
+        return None
 
     def ixps(self) -> List[str]:
         return sorted(p.name for p in self.root.iterdir()
-                      if p.is_dir() and p.name != REPORTS_DIR)
+                      if p.is_dir() and p.name not in RESERVED_DIRS)
 
     # -- campaign checkpoints ----------------------------------------------
 
     def _checkpoint_path(self, ixp: str, family: int, date: str) -> Path:
+        self._validate_name(ixp)
+        self._validate_family(family)
+        self._validate_date(date)
         return self.root / ixp / f"v{family}" / f"{date}{CHECKPOINT_SUFFIX}"
 
     def save_checkpoint(self, ixp: str, family: int, date: str,
                         payload: Dict) -> Path:
-        """Persist partial campaign progress (atomic: write + rename),
-        so a crashed collection resumes at the last completed peer."""
+        """Persist partial campaign progress (atomic write + fsync +
+        rename), so a crashed collection resumes at the last completed
+        peer."""
         path = self._checkpoint_path(ixp, family, date)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        temporary = path.with_suffix(".tmp")
         # checkpoints are rewritten after every few peers and deleted on
         # completion — favour write speed over compression ratio.
-        with gzip.open(temporary, "wt", encoding="utf-8",
-                       compresslevel=1) as handle:
-            json.dump(payload, handle, separators=(",", ":"))
-        temporary.replace(path)
-        return path
+        return self._write_artefact(path, payload, "checkpoint",
+                                    gz=True, compresslevel=1)
 
     def load_checkpoint(self, ixp: str, family: int,
                         date: str) -> Optional[Dict]:
+        """A verified checkpoint payload, or None when there is none
+        *or it is damaged* — a corrupt checkpoint is quarantined and
+        the campaign target restarts from scratch instead of dying."""
         path = self._checkpoint_path(ixp, family, date)
         if not path.exists():
             return None
-        with gzip.open(path, "rt", encoding="utf-8") as handle:
-            return json.load(handle)
+        try:
+            return self._load_self_healing(path, "checkpoint", gz=True)
+        except IntegrityError:
+            return None
 
     def delete_checkpoint(self, ixp: str, family: int, date: str) -> bool:
         path = self._checkpoint_path(ixp, family, date)
         if path.exists():
             path.unlink()
+            self._forget_manifest_entry(path)
             return True
         return False
 
@@ -131,18 +404,19 @@ class DatasetStore:
     # -- run reports -------------------------------------------------------
 
     def _report_path(self, name: str) -> Path:
+        self._validate_name(name, what="report")
         return self.root / REPORTS_DIR / f"{name}.json"
 
     def save_run_report(self, name: str, report: Dict) -> Path:
         """Persist one observability run report (metrics snapshot +
         traces; see :mod:`repro.obs.report`) next to the dataset it
         describes."""
-        from ..obs.report import write_run_report
-        return write_run_report(self._report_path(name), report)
+        return self._write_artefact(self._report_path(name), report,
+                                    "report", gz=False)
 
     def load_run_report(self, name: str) -> Dict:
-        with open(self._report_path(name), encoding="utf-8") as handle:
-            return json.load(handle)
+        return self._load_self_healing(self._report_path(name),
+                                       "report", gz=False)
 
     def has_run_report(self, name: str) -> bool:
         return self._report_path(name).exists()
@@ -151,25 +425,35 @@ class DatasetStore:
         directory = self.root / REPORTS_DIR
         if not directory.is_dir():
             return []
-        return sorted(p.stem for p in directory.glob("*.json"))
+        return sorted(p.stem for p in directory.glob("*.json")
+                      if p.name != MANIFEST_NAME)
 
     # -- dictionaries ----------------------------------------------------
 
+    def _dictionary_path(self, ixp: str) -> Path:
+        return self.root / self._validate_name(ixp) / "dictionary.json"
+
     def save_dictionary(self, ixp: str,
                         dictionary: CommunityDictionary) -> Path:
-        path = self.root / ixp / "dictionary.json"
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(dictionary.to_dict(), handle, indent=1)
-        return path
+        return self._write_artefact(self._dictionary_path(ixp),
+                                    dictionary.to_dict(),
+                                    "dictionary", gz=False)
 
     def load_dictionary(self, ixp: str) -> CommunityDictionary:
-        path = self.root / ixp / "dictionary.json"
-        with open(path, encoding="utf-8") as handle:
-            return CommunityDictionary.from_dict(json.load(handle))
+        path = self._dictionary_path(ixp)
+        payload = self._load_self_healing(path, "dictionary", gz=False)
+        try:
+            return CommunityDictionary.from_dict(payload)
+        except (KeyError, TypeError, ValueError) as error:
+            drift = SchemaDriftError(
+                f"dictionary payload does not deserialise: {error}",
+                path)
+            drift.record = self.quarantine(path, drift) \
+                if path.exists() else None
+            raise drift from error
 
     def has_dictionary(self, ixp: str) -> bool:
-        return (self.root / ixp / "dictionary.json").exists()
+        return self._dictionary_path(ixp).exists()
 
     # -- bulk helpers ------------------------------------------------------
 

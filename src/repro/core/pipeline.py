@@ -112,6 +112,39 @@ class Study:
         return study
 
     @classmethod
+    @_stage("load_store")
+    def from_store(cls, store, ixps: Sequence[str] = LARGE_FOUR,
+                   families: Sequence[int] = (4, 6),
+                   damaged: Optional[List] = None) -> "Study":
+        """Build a study from a :class:`~repro.collector.store.DatasetStore`,
+        degrading gracefully over damaged data.
+
+        A damaged latest snapshot is quarantined by the store and the
+        next-newest date is analysed instead; a damaged dictionary
+        falls back to the IXP's documented scheme. Pass a list as
+        ``damaged`` to receive the quarantine records — the analysis
+        treats those artefacts exactly like missing collection days.
+        """
+        from ..collector.integrity import IntegrityError
+
+        snapshots: List[Snapshot] = []
+        dictionaries: Dict[str, CommunityDictionary] = {}
+        for ixp in ixps:
+            try:
+                dictionaries[ixp] = store.load_dictionary(ixp)
+            except FileNotFoundError:
+                pass  # from_snapshots falls back to the profile scheme
+            except IntegrityError as error:
+                if damaged is not None and error.record is not None:
+                    damaged.append(error.record)
+            for family in families:
+                snapshot = store.latest_snapshot(ixp, family,
+                                                 damaged=damaged)
+                if snapshot is not None:
+                    snapshots.append(snapshot)
+        return cls.from_snapshots(snapshots, dictionaries)
+
+    @classmethod
     @_stage("load")
     def from_snapshots(cls, snapshots: Iterable[Snapshot],
                        dictionaries: Optional[

@@ -12,8 +12,10 @@ exactly what explains *why* the run parked).
 
 from __future__ import annotations
 
+import contextlib
 import datetime as _dt
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -40,12 +42,27 @@ def build_run_report(kind: str,
 
 
 def write_run_report(path: Any, report: Dict[str, Any]) -> Path:
-    """Write one run report as pretty JSON; returns the path."""
+    """Atomically write one run report as pretty JSON; returns the path.
+
+    Same discipline as the dataset store's artefact writes (temp file
+    in the same directory + fsync + rename), so a crash mid-report can
+    never leave a torn JSON file behind.
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    with open(target, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=1, sort_keys=True)
-        handle.write("\n")
+    data = (json.dumps(report, indent=1, sort_keys=True)
+            + "\n").encode("utf-8")
+    temporary = target.parent / f".{target.name}.{os.getpid()}.tmp"
+    try:
+        with open(temporary, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, target)
+    except Exception:
+        with contextlib.suppress(OSError):
+            temporary.unlink()
+        raise
     return target
 
 

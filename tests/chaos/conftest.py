@@ -1,0 +1,25 @@
+"""Shared corruption primitives for the chaos suite.
+
+Each helper damages an on-disk artefact the way real-world failures
+do: truncation (torn write / full disk), bit rot (a flipped bit in
+the gzip CRC trailer — deterministic classification), and outright
+garbage (a foreign file landing on the path).
+"""
+
+from pathlib import Path
+
+
+def truncate(path: Path, keep: int = 30) -> None:
+    path.write_bytes(path.read_bytes()[:keep])
+
+
+def flip_trailer_bit(path: Path) -> None:
+    """Flip a bit inside the gzip CRC32/ISIZE trailer: the stream
+    still parses, but the integrity check must fail."""
+    data = bytearray(path.read_bytes())
+    data[-5] ^= 0x01
+    path.write_bytes(bytes(data))
+
+
+def overwrite_garbage(path: Path) -> None:
+    path.write_bytes(b"\x00\x01 this was never an artefact \xff")

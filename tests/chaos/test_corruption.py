@@ -1,0 +1,100 @@
+"""Corruption chaos: damage artefacts in every way the taxonomy
+names, then assert fsck finds *exactly* that damage and the analysis
+degrades to missing-day semantics instead of crashing."""
+
+import pytest
+
+from repro.collector import DatasetStore, fsck_store
+from repro.core import Study
+
+from .conftest import flip_trailer_bit, overwrite_garbage, truncate
+
+DAYS = (0, 7, 14, 21, 28)
+
+
+@pytest.fixture()
+def store(tmp_path, linx_generator):
+    store = DatasetStore(tmp_path / "dataset")
+    store.save_dictionary("linx", linx_generator.dictionary)
+    for day in DAYS:
+        store.save_snapshot(linx_generator.snapshot(4, day,
+                                                    degraded=False))
+    return store
+
+
+def snapshot_paths(store):
+    return sorted((store.root / "linx" / "v4").glob("*.json.gz"))
+
+
+class TestFsckFindsExactlyTheDamage:
+    def test_mixed_corruption_is_fully_classified(self, store):
+        paths = snapshot_paths(store)
+        truncate(paths[0])
+        flip_trailer_bit(paths[1])
+        overwrite_garbage(paths[2])
+        paths[3].unlink()
+
+        report = fsck_store(store)
+        counts = {cls: count for cls, count in report.counts.items()
+                  if count}
+        assert counts == {"truncated": 1, "checksum_mismatch": 1,
+                          "malformed": 1, "missing_file": 1}
+        flagged = {f.path for f in report.findings}
+        assert flagged == {p.relative_to(store.root).as_posix()
+                          for p in paths[:4]}
+
+    def test_repair_round_trip(self, store):
+        paths = snapshot_paths(store)
+        truncate(paths[0])
+        overwrite_garbage(paths[2])
+
+        assert not fsck_store(store, repair=True).clean
+        after = fsck_store(store)
+        assert after.clean, after.format_summary()
+        # the two damaged files live on in quarantine with records
+        records = store.quarantine_records()
+        assert len(records) == 2
+        for record in records:
+            assert (store.root / record.moved_to).exists()
+        # the three healthy days still load and verify
+        assert len(list(store.iter_snapshots("linx", 4))) == 3
+
+    def test_untouched_store_stays_clean(self, store):
+        report = fsck_store(store)
+        assert report.clean
+        assert report.verified == len(DAYS) + 1  # + dictionary
+
+
+class TestAnalysisDegradesGracefully:
+    def test_damaged_latest_falls_back_a_week(self, store,
+                                              linx_generator):
+        latest = snapshot_paths(store)[-1]
+        truncate(latest)
+        damaged = []
+        study = Study.from_store(store, ixps=("linx",), families=(4,),
+                                 damaged=damaged)
+        # the analysis ran over the previous collection day
+        assert study.snapshots[("linx", 4)].captured_on \
+            == linx_generator.snapshot(4, DAYS[-2]).captured_on
+        assert [r.damage_class for r in damaged] == ["truncated"]
+        # and the file was quarantined, not deleted
+        assert not latest.exists()
+        assert store.quarantine_records()
+
+    def test_damaged_dictionary_falls_back_to_scheme(self, store):
+        overwrite_garbage(store.root / "linx" / "dictionary.json")
+        damaged = []
+        study = Study.from_store(store, ixps=("linx",), families=(4,),
+                                 damaged=damaged)
+        # analysis still classifies via the IXP's documented scheme
+        assert study.dictionaries["linx"] is not None
+        assert study.table1()
+        assert [r.damage_class for r in damaged] == ["malformed"]
+
+    def test_sanitation_treats_quarantined_as_missing(self, store):
+        from repro.collector import sanitise_store
+
+        truncate(snapshot_paths(store)[1])
+        report = sanitise_store(store, "linx", 4)
+        assert len(report.quarantined) == 1
+        assert len(report.kept) + len(report.removed) == len(DAYS) - 1

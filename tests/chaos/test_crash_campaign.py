@@ -1,0 +1,183 @@
+"""Crash chaos: kill a collection campaign at every kind of write
+boundary, then prove the durability contract:
+
+1. no partially written artefact is ever visible (fsck finds no
+   content damage — at most orphan temp debris and stale manifest
+   entries);
+2. ``fsck --repair`` heals the store to clean;
+3. ``--resume`` completes the campaign and the final snapshot is
+   identical to an uninterrupted control run.
+
+The in-process sweep uses :class:`SimulatedCrash`; one subprocess test
+uses ``action="exit"`` (``os._exit`` — no ``finally``, no ``atexit``,
+exactly like a kill -9) against the parent process's LG server.
+"""
+
+import subprocess
+import sys
+import types
+from pathlib import Path
+
+import pytest
+
+from repro.collector import (
+    CrashSchedule,
+    DatasetStore,
+    SimulatedCrash,
+    fsck_store,
+)
+from repro.collector.campaign import (
+    CampaignConfig,
+    CampaignTarget,
+    CollectionCampaign,
+)
+from repro.core import Study
+from repro.lg import LookingGlassServer
+
+DATE = "2021-10-04"
+
+#: damage that would mean a torn artefact became visible — the sweep
+#: must never produce these (debris and stale ledgers are expected).
+CONTENT_DAMAGE = {"truncated", "malformed", "checksum_mismatch",
+                  "schema_drift"}
+
+
+def make_campaign(store, url):
+    config = CampaignConfig(
+        base_url=url,
+        targets=[CampaignTarget(ixp="linx", family=4)],
+        captured_on=DATE,
+        checkpoint_every=2)
+    return CollectionCampaign(store, config)
+
+
+@pytest.fixture(scope="module")
+def world(lg_world, tmp_path_factory):
+    """A live LG plus one uninterrupted control run whose recording
+    CrashSchedule enumerates every write boundary a campaign hits."""
+    _generator, route_server = lg_world("linx")
+    server = LookingGlassServer({("linx", 4): route_server},
+                                rate_per_second=100_000, burst=100_000)
+    with server.serve() as url:
+        store = DatasetStore(tmp_path_factory.mktemp("chaos") / "ctl",
+                             crash_schedule=CrashSchedule())
+        report = make_campaign(store, url).run()
+        assert report.complete
+        yield types.SimpleNamespace(
+            url=url,
+            store=store,
+            control=store.load_snapshot("linx", 4, DATE),
+            boundaries=list(store.crash_schedule.log))
+
+
+class TestInProcessCrashSweep:
+    def test_crash_at_each_boundary_kind_then_resume(self, world,
+                                                     tmp_path):
+        distinct = list(dict.fromkeys(world.boundaries))
+        assert {label.split(":")[0] for label in distinct} \
+            >= {"checkpoint", "snapshot", "manifest"}
+        control_rows = Study.from_store(
+            world.store, ixps=("linx",), families=(4,)).table1()
+
+        for index, label in enumerate(distinct):
+            store = DatasetStore(
+                tmp_path / f"crash{index}",
+                crash_schedule=CrashSchedule(label=label, occurrence=1))
+            with pytest.raises(SimulatedCrash):
+                make_campaign(store, world.url).run()
+            store.crash_schedule = None
+
+            # 1. atomicity: whatever the crash left behind, no torn
+            # artefact is visible as content.
+            audit = fsck_store(store)
+            found = {f.damage_class for f in audit.findings}
+            assert not (found & CONTENT_DAMAGE), \
+                (label, audit.format_summary())
+
+            # 2. repair converges to a clean store.
+            fsck_store(store, repair=True)
+            healed = fsck_store(store)
+            assert healed.clean, (label, healed.format_summary())
+
+            # 3. resume finishes the collection with an identical
+            # snapshot and identical analysis output.
+            resumed = make_campaign(store, world.url).run(resume=True)
+            assert resumed.complete, label
+            snapshot = store.load_snapshot("linx", 4, DATE)
+            assert snapshot.summary() == world.control.summary(), label
+            rows = Study.from_store(store, ixps=("linx",),
+                                    families=(4,)).table1()
+            assert rows == control_rows, label
+
+    def test_crash_mid_write_leaves_old_version_readable(self, world,
+                                                         tmp_path):
+        """Rewriting an existing artefact and crashing before the
+        rename must leave the previous version intact."""
+        store = DatasetStore(tmp_path / "rewrite")
+        store.save_snapshot(world.control)
+        before = store.load_snapshot("linx", 4, DATE).summary()
+        store.crash_schedule = CrashSchedule(label="snapshot:temp",
+                                             occurrence=1)
+        with pytest.raises(SimulatedCrash):
+            store.save_snapshot(world.control)
+        store.crash_schedule = None
+        assert store.load_snapshot("linx", 4, DATE).summary() == before
+        # the interrupted write left exactly one piece of debris
+        audit = fsck_store(store)
+        assert audit.counts["orphan_temp"] == 1
+
+
+_DRIVER = """\
+import sys
+
+sys.path.insert(0, sys.argv[4])
+
+from repro.collector import CrashSchedule, DatasetStore
+from repro.collector.campaign import (
+    CampaignConfig,
+    CampaignTarget,
+    CollectionCampaign,
+)
+
+url, root, label = sys.argv[1:4]
+store = DatasetStore(root, crash_schedule=CrashSchedule(
+    label=label, occurrence=2, action="exit"))
+config = CampaignConfig(
+    base_url=url,
+    targets=[CampaignTarget(ixp="linx", family=4)],
+    captured_on="2021-10-04",
+    checkpoint_every=2)
+CollectionCampaign(store, config).run()
+sys.exit(0)  # only reached if the crash never fired
+"""
+
+
+class TestSubprocessKill:
+    def test_os_exit_mid_checkpoint_then_resume(self, world, tmp_path):
+        import repro
+
+        driver = tmp_path / "driver.py"
+        driver.write_text(_DRIVER)
+        root = tmp_path / "ds"
+        src = str(Path(repro.__file__).parents[1])
+        result = subprocess.run(
+            [sys.executable, str(driver), world.url, str(root),
+             "checkpoint:temp", src],
+            capture_output=True, text=True, timeout=120)
+        assert result.returncode == 86, result.stderr
+
+        store = DatasetStore(root)
+        # the kill landed between temp-write and rename: the previous
+        # checkpoint is still the visible one, plus one orphan temp.
+        audit = fsck_store(store)
+        found = {f.damage_class for f in audit.findings}
+        assert not (found & CONTENT_DAMAGE), audit.format_summary()
+        assert audit.counts["orphan_temp"] == 1
+        fsck_store(store, repair=True)
+        assert fsck_store(store).clean
+
+        resumed = make_campaign(store, world.url).run(resume=True)
+        assert resumed.complete
+        assert resumed.targets[0].peers_resumed > 0
+        snapshot = store.load_snapshot("linx", 4, DATE)
+        assert snapshot.summary() == world.control.summary()

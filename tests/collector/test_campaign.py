@@ -259,6 +259,79 @@ class TestFaultInjection:
         assert target.error
         assert not store.has_snapshot("amsix", 4, DATE)
 
+class TestGracefulShutdown:
+    def test_shutdown_parks_then_resume_completes(self, mounts,
+                                                  tmp_path):
+        """A shutdown request mid-target finishes the in-flight peer,
+        flushes a checkpoint, and parks the run resumable."""
+        server = start_server(mounts)
+        store = DatasetStore(tmp_path / "ds")
+        with server.serve() as url:
+            campaign = make_campaign(store, url,
+                                     targets=("linx", "bcix"),
+                                     checkpoint_every=1)
+            # trip the shutdown from inside the run, once the first
+            # target's third per-peer checkpoint has been flushed.
+            original = store.save_checkpoint
+            checkpoints = {"count": 0}
+
+            def hooked(*args, **kwargs):
+                path = original(*args, **kwargs)
+                checkpoints["count"] += 1
+                if checkpoints["count"] == 3:
+                    campaign.request_shutdown()
+                return path
+
+            store.save_checkpoint = hooked
+            report = campaign.run()
+            store.save_checkpoint = original
+
+            assert report.interrupted
+            assert report.resumable
+            assert "parked for --resume" in report.format_summary()
+            first = report.targets[0]
+            assert first.status == STATUS_INCOMPLETE
+            assert first.interrupted
+            assert 0 < first.peers_collected
+            assert store.has_checkpoint("linx", 4, DATE)
+            assert not store.has_snapshot("linx", 4, DATE)
+            # the second target was never reached
+            assert len(report.targets) == 1
+
+            resumed = make_campaign(store, url,
+                                    targets=("linx", "bcix"))
+            final = resumed.run(resume=True)
+        assert final.complete
+        assert not final.interrupted
+        assert final.targets[0].peers_resumed == first.peers_collected
+        for ixp in ("linx", "bcix"):
+            assert store.has_snapshot(ixp, 4, DATE)
+            assert not store.has_checkpoint(ixp, 4, DATE)
+
+    def test_signal_handler_requests_shutdown_once(self, mounts,
+                                                   tmp_path):
+        import os
+        import signal
+
+        from repro.collector.campaign import install_shutdown_handlers
+
+        store = DatasetStore(tmp_path / "ds")
+        campaign = make_campaign(store, "http://unused.invalid")
+        previous = signal.getsignal(signal.SIGTERM)
+        restore = install_shutdown_handlers(
+            campaign, signals=(signal.SIGTERM,))
+        try:
+            assert signal.getsignal(signal.SIGTERM) is not previous
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert campaign.shutdown_requested
+            # the first signal restored the previous handler: a second
+            # one falls through to the default hard stop.
+            assert signal.getsignal(signal.SIGTERM) is previous
+        finally:
+            restore()
+        assert signal.getsignal(signal.SIGTERM) is previous
+
+
 class TestCampaignCli:
     def test_run_park_resume_exit_codes(self, mounts, tmp_path, capsys):
         from repro.cli import main

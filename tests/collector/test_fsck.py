@@ -1,0 +1,130 @@
+"""Tests for store auditing and repair (fsck)."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.collector import DatasetStore, Snapshot, fsck_store
+from repro.collector.manifest import MANIFEST_NAME, Manifest
+
+DATES = ("2021-07-19", "2021-07-26", "2021-08-02", "2021-08-09")
+
+
+@pytest.fixture()
+def store(tmp_path):
+    store = DatasetStore(tmp_path / "dataset")
+    for date in DATES:
+        store.save_snapshot(Snapshot(ixp="linx", family=4,
+                                     captured_on=date))
+    store.save_run_report("analyze", {"version": 1, "kind": "pipeline",
+                                      "metrics": {}})
+    return store
+
+
+class TestAudit:
+    def test_clean_store(self, store):
+        report = fsck_store(store)
+        assert report.clean
+        assert report.scanned == len(DATES) + 1
+        assert report.verified == report.scanned
+        assert "clean" in report.format_summary()
+
+    def test_classifies_each_damage_exactly(self, store):
+        base = store.root / "linx" / "v4"
+        # truncation, garbage, a deleted file behind its manifest
+        # entry, and write debris — one finding each, nothing else.
+        truncated = base / f"{DATES[0]}.json.gz"
+        truncated.write_bytes(truncated.read_bytes()[:30])
+        (base / f"{DATES[1]}.json.gz").write_bytes(b"garbage")
+        (base / f"{DATES[2]}.json.gz").unlink()
+        (base / f".{DATES[3]}.json.gz.123.0.tmp").write_bytes(b"x")
+
+        report = fsck_store(store)
+        assert not report.clean
+        counts = {cls: count for cls, count in report.counts.items()
+                  if count}
+        assert counts == {"truncated": 1, "malformed": 1,
+                          "missing_file": 1, "orphan_temp": 1}
+        # audit-only: nothing moved, nothing repaired
+        assert all(f.action is None for f in report.findings)
+        assert truncated.exists()
+        assert not store.quarantine_records()
+
+    def test_manifest_drift_vs_checksum(self, store):
+        """A self-verifying file with a stale ledger entry is drift;
+        a legacy file disagreeing with the ledger is damage."""
+        scope = store.root / "linx"
+        manifest = Manifest.load(scope)
+        rel = f"v4/{DATES[0]}.json.gz"
+        entry = manifest.get(rel)
+        manifest.record(rel, "0" * 64, entry["size"], "snapshot")
+        manifest.save()
+
+        legacy = scope / "v4" / f"{DATES[1]}.json.gz"
+        payload = Snapshot(ixp="linx", family=4,
+                           captured_on=DATES[1]).to_dict()
+        payload["meta"] = {"tampered": True}  # digest != manifest's
+        legacy.write_bytes(gzip.compress(
+            json.dumps(payload).encode("utf-8")))
+
+        report = fsck_store(store)
+        counts = {cls: count for cls, count in report.counts.items()
+                  if count}
+        assert counts == {"manifest_drift": 1, "checksum_mismatch": 1}
+
+
+class TestRepair:
+    def test_repair_then_clean(self, store):
+        base = store.root / "linx" / "v4"
+        damaged = base / f"{DATES[0]}.json.gz"
+        damaged.write_bytes(damaged.read_bytes()[:30])
+        (base / f"{DATES[1]}.json.gz").unlink()
+        (base / f".{DATES[2]}.json.gz.9.9.tmp").write_bytes(b"x")
+
+        report = fsck_store(store, repair=True)
+        assert not report.clean
+        actions = {f.damage_class: f.action for f in report.findings}
+        assert actions == {"truncated": "quarantined",
+                           "missing_file": "entry_dropped",
+                           "orphan_temp": "quarantined"}
+        # quarantine holds the damaged bytes, never deletes them
+        assert not damaged.exists()
+        records = store.quarantine_records()
+        assert {r.damage_class for r in records} \
+            == {"truncated", "orphan_temp"}
+
+        second = fsck_store(store)
+        assert second.clean, second.format_summary()
+        # survivors still load
+        assert store.load_snapshot("linx", 4, DATES[2]) is not None
+        assert store.load_snapshot("linx", 4, DATES[3]) is not None
+
+    def test_repair_records_missing_manifest_entries(self, store):
+        store._forget_manifest_entry(
+            store._snapshot_path("linx", 4, DATES[0]))
+        report = fsck_store(store, repair=True)
+        assert report.counts["missing_manifest_entry"] == 1
+        assert fsck_store(store).clean
+
+    def test_repair_rebuilds_destroyed_manifest(self, store):
+        (store.root / "linx" / MANIFEST_NAME).write_text("not json")
+        report = fsck_store(store, repair=True)
+        assert any(f.kind == "manifest" and f.action == "quarantined"
+                   for f in report.findings)
+        second = fsck_store(store)
+        assert second.clean, second.format_summary()
+        manifest = Manifest.load(store.root / "linx")
+        assert set(manifest.entries) \
+            == {f"v4/{d}.json.gz" for d in DATES} | {"dictionary.json"} \
+            - {"dictionary.json"}
+
+    def test_report_round_trips_to_json(self, store):
+        (store.root / "linx" / "v4" / f"{DATES[0]}.json.gz"
+         ).write_bytes(b"junk")
+        payload = fsck_store(store).to_dict()
+        parsed = json.loads(json.dumps(payload))
+        assert parsed["clean"] is False
+        assert parsed["counts"] == {"malformed": 1}
+        assert parsed["findings"][0]["path"] \
+            == f"linx/v4/{DATES[0]}.json.gz"

@@ -1,8 +1,23 @@
-"""Tests for the on-disk dataset store."""
+"""Tests for the on-disk dataset store, including its failure paths:
+every damage class must surface as a typed IntegrityError, move the
+file to quarantine (never delete it), and leave the rest of the store
+loadable."""
+
+import gzip
+import json
+import threading
 
 import pytest
 
-from repro.collector import DatasetStore, Snapshot
+from repro.collector import (
+    ChecksumMismatchError,
+    DatasetStore,
+    IntegrityError,
+    MalformedArtefactError,
+    SchemaDriftError,
+    Snapshot,
+    TruncatedArtefactError,
+)
 from repro.ixp import dictionary_for, get_profile
 
 
@@ -63,6 +78,214 @@ class TestSnapshots:
         rows = store.summary_table("linx", 4)
         assert rows[0]["date"] == "2021-07-19"
         assert rows[0]["routes"] == 0
+
+
+class TestIntegrityFailures:
+    """One test per damage class; each asserts the taxonomy, the
+    quarantine move, and that the error carries its record."""
+
+    @pytest.fixture()
+    def saved(self, store):
+        path = store.save_snapshot(snapshot("2021-07-19"))
+        return store, path
+
+    def _assert_quarantined(self, store, path, error):
+        assert not path.exists(), "damaged file left in place"
+        records = store.quarantine_records()
+        assert len(records) == 1
+        record = records[0]
+        assert record.damage_class == error.damage_class
+        assert record.original == \
+            path.relative_to(store.root).as_posix()
+        moved = store.root / record.moved_to
+        assert moved.exists(), "quarantine must move, not delete"
+        assert error.record is not None
+        assert error.record.moved_to == record.moved_to
+
+    def test_truncated_gzip(self, saved):
+        store, path = saved
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(TruncatedArtefactError) as excinfo:
+            store.load_snapshot("linx", 4, "2021-07-19")
+        self._assert_quarantined(store, path, excinfo.value)
+
+    def test_non_gzip_bytes(self, saved):
+        store, path = saved
+        path.write_bytes(b"this was never a gzip stream")
+        with pytest.raises(MalformedArtefactError) as excinfo:
+            store.load_snapshot("linx", 4, "2021-07-19")
+        self._assert_quarantined(store, path, excinfo.value)
+
+    def test_bad_json_inside_valid_gzip(self, saved):
+        store, path = saved
+        path.write_bytes(gzip.compress(b"{not json"))
+        with pytest.raises(MalformedArtefactError) as excinfo:
+            store.load_snapshot("linx", 4, "2021-07-19")
+        self._assert_quarantined(store, path, excinfo.value)
+
+    def test_gzip_crc_mismatch(self, saved):
+        """A flipped bit in the gzip CRC trailer: framing parses but
+        the payload cannot be trusted."""
+        store, path = saved
+        data = bytearray(path.read_bytes())
+        data[-5] ^= 0xFF  # inside the 8-byte CRC32/ISIZE trailer
+        path.write_bytes(bytes(data))
+        with pytest.raises(ChecksumMismatchError) as excinfo:
+            store.load_snapshot("linx", 4, "2021-07-19")
+        self._assert_quarantined(store, path, excinfo.value)
+
+    def test_envelope_digest_mismatch(self, saved):
+        """A tampered payload under an intact envelope digest."""
+        store, path = saved
+        document = json.loads(gzip.decompress(path.read_bytes()))
+        document["payload"]["ixp"] = "evil"
+        path.write_bytes(gzip.compress(
+            json.dumps(document).encode("utf-8")))
+        with pytest.raises(ChecksumMismatchError) as excinfo:
+            store.load_snapshot("linx", 4, "2021-07-19")
+        self._assert_quarantined(store, path, excinfo.value)
+
+    def test_schema_drift(self, saved):
+        store, path = saved
+        path.write_bytes(gzip.compress(b'{"unexpected": true}'))
+        with pytest.raises(SchemaDriftError) as excinfo:
+            store.load_snapshot("linx", 4, "2021-07-19")
+        self._assert_quarantined(store, path, excinfo.value)
+
+    def test_legacy_file_disagreeing_with_manifest(self, saved):
+        """A pre-envelope file cannot vouch for itself; when the
+        manifest disagrees, the manifest wins."""
+        store, path = saved
+        path.write_bytes(gzip.compress(json.dumps(
+            snapshot("2021-07-19", ixp="amsix").to_dict()
+        ).encode("utf-8")))
+        with pytest.raises(ChecksumMismatchError) as excinfo:
+            store.load_snapshot("linx", 4, "2021-07-19")
+        self._assert_quarantined(store, path, excinfo.value)
+
+    def test_missing_manifest_entry_still_loads(self, saved):
+        """An enveloped artefact vouches for itself even when its
+        manifest entry is gone (fsck reports the drift separately)."""
+        store, path = saved
+        store._forget_manifest_entry(path)
+        loaded = store.load_snapshot("linx", 4, "2021-07-19")
+        assert loaded.captured_on == "2021-07-19"
+
+    def test_iter_and_latest_skip_damage(self, store):
+        for date in ("2021-07-19", "2021-07-26", "2021-08-02"):
+            store.save_snapshot(snapshot(date))
+        bad = store._snapshot_path("linx", 4, "2021-08-02")
+        bad.write_bytes(b"garbage")
+        damaged = []
+        dates = [s.captured_on
+                 for s in store.iter_snapshots("linx", 4,
+                                               damaged=damaged)]
+        assert dates == ["2021-07-19", "2021-07-26"]
+        assert [r.damage_class for r in damaged] == ["malformed"]
+        # latest falls back to the newest loadable date
+        assert store.latest_snapshot("linx", 4).captured_on \
+            == "2021-07-26"
+
+    def test_damaged_checkpoint_returns_none(self, store):
+        store.save_checkpoint("linx", 4, "2021-07-19",
+                              {"version": 1, "peers": {}})
+        path = store._checkpoint_path("linx", 4, "2021-07-19")
+        path.write_bytes(path.read_bytes()[:20])
+        assert store.load_checkpoint("linx", 4, "2021-07-19") is None
+        assert store.quarantine_records()
+        assert not path.exists()
+
+    def test_damaged_dictionary_quarantined(self, store):
+        store.save_dictionary("amsix",
+                              dictionary_for(get_profile("amsix")))
+        path = store._dictionary_path("amsix")
+        path.write_text("{broken json")
+        with pytest.raises(IntegrityError):
+            store.load_dictionary("amsix")
+        assert store.quarantine_records()
+
+    def test_no_temp_debris_after_saves(self, store):
+        store.save_snapshot(snapshot("2021-07-19"))
+        store.save_checkpoint("linx", 4, "2021-07-19",
+                              {"version": 1, "peers": {}})
+        store.save_dictionary("linx", dictionary_for(get_profile("linx")))
+        assert not list(store.root.rglob("*.tmp"))
+
+    def test_failed_write_cleans_its_temp_file(self, store):
+        calls = []
+
+        def explode(label):
+            calls.append(label)
+            if label == "snapshot:temp":
+                raise OSError("disk on fire")
+
+        store.crash_schedule = type("Hook", (), {"check": staticmethod(
+            explode)})()
+        with pytest.raises(OSError):
+            store.save_snapshot(snapshot("2021-07-19"))
+        assert "snapshot:temp" in calls
+        assert not list(store.root.rglob("*.tmp"))
+        assert not store.has_snapshot("linx", 4, "2021-07-19")
+
+    def test_concurrent_save_and_load_same_path(self, store):
+        """Atomic publishes mean a reader can never observe a torn
+        file, even while a writer is rewriting the same date."""
+        store.save_snapshot(snapshot("2021-07-19"))
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                try:
+                    store.save_snapshot(snapshot("2021-07-19"))
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+                    return
+
+        def reader():
+            for _ in range(40):
+                try:
+                    loaded = store.load_snapshot("linx", 4, "2021-07-19")
+                    assert loaded.captured_on == "2021-07-19"
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+                    return
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=reader),
+                   threading.Thread(target=reader)]
+        for thread in threads[1:]:
+            thread.start()
+        threads[0].start()
+        for thread in threads[1:]:
+            thread.join()
+        stop.set()
+        threads[0].join()
+        assert not errors
+
+
+class TestNameValidation:
+    @pytest.mark.parametrize("bad", [
+        "../evil", "a/b", "", ".hidden", "linx\x00", "a b",
+        "quarantine", "reports",
+    ])
+    def test_rejects_path_escapes(self, store, bad):
+        with pytest.raises(ValueError):
+            store.save_snapshot(snapshot("2021-07-19", ixp=bad))
+
+    def test_rejects_bad_family_and_date(self, store):
+        with pytest.raises(ValueError):
+            store.load_snapshot("linx", 5, "2021-07-19")
+        with pytest.raises(ValueError):
+            store.load_snapshot("linx", 4, "not-a-date")
+        with pytest.raises(ValueError):
+            store.load_snapshot("linx", 4, "../../etc/passwd")
+
+    def test_rejects_bad_report_names(self, store):
+        with pytest.raises(ValueError):
+            store.save_run_report("../oops", {"version": 1,
+                                              "kind": "x",
+                                              "metrics": {}})
 
 
 class TestDictionaries:

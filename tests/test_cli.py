@@ -155,6 +155,83 @@ class TestObservabilityFlags:
                      "--timeout", "0.5"]) == 1
 
 
+class TestFsck:
+    @pytest.fixture()
+    def store_dir(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "ds")
+        assert main(["generate", "--store", store_dir, "--ixps", "bcix",
+                     "--families", "4", "--scale", "0.012",
+                     "--days", "2"]) == 0
+        capsys.readouterr()
+        return store_dir
+
+    def test_clean_store_exits_zero(self, store_dir, capsys):
+        assert main(["fsck", "--store", store_dir]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_damage_exits_nonzero_and_repair_heals(self, store_dir,
+                                                   tmp_path, capsys):
+        from pathlib import Path
+
+        victim = next(Path(store_dir).glob("bcix/v4/*.json.gz"))
+        victim.write_bytes(victim.read_bytes()[:25])
+
+        assert main(["fsck", "--store", store_dir]) == 1
+        out = capsys.readouterr().out
+        assert "DAMAGED" in out
+        assert "truncated" in out
+
+        assert main(["fsck", "--store", store_dir, "--repair"]) == 1
+        assert "quarantined" in capsys.readouterr().out
+        assert main(["fsck", "--store", store_dir]) == 0
+
+    def test_json_output(self, store_dir, capsys):
+        assert main(["fsck", "--store", store_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["scanned"] > 0
+
+    def test_analyze_survives_damaged_store(self, store_dir, capsys):
+        from pathlib import Path
+
+        for victim in Path(store_dir).glob("bcix/v4/*.json.gz"):
+            victim.write_bytes(b"junk")
+            break
+        assert main(["analyze", "--store", store_dir, "--ixps", "bcix",
+                     "--families", "4"]) == 0
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out
+        assert "quarantined damaged artefact" in captured.err
+
+
+class TestErrorDiagnostics:
+    def test_invalid_store_value_is_one_line(self, tmp_path, capsys):
+        # a reserved directory name cannot be an IXP key; the CLI must
+        # print a one-line diagnostic, not a traceback
+        store_dir = str(tmp_path / "ds")
+        assert main(["generate", "--store", store_dir, "--ixps", "bcix",
+                     "--families", "4", "--scale", "0.012",
+                     "--days", "1"]) == 0
+        capsys.readouterr()
+        import os
+
+        os.rename(os.path.join(store_dir, "bcix"),
+                  os.path.join(store_dir, "quarantine"))
+        assert main(["sanitise", "--store", store_dir, "--ixps", "bcix",
+                     "--families", "4"]) == 0  # nothing to do, no crash
+
+    def test_unwritable_store_reports_oserror(self, tmp_path, capsys):
+        blocker = tmp_path / "flat"
+        blocker.write_text("a file where a directory must go")
+        code = main(["generate", "--store", str(blocker), "--ixps",
+                     "bcix", "--families", "4", "--scale", "0.012",
+                     "--days", "1"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+
 class TestExport:
     def test_export_csv_and_json(self, tmp_path, capsys):
         out = tmp_path / "csv"
