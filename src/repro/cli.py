@@ -13,7 +13,10 @@ Subcommands:
 * ``campaign`` — run a fault-tolerant collection campaign against a
   Looking Glass URL (checkpointed; re-run with ``--resume`` to pick up
   an interrupted collection at the last completed peer; SIGINT/SIGTERM
-  park the run gracefully with exit code 2);
+  park the run gracefully with exit code 2; ``--workers N`` fans
+  per-peer fetches over a bounded pool and ``--target-workers M``
+  collects mounts concurrently — snapshot bytes are identical to a
+  serial run either way);
 * ``fsck``     — verify every artefact in a store against its manifest
   and embedded checksums; ``--repair`` quarantines damaged files
   (never deletes) and rebuilds the manifest. Exit 0 = clean,
@@ -241,6 +244,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         peer_attempts=args.peer_attempts,
         snapshot_deadline=args.deadline,
         checkpoint_every=args.checkpoint_every,
+        workers=args.workers,
+        target_workers=args.target_workers,
         breaker_threshold=args.breaker_threshold,
         breaker_reset=args.breaker_reset,
         max_retries=args.max_retries,
@@ -417,6 +422,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seconds before an open breaker probes")
     p_camp.add_argument("--checkpoint-every", type=int, default=1,
                         help="persist a checkpoint every N peers")
+    p_camp.add_argument("--workers", type=int, default=1,
+                        help="per-peer fetch workers within one mount "
+                             "(1 = strictly sequential; snapshots are "
+                             "byte-identical either way)")
+    p_camp.add_argument("--target-workers", type=int, default=1,
+                        help="(ixp, family) mounts collected "
+                             "concurrently")
     p_camp.add_argument("--dialect", default="alice",
                         choices=["alice", "birdseye"],
                         help="LG API dialect")

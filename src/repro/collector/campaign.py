@@ -36,7 +36,15 @@ multi-(IXP, family) scraping with
 * **crash-safety** — every store write is atomic and checksummed
   (see :mod:`repro.collector.integrity`); a corrupt checkpoint found
   during resume is quarantined by the store and the target restarts
-  from scratch instead of dying.
+  from scratch instead of dying;
+* **bounded concurrency** — per-peer route fetches fan out over a
+  worker pool (``workers``) and independent (IXP, family) mounts run
+  concurrently (``target_workers``); both default to 1, the exact
+  serial behaviour. Peers are submitted from an ASN-sorted list and
+  reassembled in that order, so snapshots are **byte-identical to a
+  serial run** regardless of worker count; checkpoints still mean
+  "peers collected so far", and a shutdown/deadline park stops
+  submitting, drains the in-flight peers, and checkpoints them too.
 
 Clock and sleep are injectable: tests drive deadlines and breaker
 cooldowns with a fake clock and never block.
@@ -44,11 +52,18 @@ cooldowns with a fake clock and never block.
 
 from __future__ import annotations
 
-import datetime as _dt
 import signal as _signal
 import threading
 import time
 import types
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ThreadPoolExecutor,
+    as_completed,
+    wait,
+)
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -59,12 +74,12 @@ from ..lg.api import NeighborSummary
 from ..lg.breaker import BreakerRegistry
 from ..lg.client import (
     FAILURE_CLASSES,
-    FAILURE_LG_OUTAGE,
     CircuitOpenError,
     LookingGlassClient,
     LookingGlassError,
     TransientError,
 )
+from .scraper import utc_today, worker_label
 from .snapshot import Snapshot
 from .store import DatasetStore
 
@@ -95,6 +110,17 @@ _METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
         "repro_campaign_target_seconds",
         "Wall-clock time spent on one (ixp, family) target",
         buckets=(1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0)),
+    inflight_targets=reg.gauge(
+        "repro_campaign_inflight_targets",
+        "(ixp, family) targets currently being collected").labels(),
+    inflight_peers=reg.gauge(
+        "repro_campaign_inflight_peers",
+        "Per-peer collections currently in flight",
+        ("ixp", "family")),
+    peer_seconds=reg.histogram(
+        "repro_campaign_peer_seconds",
+        "Wall-clock time collecting one peer (all attempts), "
+        "by pool worker", ("ixp", "family", "worker")),
 ))
 
 #: terminal states of one campaign target.
@@ -129,6 +155,11 @@ class CampaignConfig:
     snapshot_deadline: Optional[float] = None
     #: persist a checkpoint every N collected peers.
     checkpoint_every: int = 1
+    #: per-peer fetch workers within one target (1 = the paper's
+    #: strictly sequential single-connection discipline).
+    workers: int = 1
+    #: (ixp, family) mounts collected concurrently (1 = one at a time).
+    target_workers: int = 1
     #: circuit breaker: consecutive failed calls before opening, and
     #: cooldown before the half-open probe.
     breaker_threshold: int = 3
@@ -152,6 +183,17 @@ class PeerFailure:
     def to_dict(self) -> Dict[str, Any]:
         return {"asn": self.asn, "failure_class": self.failure_class,
                 "error": self.error}
+
+
+@dataclass
+class _PeerOutcome:
+    """What one per-peer fetch produced: routes or a terminal failure,
+    plus how often the mount's breaker refused along the way. Built on
+    a pool thread, folded into the report on the coordinating thread."""
+
+    routes: List[Route] = field(default_factory=list)
+    failure: Optional[PeerFailure] = None
+    circuit_open_skips: int = 0
 
 
 @dataclass
@@ -293,6 +335,7 @@ class CollectionCampaign:
             reset_timeout=config.breaker_reset,
             clock=clock)
         self._clients: Dict[Tuple[str, int], LookingGlassClient] = {}
+        self._client_lock = threading.Lock()
         self._shutdown = threading.Event()
 
     # -- graceful shutdown ------------------------------------------------
@@ -314,24 +357,27 @@ class CollectionCampaign:
 
     def client_for(self, target: CampaignTarget) -> LookingGlassClient:
         """One persistent client per mount (stats accumulate across
-        the campaign, and the §3 single-connection discipline holds)."""
+        the campaign; the client is shared by that mount's fetch
+        workers and is thread-safe). Safe to call from concurrent
+        target workers."""
         key = (target.ixp, target.family)
-        if key not in self._clients:
-            config = self.config
-            self._clients[key] = LookingGlassClient(
-                base_url=config.base_url,
-                ixp=target.ixp,
-                family=target.family,
-                dialect=target.dialect,
-                max_retries=config.max_retries,
-                backoff_base=config.backoff_base,
-                backoff_cap=config.backoff_cap,
-                timeout=config.request_timeout,
-                page_retries=config.page_retries,
-                breaker=self.breakers.get(target.ixp, target.family),
-                sleep=self.sleep,
-            )
-        return self._clients[key]
+        with self._client_lock:
+            if key not in self._clients:
+                config = self.config
+                self._clients[key] = LookingGlassClient(
+                    base_url=config.base_url,
+                    ixp=target.ixp,
+                    family=target.family,
+                    dialect=target.dialect,
+                    max_retries=config.max_retries,
+                    backoff_base=config.backoff_base,
+                    backoff_cap=config.backoff_cap,
+                    timeout=config.request_timeout,
+                    page_retries=config.page_retries,
+                    breaker=self.breakers.get(target.ixp, target.family),
+                    sleep=self.sleep,
+                )
+            return self._clients[key]
 
     # -- campaign run ----------------------------------------------------
 
@@ -339,23 +385,27 @@ class CollectionCampaign:
         """Collect every target; with ``resume=True``, restart from
         checkpoints and skip snapshots already in the store.
 
+        With ``target_workers > 1`` independent mounts are collected
+        concurrently; ``report.targets`` still lists outcomes in
+        configuration order (targets never started before a shutdown
+        are simply absent, exactly as in a serial park).
+
         With observability enabled, a JSON run report (metrics
         snapshot + traces + the campaign summary) is written through
         the store as ``campaign-<date>``.
         """
-        captured_on = (self.config.captured_on
-                       or _dt.date.today().isoformat())
+        captured_on = self.config.captured_on or utc_today()
         report = CampaignReport(captured_on=captured_on, resumed=resume)
         with obs.span(f"campaign {captured_on}"):
-            for target in self.config.targets:
-                if self._shutdown.is_set():
-                    # park before touching further targets; resume
-                    # collects them later.
-                    report.interrupted = True
-                    break
-                with obs.span(f"target {target.ixp}/v{target.family}"):
-                    outcome = self._collect_target(
-                        target, captured_on, resume)
+            if max(1, self.config.target_workers) == 1:
+                outcomes = self._run_targets_serial(captured_on, resume,
+                                                    report)
+            else:
+                outcomes = self._run_targets_pooled(captured_on, resume,
+                                                    report)
+            for outcome in outcomes:
+                if outcome is None:
+                    continue
                 report.targets.append(outcome)
                 if outcome.interrupted:
                     report.interrupted = True
@@ -368,6 +418,59 @@ class CollectionCampaign:
                 obs.build_run_report(
                     "campaign", meta=report.to_dict())))
         return report
+
+    def _run_targets_serial(self, captured_on: str, resume: bool,
+                            report: CampaignReport,
+                            ) -> List[Optional[TargetReport]]:
+        outcomes: List[Optional[TargetReport]] = []
+        for target in self.config.targets:
+            if self._shutdown.is_set():
+                # park before touching further targets; resume
+                # collects them later.
+                report.interrupted = True
+                break
+            outcomes.append(self._run_one_target(
+                target, captured_on, resume))
+        return outcomes
+
+    def _run_targets_pooled(self, captured_on: str, resume: bool,
+                            report: CampaignReport,
+                            ) -> List[Optional[TargetReport]]:
+        """All targets over a bounded pool; results in config order.
+
+        A target whose turn comes after a shutdown request is never
+        started (its slot stays None — identical to the serial park);
+        targets already running park themselves via the shared
+        shutdown event.
+        """
+        targets = list(self.config.targets)
+        outcomes: List[Optional[TargetReport]] = [None] * len(targets)
+
+        def collect(target: CampaignTarget) -> Optional[TargetReport]:
+            if self._shutdown.is_set():
+                return None
+            return self._run_one_target(target, captured_on, resume)
+
+        with ThreadPoolExecutor(
+                max_workers=max(1, self.config.target_workers),
+                thread_name_prefix="target") as pool:
+            futures = {pool.submit(collect, target): index
+                       for index, target in enumerate(targets)}
+            for future in as_completed(futures):
+                outcomes[futures[future]] = future.result()
+        if self._shutdown.is_set() and any(o is None for o in outcomes):
+            report.interrupted = True
+        return outcomes
+
+    def _run_one_target(self, target: CampaignTarget, captured_on: str,
+                        resume: bool) -> TargetReport:
+        metrics = _METRICS()
+        metrics.inflight_targets.inc()
+        try:
+            with obs.span(f"target {target.ixp}/v{target.family}"):
+                return self._collect_target(target, captured_on, resume)
+        finally:
+            metrics.inflight_targets.dec()
 
     def _collect_target(self, target: CampaignTarget, captured_on: str,
                         resume: bool) -> TargetReport:
@@ -414,34 +517,18 @@ class CollectionCampaign:
             self._note_breaker(target, report, started)
             return report
 
-        established = [n for n in neighbors if n.established]
-        since_checkpoint = 0
-        for neighbor in established:
-            if str(neighbor.asn) in peers:
-                continue
-            if self._shutdown.is_set():
-                report.interrupted = True
-                break
-            if self._deadline_exceeded(started):
-                report.deadline_hit = True
-                break
-            report.peers_attempted += 1
-            routes = self._collect_peer(client, neighbor, report,
-                                        target)
-            if routes is None:
-                continue
-            report.peers_collected += 1
-            _METRICS().peers.labels(
-                target.ixp, str(target.family), "collected").inc()
-            peers[str(neighbor.asn)] = {
-                "routes": [route.to_dict() for route in routes],
-                "filtered": neighbor.routes_filtered,
-                "name": neighbor.name,
-            }
-            since_checkpoint += 1
-            if since_checkpoint >= max(1, self.config.checkpoint_every):
-                self._save_checkpoint(target, captured_on, peers, report)
-                since_checkpoint = 0
+        # Deterministic ASN order: submission and reassembly both walk
+        # this list, so worker count cannot change snapshot content.
+        established = sorted(
+            (n for n in neighbors if n.established),
+            key=lambda n: n.asn)
+        pending = [n for n in established if str(n.asn) not in peers]
+        if max(1, self.config.workers) == 1:
+            self._collect_peers_serial(client, pending, peers, report,
+                                       target, captured_on, started)
+        else:
+            self._collect_peers_pooled(client, pending, peers, report,
+                                       target, captured_on, started)
 
         if report.deadline_hit or report.interrupted:
             self._save_checkpoint(target, captured_on, peers, report)
@@ -464,46 +551,171 @@ class CollectionCampaign:
         return (deadline is not None
                 and self.clock() - started >= deadline)
 
+    def _collect_peers_serial(self, client: LookingGlassClient,
+                              pending: Sequence[NeighborSummary],
+                              peers: Dict[str, Dict[str, Any]],
+                              report: TargetReport,
+                              target: CampaignTarget, captured_on: str,
+                              started: float) -> None:
+        """The ``workers=1`` path: one peer at a time, shutdown and
+        deadline checked between peers."""
+        since_checkpoint = 0
+        for neighbor in pending:
+            if self._shutdown.is_set():
+                report.interrupted = True
+                break
+            if self._deadline_exceeded(started):
+                report.deadline_hit = True
+                break
+            report.peers_attempted += 1
+            outcome = self._collect_peer(client, neighbor, target)
+            if not self._apply_outcome(target, report, neighbor,
+                                       outcome, peers):
+                continue
+            since_checkpoint += 1
+            if since_checkpoint >= max(1, self.config.checkpoint_every):
+                self._save_checkpoint(target, captured_on, peers,
+                                      report)
+                since_checkpoint = 0
+
+    def _collect_peers_pooled(self, client: LookingGlassClient,
+                              pending: Sequence[NeighborSummary],
+                              peers: Dict[str, Dict[str, Any]],
+                              report: TargetReport,
+                              target: CampaignTarget, captured_on: str,
+                              started: float) -> None:
+        """The ``workers>1`` path: a bounded submission window over the
+        ASN-sorted peer list.
+
+        Only fetches run on pool threads; every report/checkpoint
+        mutation happens here, on the target's coordinating thread, so
+        checkpoint writes stay as crash-safe (and as observable to the
+        chaos harness) as the serial path. A shutdown or deadline stops
+        *submission*; peers already in flight are drained — collected,
+        recorded, and included in the park checkpoint.
+        """
+        queue = deque(pending)
+        inflight: Dict[Future, NeighborSummary] = {}
+        since_checkpoint = 0
+        stopped = False
+        with ThreadPoolExecutor(
+                max_workers=max(1, self.config.workers),
+                thread_name_prefix="peer") as pool:
+            while queue or inflight:
+                if not stopped:
+                    if self._shutdown.is_set():
+                        report.interrupted = True
+                        stopped = True
+                    elif self._deadline_exceeded(started):
+                        report.deadline_hit = True
+                        stopped = True
+                while (not stopped and queue
+                       and len(inflight) < max(1, self.config.workers)):
+                    neighbor = queue.popleft()
+                    report.peers_attempted += 1
+                    inflight[pool.submit(
+                        self._collect_peer, client, neighbor,
+                        target)] = neighbor
+                if stopped:
+                    queue.clear()
+                if not inflight:
+                    continue
+                done, _ = wait(set(inflight),
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    neighbor = inflight.pop(future)
+                    if self._apply_outcome(target, report, neighbor,
+                                           future.result(), peers):
+                        since_checkpoint += 1
+                if since_checkpoint >= max(1,
+                                           self.config.checkpoint_every):
+                    self._save_checkpoint(target, captured_on, peers,
+                                          report)
+                    since_checkpoint = 0
+
+    def _apply_outcome(self, target: CampaignTarget,
+                       report: TargetReport,
+                       neighbor: NeighborSummary,
+                       outcome: "_PeerOutcome",
+                       peers: Dict[str, Dict[str, Any]]) -> bool:
+        """Fold one peer's outcome into the report and progress map —
+        always on the coordinating thread. True = peer collected."""
+        metrics = _METRICS()
+        report.circuit_open_skips += outcome.circuit_open_skips
+        if outcome.failure is not None:
+            report.failures.append(outcome.failure)
+            metrics.peers.labels(
+                target.ixp, str(target.family), "failed").inc()
+            metrics.failures.labels(
+                target.ixp, str(target.family),
+                outcome.failure.failure_class).inc()
+            return False
+        report.peers_collected += 1
+        metrics.peers.labels(
+            target.ixp, str(target.family), "collected").inc()
+        peers[str(neighbor.asn)] = {
+            "routes": [route.to_dict() for route in outcome.routes],
+            "filtered": neighbor.routes_filtered,
+            "name": neighbor.name,
+        }
+        return True
+
     def _collect_peer(self, client: LookingGlassClient,
                       neighbor: NeighborSummary,
-                      report: TargetReport,
-                      target: CampaignTarget) -> Optional[List[Route]]:
-        """One peer's routes under the per-peer retry budget; None when
-        the budget is spent (failure recorded on the report)."""
+                      target: CampaignTarget) -> "_PeerOutcome":
+        """One peer's routes under the per-peer retry budget.
+
+        Pure fetch: never raises and never touches the report (it may
+        run on a pool thread) — the outcome is folded in by
+        :meth:`_apply_outcome` on the coordinating thread.
+        """
+        metrics = _METRICS()
+        mount = (target.ixp, str(target.family))
+        metrics.inflight_peers.labels(*mount).inc()
+        fetch_started = time.perf_counter()
+        try:
+            return self._collect_peer_inner(client, neighbor)
+        finally:
+            metrics.inflight_peers.labels(*mount).dec()
+            metrics.peer_seconds.labels(*mount, worker_label()).observe(
+                time.perf_counter() - fetch_started)
+
+    def _collect_peer_inner(self, client: LookingGlassClient,
+                            neighbor: NeighborSummary,
+                            ) -> "_PeerOutcome":
         attempts = max(1, self.config.peer_attempts)
+        skips = 0
         last: Optional[LookingGlassError] = None
         for attempt in range(attempts):
             try:
-                return list(client.routes(neighbor.asn))
+                return _PeerOutcome(
+                    routes=list(client.routes(neighbor.asn)),
+                    circuit_open_skips=skips)
             except CircuitOpenError as error:
                 # The mount is known-down: wait out the cooldown once
                 # rather than burning attempts against a tripped
                 # breaker.
-                report.circuit_open_skips += 1
+                skips += 1
                 last = error
-                wait = (client.breaker.seconds_until_probe
-                        if client.breaker is not None else 0.0)
-                if attempt < attempts - 1 and wait > 0:
+                cooldown = (client.breaker.seconds_until_probe
+                            if client.breaker is not None else 0.0)
+                if attempt < attempts - 1 and cooldown > 0:
                     # cushion past the cooldown boundary: sleeping the
                     # exact remainder can land short of the threshold
                     # (float rounding, coarse clocks) and deadlock the
                     # probe.
-                    self.sleep(wait + 1e-3)
+                    self.sleep(cooldown + 1e-3)
             except TransientError as error:
                 last = error
             except LookingGlassError as error:
                 last = error
                 break  # definitive (4xx-style) — retrying is pointless
         assert last is not None
-        report.failures.append(PeerFailure(
-            asn=neighbor.asn, failure_class=last.failure_class,
-            error=str(last)))
-        metrics = _METRICS()
-        metrics.peers.labels(
-            target.ixp, str(target.family), "failed").inc()
-        metrics.failures.labels(
-            target.ixp, str(target.family), last.failure_class).inc()
-        return None
+        return _PeerOutcome(
+            failure=PeerFailure(
+                asn=neighbor.asn, failure_class=last.failure_class,
+                error=str(last)),
+            circuit_open_skips=skips)
 
     def _save_checkpoint(self, target: CampaignTarget, captured_on: str,
                          peers: Dict[str, Dict[str, Any]],
@@ -513,8 +725,12 @@ class CollectionCampaign:
             "ixp": target.ixp,
             "family": target.family,
             "captured_on": captured_on,
-            "peers": peers,
-            "failures": [f.to_dict() for f in report.failures],
+            # ASN-sorted so checkpoint bytes do not depend on fetch
+            # completion order under a worker pool.
+            "peers": {asn: peers[asn]
+                      for asn in sorted(peers, key=int)},
+            "failures": [f.to_dict() for f in
+                         sorted(report.failures, key=lambda f: f.asn)],
         }
         if obs.enabled():
             # a parked checkpoint carries the metrics that explain it
@@ -528,34 +744,33 @@ class CollectionCampaign:
                         established: Sequence[NeighborSummary],
                         peers: Dict[str, Dict[str, Any]],
                         report: TargetReport) -> Snapshot:
+        """Assemble the snapshot from the progress map.
+
+        Deterministic by construction: members and routes are emitted
+        in ASN order, membership covers exactly the collected peers
+        (a failed peer is evidence lost, not a member observed — it is
+        listed in ``meta`` only), and the meta block contains nothing
+        that depends on request interleaving — so a ``workers=8`` run
+        writes byte-identical snapshots to a serial one.
+        """
         members: List[Member] = []
-        seen = set()
-        for neighbor in established:
-            seen.add(str(neighbor.asn))
+        routes: List[Route] = []
+        filtered_count = 0
+        # checkpointed peers that left the peer list since the first
+        # run still belong to this date's snapshot.
+        for asn in sorted(peers, key=int):
+            entry = peers[asn]
             members.append(Member(
-                asn=neighbor.asn,
-                name=neighbor.name,
+                asn=int(asn),
+                name=entry.get("name", f"AS{asn}"),
                 role=MemberRole.ACCESS_ISP,  # role is not observable
                 at_rs_v4=target.family == 4,
                 at_rs_v6=target.family == 6,
             ))
-        # checkpointed peers that left the peer list since the first
-        # run still belong to this date's snapshot.
-        for asn, entry in peers.items():
-            if asn not in seen:
-                members.append(Member(
-                    asn=int(asn),
-                    name=entry.get("name", f"AS{asn}"),
-                    role=MemberRole.ACCESS_ISP,
-                    at_rs_v4=target.family == 4,
-                    at_rs_v6=target.family == 6,
-                ))
-        routes: List[Route] = []
-        filtered_count = 0
-        for entry in peers.values():
             routes.extend(Route.from_dict(r) for r in entry["routes"])
             filtered_count += int(entry.get("filtered", 0))
-        failed = sorted(f.asn for f in report.failures)
+        failures = sorted(report.failures, key=lambda f: f.asn)
+        failed = [f.asn for f in failures]
         return Snapshot(
             ixp=target.ixp,
             family=target.family,
@@ -566,11 +781,12 @@ class CollectionCampaign:
             meta={
                 "source": self.config.base_url,
                 "peers_failed": failed,
+                "peer_failure_classes": {
+                    str(f.asn): f.failure_class for f in failures},
                 "degraded": bool(failed),
                 "campaign": {
                     "resumed_peers": report.peers_resumed,
                     "failure_counts": report.failure_counts,
-                    "circuit_open_skips": report.circuit_open_skips,
                 },
             },
         )

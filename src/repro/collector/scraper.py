@@ -9,19 +9,37 @@ dictionary supplied by the caller (§3's two sources).
 Collection is resilient: a peer whose route fetch keeps failing is
 recorded in the report rather than aborting the snapshot — partial
 snapshots are exactly what the sanitation pass (§3) exists to catch.
+Only peers whose routes were actually collected become snapshot
+members; failed peers appear solely in the report and the snapshot's
+``meta`` (a degraded snapshot must not over-count the membership the
+RS showed us).
+
+Per-peer fetches can fan out over a bounded worker pool (``workers``;
+default 1 is exactly the serial behaviour). Snapshots are
+deterministic regardless of worker count: peers are fetched from a
+list sorted by ASN and reassembled in that same order, so the member
+list, route list, and on-disk bytes of a ``workers=8`` snapshot are
+identical to a serial run's.
+
+The default capture date is computed in UTC — a scrape started near
+local midnight must date its snapshot the same way on every machine.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
+import threading
+import time
 import types
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Union
 
 from .. import obs
 from ..bgp.route import Route
 from ..ixp.dictionary import CommunityDictionary
 from ..ixp.member import Member, MemberRole
+from ..lg.api import NeighborSummary
 from ..lg.client import LookingGlassClient, LookingGlassError
 from .snapshot import Snapshot
 
@@ -34,7 +52,35 @@ _METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
         "repro_scraper_peers_failed_total",
         "Peers one-shot scrapes lost, by failure class",
         ("ixp", "family", "class")),
+    inflight=reg.gauge(
+        "repro_scraper_inflight_fetches",
+        "Per-peer route fetches currently in flight",
+        ("ixp", "family")),
+    fetch=reg.histogram(
+        "repro_scraper_peer_fetch_seconds",
+        "Wall-clock time fetching one peer's full route set, "
+        "by pool worker", ("ixp", "family", "worker")),
 ))
+
+
+def worker_label() -> str:
+    """Metric label for the current pool worker.
+
+    ``ThreadPoolExecutor`` names its threads ``<prefix>_<index>``; the
+    index is the stable per-pool worker id (bounded by ``workers``, so
+    label cardinality stays small). Outside a pool — the serial path —
+    everything is worker ``0``.
+    """
+    name = threading.current_thread().name
+    _, _, index = name.rpartition("_")
+    return index if index.isdigit() else "0"
+
+
+def utc_today() -> str:
+    """Today's ISO date in UTC — the deterministic default capture
+    date (local-timezone ``date.today()`` flips a day earlier/later
+    near midnight depending on the machine)."""
+    return _dt.datetime.now(_dt.timezone.utc).date().isoformat()
 
 
 @dataclass
@@ -60,10 +106,16 @@ class ScrapeReport:
 
 
 class SnapshotScraper:
-    """Collects one snapshot from a Looking Glass."""
+    """Collects one snapshot from a Looking Glass.
 
-    def __init__(self, client: LookingGlassClient) -> None:
+    ``workers`` bounds the per-peer fetch pool; 1 (the default) keeps
+    the paper's strictly sequential single-connection discipline.
+    """
+
+    def __init__(self, client: LookingGlassClient,
+                 workers: int = 1) -> None:
         self.client = client
+        self.workers = max(1, int(workers))
 
     def fetch_dictionary(
             self,
@@ -76,10 +128,51 @@ class SnapshotScraper:
         return CommunityDictionary.union(
             rs_dictionary.ixp_name, rs_dictionary, website_dictionary)
 
+    # -- per-peer fetch ---------------------------------------------------
+
+    def _fetch_peer(self, neighbor: NeighborSummary,
+                    ) -> Union[List[Route], LookingGlassError]:
+        """One peer's full route set, or the typed error that lost it.
+
+        Never raises: pool futures must not carry exceptions, so the
+        assembly loop can stay a straight walk over the ASN order.
+        """
+        metrics = _METRICS()
+        mount = (self.client.ixp, str(self.client.family))
+        metrics.inflight.labels(*mount).inc()
+        started = time.perf_counter()
+        try:
+            return list(self.client.routes(neighbor.asn))
+        except LookingGlassError as error:
+            return error
+        finally:
+            metrics.inflight.labels(*mount).dec()
+            metrics.fetch.labels(*mount, worker_label()).observe(
+                time.perf_counter() - started)
+
+    def _fetch_all(self, established: List[NeighborSummary],
+                   ) -> Dict[int, Union[List[Route], LookingGlassError]]:
+        """Fetch every established peer's routes — serially, or fanned
+        out over the worker pool. Results are keyed by ASN; ordering is
+        reimposed by the caller, so completion order is irrelevant."""
+        if self.workers == 1 or len(established) <= 1:
+            return {neighbor.asn: self._fetch_peer(neighbor)
+                    for neighbor in established}
+        with ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="scraper") as pool:
+            futures = {
+                neighbor.asn: pool.submit(self._fetch_peer, neighbor)
+                for neighbor in established}
+            return {asn: future.result()
+                    for asn, future in futures.items()}
+
+    # -- snapshot assembly ------------------------------------------------
+
     def collect(self, captured_on: Optional[str] = None) -> ScrapeReport:
         """Collect the snapshot: summary first, then per-peer routes."""
         report = ScrapeReport()
-        captured_on = captured_on or _dt.date.today().isoformat()
+        captured_on = captured_on or utc_today()
         try:
             neighbors = self.client.neighbors()
         except LookingGlassError as error:
@@ -87,13 +180,32 @@ class SnapshotScraper:
             # must not abort a multi-LG collection run.
             report.error = str(error)
             return report
+        # Deterministic ASN order: the assembly below (and so the
+        # snapshot bytes) is independent of fetch completion order.
+        established = sorted(
+            (n for n in neighbors if n.established),
+            key=lambda n: n.asn)
+        outcomes = self._fetch_all(established)
+
+        metrics = _METRICS()
+        mount = (self.client.ixp, str(self.client.family))
         members: List[Member] = []
         routes: List[Route] = []
         filtered_count = 0
-        for neighbor in neighbors:
-            if not neighbor.established:
-                continue
+        for neighbor in established:
             report.peers_attempted += 1
+            outcome = outcomes[neighbor.asn]
+            if isinstance(outcome, LookingGlassError):
+                report.peers_failed.append(neighbor.asn)
+                report.failure_classes[neighbor.asn] = \
+                    outcome.failure_class
+                metrics.failed.labels(
+                    *mount, outcome.failure_class).inc()
+                continue
+            report.peers_collected += 1
+            metrics.collected.labels(*mount).inc()
+            # membership is an observation: only a peer whose routes we
+            # actually hold counts as present at the RS this day.
             members.append(Member(
                 asn=neighbor.asn,
                 name=neighbor.name,
@@ -101,20 +213,7 @@ class SnapshotScraper:
                 at_rs_v4=self.client.family == 4,
                 at_rs_v6=self.client.family == 6,
             ))
-            try:
-                peer_routes = list(self.client.routes(neighbor.asn))
-            except LookingGlassError as error:
-                report.peers_failed.append(neighbor.asn)
-                report.failure_classes[neighbor.asn] = \
-                    error.failure_class
-                _METRICS().failed.labels(
-                    self.client.ixp, str(self.client.family),
-                    error.failure_class).inc()
-                continue
-            report.peers_collected += 1
-            _METRICS().collected.labels(
-                self.client.ixp, str(self.client.family)).inc()
-            routes.extend(peer_routes)
+            routes.extend(outcome)
             filtered_count += neighbor.routes_filtered
         report.snapshot = Snapshot(
             ixp=self.client.ixp,

@@ -13,11 +13,18 @@ for an afternoon (§3's "LG instability"). The breaker wraps every
   success closes the breaker, failure re-opens it (and restarts the
   cooldown).
 
+The breaker is **thread-safe**: the concurrent collection engine
+(see :mod:`repro.collector.campaign`) shares one breaker per mount
+across a worker pool, so every state read/transition happens under a
+lock and exactly one worker wins the half-open probe — the rest are
+refused until the probe's outcome is recorded.
+
 The clock is injectable so tests drive the cooldown without sleeping.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 import types
 from dataclasses import dataclass, field
@@ -71,44 +78,68 @@ class CircuitBreaker:
     #: requests refused while open (observability).
     rejected: int = 0
     _opened_at: float = field(default=0.0, repr=False)
+    #: a half-open probe has been handed out and its outcome is still
+    #: unrecorded — concurrent callers must not also probe.
+    _probe_in_flight: bool = field(default=False, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
 
     def allow(self) -> bool:
         """May a request proceed right now?
 
         Transitions open → half-open when the cooldown has elapsed, in
-        which case the caller gets exactly one probe.
+        which case the caller gets exactly one probe: under a worker
+        pool, concurrent callers racing for the probe all lose except
+        one — the rest are refused until the probe's outcome has been
+        recorded (success closes, failure restarts the cooldown).
         """
-        if self.state == CLOSED:
-            return True
-        if self.state == OPEN:
-            if self.clock() - self._opened_at >= self.reset_timeout:
-                self._transition(HALF_OPEN)
+        with self._lock:
+            if self.state == CLOSED:
                 return True
-            self.rejected += 1
-            _METRICS().rejected.labels(self.name).inc()
-            return False
-        # HALF_OPEN: one probe is already in flight this cooldown; let
-        # the caller through — sequential clients probe one at a time.
-        return True
+            if self.state == OPEN:
+                if self.clock() - self._opened_at >= self.reset_timeout:
+                    self._transition(HALF_OPEN)
+                    self._probe_in_flight = True
+                    return True
+                return self._reject()
+            # HALF_OPEN: exactly one probe per cooldown. The winner's
+            # outcome (record_success/record_failure) releases the slot.
+            if self._probe_in_flight:
+                return self._reject()
+            self._probe_in_flight = True
+            return True
+
+    def _reject(self) -> bool:
+        """Count one refused request (lock held)."""
+        self.rejected += 1
+        _METRICS().rejected.labels(self.name).inc()
+        return False
 
     def record_success(self) -> None:
-        if self.state != CLOSED:
-            self._transition(CLOSED)
-        self.consecutive_failures = 0
+        with self._lock:
+            self._probe_in_flight = False
+            if self.state != CLOSED:
+                self._transition(CLOSED)
+            self.consecutive_failures = 0
 
     def record_failure(self) -> None:
-        self.consecutive_failures += 1
-        if self.state == HALF_OPEN or (
-                self.state == CLOSED
-                and self.consecutive_failures >= self.failure_threshold):
-            self._trip()
+        with self._lock:
+            self._probe_in_flight = False
+            self.consecutive_failures += 1
+            if self.state == HALF_OPEN or (
+                    self.state == CLOSED
+                    and self.consecutive_failures
+                    >= self.failure_threshold):
+                self._trip()
 
     def _trip(self) -> None:
+        """Open the breaker and start the cooldown (lock held)."""
         self._transition(OPEN)
         self.times_opened += 1
         self._opened_at = self.clock()
 
     def _transition(self, new_state: str) -> None:
+        """State change + metrics (lock held)."""
         metrics = _METRICS()
         metrics.transitions.labels(self.name, self.state,
                                    new_state).inc()
@@ -119,10 +150,11 @@ class CircuitBreaker:
     def seconds_until_probe(self) -> float:
         """How long until an open breaker will allow a probe (0 when
         closed/half-open or when the cooldown already elapsed)."""
-        if self.state != OPEN:
-            return 0.0
-        return max(0.0, self.reset_timeout
-                   - (self.clock() - self._opened_at))
+        with self._lock:
+            if self.state != OPEN:
+                return 0.0
+            return max(0.0, self.reset_timeout
+                       - (self.clock() - self._opened_at))
 
 
 class BreakerRegistry:
@@ -130,7 +162,8 @@ class BreakerRegistry:
 
     A campaign scraping several mounts of the same physical LG keeps
     independent breaker state per mount — one unstable route server
-    must not blacklist its siblings.
+    must not blacklist its siblings. ``get`` is thread-safe: campaigns
+    collecting mounts concurrently must agree on one breaker per mount.
     """
 
     def __init__(self, failure_threshold: int = 5,
@@ -140,18 +173,22 @@ class BreakerRegistry:
         self.reset_timeout = reset_timeout
         self.clock = clock
         self._breakers: Dict[Tuple[str, int], CircuitBreaker] = {}
+        self._lock = threading.Lock()
 
     def get(self, ixp: str, family: int) -> CircuitBreaker:
         key = (ixp, family)
-        if key not in self._breakers:
-            self._breakers[key] = CircuitBreaker(
-                failure_threshold=self.failure_threshold,
-                reset_timeout=self.reset_timeout,
-                clock=self.clock,
-                name=f"{ixp}/v{family}")
-        return self._breakers[key]
+        with self._lock:
+            if key not in self._breakers:
+                self._breakers[key] = CircuitBreaker(
+                    failure_threshold=self.failure_threshold,
+                    reset_timeout=self.reset_timeout,
+                    clock=self.clock,
+                    name=f"{ixp}/v{family}")
+            return self._breakers[key]
 
     def states(self) -> Dict[str, str]:
         """Mount → state, for campaign reports."""
+        with self._lock:
+            breakers = sorted(self._breakers.items())
         return {f"{ixp}/v{family}": breaker.state
-                for (ixp, family), breaker in sorted(self._breakers.items())}
+                for (ixp, family), breaker in breakers}

@@ -3,10 +3,13 @@
 Consumes the :mod:`repro.lg.api` endpoints with the robustness the
 paper's collection needed (§3): retry with full-jitter exponential
 backoff on 5xx/timeouts/garbled payloads, honouring ``Retry-After`` on
-429, a per-mount circuit breaker so a dead LG is not hammered through
-every retry budget, and a single persistent connection ("we kept a
-single connection to the LG server, to avoid overloading it" — the
-client is strictly sequential).
+429, and a per-mount circuit breaker so a dead LG is not hammered
+through every retry budget. The paper's collection kept "a single
+connection to the LG server, to avoid overloading it"; this client
+defaults to the same serial discipline but is **thread-safe** — the
+concurrent collection engine (:mod:`repro.collector.campaign`) shares
+one client per mount across a bounded worker pool, and the shared
+state (stats counters, breaker, metric children) is lock-protected.
 
 Failures that survive the retry budget are raised as subclasses of
 :class:`LookingGlassError` carrying a ``failure_class`` from the
@@ -25,6 +28,7 @@ from __future__ import annotations
 import json
 import random
 import socket
+import threading
 import time
 import types
 import urllib.error
@@ -123,7 +127,13 @@ class CircuitOpenError(LookingGlassError):
 
 @dataclass
 class ClientStats:
-    """Counters for observability and tests."""
+    """Counters for observability and tests.
+
+    Thread-safe: the concurrent collection engine shares one client
+    (and so one stats object) across a worker pool, and ``n += 1`` on
+    an attribute is a read-modify-write that can lose updates under
+    preemption — all bumps go through :meth:`incr`.
+    """
 
     requests: int = 0
     retries: int = 0
@@ -131,15 +141,26 @@ class ClientStats:
     server_errors: int = 0
     timeouts: int = 0
     malformed: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def incr(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
 
 
 @dataclass
 class LookingGlassClient:
-    """Sequential LG client for one (ixp, family) mount.
+    """LG client for one (ixp, family) mount.
 
     ``dialect`` selects the remote API flavour ("alice" default, or
     "birdseye"); responses are normalised to the common types either
     way — the Periscope-style unification the paper's scraping needed.
+
+    Safe to share across collection workers: stats bumps are locked,
+    the breaker serialises its own transitions, and the jitter rng is
+    only consulted for backoff delays (never for payload content), so
+    concurrent interleavings cannot change *what* is collected.
     """
 
     base_url: str
@@ -200,7 +221,7 @@ class LookingGlassClient:
         error_type = OutageError
         started = time.perf_counter()
         for attempt in range(self.max_retries + 1):
-            self.stats.requests += 1
+            self.stats.incr("requests")
             metrics.requests.labels(*mount).inc()
             delay: float
             try:
@@ -209,7 +230,7 @@ class LookingGlassClient:
                     body = response.read()
             except urllib.error.HTTPError as error:
                 if error.code == 429:
-                    self.stats.rate_limited += 1
+                    self.stats.incr("rate_limited")
                     metrics.errors.labels(*mount, "rate_limited").inc()
                     error_type = RateLimitedError
                     retry_after = float(
@@ -219,7 +240,7 @@ class LookingGlassClient:
                     delay = min(self.retry_after_cap,
                                 max(retry_after, 0.01))
                 elif 500 <= error.code < 600:
-                    self.stats.server_errors += 1
+                    self.stats.incr("server_errors")
                     metrics.errors.labels(*mount, "server_error").inc()
                     error_type = OutageError
                     delay = self._backoff_delay(attempt)
@@ -231,14 +252,14 @@ class LookingGlassClient:
                         f"GET {url} failed: HTTP {error.code}") from error
                 last_error = f"HTTP {error.code}"
             except (socket.timeout, TimeoutError):
-                self.stats.timeouts += 1
+                self.stats.incr("timeouts")
                 metrics.errors.labels(*mount, "timeout").inc()
                 error_type = QueryTimeoutError
                 last_error = f"timed out after {self.timeout}s"
                 delay = self._backoff_delay(attempt)
             except urllib.error.URLError as error:
                 if isinstance(error.reason, (socket.timeout, TimeoutError)):
-                    self.stats.timeouts += 1
+                    self.stats.incr("timeouts")
                     metrics.errors.labels(*mount, "timeout").inc()
                     error_type = QueryTimeoutError
                     last_error = f"timed out after {self.timeout}s"
@@ -251,7 +272,7 @@ class LookingGlassClient:
                 try:
                     payload = json.loads(body)
                 except ValueError as error:
-                    self.stats.malformed += 1
+                    self.stats.incr("malformed")
                     metrics.errors.labels(*mount, "malformed").inc()
                     error_type = MalformedPayloadError
                     last_error = f"malformed JSON ({error})"
@@ -262,7 +283,7 @@ class LookingGlassClient:
                         time.perf_counter() - started)
                     return payload
             if attempt < self.max_retries:
-                self.stats.retries += 1
+                self.stats.incr("retries")
                 metrics.retries.labels(*mount).inc()
                 metrics.backoff.labels(*mount).inc(delay)
                 self.sleep(delay)

@@ -1,0 +1,189 @@
+"""Concurrency determinism chaos: worker pools must not change WHAT a
+campaign collects, only how fast.
+
+Three contracts, each driven over real HTTP against the simulated LG:
+
+1. **byte determinism under faults** — the same world and the same
+   :class:`FaultSchedule` collected with ``workers=1`` and ``workers=8``
+   must produce byte-identical snapshot files, equivalent reports, and
+   identical analysis output (``Study.table1``);
+2. **crash/resume under concurrency** — a pooled campaign killed at a
+   checkpoint boundary must leave a repairable store and a resumable
+   checkpoint, and ``--resume`` with a pool must converge to the
+   uninterrupted control snapshot;
+3. **fault survival under concurrency** — an outage window plus
+   malformed payloads against a pooled campaign must end in a defined
+   terminal state with the failure taxonomy fully reported, exactly as
+   the serial engine does.
+
+The byte test recycles the first server's port for the second run so
+both snapshots record the same ``meta["source"]`` URL.
+"""
+
+import pytest
+
+from repro.collector import (
+    CrashSchedule,
+    DatasetStore,
+    SimulatedCrash,
+    fsck_store,
+)
+from repro.collector.campaign import (
+    STATUS_COMPLETE,
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_INCOMPLETE,
+    CampaignConfig,
+    CampaignTarget,
+    CollectionCampaign,
+)
+from repro.core import Study
+from repro.lg import FaultSchedule, LookingGlassServer
+from repro.lg.client import FAILURE_CLASSES
+
+DATE = "2021-10-04"
+
+
+def make_campaign(store, url, workers=1, **kwargs):
+    """A real-clock campaign tuned so fault recovery is fast: tiny
+    backoff, a breaker that re-probes within 50ms, and a generous
+    per-peer budget so transient fault windows cannot permanently
+    lose a peer."""
+    kwargs.setdefault("peer_attempts", 4)
+    kwargs.setdefault("breaker_reset", 0.05)
+    config = CampaignConfig(
+        base_url=url,
+        targets=[CampaignTarget(ixp="linx", family=4)],
+        captured_on=DATE,
+        checkpoint_every=4,
+        workers=workers,
+        backoff_base=0.001,
+        backoff_cap=0.01,
+        **kwargs)
+    return CollectionCampaign(store, config)
+
+
+def start_server(route_server, faults=None, port=0, **kwargs):
+    kwargs.setdefault("rate_per_second", 100_000)
+    kwargs.setdefault("burst", 100_000)
+    return LookingGlassServer({("linx", 4): route_server},
+                              faults=faults, port=port, **kwargs)
+
+
+def report_essence(report):
+    """The report fields that must be identical across worker counts —
+    everything except wall-clock timings."""
+    payload = report.to_dict()
+    for target in payload["targets"]:
+        target.pop("elapsed")
+        target.pop("snapshot_path")  # differs only by store root
+    return payload
+
+
+class TestByteDeterminism:
+    def test_workers_1_and_8_write_identical_bytes_under_faults(
+            self, lg_world, tmp_path):
+        """Same seed, same FaultSchedule → the pooled run's snapshot
+        file, report, and analysis tables equal the serial run's."""
+        _generator, route_server = lg_world("linx")
+        stores = {}
+        reports = {}
+        port = 0
+        for workers in (1, 8):
+            # a fresh schedule per run: the fault counter is part of
+            # the "same inputs" contract
+            faults = FaultSchedule(malformed_every=7)
+            server = start_server(route_server, faults=faults, port=port)
+            store = DatasetStore(tmp_path / f"w{workers}")
+            with server.serve() as url:
+                reports[workers] = make_campaign(
+                    store, url, workers=workers).run()
+            # recycle the ephemeral port so both snapshots carry the
+            # same source URL
+            port = server.port
+            stores[workers] = store
+
+        assert reports[1].complete and reports[8].complete
+        assert report_essence(reports[8]) == report_essence(reports[1])
+
+        serial_bytes = stores[1]._snapshot_path(
+            "linx", 4, DATE).read_bytes()
+        pooled_bytes = stores[8]._snapshot_path(
+            "linx", 4, DATE).read_bytes()
+        assert pooled_bytes == serial_bytes
+
+        tables = {
+            workers: Study.from_store(stores[workers], ixps=("linx",),
+                                      families=(4,)).table1()
+            for workers in (1, 8)}
+        assert tables[8] == tables[1]
+
+
+class TestConcurrentCrashSweep:
+    def test_pooled_campaign_crash_at_checkpoint_then_resume(
+            self, lg_world, tmp_path):
+        """Kill a ``workers=4`` campaign at successive checkpoint
+        boundaries; every resume (also pooled) must converge to the
+        uninterrupted control."""
+        _generator, route_server = lg_world("linx")
+        server = start_server(route_server)
+        with server.serve() as url:
+            control_store = DatasetStore(tmp_path / "control")
+            control = make_campaign(control_store, url, workers=4).run()
+            assert control.complete
+            control_snapshot = control_store.load_snapshot(
+                "linx", 4, DATE)
+            control_rows = Study.from_store(
+                control_store, ixps=("linx",), families=(4,)).table1()
+
+            for occurrence in (1, 2, 3):
+                store = DatasetStore(
+                    tmp_path / f"crash{occurrence}",
+                    crash_schedule=CrashSchedule(
+                        label="checkpoint:temp",
+                        occurrence=occurrence))
+                with pytest.raises(SimulatedCrash):
+                    make_campaign(store, url, workers=4).run()
+                store.crash_schedule = None
+
+                fsck_store(store, repair=True)
+                assert fsck_store(store).clean, occurrence
+
+                resumed = make_campaign(store, url,
+                                        workers=4).run(resume=True)
+                assert resumed.complete, occurrence
+                snapshot = store.load_snapshot("linx", 4, DATE)
+                assert snapshot.summary() == control_snapshot.summary()
+                rows = Study.from_store(store, ixps=("linx",),
+                                        families=(4,)).table1()
+                assert rows == control_rows, occurrence
+
+
+class TestConcurrentFaultSurvival:
+    def test_pooled_campaign_survives_outage_and_malformed(
+            self, lg_world, tmp_path):
+        """An outage window long enough to trip the breaker, plus
+        periodic malformed payloads, against eight workers sharing one
+        client/breaker: the run must end in a defined state with the
+        taxonomy fully reported — never an unhandled exception."""
+        _generator, route_server = lg_world("linx")
+        faults = FaultSchedule(outage_windows=[(5, 13)],
+                               malformed_every=17)
+        server = start_server(route_server, faults=faults,
+                              rate_per_second=2000, burst=25)
+        store = DatasetStore(tmp_path / "ds")
+        with server.serve() as url:
+            report = make_campaign(store, url, workers=8,
+                                   max_retries=1,
+                                   breaker_threshold=2).run()
+        target = report.targets[0]
+        assert target.status in (STATUS_COMPLETE, STATUS_DEGRADED,
+                                 STATUS_INCOMPLETE, STATUS_FAILED)
+        assert set(report.failure_counts) == set(FAILURE_CLASSES)
+        if target.status in (STATUS_COMPLETE, STATUS_DEGRADED):
+            snapshot = store.load_snapshot("linx", 4, DATE)
+            assert set(snapshot.meta["campaign"]["failure_counts"]) \
+                == set(FAILURE_CLASSES)
+            # degraded membership only covers collected peers
+            failed = set(snapshot.meta["peers_failed"])
+            assert failed.isdisjoint(snapshot.member_asns())

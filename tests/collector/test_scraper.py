@@ -70,6 +70,22 @@ class TestCollect:
         assert report.snapshot.meta["degraded"]
         assert report.snapshot.meta["peers_failed"] == [60002]
 
+    def test_failed_peer_is_not_counted_as_member(self):
+        """A degraded snapshot must not over-count the membership: a
+        peer whose routes were never collected appears in meta only,
+        never in the member list."""
+        client = StubClient(
+            [neighbor(60001), neighbor(60002)],
+            {60001: [make_route("20.0.0.0/16", 60001)]},
+            failing={60002})
+        report = SnapshotScraper(client).collect("2021-10-04")
+        snapshot = report.snapshot
+        assert snapshot.member_count == 1
+        assert snapshot.member_asns() == [60001]
+        assert snapshot.meta["peers_failed"] == [60002]
+        assert snapshot.meta["peer_failure_classes"] == {
+            "60002": "lg_outage"}
+
     def test_idle_sessions_skipped(self):
         client = StubClient(
             [neighbor(60001), neighbor(60002, state="Idle")],
@@ -78,12 +94,18 @@ class TestCollect:
         assert report.peers_attempted == 1
         assert report.snapshot.member_count == 1
 
-    def test_default_date_is_today(self):
+    def test_default_date_is_utc_today(self):
+        """The default capture date is computed in UTC, so snapshots
+        started near local midnight are dated the same everywhere."""
         import datetime
+
+        from repro.collector.scraper import utc_today
+
         client = StubClient([], {})
         report = SnapshotScraper(client).collect()
-        assert report.snapshot.captured_on == \
-            datetime.date.today().isoformat()
+        assert report.snapshot.captured_on == utc_today()
+        assert utc_today() == datetime.datetime.now(
+            datetime.timezone.utc).date().isoformat()
 
     def test_failed_neighbor_summary_not_fatal(self):
         """A dead LG must yield a failed report, not an unhandled
@@ -97,6 +119,47 @@ class TestCollect:
         assert not report.complete
         assert report.snapshot is None
         assert "summary endpoint down" in report.error
+
+
+class TestConcurrentCollect:
+    def make_world(self, peers=12, failing=()):
+        """Many peers, deliberately presented in reverse ASN order so
+        ordering guarantees are actually exercised."""
+        asns = [60000 + i for i in range(peers)]
+        neighbors = [neighbor(asn) for asn in reversed(asns)]
+        routes = {asn: [make_route(f"20.{i}.0.0/16", asn)]
+                  for i, asn in enumerate(asns)}
+        return StubClient(neighbors, routes, failing=failing)
+
+    def test_worker_pool_matches_serial_snapshot(self):
+        serial = SnapshotScraper(self.make_world(),
+                                 workers=1).collect("2021-10-04")
+        pooled = SnapshotScraper(self.make_world(),
+                                 workers=4).collect("2021-10-04")
+        assert serial.snapshot.to_dict() == pooled.snapshot.to_dict()
+        assert pooled.peers_collected == serial.peers_collected == 12
+
+    def test_members_and_routes_are_asn_sorted(self):
+        report = SnapshotScraper(self.make_world(),
+                                 workers=4).collect("2021-10-04")
+        members = [m.asn for m in report.snapshot.members]
+        assert members == sorted(members)
+        peers_in_route_order = [r.peer_asn
+                                for r in report.snapshot.routes]
+        assert peers_in_route_order == sorted(peers_in_route_order)
+
+    def test_failures_deterministic_under_pool(self):
+        failing = {60003, 60007}
+        serial = SnapshotScraper(
+            self.make_world(failing=failing), workers=1
+        ).collect("2021-10-04")
+        pooled = SnapshotScraper(
+            self.make_world(failing=failing), workers=8
+        ).collect("2021-10-04")
+        assert pooled.peers_failed == serial.peers_failed \
+            == [60003, 60007]
+        assert pooled.snapshot.to_dict() == serial.snapshot.to_dict()
+        assert pooled.snapshot.member_count == 10
 
 
 class TestDictionary:

@@ -1,5 +1,7 @@
 """Tests for the per-mount circuit breaker."""
 
+import threading
+
 from repro.lg.breaker import (
     CLOSED,
     HALF_OPEN,
@@ -91,6 +93,103 @@ class TestStateMachine:
         assert breaker.seconds_until_probe == 5.0
         clock.advance(10.0)
         assert breaker.seconds_until_probe == 0.0
+
+
+def hammer(thread_count, work):
+    """Run ``work(index)`` on N threads released by a common barrier,
+    so the calls genuinely contend instead of running in sequence."""
+    barrier = threading.Barrier(thread_count)
+    errors = []
+
+    def runner(index):
+        barrier.wait()
+        try:
+            work(index)
+        except BaseException as error:  # pragma: no cover - diagnostics
+            errors.append(error)
+
+    threads = [threading.Thread(target=runner, args=(i,))
+               for i in range(thread_count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+
+
+class TestConcurrency:
+    """The campaign's worker pool shares one breaker per mount; these
+    races are exactly the half-open probe accounting the lock exists
+    to protect."""
+
+    def test_failure_storm_trips_exactly_once(self):
+        breaker, _clock = make_breaker(threshold=4)
+        hammer(8, lambda _i: [breaker.record_failure()
+                              for _ in range(10)])
+        assert breaker.state == OPEN
+        assert breaker.times_opened == 1
+        assert breaker.consecutive_failures == 80
+
+    def test_exactly_one_thread_wins_the_half_open_probe(self):
+        breaker, clock = make_breaker(threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        outcomes = [None] * 16
+
+        def probe(index):
+            outcomes[index] = breaker.allow()
+
+        hammer(16, probe)
+        assert sum(outcomes) == 1
+        assert breaker.state == HALF_OPEN
+        assert breaker.rejected == 15
+        # the winner's outcome releases the probe slot
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_then_next_cooldown_races_cleanly(self):
+        breaker, clock = make_breaker(threshold=1, reset=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()  # probe lost: cooldown restarts
+        assert breaker.state == OPEN
+        clock.advance(5.0)
+        outcomes = [None] * 8
+
+        def probe(index):
+            outcomes[index] = breaker.allow()
+
+        hammer(8, probe)
+        assert sum(outcomes) == 1
+        assert breaker.state == HALF_OPEN
+
+    def test_mixed_success_failure_storm_keeps_state_consistent(self):
+        breaker, _clock = make_breaker(threshold=3, reset=0.0)
+
+        def churn(index):
+            for turn in range(50):
+                if breaker.allow():
+                    if (index + turn) % 3:
+                        breaker.record_success()
+                    else:
+                        breaker.record_failure()
+
+        hammer(8, churn)
+        assert breaker.state in (CLOSED, OPEN, HALF_OPEN)
+        assert breaker.consecutive_failures >= 0
+        assert breaker.times_opened >= 0
+
+    def test_registry_get_is_race_free(self):
+        registry = BreakerRegistry()
+        seen = [None] * 12
+
+        def get(index):
+            seen[index] = registry.get("linx", 4)
+
+        hammer(12, get)
+        assert all(breaker is seen[0] for breaker in seen)
 
 
 class TestRegistry:
