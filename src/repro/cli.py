@@ -137,14 +137,19 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 def _run_analyze(args: argparse.Namespace) -> int:
     if args.store:
+        from .core.engine import AggregateCache
+
         store = DatasetStore(args.store)
         damaged: list = []
+        cache = None if args.no_cache else AggregateCache(store)
         study = Study.from_store(store, args.ixps, args.families,
-                                 damaged=damaged)
+                                 damaged=damaged, jobs=args.jobs,
+                                 cache=cache)
         _report_damage(damaged)
     else:
         study = Study.synthetic(ixps=args.ixps, families=args.families,
-                                scale=args.scale, seed=args.seed)
+                                scale=args.scale, seed=args.seed,
+                                jobs=args.jobs)
 
     print(format_table(study.table1(), title="Table 1 — IXPs in numbers"))
     for family in args.families:
@@ -373,6 +378,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_ana.add_argument("--metrics-out", metavar="PATH",
                        help="enable observability and write a JSON "
                             "metrics run report here on exit")
+    p_ana.add_argument("--jobs", type=int, default=1,
+                       help="aggregation worker processes (default 1 = "
+                            "serial; results are value-identical "
+                            "either way)")
+    p_ana.add_argument("--no-cache", action="store_true",
+                       help="skip the store's aggregate cache and "
+                            "recompute from route data (with --store; "
+                            "output is identical, only slower)")
     p_ana.set_defaults(func=_guarded(cmd_analyze))
 
     p_srv = sub.add_parser("serve", help="serve a Looking Glass")

@@ -51,6 +51,7 @@ from .integrity import (
 )
 from .manifest import MANIFEST_NAME, Manifest
 from .store import (
+    AGGREGATE_SUFFIX,
     CHECKPOINT_SUFFIX,
     QUARANTINE_DIR,
     REPORTS_DIR,
@@ -153,6 +154,10 @@ def _classify_path(scope_name: str, path: Path) -> Optional[
         return "dictionary", False
     if name.endswith(CHECKPOINT_SUFFIX):
         return "checkpoint", True
+    if name.endswith(AGGREGATE_SUFFIX):
+        # checked before the generic snapshot rule: cache artefacts
+        # share the .json.gz extension but carry the aggregate kind.
+        return "aggregate", True
     if name.endswith(".json.gz"):
         return "snapshot", True
     return None

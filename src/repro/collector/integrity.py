@@ -73,6 +73,7 @@ REQUIRED_PAYLOAD_KEYS: Dict[str, Tuple[str, ...]] = {
     "dictionary": ("ixp", "entries"),
     "report": ("version", "kind", "metrics"),
     "manifest": ("version", "entries"),
+    "aggregate": ("version", "key", "aggregate"),
 }
 
 

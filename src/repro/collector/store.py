@@ -10,7 +10,9 @@ keeps the same two artefacts:
   ``<root>/<ixp>/dictionary.json``,
 
 plus campaign checkpoints (``<date>.ckpt.json.gz``), observability run
-reports (``reports/*.json``), and a ``MANIFEST.json`` per IXP (and one
+reports (``reports/*.json``), content-addressed aggregate-cache
+artefacts (``<ixp>/cache/<key>.agg.json.gz`` — see
+:mod:`repro.core.engine`), and a ``MANIFEST.json`` per IXP (and one
 for ``reports/``) recording every artefact's SHA-256.
 
 Durability contract (see :mod:`repro.collector.integrity`):
@@ -62,6 +64,13 @@ from .snapshot import Snapshot
 #: suffix distinguishing in-progress campaign checkpoints from
 #: finished snapshots in the same directory.
 CHECKPOINT_SUFFIX = ".ckpt.json.gz"
+
+#: suffix of content-addressed aggregate-cache artefacts, stored under
+#: ``<root>/<ixp>/cache/<key>.agg.json.gz``.
+AGGREGATE_SUFFIX = ".agg.json.gz"
+
+#: per-IXP subdirectory holding aggregate-cache artefacts.
+CACHE_DIR = "cache"
 
 #: top-level directory holding JSON run reports (metrics + traces),
 #: kept apart from the per-IXP snapshot tree.
@@ -178,9 +187,11 @@ class DatasetStore:
 
     # -- verified reads --------------------------------------------------
 
-    def _read_verified(self, path: Path, kind: str, *, gz: bool) -> Any:
-        """Read + fully verify one artefact; raises the
-        :class:`IntegrityError` taxonomy (after metering) on damage."""
+    def _read_verified(self, path: Path, kind: str, *,
+                       gz: bool) -> Tuple[Any, str]:
+        """Read + fully verify one artefact; returns ``(payload,
+        sha256)``. Raises the :class:`IntegrityError` taxonomy (after
+        metering) on damage."""
         data = path.read_bytes()
         try:
             payload, digest, self_verified = decode_artefact(
@@ -204,10 +215,10 @@ class DatasetStore:
             metrics.integrity_errors.labels(error.damage_class).inc()
             raise
         _METRICS().verifications.labels(kind, "ok").inc()
-        return payload
+        return payload, digest
 
     def _load_self_healing(self, path: Path, kind: str, *,
-                           gz: bool) -> Any:
+                           gz: bool) -> Tuple[Any, str]:
         """A verified read that quarantines on damage before
         re-raising (the raised error carries ``.record``)."""
         try:
@@ -285,22 +296,42 @@ class DatasetStore:
         return self._write_artefact(path, snapshot.to_dict(),
                                     "snapshot", gz=True)
 
+    def read_snapshot(self, ixp: str, family: int, date: str, *,
+                      heal: bool = True) -> Tuple[Snapshot, str]:
+        """Load + verify one snapshot; returns ``(snapshot, sha256)``
+        — the digest is the envelope/manifest payload digest the
+        aggregate cache keys on.
+
+        With ``heal=True`` (the default) damaged files raise
+        :class:`IntegrityError` *after* being moved to quarantine (the
+        error's ``record`` says where). ``heal=False`` verifies but
+        never mutates the store — the mode parallel analysis workers
+        use, so quarantine and manifest writes stay in one process.
+        """
+        path = self._snapshot_path(ixp, family, date)
+        if heal:
+            payload, digest = self._load_self_healing(
+                path, "snapshot", gz=True)
+        else:
+            payload, digest = self._read_verified(path, "snapshot",
+                                                  gz=True)
+        try:
+            return Snapshot.from_dict(payload), digest
+        except (KeyError, TypeError, ValueError) as error:
+            drift = SchemaDriftError(
+                f"snapshot payload does not deserialise: {error}", path)
+            if heal:
+                drift.record = self.quarantine(path, drift) \
+                    if path.exists() else None
+            raise drift from error
+
     def load_snapshot(self, ixp: str, family: int, date: str) -> Snapshot:
         """Load + verify one snapshot.
 
         Damaged files raise :class:`IntegrityError` *after* being
         moved to quarantine (the error's ``record`` says where).
         """
-        path = self._snapshot_path(ixp, family, date)
-        payload = self._load_self_healing(path, "snapshot", gz=True)
-        try:
-            return Snapshot.from_dict(payload)
-        except (KeyError, TypeError, ValueError) as error:
-            drift = SchemaDriftError(
-                f"snapshot payload does not deserialise: {error}", path)
-            drift.record = self.quarantine(path, drift) \
-                if path.exists() else None
-            raise drift from error
+        return self.read_snapshot(ixp, family, date)[0]
 
     def delete_snapshot(self, ixp: str, family: int, date: str) -> bool:
         path = self._snapshot_path(ixp, family, date)
@@ -336,14 +367,14 @@ class DatasetStore:
                 if damaged is not None and error.record is not None:
                     damaged.append(error.record)
 
-    def latest_snapshot(self, ixp: str, family: int,
+    def latest_verified(self, ixp: str, family: int,
                         damaged: Optional[List[QuarantineRecord]] = None,
-                        ) -> Optional[Snapshot]:
-        """The newest *loadable* snapshot: a damaged latest file is
-        quarantined and the next-newest date is used instead."""
+                        ) -> Optional[Tuple[Snapshot, str]]:
+        """The newest loadable snapshot with its payload digest, or
+        None. Damaged newer dates are quarantined and skipped."""
         for date in reversed(self.snapshot_dates(ixp, family)):
             try:
-                return self.load_snapshot(ixp, family, date)
+                return self.read_snapshot(ixp, family, date)
             except FileNotFoundError:
                 continue
             except IntegrityError as error:
@@ -351,9 +382,81 @@ class DatasetStore:
                     damaged.append(error.record)
         return None
 
+    def latest_snapshot(self, ixp: str, family: int,
+                        damaged: Optional[List[QuarantineRecord]] = None,
+                        ) -> Optional[Snapshot]:
+        """The newest *loadable* snapshot: a damaged latest file is
+        quarantined and the next-newest date is used instead."""
+        loaded = self.latest_verified(ixp, family, damaged=damaged)
+        return loaded[0] if loaded is not None else None
+
+    def snapshot_digest(self, ixp: str, family: int,
+                        date: str) -> Optional[str]:
+        """The manifest-recorded payload digest of one snapshot, or
+        None when the manifest cannot vouch for the file (no entry, or
+        a size mismatch betraying an unrecorded rewrite). Reads only
+        the manifest — never the route data — so cache probes stay
+        O(entries), not O(routes)."""
+        path = self._snapshot_path(ixp, family, date)
+        scope = self._scope_dir(path)
+        rel = path.relative_to(scope).as_posix()
+        with self._manifest_lock:
+            entry = Manifest.load(scope).get(rel)
+        if entry is None:
+            return None
+        try:
+            size = path.stat().st_size
+        except OSError:
+            return None
+        if entry.get("size") != size:
+            return None
+        digest = entry.get("sha256")
+        return str(digest) if digest else None
+
     def ixps(self) -> List[str]:
         return sorted(p.name for p in self.root.iterdir()
                       if p.is_dir() and p.name not in RESERVED_DIRS)
+
+    # -- aggregate cache ---------------------------------------------------
+
+    def _aggregate_path(self, ixp: str, key: str) -> Path:
+        self._validate_name(ixp)
+        self._validate_name(key, what="cache key")
+        return (self.root / ixp / CACHE_DIR
+                / f"{key}{AGGREGATE_SUFFIX}")
+
+    def save_aggregate(self, ixp: str, key: str,
+                       payload: Dict) -> Path:
+        """Persist one content-addressed aggregate-cache artefact
+        (atomic write, manifest-recorded like any other artefact)."""
+        return self._write_artefact(self._aggregate_path(ixp, key),
+                                    payload, "aggregate", gz=True)
+
+    def load_aggregate(self, ixp: str, key: str) -> Dict:
+        """A verified aggregate-cache payload; damaged entries are
+        quarantined before the :class:`IntegrityError` re-raises — the
+        caller recomputes, it never trusts damaged bytes."""
+        payload, _digest = self._load_self_healing(
+            self._aggregate_path(ixp, key), "aggregate", gz=True)
+        return payload
+
+    def has_aggregate(self, ixp: str, key: str) -> bool:
+        return self._aggregate_path(ixp, key).exists()
+
+    def quarantine_aggregate(self, ixp: str, key: str,
+                             error: IntegrityError
+                             ) -> Optional[QuarantineRecord]:
+        """Quarantine one cache entry whose *payload* failed to
+        deserialise after envelope verification (schema drift)."""
+        path = self._aggregate_path(ixp, key)
+        return self.quarantine(path, error) if path.exists() else None
+
+    def aggregate_keys(self, ixp: str) -> List[str]:
+        directory = self.root / self._validate_name(ixp) / CACHE_DIR
+        if not directory.is_dir():
+            return []
+        return sorted(p.name[:-len(AGGREGATE_SUFFIX)]
+                      for p in directory.glob(f"*{AGGREGATE_SUFFIX}"))
 
     # -- campaign checkpoints ----------------------------------------------
 
@@ -383,7 +486,8 @@ class DatasetStore:
         if not path.exists():
             return None
         try:
-            return self._load_self_healing(path, "checkpoint", gz=True)
+            return self._load_self_healing(path, "checkpoint",
+                                           gz=True)[0]
         except IntegrityError:
             return None
 
@@ -416,7 +520,7 @@ class DatasetStore:
 
     def load_run_report(self, name: str) -> Dict:
         return self._load_self_healing(self._report_path(name),
-                                       "report", gz=False)
+                                       "report", gz=False)[0]
 
     def has_run_report(self, name: str) -> bool:
         return self._report_path(name).exists()
@@ -441,7 +545,8 @@ class DatasetStore:
 
     def load_dictionary(self, ixp: str) -> CommunityDictionary:
         path = self._dictionary_path(ixp)
-        payload = self._load_self_healing(path, "dictionary", gz=False)
+        payload, _digest = self._load_self_healing(path, "dictionary",
+                                                   gz=False)
         try:
             return CommunityDictionary.from_dict(payload)
         except (KeyError, TypeError, ValueError) as error:

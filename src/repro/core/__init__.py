@@ -21,6 +21,14 @@ from . import (
 )
 from .aggregate import SnapshotAggregate, aggregate_snapshot
 from .classification import ClassifiedCommunity, Classifier
+from .engine import (
+    AGGREGATOR_VERSION,
+    AggregateCache,
+    AggregationPlan,
+    PlanResult,
+    aggregate_cache_key,
+    run_plans,
+)
 from .pipeline import Study, sanitised_series
 from .report import format_table, paper_vs_measured, percent, render_share_bars
 
@@ -28,6 +36,8 @@ __all__ = [
     "Classifier", "ClassifiedCommunity",
     "SnapshotAggregate", "aggregate_snapshot",
     "Study", "sanitised_series",
+    "AGGREGATOR_VERSION", "AggregateCache", "AggregationPlan",
+    "PlanResult", "aggregate_cache_key", "run_plans",
     "format_table", "paper_vs_measured", "percent", "render_share_bars",
     "prevalence", "usage", "favorites", "ineffective", "summary",
     "stability", "nonstandard", "export", "temporal", "overhead",

@@ -25,7 +25,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from ..bgp.communities import Community, StandardCommunity
+from ..bgp.communities import Community, StandardCommunity, parse_community
 from ..collector.snapshot import Snapshot
 from ..ixp.dictionary import CommunityDictionary
 from ..ixp.taxonomy import ActionCategory, TargetKind
@@ -126,26 +126,197 @@ class SnapshotAggregate:
         users = self.ases_by_category.get(category, set())
         return len(users) / self.member_count if self.member_count else 0.0
 
+    # Rankings break count ties deterministically (by community string /
+    # ASN) instead of by counter insertion order, so a cache-restored or
+    # parallel-computed aggregate ranks identically to a fresh one.
+
     def top_communities(self, limit: int = 20) -> List[
             Tuple[StandardCommunity, int]]:
         """Fig. 5: the most-seen action communities."""
-        return self.community_instances.most_common(limit)
+        ranked = sorted(self.community_instances.items(),
+                        key=lambda item: (-item[1], str(item[0])))
+        return ranked[:limit]
 
     def top_ineffective_communities(self, limit: int = 20) -> List[
             Tuple[StandardCommunity, int]]:
         """Fig. 6: most-seen actions targeting non-RS members."""
-        return self.ineffective_by_community.most_common(limit)
+        ranked = sorted(self.ineffective_by_community.items(),
+                        key=lambda item: (-item[1], str(item[0])))
+        return ranked[:limit]
 
     def top_culprits(self, limit: int = 10) -> List[Tuple[int, int]]:
         """Fig. 7: ASes tagging the most ineffective communities."""
-        return self.ineffective_by_culprit.most_common(limit)
+        ranked = sorted(self.ineffective_by_culprit.items(),
+                        key=lambda item: (-item[1], item[0]))
+        return ranked[:limit]
+
+    # -- serialisation (the aggregate-cache payload) ---------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form persisted by the aggregate cache. Collections are
+        sorted so the payload (and its digest) is deterministic."""
+        def counts(counter: Counter) -> Dict[str, int]:
+            return {str(key): count
+                    for key, count in sorted(counter.items(),
+                                             key=lambda kv: str(kv[0]))}
+
+        return {
+            "ixp": self.ixp,
+            "family": self.family,
+            "captured_on": self.captured_on,
+            "member_count": self.member_count,
+            "route_count": self.route_count,
+            "prefix_count": self.prefix_count,
+            "rs_member_asns": sorted(self.rs_member_asns),
+            "defined_count": self.defined_count,
+            "unknown_count": self.unknown_count,
+            "kind_counts": counts(self.kind_counts),
+            "std_action_count": self.std_action_count,
+            "std_informational_count": self.std_informational_count,
+            "per_as_action": counts(self.per_as_action),
+            "per_as_routes": counts(self.per_as_routes),
+            "routes_with_action": self.routes_with_action,
+            "ases_using_actions": sorted(self.ases_using_actions),
+            "category_instances": {
+                category.value: count for category, count
+                in sorted(self.category_instances.items(),
+                          key=lambda kv: kv[0].value)},
+            "ases_by_category": {
+                category.value: sorted(asns) for category, asns
+                in sorted(self.ases_by_category.items(),
+                          key=lambda kv: kv[0].value)},
+            "community_instances": counts(self.community_instances),
+            "ineffective_instances": self.ineffective_instances,
+            "ineffective_by_community": counts(
+                self.ineffective_by_community),
+            "ineffective_by_culprit": counts(self.ineffective_by_culprit),
+            "effective_targets": counts(self.effective_targets),
+            "ineffective_targets": counts(self.ineffective_targets),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SnapshotAggregate":
+        """Inverse of :meth:`to_dict` (how the cache restores an
+        aggregate without touching route data)."""
+        def community_counter(record: Dict[str, int]) -> Counter:
+            return Counter({parse_community(text): count
+                            for text, count in record.items()})
+
+        def asn_counter(record: Dict[str, int]) -> Counter:
+            return Counter({int(asn): count
+                            for asn, count in record.items()})
+
+        return cls(
+            ixp=str(payload["ixp"]),
+            family=int(payload["family"]),              # type: ignore[arg-type]
+            captured_on=str(payload["captured_on"]),
+            member_count=int(payload["member_count"]),  # type: ignore[arg-type]
+            route_count=int(payload["route_count"]),    # type: ignore[arg-type]
+            prefix_count=int(payload["prefix_count"]),  # type: ignore[arg-type]
+            rs_member_asns=frozenset(
+                int(asn) for asn in payload["rs_member_asns"]),  # type: ignore[union-attr]
+            defined_count=int(payload["defined_count"]),  # type: ignore[arg-type]
+            unknown_count=int(payload["unknown_count"]),  # type: ignore[arg-type]
+            kind_counts=Counter(
+                {str(kind): int(count) for kind, count
+                 in payload["kind_counts"].items()}),  # type: ignore[union-attr]
+            std_action_count=int(payload["std_action_count"]),  # type: ignore[arg-type]
+            std_informational_count=int(
+                payload["std_informational_count"]),  # type: ignore[arg-type]
+            per_as_action=asn_counter(payload["per_as_action"]),  # type: ignore[arg-type]
+            per_as_routes=asn_counter(payload["per_as_routes"]),  # type: ignore[arg-type]
+            routes_with_action=int(payload["routes_with_action"]),  # type: ignore[arg-type]
+            ases_using_actions={
+                int(asn) for asn in payload["ases_using_actions"]},  # type: ignore[union-attr]
+            category_instances=Counter(
+                {ActionCategory(category): int(count) for category, count
+                 in payload["category_instances"].items()}),  # type: ignore[union-attr]
+            ases_by_category={
+                ActionCategory(category): {int(asn) for asn in asns}
+                for category, asns
+                in payload["ases_by_category"].items()},  # type: ignore[union-attr]
+            community_instances=community_counter(
+                payload["community_instances"]),  # type: ignore[arg-type]
+            ineffective_instances=int(
+                payload["ineffective_instances"]),  # type: ignore[arg-type]
+            ineffective_by_community=community_counter(
+                payload["ineffective_by_community"]),  # type: ignore[arg-type]
+            ineffective_by_culprit=asn_counter(
+                payload["ineffective_by_culprit"]),  # type: ignore[arg-type]
+            effective_targets=asn_counter(
+                payload["effective_targets"]),  # type: ignore[arg-type]
+            ineffective_targets=asn_counter(
+                payload["ineffective_targets"]),  # type: ignore[arg-type]
+        )
+
+
+#: Per-community-set delta, precomputed once per distinct set of
+#: communities: (defined, unknown, kind items, std informational,
+#: std action, category items, categories, community items,
+#: effective-target items, ineffective count, ineffective-community
+#: items, ineffective-target items). The peer-independent part of one
+#: route's contribution to a :class:`SnapshotAggregate`.
+_SetDelta = Tuple[int, int, Tuple, int, int, Tuple, Tuple, Tuple, Tuple,
+                  int, Tuple, Tuple]
+
+
+def _summarise_set(communities: Tuple[Community, ...], flat,
+                   rs_asns: FrozenSet[int]) -> _SetDelta:
+    """Classify one distinct community set into its aggregate delta."""
+    n_defined = n_unknown = n_info = n_action = n_ineffective = 0
+    kind_counts: Dict[str, int] = {}
+    category_counts: Dict[ActionCategory, int] = {}
+    community_counts: Dict[Community, int] = {}
+    effective: Dict[int, int] = {}
+    ineffective_communities: Dict[Community, int] = {}
+    ineffective_targets: Dict[int, int] = {}
+    for community in communities:
+        kind, defined, std_action, informational, category, target_asn \
+            = flat(community)
+        if not defined:
+            n_unknown += 1
+            continue
+        n_defined += 1
+        kind_counts[kind] = kind_counts.get(kind, 0) + 1
+        if kind != "standard":
+            continue
+        if informational:
+            n_info += 1
+            continue
+        # standard IXP-defined action instance
+        n_action += 1
+        category_counts[category] = category_counts.get(category, 0) + 1
+        community_counts[community] = \
+            community_counts.get(community, 0) + 1
+        if target_asn is not None:
+            if target_asn in rs_asns:
+                effective[target_asn] = effective.get(target_asn, 0) + 1
+            else:
+                n_ineffective += 1
+                ineffective_communities[community] = \
+                    ineffective_communities.get(community, 0) + 1
+                ineffective_targets[target_asn] = \
+                    ineffective_targets.get(target_asn, 0) + 1
+    return (n_defined, n_unknown, tuple(kind_counts.items()),
+            n_info, n_action, tuple(category_counts.items()),
+            tuple(category_counts), tuple(community_counts.items()),
+            tuple(effective.items()), n_ineffective,
+            tuple(ineffective_communities.items()),
+            tuple(ineffective_targets.items()))
 
 
 def aggregate_snapshot(snapshot: Snapshot,
                        dictionary: CommunityDictionary,
                        classifier: Optional[Classifier] = None,
                        ) -> SnapshotAggregate:
-    """Walk *snapshot* once and produce its :class:`SnapshotAggregate`."""
+    """Walk *snapshot* once and produce its :class:`SnapshotAggregate`.
+
+    The same community set repeats across thousands of routes, so the
+    walk deduplicates: each distinct (standard, extended, large)
+    frozenset triple is classified once into a peer-independent delta
+    (via the classifier's flat lookup table), then applied per route
+    with plain integer updates.
+    """
     classifier = classifier or Classifier(dictionary)
     aggregate = SnapshotAggregate(
         ixp=snapshot.ixp,
@@ -160,41 +331,70 @@ def aggregate_snapshot(snapshot: Snapshot,
     for category in ActionCategory:
         aggregate.ases_by_category[category] = set()
 
+    # bound locals: every counter touched per route resolved once
+    flat = classifier.flat
+    deltas: Dict[Tuple, _SetDelta] = {}
+    deltas_get = deltas.get
+    per_as_routes = aggregate.per_as_routes
+    per_as_action = aggregate.per_as_action
+    kind_counts = aggregate.kind_counts
+    category_instances = aggregate.category_instances
+    ases_by_category = aggregate.ases_by_category
+    community_instances = aggregate.community_instances
+    effective_targets = aggregate.effective_targets
+    ineffective_by_community = aggregate.ineffective_by_community
+    ineffective_by_culprit = aggregate.ineffective_by_culprit
+    ineffective_targets = aggregate.ineffective_targets
+    ases_using_actions_add = aggregate.ases_using_actions.add
+    defined_total = unknown_total = info_total = action_total = 0
+    routes_with_action = ineffective_total = 0
+
     for route in snapshot.routes:
         peer = route.peer_asn
-        aggregate.per_as_routes[peer] += 1
-        route_has_action = False
-        for classified in classifier.classify_route(route):
-            if not classified.ixp_defined:
-                aggregate.unknown_count += 1
-                continue
-            aggregate.defined_count += 1
-            aggregate.kind_counts[classified.kind] += 1
-            if classified.kind != "standard":
-                continue
-            if classified.is_informational:
-                aggregate.std_informational_count += 1
-                continue
-            # standard IXP-defined action instance
-            aggregate.std_action_count += 1
-            route_has_action = True
-            aggregate.per_as_action[peer] += 1
-            aggregate.ases_using_actions.add(peer)
-            category = classified.category
-            assert category is not None
-            aggregate.category_instances[category] += 1
-            aggregate.ases_by_category[category].add(peer)
-            community = classified.community
-            aggregate.community_instances[community] += 1
-            target_asn = classified.target_asn
-            if target_asn is not None:
-                if target_asn in rs_asns:
-                    aggregate.effective_targets[target_asn] += 1
-                else:
-                    aggregate.ineffective_instances += 1
-                    aggregate.ineffective_by_community[community] += 1
-                    aggregate.ineffective_by_culprit[peer] += 1
-                    aggregate.ineffective_targets[target_asn] += 1
-        if route_has_action:
-            aggregate.routes_with_action += 1
+        per_as_routes[peer] += 1
+        set_key = (route.communities, route.extended_communities,
+                   route.large_communities)
+        delta = deltas_get(set_key)
+        if delta is None:
+            delta = _summarise_set(
+                (*route.communities, *route.extended_communities,
+                 *route.large_communities), flat, rs_asns)
+            deltas[set_key] = delta
+        (n_defined, n_unknown, kind_items, n_info, n_action,
+         category_items, categories, community_items, effective_items,
+         n_ineffective, ineffective_community_items,
+         ineffective_target_items) = delta
+        defined_total += n_defined
+        unknown_total += n_unknown
+        info_total += n_info
+        for kind, count in kind_items:
+            kind_counts[kind] += count
+        if not n_action:
+            continue
+        action_total += n_action
+        routes_with_action += 1
+        per_as_action[peer] += n_action
+        ases_using_actions_add(peer)
+        for category in categories:
+            ases_by_category[category].add(peer)
+        for category, count in category_items:
+            category_instances[category] += count
+        for community, count in community_items:
+            community_instances[community] += count
+        for target, count in effective_items:
+            effective_targets[target] += count
+        if n_ineffective:
+            ineffective_total += n_ineffective
+            ineffective_by_culprit[peer] += n_ineffective
+            for community, count in ineffective_community_items:
+                ineffective_by_community[community] += count
+            for target, count in ineffective_target_items:
+                ineffective_targets[target] += count
+
+    aggregate.defined_count = defined_total
+    aggregate.unknown_count = unknown_total
+    aggregate.std_informational_count = info_total
+    aggregate.std_action_count = action_total
+    aggregate.routes_with_action = routes_with_action
+    aggregate.ineffective_instances = ineffective_total
     return aggregate

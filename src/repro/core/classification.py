@@ -20,6 +20,28 @@ from ..bgp.route import Route
 from ..ixp.dictionary import CommunityDictionary, Semantics
 from ..ixp.taxonomy import ActionCategory, CommunityRole, Target, TargetKind
 
+#: Flat classification record:
+#: ``(kind, defined, standard_action, informational, category, target_asn)``.
+#: Everything the aggregation hot path needs, pre-resolved into a plain
+#: tuple so the per-instance cost is one dict probe + tuple unpacking
+#: instead of dataclass construction and property dispatch.
+FlatRecord = Tuple[str, bool, bool, bool, Optional[ActionCategory],
+                   Optional[int]]
+
+
+def _flatten(community: Community,
+             semantics: Optional[Semantics]) -> FlatRecord:
+    kind = community.kind
+    if semantics is None:
+        return (kind, False, False, False, None, None)
+    target = semantics.target
+    target_asn = (target.asn if target is not None
+                  and target.kind is TargetKind.PEER_AS else None)
+    return (kind, True,
+            kind == "standard" and semantics.is_action,
+            semantics.role is CommunityRole.INFORMATIONAL,
+            semantics.category, target_asn)
+
 
 @dataclass(frozen=True)
 class ClassifiedCommunity:
@@ -64,11 +86,32 @@ class Classifier:
 
     The same community value appears on thousands of routes, so lookups
     are cached; a full snapshot classifies in one pass.
+
+    Two lookup planes share one dictionary:
+
+    * :meth:`classify` returns the rich :class:`ClassifiedCommunity`
+      view (memoised — repeated calls return the same object);
+    * :meth:`flat` returns the pre-resolved :data:`FlatRecord` tuple
+      the aggregation hot path consumes. The table is seeded from every
+      concrete dictionary entry up front; rule matches (and unknowns)
+      are resolved once on first sight and memoised, since rule target
+      spaces are too large to pre-expand.
     """
 
     def __init__(self, dictionary: CommunityDictionary) -> None:
         self.dictionary = dictionary
         self._cache: Dict[Community, ClassifiedCommunity] = {}
+        self._flat: Dict[Community, FlatRecord] = {
+            entry.community: _flatten(entry.community, entry.semantics)
+            for entry in dictionary.entries()}
+
+    def flat(self, community: Community) -> FlatRecord:
+        """The :data:`FlatRecord` for *community* (memoised)."""
+        record = self._flat.get(community)
+        if record is None:
+            record = _flatten(community, self.dictionary.lookup(community))
+            self._flat[community] = record
+        return record
 
     def classify(self, community: Community) -> ClassifiedCommunity:
         cached = self._cache.get(community)

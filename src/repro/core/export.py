@@ -64,12 +64,13 @@ def study_rows(study: Study,
         for family in families:
             rows.extend(getattr(study, method)(family))
         bundle[name] = rows
-    ixps = sorted({ixp for ixp, _family in study.snapshots})
+    keys = set(study.keys())
+    ixps = sorted({ixp for ixp, _family in keys})
     for name, method, limit in _PER_IXP_ARTEFACTS:
         rows = []
         for ixp in ixps:
             for family in families:
-                if (ixp, family) not in study.snapshots:
+                if (ixp, family) not in keys:
                     continue
                 rows.extend(getattr(study, method)(ixp, family, limit))
         bundle[name] = rows
@@ -77,7 +78,7 @@ def study_rows(study: Study,
     curves: List[Dict[str, object]] = []
     for ixp in ixps:
         for family in families:
-            if (ixp, family) not in study.snapshots:
+            if (ixp, family) not in keys:
                 continue
             for as_fraction, share in study.concentration_curve(
                     ixp, family):

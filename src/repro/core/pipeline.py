@@ -14,6 +14,12 @@ Glues the substrates together the way the paper's methodology does:
     from repro import Study
     study = Study.synthetic(scale=0.05)
     fig3 = study.action_vs_informational()
+
+Aggregation parallelises over independent (IXP, family) keys through
+:mod:`repro.core.engine` when ``jobs > 1``, and store-backed studies
+can reuse a content-addressed :class:`~repro.core.engine.AggregateCache`
+so re-analysing an unchanged store skips route data entirely. Both
+paths are value-identical to the serial, uncached discipline.
 """
 
 from __future__ import annotations
@@ -40,11 +46,17 @@ from ..workload.generator import (
     ScenarioConfig,
     SnapshotGenerator,
 )
-from . import favorites, ineffective, prevalence, stability, summary, usage
+from . import engine, favorites, ineffective, prevalence, stability, summary, usage
 from .aggregate import SnapshotAggregate, aggregate_snapshot
 from .classification import Classifier
+from .engine import AggregateCache, AggregationPlan, run_plans
 
 Key = Tuple[str, int]  # (ixp key, family)
+
+#: Paper presentation order, resolved once — ``_paper_order`` used to
+#: rebuild ``list(ALL_IXPS)`` and linear-scan ``.index()`` per key.
+_PAPER_POSITION: Dict[str, int] = {
+    ixp: position for position, ixp in enumerate(ALL_IXPS)}
 
 _METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
     stage_seconds=reg.histogram(
@@ -56,10 +68,15 @@ _METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
 ))
 
 
-def _stage(name: str) -> Callable:
+def _stage(name: str, rows: Optional[Callable] = None) -> Callable:
     """Meter one pipeline stage: a nested trace span plus duration
     histogram and row counter under the given stage label. Zero-cost
-    (one bool check) while observability is disabled."""
+    (one bool check) while observability is disabled.
+
+    ``rows`` maps the stage result to its row count; stages whose
+    result is not a plain sequence pass one explicitly instead of
+    leaning on a ``len()``/``TypeError`` fallback.
+    """
     def decorate(func: Callable) -> Callable:
         @functools.wraps(func)
         def wrapper(*args, **kwargs):
@@ -71,36 +88,58 @@ def _stage(name: str) -> Callable:
             metrics = _METRICS()
             metrics.stage_seconds.labels(name).observe(
                 time.perf_counter() - started)
-            try:
-                rows = len(result)  # type: ignore[arg-type]
-            except TypeError:
-                rows = 1
-            metrics.rows.labels(name).inc(rows)
+            count = len(result) if rows is None else rows(result)
+            metrics.rows.labels(name).inc(count)
             return result
         return wrapper
     return decorate
 
 
+def _paper_order(key: Key) -> Tuple[int, int]:
+    ixp, family = key
+    return (_PAPER_POSITION.get(ixp, len(_PAPER_POSITION)), family)
+
+
+def _study_rows(study: "Study") -> int:
+    return len(study.keys())
+
+
 @dataclass
 class Study:
     """A loaded study: one analysis snapshot per (IXP, family), plus the
-    dictionaries needed to classify them."""
+    dictionaries needed to classify them.
+
+    ``jobs`` bounds aggregation concurrency (1 = serial, the default);
+    a warm :class:`~repro.core.engine.AggregateCache` can satisfy keys
+    without any snapshot at all, so everything downstream of
+    aggregation keys itself off :meth:`keys`, never ``snapshots``.
+    """
 
     snapshots: Dict[Key, Snapshot] = field(default_factory=dict)
     dictionaries: Dict[str, CommunityDictionary] = field(default_factory=dict)
+    jobs: int = 1
     _aggregates: Dict[Key, SnapshotAggregate] = field(default_factory=dict)
+    #: write-back bookkeeping for lazily-aggregated store keys:
+    #: key -> (collection date, snapshot payload sha256).
+    _pending_cache: Dict[Key, Tuple[str, str]] = field(
+        default_factory=dict, repr=False)
+    _cache: Optional[AggregateCache] = field(default=None, repr=False)
+    #: memoised paper-ordered key tuple + the key set it was built from.
+    _key_order: Optional[Tuple[Key, ...]] = field(default=None, repr=False)
+    _key_source: frozenset = field(default=frozenset(), repr=False)
 
     # -- construction ----------------------------------------------------
 
     @classmethod
-    @_stage("generate")
+    @_stage("generate", rows=_study_rows)
     def synthetic(cls, ixps: Sequence[str] = LARGE_FOUR,
                   families: Sequence[int] = (4, 6),
                   scale: float = 0.05,
                   seed: int = 20211004,
-                  day: int = FINAL_WEEKLY_DAY) -> "Study":
+                  day: int = FINAL_WEEKLY_DAY,
+                  jobs: int = 1) -> "Study":
         """Build a study from the synthetic generator (no I/O)."""
-        study = cls()
+        study = cls(jobs=jobs)
         config = ScenarioConfig(scale=scale, seed=seed)
         for ixp_key in ixps:
             profile = get_profile(ixp_key)
@@ -112,10 +151,12 @@ class Study:
         return study
 
     @classmethod
-    @_stage("load_store")
+    @_stage("load_store", rows=_study_rows)
     def from_store(cls, store, ixps: Sequence[str] = LARGE_FOUR,
                    families: Sequence[int] = (4, 6),
-                   damaged: Optional[List] = None) -> "Study":
+                   damaged: Optional[List] = None,
+                   jobs: int = 1,
+                   cache: Optional[AggregateCache] = None) -> "Study":
         """Build a study from a :class:`~repro.collector.store.DatasetStore`,
         degrading gracefully over damaged data.
 
@@ -124,34 +165,98 @@ class Study:
         falls back to the IXP's documented scheme. Pass a list as
         ``damaged`` to receive the quarantine records — the analysis
         treats those artefacts exactly like missing collection days.
+
+        With ``jobs > 1`` snapshot verification + aggregation fans out
+        over worker processes; workers read without healing and the
+        coordinator replays any damage through the store's normal
+        quarantine path, so on-disk effects match a serial run. With a
+        ``cache``, keys whose newest snapshot + dictionary digest match
+        a stored aggregate skip snapshot loading entirely.
         """
         from ..collector.integrity import IntegrityError
 
-        snapshots: List[Snapshot] = []
-        dictionaries: Dict[str, CommunityDictionary] = {}
+        study = cls(jobs=jobs)
+        study._cache = cache
+        effective: Dict[str, CommunityDictionary] = {}
+        misses: List[Key] = []
         for ixp in ixps:
             try:
-                dictionaries[ixp] = store.load_dictionary(ixp)
+                dictionary = store.load_dictionary(ixp)
             except FileNotFoundError:
-                pass  # from_snapshots falls back to the profile scheme
+                dictionary = dictionary_for(get_profile(ixp))
             except IntegrityError as error:
                 if damaged is not None and error.record is not None:
                     damaged.append(error.record)
+                dictionary = dictionary_for(get_profile(ixp))
+            effective[ixp] = dictionary
             for family in families:
-                snapshot = store.latest_snapshot(ixp, family,
-                                                 damaged=damaged)
-                if snapshot is not None:
-                    snapshots.append(snapshot)
-        return cls.from_snapshots(snapshots, dictionaries)
+                key = (ixp, family)
+                if cache is not None:
+                    hit = cache.probe(ixp, family, dictionary)
+                    if hit is not None:
+                        study._aggregates[key] = hit
+                        continue
+                if jobs <= 1:
+                    loaded = store.latest_verified(ixp, family,
+                                                   damaged=damaged)
+                    if loaded is not None:
+                        snapshot, digest = loaded
+                        study.snapshots[key] = snapshot
+                        study._pending_cache[key] = (
+                            snapshot.captured_on, digest)
+                else:
+                    misses.append(key)
+
+        if misses:
+            # workers ship back only the compact aggregate — like a
+            # cache hit, a parallel study keys everything off
+            # :meth:`keys`, not raw snapshots (pickling full route
+            # tables back through the pool would dominate wall clock)
+            plans = [AggregationPlan(
+                key=key,
+                dictionary=effective[key[0]],
+                root=str(store.root),
+                dates=tuple(reversed(store.snapshot_dates(*key))),
+                store_factory=type(store),
+                return_snapshot=False,
+            ) for key in misses]
+            for result in run_plans(plans, jobs=jobs):
+                ixp, family = result.key
+                for date in result.damaged_dates:
+                    # the worker saw damage read-only; replay the read
+                    # through the healing path so quarantine + record
+                    # happen exactly once, in this process.
+                    try:
+                        store.load_snapshot(ixp, family, date)
+                    except FileNotFoundError:
+                        pass
+                    except IntegrityError as error:
+                        if damaged is not None and error.record is not None:
+                            damaged.append(error.record)
+                if result.aggregate is None:
+                    continue
+                study._aggregates[result.key] = result.aggregate
+                if result.snapshot is not None:
+                    study.snapshots[result.key] = result.snapshot
+                if (cache is not None and result.snapshot_sha256
+                        and result.date):
+                    cache.put(ixp, family, result.date,
+                              result.snapshot_sha256, effective[ixp],
+                              result.aggregate)
+
+        for ixp, _family in study.keys():
+            study.dictionaries.setdefault(ixp, effective[ixp])
+        return study
 
     @classmethod
-    @_stage("load")
+    @_stage("load", rows=_study_rows)
     def from_snapshots(cls, snapshots: Iterable[Snapshot],
                        dictionaries: Optional[
-                           Dict[str, CommunityDictionary]] = None) -> "Study":
+                           Dict[str, CommunityDictionary]] = None,
+                       jobs: int = 1) -> "Study":
         """Build a study from already-collected snapshots (e.g. loaded
         from a :class:`~repro.collector.store.DatasetStore`)."""
-        study = cls()
+        study = cls(jobs=jobs)
         for snapshot in snapshots:
             study.snapshots[(snapshot.ixp, snapshot.family)] = snapshot
             if dictionaries and snapshot.ixp in dictionaries:
@@ -163,40 +268,69 @@ class Study:
 
     # -- aggregation ---------------------------------------------------
 
-    @_stage("aggregate")
+    def keys(self) -> Tuple[Key, ...]:
+        """All (IXP, family) keys this study can analyse — loaded
+        snapshots plus cache-satisfied aggregates — in paper order.
+        The sort is memoised and invalidated when the key set changes."""
+        current = frozenset(self.snapshots) | frozenset(self._aggregates)
+        if self._key_order is None or self._key_source != current:
+            self._key_order = tuple(sorted(current, key=_paper_order))
+            self._key_source = current
+        return self._key_order
+
+    @_stage("aggregate", rows=lambda _aggregate: 1)
     def aggregate(self, ixp: str, family: int) -> SnapshotAggregate:
         key = (ixp, family)
         if key not in self._aggregates:
             snapshot = self.snapshots[key]
             dictionary = self.dictionaries[ixp]
             self._aggregates[key] = aggregate_snapshot(snapshot, dictionary)
+            self._write_back(key)
         return self._aggregates[key]
 
     def aggregates(self, family: Optional[int] = None,
                    ixps: Optional[Sequence[str]] = None,
                    ) -> List[SnapshotAggregate]:
-        keys = sorted(self.snapshots, key=self._paper_order)
-        out = []
-        for ixp, fam in keys:
-            if family is not None and fam != family:
-                continue
-            if ixps is not None and ixp not in ixps:
-                continue
-            out.append(self.aggregate(ixp, fam))
-        return out
+        wanted = [key for key in self.keys()
+                  if (family is None or key[1] == family)
+                  and (ixps is None or key[0] in ixps)]
+        pending = [key for key in wanted
+                   if key not in self._aggregates
+                   and key in self.snapshots]
+        if self.jobs > 1 and len(pending) > 1:
+            plans = [AggregationPlan(key=key,
+                                     dictionary=self.dictionaries[key[0]],
+                                     snapshot=self.snapshots[key])
+                     for key in pending]
+            for result in run_plans(plans, jobs=self.jobs):
+                self._aggregates[result.key] = result.aggregate
+                self._write_back(result.key)
+        return [self.aggregate(*key) for key in wanted]
 
-    @staticmethod
-    def _paper_order(key: Key) -> Tuple[int, int]:
+    def _write_back(self, key: Key) -> None:
+        """Persist a freshly computed aggregate to the cache, if this
+        study has one and knows the snapshot's content address."""
+        if self._cache is None:
+            return
+        pending = self._pending_cache.pop(key, None)
+        if pending is None:
+            return
+        date, snapshot_sha256 = pending
         ixp, family = key
-        order = list(ALL_IXPS)
-        position = order.index(ixp) if ixp in order else len(order)
-        return (position, family)
+        self._cache.put(ixp, family, date, snapshot_sha256,
+                        self.dictionaries[ixp], self._aggregates[key])
 
     # -- figures / tables ------------------------------------------------
 
     @_stage("table1")
     def table1(self) -> List[Dict[str, object]]:
-        return summary.summary_table(self.snapshots.values())
+        return summary.summary_table(self._population())
+
+    def _population(self) -> List[object]:
+        """Per-key population facts for Table 1: the snapshot when
+        loaded, else the cached aggregate (same counts, no routes)."""
+        return [self.snapshots.get(key) or self._aggregates[key]
+                for key in self.keys()]
 
     @_stage("fig1")
     def ixp_defined_vs_unknown(self, family: Optional[int] = None):
@@ -267,7 +401,7 @@ class Study:
             self.aggregate(ixp, family), limit)
 
 
-@_stage("sanitise")
+@_stage("sanitise", rows=lambda report: 1)
 def sanitised_series(generator: SnapshotGenerator, family: int,
                      days: Sequence[int],
                      degrade: bool = True) -> SanitationReport:

@@ -94,7 +94,10 @@ def prefix_community_points(
     if not total_actions or not total_routes:
         return []
     points = []
-    for asn, action_count in aggregate.per_as_action.items():
+    # sorted iteration pins the float-summation order downstream in
+    # _pearson, so cached and freshly-computed aggregates correlate to
+    # the exact same bits.
+    for asn, action_count in sorted(aggregate.per_as_action.items()):
         route_count = aggregate.per_as_routes.get(asn, 0)
         points.append((action_count / total_actions,
                        route_count / total_routes))

@@ -24,6 +24,8 @@ Looking Glass ``/config`` JSON endpoint.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -304,6 +306,7 @@ class CommunityDictionary:
         self.ixp_name = ixp_name
         self._entries: Dict[Community, CommunityEntry] = {}
         self._rules: List[CommunityRule] = list(rules)
+        self._digest: Optional[str] = None
         for entry in entries:
             self.add_entry(entry)
 
@@ -315,6 +318,7 @@ class CommunityDictionary:
         When the same community arrives from both sources, the stored
         entry's source is upgraded to ``both`` — this is the §3 union.
         """
+        self._digest = None
         existing = self._entries.get(entry.community)
         if existing is None:
             self._entries[entry.community] = entry
@@ -324,7 +328,19 @@ class CommunityDictionary:
                 existing, source=SOURCE_BOTH)
 
     def add_rule(self, rule: CommunityRule) -> None:
+        self._digest = None
         self._rules.append(rule)
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical :meth:`to_dict` JSON (cached;
+        invalidated by mutation). Matches the integrity-envelope digest
+        the store records for this dictionary's ``dictionary.json``, so
+        the aggregate cache can key on dictionary content."""
+        if self._digest is None:
+            blob = json.dumps(self.to_dict(), separators=(",", ":"),
+                              sort_keys=True).encode("utf-8")
+            self._digest = hashlib.sha256(blob).hexdigest()
+        return self._digest
 
     @classmethod
     def union(cls, ixp_name: str,

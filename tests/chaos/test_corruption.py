@@ -6,6 +6,7 @@ import pytest
 
 from repro.collector import DatasetStore, fsck_store
 from repro.core import Study
+from repro.core.engine import AggregateCache
 
 from .conftest import flip_trailer_bit, overwrite_garbage, truncate
 
@@ -63,6 +64,67 @@ class TestFsckFindsExactlyTheDamage:
         report = fsck_store(store)
         assert report.clean
         assert report.verified == len(DAYS) + 1  # + dictionary
+
+
+class TestCacheCorruptionMatrix:
+    """The §4/§5 corruption matrix extended to aggregate-cache
+    artefacts: cache damage is found exactly, co-exists with snapshot
+    damage, and can never alter analysis output."""
+
+    @pytest.fixture()
+    def warm_store(self, store):
+        study = Study.from_store(store, ixps=("linx",), families=(4,),
+                                 cache=AggregateCache(store))
+        study.table1()
+        study.aggregates(4)  # triggers write-back of the cache entry
+        return store
+
+    def cache_paths(self, store):
+        return sorted((store.root / "linx" / "cache")
+                      .glob("*.agg.json.gz"))
+
+    def test_mixed_damage_with_cache_is_fully_classified(
+            self, warm_store):
+        snapshot = snapshot_paths(warm_store)[0]
+        cache_entry = self.cache_paths(warm_store)[0]
+        truncate(snapshot)
+        flip_trailer_bit(cache_entry)
+
+        report = fsck_store(warm_store)
+        counts = {cls: count for cls, count in report.counts.items()
+                  if count}
+        assert counts == {"truncated": 1, "checksum_mismatch": 1}
+        by_path = {f.path: f.kind for f in report.findings}
+        assert by_path == {
+            snapshot.relative_to(warm_store.root).as_posix(): "snapshot",
+            cache_entry.relative_to(warm_store.root).as_posix():
+                "aggregate"}
+
+    @pytest.mark.parametrize("damage", [truncate, flip_trailer_bit,
+                                        overwrite_garbage])
+    def test_cache_damage_never_changes_output(self, warm_store, damage):
+        def run():
+            study = Study.from_store(warm_store, ixps=("linx",),
+                                     families=(4,),
+                                     cache=AggregateCache(warm_store))
+            return (study.table1(), study.ixp_defined_vs_unknown(4),
+                    study.action_vs_informational(4),
+                    study.table2(4), study.ineffective_summary(4))
+
+        pristine = run()
+        damage(self.cache_paths(warm_store)[0])
+        assert run() == pristine
+        # the damaged entry went to quarantine and a fresh, healthy
+        # one was republished: a follow-up fsck is clean again
+        assert warm_store.quarantine_records()
+        assert fsck_store(warm_store).clean
+
+    def test_repair_quarantines_cache_and_round_trips(self, warm_store):
+        overwrite_garbage(self.cache_paths(warm_store)[0])
+        first = fsck_store(warm_store, repair=True)
+        assert [f.kind for f in first.findings] == ["aggregate"]
+        assert [f.action for f in first.findings] == ["quarantined"]
+        assert fsck_store(warm_store).clean
 
 
 class TestAnalysisDegradesGracefully:
