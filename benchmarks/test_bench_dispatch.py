@@ -1,0 +1,95 @@
+"""Dispatch engine speedup: lease-sharded worker processes vs one
+worker over the same unit list.
+
+Same regime as the collection bench — every LG response stalls, so
+wall clock is bound by waiting on the network, the case the paper's
+multi-IXP campaign actually lives in. Four (IXP, family, day) units
+collected by four worker processes must beat one worker by a clear
+margin while merging byte-identical snapshots, proving the lease
+protocol's coordination overhead (claim, heartbeat, commit fencing,
+manifest flocks) stays subordinate to the collection work it shards.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.collector import DatasetStore
+from repro.collector.dispatch import (
+    DispatchConfig,
+    DispatchCoordinator,
+    WorkUnit,
+)
+from repro.ixp import get_profile
+from repro.lg import FaultSchedule, LookingGlassServer
+from repro.workload import ScenarioConfig, SnapshotGenerator
+
+from conftest import emit
+
+DATES = ("2021-10-04", "2021-10-05")
+IXPS = ("bcix", "netnod")
+ROUNDS = 2
+SLOW_DELAY = 0.08     # every LG response stalls 80ms
+# 4 workers over 4 units would be 4x if sharding were free; the floor
+# leaves room for per-worker interpreter startup and commit fencing.
+SPEEDUP_FLOOR = 1.8
+
+
+def run_dispatch(url, root, workers):
+    store = DatasetStore(root)
+    config = DispatchConfig(
+        base_url=url,
+        units=[WorkUnit(ixp=ixp, family=4, date=date)
+               for ixp in IXPS for date in DATES],
+        workers=workers,
+        lease_ttl=10.0,
+        checkpoint_every=16)
+    started = time.perf_counter()
+    report = DispatchCoordinator(store, config).run()
+    elapsed = time.perf_counter() - started
+    assert report.complete, report.to_dict()
+    assert report.fsck_clean is True
+    return elapsed, store, report
+
+
+def test_dispatch_speedup(tmp_path):
+    mounts = {}
+    for ixp in IXPS:
+        generator = SnapshotGenerator(get_profile(ixp),
+                                      ScenarioConfig(scale=0.012,
+                                                     seed=5))
+        mounts[(ixp, 4)] = generator.populated_route_server(4)
+    server = LookingGlassServer(
+        mounts,
+        rate_per_second=1_000_000, burst=1_000_000,
+        faults=FaultSchedule(slow_every=1, slow_delay=SLOW_DELAY))
+
+    single = sharded = float("inf")
+    with server.serve() as url:
+        for round_index in range(ROUNDS):
+            cost, single_store, _report = run_dispatch(
+                url, tmp_path / f"single{round_index}", workers=1)
+            single = min(single, cost)
+            cost, sharded_store, report = run_dispatch(
+                url, tmp_path / f"sharded{round_index}", workers=4)
+            sharded = min(sharded, cost)
+
+    identical = True
+    for ixp in IXPS:
+        for date in DATES:
+            a = single_store._snapshot_path(ixp, 4, date).read_bytes()
+            b = sharded_store._snapshot_path(ixp, 4, date).read_bytes()
+            identical = identical and a == b
+    speedup = single / sharded
+    emit("dispatch engine — lease-sharded worker speedup",
+         f"units:            {len(IXPS) * len(DATES)}\n"
+         f"per-response lag: {SLOW_DELAY * 1e3:.0f} ms\n"
+         f"one worker:       {single:8.3f} s\n"
+         f"four workers:     {sharded:8.3f} s\n"
+         f"speedup:          {speedup:8.2f}x\n"
+         f"leases claimed:   {report.totals['leases_claimed']}\n"
+         f"byte-identical:   {identical}")
+    assert identical, "dispatch sharding changed snapshot bytes"
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"4 workers only {speedup:.2f}x faster than one "
+        f"(floor {SPEEDUP_FLOOR}x)")

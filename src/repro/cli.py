@@ -230,6 +230,56 @@ def cmd_sanitise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_dispatch(args: argparse.Namespace,
+                  store: DatasetStore) -> int:
+    """The ``campaign --dispatch N`` path: shard (IXP, family, day)
+    units across worker processes under lease-based claims. Exit codes
+    mirror the serial campaign: 0 = every unit published, 2 = units
+    still claimable (re-run to continue), 1 = units abandoned."""
+    from .collector.dispatch import (
+        DispatchConfig,
+        DispatchCoordinator,
+        WorkUnit,
+    )
+    from .collector.scraper import utc_today
+
+    date = args.date or utc_today()
+    units = [WorkUnit(ixp=ixp, family=family, date=date,
+                      dialect=args.dialect)
+             for ixp in args.ixps for family in args.families]
+    config = DispatchConfig(
+        base_url=args.url.rstrip("/"),
+        units=units,
+        workers=args.dispatch,
+        lease_ttl=args.lease_ttl,
+        peer_attempts=args.peer_attempts,
+        snapshot_deadline=args.deadline,
+        checkpoint_every=args.checkpoint_every,
+        fetch_workers=args.workers,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        max_retries=args.max_retries,
+        request_timeout=args.timeout,
+    )
+    if args.metrics_out:
+        obs.enable()
+    report = None
+    try:
+        report = DispatchCoordinator(store, config).run()
+        print(report.format_summary())
+        if report.fsck_clean is False:
+            print("merged store failed the fsck audit — run "
+                  "`repro-study fsck --repair`", file=sys.stderr)
+            return 1
+        if report.complete:
+            return 0
+        return 2 if report.resumable else 1
+    finally:
+        _dump_metrics(args, "dispatch",
+                      meta=report.to_dict() if report is not None
+                      else {"url": config.base_url, "aborted": True})
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     from .collector.campaign import (
         CampaignConfig,
@@ -239,6 +289,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     )
 
     store = DatasetStore(args.store)
+    if args.dispatch:
+        return _run_dispatch(args, store)
     targets = [CampaignTarget(ixp=ixp, family=family,
                               dialect=args.dialect)
                for ixp in args.ixps for family in args.families]
@@ -442,6 +494,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--target-workers", type=int, default=1,
                         help="(ixp, family) mounts collected "
                              "concurrently")
+    p_camp.add_argument("--dispatch", type=int, default=0, metavar="N",
+                        help="shard units across N worker processes "
+                             "under lease-based claims (0 = run "
+                             "in-process; survives kill -9 of any "
+                             "worker — re-run to continue)")
+    p_camp.add_argument("--lease-ttl", type=float, default=15.0,
+                        help="dispatch lease TTL, seconds; an "
+                             "unrenewed lease older than this is "
+                             "stolen by an idle worker")
     p_camp.add_argument("--dialect", default="alice",
                         choices=["alice", "birdseye"],
                         help="LG API dialect")

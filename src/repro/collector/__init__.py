@@ -19,6 +19,16 @@ from .campaign import (
     TargetReport,
     install_shutdown_handlers,
 )
+from .dispatch import (
+    DispatchConfig,
+    DispatchCoordinator,
+    DispatchReport,
+    DispatchWorker,
+    Lease,
+    LeaseManager,
+    WorkUnit,
+    WorkerCrashSchedule,
+)
 from .fsck import FsckFinding, FsckReport, fsck_store
 from .integrity import (
     DAMAGE_CLASSES,
@@ -51,5 +61,8 @@ __all__ = [
     "CrashSchedule", "SimulatedCrash", "QuarantineRecord",
     "atomic_write", "Manifest",
     "fsck_store", "FsckReport", "FsckFinding",
+    "DispatchCoordinator", "DispatchConfig", "DispatchReport",
+    "DispatchWorker", "LeaseManager", "Lease", "WorkUnit",
+    "WorkerCrashSchedule",
     "QUARANTINE_DIR", "REPORTS_DIR",
 ]

@@ -79,6 +79,7 @@ from ..lg.client import (
     LookingGlassError,
     TransientError,
 )
+from .integrity import IntegrityError
 from .scraper import utc_today, worker_label
 from .snapshot import Snapshot
 from .store import DatasetStore
@@ -97,6 +98,10 @@ _METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
     checkpoints=reg.counter(
         "repro_campaign_checkpoints_total",
         "Checkpoint writes", ("ixp", "family")),
+    checkpoints_rejected=reg.counter(
+        "repro_campaign_checkpoints_rejected_total",
+        "Parked checkpoints discarded at resume instead of merged",
+        ("ixp", "family", "reason")),
     resumes=reg.counter(
         "repro_campaign_resume_total",
         "Targets restarted from a checkpoint", ("ixp", "family")),
@@ -218,6 +223,9 @@ class TargetReport:
     breaker_state: str = "closed"
     breaker_opens: int = 0
     elapsed: float = 0.0
+    #: why a parked checkpoint was discarded at resume instead of
+    #: merged (e.g. ``dictionary_drift``); None when none was.
+    checkpoint_discarded: Optional[str] = None
 
     @property
     def failure_counts(self) -> Dict[str, int]:
@@ -243,6 +251,7 @@ class TargetReport:
             "breaker_state": self.breaker_state,
             "breaker_opens": self.breaker_opens,
             "elapsed": self.elapsed,
+            "checkpoint_discarded": self.checkpoint_discarded,
         }
 
 
@@ -337,6 +346,7 @@ class CollectionCampaign:
         self._clients: Dict[Tuple[str, int], LookingGlassClient] = {}
         self._client_lock = threading.Lock()
         self._shutdown = threading.Event()
+        self._dictionary_digests: Dict[str, Optional[str]] = {}
 
     # -- graceful shutdown ------------------------------------------------
 
@@ -489,15 +499,27 @@ class CollectionCampaign:
                 target.ixp, target.family, captured_on)
             if checkpoint and checkpoint.get("version") == \
                     CHECKPOINT_VERSION:
-                peers = dict(checkpoint.get("peers", {}))
-                report.peers_resumed = len(peers)
-                if peers:
-                    metrics = _METRICS()
-                    metrics.resumes.labels(
-                        target.ixp, str(target.family)).inc()
-                    metrics.peers.labels(
+                if self._checkpoint_scheme_drifted(target, checkpoint):
+                    # the community scheme changed while the target was
+                    # parked: the checkpointed routes were interpreted
+                    # under the old dictionary, so merging them would
+                    # mix schemes inside one snapshot. Restart clean.
+                    self.store.delete_checkpoint(
+                        target.ixp, target.family, captured_on)
+                    report.checkpoint_discarded = "dictionary_drift"
+                    _METRICS().checkpoints_rejected.labels(
                         target.ixp, str(target.family),
-                        "resumed").inc(len(peers))
+                        "dictionary_drift").inc()
+                else:
+                    peers = dict(checkpoint.get("peers", {}))
+                    report.peers_resumed = len(peers)
+                    if peers:
+                        metrics = _METRICS()
+                        metrics.resumes.labels(
+                            target.ixp, str(target.family)).inc()
+                        metrics.peers.labels(
+                            target.ixp, str(target.family),
+                            "resumed").inc(len(peers))
         else:
             self.store.delete_checkpoint(
                 target.ixp, target.family, captured_on)
@@ -717,6 +739,30 @@ class CollectionCampaign:
                 error=str(last)),
             circuit_open_skips=skips)
 
+    def _dictionary_digest(self, ixp: str) -> Optional[str]:
+        """The store's current community-dictionary digest for one IXP
+        (None when there is no loadable dictionary), cached per
+        campaign — scheme drift happens between runs, not within one."""
+        if ixp not in self._dictionary_digests:
+            digest: Optional[str] = None
+            if self.store.has_dictionary(ixp):
+                try:
+                    digest = self.store.load_dictionary(ixp).digest()
+                except IntegrityError:
+                    digest = None
+            self._dictionary_digests[ixp] = digest
+        return self._dictionary_digests[ixp]
+
+    def _checkpoint_scheme_drifted(self, target: CampaignTarget,
+                                   checkpoint: Dict[str, Any]) -> bool:
+        """True when the checkpoint was parked under a different
+        community scheme than the store holds now. Legacy checkpoints
+        (no recorded digest) cannot be verified and merge as before."""
+        if "dictionary_digest" not in checkpoint:
+            return False
+        return (checkpoint.get("dictionary_digest")
+                != self._dictionary_digest(target.ixp))
+
     def _save_checkpoint(self, target: CampaignTarget, captured_on: str,
                          peers: Dict[str, Dict[str, Any]],
                          report: TargetReport) -> None:
@@ -725,6 +771,9 @@ class CollectionCampaign:
             "ixp": target.ixp,
             "family": target.family,
             "captured_on": captured_on,
+            # the community scheme this progress was interpreted under;
+            # resume refuses to merge across a scheme change.
+            "dictionary_digest": self._dictionary_digest(target.ixp),
             # ASN-sorted so checkpoint bytes do not depend on fetch
             # completion order under a worker pool.
             "peers": {asn: peers[asn]

@@ -74,6 +74,7 @@ REQUIRED_PAYLOAD_KEYS: Dict[str, Tuple[str, ...]] = {
     "report": ("version", "kind", "metrics"),
     "manifest": ("version", "entries"),
     "aggregate": ("version", "key", "aggregate"),
+    "lease": ("version", "unit", "owner", "token", "renewed_at", "ttl"),
 }
 
 
@@ -375,6 +376,54 @@ def atomic_write(path: Path, data: bytes, *, kind: str = "artefact",
     if durable and fsync_directory(path.parent):
         fsyncs += 1
     crash(f"{kind}:renamed")
+    return fsyncs
+
+
+def atomic_publish(path: Path, data: bytes, *, kind: str = "artefact",
+                   crash: Optional[CrashHook] = None,
+                   durable: bool = True) -> Optional[int]:
+    """Create-exclusive variant of :func:`atomic_write`.
+
+    Publishes *data* at *path* only if nothing is there yet: the temp
+    file is hard-linked into place (``os.link`` fails with ``EEXIST``
+    instead of clobbering), so when two writers race, exactly one wins
+    and the loser learns it lost. Returns the fsync count on success,
+    or ``None`` when another writer already published — the storage
+    side of a fencing check: a late (zombie) writer cannot overwrite a
+    committed artefact even if its lease bookkeeping is stale.
+
+    Write boundaries: ``<kind>:begin``, ``<kind>:temp``,
+    ``<kind>:published``.
+    """
+    crash = crash or _noop_crash
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temporary = path.parent / (
+        f".{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}{TMP_SUFFIX}")
+    fsyncs = 0
+    crash(f"{kind}:begin")
+    try:
+        with open(temporary, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if durable:
+                os.fsync(handle.fileno())
+                fsyncs += 1
+        crash(f"{kind}:temp")
+        try:
+            os.link(temporary, path)
+        except FileExistsError:
+            return None
+        finally:
+            with contextlib.suppress(OSError):
+                temporary.unlink()
+    except Exception:
+        with contextlib.suppress(OSError):
+            temporary.unlink()
+        raise
+    if durable and fsync_directory(path.parent):
+        fsyncs += 1
+    crash(f"{kind}:published")
     return fsyncs
 
 

@@ -37,6 +37,7 @@ and ``jq``.
 
 from __future__ import annotations
 
+import contextlib
 import datetime as _dt
 import json
 import os
@@ -46,6 +47,11 @@ import types
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+try:  # POSIX-only; manifest updates fall back to thread-safety elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 from .. import obs
 from ..ixp.dictionary import CommunityDictionary
 from .integrity import (
@@ -54,6 +60,7 @@ from .integrity import (
     IntegrityError,
     QuarantineRecord,
     SchemaDriftError,
+    atomic_publish,
     atomic_write,
     decode_artefact,
     encode_artefact,
@@ -79,8 +86,22 @@ REPORTS_DIR = "reports"
 #: top-level directory damaged artefacts are moved to — never deleted.
 QUARANTINE_DIR = "quarantine"
 
+#: top-level directory holding per-unit dispatch lease files
+#: (see :mod:`repro.collector.dispatch`).
+LEASES_DIR = "leases"
+
+#: top-level directory holding per-(unit, fencing-token) worker staging
+#: stores; shard output lives here until a lease-checked commit merges
+#: it into the main tree.
+STAGING_DIR = "staging"
+
 #: directory names that can never be IXP keys.
-RESERVED_DIRS = (REPORTS_DIR, QUARANTINE_DIR)
+RESERVED_DIRS = (REPORTS_DIR, QUARANTINE_DIR, LEASES_DIR, STAGING_DIR)
+
+#: per-scope lock file serialising manifest read-modify-write cycles
+#: across worker *processes* (``flock``; released automatically if the
+#: holder is killed). Invisible to fsck and artefact globs.
+MANIFEST_LOCK_NAME = ".manifest.lock"
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
@@ -160,13 +181,42 @@ class DatasetStore:
         rel = path.relative_to(self.root)
         return self.root / rel.parts[0]
 
+    @contextlib.contextmanager
+    def _manifest_guard(self, scope: Path) -> Iterator[None]:
+        """Critical section for one scope's manifest read-modify-write.
+
+        Threads serialise on the store's RLock as before; on POSIX an
+        ``flock`` on ``<scope>/.manifest.lock`` additionally serialises
+        concurrent *processes* (dispatch workers committing shards into
+        the same IXP scope), so no manifest update is ever lost to a
+        read-modify-write race. The OS drops the flock automatically
+        when a worker dies, SIGKILL included — a crashed holder can
+        never wedge the store.
+        """
+        with self._manifest_lock:
+            handle = None
+            if fcntl is not None:
+                try:
+                    scope.mkdir(parents=True, exist_ok=True)
+                    handle = open(scope / MANIFEST_LOCK_NAME, "a+b")
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                except OSError:  # pragma: no cover - degraded lock
+                    if handle is not None:
+                        handle.close()
+                    handle = None
+            try:
+                yield
+            finally:
+                if handle is not None:
+                    handle.close()  # closing the fd releases the flock
+
     def _write_artefact(self, path: Path, payload: Any, kind: str, *,
                         gz: bool, compresslevel: int = 9) -> Path:
         data, digest = encode_artefact(payload, kind, gz=gz,
                                        compresslevel=compresslevel)
         fsyncs = atomic_write(path, data, kind=kind, crash=self._crash)
         rel = path.relative_to(self._scope_dir(path)).as_posix()
-        with self._manifest_lock:
+        with self._manifest_guard(self._scope_dir(path)):
             manifest = Manifest.load(self._scope_dir(path))
             manifest.record(rel, digest, len(data), kind)
             fsyncs += manifest.save(crash=self._crash)
@@ -179,7 +229,7 @@ class DatasetStore:
     def _forget_manifest_entry(self, path: Path) -> None:
         scope = self._scope_dir(path)
         rel = path.relative_to(scope).as_posix()
-        with self._manifest_lock:
+        with self._manifest_guard(scope):
             manifest = Manifest.load(scope)
             if manifest.remove(rel):
                 fsyncs = manifest.save(crash=self._crash)
@@ -295,6 +345,40 @@ class DatasetStore:
             snapshot.ixp, snapshot.family, snapshot.captured_on)
         return self._write_artefact(path, snapshot.to_dict(),
                                     "snapshot", gz=True)
+
+    def publish_snapshot_file(self, ixp: str, family: int, date: str,
+                              source: Path) -> Optional[Path]:
+        """Merge a staged snapshot file into the tree, exclusively.
+
+        The dispatch commit path: *source* (a fully written snapshot
+        artefact in a worker's staging store) is verified, then
+        hard-linked into place with create-exclusive semantics — if the
+        date is already published, nothing is written and ``None``
+        comes back, so a late writer can never clobber a committed
+        shard. The manifest entry is recorded under the cross-process
+        guard, exactly like any other write.
+
+        Raises :class:`IntegrityError` if *source* itself is damaged —
+        damaged bytes are never merged.
+        """
+        data = Path(source).read_bytes()
+        _payload, digest, _self_verified = decode_artefact(
+            data, kind="snapshot", gz=True, path=Path(source))
+        path = self._snapshot_path(ixp, family, date)
+        fsyncs = atomic_publish(path, data, kind="snapshot",
+                                crash=self._crash)
+        if fsyncs is None:
+            return None
+        rel = path.relative_to(self._scope_dir(path)).as_posix()
+        with self._manifest_guard(self._scope_dir(path)):
+            manifest = Manifest.load(self._scope_dir(path))
+            manifest.record(rel, digest, len(data), "snapshot")
+            fsyncs += manifest.save(crash=self._crash)
+        metrics = _METRICS()
+        metrics.writes.labels("snapshot").inc()
+        metrics.write_bytes.labels("snapshot").inc(len(data))
+        metrics.fsyncs.inc(fsyncs)
+        return path
 
     def read_snapshot(self, ixp: str, family: int, date: str, *,
                       heal: bool = True) -> Tuple[Snapshot, str]:

@@ -1,0 +1,188 @@
+"""Chaos harness for the distributed dispatch engine.
+
+The acceptance bar (ISSUE 6): with ``WorkerCrashSchedule`` killing
+workers at *distinct* boundaries — mid-unit, mid-checkpoint,
+mid-lease-renewal, and pre-commit — a resumed ``--dispatch 4``
+campaign must produce a store that fscks clean and an analysis bundle
+byte-identical to a fault-free ``workers=1`` run. Workers die via
+``os._exit`` (no ``finally``, no ``atexit`` — exactly a kill -9), so
+everything the protocol guarantees must come from what is on disk:
+lease files, fencing tokens, staged shards, and checkpoints.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.collector import DatasetStore, fsck_store
+from repro.collector.campaign import (
+    CampaignConfig,
+    CampaignTarget,
+    CollectionCampaign,
+)
+from repro.collector.dispatch import (
+    UNIT_COMPLETE,
+    WORKER_CRASH_EXIT,
+    DispatchConfig,
+    DispatchCoordinator,
+    WorkerCrashSchedule,
+    WorkUnit,
+)
+from repro.core import Study
+from repro.lg import LookingGlassServer
+
+DATES = ("2021-10-04", "2021-10-05")
+IXPS = ("bcix", "linx")
+FAMILY = 4
+
+
+@pytest.fixture(scope="module")
+def mounts(lg_world):
+    return {(ixp, FAMILY): lg_world(ixp, FAMILY)[1] for ixp in IXPS}
+
+
+def _units():
+    return [WorkUnit(ixp=ixp, family=FAMILY, date=date)
+            for ixp in IXPS for date in DATES]
+
+
+def _dispatch_config(url, **overrides):
+    defaults = dict(
+        base_url=url,
+        units=_units(),
+        workers=4,
+        lease_ttl=2.0,
+        heartbeat_interval=0.1,
+        checkpoint_every=4,
+        breaker_reset=0.05,
+        backoff_base=0.001,
+        backoff_cap=0.01,
+        steal_backoff_base=0.005,
+        steal_backoff_cap=0.05,
+    )
+    defaults.update(overrides)
+    return DispatchConfig(**defaults)
+
+
+def _serial_control(url, store_root):
+    """The fault-free workers=1 reference: one serial campaign per
+    date over the same mounts."""
+    store = DatasetStore(store_root)
+    for date in DATES:
+        config = CampaignConfig(
+            base_url=url,
+            targets=[CampaignTarget(ixp=ixp, family=FAMILY)
+                     for ixp in IXPS],
+            captured_on=date,
+            checkpoint_every=4,
+            breaker_reset=0.05,
+            backoff_base=0.001,
+            backoff_cap=0.01,
+        )
+        report = CollectionCampaign(store, config).run()
+        assert all(t.status == "complete" for t in report.targets)
+    return store
+
+
+def _snapshot_essence(store_root, ixp, date):
+    """One snapshot's canonical payload bytes, minus the campaign
+    provenance block (``meta.campaign`` records how many peers a run
+    *resumed from a checkpoint* — a resumed run honestly reports a
+    different history than a fault-free one, while every observation
+    — members, routes, filters, failures — must be identical)."""
+    import gzip
+
+    raw = (Path(store_root) / ixp / f"v{FAMILY}"
+           / f"{date}.json.gz").read_bytes()
+    payload = json.loads(gzip.decompress(raw))["payload"]
+    payload["meta"] = {key: value for key, value
+                       in payload["meta"].items() if key != "campaign"}
+    return json.dumps(payload, sort_keys=True)
+
+
+def _analysis_essence(store_root):
+    """A canonical analysis bundle (the paper tables) computed from a
+    store — byte-compared across runs."""
+    from repro.core.export import study_rows
+
+    study = Study.from_store(DatasetStore(store_root),
+                             ixps=list(IXPS), families=[FAMILY])
+    return json.dumps(study_rows(study, families=[FAMILY]),
+                      sort_keys=True, default=str)
+
+
+class TestWorkerKillConvergence:
+    def test_three_boundary_kills_then_resume_converges(
+            self, mounts, tmp_path):
+        """Kill 4 workers at 4 distinct boundaries; the first run
+        parks, the resumed run converges: fsck-clean store, analysis
+        bundle byte-identical to the fault-free serial control."""
+        lg = LookingGlassServer(mounts, port=0,
+                                rate_per_second=100_000,
+                                burst=100_000)
+        with lg.serve() as url:
+            store_root = tmp_path / "chaos"
+            store = DatasetStore(store_root)
+
+            plan = (WorkerCrashSchedule()
+                    .kill(0, "unit:claimed")          # mid-unit
+                    .kill(1, "checkpoint:temp",
+                          occurrence=2)               # mid-checkpoint
+                    .kill(2, "lease:temp")            # mid-renewal
+                    .kill(3, "unit:collected"))       # pre-commit
+            config = _dispatch_config(url, crash_plan=plan,
+                                      worker_restarts=0)
+            report = DispatchCoordinator(store, config).run()
+            # every worker died at its boundary; no restarts allowed,
+            # so the campaign parks resumable
+            assert report.worker_crashes == 4
+            assert report.fsck_clean is True
+            assert not report.complete
+
+            # resume: same store, no crash plan, fresh workers
+            resumed = DispatchCoordinator(
+                store, _dispatch_config(url, workers=4)).run()
+            assert resumed.complete, resumed.to_dict()
+            assert resumed.fsck_clean is True
+            # at least one unit was reclaimed from a dead holder's
+            # expired lease (worker 3 died holding an unreleased one)
+            assert resumed.totals["leases_stolen"] >= 1
+
+            control_root = tmp_path / "control"
+            _serial_control(url, control_root)
+            for ixp in IXPS:
+                for date in DATES:
+                    chaotic = _snapshot_essence(store_root, ixp, date)
+                    serial = _snapshot_essence(control_root, ixp, date)
+                    assert chaotic == serial, \
+                        f"{ixp}/{date} diverged from serial control"
+            assert (_analysis_essence(store_root)
+                    == _analysis_essence(control_root))
+
+    def test_coordinator_restarts_crashed_workers_to_completion(
+            self, mounts, tmp_path):
+        """With a restart budget, a single coordinator run absorbs the
+        kills and still converges without a manual resume."""
+        lg = LookingGlassServer(mounts, port=0,
+                                rate_per_second=100_000,
+                                burst=100_000)
+        with lg.serve() as url:
+            store = DatasetStore(tmp_path / "ds")
+            plan = (WorkerCrashSchedule()
+                    .kill(0, "unit:claimed")
+                    .kill(1, "checkpoint:temp", occurrence=2))
+            config = _dispatch_config(url, workers=2, crash_plan=plan,
+                                      worker_restarts=4)
+            report = DispatchCoordinator(store, config).run()
+            assert report.complete, report.to_dict()
+            assert report.worker_crashes >= 2
+            assert report.worker_restarts >= 2
+            assert report.fsck_clean is True
+            assert all(unit.status == UNIT_COMPLETE
+                       for unit in report.units)
+
+    def test_crash_exit_code_is_distinct(self):
+        # chaos shell scripts key on this to tell a worker kill from a
+        # store-level crash boundary (86)
+        assert WORKER_CRASH_EXIT == 87

@@ -467,3 +467,138 @@ class TestCampaignCli:
             assert "complete" in out
             assert store.has_snapshot("linx", 4, DATE)
             assert not store.has_checkpoint("linx", 4, DATE)
+
+
+class TestMonotonicDeadlines:
+    """ISSUE 6 satellite: deadline arithmetic must never read the wall
+    clock. The campaign's injectable clock defaults to
+    ``time.monotonic``; these tests pin that a wall-clock jump (NTP
+    step, DST, a VM resuming) cannot trip a per-snapshot deadline."""
+
+    def test_default_clock_is_monotonic(self):
+        import time
+
+        campaign = CollectionCampaign(
+            DatasetStore("/tmp/unused-clock-probe"),
+            CampaignConfig(base_url="http://unused", targets=[]))
+        assert campaign.clock is time.monotonic
+
+    def test_wall_clock_jump_does_not_trip_deadline(
+            self, mounts, tmp_path, monkeypatch):
+        """Jump ``time.time`` forward by a week mid-campaign; a
+        generous deadline must still not be hit — only monotonic time
+        may count against the budget."""
+        import time as _time
+
+        jumped = _time.time() + 7 * 86400.0
+        monkeypatch.setattr(_time, "time", lambda: jumped)
+
+        server = start_server(mounts)
+        store = DatasetStore(tmp_path / "ds")
+        with server.serve() as url:
+            config = CampaignConfig(
+                base_url=url,
+                targets=[CampaignTarget(ixp="linx", family=4)],
+                captured_on=DATE, checkpoint_every=8,
+                snapshot_deadline=3600.0,
+                backoff_base=0.001, backoff_cap=0.01)
+            # deliberately the *default* clock — the regression under
+            # test is a wall-clock sneaking back into deadline math
+            report = CollectionCampaign(store, config).run()
+        target = report.targets[0]
+        assert target.status == STATUS_COMPLETE
+        assert not target.deadline_hit
+
+
+class TestDictionaryDriftOnResume:
+    """ISSUE 6 satellite: --resume verifies the parked checkpoint's
+    dictionary digest against the store's current dictionary and
+    restarts (never silently merges) targets whose community scheme
+    changed while they were parked."""
+
+    def _parked(self, store, url, lg_world):
+        generator, _server = lg_world("linx")
+        store.save_dictionary("linx", generator.dictionary)
+        clock = FakeClock(tick=1.0)
+        campaign = make_campaign(store, url, clock=clock,
+                                 snapshot_deadline=5.0)
+        report = campaign.run()
+        assert report.targets[0].status == STATUS_INCOMPLETE
+        assert store.has_checkpoint("linx", 4, DATE)
+        return generator.dictionary, report.targets[0].peers_collected
+
+    def test_checkpoint_records_dictionary_digest(
+            self, mounts, tmp_path, lg_world):
+        server = start_server(mounts)
+        store = DatasetStore(tmp_path / "ds")
+        with server.serve() as url:
+            dictionary, _ = self._parked(store, url, lg_world)
+        checkpoint = store.load_checkpoint("linx", 4, DATE)
+        assert checkpoint["dictionary_digest"] == dictionary.digest()
+
+    def test_unchanged_scheme_still_merges(self, mounts, tmp_path,
+                                           lg_world):
+        server = start_server(mounts)
+        store = DatasetStore(tmp_path / "ds")
+        with server.serve() as url:
+            _dictionary, checkpointed = self._parked(store, url,
+                                                     lg_world)
+            resumed = make_campaign(store, url).run(resume=True)
+        target = resumed.targets[0]
+        assert target.status == STATUS_COMPLETE
+        assert target.peers_resumed == checkpointed
+        assert target.checkpoint_discarded is None
+
+    def test_drifted_scheme_restarts_target(self, mounts, tmp_path,
+                                            lg_world):
+        from repro.ixp.dictionary import CommunityDictionary
+
+        server = start_server(mounts)
+        store = DatasetStore(tmp_path / "ds")
+        with server.serve() as url:
+            dictionary, checkpointed = self._parked(store, url,
+                                                    lg_world)
+            assert checkpointed > 0
+
+            # the IXP re-documents its scheme while the target is
+            # parked: same IXP, one entry fewer → different digest
+            drifted = CommunityDictionary.from_dict({
+                **dictionary.to_dict(),
+                "entries": dictionary.to_dict()["entries"][:-1]})
+            assert drifted.digest() != dictionary.digest()
+            store.save_dictionary("linx", drifted)
+
+            resumed = make_campaign(store, url).run(resume=True)
+        target = resumed.targets[0]
+        # restarted clean: nothing merged from the stale checkpoint
+        assert target.checkpoint_discarded == "dictionary_drift"
+        assert target.peers_resumed == 0
+        assert target.status == STATUS_COMPLETE
+        assert target.to_dict()["checkpoint_discarded"] == \
+            "dictionary_drift"
+        # the discarded checkpoint is gone, the snapshot is complete
+        assert not store.has_checkpoint("linx", 4, DATE)
+        snapshot = store.load_snapshot("linx", 4, DATE)
+        assert snapshot.meta["campaign"]["resumed_peers"] == 0
+
+    def test_legacy_checkpoint_without_digest_still_merges(
+            self, mounts, tmp_path):
+        """Pre-PR-6 checkpoints carry no digest; they cannot be
+        verified and must keep merging exactly as before."""
+        server = start_server(mounts)
+        store = DatasetStore(tmp_path / "ds")
+        with server.serve() as url:
+            clock = FakeClock(tick=1.0)
+            campaign = make_campaign(store, url, clock=clock,
+                                     snapshot_deadline=5.0)
+            report = campaign.run()
+            checkpointed = report.targets[0].peers_collected
+            # strip the digest, as an old checkpoint would be
+            checkpoint = store.load_checkpoint("linx", 4, DATE)
+            del checkpoint["dictionary_digest"]
+            store.save_checkpoint("linx", 4, DATE, checkpoint)
+
+            resumed = make_campaign(store, url).run(resume=True)
+        target = resumed.targets[0]
+        assert target.peers_resumed == checkpointed
+        assert target.checkpoint_discarded is None

@@ -1,0 +1,315 @@
+"""Unit tests for the dispatch lease protocol and fencing semantics.
+
+The chaos-level convergence tests live in
+``tests/chaos/test_dispatch_chaos.py``; this file pins the protocol
+pieces in isolation: claim/renew/release/expiry, atomic-exclusive
+claim races, token monotonicity, damaged leases, work-unit identity,
+crash-plan round-trips, and — most importantly — the commit fence
+that quarantines a zombie worker's late writes.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.collector import DatasetStore, fsck_store
+from repro.collector.dispatch import (
+    WORKER_CRASH_EXIT,
+    DispatchConfig,
+    DispatchWorker,
+    Lease,
+    LeaseManager,
+    WorkerCrashSchedule,
+    WorkUnit,
+)
+from repro.collector.store import QUARANTINE_DIR, STAGING_DIR
+from repro.lg import LookingGlassServer
+
+UNIT = WorkUnit(ixp="bcix", family=4, date="2021-10-04")
+
+
+class FakeClock:
+    def __init__(self, start: float = 1_000_000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def leases(tmp_path, clock):
+    return LeaseManager(tmp_path, ttl=10.0, clock=clock)
+
+
+class TestWorkUnit:
+    def test_key_is_filesystem_safe(self):
+        assert UNIT.key == "bcix__v4__2021-10-04"
+
+    def test_roundtrip(self):
+        assert WorkUnit.from_dict(UNIT.to_dict()) == UNIT
+
+
+class TestLeaseProtocol:
+    def test_claim_renew_release_cycle(self, leases, clock):
+        lease = leases.claim(UNIT.key, "w0")
+        assert lease is not None
+        assert lease.token == 1
+        assert not lease.stolen
+
+        # an active, unexpired lease refuses other claimants
+        assert leases.claim(UNIT.key, "w1") is None
+
+        clock.tick(6.0)
+        assert leases.renew(lease)
+        clock.tick(6.0)  # 12s since claim, 6s since renewal: alive
+        assert leases.claim(UNIT.key, "w1") is None
+
+        assert leases.release(lease)
+        successor = leases.claim(UNIT.key, "w1")
+        assert successor is not None
+        assert successor.token == 2
+        assert not successor.stolen  # released, not stolen
+
+    def test_expired_lease_is_stolen(self, leases, clock):
+        lease = leases.claim(UNIT.key, "w0")
+        clock.tick(10.1)  # one TTL without a renewal
+        thief = leases.claim(UNIT.key, "w1")
+        assert thief is not None
+        assert thief.token == 2
+        assert thief.stolen
+
+        # the original holder's bookkeeping is now dead
+        assert not leases.renew(lease)
+        assert not leases.release(lease)
+        # ... but the thief's works
+        assert leases.renew(thief)
+
+    def test_fencing_tokens_are_monotonic(self, leases, clock):
+        tokens = []
+        for index in range(4):
+            lease = leases.claim(UNIT.key, f"w{index}")
+            tokens.append(lease.token)
+            clock.tick(11.0)
+        assert tokens == [1, 2, 3, 4]
+
+    def test_claim_race_has_exactly_one_winner(self, tmp_path, clock,
+                                               monkeypatch):
+        """Two managers that both observed 'claimable' race the
+        create-exclusive link; the loser gets None, never a duplicate
+        token."""
+        a = LeaseManager(tmp_path, ttl=10.0, clock=clock)
+        b = LeaseManager(tmp_path, ttl=10.0, clock=clock)
+
+        # both see an empty unit dir (freeze b's view before a links)
+        stale_view = b.current(UNIT.key)
+        assert stale_view is None
+        monkeypatch.setattr(b, "current", lambda key: stale_view)
+
+        won = a.claim(UNIT.key, "a")
+        assert won is not None and won.token == 1
+        # b still believes the unit is unclaimed, computes token 1,
+        # and loses the os.link race
+        lost = b.claim(UNIT.key, "b")
+        assert lost is None
+        current = a.current(UNIT.key)
+        assert current.owner == "a" and current.token == 1
+
+    def test_damaged_lease_counts_as_expired(self, leases, clock):
+        lease = leases.claim(UNIT.key, "w0")
+        path = leases._lease_path(UNIT.key, lease.token)
+        path.write_bytes(b'{"not": "a lease"}')
+
+        current = leases.current(UNIT.key)
+        assert current is not None and current.damaged
+        assert leases.expired(current)
+        successor = leases.claim(UNIT.key, "w1")
+        assert successor is not None
+        assert successor.token == 2
+        assert not successor.stolen  # nothing provably held it
+
+    def test_claim_budget_abandons_unit(self, tmp_path, clock):
+        leases = LeaseManager(tmp_path, ttl=1.0, clock=clock,
+                              max_claims=3)
+        for index in range(3):
+            assert leases.claim(UNIT.key, f"w{index}") is not None
+            clock.tick(2.0)
+        assert leases.claim(UNIT.key, "w9") is None
+        assert leases.abandoned(UNIT.key)
+        assert not leases.claimable(UNIT.key)
+
+    def test_release_makes_unit_claimable_without_waiting(self, leases):
+        lease = leases.claim(UNIT.key, "w0")
+        leases.release(lease)
+        assert leases.claimable(UNIT.key)  # no TTL wait
+
+    def test_renewal_lost_after_steal_back_and_forth(self, leases, clock):
+        first = leases.claim(UNIT.key, "w0")
+        clock.tick(11.0)
+        second = leases.claim(UNIT.key, "w1")
+        assert second.stolen
+        # the first holder wakes up: every mutation path is fenced
+        assert not leases.renew(first)
+        assert not leases.release(first)
+        current = leases.current(UNIT.key)
+        assert current.owner == "w1"
+        assert current.token == second.token
+
+
+class TestWorkerCrashSchedule:
+    def test_roundtrip_through_json(self):
+        plan = (WorkerCrashSchedule()
+                .kill(0, "unit:claimed")
+                .kill(1, "checkpoint:temp", occurrence=2)
+                .kill(2, "lease:temp"))
+        restored = WorkerCrashSchedule.from_json(plan.to_json())
+        assert restored.plans == plan.plans
+        assert restored.exit_code == WORKER_CRASH_EXIT
+
+    def test_hydrates_exit_mode_schedules(self):
+        plan = WorkerCrashSchedule().kill(1, "checkpoint:temp",
+                                          occurrence=2)
+        schedule = plan.for_worker(1)
+        assert schedule.label == "checkpoint:temp"
+        assert schedule.occurrence == 2
+        assert schedule.action == "exit"
+        assert schedule.exit_code == WORKER_CRASH_EXIT
+        assert plan.for_worker(0) is None
+
+
+def _worker(store_root, url, units, clock, **overrides):
+    defaults = dict(base_url=url, units=units, workers=1,
+                    lease_ttl=10.0, heartbeat_interval=0.05,
+                    checkpoint_every=4, backoff_base=0.001,
+                    backoff_cap=0.01, breaker_reset=0.05)
+    defaults.update(overrides)
+    config = DispatchConfig(**defaults)
+    return DispatchWorker(store_root, config,
+                          worker_index=0, owner="w0", clock=clock)
+
+
+class TestZombieFencing:
+    """The acceptance-criterion test: a worker that finishes its unit
+    *after* losing its lease must see its output quarantined, never
+    merged."""
+
+    def test_late_commit_is_quarantined_never_merged(
+            self, tmp_path, clock, lg_world):
+        _generator, server = lg_world("bcix", 4)
+        lg = LookingGlassServer({("bcix", 4): server}, port=0,
+                                rate_per_second=100_000, burst=100_000)
+        with lg.serve() as url:
+            store_root = tmp_path / "ds"
+            zombie = _worker(store_root, url, [UNIT], clock)
+
+            lease = zombie.leases.claim(UNIT.key, zombie.owner)
+            staging = DatasetStore(
+                zombie._staging_root(UNIT, lease.token))
+            campaign_cfg = zombie._campaign_config(UNIT)
+            from repro.collector.campaign import CollectionCampaign
+            report = CollectionCampaign(staging, campaign_cfg).run()
+            assert report.targets[0].status == "complete"
+
+            # the zombie stalls; its lease expires and w1 steals it
+            clock.tick(11.0)
+            thief = zombie.leases.claim(UNIT.key, "w1")
+            assert thief is not None and thief.stolen
+
+            # the zombie wakes up and tries to commit its stale shard
+            merged = zombie.commit(UNIT, lease, staging)
+            assert merged is False
+            assert zombie.stats["zombie_quarantines"] == 1
+
+            # never merged: the main tree has no snapshot ...
+            main = DatasetStore(store_root)
+            assert not main.has_snapshot(UNIT.ixp, UNIT.family,
+                                         UNIT.date)
+            # ... the staging dir moved wholesale into quarantine ...
+            zombie_dir = store_root / QUARANTINE_DIR / "zombie"
+            moved = list(zombie_dir.glob(f"{UNIT.key}.t{lease.token}*"))
+            assert any(p.is_dir() for p in moved)
+            sidecars = list(zombie_dir.glob("*.zombie.json"))
+            assert sidecars, "fencing denial must leave a record"
+            record = json.loads(sidecars[0].read_text())
+            assert record["unit"] == UNIT.key
+            assert record["token"] == lease.token
+            assert "fencing" in record["reason"] or "lease" \
+                in record["reason"]
+            # ... and the store still fscks clean
+            assert fsck_store(main).clean
+
+    def test_commit_with_live_lease_merges_and_cleans_staging(
+            self, tmp_path, clock, lg_world):
+        _generator, server = lg_world("bcix", 4)
+        lg = LookingGlassServer({("bcix", 4): server}, port=0,
+                                rate_per_second=100_000, burst=100_000)
+        with lg.serve() as url:
+            store_root = tmp_path / "ds"
+            worker = _worker(store_root, url, [UNIT], clock)
+            result = worker.run()
+            assert result["stats"]["units_completed"] == 1
+
+            main = DatasetStore(store_root)
+            assert main.has_snapshot(UNIT.ixp, UNIT.family, UNIT.date)
+            assert fsck_store(main).clean
+            staging = store_root / STAGING_DIR
+            assert not any(staging.glob(f"{UNIT.key}.t*"))
+
+    def test_checkpoint_adoption_resumes_predecessor_progress(
+            self, tmp_path, clock, lg_world):
+        """A successor claim seeds its staging store from the dead
+        predecessor's checkpoint instead of starting from scratch."""
+        _generator, server = lg_world("bcix", 4)
+        lg = LookingGlassServer({("bcix", 4): server}, port=0,
+                                rate_per_second=100_000, burst=100_000)
+        with lg.serve() as url:
+            store_root = tmp_path / "ds"
+            first = _worker(store_root, url, [UNIT], clock,
+                            snapshot_deadline=0.0, checkpoint_every=1,
+                            max_unit_claims=1)
+            # deadline 0 parks immediately after the first peer batch,
+            # leaving a checkpoint in staging t1 and a released lease;
+            # the claim budget of 1 stops it from retrying its own park
+            result = first.run()
+            assert result["stats"]["units_parked"] == 1
+            t1 = DatasetStore(first._staging_root(UNIT, 1))
+            assert t1.has_checkpoint(UNIT.ixp, UNIT.family, UNIT.date)
+
+            second = _worker(store_root, url, [UNIT], clock)
+            second.worker_index = 1
+            second.owner = "w1"
+            result = second.run()
+            assert result["stats"]["checkpoints_adopted"] == 1
+            assert result["stats"]["units_completed"] == 1
+            main = DatasetStore(store_root)
+            assert main.has_snapshot(UNIT.ixp, UNIT.family, UNIT.date)
+            assert fsck_store(main).clean
+
+
+class TestPublishExclusivity:
+    def test_publish_snapshot_file_refuses_second_writer(
+            self, tmp_path, clock, lg_world):
+        _generator, server = lg_world("bcix", 4)
+        lg = LookingGlassServer({("bcix", 4): server}, port=0,
+                                rate_per_second=100_000, burst=100_000)
+        with lg.serve() as url:
+            store_root = tmp_path / "ds"
+            worker = _worker(store_root, url, [UNIT], clock)
+            worker.run()
+            main = DatasetStore(store_root)
+            published = main._snapshot_path(UNIT.ixp, UNIT.family,
+                                            UNIT.date)
+            before = published.read_bytes()
+            # a second publish of the same date loses, bytes unchanged
+            again = main.publish_snapshot_file(
+                UNIT.ixp, UNIT.family, UNIT.date, published)
+            assert again is None
+            assert published.read_bytes() == before

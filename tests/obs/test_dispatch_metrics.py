@@ -1,0 +1,106 @@
+"""Dispatch observability: lease and worker-restart metrics must
+surface through the registry, render as parseable Prometheus
+exposition, and land in the JSON run report the coordinator writes
+through the store — with zero-valued families materialised so a quiet
+campaign still exposes the full vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.collector import DatasetStore
+from repro.collector.dispatch import (
+    DispatchConfig,
+    DispatchCoordinator,
+    WorkerCrashSchedule,
+    WorkUnit,
+)
+from repro.lg import LookingGlassServer
+from repro.obs.export import parse_prometheus, render_prometheus
+from repro.obs.report import metric_value
+
+DATE = "2021-10-04"
+
+DISPATCH_FAMILIES = (
+    "repro_dispatch_leases_total",
+    "repro_dispatch_worker_restarts_total",
+    "repro_dispatch_units_total",
+    "repro_dispatch_unit_retries_total",
+    "repro_dispatch_zombie_writes_total",
+    "repro_dispatch_workers_alive",
+)
+
+
+@pytest.fixture(scope="module")
+def dispatch_run(lg_world, tmp_path_factory):
+    """One crash-and-restart dispatch campaign with observability on;
+    shared by the read-only assertions below."""
+    mounts = {("bcix", 4): lg_world("bcix")[1]}
+    server = LookingGlassServer(mounts, rate_per_second=100_000,
+                                burst=100_000)
+    obs.disable()
+    registry = obs.enable()
+    store = DatasetStore(tmp_path_factory.mktemp("obs-dispatch") / "ds")
+    with server.serve() as url:
+        config = DispatchConfig(
+            base_url=url,
+            units=[WorkUnit(ixp="bcix", family=4, date=DATE)],
+            workers=1,
+            lease_ttl=5.0,
+            checkpoint_every=8,
+            worker_restarts=2,
+            # one deterministic kill, so restart/steal counters move
+            crash_plan=WorkerCrashSchedule().kill(0, "unit:claimed"),
+        )
+        report = DispatchCoordinator(store, config).run()
+    assert report.complete, report.to_dict()
+    yield registry, store, report
+    obs.disable()
+
+
+class TestDispatchMetrics:
+    def test_registry_counts_the_crash_story(self, dispatch_run):
+        registry, _store, report = dispatch_run
+        assert report.worker_crashes >= 1
+        assert report.worker_restarts >= 1
+        assert registry.value(
+            "repro_dispatch_worker_restarts_total") >= 1
+        assert registry.value("repro_dispatch_leases_total",
+                              "claimed") >= 1
+        assert registry.value("repro_dispatch_leases_total",
+                              "released") >= 1
+        assert registry.value("repro_dispatch_units_total",
+                              "complete") == 1
+
+    def test_exposition_parses_and_carries_every_family(
+            self, dispatch_run):
+        registry, _store, _report = dispatch_run
+        text = render_prometheus(registry)
+        families = parse_prometheus(text)  # validating parser
+        for name in DISPATCH_FAMILIES:
+            assert name in families, f"{name} missing from exposition"
+        leases = families["repro_dispatch_leases_total"]
+        assert leases["type"] == "counter"
+        events = {labels.get("event")
+                  for _name, labels, _value in leases["samples"]}
+        # zero-valued families are materialised, not omitted
+        for event in ("claimed", "stolen", "renewed", "released"):
+            assert event in events
+
+    def test_run_report_lands_in_store_with_dispatch_meta(
+            self, dispatch_run):
+        _registry, store, report = dispatch_run
+        assert report.run_report_path is not None
+        names = store.run_report_names()
+        dispatch_reports = [n for n in names
+                            if n.startswith("dispatch-")]
+        assert dispatch_reports, names
+        payload = store.load_run_report(dispatch_reports[0])
+        assert payload["kind"] == "dispatch"
+        assert payload["meta"]["complete"] is True
+        assert payload["meta"]["worker_restarts"] >= 1
+        assert metric_value(
+            payload, "repro_dispatch_worker_restarts_total") >= 1
+        assert any(metric.startswith("repro_dispatch_")
+                   for metric in payload["metrics"])

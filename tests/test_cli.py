@@ -245,3 +245,93 @@ class TestExport:
         assert bundle.exists()
         payload = json.loads(bundle.read_text())
         assert payload["s55_ineffective_summary"]
+
+
+class TestSubprocessExitCodes:
+    """ISSUE 6 satellite: the documented exit codes, verified through
+    real ``python -m repro.cli`` subprocesses — what cron jobs and CI
+    scripts actually observe, including atexit/signal plumbing no
+    in-process ``main()`` call can exercise."""
+
+    @staticmethod
+    def _run_cli(args, timeout=120):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                             if env.get("PYTHONPATH") else src)
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli"] + args,
+            capture_output=True, text=True, timeout=timeout, env=env)
+
+    def test_campaign_park_exits_2_then_resume_0(self, tmp_path,
+                                                 lg_world):
+        from repro.lg import LookingGlassServer
+
+        _generator, server = lg_world("bcix", 4)
+        lg = LookingGlassServer({("bcix", 4): server}, port=0,
+                                rate_per_second=100_000,
+                                burst=100_000)
+        store = str(tmp_path / "ds")
+        with lg.serve() as url:
+            base = ["campaign", "--url", url, "--store", store,
+                    "--ixps", "bcix", "--families", "4",
+                    "--date", "2021-10-04", "--checkpoint-every", "8"]
+            parked = self._run_cli(base + ["--deadline", "0"])
+            assert parked.returncode == 2, parked.stderr
+            assert "--resume" in parked.stdout
+
+            resumed = self._run_cli(base + ["--resume"])
+            assert resumed.returncode == 0, resumed.stderr
+            assert "complete" in resumed.stdout
+
+    def test_fsck_damage_exits_1_then_repair_then_0(self, tmp_path):
+        from pathlib import Path
+
+        store = str(tmp_path / "ds")
+        generated = self._run_cli(
+            ["generate", "--store", store, "--ixps", "bcix",
+             "--families", "4", "--scale", "0.012", "--days", "2"])
+        assert generated.returncode == 0, generated.stderr
+
+        victim = next(Path(store).glob("bcix/v4/*.json.gz"))
+        victim.write_bytes(victim.read_bytes()[:25])
+
+        damaged = self._run_cli(["fsck", "--store", store])
+        assert damaged.returncode == 1
+        assert "DAMAGED" in damaged.stdout
+
+        repaired = self._run_cli(["fsck", "--store", store,
+                                  "--repair"])
+        assert repaired.returncode == 1  # reports what it healed
+        assert "quarantined" in repaired.stdout
+
+        clean = self._run_cli(["fsck", "--store", store])
+        assert clean.returncode == 0
+        assert "clean" in clean.stdout
+
+    def test_dispatch_campaign_exits_0_when_complete(self, tmp_path,
+                                                     lg_world):
+        from repro.collector import DatasetStore
+        from repro.lg import LookingGlassServer
+
+        _generator, server = lg_world("bcix", 4)
+        lg = LookingGlassServer({("bcix", 4): server}, port=0,
+                                rate_per_second=100_000,
+                                burst=100_000)
+        store = str(tmp_path / "ds")
+        with lg.serve() as url:
+            result = self._run_cli(
+                ["campaign", "--url", url, "--store", store,
+                 "--ixps", "bcix", "--families", "4",
+                 "--date", "2021-10-04", "--checkpoint-every", "8",
+                 "--dispatch", "2", "--lease-ttl", "10"])
+        assert result.returncode == 0, result.stderr
+        assert "complete" in result.stdout
+        assert "fsck: clean" in result.stdout
+        assert DatasetStore(store).has_snapshot("bcix", 4,
+                                                "2021-10-04")
