@@ -1,0 +1,76 @@
+"""Bench-only query API entry point (driven by test_bench_query.py).
+
+Serves the real query stack — ``QueryService`` → ``QueryHTTPServer``
+→ ``PreforkServer``, the same objects ``repro-study api`` wires up —
+but every request first takes a per-process gate for a fixed stall.
+The gate models a backend with per-process capacity (one outstanding
+store read at a time), which is the regime pre-forking exists for:
+with it, one worker serves strictly serially no matter how many
+client connections it holds, while N workers serve N requests at
+once without needing N cores. The measured speedup then reflects the
+worker model itself rather than the host's core count, exactly like
+the dispatch bench's stalled Looking Glass.
+
+Each worker warms its caches (the full route set) inside the server
+factory — after the fork, before it starts accepting — and prints
+``worker-ready`` so the driver can start timing only once every
+worker serves from the steady state.
+
+Usage: _query_bench_server.py STORE PORT WORKERS STALL_SECONDS
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+from repro.collector import DatasetStore
+from repro.query import (PreforkServer, QueryHTTPServer, QueryService,
+                         ResponseCache, Router)
+
+#: must match the store test_bench_query.py generates.
+IXPS = ("linx", "bcix")
+FAMILIES = (4,)
+WARM_PATHS = ("/v1/keys", "/v1/ixps", "/v1/tables/1", "/v1/tables/3",
+              "/v1/figures/fig1", "/v1/ixps/linx/v4/aggregate",
+              "/v1/export", "/healthz")
+
+
+class GatedService(QueryService):
+    """The real service behind a per-process single-admission gate."""
+
+    def __init__(self, *args, stall: float, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._gate = threading.Lock()
+        self._stall = stall
+
+    def respond(self, name, params=None, if_none_match=None):
+        with self._gate:
+            time.sleep(self._stall)
+        return super().respond(name, params, if_none_match)
+
+
+def main(argv) -> int:
+    store_path, port, workers, stall = (
+        argv[1], int(argv[2]), int(argv[3]), float(argv[4]))
+    router = Router()
+
+    def factory(sock):
+        service = GatedService(DatasetStore(store_path), ixps=IXPS,
+                               families=FAMILIES,
+                               response_cache=ResponseCache(),
+                               stall=stall)
+        for path in WARM_PATHS:  # cold builds before the first accept
+            match = router.match(path)
+            QueryService.respond(service, match.name, match.params)
+        print("worker-ready", flush=True)
+        return QueryHTTPServer(service, rate_per_second=1e9,
+                               burst=1_000_000, sock=sock)
+
+    return PreforkServer(factory, host="127.0.0.1", port=port,
+                         workers=workers).run()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

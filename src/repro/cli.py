@@ -8,6 +8,11 @@ Subcommands:
   freshly generated snapshots) and print the figures/tables;
 * ``serve``    — start a Looking Glass HTTP server over a generated
   route server, for interactive poking / the scraping example;
+* ``api``      — serve the study itself over HTTP: a read-only JSON
+  query API (tables, figures, per-IXP aggregates) over a collected
+  store, with content-addressed ETags, a bounded response cache, and
+  a pre-fork worker pool (``--workers N``); bodies are byte-identical
+  to ``export --json`` output;
 * ``sanitise`` — run the §3 valley sanitation over a store and report
   what would be removed;
 * ``campaign`` — run a fault-tolerant collection campaign against a
@@ -195,13 +200,62 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"  {url}/{ixp}/v{family}/api/v1/neighbors")
     if not args.no_metrics:
         print(f"  {url}/metrics")
-    try:
-        import time
-        while True:
-            time.sleep(3600)
-    except KeyboardInterrupt:
-        server.stop()
+    _wait_for_shutdown()
+    server.stop()
     return 0
+
+
+def _wait_for_shutdown() -> None:
+    """Block until SIGINT/SIGTERM (signal-driven — no polling loop).
+
+    Shared by ``serve`` and ``api``: both are "run until told to stop"
+    commands, and both must honour SIGTERM (what process supervisors
+    and CI send) exactly like Ctrl-C, so a drain actually runs instead
+    of the process being killed mid-response.
+    """
+    from .net import ShutdownLatch
+
+    latch = ShutdownLatch()
+    restore = latch.install()
+    try:
+        latch.wait()
+    except KeyboardInterrupt:
+        pass  # latch couldn't claim the signal (non-main thread)
+    finally:
+        restore()
+
+
+def cmd_api(args: argparse.Namespace) -> int:
+    from .query import (
+        PreforkServer,
+        QueryHTTPServer,
+        QueryService,
+        ResponseCache,
+    )
+
+    if not args.no_metrics:
+        obs.enable()  # inherited across fork: every worker is live
+    # fail fast (before binding or forking) on an unreadable store
+    DatasetStore(args.store).ixps()
+    ixps = args.ixps or None
+
+    def factory(sock) -> QueryHTTPServer:
+        # runs post-fork, in the worker: own store handles, own
+        # response cache, own rate limiter.
+        service = QueryService(
+            DatasetStore(args.store), ixps=ixps,
+            families=tuple(args.families), jobs=args.jobs,
+            response_cache=ResponseCache(
+                max_entries=args.cache_entries,
+                max_bytes=args.cache_bytes))
+        return QueryHTTPServer(
+            service, rate_per_second=args.rate, burst=args.burst,
+            max_inflight=args.max_inflight, sock=sock)
+
+    supervisor = PreforkServer(
+        factory, host=args.host, port=args.port, workers=args.workers,
+        prefer_reuse_port=not args.no_reuse_port)
+    return supervisor.run()
 
 
 def cmd_sanitise(args: argparse.Namespace) -> int:
@@ -448,6 +502,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="leave observability off (/metrics reports "
                             "'disabled')")
     p_srv.set_defaults(func=cmd_serve)
+
+    p_api = sub.add_parser(
+        "api", help="serve the study as a read-only JSON query API "
+                    "over a collected store")
+    p_api.add_argument("--store", required=True, help="dataset directory")
+    p_api.add_argument("--ixps", nargs="+", default=[],
+                       choices=list(ALL_IXPS), metavar="IXP",
+                       help="IXP keys to serve (default: every IXP "
+                            "present in the store)")
+    p_api.add_argument("--families", nargs="+", type=int, default=[4, 6],
+                       choices=[4, 6], help="address families")
+    p_api.add_argument("--host", default="127.0.0.1")
+    p_api.add_argument("--port", type=int, default=8700,
+                       help="listening port (0 = any free port)")
+    p_api.add_argument("--workers", type=int, default=2,
+                       help="pre-fork worker processes sharing the "
+                            "port (1 = serve in-process)")
+    p_api.add_argument("--jobs", type=int, default=1,
+                       help="aggregation worker processes per study "
+                            "rebuild (as for analyze --jobs)")
+    p_api.add_argument("--rate", type=float, default=500.0,
+                       help="sustained requests/second budget per "
+                            "worker before 429s")
+    p_api.add_argument("--burst", type=int, default=500,
+                       help="rate-limiter burst size per worker")
+    p_api.add_argument("--max-inflight", type=int, default=64,
+                       help="concurrent requests per worker before "
+                            "503 overload shedding")
+    p_api.add_argument("--cache-entries", type=int, default=256,
+                       help="response-cache entry budget per worker")
+    p_api.add_argument("--cache-bytes", type=int,
+                       default=64 * 1024 * 1024,
+                       help="response-cache byte budget per worker")
+    p_api.add_argument("--no-reuse-port", action="store_true",
+                       help="force the inherited-FD worker model even "
+                            "where SO_REUSEPORT is available")
+    p_api.add_argument("--no-metrics", action="store_true",
+                       help="leave observability off (/metrics reports "
+                            "'disabled')")
+    p_api.set_defaults(func=_guarded(cmd_api))
 
     p_san = sub.add_parser("sanitise", help="run §3 valley sanitation")
     _add_common(p_san)

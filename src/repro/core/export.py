@@ -36,6 +36,31 @@ _PER_IXP_ARTEFACTS = (
 )
 
 
+def artefact_names() -> List[str]:
+    """Every artefact name a :func:`study_rows` bundle contains, in
+    bundle order (the query service's figure index is built from
+    this, so the two can never drift)."""
+    return (["table1_summary"]
+            + [name for name, _method in _FAMILY_ARTEFACTS]
+            + [name for name, _method, _limit in _PER_IXP_ARTEFACTS]
+            + ["fig4b_curves"])
+
+
+def dumps_rows(payload: object) -> str:
+    """The canonical JSON encoding of one exported artefact (or a
+    whole bundle).
+
+    This is the single serialization authority shared by the file
+    export below and the query service's HTTP bodies
+    (:mod:`repro.query.views`): same encoder options, same key order
+    (insertion), so a given artefact renders to identical bytes
+    wherever it is served from — which is what lets the service derive
+    strong ETags from the dataset's sha256 content addresses instead
+    of hashing response bodies.
+    """
+    return json.dumps(payload, indent=1)
+
+
 def write_csv(rows: Sequence[Mapping[str, object]], path: Path) -> Path:
     """Write dict-rows to one CSV file (columns from the first row)."""
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -101,9 +126,11 @@ def export_study_csv(study: Study, directory: Path,
 
 def export_study_json(study: Study, path: Path,
                       families: Sequence[int] = (4, 6)) -> Path:
-    """Write the whole artefact bundle as one JSON document."""
+    """Write the whole artefact bundle as one JSON document (encoded
+    by :func:`dumps_rows` — byte-identical to the query service's
+    ``/v1/export`` body over the same store)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(study_rows(study, families), handle, indent=1)
+        handle.write(dumps_rows(study_rows(study, families)))
     return path

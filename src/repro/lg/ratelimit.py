@@ -18,12 +18,12 @@ responses §3's sanitation existed to catch downstream).
 from __future__ import annotations
 
 import threading
-import time
 import types
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Tuple
 
 from .. import obs
+from ..net.ratelimit import MIN_RETRY_AFTER, TokenBucket as _SharedTokenBucket
 from ..utils import stable_fraction
 
 #: fault kinds a :class:`FaultSchedule` can inject.
@@ -45,38 +45,18 @@ _METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
 ))
 
 
-class TokenBucket:
-    """Classic token bucket; thread-safe (the HTTP server is threaded)."""
-
-    def __init__(self, rate_per_second: float, burst: int) -> None:
-        if rate_per_second <= 0:
-            raise ValueError("rate must be positive")
-        self.rate = rate_per_second
-        self.capacity = max(1, burst)
-        self._tokens = float(self.capacity)
-        self._updated = time.monotonic()
-        self._lock = threading.Lock()
+class TokenBucket(_SharedTokenBucket):
+    """The shared :class:`repro.net.ratelimit.TokenBucket`, counting
+    rejections into the LG's own metric family. ``retry_after`` comes
+    from the shared class and is always a positive sleep (never zero,
+    even when refill races a token back before the 429 is rendered)."""
 
     def try_acquire(self, tokens: float = 1.0) -> bool:
         """Take *tokens* if available; never blocks."""
-        with self._lock:
-            now = time.monotonic()
-            elapsed = now - self._updated
-            self._updated = now
-            self._tokens = min(self.capacity,
-                               self._tokens + elapsed * self.rate)
-            if self._tokens >= tokens:
-                self._tokens -= tokens
-                return True
+        acquired = super().try_acquire(tokens)
+        if not acquired:
             _METRICS().ratelimited.labels().inc()
-            return False
-
-    @property
-    def retry_after(self) -> float:
-        """Suggested wait (seconds) before the next token is available."""
-        with self._lock:
-            missing = max(0.0, 1.0 - self._tokens)
-            return missing / self.rate
+        return acquired
 
 
 @dataclass

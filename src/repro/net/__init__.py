@@ -1,0 +1,22 @@
+"""``repro.net`` — HTTP-server substrate shared by every serving layer.
+
+Both HTTP front doors of this repository — the simulated Looking Glass
+(:mod:`repro.lg.server`) and the study query API
+(:mod:`repro.query.server`) — need the same two ingredients:
+
+* a :class:`TokenBucket` request rate limiter whose ``retry_after``
+  suggestion is always a positive sleep (a 429 must never tell the
+  client to retry "in 0 seconds"), and
+* a :class:`ShutdownLatch` that turns SIGINT/SIGTERM into an event a
+  foreground server can block on, instead of polling ``time.sleep``
+  loops that only ``KeyboardInterrupt`` can break.
+
+Keeping them here (rather than inside ``repro.lg``) lets the query
+service depend on the rate limiter without importing the Looking
+Glass, route servers, and workload machinery behind it.
+"""
+
+from .ratelimit import MIN_RETRY_AFTER, TokenBucket
+from .shutdown import ShutdownLatch
+
+__all__ = ["TokenBucket", "MIN_RETRY_AFTER", "ShutdownLatch"]

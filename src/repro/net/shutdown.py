@@ -1,0 +1,91 @@
+"""Signal-driven shutdown for foreground servers.
+
+``repro-study serve`` used to park its main thread in a
+``while True: time.sleep(3600)`` loop, which only ``KeyboardInterrupt``
+(SIGINT) could break — ``kill <pid>`` (SIGTERM, what init systems and
+CI send) left the process sleeping until the poll woke up and never
+ran the server's stop path. :class:`ShutdownLatch` replaces the poll
+with an event the main thread blocks on and a handler that trips it on
+the first SIGINT/SIGTERM, mirroring the campaign's
+``install_shutdown_handlers`` discipline: the first signal requests a
+graceful stop and restores the previous handlers, so a second signal
+behaves as before (typically a hard ``KeyboardInterrupt``).
+
+Both foreground servers share it: the Looking Glass (``serve``) and
+the query API (``api``), including every pre-fork query worker.
+"""
+
+from __future__ import annotations
+
+import signal as _signal
+import threading
+from typing import Any, Callable, Dict, Optional, Sequence
+
+
+class ShutdownLatch:
+    """A one-shot event tripped by SIGINT/SIGTERM (or programmatically).
+
+    Usage::
+
+        latch = ShutdownLatch()
+        restore = latch.install()
+        try:
+            latch.wait()          # blocks until a signal (or trip())
+        finally:
+            restore()
+            server.stop()
+    """
+
+    def __init__(self,
+                 signals: Sequence[int] = (_signal.SIGINT,
+                                           _signal.SIGTERM)) -> None:
+        self.signals = tuple(signals)
+        #: the signal number that tripped the latch, if any.
+        self.received: Optional[int] = None
+        self._event = threading.Event()
+        self._previous: Dict[int, Any] = {}
+
+    # -- latch ----------------------------------------------------------
+
+    def trip(self, signum: Optional[int] = None) -> None:
+        """Release every waiter (idempotent; safe from any thread)."""
+        if signum is not None and self.received is None:
+            self.received = signum
+        self._event.set()
+
+    def tripped(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the latch trips; returns ``tripped()``."""
+        return self._event.wait(timeout)
+
+    # -- signal plumbing ------------------------------------------------
+
+    def install(self) -> Callable[[], None]:
+        """Route the configured signals into :meth:`trip`.
+
+        The first signal trips the latch and immediately restores the
+        previous handlers (second signal = hard stop, exactly like the
+        campaign's handlers). Returns a restore callable for the
+        non-signal exit paths; like ``install_shutdown_handlers``,
+        callers off the main thread get a no-op restore back.
+        """
+        def restore() -> None:
+            for signum, handler in self._previous.items():
+                try:
+                    _signal.signal(signum, handler)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+            self._previous.clear()
+
+        def handler(signum: int, _frame: Any) -> None:
+            restore()
+            self.trip(signum)
+
+        try:
+            for signum in self.signals:
+                self._previous[signum] = _signal.signal(signum, handler)
+        except ValueError:  # not the main thread
+            self._previous.clear()
+        return restore

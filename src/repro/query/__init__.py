@@ -1,0 +1,27 @@
+"""Read-only HTTP query service over the reproduction study.
+
+``repro-study api`` serves the same tables, figures, and aggregates
+that ``repro-study export`` writes — byte-identical bodies, produced
+by the same code paths — behind content-addressed ETags, a bounded
+response cache, and a pre-fork worker pool. See DESIGN.md ("Query
+service") for the architecture.
+"""
+
+from .cache import ResponseCache
+from .prefork import PreforkServer, can_prefork, reuse_port_available
+from .router import ROUTES, RouteMatch, Router
+from .server import QueryHTTPServer
+from .views import QUERY_SCHEMA_VERSION, QueryService
+
+__all__ = [
+    "QUERY_SCHEMA_VERSION",
+    "ROUTES",
+    "PreforkServer",
+    "QueryHTTPServer",
+    "QueryService",
+    "ResponseCache",
+    "RouteMatch",
+    "Router",
+    "can_prefork",
+    "reuse_port_available",
+]

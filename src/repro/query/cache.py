@@ -1,0 +1,99 @@
+"""Bounded in-process LRU response cache.
+
+The query service's bodies are pure functions of the dataset's content
+addresses (see :mod:`repro.query.views`), so a response can be cached
+under ``(canonical route, ETag)`` and served until re-collection moves
+the ETag — no TTLs, no explicit invalidation. The cache is bounded
+twice (entry count and total body bytes) so a long-lived worker over a
+growing store cannot grow without limit; eviction is straight LRU.
+
+Thread-safe: one worker process serves from many handler threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import types
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from .. import obs
+
+CacheKey = Tuple[str, str]  # (canonical route, etag)
+
+_METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
+    events=reg.counter(
+        "repro_query_response_cache_events_total",
+        "Response-cache probe/maintenance outcomes "
+        "(hit / miss / store / evict / oversize)", ("event",)),
+    entries=reg.gauge(
+        "repro_query_response_cache_entries",
+        "Response bodies currently cached").labels(),
+    bytes=reg.gauge(
+        "repro_query_response_cache_bytes",
+        "Total bytes of cached response bodies").labels(),
+))
+
+
+class ResponseCache:
+    """LRU over rendered response bodies, keyed ``(route, etag)``."""
+
+    def __init__(self, max_entries: int = 256,
+                 max_bytes: int = 64 * 1024 * 1024) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be at least 1")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[CacheKey, bytes]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+
+    def get(self, key: CacheKey) -> Optional[bytes]:
+        metrics = _METRICS()
+        with self._lock:
+            body = self._entries.get(key)
+            if body is None:
+                metrics.events.labels("miss").inc()
+                return None
+            self._entries.move_to_end(key)
+        metrics.events.labels("hit").inc()
+        return body
+
+    def put(self, key: CacheKey, body: bytes) -> None:
+        metrics = _METRICS()
+        if len(body) > self.max_bytes:
+            # a single body larger than the whole budget would evict
+            # everything and then miss anyway — serve it uncached.
+            metrics.events.labels("oversize").inc()
+            return
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= len(previous)
+            self._entries[key] = body
+            self._bytes += len(body)
+            while (len(self._entries) > self.max_entries
+                   or self._bytes > self.max_bytes):
+                _evicted_key, evicted = self._entries.popitem(last=False)
+                self._bytes -= len(evicted)
+                metrics.events.labels("evict").inc()
+            metrics.entries.set(len(self._entries))
+            metrics.bytes.set(self._bytes)
+        metrics.events.labels("store").inc()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"entries": len(self._entries), "bytes": self._bytes,
+                    "max_entries": self.max_entries,
+                    "max_bytes": self.max_bytes}

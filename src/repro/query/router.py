@@ -1,0 +1,64 @@
+"""URL routing for the query API.
+
+One flat, ordered table of compiled patterns; the route *name* doubles
+as the (bounded-cardinality) ``route`` metric label, so adding a route
+here automatically adds its metrics series. Path parameters come back
+as a plain dict of strings — validation (does the IXP exist? is the
+table number served?) belongs to :mod:`repro.query.views`, which can
+answer with a proper JSON 404; the router only answers "which handler".
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: route label used for paths no pattern matches.
+UNKNOWN = "unknown"
+
+#: the API surface: (name, pattern). ``/v1/ixps/{ixp}/{family}/...``
+#: accepts the family both bare (``6``) and dressed (``v6``) — the
+#: store directories and the LG URL layout spell it ``v6``, the paper
+#: spells it ``IPv6``, and clients will guess both.
+ROUTES: Tuple[Tuple[str, "re.Pattern[str]"], ...] = (
+    ("healthz", re.compile(r"^/healthz$")),
+    ("metrics", re.compile(r"^/metrics$")),
+    ("ixps", re.compile(r"^/v1/ixps$")),
+    ("aggregate", re.compile(
+        r"^/v1/ixps/(?P<ixp>[A-Za-z0-9][A-Za-z0-9._-]*)"
+        r"/v?(?P<family>\d+)/aggregate$")),
+    ("keys", re.compile(r"^/v1/keys$")),
+    ("tables", re.compile(r"^/v1/tables$")),
+    ("table", re.compile(r"^/v1/tables/(?P<table>\d+)$")),
+    ("figures", re.compile(r"^/v1/figures$")),
+    ("figure", re.compile(
+        r"^/v1/figures/(?P<fig>[A-Za-z0-9][A-Za-z0-9_]*)$")),
+    ("export", re.compile(r"^/v1/export$")),
+)
+
+
+@dataclass(frozen=True)
+class RouteMatch:
+    """One resolved request path."""
+
+    name: str
+    params: Dict[str, str]
+
+
+class Router:
+    """Match request paths against the route table."""
+
+    def __init__(self,
+                 routes: Tuple[Tuple[str, "re.Pattern[str]"], ...] = ROUTES,
+                 ) -> None:
+        self.routes = routes
+
+    def match(self, path: str) -> Optional[RouteMatch]:
+        for name, pattern in self.routes:
+            found = pattern.match(path)
+            if found is not None:
+                return RouteMatch(name=name, params={
+                    key: value for key, value in found.groupdict().items()
+                    if value is not None})
+        return None

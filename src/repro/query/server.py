@@ -1,0 +1,298 @@
+"""Query API HTTP server (stdlib only).
+
+One worker process: a ``ThreadingHTTPServer`` whose handler delegates
+to :meth:`QueryHTTPServer.handle` — a socket-free function from
+``(path, If-None-Match)`` to ``(status, body, headers, route)`` that
+unit tests exercise directly, exactly like the Looking Glass server.
+
+Request discipline, in order:
+
+1. ``/metrics`` and ``/healthz`` are the ops plane: never rate
+   limited, never shed — an overloaded server must stay observable;
+2. **overload shedding** — more than ``max_inflight`` requests already
+   in flight answers 503 + ``Retry-After`` without doing any work;
+3. **rate limiting** — the shared :class:`repro.net.TokenBucket`
+   answers 429 + ``Retry-After`` (always positive, see the net
+   module) when clients query too fast;
+4. routing (404 for unknown paths), then the **view breaker**: builder
+   failures trip a :class:`repro.lg.breaker.CircuitBreaker`, and while
+   it is open every data route answers 503 + ``Retry-After`` instead
+   of hammering a store that just demonstrated it cannot serve;
+5. ETag revalidation / response cache / body build, all inside
+   :meth:`repro.query.views.QueryService.respond`.
+
+``stop()`` is a graceful drain: the accept loop is shut down, then
+``server_close`` joins every in-flight handler thread (non-daemon,
+``block_on_close``) before returning — the pre-fork supervisor calls
+this on SIGTERM, so a worker never kills a response mid-write.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+import threading
+import time
+import types
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Iterator, Optional, Tuple
+from urllib.parse import urlparse
+
+from .. import obs
+from ..lg.breaker import CircuitBreaker
+from ..net.ratelimit import TokenBucket
+from .router import Router, UNKNOWN
+from .views import JSON_TYPE, QueryService, Response, _error_body
+
+_METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
+    requests=reg.counter(
+        "repro_query_requests_total",
+        "Requests answered by the query API, by route and HTTP status",
+        ("route", "status")),
+    latency=reg.histogram(
+        "repro_query_request_seconds",
+        "Wall-clock seconds serving one query API request", ("route",)),
+    inflight=reg.gauge(
+        "repro_query_inflight_requests",
+        "Query API requests currently being served").labels(),
+    shed=reg.counter(
+        "repro_query_shed_total",
+        "Requests refused without serving, by reason "
+        "(overload / ratelimit / breaker)", ("reason",)),
+    cache=reg.counter(
+        "repro_query_response_events_total",
+        "Response outcomes by source (cache_hit / cache_miss / "
+        "not_modified)", ("event",)),
+))
+
+
+class _DrainingHTTPServer(ThreadingHTTPServer):
+    """Handler threads are joined on close — that's the drain."""
+
+    daemon_threads = False
+    block_on_close = True
+    # a second accept can land between shutdown() and close; don't
+    # linger on it.
+    request_queue_size = 128
+
+
+class QueryHTTPServer:
+    """The study query API over one :class:`QueryService`."""
+
+    def __init__(self, service: QueryService,
+                 host: str = "127.0.0.1", port: int = 0,
+                 rate_per_second: float = 500.0, burst: int = 500,
+                 max_inflight: int = 64,
+                 breaker_threshold: int = 5,
+                 breaker_reset: float = 2.0,
+                 sock: Optional[socket.socket] = None) -> None:
+        self.service = service
+        self.router = Router()
+        self.bucket = TokenBucket(rate_per_second, burst)
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            reset_timeout=breaker_reset, name="query")
+        self.max_inflight = max_inflight
+        self.host = host
+        self.port = port
+        #: an already-bound, already-listening socket to adopt (the
+        #: pre-fork supervisor's inherited-FD mode); None binds fresh.
+        self._given_socket = sock
+        if sock is not None:
+            self.host, self.port = sock.getsockname()[:2]
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._httpd: Optional[_DrainingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- request handling (framework-free) ------------------------------
+
+    def handle(self, path: str,
+               if_none_match: Optional[str] = None,
+               ) -> Tuple[int, bytes, Dict[str, str], str]:
+        """One GET resolved to ``(status, body, headers, route)``."""
+        parsed = urlparse(path)
+        match = self.router.match(parsed.path)
+        route = match.name if match is not None else UNKNOWN
+        metrics = _METRICS()
+        # ops plane first: observability and liveness bypass shedding.
+        if route == "metrics":
+            text = obs.render_prometheus(obs.get_registry()) \
+                if obs.enabled() else "# observability disabled\n"
+            return 200, text.encode("utf-8"), {
+                "Content-Type": obs.CONTENT_TYPE}, route
+        if route == "healthz":
+            response = self.service.respond("healthz", {}, if_none_match)
+            return (response.status, response.body,
+                    self._headers(response), route)
+        if not self._admit():
+            metrics.shed.labels("overload").inc()
+            return 503, _error_body(503, "server overloaded"), {
+                "Content-Type": JSON_TYPE, "Retry-After": "1"}, route
+        if not self.bucket.try_acquire():
+            metrics.shed.labels("ratelimit").inc()
+            return 429, _error_body(429, "query rate limit exceeded"), {
+                "Content-Type": JSON_TYPE,
+                "Retry-After": f"{self.bucket.retry_after:.3f}"}, route
+        if match is None:
+            return 404, _error_body(
+                404, f"no such resource: {parsed.path}"), {
+                "Content-Type": JSON_TYPE}, route
+        if not self.breaker.allow():
+            metrics.shed.labels("breaker").inc()
+            return 503, _error_body(
+                503, "service temporarily unavailable"), {
+                "Content-Type": JSON_TYPE,
+                "Retry-After":
+                    f"{max(self.breaker.seconds_until_probe, 0.001):.3f}",
+            }, route
+        try:
+            response = self.service.respond(route, match.params,
+                                            if_none_match)
+        except Exception as error:  # noqa: BLE001 — breaker boundary
+            self.breaker.record_failure()
+            return 500, _error_body(
+                500, f"internal error: {error}"), {
+                "Content-Type": JSON_TYPE}, route
+        self.breaker.record_success()
+        if response.cache_event is not None:
+            metrics.cache.labels(f"cache_{response.cache_event}").inc()
+        elif response.status == 304:
+            metrics.cache.labels("not_modified").inc()
+        return (response.status, response.body,
+                self._headers(response), route)
+
+    def _headers(self, response: Response) -> Dict[str, str]:
+        headers = {"Content-Type": response.content_type}
+        if response.etag is not None:
+            headers["ETag"] = f'"{response.etag}"'
+            # clients may cache, but must revalidate (If-None-Match
+            # → 304 is nearly free; a stale aggregate is not).
+            headers["Cache-Control"] = "no-cache"
+        return headers
+
+    def _admit(self) -> bool:
+        with self._inflight_lock:
+            return self._inflight <= self.max_inflight
+
+    @contextlib.contextmanager
+    def _track(self) -> Iterator[None]:
+        with self._inflight_lock:
+            self._inflight += 1
+        _METRICS().inflight.inc()
+        try:
+            yield
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+            _METRICS().inflight.dec()
+
+    # -- HTTP plumbing ---------------------------------------------------
+
+    def _make_handler(self):
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+            # bounds the drain: an idle keep-alive connection times
+            # out and closes within this many seconds, so stop()'s
+            # handler join cannot hang on a quiet client.
+            timeout = 10
+
+            def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+                started = time.perf_counter()
+                with outer._track():
+                    status, body, headers, route = outer.handle(
+                        self.path,
+                        self.headers.get("If-None-Match"))
+                metrics = _METRICS()
+                metrics.requests.labels(route, str(status)).inc()
+                metrics.latency.labels(route).observe(
+                    time.perf_counter() - started)
+                try:
+                    self.send_response(status)
+                    self.send_header(
+                        "Content-Type",
+                        headers.pop("Content-Type", JSON_TYPE))
+                    self.send_header("Content-Length", str(len(body)))
+                    for name, value in headers.items():
+                        self.send_header(name, value)
+                    self.end_headers()
+                    if body:
+                        self.wfile.write(body)
+                except (BrokenPipeError, ConnectionResetError):
+                    pass  # the client gave up — nothing to answer
+
+            def do_HEAD(self) -> None:  # noqa: N802 (stdlib naming)
+                status, body, headers, route = outer.handle(
+                    self.path, self.headers.get("If-None-Match"))
+                _METRICS().requests.labels(route, str(status)).inc()
+                try:
+                    self.send_response(status)
+                    self.send_header(
+                        "Content-Type",
+                        headers.pop("Content-Type", JSON_TYPE))
+                    self.send_header("Content-Length", str(len(body)))
+                    for name, value in headers.items():
+                        self.send_header(name, value)
+                    self.end_headers()
+                except (BrokenPipeError, ConnectionResetError):
+                    pass
+
+            def log_message(self, fmt: str, *args: object) -> None:
+                pass  # metrics are the access log
+
+        return Handler
+
+    def _make_httpd(self) -> _DrainingHTTPServer:
+        handler = self._make_handler()
+        if self._given_socket is None:
+            return _DrainingHTTPServer((self.host, self.port), handler)
+        # adopt the supervisor's bound+listening socket: skip bind
+        # (another process may share the FD) but fill in the fields
+        # server_bind would have set.
+        httpd = _DrainingHTTPServer(
+            self._given_socket.getsockname()[:2], handler,
+            bind_and_activate=False)
+        httpd.socket.close()
+        httpd.socket = self._given_socket
+        httpd.server_address = self._given_socket.getsockname()[:2]
+        httpd.server_name = self.host
+        httpd.server_port = self.port
+        return httpd
+
+    def start(self) -> str:
+        """Serve in a background thread; returns the base URL."""
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        self._httpd = self._make_httpd()
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="query-api", daemon=True)
+        self._thread.start()
+        return self.base_url
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        """Stop accepting, then drain: joins in-flight handlers."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    @contextlib.contextmanager
+    def serve(self) -> Iterator[str]:
+        """Context-manager form of start/stop."""
+        url = self.start()
+        try:
+            yield url
+        finally:
+            self.stop()

@@ -22,7 +22,9 @@ class TestTokenBucket:
         assert not bucket.try_acquire()
 
     def test_refill_over_time(self, monkeypatch):
-        import repro.lg.ratelimit as rl
+        # the bucket mechanics live in the shared repro.net module now;
+        # the clock to fake is the one that module reads.
+        import repro.net.ratelimit as rl
         clock = [0.0]
         monkeypatch.setattr(rl.time, "monotonic", lambda: clock[0])
         bucket = TokenBucket(rate_per_second=10.0, burst=1)
@@ -33,7 +35,7 @@ class TestTokenBucket:
         assert not bucket.try_acquire()
 
     def test_capacity_cap(self, monkeypatch):
-        import repro.lg.ratelimit as rl
+        import repro.net.ratelimit as rl
         clock = [0.0]
         monkeypatch.setattr(rl.time, "monotonic", lambda: clock[0])
         bucket = TokenBucket(rate_per_second=100.0, burst=2)
@@ -47,11 +49,14 @@ class TestTokenBucket:
         bucket.try_acquire()
         assert bucket.retry_after > 0
 
-    def test_retry_after_zero_when_full(self):
-        """A full bucket needs no wait — the suggested Retry-After is
-        exactly zero, not a negative or bogus value."""
+    def test_retry_after_floored_when_full(self):
+        """A full bucket needs no wait, but the header contract is
+        "always positive": a zero (or negative, under refill races)
+        Retry-After tells clients to hammer immediately."""
+        from repro.net.ratelimit import MIN_RETRY_AFTER
+
         bucket = TokenBucket(rate_per_second=1.0, burst=5)
-        assert bucket.retry_after == 0.0
+        assert bucket.retry_after == MIN_RETRY_AFTER
 
     def test_retry_after_scales_with_rate(self):
         fast = TokenBucket(rate_per_second=100.0, burst=1)

@@ -1,0 +1,1 @@
+"""Shared-net test package."""

@@ -1,0 +1,1 @@
+"""Query-service test package."""

@@ -1,0 +1,53 @@
+"""Fixtures for the query-service suites: a small two-IXP store and a
+service/server over it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collector import DatasetStore
+from repro.query import QueryHTTPServer, QueryService, ResponseCache
+
+#: dataset days (the paper's weekly cadence, truncated).
+DAYS = (0, 7, 14)
+IXPS = ("linx", "decix-fra")
+FAMILIES = (4, 6)
+
+
+@pytest.fixture(scope="session")
+def _qstore_template(tmp_path_factory, linx_generator, decix_generator):
+    """Built once: generating and gzipping 12 snapshots dominates this
+    suite's setup cost. Tests get disposable copies."""
+    root = tmp_path_factory.mktemp("query") / "dataset"
+    store = DatasetStore(root)
+    for generator in (linx_generator, decix_generator):
+        ixp = generator.profile.key
+        store.save_dictionary(ixp, generator.dictionary)
+        for family in FAMILIES:
+            for day in DAYS:
+                store.save_snapshot(
+                    generator.snapshot(family, day, degraded=False))
+    return root
+
+
+@pytest.fixture()
+def qstore(tmp_path, _qstore_template):
+    import shutil
+
+    root = tmp_path / "dataset"
+    shutil.copytree(_qstore_template, root)
+    return DatasetStore(root)
+
+
+@pytest.fixture()
+def service(qstore) -> QueryService:
+    return QueryService(qstore, ixps=IXPS, families=FAMILIES,
+                        response_cache=ResponseCache())
+
+
+@pytest.fixture()
+def server(service):
+    server = QueryHTTPServer(service, rate_per_second=100_000,
+                             burst=100_000)
+    yield server
+    server.stop()

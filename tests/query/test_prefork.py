@@ -1,0 +1,174 @@
+"""Pre-fork supervisor: worker fan-out over one port, SIGTERM drain,
+and the in-process fallback — exercised through real ``repro-study
+api`` subprocesses (what an init system observes) plus in-thread runs
+of the supervisor's single-worker path."""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.net.shutdown import ShutdownLatch
+from repro.query import (
+    PreforkServer,
+    QueryHTTPServer,
+    QueryService,
+    can_prefork,
+    reuse_port_available,
+)
+from repro.query.prefork import make_listening_socket
+
+pytestmark = pytest.mark.skipif(
+    not can_prefork(), reason="pre-fork needs os.fork")
+
+
+def wait_for(url: str, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(url, timeout=5):
+                return
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.05)
+    raise AssertionError(f"{url} never came up")
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+@pytest.fixture(scope="module")
+def api_store(tmp_path_factory):
+    """One generated store shared by the subprocess tests (generation
+    dominates their runtime; the API only reads it)."""
+    from repro.cli import main
+
+    store = str(tmp_path_factory.mktemp("api") / "ds")
+    assert main(["generate", "--store", store, "--ixps", "linx",
+                 "--families", "4", "--scale", "0.012",
+                 "--weekly"]) == 0
+    return store
+
+
+class ApiProcess:
+    def __init__(self, store: str, *extra: str):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                             if env.get("PYTHONPATH") else src)
+        self.port = free_port()
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "api",
+             "--store", store, "--port", str(self.port)] + list(extra),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        self.url = f"http://127.0.0.1:{self.port}"
+
+    def __enter__(self):
+        wait_for(self.url + "/healthz")
+        return self
+
+    def __exit__(self, *_exc):
+        if self.process.poll() is None:
+            self.process.kill()
+        self.process.wait(timeout=30)
+
+    def terminate(self) -> int:
+        self.process.send_signal(signal.SIGTERM)
+        return self.process.wait(timeout=30)
+
+
+class TestSubprocess:
+    def test_workers_share_the_port_and_sigterm_drains(self, api_store):
+        with ApiProcess(api_store, "--workers", "2") as api:
+            for _ in range(8):
+                with urllib.request.urlopen(api.url + "/v1/ixps",
+                                            timeout=30) as response:
+                    assert response.status == 200
+            payload = json.load(urllib.request.urlopen(
+                api.url + "/healthz", timeout=30))
+            assert payload["status"] == "ok"
+            assert api.terminate() == 0
+            banner = api.process.stdout.read()
+            assert "workers=2" in banner
+
+    def test_inherited_fd_mode_serves_and_drains(self, api_store):
+        with ApiProcess(api_store, "--workers", "2",
+                        "--no-reuse-port") as api:
+            with urllib.request.urlopen(api.url + "/v1/keys",
+                                        timeout=30) as response:
+                assert response.status == 200
+            assert api.terminate() == 0
+            assert "inherited-fd" in api.process.stdout.read()
+
+    def test_conditional_get_through_the_pool(self, api_store):
+        with ApiProcess(api_store, "--workers", "2") as api:
+            with urllib.request.urlopen(
+                    api.url + "/v1/ixps/linx/v4/aggregate",
+                    timeout=30) as response:
+                etag = response.headers["ETag"]
+            # every worker derives the same content-addressed ETag, so
+            # a conditional hit 304s no matter which worker answers
+            for _ in range(6):
+                request = urllib.request.Request(
+                    api.url + "/v1/ixps/linx/v4/aggregate",
+                    headers={"If-None-Match": etag})
+                try:
+                    with urllib.request.urlopen(request, timeout=30):
+                        raise AssertionError("expected 304")
+                except urllib.error.HTTPError as error:
+                    assert error.code == 304
+            assert api.terminate() == 0
+
+
+class TestInProcessFallback:
+    def test_single_worker_serves_and_stops_on_trip(self, qstore):
+        latch = ShutdownLatch()
+        supervisor = PreforkServer(
+            lambda sock: QueryHTTPServer(
+                QueryService(qstore, ixps=("linx",), families=(4,)),
+                sock=sock),
+            port=0, workers=1)
+        codes = []
+        thread = threading.Thread(
+            target=lambda: codes.append(supervisor.run(latch)))
+        thread.start()
+        try:
+            deadline = time.monotonic() + 30
+            while supervisor.port == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            wait_for(f"http://127.0.0.1:{supervisor.port}/healthz")
+        finally:
+            latch.trip()
+            thread.join(timeout=30)
+        assert codes == [0]
+        assert supervisor.mode == "in-process"
+
+
+class TestSocketFactory:
+    def test_reuse_port_allows_two_binds(self):
+        if not reuse_port_available():
+            pytest.skip("no SO_REUSEPORT on this platform")
+        first = make_listening_socket("127.0.0.1", 0, True)
+        port = first.getsockname()[1]
+        second = make_listening_socket("127.0.0.1", port, True)
+        first.close()
+        second.close()
+
+    def test_plain_bind_rejects_a_second_listener(self):
+        first = make_listening_socket("127.0.0.1", 0, False)
+        port = first.getsockname()[1]
+        with pytest.raises(OSError):
+            make_listening_socket("127.0.0.1", port, False)
+        first.close()

@@ -1,0 +1,81 @@
+"""Tests for the bounded LRU response cache."""
+
+import threading
+
+import pytest
+
+from repro.query import ResponseCache
+
+
+class TestResponseCache:
+    def test_miss_then_hit(self):
+        cache = ResponseCache()
+        key = ("export", "e" * 64)
+        assert cache.get(key) is None
+        cache.put(key, b"body")
+        assert cache.get(key) == b"body"
+        assert len(cache) == 1
+        assert cache.total_bytes == 4
+
+    def test_entry_budget_evicts_lru(self):
+        cache = ResponseCache(max_entries=2)
+        cache.put(("a", "1"), b"aa")
+        cache.put(("b", "1"), b"bb")
+        assert cache.get(("a", "1")) == b"aa"  # refresh a's recency
+        cache.put(("c", "1"), b"cc")
+        assert cache.get(("b", "1")) is None  # b was the LRU
+        assert cache.get(("a", "1")) == b"aa"
+        assert cache.get(("c", "1")) == b"cc"
+
+    def test_byte_budget_evicts(self):
+        cache = ResponseCache(max_entries=100, max_bytes=10)
+        cache.put(("a", "1"), b"xxxx")
+        cache.put(("b", "1"), b"yyyy")
+        cache.put(("c", "1"), b"zzzz")  # 12 bytes total: a must go
+        assert cache.get(("a", "1")) is None
+        assert cache.total_bytes <= 10
+
+    def test_oversize_body_served_uncached(self):
+        cache = ResponseCache(max_entries=10, max_bytes=8)
+        cache.put(("big", "1"), b"x" * 9)
+        assert cache.get(("big", "1")) is None
+        assert len(cache) == 0
+
+    def test_replacing_a_key_adjusts_bytes(self):
+        cache = ResponseCache()
+        cache.put(("a", "1"), b"xxxxxxxx")
+        cache.put(("a", "1"), b"y")
+        assert cache.total_bytes == 1
+        assert len(cache) == 1
+
+    def test_invalid_budgets(self):
+        with pytest.raises(ValueError):
+            ResponseCache(max_entries=0)
+        with pytest.raises(ValueError):
+            ResponseCache(max_bytes=0)
+
+    def test_stats_shape(self):
+        cache = ResponseCache(max_entries=3, max_bytes=100)
+        cache.put(("a", "1"), b"xy")
+        assert cache.stats() == {"entries": 1, "bytes": 2,
+                                 "max_entries": 3, "max_bytes": 100}
+
+    def test_concurrent_use_stays_bounded(self):
+        cache = ResponseCache(max_entries=8, max_bytes=1024)
+        barrier = threading.Barrier(4)
+
+        def worker(seed: int) -> None:
+            barrier.wait()
+            for i in range(200):
+                key = (f"r{(seed + i) % 16}", "etag")
+                if cache.get(key) is None:
+                    cache.put(key, b"x" * 16)
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) <= 8
+        assert cache.total_bytes <= 1024

@@ -1,0 +1,51 @@
+"""Tests for the query API route table."""
+
+from repro.query import ROUTES, Router
+from repro.query.router import UNKNOWN
+
+
+class TestRouter:
+    def setup_method(self):
+        self.router = Router()
+
+    def test_static_routes(self):
+        for path, name in (("/healthz", "healthz"),
+                           ("/metrics", "metrics"),
+                           ("/v1/ixps", "ixps"),
+                           ("/v1/keys", "keys"),
+                           ("/v1/tables", "tables"),
+                           ("/v1/figures", "figures"),
+                           ("/v1/export", "export")):
+            match = self.router.match(path)
+            assert match is not None and match.name == name
+            assert match.params == {}
+
+    def test_aggregate_params(self):
+        match = self.router.match("/v1/ixps/linx/v4/aggregate")
+        assert match.name == "aggregate"
+        assert match.params == {"ixp": "linx", "family": "4"}
+
+    def test_aggregate_family_accepts_bare_digit(self):
+        # clients guess both spellings; the store says v6, the paper
+        # says IPv6
+        bare = self.router.match("/v1/ixps/decix-fra/6/aggregate")
+        dressed = self.router.match("/v1/ixps/decix-fra/v6/aggregate")
+        assert bare.params == dressed.params == {"ixp": "decix-fra",
+                                                 "family": "6"}
+
+    def test_table_and_figure_params(self):
+        assert self.router.match("/v1/tables/3").params == {"table": "3"}
+        match = self.router.match("/v1/figures/fig4b_curves")
+        assert match.params == {"fig": "fig4b_curves"}
+
+    def test_unmatched_paths(self):
+        for path in ("/", "/v1", "/v1/ixps/linx", "/v2/ixps",
+                     "/v1/ixps/linx/v4", "/v1/tables/x",
+                     "/v1/ixps//v4/aggregate", "/healthz/extra"):
+            assert self.router.match(path) is None
+        assert UNKNOWN == "unknown"
+
+    def test_route_names_are_unique(self):
+        # names double as metric labels; duplicates would alias series
+        names = [name for name, _pattern in ROUTES]
+        assert len(names) == len(set(names))

@@ -1,0 +1,170 @@
+"""QueryService views: byte-identity with the file export, route
+payload shapes, and 404 semantics — all below the HTTP layer."""
+
+import json
+
+from repro.core import Study
+from repro.core.engine import AggregateCache
+from repro.core.export import (
+    artefact_names,
+    dumps_rows,
+    export_study_json,
+    study_rows,
+)
+from repro.query import QueryService
+
+from .conftest import FAMILIES, IXPS
+
+
+def body_json(response):
+    assert response.status == 200, response.body
+    return json.loads(response.body.decode("utf-8"))
+
+
+class TestByteIdentity:
+    def test_export_route_matches_export_file(self, qstore, service,
+                                              tmp_path):
+        """ISSUE acceptance: the HTTP body is byte-identical to what
+        ``repro-study export --json`` writes over the same store."""
+        study = Study.from_store(qstore, ixps=IXPS, families=FAMILIES,
+                                 cache=AggregateCache(qstore))
+        path = export_study_json(study, tmp_path / "bundle.json",
+                                 FAMILIES)
+        response = service.respond("export")
+        assert response.status == 200
+        assert response.body == path.read_bytes()
+
+    def test_figure_bodies_come_from_the_same_bundle(self, qstore,
+                                                     service):
+        study = Study.from_store(qstore, ixps=IXPS, families=FAMILIES,
+                                 cache=AggregateCache(qstore))
+        bundle = study_rows(study, FAMILIES)
+        for name in ("fig1_defined_vs_unknown", "fig4b_curves",
+                     "fig7_top_culprits"):
+            response = service.respond("figure", {"fig": name})
+            assert response.body == dumps_rows(bundle[name]).encode()
+
+    def test_table_bodies_come_from_the_same_bundle(self, qstore,
+                                                    service):
+        study = Study.from_store(qstore, ixps=IXPS, families=FAMILIES,
+                                 cache=AggregateCache(qstore))
+        bundle = study_rows(study, FAMILIES)
+        assert service.respond("table", {"table": "1"}).body == \
+            dumps_rows(bundle["table1_summary"]).encode()
+        assert service.respond("table", {"table": "2"}).body == \
+            dumps_rows(bundle["table2_ases_per_type"]).encode()
+
+    def test_aggregate_matches_persisted_cache_entry(self, qstore,
+                                                     service):
+        response = service.respond("aggregate", {"ixp": "linx",
+                                                 "family": "4"})
+        assert response.status == 200
+        # cold request persisted the entry under its content address…
+        key = response.etag
+        assert qstore.has_aggregate("linx", key)
+        # …and the body is that artefact, canonically encoded
+        payload = qstore.load_aggregate("linx", key)
+        assert response.body == dumps_rows(payload).encode()
+
+
+class TestRoutePayloads:
+    def test_healthz(self, service):
+        payload = body_json(service.respond("healthz"))
+        assert payload["status"] == "ok"
+        assert payload["keys"] == len(IXPS) * len(FAMILIES)
+        assert payload["keys_with_snapshots"] == payload["keys"]
+        assert payload["response_cache"]["entries"] >= 0
+
+    def test_ixps_lists_both(self, service):
+        rows = body_json(service.respond("ixps"))
+        assert [row["ixp"] for row in rows] == list(IXPS)
+        for row in rows:
+            assert row["families"] == [4, 6]
+            assert row["snapshots"] == 6  # 3 days x 2 families
+            assert row["newest"] is not None
+            assert len(row["dictionary_sha256"]) == 64
+
+    def test_keys_carries_content_addresses(self, service):
+        payload = body_json(service.respond("keys"))
+        assert payload["schema_version"] >= 1
+        assert len(payload["dataset"]) == 64
+        assert len(payload["keys"]) == len(IXPS) * len(FAMILIES)
+        for key in payload["keys"]:
+            assert len(key["snapshot_sha256"]) == 64
+            assert len(key["aggregate_key"]) == 64
+            assert key["captured_on"]
+
+    def test_tables_index_and_variation_tables(self, service):
+        index = body_json(service.respond("tables"))
+        assert [row["table"] for row in index] == [1, 2, 3, 4]
+        table3 = body_json(service.respond("table", {"table": "3"}))
+        assert table3, "variation rows expected over 3 snapshots"
+        for row in table3:
+            assert set(row) == {"ixp", "family", "metric", "min",
+                                "max", "diff_percent"}
+
+    def test_figures_index_matches_artefacts(self, service):
+        rows = body_json(service.respond("figures"))
+        assert [row["figure"] for row in rows] == [
+            name for name in artefact_names() if name.startswith("fig")]
+
+    def test_figure_alias_serves_full_artefact(self, service):
+        short = service.respond("figure", {"fig": "fig1"})
+        full = service.respond("figure",
+                               {"fig": "fig1_defined_vs_unknown"})
+        assert short.status == full.status == 200
+        assert short.body == full.body
+        # same resolved artefact → same ETag: the two names revalidate
+        # interchangeably
+        assert short.etag == full.etag
+
+
+class TestNotFound:
+    def test_unknown_ixp(self, service):
+        response = service.respond("aggregate", {"ixp": "lonap",
+                                                 "family": "4"})
+        assert response.status == 404
+        assert response.etag is None
+        assert b"no such key" in response.body
+
+    def test_unserved_family(self, service):
+        assert service.respond("aggregate", {"ixp": "linx",
+                                             "family": "5"}).status == 404
+
+    def test_unserved_table(self, service):
+        response = service.respond("table", {"table": "9"})
+        assert response.status == 404
+        assert b"served: 1-4" in response.body
+
+    def test_unknown_figure(self, service):
+        assert service.respond("figure",
+                               {"fig": "fig99"}).status == 404
+
+    def test_unknown_route_name(self, service):
+        assert service.respond("bogus").status == 404
+
+
+class TestUnconfiguredService:
+    def test_serves_store_contents_and_skips_foreign_dirs(self, qstore):
+        (qstore.root / "not-an-ixp").mkdir()
+        service = QueryService(qstore, families=FAMILIES)
+        assert sorted(service.ixps()) == sorted(IXPS)
+
+
+class TestWarmPath:
+    def test_bundle_rebuilt_once_across_routes(self, qstore, service):
+        service.respond("export")
+        service.respond("table", {"table": "1"})
+        service.respond("figure", {"fig": "fig1"})
+        # one Study build served all three (plus the response cache)
+        assert service._bundle is not None
+        digest = service._bundle_digest
+        service.respond("export")
+        assert service._bundle_digest == digest
+
+    def test_response_cache_hit_on_second_request(self, service):
+        first = service.respond("export")
+        second = service.respond("export")
+        assert first.cache_event == "miss"
+        assert second.cache_event == "hit"
+        assert first.body == second.body

@@ -26,6 +26,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["analyze", "--ixps", "lonap"])
 
+    def test_api_defaults(self):
+        args = build_parser().parse_args(["api", "--store", "x"])
+        assert args.command == "api"
+        assert args.workers == 2
+        assert args.ixps == []  # empty = serve what the store holds
+        assert args.families == [4, 6]
+        assert args.port == 8700
+        assert not args.no_reuse_port
+
+    def test_api_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["api"])
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
