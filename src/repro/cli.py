@@ -314,6 +314,8 @@ def _run_dispatch(args: argparse.Namespace,
         breaker_reset=args.breaker_reset,
         max_retries=args.max_retries,
         request_timeout=args.timeout,
+        host_id=args.host_id,
+        clock_skew_budget=args.clock_skew_budget,
     )
     if args.metrics_out:
         obs.enable()
@@ -428,9 +430,13 @@ def cmd_fsck(args: argparse.Namespace) -> int:
     import json as _json
 
     from .collector import fsck_store
+    from .collector.fsck import DEFAULT_RECLAIM_AGE
 
     store = DatasetStore(args.store)
-    report = fsck_store(store, repair=args.repair)
+    reclaim_age = (DEFAULT_RECLAIM_AGE if args.reclaim_age is None
+                   else args.reclaim_age)
+    report = fsck_store(store, repair=args.repair,
+                        reclaim_age=reclaim_age)
     if args.json:
         print(_json.dumps(report.to_dict(), indent=1, sort_keys=True))
     else:
@@ -597,6 +603,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="dispatch lease TTL, seconds; an "
                              "unrenewed lease older than this is "
                              "stolen by an idle worker")
+    p_camp.add_argument("--host-id", default=None, metavar="NAME",
+                        help="host name written into dispatch lease "
+                             "identities (default: the machine's "
+                             "hostname); give each host sharing one "
+                             "store a distinct name")
+    p_camp.add_argument("--clock-skew-budget", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="how far another host's wall clock may "
+                             "run ahead before its lease renewals are "
+                             "distrusted and judged by monotonic "
+                             "observation instead (multi-host "
+                             "dispatch; 0 = trust wall clocks)")
     p_camp.add_argument("--dialect", default="alice",
                         choices=["alice", "birdseye"],
                         help="LG API dialect")
@@ -637,6 +655,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "(never deletes) and rebuild manifests")
     p_fsck.add_argument("--json", action="store_true",
                         help="print the full report as JSON")
+    p_fsck.add_argument("--reclaim-age", type=float,
+                        default=None, metavar="SECONDS",
+                        help="age past which orphaned dispatch state "
+                             "(leases/, staging/) is reported and, "
+                             "with --repair, reclaimed "
+                             "(default: 7 days)")
     p_fsck.set_defaults(func=_guarded(cmd_fsck))
     return parser
 

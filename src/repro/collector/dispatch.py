@@ -70,6 +70,16 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .. import obs
+from ..io.faultfs import (
+    FAULT_PLAN_ENV,
+    StorageUnavailable,
+    active_fs,
+    host_identity,
+    install_from_env,
+    record_fault_counts,
+    with_fs_retries,
+)
+from ..net.backoff import FullJitterBackoff
 from .campaign import (
     STATUS_COMPLETE,
     STATUS_DEGRADED,
@@ -101,6 +111,12 @@ WORKER_CRASH_EXIT = 87
 #: worker subprocesses.
 CRASH_PLAN_ENV = "REPRO_DISPATCH_CRASH_PLAN"
 
+#: exit code of a worker that parked because the shared store became
+#: unusable (ENOSPC / persistent EIO) — resumable once storage heals,
+#: and distinct from a crash so the coordinator does not restart it
+#: into the same full disk.
+WORKER_STORAGE_EXIT = 2
+
 #: prefix of the single JSON report line a worker prints on exit.
 WORKER_REPORT_PREFIX = "REPRO-WORKER-REPORT "
 
@@ -131,6 +147,20 @@ _METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
     workers=reg.gauge(
         "repro_dispatch_workers_alive",
         "Dispatch worker processes currently alive").labels(),
+    ambiguity=reg.counter(
+        "repro_dispatch_lease_ambiguity_resolved_total",
+        "Ambiguous lease link() results resolved by post-checking "
+        "ownership — NFS retransmit hazards recovered, not lost"
+    ).labels(),
+    skew=reg.counter(
+        "repro_dispatch_clock_skew_observed_total",
+        "Lease expiry judgements that found a holder's renewed_at "
+        "future-dated beyond the skew budget and fell back to "
+        "monotonic observation").labels(),
+    parked_workers=reg.counter(
+        "repro_dispatch_workers_parked_total",
+        "Workers that parked (exit 2) because the shared store "
+        "became unusable — ENOSPC or persistent I/O errors").labels(),
 ))
 
 
@@ -174,6 +204,12 @@ class Lease:
     renewed_at: float
     ttl: float
     released: bool = False
+    #: host identity of the holder — ``hostname:pid:boot-nonce`` (see
+    #: :func:`repro.io.faultfs.host_identity`). Worker *names* repeat
+    #: across coordinators ("w0" on host A and host B); the host
+    #: string is what makes ownership checks unique across machines
+    #: and across pid reuse. Empty for pre-multi-host lease files.
+    host: str = ""
     #: transient — this claim displaced an expired, unreleased holder.
     stolen: bool = False
     #: transient — the on-disk lease failed verification (treated as
@@ -190,6 +226,7 @@ class Lease:
             "renewed_at": self.renewed_at,
             "ttl": self.ttl,
             "released": self.released,
+            "host": self.host,
         }
 
     @classmethod
@@ -202,7 +239,18 @@ class Lease:
             renewed_at=float(payload["renewed_at"]),
             ttl=float(payload["ttl"]),
             released=bool(payload.get("released", False)),
+            host=str(payload.get("host", "")),
         )
+
+    def same_holder(self, owner: str, host: str) -> bool:
+        """True when this lease belongs to (*owner*, *host*). Leases
+        written before host identities existed (empty ``host``) match
+        on owner alone — the single-host behaviour."""
+        if self.owner != owner:
+            return False
+        if not self.host or not host:
+            return True
+        return self.host == host
 
 
 class LeaseManager:
@@ -218,13 +266,30 @@ class LeaseManager:
     def __init__(self, root: os.PathLike, ttl: float,
                  clock: Callable[[], float] = time.time,
                  crash: Optional[Callable[[str], None]] = None,
-                 max_claims: int = 25) -> None:
+                 max_claims: int = 25, host: str = "",
+                 skew_budget: float = 0.0,
+                 mono: Callable[[], float] = time.monotonic) -> None:
         self.root = Path(root)
         self.ttl = ttl
         self.clock = clock
         self.crash = crash or (lambda label: None)
         self.max_claims = max_claims
+        #: this manager's host identity string — written into every
+        #: lease it claims and compared on renew/release/commit.
+        self.host = host
+        #: how far another host's wall clock may run *ahead* of ours
+        #: before we stop trusting its renewed_at stamps (seconds).
+        self.skew_budget = skew_budget
+        self.mono = mono
+        #: ambiguous link() results resolved as our own successful claim.
+        self.ambiguity_resolved = 0
+        #: expiry judgements that found renewed_at future-dated beyond
+        #: the budget and fell back to monotonic observation.
+        self.skew_observations = 0
         self._counter = 0
+        #: (unit, token) → (renewed_at seen, mono() when first seen) —
+        #: the monotonic-observation ledger for skewed holders.
+        self._skewed: Dict[Any, Any] = {}
 
     def _unit_dir(self, unit_key: str) -> Path:
         return self.root / LEASES_DIR / unit_key
@@ -232,29 +297,58 @@ class LeaseManager:
     def _lease_path(self, unit_key: str, token: int) -> Path:
         return self._unit_dir(unit_key) / f"{token:06d}{LEASE_SUFFIX}"
 
+    def _read_lease_at(self, unit_key: str,
+                       token: int) -> Optional[Lease]:
+        """Read one specific token's lease file; None when missing or
+        undecodable."""
+        path = self._lease_path(unit_key, token)
+        try:
+            data = with_fs_retries(
+                lambda: active_fs().read_bytes(path),
+                label="lease:read")
+            payload, _digest, _self = decode_artefact(
+                data, kind="lease", gz=False, path=path)
+            return Lease.from_payload(payload)
+        except (OSError, StorageUnavailable, IntegrityError,
+                KeyError, TypeError, ValueError):
+            return None
+
     def current(self, unit_key: str) -> Optional[Lease]:
         """The highest-token lease of a unit, or None. A lease file
         that fails verification comes back with ``damaged=True`` (it
         counts as expired — see :meth:`expired`)."""
         directory = self._unit_dir(unit_key)
-        if not directory.is_dir():
+        try:
+            names = active_fs().listdir(directory)
+        except FileNotFoundError:
             return None
+        except OSError:
+            names = sorted(p.name for p in directory.glob("*")) \
+                if directory.is_dir() else []
         latest: Optional[Path] = None
         token = 0
-        for path in directory.glob(f"*{LEASE_SUFFIX}"):
+        for name in names:
+            if not name.endswith(LEASE_SUFFIX):
+                continue
             try:
-                candidate = int(path.name[:-len(LEASE_SUFFIX)])
+                candidate = int(name[:-len(LEASE_SUFFIX)])
             except ValueError:
                 continue
             if candidate > token:
-                token, latest = candidate, path
+                token, latest = candidate, directory / name
         if latest is None:
             return None
         try:
+            data = with_fs_retries(
+                lambda: active_fs().read_bytes(latest),
+                label="lease:read")
             payload, _digest, _self = decode_artefact(
-                latest.read_bytes(), kind="lease", gz=False, path=latest)
+                data, kind="lease", gz=False, path=latest)
             lease = Lease.from_payload(payload)
-        except (IntegrityError, KeyError, TypeError, ValueError):
+        except (IntegrityError, KeyError, TypeError, ValueError,
+                FileNotFoundError):
+            # undecodable or vanished-from-view: treat as a damaged
+            # holder — expired for liveness, fenced out for safety.
             return Lease(unit=unit_key, owner="", token=token,
                          acquired_at=0.0, renewed_at=0.0, ttl=self.ttl,
                          damaged=True)
@@ -263,12 +357,34 @@ class LeaseManager:
         return lease
 
     def expired(self, lease: Lease) -> bool:
-        """Liveness judgement only — safety comes from the token."""
+        """Liveness judgement only — safety comes from the token.
+
+        Hybrid wall/monotonic discipline: expiry is primarily a wall
+        clock comparison with an explicit ``skew_budget`` of grace.
+        When a holder's ``renewed_at`` is *future-dated* beyond the
+        budget (its wall clock runs ahead of ours), its stamps are
+        meaningless to us — instead of believing them we observe the
+        lease with our own monotonic clock and declare it expired only
+        after a full TTL passes without ``renewed_at`` changing. Skew
+        can therefore delay a steal, never corrupt data.
+        """
         if lease.damaged:
             return True
         if lease.released:
             return False
-        return self.clock() - lease.renewed_at > lease.ttl
+        elapsed = self.clock() - lease.renewed_at
+        if elapsed > lease.ttl + self.skew_budget:
+            return True
+        if elapsed < -self.skew_budget:
+            self.skew_observations += 1
+            key = (lease.unit, lease.token)
+            seen = self._skewed.get(key)
+            if seen is None or seen[0] != lease.renewed_at:
+                # first sighting of this stamp: start the stopwatch.
+                self._skewed[key] = (lease.renewed_at, self.mono())
+                return False
+            return self.mono() - seen[1] > lease.ttl
+        return False
 
     def claimable(self, unit_key: str) -> bool:
         current = self.current(unit_key)
@@ -292,7 +408,15 @@ class LeaseManager:
 
     def claim(self, unit_key: str, owner: str) -> Optional[Lease]:
         """Try to claim a unit; None on contention, an active holder,
-        or an exhausted claim budget."""
+        or an exhausted claim budget.
+
+        An ambiguous ``link()`` (the NFS retransmit hazard: the link
+        was created on the server but an error came back) is resolved
+        by *post-checking ownership*: when the retry sees ``EEXIST``,
+        the lease file at that token is read back — if it names this
+        (owner, host), the earlier attempt succeeded and the claim is
+        ours; only a different holder's name means we lost.
+        """
         current = self.current(unit_key)
         if current is not None and not current.released \
                 and not self.expired(current):
@@ -302,7 +426,8 @@ class LeaseManager:
             return None
         now = self.clock()
         lease = Lease(unit=unit_key, owner=owner, token=token,
-                      acquired_at=now, renewed_at=now, ttl=self.ttl)
+                      acquired_at=now, renewed_at=now, ttl=self.ttl,
+                      host=self.host)
         data, _digest = encode_artefact(lease.to_payload(), "lease",
                                         gz=False)
         directory = self._unit_dir(unit_key)
@@ -311,13 +436,26 @@ class LeaseManager:
         temporary = directory / (
             f".{token:06d}.{os.getpid()}.{self._counter}.tmp")
         path = self._lease_path(unit_key, token)
+        fs = active_fs()
         self.crash("lease-claim:begin")
         try:
-            temporary.write_bytes(data)
+            with_fs_retries(lambda: fs.write_bytes(temporary, data),
+                            label="lease:write")
             self.crash("lease-claim:temp")
             try:
-                os.link(temporary, path)
+                with_fs_retries(lambda: fs.link(temporary, path),
+                                label="lease:link")
             except FileExistsError:
+                claimed = self._read_lease_at(unit_key, token)
+                if claimed is not None \
+                        and claimed.same_holder(owner, self.host):
+                    # our ambiguously-failed link actually succeeded
+                    self.ambiguity_resolved += 1
+                    self.crash("lease-claim:linked")
+                    lease.stolen = (current is not None
+                                    and not current.released
+                                    and not current.damaged)
+                    return lease
                 return None  # a racing claimant linked token first
         finally:
             try:
@@ -334,7 +472,8 @@ class LeaseManager:
         lost (stolen or superseded) — the holder must stop working."""
         current = self.current(lease.unit)
         if (current is None or current.token != lease.token
-                or current.owner != lease.owner or current.released):
+                or not current.same_holder(lease.owner, lease.host)
+                or current.released):
             return False
         lease.renewed_at = self.clock()
         data, _digest = encode_artefact(lease.to_payload(), "lease",
@@ -348,7 +487,7 @@ class LeaseManager:
         without waiting out the TTL); False when already lost."""
         current = self.current(lease.unit)
         if (current is None or current.token != lease.token
-                or current.owner != lease.owner):
+                or not current.same_holder(lease.owner, lease.host)):
             return False
         lease.released = True
         data, _digest = encode_artefact(lease.to_payload(), "lease",
@@ -449,6 +588,16 @@ class DispatchConfig:
     request_timeout: float = 30.0
     backoff_base: float = 0.05
     backoff_cap: float = 2.0
+    #: host identity override (``--host-id``). None = hostname. The
+    #: full identity written into leases is ``<host>:<pid>:<nonce>``.
+    host_id: Optional[str] = None
+    #: seconds another host's wall clock may run ahead of ours before
+    #: its lease renewal stamps are distrusted (``--clock-skew-budget``;
+    #: see LeaseManager.expired).
+    clock_skew_budget: float = 0.0
+    #: serialised FsFaultPlan dict shipped to worker subprocesses via
+    #: the environment (chaos harness only — never set in production).
+    fs_fault_plan: Optional[Dict[str, Any]] = None
     #: chaos-harness worker-kill plan (never set in production).
     crash_plan: Optional[WorkerCrashSchedule] = None
 
@@ -475,7 +624,8 @@ class DispatchConfig:
                      "checkpoint_every", "fetch_workers",
                      "breaker_threshold", "breaker_reset",
                      "max_retries", "request_timeout",
-                     "backoff_base", "backoff_cap"):
+                     "backoff_base", "backoff_cap", "host_id",
+                     "clock_skew_budget", "fs_fault_plan"):
             payload[name] = getattr(self, name)
         return payload
 
@@ -524,7 +674,8 @@ _WORKER_STAT_KEYS = (
     "leases_claimed", "leases_stolen", "leases_renewed",
     "leases_released", "leases_lost", "claim_contention",
     "units_completed", "units_parked", "checkpoints_adopted",
-    "zombie_quarantines",
+    "zombie_quarantines", "lease_ambiguity_resolved",
+    "clock_skew_observed", "storage_parked",
 )
 
 
@@ -546,14 +697,21 @@ class DispatchWorker:
         self.config = config
         self.worker_index = worker_index
         self.owner = owner or f"w{worker_index}-{os.getpid()}"
+        #: full host identity string written into this worker's leases
+        #: — survives pid reuse across machines (boot nonce).
+        self.host = str(host_identity(config.host_id))
         self.crash = crash
         self.clock = clock
         self.sleep = sleep
         self.leases = LeaseManager(
             self.store.root, ttl=config.lease_ttl, clock=clock,
             crash=crash.check if crash is not None else None,
-            max_claims=config.max_unit_claims)
+            max_claims=config.max_unit_claims, host=self.host,
+            skew_budget=config.clock_skew_budget)
         self.stats: Dict[str, int] = {key: 0 for key in _WORKER_STAT_KEYS}
+        #: set when the shared store became unusable and the worker
+        #: parked — worker_main turns it into exit 2.
+        self.storage_parked = False
         self._rng = random.Random(self.owner)
 
     # -- unit bookkeeping -------------------------------------------------
@@ -573,40 +731,58 @@ class DispatchWorker:
 
     def run(self) -> Dict[str, Any]:
         """Work until every unit is resolved; returns the worker
-        report the coordinator aggregates."""
-        backoff_round = 0
-        while True:
-            pending = self._pending_units()
-            if not pending:
-                break
-            progress = False
-            offset = self.worker_index % len(pending)
-            for unit in pending[offset:] + pending[:offset]:
-                if self._resolved(unit):
-                    continue
-                lease = self.leases.claim(unit.key, self.owner)
-                if lease is None:
-                    self.stats["claim_contention"] += 1
-                    continue
-                self.stats["leases_claimed"] += 1
-                if lease.stolen:
-                    self.stats["leases_stolen"] += 1
-                progress = True
-                backoff_round = 0
-                self._work_unit(unit, lease)
-            if not progress:
-                # full-jitter backoff, the client's discipline against
-                # thundering-herd rescans of a fully leased unit list.
-                cap = min(self.config.steal_backoff_cap,
-                          self.config.steal_backoff_base
-                          * (2 ** backoff_round))
-                backoff_round = min(backoff_round + 1, 16)
-                self.sleep(self._rng.uniform(0, cap))
+        report the coordinator aggregates.
+
+        A :class:`~repro.io.faultfs.StorageUnavailable` (full disk,
+        persistent I/O errors) parks the worker instead of spinning:
+        the loop stops, ``storage_parked`` is set, and
+        :func:`worker_main` exits 2 — resumable once storage heals.
+        """
+        backoff = FullJitterBackoff(
+            base=self.config.steal_backoff_base,
+            cap=self.config.steal_backoff_cap,
+            rng=self._rng, sleep=self.sleep)
+        try:
+            while True:
+                pending = self._pending_units()
+                if not pending:
+                    break
+                progress = False
+                offset = self.worker_index % len(pending)
+                for unit in pending[offset:] + pending[:offset]:
+                    if self._resolved(unit):
+                        continue
+                    lease = self.leases.claim(unit.key, self.owner)
+                    if lease is None:
+                        self.stats["claim_contention"] += 1
+                        continue
+                    self.stats["leases_claimed"] += 1
+                    if lease.stolen:
+                        self.stats["leases_stolen"] += 1
+                    progress = True
+                    backoff.reset()
+                    self._work_unit(unit, lease)
+                if not progress:
+                    # full-jitter backoff, the client's discipline
+                    # against thundering-herd rescans of a fully
+                    # leased unit list.
+                    backoff.pause()
+        except StorageUnavailable:
+            self.stats["storage_parked"] += 1
+            self.storage_parked = True
         return self.report()
 
     def report(self) -> Dict[str, Any]:
-        return {"owner": self.owner, "worker_index": self.worker_index,
-                "stats": dict(self.stats)}
+        self.stats["lease_ambiguity_resolved"] = \
+            self.leases.ambiguity_resolved
+        self.stats["clock_skew_observed"] = self.leases.skew_observations
+        payload = {"owner": self.owner, "host": self.host,
+                   "worker_index": self.worker_index,
+                   "stats": dict(self.stats)}
+        fault_counts = getattr(active_fs(), "fault_counts", None)
+        if fault_counts:
+            payload["fs_faults"] = dict(fault_counts)
+        return payload
 
     # -- one unit ---------------------------------------------------------
 
@@ -711,7 +887,8 @@ class DispatchWorker:
         """
         current = self.leases.current(unit.key)
         if (current is None or current.token != lease.token
-                or current.owner != self.owner or current.released):
+                or not current.same_holder(self.owner, self.host)
+                or current.released):
             self._quarantine_zombie(unit, lease, staging_store,
                                     "lease lost before commit "
                                     "(fencing token mismatch)")
@@ -757,6 +934,7 @@ class DispatchWorker:
             "version": 1,
             "unit": unit.key,
             "owner": self.owner,
+            "host": self.host,
             "token": lease.token,
             "reason": reason,
             "moved_to": final.relative_to(self.store.root).as_posix(),
@@ -794,11 +972,14 @@ def worker_main(argv: Sequence[str]) -> int:
     if raw_plan:
         crash = WorkerCrashSchedule.from_json(raw_plan).for_worker(
             worker_index)
+    # chaos harness: a seeded filesystem fault plan shipped through the
+    # environment turns this worker's store I/O adversarial.
+    install_from_env()
     worker = DispatchWorker(spec["store"], config, worker_index,
                             owner=spec.get("owner"), crash=crash)
     report = worker.run()
     print(WORKER_REPORT_PREFIX + json.dumps(report), flush=True)
-    return 0
+    return WORKER_STORAGE_EXIT if worker.storage_parked else 0
 
 
 # -- coordinator ---------------------------------------------------------
@@ -828,8 +1009,13 @@ class DispatchReport:
     workers_spawned: int = 0
     worker_restarts: int = 0
     worker_crashes: int = 0
+    #: workers that exited 2 — parked on unusable storage, resumable.
+    worker_parks: int = 0
     worker_reports: List[Dict[str, Any]] = field(default_factory=list)
     totals: Dict[str, int] = field(default_factory=dict)
+    #: injected filesystem fault counts aggregated across workers
+    #: (``op:kind`` → count; empty outside the chaos harness).
+    fs_faults: Dict[str, int] = field(default_factory=dict)
     #: final fsck audit over the merged store (None = verify off).
     fsck_clean: Optional[bool] = None
     run_report_path: Optional[str] = None
@@ -851,8 +1037,10 @@ class DispatchReport:
             "workers_spawned": self.workers_spawned,
             "worker_restarts": self.worker_restarts,
             "worker_crashes": self.worker_crashes,
+            "worker_parks": self.worker_parks,
             "worker_reports": list(self.worker_reports),
             "totals": dict(self.totals),
+            "fs_faults": dict(self.fs_faults),
             "complete": self.complete,
             "resumable": self.resumable,
             "fsck_clean": self.fsck_clean,
@@ -870,7 +1058,9 @@ class DispatchReport:
                     + (f", {self.worker_restarts} restarted"
                        if self.worker_restarts else "")
                     + (f", {self.worker_crashes} crashed"
-                       if self.worker_crashes else ""))
+                       if self.worker_crashes else "")
+                    + (f", {self.worker_parks} parked on storage"
+                       if self.worker_parks else ""))
         lines = [headline]
         for unit in self.units:
             retried = (f" ({unit.claims} claims)"
@@ -960,6 +1150,9 @@ class DispatchCoordinator:
                              if env.get("PYTHONPATH") else src)
         if self.config.crash_plan is not None:
             env[CRASH_PLAN_ENV] = self.config.crash_plan.to_json()
+        if self.config.fs_fault_plan is not None:
+            env[FAULT_PLAN_ENV] = json.dumps(self.config.fs_fault_plan,
+                                             sort_keys=True)
         process = subprocess.Popen(
             [sys.executable, "-m", "repro.collector.dispatch",
              json.dumps(spec)],
@@ -978,6 +1171,9 @@ class DispatchCoordinator:
         metrics.restarts.inc(0)
         metrics.zombies.inc(0)
         metrics.retries.inc(0)
+        metrics.ambiguity.inc(0)
+        metrics.skew.inc(0)
+        metrics.parked_workers.inc(0)
         for event in ("claimed", "stolen", "renewed", "released"):
             metrics.leases.labels(event).inc(0)
 
@@ -1002,7 +1198,12 @@ class DispatchCoordinator:
                         metrics.workers.dec()
                         finished.append(worker)
                         del alive[index]
-                        if worker.returncode != 0:
+                        if worker.returncode == WORKER_STORAGE_EXIT:
+                            # parked on unusable storage: restarting
+                            # into the same full disk helps no one.
+                            report.worker_parks += 1
+                            metrics.parked_workers.inc()
+                        elif worker.returncode != 0:
                             report.worker_crashes += 1
                             if restarts_left > 0 \
                                     and not self._all_resolved():
@@ -1040,23 +1241,37 @@ class DispatchCoordinator:
                     worker.collect()
             metrics.workers.dec()
             finished.append(worker)
-            if worker.returncode != 0:
+            if worker.returncode == WORKER_STORAGE_EXIT:
+                report.worker_parks += 1
+                metrics.parked_workers.inc()
+            elif worker.returncode != 0:
                 report.worker_crashes += 1
         alive.clear()
         totals: Dict[str, int] = {key: 0 for key in _WORKER_STAT_KEYS}
+        fault_totals: Dict[str, int] = {}
         for worker in finished:
             if worker.report is None:
                 continue
             report.worker_reports.append(worker.report)
             for key, value in worker.report.get("stats", {}).items():
                 totals[key] = totals.get(key, 0) + int(value)
+            for key, value in worker.report.get("fs_faults",
+                                                {}).items():
+                fault_totals[key] = fault_totals.get(key, 0) \
+                    + int(value)
         report.totals = totals
+        report.fs_faults = fault_totals
         metrics.leases.labels("claimed").inc(totals["leases_claimed"])
         metrics.leases.labels("stolen").inc(totals["leases_stolen"])
         metrics.leases.labels("renewed").inc(totals["leases_renewed"])
         metrics.leases.labels("released").inc(
             totals["leases_released"])
         metrics.zombies.inc(totals["zombie_quarantines"])
+        metrics.ambiguity.inc(totals["lease_ambiguity_resolved"])
+        metrics.skew.inc(totals["clock_skew_observed"])
+        # injected filesystem faults observed by worker subprocesses
+        # become visible in this process's /metrics exposition.
+        record_fault_counts(fault_totals)
 
     def _finalise(self, report: DispatchReport,
                   claims_before: Dict[str, int], metrics: Any) -> None:

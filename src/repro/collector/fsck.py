@@ -32,6 +32,8 @@ repaired store is clean.
 
 from __future__ import annotations
 
+import shutil
+import time
 import types
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -45,18 +47,27 @@ from .integrity import (
     DAMAGE_MISSING_ENTRY,
     DAMAGE_MISSING_FILE,
     DAMAGE_ORPHAN_TEMP,
+    DAMAGE_ORPHANED,
     IntegrityError,
     decode_artefact,
     is_temp_artefact,
 )
-from .manifest import MANIFEST_NAME, Manifest
+from .manifest import MANIFEST_NAME, Manifest, _utcnow
 from .store import (
     AGGREGATE_SUFFIX,
     CHECKPOINT_SUFFIX,
+    LEASES_DIR,
     QUARANTINE_DIR,
     REPORTS_DIR,
+    STAGING_DIR,
     DatasetStore,
 )
+
+#: age (seconds) past which dispatch coordination state — lease dirs
+#: and staging stores no live campaign can still be using — counts as
+#: orphaned. A week dwarfs any sane lease TTL or campaign runtime, so
+#: a freshly crashed (still resumable) run is never flagged.
+DEFAULT_RECLAIM_AGE = 7 * 24 * 3600.0
 
 _METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
     runs=reg.counter(
@@ -75,6 +86,7 @@ _METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
 ACTION_QUARANTINED = "quarantined"
 ACTION_MANIFEST_UPDATED = "manifest_updated"
 ACTION_ENTRY_DROPPED = "entry_dropped"
+ACTION_RECLAIMED = "reclaimed"
 
 
 @dataclass
@@ -163,10 +175,21 @@ def _classify_path(scope_name: str, path: Path) -> Optional[
     return None
 
 
-def fsck_store(store: DatasetStore, repair: bool = False) -> FsckReport:
+def fsck_store(store: DatasetStore, repair: bool = False, *,
+               reclaim_age: float = DEFAULT_RECLAIM_AGE,
+               now: Optional[float] = None) -> FsckReport:
     """Audit (and with ``repair=True``, heal) every artefact in a
     store. Never deletes data: repair quarantines damaged files and
-    rewrites manifests."""
+    rewrites manifests.
+
+    The reserved dispatch directories are audited too: lease dirs and
+    staging stores older than *reclaim_age* are reported as
+    ``orphaned_dispatch`` and, with ``repair=True``, reclaimed — lease
+    dirs (pure coordination state; with no lease at all a zombie's
+    commit is denied by the ownership re-check) and merged staging
+    dirs are removed, while staging dirs whose unit never published
+    are moved to quarantine, never deleted.
+    """
     report = FsckReport(root=str(store.root), repaired=repair)
     with obs.span("fsck"):
         scopes = [store.root / ixp for ixp in store.ixps()]
@@ -174,6 +197,8 @@ def fsck_store(store: DatasetStore, repair: bool = False) -> FsckReport:
             scopes.append(store.root / REPORTS_DIR)
         for scope in scopes:
             _fsck_scope(store, scope, report, repair)
+        _fsck_dispatch_state(store, report, repair, reclaim_age,
+                             time.time() if now is None else now)
     metrics = _METRICS()
     metrics.runs.labels("clean" if report.clean else "damaged").inc()
     for finding in report.findings:
@@ -309,3 +334,143 @@ def _fsck_scope(store: DatasetStore, scope: Path, report: FsckReport,
             for rel_scope, (digest, size, kind) in seen.items():
                 manifest.record(rel_scope, digest, size, kind)
         manifest.save()
+
+
+# -- dispatch coordination state (leases/ + staging/) --------------------
+
+def _lease_age(directory: Path, now: float) -> Optional[float]:
+    """Age in seconds of a unit's lease dir, judged by its most recent
+    sign of activity: the newest of any lease's ``renewed_at`` stamp
+    and any lease file's mtime.  Taking the maximum keeps a lease held
+    by a host whose wall clock runs behind (its ``renewed_at`` stamps
+    look old, but its writes keep the mtime fresh) from being judged
+    orphaned.  None for an empty/unreadable dir."""
+    best: Optional[float] = None
+    for path in directory.glob("*.lease.json"):
+        stamps = []
+        try:
+            payload, _digest, _self = decode_artefact(
+                path.read_bytes(), kind="lease", gz=False, path=path)
+            stamps.append(float(payload["renewed_at"]))
+        except (IntegrityError, OSError, KeyError, TypeError,
+                ValueError):
+            pass
+        try:
+            stamps.append(path.stat().st_mtime)
+        except OSError:
+            pass
+        for stamp in stamps:
+            if best is None or stamp > best:
+                best = stamp
+    if best is None:
+        return None
+    return now - best
+
+
+def _newest_mtime(directory: Path) -> Optional[float]:
+    try:
+        newest = directory.stat().st_mtime
+    except OSError:
+        return None
+    for path in directory.rglob("*"):
+        try:
+            newest = max(newest, path.stat().st_mtime)
+        except OSError:
+            continue
+    return newest
+
+
+def _staging_unit_published(store: DatasetStore, name: str) -> bool:
+    """Whether the unit behind a staging dir name
+    (``<ixp>__v<family>__<date>.t<token>``) has a published snapshot."""
+    stem, _sep, _token = name.rpartition(".t")
+    parts = stem.split("__")
+    if len(parts) != 3 or not parts[1].startswith("v"):
+        return False
+    try:
+        family = int(parts[1][1:])
+    except ValueError:
+        return False
+    try:
+        return store.has_snapshot(parts[0], family, parts[2])
+    except ValueError:
+        return False
+
+
+def _fsck_dispatch_state(store: DatasetStore, report: FsckReport,
+                         repair: bool, reclaim_age: float,
+                         now: float) -> None:
+    """Audit the reserved ``leases/`` and ``staging/`` directories.
+
+    Both are *coordination* state: lease dirs gate claims, staging
+    dirs hold in-flight shard output. A crashed-but-resumable campaign
+    leaves both behind legitimately, so only age past *reclaim_age*
+    makes them findings. Reclaiming a lease dir is safe with respect
+    to fencing — a zombie commit re-reads the current lease, and "no
+    lease at all" fails that ownership check exactly like a stolen
+    one; it does reset the unit's claim budget, which is the point of
+    reclaiming an abandoned unit.
+    """
+    leases_root = store.root / LEASES_DIR
+    if leases_root.is_dir():
+        for unit_dir in sorted(p for p in leases_root.iterdir()
+                               if p.is_dir()):
+            age = _lease_age(unit_dir, now)
+            if age is None:
+                mtime = _newest_mtime(unit_dir)
+                age = (now - mtime) if mtime is not None else None
+            if age is None or age <= reclaim_age:
+                continue
+            finding = FsckFinding(
+                path=unit_dir.relative_to(store.root).as_posix(),
+                kind="lease", damage_class=DAMAGE_ORPHANED,
+                detail=f"lease dir idle for {age:.0f}s "
+                       f"(> {reclaim_age:.0f}s reclaim age)")
+            if repair:
+                shutil.rmtree(unit_dir, ignore_errors=True)
+                finding.action = ACTION_RECLAIMED
+            report.findings.append(finding)
+
+    staging_root = store.root / STAGING_DIR
+    if staging_root.is_dir():
+        for shard_dir in sorted(p for p in staging_root.iterdir()
+                                if p.is_dir()):
+            mtime = _newest_mtime(shard_dir)
+            age = (now - mtime) if mtime is not None else None
+            if age is None or age <= reclaim_age:
+                continue
+            published = _staging_unit_published(store, shard_dir.name)
+            finding = FsckFinding(
+                path=shard_dir.relative_to(store.root).as_posix(),
+                kind="staging", damage_class=DAMAGE_ORPHANED,
+                detail=f"staging store idle for {age:.0f}s "
+                       f"(> {reclaim_age:.0f}s reclaim age; unit "
+                       + ("published)" if published
+                          else "never published)"))
+            if repair:
+                if published:
+                    # the unit's snapshot made it into the main tree —
+                    # this shard is superseded debris.
+                    shutil.rmtree(shard_dir, ignore_errors=True)
+                else:
+                    # unpublished collection output: quarantine,
+                    # never delete.
+                    destination = (store.root / QUARANTINE_DIR
+                                   / "orphan" / shard_dir.name)
+                    suffix = 0
+                    final = destination
+                    while final.exists():
+                        suffix += 1
+                        final = destination.with_name(
+                            f"{destination.name}.{suffix}")
+                    final.parent.mkdir(parents=True, exist_ok=True)
+                    shutil.move(str(shard_dir), str(final))
+                    sidecar = final.parent / (final.name
+                                              + ".orphan.json")
+                    sidecar.write_text(
+                        '{"reclaimed_at": "' + _utcnow()
+                        + '", "original": "'
+                        + (STAGING_DIR + "/" + shard_dir.name)
+                        + '"}\n', encoding="utf-8")
+                finding.action = ACTION_RECLAIMED
+            report.findings.append(finding)

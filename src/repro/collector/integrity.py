@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..io.faultfs import active_fs, with_fs_retries
 from .snapshot import REQUIRED_PAYLOAD_KEYS as _SNAPSHOT_KEYS
 
 #: magic marker distinguishing enveloped artefacts from legacy payloads.
@@ -58,11 +59,12 @@ DAMAGE_MISSING_ENTRY = "missing_manifest_entry"
 DAMAGE_MANIFEST_DRIFT = "manifest_drift"
 DAMAGE_MISSING_FILE = "missing_file"
 DAMAGE_ORPHAN_TEMP = "orphan_temp"
+DAMAGE_ORPHANED = "orphaned_dispatch"
 
 DAMAGE_CLASSES = (
     DAMAGE_TRUNCATED, DAMAGE_MALFORMED, DAMAGE_CHECKSUM, DAMAGE_SCHEMA,
     DAMAGE_MISSING_ENTRY, DAMAGE_MANIFEST_DRIFT, DAMAGE_MISSING_FILE,
-    DAMAGE_ORPHAN_TEMP,
+    DAMAGE_ORPHAN_TEMP, DAMAGE_ORPHANED,
 )
 
 #: top-level keys an artefact payload must carry, per kind — the
@@ -350,23 +352,46 @@ def atomic_write(path: Path, data: bytes, *, kind: str = "artefact",
 
     A failed write (any ordinary exception) removes its temp file; a
     :class:`SimulatedCrash` deliberately does not.
+
+    All filesystem calls go through :func:`repro.io.faultfs.active_fs`
+    and transient faults (``EIO``/``ESTALE``) are retried with the
+    shared full-jitter backoff; fatal ones (``ENOSPC``) escape as
+    :class:`~repro.io.faultfs.StorageUnavailable`.
     """
     crash = crash or _noop_crash
+    fs = active_fs()
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     temporary = path.parent / (
         f".{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}{TMP_SUFFIX}")
-    fsyncs = 0
+    fsyncs = [0]
     crash(f"{kind}:begin")
-    try:
-        with open(temporary, "wb") as handle:
+
+    def write_temp() -> None:
+        # idempotent under retry: the temp file is ours alone and is
+        # rewritten from scratch on every attempt.
+        with fs.open(temporary, "wb") as handle:
             handle.write(data)
             handle.flush()
             if durable:
-                os.fsync(handle.fileno())
-                fsyncs += 1
+                fs.fsync(handle.fileno())
+                fsyncs[0] += 1
+
+    def rename_into_place() -> None:
+        try:
+            fs.replace(temporary, path)
+        except FileNotFoundError:
+            # an ambiguously-failed earlier replace may have already
+            # consumed the temp file; the temp name is unique to this
+            # call, so temp-gone + target-present proves it was ours.
+            if not os.path.exists(temporary) and os.path.exists(path):
+                return
+            raise
+
+    try:
+        with_fs_retries(write_temp, label=f"{kind}:write")
         crash(f"{kind}:temp")
-        os.replace(temporary, path)
+        with_fs_retries(rename_into_place, label=f"{kind}:rename")
     except Exception:
         # note: SimulatedCrash is a BaseException and intentionally
         # skips this cleanup — crash debris is the point.
@@ -374,9 +399,9 @@ def atomic_write(path: Path, data: bytes, *, kind: str = "artefact",
             temporary.unlink()
         raise
     if durable and fsync_directory(path.parent):
-        fsyncs += 1
+        fsyncs[0] += 1
     crash(f"{kind}:renamed")
-    return fsyncs
+    return fsyncs[0]
 
 
 def atomic_publish(path: Path, data: bytes, *, kind: str = "artefact",
@@ -394,24 +419,37 @@ def atomic_publish(path: Path, data: bytes, *, kind: str = "artefact",
 
     Write boundaries: ``<kind>:begin``, ``<kind>:temp``,
     ``<kind>:published``.
+
+    Under an ambiguous ``link()`` fault (the operation succeeded on
+    the server but an error came back) the retry observes ``EEXIST``
+    and this function returns ``None`` exactly as if another writer
+    won — callers that care (``publish_snapshot_file``) resolve the
+    ambiguity by comparing the published content's digest to their
+    own.
     """
     crash = crash or _noop_crash
+    fs = active_fs()
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     temporary = path.parent / (
         f".{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}{TMP_SUFFIX}")
-    fsyncs = 0
+    fsyncs = [0]
     crash(f"{kind}:begin")
-    try:
-        with open(temporary, "wb") as handle:
+
+    def write_temp() -> None:
+        with fs.open(temporary, "wb") as handle:
             handle.write(data)
             handle.flush()
             if durable:
-                os.fsync(handle.fileno())
-                fsyncs += 1
+                fs.fsync(handle.fileno())
+                fsyncs[0] += 1
+
+    try:
+        with_fs_retries(write_temp, label=f"{kind}:write")
         crash(f"{kind}:temp")
         try:
-            os.link(temporary, path)
+            with_fs_retries(lambda: fs.link(temporary, path),
+                            label=f"{kind}:link")
         except FileExistsError:
             return None
         finally:
@@ -422,9 +460,9 @@ def atomic_publish(path: Path, data: bytes, *, kind: str = "artefact",
             temporary.unlink()
         raise
     if durable and fsync_directory(path.parent):
-        fsyncs += 1
+        fsyncs[0] += 1
     crash(f"{kind}:published")
-    return fsyncs
+    return fsyncs[0]
 
 
 # -- quarantine records --------------------------------------------------

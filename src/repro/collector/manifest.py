@@ -35,6 +35,7 @@ import datetime as _dt
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from ..io.faultfs import active_fs, with_fs_retries
 from .integrity import (
     CrashHook,
     IntegrityError,
@@ -76,7 +77,9 @@ class Manifest:
         """
         manifest = cls(directory)
         try:
-            data = manifest.path.read_bytes()
+            data = with_fs_retries(
+                lambda: active_fs().read_bytes(manifest.path),
+                label="manifest:read")
         except FileNotFoundError:
             return manifest
         try:

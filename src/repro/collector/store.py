@@ -53,6 +53,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
 from .. import obs
+from ..io.faultfs import StorageUnavailable, active_fs, with_fs_retries
 from ..ixp.dictionary import CommunityDictionary
 from .integrity import (
     ChecksumMismatchError,
@@ -199,8 +200,13 @@ class DatasetStore:
                 try:
                     scope.mkdir(parents=True, exist_ok=True)
                     handle = open(scope / MANIFEST_LOCK_NAME, "a+b")
-                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
-                except OSError:  # pragma: no cover - degraded lock
+                    fd = handle.fileno()
+                    with_fs_retries(
+                        lambda: active_fs().flock(fd, fcntl.LOCK_EX),
+                        label="manifest:flock")
+                except (OSError, StorageUnavailable):
+                    # degraded lock: thread-safety still holds; only
+                    # cross-process serialisation is lost.
                     if handle is not None:
                         handle.close()
                     handle = None
@@ -242,7 +248,8 @@ class DatasetStore:
         """Read + fully verify one artefact; returns ``(payload,
         sha256)``. Raises the :class:`IntegrityError` taxonomy (after
         metering) on damage."""
-        data = path.read_bytes()
+        data = with_fs_retries(lambda: active_fs().read_bytes(path),
+                               label="artefact:read")
         try:
             payload, digest, self_verified = decode_artefact(
                 data, kind=kind, gz=gz, path=path)
@@ -353,22 +360,43 @@ class DatasetStore:
         The dispatch commit path: *source* (a fully written snapshot
         artefact in a worker's staging store) is verified, then
         hard-linked into place with create-exclusive semantics — if the
-        date is already published, nothing is written and ``None``
-        comes back, so a late writer can never clobber a committed
-        shard. The manifest entry is recorded under the cross-process
-        guard, exactly like any other write.
+        date is already published *with different content*, nothing is
+        written and ``None`` comes back, so a late writer can never
+        clobber a committed shard. When the published content is
+        byte-equivalent to ours (same payload digest) the publish is
+        treated as an idempotent success: this is how an ambiguous
+        ``link()`` — the NFS retransmit that performed the operation
+        but reported an error — is resolved, and it also makes the
+        manifest entry converge when the ambiguous attempt died before
+        recording it. The manifest entry is recorded under the
+        cross-process guard, exactly like any other write.
 
         Raises :class:`IntegrityError` if *source* itself is damaged —
         damaged bytes are never merged.
         """
-        data = Path(source).read_bytes()
+        data = with_fs_retries(
+            lambda: active_fs().read_bytes(Path(source)),
+            label="staging:read")
         _payload, digest, _self_verified = decode_artefact(
             data, kind="snapshot", gz=True, path=Path(source))
         path = self._snapshot_path(ixp, family, date)
         fsyncs = atomic_publish(path, data, kind="snapshot",
                                 crash=self._crash)
         if fsyncs is None:
-            return None
+            # Someone already published. Us (ambiguous link) or a
+            # racing winner with identical bytes → idempotent success;
+            # different content → genuine refusal.
+            try:
+                published = with_fs_retries(
+                    lambda: active_fs().read_bytes(path),
+                    label="publish:verify")
+                _p, published_digest, _v = decode_artefact(
+                    published, kind="snapshot", gz=True, path=path)
+            except (OSError, StorageUnavailable, IntegrityError):
+                return None
+            if published_digest != digest:
+                return None
+            fsyncs = 0
         rel = path.relative_to(self._scope_dir(path)).as_posix()
         with self._manifest_guard(self._scope_dir(path)):
             manifest = Manifest.load(self._scope_dir(path))
@@ -587,7 +615,9 @@ class DatasetStore:
         return self._checkpoint_path(ixp, family, date).exists()
 
     def has_snapshot(self, ixp: str, family: int, date: str) -> bool:
-        return self._snapshot_path(ixp, family, date).exists()
+        # routed through the active filesystem so delayed-visibility
+        # faults can hide a freshly published date from another "host".
+        return active_fs().exists(self._snapshot_path(ixp, family, date))
 
     # -- run reports -------------------------------------------------------
 

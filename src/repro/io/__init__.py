@@ -1,0 +1,45 @@
+"""``repro.io`` — filesystem substrate with deterministic fault injection.
+
+The dataset store's durability story (PR 3) assumed a local POSIX
+filesystem: ``os.link`` either succeeds or fails, a rename is visible
+the instant it returns, ``stat`` never lies. Multi-*host* campaigns
+share one store directory over network filesystems where none of that
+holds — NFS retransmits make ``link()`` results ambiguous, attribute
+caches delay cross-host visibility, handles go stale, and writes hit
+``ENOSPC`` on a full export.
+
+:mod:`repro.io.faultfs` is the injectable shim every store-level
+filesystem operation goes through, plus the seeded
+:class:`~repro.io.faultfs.FsFaultPlan` that turns those hazards into
+deterministic, countable fault injections — the substrate of the
+multi-host chaos harness in ``tests/chaos``.
+"""
+
+from .faultfs import (
+    FAULT_AMBIGUOUS_LINK,
+    FAULT_EIO,
+    FAULT_ENOSPC,
+    FAULT_ESTALE,
+    FAULT_HIDDEN,
+    FAULT_SLOW,
+    FaultFS,
+    FileSystem,
+    FsFaultPlan,
+    FsFaultRule,
+    HostIdentity,
+    StorageUnavailable,
+    active_fs,
+    host_identity,
+    install,
+    is_fatal_fs_error,
+    is_transient_fs_error,
+    with_fs_retries,
+)
+
+__all__ = [
+    "FAULT_AMBIGUOUS_LINK", "FAULT_EIO", "FAULT_ENOSPC", "FAULT_ESTALE",
+    "FAULT_HIDDEN", "FAULT_SLOW", "FaultFS", "FileSystem", "FsFaultPlan",
+    "FsFaultRule", "HostIdentity", "StorageUnavailable", "active_fs",
+    "host_identity", "install", "is_fatal_fs_error",
+    "is_transient_fs_error", "with_fs_retries",
+]

@@ -1,0 +1,591 @@
+"""Deterministic filesystem fault injection for multi-host campaigns.
+
+Every filesystem operation the dataset store's durability machinery
+performs — create-exclusive ``link`` claims, ``replace`` publishes,
+``fsync``, ``stat``, manifest ``flock`` — goes through a
+:class:`FileSystem` shim instead of calling :mod:`os` directly. The
+default :class:`LocalFS` is a zero-cost passthrough; a :class:`FaultFS`
+wraps it with a seeded :class:`FsFaultPlan` that injects the failure
+modes a shared NFS export actually exhibits:
+
+``eio`` / ``estale``
+    transient errors a retry can clear (server hiccup, stale handle).
+``enospc``
+    a full export — *fatal*: retrying cannot help, the worker must
+    park rather than spin or corrupt.
+``ambiguous_link``
+    the classic NFS retransmit hazard: the ``link()``/``replace()``
+    **succeeded on the server** but the reply was lost, so the client
+    sees an error. The operation's effect is real; the caller must
+    resolve the ambiguity by *post-checking* state, never by assuming
+    failure.
+``hidden``
+    delayed cross-host visibility (attribute-cache staleness): a file
+    another host just created is not visible yet — ``stat``/``read``
+    raise ``FileNotFoundError``, ``exists`` answers ``False``, and
+    ``listdir`` omits the newest entry.
+``slow``
+    I/O latency without an error, for timing-window races.
+
+Faults fire deterministically: each :class:`FsFaultRule` matches an
+operation + path glob, skips its first ``start_after`` matching calls,
+then fires up to ``max_faults`` times (optionally gated by a seeded
+probability). Plans serialise to JSON and ship to worker subprocesses
+via the ``REPRO_FS_FAULT_PLAN`` environment variable, mirroring the
+``CrashSchedule`` pattern. Every injected fault is counted locally
+(for worker reports) and in ``repro_fs_faults_total{op,kind}``.
+
+The module also owns the two protocol ingredients the hardened lease
+layer needs: :func:`host_identity` (hostname + pid + per-process boot
+nonce, so fencing survives pid reuse across machines) and
+:func:`with_fs_retries` (shared full-jitter retry discipline that
+retries transient errors and lets fatal ones escape immediately).
+"""
+
+from __future__ import annotations
+
+import errno
+import fcntl
+import fnmatch
+import json
+import os
+import random
+import socket
+import threading
+import time
+import types
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+from .. import obs
+
+# --------------------------------------------------------------------------
+# fault taxonomy
+
+FAULT_EIO = "eio"
+FAULT_ESTALE = "estale"
+FAULT_ENOSPC = "enospc"
+FAULT_AMBIGUOUS_LINK = "ambiguous_link"
+FAULT_HIDDEN = "hidden"
+FAULT_SLOW = "slow"
+
+FAULT_KINDS = (FAULT_EIO, FAULT_ESTALE, FAULT_ENOSPC,
+               FAULT_AMBIGUOUS_LINK, FAULT_HIDDEN, FAULT_SLOW)
+
+#: operations the shim mediates; rules name one of these (or ``*``).
+FS_OPS = ("open", "fsync", "link", "replace", "stat", "read", "write",
+          "unlink", "listdir", "exists", "flock")
+
+#: errnos a bounded retry may clear.
+TRANSIENT_ERRNOS = frozenset({errno.EIO, errno.ESTALE})
+#: errnos where retrying is useless and the worker must park.
+FATAL_ERRNOS = frozenset({errno.ENOSPC, errno.EDQUOT, errno.EROFS})
+
+#: environment variable carrying a JSON FsFaultPlan into subprocesses.
+FAULT_PLAN_ENV = "REPRO_FS_FAULT_PLAN"
+
+
+class StorageUnavailable(Exception):
+    """The shared store is unusable (full, read-only, or persistently
+    erroring) — the worker should park (exit 2), not retry or spin."""
+
+    def __init__(self, message: str, *, errno_value: Optional[int] = None):
+        super().__init__(message)
+        self.errno_value = errno_value
+
+
+def is_transient_fs_error(exc: BaseException) -> bool:
+    """True when *exc* is an OSError a retry might clear."""
+    return isinstance(exc, OSError) and exc.errno in TRANSIENT_ERRNOS
+
+
+def is_fatal_fs_error(exc: BaseException) -> bool:
+    """True when *exc* is an OSError retrying can never clear."""
+    return isinstance(exc, OSError) and exc.errno in FATAL_ERRNOS
+
+
+# --------------------------------------------------------------------------
+# host identity
+
+_BOOT_NONCE: Optional[str] = None
+_BOOT_NONCE_LOCK = threading.Lock()
+
+
+def _boot_nonce() -> str:
+    """A per-process random nonce, stable for the process lifetime."""
+    global _BOOT_NONCE
+    if _BOOT_NONCE is None:
+        with _BOOT_NONCE_LOCK:
+            if _BOOT_NONCE is None:
+                _BOOT_NONCE = os.urandom(4).hex()
+    return _BOOT_NONCE
+
+
+@dataclass(frozen=True)
+class HostIdentity:
+    """Who holds a lease: host name, pid, and a boot nonce so a reused
+    pid on another machine (or a restarted process on the same one)
+    can never impersonate a dead holder."""
+
+    host: str
+    pid: int
+    nonce: str
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.pid}:{self.nonce}"
+
+    @classmethod
+    def parse(cls, text: str) -> "HostIdentity":
+        # format is host:pid:nonce — host may itself contain ':' only if
+        # the operator passed one via --host-id, so split from the right.
+        parts = text.rsplit(":", 2)
+        if len(parts) != 3:
+            return cls(host=text, pid=0, nonce="")
+        try:
+            pid_value = int(parts[1])
+        except ValueError:
+            pid_value = 0
+        return cls(host=parts[0], pid=pid_value, nonce=parts[2])
+
+
+def host_identity(host_name: Optional[str] = None) -> HostIdentity:
+    """This process's identity, with *host_name* overriding the
+    hostname (the CLI's ``--host-id`` lands here)."""
+    return HostIdentity(
+        host=host_name or socket.gethostname() or "localhost",
+        pid=os.getpid(),
+        nonce=_boot_nonce(),
+    )
+
+
+# --------------------------------------------------------------------------
+# filesystem shim
+
+
+class FileSystem:
+    """The operations the store-level durability code needs, routed
+    through one object so a fault injector can sit in front of them.
+    Paths are accepted as ``str`` or ``Path``."""
+
+    def open(self, path, mode: str = "r", **kwargs):
+        return open(path, mode, **kwargs)
+
+    def fsync(self, fd: int) -> None:
+        os.fsync(fd)
+
+    def link(self, src, dst) -> None:
+        os.link(src, dst)
+
+    def replace(self, src, dst) -> None:
+        os.replace(src, dst)
+
+    def stat(self, path) -> os.stat_result:
+        return os.stat(path)
+
+    def read_bytes(self, path) -> bytes:
+        return Path(path).read_bytes()
+
+    def write_bytes(self, path, data: bytes) -> int:
+        return Path(path).write_bytes(data)
+
+    def unlink(self, path) -> None:
+        os.unlink(path)
+
+    def listdir(self, path) -> List[str]:
+        return sorted(os.listdir(path))
+
+    def exists(self, path) -> bool:
+        return os.path.exists(path)
+
+    def flock(self, fd: int, flags: int) -> None:
+        fcntl.flock(fd, flags)
+
+
+class LocalFS(FileSystem):
+    """Direct passthrough to the local POSIX filesystem."""
+
+
+LOCAL_FS = LocalFS()
+
+
+# --------------------------------------------------------------------------
+# fault plans
+
+
+@dataclass
+class FsFaultRule:
+    """One deterministic fault: fire *kind* on operation *op* for paths
+    matching *path_glob*, after skipping the first *start_after*
+    matching calls, at most *max_faults* times."""
+
+    op: str
+    kind: str
+    path_glob: str = "*"
+    start_after: int = 0
+    max_faults: int = 1
+    probability: float = 1.0
+    delay: float = 0.0
+
+    # runtime counters (not serialised)
+    calls: int = field(default=0, repr=False, compare=False)
+    fired: int = field(default=0, repr=False, compare=False)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "op": self.op, "kind": self.kind, "path_glob": self.path_glob,
+            "start_after": self.start_after, "max_faults": self.max_faults,
+            "probability": self.probability, "delay": self.delay,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FsFaultRule":
+        kind = str(payload.get("kind", ""))
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind: {kind!r}")
+        op = str(payload.get("op", ""))
+        if op != "*" and op not in FS_OPS:
+            raise ValueError(f"unknown fs op: {op!r}")
+        return cls(
+            op=op,
+            kind=kind,
+            path_glob=str(payload.get("path_glob", "*")),
+            start_after=int(payload.get("start_after", 0)),
+            max_faults=int(payload.get("max_faults", 1)),
+            probability=float(payload.get("probability", 1.0)),
+            delay=float(payload.get("delay", 0.0)),
+        )
+
+    def matches(self, op: str, path: str) -> bool:
+        if self.op != "*" and self.op != op:
+            return False
+        return fnmatch.fnmatch(path, self.path_glob)
+
+
+@dataclass
+class FsFaultPlan:
+    """A seeded, bounded collection of fault rules. The seed drives the
+    probability gates only; with ``probability=1.0`` rules the plan is
+    fully deterministic regardless of seed."""
+
+    rules: List[FsFaultRule] = field(default_factory=list)
+    seed: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "version": 1,
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FsFaultPlan":
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError("fault plan must be a JSON object")
+        rules = [FsFaultRule.from_dict(entry)
+                 for entry in payload.get("rules", [])]
+        return cls(rules=rules, seed=int(payload.get("seed", 0)))
+
+
+_METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
+    faults=reg.counter(
+        "repro_fs_faults_total",
+        "Filesystem faults injected by faultfs, by operation and kind",
+        ("op", "kind")),
+    retries=reg.counter(
+        "repro_fs_retries_total",
+        "Retries of store filesystem operations after transient faults",
+        ("op",)),
+))
+
+
+def record_fault_counts(counts: Dict[str, int]) -> None:
+    """Fold externally observed fault counts (a worker subprocess's
+    report) into ``repro_fs_faults_total`` — keys are ``op:kind``."""
+    metrics = _METRICS()
+    for key, value in counts.items():
+        op, _, kind = key.partition(":")
+        if value:
+            metrics.faults.labels(op or "unknown",
+                                  kind or "unknown").inc(int(value))
+
+
+def record_retry(op: str, count: int = 1) -> None:
+    if count:
+        _METRICS().retries.labels(op).inc(count)
+
+
+class FaultFS(FileSystem):
+    """A :class:`FileSystem` that consults an :class:`FsFaultPlan`
+    before delegating to an inner filesystem.
+
+    ``ambiguous_link`` is the interesting one: the real operation is
+    *performed first*, then the error is raised — exactly the NFS
+    retransmit hazard where the server applied the call but the client
+    never saw the reply.
+    """
+
+    def __init__(self, plan: FsFaultPlan,
+                 inner: Optional[FileSystem] = None,
+                 sleep: Callable[[float], None] = time.sleep):
+        self.plan = plan
+        self.inner = inner or LOCAL_FS
+        self.sleep = sleep
+        self.rng = random.Random(plan.seed)
+        self.fault_counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- plan consultation -------------------------------------------------
+
+    def _consult(self, op: str, path) -> Optional[FsFaultRule]:
+        text = str(path)
+        with self._lock:
+            for rule in self.plan.rules:
+                if not rule.matches(op, text):
+                    continue
+                rule.calls += 1
+                if rule.calls <= rule.start_after:
+                    continue
+                if rule.fired >= rule.max_faults:
+                    continue
+                if rule.probability < 1.0 and \
+                        self.rng.random() >= rule.probability:
+                    continue
+                rule.fired += 1
+                key = f"{op}:{rule.kind}"
+                self.fault_counts[key] = self.fault_counts.get(key, 0) + 1
+                _METRICS().faults.labels(op, rule.kind).inc()
+                return rule
+        return None
+
+    def _raise(self, rule: FsFaultRule, op: str, path) -> None:
+        if rule.kind == FAULT_EIO:
+            raise OSError(errno.EIO, f"faultfs: injected EIO on {op}",
+                          str(path))
+        if rule.kind == FAULT_ESTALE:
+            raise OSError(errno.ESTALE,
+                          f"faultfs: injected ESTALE on {op}", str(path))
+        if rule.kind == FAULT_ENOSPC:
+            raise OSError(errno.ENOSPC,
+                          f"faultfs: injected ENOSPC on {op}", str(path))
+        raise AssertionError(f"unreachable fault kind {rule.kind}")
+
+    # -- mediated operations ----------------------------------------------
+
+    def open(self, path, mode: str = "r", **kwargs):
+        rule = self._consult("open", path)
+        if rule is not None:
+            if rule.kind == FAULT_SLOW:
+                self.sleep(rule.delay)
+            elif rule.kind == FAULT_HIDDEN:
+                raise FileNotFoundError(
+                    errno.ENOENT, "faultfs: not yet visible", str(path))
+            else:
+                self._raise(rule, "open", path)
+        return self.inner.open(path, mode, **kwargs)
+
+    def fsync(self, fd: int) -> None:
+        rule = self._consult("fsync", f"fd:{fd}")
+        if rule is not None:
+            if rule.kind == FAULT_SLOW:
+                self.sleep(rule.delay)
+            else:
+                self._raise(rule, "fsync", f"fd:{fd}")
+        self.inner.fsync(fd)
+
+    def link(self, src, dst) -> None:
+        rule = self._consult("link", dst)
+        if rule is not None:
+            if rule.kind == FAULT_SLOW:
+                self.sleep(rule.delay)
+            elif rule.kind == FAULT_AMBIGUOUS_LINK:
+                # the NFS retransmit hazard: the server performed the
+                # link, the client saw an error.
+                self.inner.link(src, dst)
+                raise OSError(errno.EIO,
+                              "faultfs: ambiguous link (performed)",
+                              str(dst))
+            else:
+                self._raise(rule, "link", dst)
+        self.inner.link(src, dst)
+
+    def replace(self, src, dst) -> None:
+        rule = self._consult("replace", dst)
+        if rule is not None:
+            if rule.kind == FAULT_SLOW:
+                self.sleep(rule.delay)
+            elif rule.kind == FAULT_AMBIGUOUS_LINK:
+                self.inner.replace(src, dst)
+                raise OSError(errno.EIO,
+                              "faultfs: ambiguous replace (performed)",
+                              str(dst))
+            else:
+                self._raise(rule, "replace", dst)
+        self.inner.replace(src, dst)
+
+    def stat(self, path) -> os.stat_result:
+        rule = self._consult("stat", path)
+        if rule is not None:
+            if rule.kind == FAULT_SLOW:
+                self.sleep(rule.delay)
+            elif rule.kind == FAULT_HIDDEN:
+                raise FileNotFoundError(
+                    errno.ENOENT, "faultfs: not yet visible", str(path))
+            else:
+                self._raise(rule, "stat", path)
+        return self.inner.stat(path)
+
+    def read_bytes(self, path) -> bytes:
+        rule = self._consult("read", path)
+        if rule is not None:
+            if rule.kind == FAULT_SLOW:
+                self.sleep(rule.delay)
+            elif rule.kind == FAULT_HIDDEN:
+                raise FileNotFoundError(
+                    errno.ENOENT, "faultfs: not yet visible", str(path))
+            else:
+                self._raise(rule, "read", path)
+        return self.inner.read_bytes(path)
+
+    def write_bytes(self, path, data: bytes) -> int:
+        rule = self._consult("write", path)
+        if rule is not None:
+            if rule.kind == FAULT_SLOW:
+                self.sleep(rule.delay)
+            else:
+                self._raise(rule, "write", path)
+        return self.inner.write_bytes(path, data)
+
+    def unlink(self, path) -> None:
+        rule = self._consult("unlink", path)
+        if rule is not None:
+            if rule.kind == FAULT_SLOW:
+                self.sleep(rule.delay)
+            else:
+                self._raise(rule, "unlink", path)
+        self.inner.unlink(path)
+
+    def listdir(self, path) -> List[str]:
+        entries = self.inner.listdir(path)
+        rule = self._consult("listdir", path)
+        if rule is not None:
+            if rule.kind == FAULT_SLOW:
+                self.sleep(rule.delay)
+            elif rule.kind == FAULT_HIDDEN:
+                # attribute-cache staleness: the *newest* entry (the
+                # one another host just created) is not visible yet.
+                return entries[:-1] if entries else entries
+            else:
+                self._raise(rule, "listdir", path)
+        return entries
+
+    def exists(self, path) -> bool:
+        rule = self._consult("exists", path)
+        if rule is not None:
+            if rule.kind == FAULT_SLOW:
+                self.sleep(rule.delay)
+            elif rule.kind == FAULT_HIDDEN:
+                return False
+            else:
+                self._raise(rule, "exists", path)
+        return self.inner.exists(path)
+
+    def flock(self, fd: int, flags: int) -> None:
+        rule = self._consult("flock", f"fd:{fd}")
+        if rule is not None:
+            if rule.kind == FAULT_SLOW:
+                self.sleep(rule.delay)
+            else:
+                self._raise(rule, "flock", f"fd:{fd}")
+        self.inner.flock(fd, flags)
+
+
+# --------------------------------------------------------------------------
+# process-global active filesystem
+
+_ACTIVE_FS: FileSystem = LOCAL_FS
+_ACTIVE_LOCK = threading.Lock()
+
+
+def active_fs() -> FileSystem:
+    """The filesystem store-level code should route through."""
+    return _ACTIVE_FS
+
+
+def install(fs: FileSystem) -> FileSystem:
+    """Install *fs* as the process-global filesystem; returns the
+    previous one so tests can restore it."""
+    global _ACTIVE_FS
+    with _ACTIVE_LOCK:
+        previous = _ACTIVE_FS
+        _ACTIVE_FS = fs
+    return previous
+
+
+def deactivate() -> None:
+    """Restore the passthrough local filesystem."""
+    install(LOCAL_FS)
+
+
+def install_from_env(environ=None) -> Optional[FaultFS]:
+    """Install a :class:`FaultFS` from ``REPRO_FS_FAULT_PLAN`` if the
+    variable is set (worker subprocesses call this at startup)."""
+    env = environ if environ is not None else os.environ
+    text = env.get(FAULT_PLAN_ENV)
+    if not text:
+        return None
+    fs = FaultFS(FsFaultPlan.from_json(text))
+    install(fs)
+    return fs
+
+
+# --------------------------------------------------------------------------
+# retry discipline
+
+T = TypeVar("T")
+
+#: default retry budget for store-level operations.
+FS_RETRY_ATTEMPTS = 6
+FS_RETRY_BASE = 0.005
+FS_RETRY_CAP = 0.1
+
+
+def with_fs_retries(operation: Callable[[], T], *, label: str,
+                    attempts: int = FS_RETRY_ATTEMPTS,
+                    base: float = FS_RETRY_BASE,
+                    cap: float = FS_RETRY_CAP,
+                    rng: Optional[random.Random] = None,
+                    sleep: Callable[[float], None] = time.sleep) -> T:
+    """Run *operation*, retrying transient filesystem errors with the
+    shared full-jitter backoff.
+
+    Fatal errors (``ENOSPC``/``EDQUOT``/``EROFS``) escape as
+    :class:`StorageUnavailable` immediately — retrying a full disk only
+    delays the inevitable. A transient errno that survives the whole
+    budget is persistent by definition and also escapes as
+    :class:`StorageUnavailable`. Non-OSError exceptions and OSErrors
+    outside both sets (``FileExistsError``, ``FileNotFoundError``, …)
+    propagate untouched: they are *outcomes*, not faults.
+    """
+    from ..net.backoff import full_jitter_delay
+
+    last: Optional[OSError] = None
+    for attempt in range(max(1, attempts)):
+        try:
+            return operation()
+        except OSError as exc:
+            if is_fatal_fs_error(exc):
+                raise StorageUnavailable(
+                    f"{label}: fatal storage error: {exc}",
+                    errno_value=exc.errno) from exc
+            if not is_transient_fs_error(exc):
+                raise
+            last = exc
+            if attempt + 1 < max(1, attempts):
+                record_retry(label)
+                sleep(full_jitter_delay(attempt, base, cap, rng))
+    raise StorageUnavailable(
+        f"{label}: transient storage error persisted after "
+        f"{max(1, attempts)} attempts: {last}",
+        errno_value=getattr(last, "errno", None)) from last

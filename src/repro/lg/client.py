@@ -39,6 +39,7 @@ from typing import Any, Dict, Iterator, List, Optional
 from .. import obs
 from ..bgp.route import Route
 from ..ixp.dictionary import CommunityDictionary
+from ..net.backoff import full_jitter_delay
 from . import api
 from .breaker import CircuitBreaker
 
@@ -200,10 +201,8 @@ class LookingGlassClient:
         return self._get_raw(self._url(resource))
 
     def _backoff_delay(self, attempt: int) -> float:
-        ceiling = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
-        if not self.jitter:
-            return ceiling
-        return self.rng.uniform(0.0, ceiling)
+        return full_jitter_delay(attempt, self.backoff_base,
+                                 self.backoff_cap, self.rng, self.jitter)
 
     @property
     def _mount_labels(self) -> tuple:

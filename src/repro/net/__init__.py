@@ -9,14 +9,19 @@ Both HTTP front doors of this repository — the simulated Looking Glass
   client to retry "in 0 seconds"), and
 * a :class:`ShutdownLatch` that turns SIGINT/SIGTERM into an event a
   foreground server can block on, instead of polling ``time.sleep``
-  loops that only ``KeyboardInterrupt`` can break.
+  loops that only ``KeyboardInterrupt`` can break, and
+* the shared full-jitter backoff schedule (:mod:`repro.net.backoff`)
+  every retry loop in the repository draws its delays from — the LG
+  client, dispatch work stealing, and filesystem fault retries.
 
 Keeping them here (rather than inside ``repro.lg``) lets the query
 service depend on the rate limiter without importing the Looking
 Glass, route servers, and workload machinery behind it.
 """
 
+from .backoff import FullJitterBackoff, full_jitter_delay
 from .ratelimit import MIN_RETRY_AFTER, TokenBucket
 from .shutdown import ShutdownLatch
 
-__all__ = ["TokenBucket", "MIN_RETRY_AFTER", "ShutdownLatch"]
+__all__ = ["TokenBucket", "MIN_RETRY_AFTER", "ShutdownLatch",
+           "FullJitterBackoff", "full_jitter_delay"]

@@ -1,0 +1,79 @@
+"""Shared full-jitter exponential backoff.
+
+Three subsystems independently grew the same retry discipline — the LG
+client backing off transient HTTP failures, dispatch workers backing
+off a fully leased unit list, and (new) filesystem-level retries over
+NFS-style transient faults. They all want the AWS-style *full jitter*
+schedule: an exponentially growing ceiling ``min(cap, base * 2**n)``
+with the actual delay drawn uniformly from ``[0, ceiling)`` so a crowd
+of contenders never re-converges on the same instant.
+
+This module is that one implementation. :func:`full_jitter_delay` is
+the pure function (callers that already hold an attempt counter and an
+rng, like the LG client); :class:`FullJitterBackoff` carries the round
+counter, rng, and sleep hook for callers that want a stateful
+``pause()`` / ``reset()`` pair (the dispatch steal loop, faultfs
+retries).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+#: ceiling growth stops doubling past this round — 2**16 dwarfs any
+#: sane cap, so larger exponents only risk float overflow.
+MAX_BACKOFF_ROUND = 16
+
+
+def full_jitter_delay(attempt: int, base: float, cap: float,
+                      rng: Optional[random.Random] = None,
+                      jitter: bool = True) -> float:
+    """One full-jitter delay for the Nth (0-based) retry round.
+
+    With ``jitter=False`` the deterministic ceiling itself is returned
+    (exact-delay tests); otherwise the delay is drawn uniformly from
+    ``[0, ceiling)`` using *rng* (or the module's shared rng).
+    """
+    exponent = min(max(attempt, 0), MAX_BACKOFF_ROUND)
+    ceiling = min(cap, base * (2 ** exponent))
+    if not jitter:
+        return ceiling
+    return (rng if rng is not None else _SHARED_RNG).uniform(0.0, ceiling)
+
+
+#: rng behind callers that do not care about reproducing exact delays.
+_SHARED_RNG = random.Random(0xB0FF)
+
+
+@dataclass
+class FullJitterBackoff:
+    """Stateful full-jitter schedule: ``pause()`` sleeps the next
+    delay and advances the round; ``reset()`` rewinds after progress.
+    """
+
+    base: float = 0.05
+    cap: float = 1.0
+    jitter: bool = True
+    rng: random.Random = field(
+        default_factory=lambda: random.Random(0xB0FF))
+    sleep: Callable[[float], None] = time.sleep
+    round: int = 0
+
+    def delay(self) -> float:
+        """The next delay, advancing the round (no sleep)."""
+        value = full_jitter_delay(self.round, self.base, self.cap,
+                                  self.rng, self.jitter)
+        self.round = min(self.round + 1, MAX_BACKOFF_ROUND)
+        return value
+
+    def pause(self) -> float:
+        """Sleep the next delay; returns the seconds slept."""
+        value = self.delay()
+        self.sleep(value)
+        return value
+
+    def reset(self) -> None:
+        self.round = 0

@@ -68,8 +68,12 @@ class RoutePolicy:
             return False
         if peer_asn in self.allow_peers:
             return True
+        # deny_all is only ever set explicitly (dna-all) or by the
+        # announce-only default flip, and the flip is already
+        # suppressed by an explicit announce-to-all at compile time —
+        # so a surviving deny_all is a deny, even against allow-all.
         if self.deny_all:
-            return self.allow_all_explicit
+            return False
         return True
 
     def prepends_for(self, peer_asn: int) -> int:

@@ -1,0 +1,195 @@
+"""Multi-host chaos: two dispatch coordinators, one store, bad NFS.
+
+Two :class:`DispatchCoordinator` instances with distinct host
+identities (``hostA``/``hostB``) race over the same dataset store while
+every worker's filesystem is wrapped in a seeded
+:class:`FsFaultPlan` injecting the failure modes a shared NFS export
+actually exhibits — transient EIO/ESTALE, the ambiguous
+performed-but-errored ``link``, and delayed cross-host visibility.
+
+The acceptance bar: no injected fault may quarantine good data or let
+fenced/zombie output merge. After the dust settles the store must fsck
+clean and the snapshots and analysis bundle must be byte-identical to
+a fault-free serial run; every injected fault class must be visible in
+the metrics registry.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.collector import DatasetStore, fsck_store
+from repro.collector.dispatch import (
+    WORKER_STORAGE_EXIT,
+    DispatchCoordinator,
+    WorkUnit,
+)
+from repro.io.faultfs import FsFaultPlan, FsFaultRule
+from repro.lg import LookingGlassServer
+
+from .test_dispatch_chaos import (
+    DATES,
+    IXPS,
+    _analysis_essence,
+    _dispatch_config,
+    _serial_control,
+    _snapshot_essence,
+    mounts,  # noqa: F401  (fixture re-export)
+)
+
+
+def _nfs_plan(seed=1):
+    """Each worker subprocess gets a fresh copy of these rules — every
+    fault class the shim knows, aimed at the paths the lease/commit
+    protocol actually touches."""
+    return FsFaultPlan(seed=seed, rules=[
+        # the NFS retransmit hazard on the create-exclusive claim
+        FsFaultRule(op="link", kind="ambiguous_link",
+                    path_glob="*/leases/*", max_faults=1),
+        # ... and on the snapshot publish link
+        FsFaultRule(op="link", kind="ambiguous_link",
+                    path_glob="*.json.gz", max_faults=1),
+        # transient write error on the lease temp file
+        FsFaultRule(op="write", kind="eio",
+                    path_glob="*/leases/*", max_faults=1),
+        # stale handle on a manifest read (retried)
+        FsFaultRule(op="read", kind="estale",
+                    path_glob="*MANIFEST.json", max_faults=1),
+        # attribute-cache staleness: a fresh snapshot not visible yet
+        FsFaultRule(op="exists", kind="hidden",
+                    path_glob="*.json.gz", max_faults=1),
+        # ... and a claim file missing from a lease dir listing
+        FsFaultRule(op="listdir", kind="hidden",
+                    path_glob="*/leases/*", max_faults=1),
+        FsFaultRule(op="fsync", kind="eio", max_faults=1),
+        FsFaultRule(op="open", kind="slow", delay=0.005, max_faults=2),
+    ])
+
+
+def _host_config(url, host, plan, **overrides):
+    return _dispatch_config(
+        url, workers=2, host_id=host, clock_skew_budget=0.5,
+        lease_ttl=3.0,
+        fs_fault_plan=json.loads(plan.to_json()) if plan else None,
+        **overrides)
+
+
+class TestTwoHostConvergence:
+    def test_two_hosts_under_nfs_faults_converge(self, mounts,  # noqa: F811
+                                                 tmp_path):
+        obs.disable()
+        registry = obs.enable()
+        try:
+            lg = LookingGlassServer(mounts, port=0,
+                                    rate_per_second=100_000,
+                                    burst=100_000)
+            with lg.serve() as url:
+                store_root = tmp_path / "shared"
+                store = DatasetStore(store_root)
+
+                reports = {}
+
+                def run_host(host):
+                    coordinator = DispatchCoordinator(
+                        DatasetStore(store_root),
+                        _host_config(url, host, _nfs_plan()))
+                    reports[host] = coordinator.run()
+
+                threads = [threading.Thread(target=run_host,
+                                            args=(host,))
+                           for host in ("hostA", "hostB")]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=300)
+                assert reports, "no coordinator finished"
+
+                # chaos may park a round resumable — resume fault-free
+                # until both hosts agree the campaign is complete
+                for _round in range(5):
+                    if all(r.complete for r in reports.values()):
+                        break
+                    for host in ("hostA", "hostB"):
+                        if not reports[host].complete:
+                            reports[host] = DispatchCoordinator(
+                                DatasetStore(store_root),
+                                _host_config(url, host, None)).run()
+                assert all(r.complete for r in reports.values()), \
+                    {h: r.to_dict() for h, r in reports.items()}
+
+                # quiesced store: fsck-clean, no quarantined good data
+                report = fsck_store(store)
+                assert report.clean, report.format_summary()
+                assert not store.quarantine_records()
+
+                # byte-identical to the fault-free serial control
+                control_root = tmp_path / "control"
+                _serial_control(url, control_root)
+                for ixp in IXPS:
+                    for date in DATES:
+                        assert (_snapshot_essence(store_root, ixp,
+                                                  date)
+                                == _snapshot_essence(control_root,
+                                                     ixp, date)), \
+                            f"{ixp}/{date} diverged under faults"
+                assert (_analysis_essence(store_root)
+                        == _analysis_essence(control_root))
+
+                # every injected fault class surfaced in the reports
+                # and the registry (coordinator folds worker counts in)
+                combined = {}
+                for host_report in reports.values():
+                    for key, value in host_report.fs_faults.items():
+                        combined[key] = combined.get(key, 0) + value
+                kinds = {key.partition(":")[2] for key in combined}
+                assert "ambiguous_link" in kinds, combined
+                assert {"eio", "estale"} & kinds, combined
+                for key, value in combined.items():
+                    op, _, kind = key.partition(":")
+                    assert registry.value("repro_fs_faults_total",
+                                          op, kind) >= value
+        finally:
+            obs.disable()
+
+
+class TestStorageParking:
+    def test_enospc_parks_the_worker_not_the_data(self, mounts,  # noqa: F811
+                                                  tmp_path):
+        """A full export must park the worker (exit 2) — no spin, no
+        quarantine — and a later fault-free resume completes."""
+        obs.disable()
+        registry = obs.enable()
+        try:
+            lg = LookingGlassServer(mounts, port=0,
+                                    rate_per_second=100_000,
+                                    burst=100_000)
+            with lg.serve() as url:
+                store_root = tmp_path / "full-disk"
+                store = DatasetStore(store_root)
+                plan = FsFaultPlan(rules=[
+                    FsFaultRule(op="write", kind="enospc",
+                                path_glob="*/leases/*",
+                                max_faults=1_000_000)])
+                report = DispatchCoordinator(
+                    store,
+                    _host_config(url, "hostA", plan,
+                                 worker_restarts=3)).run()
+                assert not report.complete
+                assert report.worker_parks >= 1
+                # parked workers are not burned restarts
+                assert report.worker_crashes == 0
+                assert registry.value(
+                    "repro_dispatch_workers_parked_total") >= 1
+                assert not store.quarantine_records()
+
+                resumed = DispatchCoordinator(
+                    store, _host_config(url, "hostA", None)).run()
+                assert resumed.complete, resumed.to_dict()
+                assert fsck_store(store).clean
+        finally:
+            obs.disable()
+
+    def test_storage_exit_code_is_distinct(self):
+        assert WORKER_STORAGE_EXIT == 2

@@ -14,7 +14,9 @@ import os
 import pytest
 
 from repro.collector import DatasetStore, fsck_store
+from repro.collector.integrity import decode_artefact, encode_artefact
 from repro.collector.dispatch import (
+    LEASE_SUFFIX,
     WORKER_CRASH_EXIT,
     DispatchConfig,
     DispatchWorker,
@@ -164,6 +166,114 @@ class TestLeaseProtocol:
         assert current.token == second.token
 
 
+class TestLeaseHardening:
+    """Multi-host lease semantics: host identity in ownership checks,
+    ambiguous-link claim resolution, and clock-skew expiry."""
+
+    def test_same_holder_host_scoping(self):
+        lease = Lease(unit=UNIT.key, owner="w0", token=1,
+                      acquired_at=0.0, renewed_at=0.0, ttl=10.0,
+                      host="hostA:10:aa")
+        assert lease.same_holder("w0", "hostA:10:aa")
+        assert not lease.same_holder("w0", "hostB:10:aa")
+        assert not lease.same_holder("w1", "hostA:10:aa")
+        # legacy leases (or callers) without a host match on owner
+        assert lease.same_holder("w0", "")
+        legacy = Lease(unit=UNIT.key, owner="w0", token=1,
+                       acquired_at=0.0, renewed_at=0.0, ttl=10.0)
+        assert legacy.same_holder("w0", "hostB:10:aa")
+
+    def test_same_owner_name_on_other_host_is_fenced(self, tmp_path,
+                                                     clock):
+        """Coordinators all name their workers w0, w1, … — the host
+        string is what keeps host B's w0 from renewing host A's
+        lease."""
+        a = LeaseManager(tmp_path, ttl=10.0, clock=clock,
+                         host="hostA:1:aa")
+        b = LeaseManager(tmp_path, ttl=10.0, clock=clock,
+                         host="hostB:2:bb")
+        lease = a.claim(UNIT.key, "w0")
+        assert lease is not None
+        foreign = Lease(
+            unit=lease.unit, owner=lease.owner, token=lease.token,
+            acquired_at=lease.acquired_at,
+            renewed_at=lease.renewed_at, ttl=lease.ttl,
+            host=b.host)
+        assert not b.renew(foreign)
+        assert not b.release(foreign)
+        assert a.renew(lease)
+
+    def test_ambiguous_link_claim_is_resolved_as_ours(self, tmp_path,
+                                                      clock):
+        """The NFS retransmit hazard on the claim link: the link
+        happened, the caller saw EIO. The post-check reads the claim
+        back, recognises itself, and keeps the lease instead of
+        abandoning a unit it actually holds."""
+        from repro.io.faultfs import (
+            FaultFS, FsFaultPlan, FsFaultRule, install, deactivate)
+
+        plan = FsFaultPlan(rules=[FsFaultRule(
+            op="link", kind="ambiguous_link",
+            path_glob="*" + LEASE_SUFFIX)])
+        previous = install(FaultFS(plan))
+        try:
+            leases = LeaseManager(tmp_path, ttl=10.0, clock=clock,
+                                  host="hostA:1:aa")
+            lease = leases.claim(UNIT.key, "w0")
+            assert lease is not None
+            assert leases.ambiguity_resolved == 1
+            # the claim is fully functional: renewable, releasable
+            assert leases.renew(lease)
+            assert leases.release(lease)
+        finally:
+            install(previous)
+            deactivate()
+
+    def test_future_dated_lease_is_judged_by_monotonic_watch(
+            self, tmp_path, clock):
+        """A holder whose wall clock runs far ahead writes renewed_at
+        stamps that look alive forever. With a skew budget the watcher
+        stops believing them and expires the lease only after a full
+        TTL of *its own* monotonic time without the stamp changing."""
+        mono_now = [0.0]
+        watcher = LeaseManager(tmp_path, ttl=10.0, clock=clock,
+                               host="hostA:1:aa", skew_budget=1.0,
+                               mono=lambda: mono_now[0])
+        ahead = FakeClock(clock.now + 500.0)  # way past the budget
+        skewed = LeaseManager(tmp_path, ttl=10.0, clock=ahead,
+                              host="hostB:2:bb")
+        lease = skewed.claim(UNIT.key, "w0")
+        assert lease is not None
+
+        current = watcher.current(UNIT.key)
+        assert not watcher.expired(current)  # first sighting: watch
+        assert watcher.skew_observations == 1
+        mono_now[0] += 5.0
+        assert not watcher.expired(watcher.current(UNIT.key))
+
+        # the skewed holder renews (its clock keeps running ahead):
+        # the changed stamp restarts the stopwatch
+        ahead.tick(5.0)
+        assert skewed.renew(lease)
+        mono_now[0] += 6.0  # 11s after first sighting, 6s after renew
+        assert not watcher.expired(watcher.current(UNIT.key))
+        mono_now[0] += 10.5  # a full TTL with no further renewal
+        assert watcher.expired(watcher.current(UNIT.key))
+        thief = watcher.claim(UNIT.key, "w1")
+        assert thief is not None and thief.stolen
+
+    def test_skew_budget_grace_on_stale_side(self, tmp_path, clock):
+        """elapsed just past the TTL but within the budget is still
+        alive — skew grace applies symmetrically."""
+        manager = LeaseManager(tmp_path, ttl=10.0, clock=clock,
+                               skew_budget=2.0)
+        lease = manager.claim(UNIT.key, "w0")
+        clock.tick(11.0)  # past ttl, inside ttl+budget
+        assert not manager.expired(manager.current(UNIT.key))
+        clock.tick(1.5)  # past ttl+budget
+        assert manager.expired(manager.current(UNIT.key))
+
+
 class TestWorkerCrashSchedule:
     def test_roundtrip_through_json(self):
         plan = (WorkerCrashSchedule()
@@ -308,8 +418,37 @@ class TestPublishExclusivity:
             published = main._snapshot_path(UNIT.ixp, UNIT.family,
                                             UNIT.date)
             before = published.read_bytes()
-            # a second publish of the same date loses, bytes unchanged
+            # re-publishing identical bytes is an idempotent success
+            # (how an ambiguous link() is resolved), bytes unchanged
             again = main.publish_snapshot_file(
                 UNIT.ixp, UNIT.family, UNIT.date, published)
+            assert again == published
+            assert published.read_bytes() == before
+
+    def test_publish_snapshot_file_refuses_different_content(
+            self, tmp_path, clock, lg_world):
+        _generator, server = lg_world("bcix", 4)
+        lg = LookingGlassServer({("bcix", 4): server}, port=0,
+                                rate_per_second=100_000, burst=100_000)
+        with lg.serve() as url:
+            store_root = tmp_path / "ds"
+            worker = _worker(store_root, url, [UNIT], clock)
+            worker.run()
+            main = DatasetStore(store_root)
+            published = main._snapshot_path(UNIT.ixp, UNIT.family,
+                                            UNIT.date)
+            before = published.read_bytes()
+            # forge a staged snapshot with a different payload: a
+            # fenced writer with divergent content must still lose
+            payload, _digest, _v = decode_artefact(
+                before, kind="snapshot", gz=True)
+            forged = dict(payload)
+            forged["meta"] = dict(forged.get("meta") or {},
+                                  forged_by="zombie")
+            data, _d = encode_artefact(forged, "snapshot", gz=True)
+            staged = tmp_path / "forged.json.gz"
+            staged.write_bytes(data)
+            again = main.publish_snapshot_file(
+                UNIT.ixp, UNIT.family, UNIT.date, staged)
             assert again is None
             assert published.read_bytes() == before

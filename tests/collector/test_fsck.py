@@ -128,3 +128,70 @@ class TestRepair:
         assert parsed["counts"] == {"malformed": 1}
         assert parsed["findings"][0]["path"] \
             == f"linx/v4/{DATES[0]}.json.gz"
+
+
+class TestDispatchReclaim:
+    """Orphaned ``leases/`` and ``staging/`` auditing and reclaim."""
+
+    WEEK = 7 * 24 * 3600.0
+
+    def _lease_dir(self, store, name="linx__v4__2021-07-19"):
+        unit_dir = store.root / "leases" / name
+        unit_dir.mkdir(parents=True)
+        (unit_dir / "claim-1.lease.json").write_text("not a lease")
+        return unit_dir
+
+    def _staging_dir(self, store, name):
+        shard = store.root / "staging" / name
+        shard.mkdir(parents=True)
+        (shard / "linx").mkdir()
+        (shard / "linx" / "partial.json").write_text("{}")
+        return shard
+
+    def test_fresh_dispatch_state_is_not_a_finding(self, store):
+        self._lease_dir(store)
+        self._staging_dir(store, "linx__v4__2021-07-19.t1")
+        assert fsck_store(store).clean
+
+    def test_aged_state_is_audited_without_repair(self, store):
+        import time
+
+        lease = self._lease_dir(store)
+        shard = self._staging_dir(store, "linx__v9__nonsense.t1")
+        report = fsck_store(store, now=time.time() + 2 * self.WEEK)
+        assert report.counts["orphaned_dispatch"] == 2
+        assert all(f.action is None for f in report.findings)
+        assert lease.exists() and shard.exists()
+
+    def test_repair_reclaims_lease_and_quarantines_staging(self, store):
+        import time
+
+        lease = self._lease_dir(store)
+        shard = self._staging_dir(store, "other__v4__2021-01-01.t2")
+        report = fsck_store(store, repair=True,
+                            now=time.time() + 2 * self.WEEK)
+        assert all(f.action == "reclaimed" for f in report.findings)
+        assert not lease.exists()
+        # unpublished staging output is preserved, never deleted
+        assert not shard.exists()
+        moved = (store.root / "quarantine" / "orphan"
+                 / "other__v4__2021-01-01.t2")
+        assert (moved / "linx" / "partial.json").is_file()
+        assert (moved.parent / (moved.name + ".orphan.json")).is_file()
+        assert fsck_store(store).clean
+
+    def test_repair_deletes_superseded_published_staging(self, store):
+        import time
+
+        shard = self._staging_dir(store, f"linx__v4__{DATES[0]}.t1")
+        fsck_store(store, repair=True, now=time.time() + 2 * self.WEEK)
+        assert not shard.exists()
+        assert not (store.root / "quarantine" / "orphan").exists()
+
+    def test_reclaim_age_is_tunable(self, store):
+        import time
+
+        self._lease_dir(store)
+        report = fsck_store(store, reclaim_age=0.0,
+                            now=time.time() + 5.0)
+        assert report.counts["orphaned_dispatch"] == 1

@@ -1,0 +1,73 @@
+"""Manifest flock under real multi-process contention.
+
+Two OS processes hammer the *same* store scope with interleaved
+snapshot publishes. The per-scope ``MANIFEST.json`` is a single shared
+ledger guarded by an advisory ``flock`` — if the read-modify-write
+cycle ever runs unguarded, concurrent writers overwrite each other's
+entries and the ledger silently drops artefacts that exist on disk
+(fsck would then flag them as ``missing_manifest_entry``).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.collector import DatasetStore, fsck_store
+from repro.collector.manifest import Manifest
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="needs real subprocesses")
+
+DATES_PER_WRITER = 8
+
+_WRITER = """
+import sys
+from repro.collector import DatasetStore, Snapshot
+
+root, start = sys.argv[1], int(sys.argv[2])
+store = DatasetStore(root)
+for day in range(start, start + {per}):
+    date = "2021-07-%02d" % (day + 1)
+    store.save_snapshot(Snapshot(ixp="linx", family=4,
+                                 captured_on=date))
+print("done")
+"""
+
+
+def test_two_processes_never_drop_manifest_entries(tmp_path):
+    root = tmp_path / "ds"
+    DatasetStore(root)  # create the tree before the race starts
+    script = _WRITER.format(per=DATES_PER_WRITER)
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    writers = [
+        subprocess.Popen(
+            [sys.executable, "-c", script, str(root),
+             str(index * DATES_PER_WRITER)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        for index in range(2)
+    ]
+    for proc in writers:
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err.decode()
+        assert out.decode().strip() == "done"
+
+    store = DatasetStore(root)
+    manifest = Manifest.load(root / "linx", strict=True)
+    snapshots = {f"v4/2021-07-{day + 1:02d}.json.gz"
+                 for day in range(2 * DATES_PER_WRITER)}
+    recorded = {rel for rel in manifest.entries
+                if rel.startswith("v4/")}
+    assert recorded == snapshots  # nothing dropped, nothing extra
+    # one ledger entry per file — and the files themselves verify
+    report = fsck_store(store)
+    assert report.clean, report.format_summary()
+    # the ledger survives a JSON round-trip without duplicate keys
+    raw = json.loads(
+        (root / "linx" / "MANIFEST.json").read_text())
+    assert len(raw["payload"]["entries"]) == len(manifest.entries)

@@ -1,0 +1,258 @@
+"""Unit tests for the filesystem fault-injection layer."""
+
+import errno
+import json
+import os
+
+import pytest
+
+from repro.io.faultfs import (
+    FAULT_PLAN_ENV,
+    FaultFS,
+    FsFaultPlan,
+    FsFaultRule,
+    HostIdentity,
+    StorageUnavailable,
+    active_fs,
+    deactivate,
+    host_identity,
+    install,
+    install_from_env,
+    is_fatal_fs_error,
+    is_transient_fs_error,
+    with_fs_retries,
+)
+
+
+def _plan(*rules, seed=0):
+    return FsFaultPlan(rules=list(rules), seed=seed)
+
+
+class TestPlanSerialisation:
+    def test_round_trips_through_json(self):
+        plan = _plan(
+            FsFaultRule(op="link", kind="ambiguous_link",
+                        path_glob="*/leases/*", start_after=2,
+                        max_faults=3, probability=0.5, delay=0.0),
+            FsFaultRule(op="*", kind="slow", delay=0.01),
+            seed=42)
+        clone = FsFaultPlan.from_json(plan.to_json())
+        assert clone.seed == 42
+        assert [r.to_dict() for r in clone.rules] \
+            == [r.to_dict() for r in plan.rules]
+        # runtime counters never serialise
+        assert "calls" not in json.loads(plan.to_json())["rules"][0]
+
+    def test_rejects_unknown_kind_and_op(self):
+        with pytest.raises(ValueError):
+            FsFaultRule.from_dict({"op": "link", "kind": "gremlins"})
+        with pytest.raises(ValueError):
+            FsFaultRule.from_dict({"op": "chmod", "kind": "eio"})
+
+    def test_rejects_non_object_plan(self):
+        with pytest.raises(ValueError):
+            FsFaultPlan.from_json("[1, 2]")
+
+
+class TestRuleMatching:
+    def test_start_after_skips_then_fires_bounded(self, tmp_path):
+        victim = tmp_path / "a.txt"
+        victim.write_bytes(b"x")
+        fs = FaultFS(_plan(FsFaultRule(
+            op="read", kind="eio", start_after=1, max_faults=2)))
+        assert fs.read_bytes(victim) == b"x"  # skipped
+        for _ in range(2):
+            with pytest.raises(OSError) as info:
+                fs.read_bytes(victim)
+            assert info.value.errno == errno.EIO
+        assert fs.read_bytes(victim) == b"x"  # budget exhausted
+        assert fs.fault_counts == {"read:eio": 2}
+
+    def test_path_glob_scopes_the_rule(self, tmp_path):
+        (tmp_path / "safe.txt").write_bytes(b"s")
+        (tmp_path / "hot.txt").write_bytes(b"h")
+        fs = FaultFS(_plan(FsFaultRule(
+            op="read", kind="estale", path_glob="*hot*")))
+        assert fs.read_bytes(tmp_path / "safe.txt") == b"s"
+        with pytest.raises(OSError) as info:
+            fs.read_bytes(tmp_path / "hot.txt")
+        assert info.value.errno == errno.ESTALE
+
+    def test_probability_gate_is_seeded(self, tmp_path):
+        victim = tmp_path / "p.txt"
+        victim.write_bytes(b"x")
+
+        def run(seed):
+            fs = FaultFS(_plan(FsFaultRule(
+                op="read", kind="eio", probability=0.5,
+                max_faults=100), seed=seed))
+            outcomes = []
+            for _ in range(20):
+                try:
+                    fs.read_bytes(victim)
+                    outcomes.append(0)
+                except OSError:
+                    outcomes.append(1)
+            return outcomes
+
+        assert run(7) == run(7)  # same seed, same schedule
+        assert any(run(7)) and not all(run(7))
+
+
+class TestFaultSemantics:
+    def test_ambiguous_link_performs_then_errors(self, tmp_path):
+        src = tmp_path / "src"
+        src.write_bytes(b"payload")
+        dst = tmp_path / "dst"
+        fs = FaultFS(_plan(FsFaultRule(op="link",
+                                       kind="ambiguous_link")))
+        with pytest.raises(OSError) as info:
+            fs.link(src, dst)
+        assert info.value.errno == errno.EIO
+        assert dst.read_bytes() == b"payload"  # the op DID happen
+        # a real retry now sees EEXIST — exactly the NFS confusion
+        with pytest.raises(FileExistsError):
+            fs.link(src, dst)
+
+    def test_ambiguous_replace_performs_then_errors(self, tmp_path):
+        src = tmp_path / "src"
+        src.write_bytes(b"new")
+        dst = tmp_path / "dst"
+        dst.write_bytes(b"old")
+        fs = FaultFS(_plan(FsFaultRule(op="replace",
+                                       kind="ambiguous_link")))
+        with pytest.raises(OSError):
+            fs.replace(src, dst)
+        assert dst.read_bytes() == b"new"
+
+    def test_hidden_makes_existing_files_invisible(self, tmp_path):
+        victim = tmp_path / "fresh.json"
+        victim.write_bytes(b"{}")
+        fs = FaultFS(_plan(
+            FsFaultRule(op="stat", kind="hidden"),
+            FsFaultRule(op="exists", kind="hidden"),
+            FsFaultRule(op="read", kind="hidden")))
+        with pytest.raises(FileNotFoundError):
+            fs.stat(victim)
+        assert fs.exists(victim) is False
+        with pytest.raises(FileNotFoundError):
+            fs.read_bytes(victim)
+        # each rule fires once; afterwards the file "becomes visible"
+        assert fs.exists(victim) is True
+        assert fs.read_bytes(victim) == b"{}"
+
+    def test_hidden_listdir_drops_the_newest_entry(self, tmp_path):
+        for name in ("a", "b", "z-newest"):
+            (tmp_path / name).write_bytes(b"")
+        fs = FaultFS(_plan(FsFaultRule(op="listdir", kind="hidden")))
+        assert fs.listdir(tmp_path) == ["a", "b"]
+        assert fs.listdir(tmp_path) == ["a", "b", "z-newest"]
+
+    def test_slow_sleeps_then_succeeds(self, tmp_path):
+        victim = tmp_path / "s.txt"
+        victim.write_bytes(b"x")
+        naps = []
+        fs = FaultFS(_plan(FsFaultRule(op="read", kind="slow",
+                                       delay=0.25)),
+                     sleep=naps.append)
+        assert fs.read_bytes(victim) == b"x"
+        assert naps == [0.25]
+
+    def test_enospc_is_fatal_classified(self, tmp_path):
+        fs = FaultFS(_plan(FsFaultRule(op="write", kind="enospc")))
+        with pytest.raises(OSError) as info:
+            fs.write_bytes(tmp_path / "w.txt", b"x")
+        assert is_fatal_fs_error(info.value)
+        assert not is_transient_fs_error(info.value)
+
+
+class TestRetryDiscipline:
+    def test_transient_fault_is_retried_to_success(self, tmp_path):
+        victim = tmp_path / "r.txt"
+        victim.write_bytes(b"ok")
+        fs = FaultFS(_plan(FsFaultRule(op="read", kind="eio",
+                                       max_faults=2)))
+        naps = []
+        data = with_fs_retries(lambda: fs.read_bytes(victim),
+                               label="test:read", sleep=naps.append)
+        assert data == b"ok"
+        assert len(naps) == 2
+
+    def test_fatal_fault_escapes_immediately(self, tmp_path):
+        fs = FaultFS(_plan(FsFaultRule(op="write", kind="enospc")))
+        naps = []
+        with pytest.raises(StorageUnavailable) as info:
+            with_fs_retries(
+                lambda: fs.write_bytes(tmp_path / "w", b"x"),
+                label="test:write", sleep=naps.append)
+        assert info.value.errno_value == errno.ENOSPC
+        assert naps == []  # no retry against a full disk
+
+    def test_persistent_transient_exhausts_budget(self, tmp_path):
+        victim = tmp_path / "gone.txt"
+        victim.write_bytes(b"x")
+        fs = FaultFS(_plan(FsFaultRule(op="read", kind="estale",
+                                       max_faults=10_000)))
+        with pytest.raises(StorageUnavailable):
+            with_fs_retries(lambda: fs.read_bytes(victim),
+                            label="test:read", attempts=3,
+                            sleep=lambda _s: None)
+
+    def test_outcome_errors_propagate_untouched(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            with_fs_retries(
+                lambda: (tmp_path / "absent").read_bytes(),
+                label="test:read", sleep=lambda _s: None)
+
+
+class TestProcessGlobalInstall:
+    def test_install_and_deactivate(self):
+        plan = _plan(FsFaultRule(op="read", kind="eio"))
+        fault_fs = FaultFS(plan)
+        previous = install(fault_fs)
+        try:
+            assert active_fs() is fault_fs
+        finally:
+            install(previous)
+        assert active_fs() is previous
+
+    def test_install_from_env_round_trip(self, tmp_path):
+        plan = _plan(FsFaultRule(op="read", kind="eio",
+                                 path_glob=str(tmp_path / "*")))
+        fs = install_from_env({FAULT_PLAN_ENV: plan.to_json()})
+        try:
+            assert isinstance(fs, FaultFS)
+            assert active_fs() is fs
+            victim = tmp_path / "env.txt"
+            victim.write_bytes(b"x")
+            with pytest.raises(OSError):
+                active_fs().read_bytes(victim)
+        finally:
+            deactivate()
+
+    def test_install_from_env_without_plan_is_noop(self):
+        before = active_fs()
+        assert install_from_env({}) is None
+        assert active_fs() is before
+
+
+class TestHostIdentity:
+    def test_string_round_trip(self):
+        identity = host_identity("nfs-host-a")
+        parsed = HostIdentity.parse(str(identity))
+        assert parsed == identity
+        assert parsed.host == "nfs-host-a"
+        assert parsed.pid == os.getpid()
+
+    def test_nonce_is_stable_within_a_process(self):
+        assert host_identity("a").nonce == host_identity("b").nonce
+
+    def test_parse_tolerates_legacy_plain_names(self):
+        parsed = HostIdentity.parse("just-a-host")
+        assert parsed.host == "just-a-host"
+        assert parsed.pid == 0 and parsed.nonce == ""
+
+    def test_parse_keeps_colons_in_operator_names(self):
+        parsed = HostIdentity.parse("rack:7:host:123:abcd")
+        assert parsed.host == "rack:7:host"
+        assert parsed.pid == 123 and parsed.nonce == "abcd"

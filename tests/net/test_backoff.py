@@ -1,0 +1,59 @@
+"""Unit tests for the shared full-jitter backoff schedule."""
+
+import random
+
+from repro.net.backoff import (
+    MAX_BACKOFF_ROUND,
+    FullJitterBackoff,
+    full_jitter_delay,
+)
+
+
+class TestFullJitterDelay:
+    def test_ceiling_doubles_then_caps(self):
+        ceilings = [full_jitter_delay(n, 0.1, 1.0, jitter=False)
+                    for n in range(6)]
+        assert ceilings == [0.1, 0.2, 0.4, 0.8, 1.0, 1.0]
+
+    def test_jittered_delay_stays_under_ceiling(self):
+        rng = random.Random(1)
+        for attempt in range(10):
+            delay = full_jitter_delay(attempt, 0.05, 0.5, rng)
+            assert 0.0 <= delay <= min(0.5, 0.05 * 2 ** attempt)
+
+    def test_seeded_rng_reproduces_the_schedule(self):
+        first = [full_jitter_delay(n, 0.05, 1.0, random.Random(9))
+                 for n in range(5)]
+        second = [full_jitter_delay(n, 0.05, 1.0, random.Random(9))
+                  for n in range(5)]
+        assert first == second
+
+    def test_huge_attempt_does_not_overflow(self):
+        assert full_jitter_delay(10_000, 0.1, 2.0, jitter=False) == 2.0
+        assert full_jitter_delay(-3, 0.1, 2.0, jitter=False) == 0.1
+
+
+class TestFullJitterBackoff:
+    def test_pause_sleeps_growing_delays(self):
+        naps = []
+        backoff = FullJitterBackoff(base=0.1, cap=1.0, jitter=False,
+                                    sleep=naps.append)
+        for _ in range(4):
+            backoff.pause()
+        assert naps == [0.1, 0.2, 0.4, 0.8]
+
+    def test_reset_rewinds_the_round(self):
+        backoff = FullJitterBackoff(base=0.1, cap=1.0, jitter=False,
+                                    sleep=lambda _s: None)
+        backoff.pause()
+        backoff.pause()
+        backoff.reset()
+        assert backoff.delay() == 0.1
+
+    def test_round_saturates_at_the_max(self):
+        backoff = FullJitterBackoff(base=0.1, cap=1e9, jitter=False,
+                                    sleep=lambda _s: None)
+        for _ in range(MAX_BACKOFF_ROUND + 10):
+            backoff.delay()
+        assert backoff.round == MAX_BACKOFF_ROUND
+        assert backoff.delay() == 0.1 * 2 ** MAX_BACKOFF_ROUND

@@ -29,6 +29,9 @@ DISPATCH_FAMILIES = (
     "repro_dispatch_unit_retries_total",
     "repro_dispatch_zombie_writes_total",
     "repro_dispatch_workers_alive",
+    "repro_dispatch_lease_ambiguity_resolved_total",
+    "repro_dispatch_clock_skew_observed_total",
+    "repro_dispatch_workers_parked_total",
 )
 
 

@@ -18,6 +18,8 @@ from pathlib import Path
 import pytest
 
 from repro.net.shutdown import ShutdownLatch
+
+from ..support import wait_for_http, wait_until
 from repro.query import (
     PreforkServer,
     QueryHTTPServer,
@@ -31,15 +33,7 @@ pytestmark = pytest.mark.skipif(
     not can_prefork(), reason="pre-fork needs os.fork")
 
 
-def wait_for(url: str, timeout: float = 30.0) -> None:
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        try:
-            with urllib.request.urlopen(url, timeout=5):
-                return
-        except (urllib.error.URLError, OSError):
-            time.sleep(0.05)
-    raise AssertionError(f"{url} never came up")
+wait_for = wait_for_http
 
 
 def free_port() -> int:
@@ -145,10 +139,9 @@ class TestInProcessFallback:
             target=lambda: codes.append(supervisor.run(latch)))
         thread.start()
         try:
-            deadline = time.monotonic() + 30
-            while supervisor.port == 0 and time.monotonic() < deadline:
-                time.sleep(0.02)
-            wait_for(f"http://127.0.0.1:{supervisor.port}/healthz")
+            port = wait_until(lambda: supervisor.port,
+                              message="supervisor never bound a port")
+            wait_for(f"http://127.0.0.1:{port}/healthz")
         finally:
             latch.trip()
             thread.join(timeout=30)

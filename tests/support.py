@@ -1,0 +1,53 @@
+"""Shared helpers for tests that wait on asynchronous state.
+
+Bare ``time.sleep`` polling loops are the classic source of flaky
+tests: too short an interval burns CPU, too long a fixed sleep either
+wastes wall-clock on fast machines or still races on slow ones.
+:func:`wait_until` centralises the pattern — poll a predicate with a
+bounded deadline and fail with a useful message instead of hanging or
+asserting on stale state.
+"""
+
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+def wait_until(predicate: Callable[[], T], *,
+               timeout: float = 30.0,
+               interval: float = 0.02,
+               message: Optional[str] = None) -> T:
+    """Poll *predicate* until it returns a truthy value.
+
+    Returns the first truthy result (so ``wait_until(lambda:
+    server.port or None)`` yields the port). Exceptions raised by the
+    predicate propagate immediately — a broken probe should fail the
+    test, not be retried into a timeout. Raises ``AssertionError``
+    after *timeout* seconds of falsy results.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        result = predicate()
+        if result:
+            return result
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                message or f"condition never became true "
+                           f"within {timeout:.0f}s")
+        time.sleep(interval)
+
+
+def wait_for_http(url: str, timeout: float = 30.0) -> None:
+    """Wait until *url* answers any HTTP response at all."""
+    def probe() -> bool:
+        try:
+            with urllib.request.urlopen(url, timeout=5):
+                return True
+        except (urllib.error.URLError, OSError):
+            return False
+
+    wait_until(probe, timeout=timeout, interval=0.05,
+               message=f"{url} never came up")
