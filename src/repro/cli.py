@@ -26,6 +26,10 @@ Subcommands:
   and embedded checksums; ``--repair`` quarantines damaged files
   (never deletes) and rebuilds the manifest. Exit 0 = clean,
   1 = damage found;
+* ``convert``  — re-encode stored snapshots between payload codecs
+  (``--to json`` / ``--to columnar``) in place; each rewrite is
+  verified to round-trip to the identical snapshot before the
+  original is replaced, so exported analyses stay byte-identical;
 * ``export``   — write every figure/table's data as CSV (and optionally
   one JSON bundle) for external plotting;
 * ``metrics``  — fetch a running LG's ``/metrics`` endpoint, validate
@@ -316,6 +320,7 @@ def _run_dispatch(args: argparse.Namespace,
         request_timeout=args.timeout,
         host_id=args.host_id,
         clock_skew_budget=args.clock_skew_budget,
+        snapshot_codec=args.snapshot_format,
     )
     if args.metrics_out:
         obs.enable()
@@ -344,7 +349,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         install_shutdown_handlers,
     )
 
-    store = DatasetStore(args.store)
+    store = DatasetStore(args.store,
+                         snapshot_codec=args.snapshot_format)
     if args.dispatch:
         return _run_dispatch(args, store)
     targets = [CampaignTarget(ixp=ixp, family=family,
@@ -442,6 +448,37 @@ def cmd_fsck(args: argparse.Namespace) -> int:
     else:
         print(report.format_summary())
     return 0 if report.clean else 1
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    store = DatasetStore(args.store)
+    ixps = args.ixps or store.ixps()
+    families = args.families or [4, 6]
+    converted = unchanged = damaged = 0
+    for ixp in ixps:
+        for family in families:
+            for date in store.snapshot_dates(ixp, family):
+                try:
+                    _path, changed = store.convert_snapshot(
+                        ixp, family, date, args.to)
+                except IntegrityError as error:
+                    damaged += 1
+                    where = f" [{error.path}]" if error.path else ""
+                    print(f"warning: {ixp}/v{family}/{date} damaged "
+                          f"({error.damage_class}){where} — "
+                          f"quarantined, not converted",
+                          file=sys.stderr)
+                    continue
+                if changed:
+                    converted += 1
+                    if not args.quiet:
+                        print(f"converted {ixp}/v{family}/{date} "
+                              f"-> {args.to}")
+                else:
+                    unchanged += 1
+    print(f"convert: {converted} converted, {unchanged} already "
+          f"{args.to}, {damaged} damaged")
+    return 1 if damaged else 0
 
 
 def cmd_export(args: argparse.Namespace) -> int:
@@ -618,6 +655,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--dialect", default="alice",
                         choices=["alice", "birdseye"],
                         help="LG API dialect")
+    p_camp.add_argument("--snapshot-format", default="json",
+                        choices=["json", "columnar"],
+                        help="payload codec for written snapshots; "
+                             "reads auto-detect, so mixed stores are "
+                             "fine (see `convert` to migrate)")
     p_camp.add_argument("--metrics-out", metavar="PATH",
                         help="enable observability and write a JSON "
                              "metrics run report here on exit (also on "
@@ -662,6 +704,26 @@ def build_parser() -> argparse.ArgumentParser:
                              "with --repair, reclaimed "
                              "(default: 7 days)")
     p_fsck.set_defaults(func=_guarded(cmd_fsck))
+
+    p_con = sub.add_parser(
+        "convert", help="re-encode stored snapshots between payload "
+                        "codecs in place (json <-> columnar); every "
+                        "rewrite is round-trip-verified first and "
+                        "analysis output is byte-identical")
+    p_con.add_argument("--store", required=True, help="dataset directory")
+    p_con.add_argument("--to", required=True,
+                       choices=["json", "columnar"],
+                       help="target payload codec")
+    p_con.add_argument("--ixps", nargs="+", default=None,
+                       metavar="IXP",
+                       help="limit to these IXP keys (default: every "
+                            "IXP in the store)")
+    p_con.add_argument("--families", nargs="+", type=int, default=None,
+                       choices=[4, 6],
+                       help="limit to these address families")
+    p_con.add_argument("--quiet", action="store_true",
+                       help="print only the final summary line")
+    p_con.set_defaults(func=_guarded(cmd_convert))
     return parser
 
 

@@ -588,6 +588,10 @@ class DispatchConfig:
     request_timeout: float = 30.0
     backoff_base: float = 0.05
     backoff_cap: float = 2.0
+    #: payload codec for snapshots written by workers
+    #: (``--snapshot-format``): "json" or "columnar". Reads always
+    #: dispatch on the stored payload, so mixed stores stay valid.
+    snapshot_codec: str = "json"
     #: host identity override (``--host-id``). None = hostname. The
     #: full identity written into leases is ``<host>:<pid>:<nonce>``.
     host_id: Optional[str] = None
@@ -624,8 +628,8 @@ class DispatchConfig:
                      "checkpoint_every", "fetch_workers",
                      "breaker_threshold", "breaker_reset",
                      "max_retries", "request_timeout",
-                     "backoff_base", "backoff_cap", "host_id",
-                     "clock_skew_budget", "fs_fault_plan"):
+                     "backoff_base", "backoff_cap", "snapshot_codec",
+                     "host_id", "clock_skew_budget", "fs_fault_plan"):
             payload[name] = getattr(self, name)
         return payload
 
@@ -810,7 +814,8 @@ class DispatchWorker:
             self.crash.check("unit:claimed")
         staging_store = DatasetStore(
             self._staging_root(unit, lease.token),
-            crash_schedule=self.crash)
+            crash_schedule=self.crash,
+            snapshot_codec=self.config.snapshot_codec)
         self._adopt_checkpoint(unit, lease, staging_store)
 
         campaign = CollectionCampaign(staging_store,

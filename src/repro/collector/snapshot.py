@@ -38,27 +38,52 @@ class Snapshot:
     def __post_init__(self) -> None:
         if self.family not in (4, 6):
             raise ValueError(f"family must be 4 or 6, got {self.family}")
-        # Normalise/validate the date early so stores sort correctly.
-        _dt.date.fromisoformat(self.captured_on)
+        # Normalise the date early so stores sort correctly: keep the
+        # *parsed* canonical form, not the raw input — date.fromisoformat
+        # accepts variants ("20211004", "2021-W40-1") whose raw strings
+        # would not sort chronologically against "2021-10-04" names.
+        self.captured_on = \
+            _dt.date.fromisoformat(str(self.captured_on)).isoformat()
 
     # -- summary counters (the columns of Tables 3/4) -----------------
+    #
+    # Counters describe what the route server *accepted* — the paper's
+    # unit of analysis. Routes retained with ``filtered=True`` (import-
+    # filter rejects kept for forensics) are excluded everywhere and
+    # surface only through :attr:`filtered_route_count`.
 
     @property
     def member_count(self) -> int:
         return len(self.members)
 
+    def accepted_routes(self) -> List[Route]:
+        """The routes that passed import filtering."""
+        return [route for route in self.routes if not route.filtered]
+
     @property
     def route_count(self) -> int:
-        return len(self.routes)
+        return sum(1 for route in self.routes if not route.filtered)
+
+    @property
+    def filtered_route_count(self) -> int:
+        """Routes rejected by import filters: those retained in
+        :attr:`routes` with ``filtered=True`` plus
+        :attr:`filtered_count` (rejects the collector observed but did
+        not retain). The two sources are disjoint by construction."""
+        retained = sum(1 for route in self.routes if route.filtered)
+        return retained + self.filtered_count
 
     @property
     def prefix_count(self) -> int:
-        return len({route.prefix for route in self.routes})
+        return len({route.prefix for route in self.routes
+                    if not route.filtered})
 
     @property
     def community_count(self) -> int:
-        """Total community instances over all routes (all flavours)."""
-        return sum(route.community_count for route in self.routes)
+        """Total community instances over accepted routes (all
+        flavours)."""
+        return sum(route.community_count for route in self.routes
+                   if not route.filtered)
 
     def member_asns(self) -> List[int]:
         return sorted(member.asn for member in self.members)

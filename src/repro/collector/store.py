@@ -134,12 +134,22 @@ class DatasetStore:
     """Filesystem-backed store of snapshots and dictionaries."""
 
     def __init__(self, root: os.PathLike,
-                 crash_schedule: Optional[CrashSchedule] = None) -> None:
+                 crash_schedule: Optional[CrashSchedule] = None,
+                 snapshot_codec: str = "json") -> None:
+        from ..io.columnar import SNAPSHOT_CODECS
+        if snapshot_codec not in SNAPSHOT_CODECS:
+            raise ValueError(
+                f"unknown snapshot codec: {snapshot_codec!r} "
+                f"(expected one of {SNAPSHOT_CODECS})")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         #: fault-injection hook consulted at every write boundary
         #: (None in production — see tests/chaos).
         self.crash_schedule = crash_schedule
+        #: payload codec for *newly written* snapshots; reads always
+        #: dispatch on each payload's self-described codec, so stores
+        #: with mixed formats are fully readable regardless.
+        self.snapshot_codec = snapshot_codec
         self._manifest_lock = threading.RLock()
 
     # -- naming and validation -------------------------------------------
@@ -348,10 +358,11 @@ class DatasetStore:
         return self.root / ixp / f"v{family}" / f"{date}.json.gz"
 
     def save_snapshot(self, snapshot: Snapshot) -> Path:
+        from ..io.columnar import encode_snapshot_payload
         path = self._snapshot_path(
             snapshot.ixp, snapshot.family, snapshot.captured_on)
-        return self._write_artefact(path, snapshot.to_dict(),
-                                    "snapshot", gz=True)
+        payload = encode_snapshot_payload(snapshot, self.snapshot_codec)
+        return self._write_artefact(path, payload, "snapshot", gz=True)
 
     def publish_snapshot_file(self, ixp: str, family: int, date: str,
                               source: Path) -> Optional[Path]:
@@ -427,8 +438,9 @@ class DatasetStore:
         else:
             payload, digest = self._read_verified(path, "snapshot",
                                                   gz=True)
+        from ..io.columnar import decode_snapshot_payload
         try:
-            return Snapshot.from_dict(payload), digest
+            return decode_snapshot_payload(payload), digest
         except (KeyError, TypeError, ValueError) as error:
             drift = SchemaDriftError(
                 f"snapshot payload does not deserialise: {error}", path)
@@ -444,6 +456,44 @@ class DatasetStore:
         moved to quarantine (the error's ``record`` says where).
         """
         return self.read_snapshot(ixp, family, date)[0]
+
+    def convert_snapshot(self, ixp: str, family: int, date: str,
+                         codec: str) -> Tuple[Path, bool]:
+        """Re-encode one stored snapshot in place with *codec*.
+
+        Returns ``(path, converted)`` — ``converted`` is False when
+        the file already used the requested codec. The rewrite is
+        verified *before* the original is touched: the re-encoded
+        payload must decode back to the identical snapshot value
+        (``to_dict()`` equality, which is exactly the JSON payload the
+        aggregation pipeline consumes), so a conversion can change
+        bytes and digests but never analysis output. The manifest
+        entry is refreshed with the new payload digest; the aggregate
+        cache keys on that digest, so converted snapshots re-aggregate
+        to byte-identical results instead of serving stale entries.
+        """
+        from ..io.columnar import (
+            SNAPSHOT_CODECS,
+            decode_snapshot_payload,
+            encode_snapshot_payload,
+            payload_codec,
+        )
+        if codec not in SNAPSHOT_CODECS:
+            raise ValueError(f"unknown snapshot codec: {codec!r}")
+        path = self._snapshot_path(ixp, family, date)
+        payload, _digest = self._load_self_healing(path, "snapshot",
+                                                   gz=True)
+        if payload_codec(payload) == codec:
+            return path, False
+        snapshot = decode_snapshot_payload(payload)
+        converted = encode_snapshot_payload(snapshot, codec)
+        if decode_snapshot_payload(converted).to_dict() \
+                != snapshot.to_dict():
+            raise RuntimeError(
+                f"snapshot codec round-trip mismatch for "
+                f"{ixp}/v{family}/{date}; refusing to rewrite")
+        self._write_artefact(path, converted, "snapshot", gz=True)
+        return path, True
 
     def delete_snapshot(self, ixp: str, family: int, date: str) -> bool:
         path = self._snapshot_path(ixp, family, date)

@@ -7,6 +7,7 @@ together by :class:`~repro.core.pipeline.Study`.
 """
 
 from . import (
+    blackholing,
     export,
     favorites,
     hygiene,
@@ -41,5 +42,5 @@ __all__ = [
     "format_table", "paper_vs_measured", "percent", "render_share_bars",
     "prevalence", "usage", "favorites", "ineffective", "summary",
     "stability", "nonstandard", "export", "temporal", "overhead",
-    "hygiene",
+    "hygiene", "blackholing",
 ]

@@ -350,6 +350,11 @@ def aggregate_snapshot(snapshot: Snapshot,
     routes_with_action = ineffective_total = 0
 
     for route in snapshot.routes:
+        if route.filtered:
+            # import-filter rejects retained for forensics carry no
+            # weight in the §4/§5 counters (the paper aggregates what
+            # the route server accepted)
+            continue
         peer = route.peer_asn
         per_as_routes[peer] += 1
         set_key = (route.communities, route.extended_communities,

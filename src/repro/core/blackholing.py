@@ -1,0 +1,235 @@
+"""Blackholing target-prefix profiles (extension beyond §5.3).
+
+The paper counts blackholing *instances* per IXP (Table 2) and revisits
+acceptance in June 2022; this extension characterises what those
+instances are attached to:
+
+* **which prefixes** attract blackhole-action communities, and from how
+  many peers;
+* **how specific** the targets are — classic remote-triggered
+  blackholing announces host routes (/32, /128), so the blackholed
+  prefix-length distribution should sit far to the right of the overall
+  table's;
+* **whether a covering route exists** — the aggregate the victim
+  normally announces, under which the blackholed more-specific hides
+  (resolved with the sorted prefix index,
+  :class:`repro.io.prefixindex.PrefixIndex`);
+* **how long targets persist** across a daily snapshot series — DDoS
+  mitigation is bursty, so most targets should be short-lived.
+
+Everything consumes accepted routes only, like the §4/§5 aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..collector.snapshot import Snapshot, snapshots_sorted
+from ..io.prefixindex import PrefixIndex
+from ..ixp.dictionary import CommunityDictionary
+from ..ixp.taxonomy import ActionCategory
+from .classification import Classifier
+
+
+@dataclass(frozen=True)
+class BlackholedPrefix:
+    """One blackholing target in one snapshot."""
+
+    prefix: str
+    prefixlen: int
+    #: distinct ASes announcing the prefix with a blackhole action.
+    peers: Tuple[int, ...]
+    #: distinct blackhole-action communities seen on those routes.
+    communities: Tuple[str, ...]
+    #: /32 (IPv4) or /128 (IPv6) — the RTBH host-route signature.
+    host_route: bool
+    #: the most specific *other* accepted prefix covering this one
+    #: (the victim's normal aggregate), or None.
+    covering_prefix: Optional[str]
+
+    @property
+    def covered(self) -> bool:
+        return self.covering_prefix is not None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "prefix": self.prefix,
+            "prefixlen": self.prefixlen,
+            "peers": list(self.peers),
+            "communities": list(self.communities),
+            "host_route": self.host_route,
+            "covering_prefix": self.covering_prefix,
+        }
+
+
+def _route_width(prefix: str) -> int:
+    return 128 if ":" in prefix else 32
+
+
+def blackholed_prefixes(snapshot: Snapshot,
+                        dictionary: CommunityDictionary,
+                        classifier: Optional[Classifier] = None,
+                        ) -> List[BlackholedPrefix]:
+    """Every blackholing target in *snapshot*, in prefix-index order.
+
+    A route is a blackhole announcement when any of its communities is
+    a standard IXP-defined action of category
+    :attr:`~repro.ixp.taxonomy.ActionCategory.BLACKHOLING` — the same
+    classification discipline as the Table 2 aggregation. Community
+    sets repeat across routes, so each distinct set is classified once.
+    """
+    classifier = classifier or Classifier(dictionary)
+    flat = classifier.flat
+    set_hits: Dict[Tuple, Tuple[str, ...]] = {}
+    peers: Dict[str, set] = {}
+    tags: Dict[str, set] = {}
+    index = PrefixIndex(snapshot.routes)
+    for route in snapshot.routes:
+        if route.filtered:
+            continue
+        set_key = (route.communities, route.extended_communities,
+                   route.large_communities)
+        hits = set_hits.get(set_key)
+        if hits is None:
+            hits = tuple(
+                str(community) for community in
+                (*route.communities, *route.extended_communities,
+                 *route.large_communities)
+                if (record := flat(community))[2]
+                and record[4] is ActionCategory.BLACKHOLING)
+            set_hits[set_key] = hits
+        if not hits:
+            continue
+        peers.setdefault(route.prefix, set()).add(route.peer_asn)
+        tags.setdefault(route.prefix, set()).update(hits)
+    targets: List[BlackholedPrefix] = []
+    for prefix in index.prefixes():
+        if prefix not in peers:
+            continue
+        prefixlen = int(prefix.rsplit("/", 1)[1])
+        covering = next(
+            (match.prefix for match in index.covering(prefix)
+             if match.prefix != prefix), None)
+        targets.append(BlackholedPrefix(
+            prefix=prefix,
+            prefixlen=prefixlen,
+            peers=tuple(sorted(peers[prefix])),
+            communities=tuple(sorted(tags[prefix])),
+            host_route=prefixlen == _route_width(prefix),
+            covering_prefix=covering,
+        ))
+    return targets
+
+
+def specificity_profile(snapshot: Snapshot,
+                        targets: Sequence[BlackholedPrefix],
+                        ) -> Dict[str, object]:
+    """How blackholed prefixes compare with the overall table.
+
+    Returns the blackholed prefix-length histogram, the host-route and
+    covered shares, and the median prefix length of blackholed vs all
+    accepted prefixes (the "more specific than the table" claim in one
+    number pair).
+    """
+    all_lengths = sorted(
+        int(route.prefix.rsplit("/", 1)[1])
+        for route in snapshot.routes if not route.filtered)
+    target_lengths = sorted(t.prefixlen for t in targets)
+
+    def median(values: Sequence[int]) -> float:
+        if not values:
+            return 0.0
+        mid = len(values) // 2
+        if len(values) % 2:
+            return float(values[mid])
+        return (values[mid - 1] + values[mid]) / 2.0
+
+    histogram: Dict[int, int] = {}
+    for length in target_lengths:
+        histogram[length] = histogram.get(length, 0) + 1
+    count = len(targets)
+    return {
+        "ixp": snapshot.ixp,
+        "family": snapshot.family,
+        "captured_on": snapshot.captured_on,
+        "blackholed_prefixes": count,
+        "plen_histogram": {str(length): histogram[length]
+                           for length in sorted(histogram)},
+        "host_route_share": (sum(1 for t in targets if t.host_route)
+                             / count if count else 0.0),
+        "covered_share": (sum(1 for t in targets if t.covered)
+                          / count if count else 0.0),
+        "median_plen_blackholed": median(target_lengths),
+        "median_plen_table": median(all_lengths),
+    }
+
+
+def persistence_rows(snapshots: Iterable[Snapshot],
+                     dictionary: CommunityDictionary,
+                     classifier: Optional[Classifier] = None,
+                     ) -> List[Dict[str, object]]:
+    """Per-target persistence over a daily series of one (IXP, family).
+
+    For each prefix ever blackholed: the days it was observed
+    blackholed, first/last date, and the longest consecutive-day
+    streak (consecutive meaning adjacent snapshots in the series, the
+    collection cadence — missing days break a streak exactly like a
+    withdrawn blackhole).
+    """
+    classifier = classifier or Classifier(dictionary)
+    series = snapshots_sorted(snapshots)
+    keys = {(s.ixp, s.family) for s in series}
+    if len(keys) > 1:
+        raise ValueError(
+            "persistence_rows needs snapshots of a single "
+            f"(IXP, family); got {sorted(keys)}")
+    seen: Dict[str, Dict[str, object]] = {}
+    streaks: Dict[str, int] = {}
+    for position, snapshot in enumerate(series):
+        for target in blackholed_prefixes(snapshot, dictionary,
+                                          classifier):
+            record = seen.get(target.prefix)
+            if record is None:
+                record = {"prefix": target.prefix,
+                          "prefixlen": target.prefixlen,
+                          "first_seen": snapshot.captured_on,
+                          "last_seen": snapshot.captured_on,
+                          "days_observed": 0, "max_streak": 0,
+                          "_last_position": None}
+                seen[target.prefix] = record
+            record["days_observed"] += 1
+            record["last_seen"] = snapshot.captured_on
+            if record["_last_position"] == position - 1:
+                streaks[target.prefix] += 1
+            else:
+                streaks[target.prefix] = 1
+            record["max_streak"] = max(record["max_streak"],
+                                       streaks[target.prefix])
+            record["_last_position"] = position
+    rows = []
+    for prefix in sorted(seen):
+        record = dict(seen[prefix])
+        del record["_last_position"]
+        rows.append(record)
+    return rows
+
+
+def blackholing_profile(snapshots: Sequence[Snapshot],
+                        dictionary: CommunityDictionary,
+                        ) -> Dict[str, object]:
+    """The headline numbers for one (IXP, family) daily series: latest
+    snapshot's specificity profile plus persistence summary."""
+    classifier = Classifier(dictionary)
+    series = snapshots_sorted(snapshots)
+    latest = series[-1]
+    targets = blackholed_prefixes(latest, dictionary, classifier)
+    profile = specificity_profile(latest, targets)
+    rows = persistence_rows(series, dictionary, classifier)
+    transient = sum(1 for row in rows if row["max_streak"] == 1)
+    profile["targets_over_series"] = len(rows)
+    profile["single_day_share"] = (transient / len(rows)
+                                   if rows else 0.0)
+    profile["max_streak_days"] = max(
+        (row["max_streak"] for row in rows), default=0)
+    return profile

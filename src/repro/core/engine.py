@@ -49,7 +49,7 @@ Key = Tuple[str, int]  # (ixp key, family)
 #: Version of the aggregation semantics baked into cache keys: bump it
 #: whenever :func:`~repro.core.aggregate.aggregate_snapshot` changes
 #: what it counts, and every stale cache entry misses automatically.
-AGGREGATOR_VERSION = 1
+AGGREGATOR_VERSION = 2  # 2: filtered-route rejects excluded from counters
 
 _METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
     cache_events=reg.counter(

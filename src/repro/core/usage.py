@@ -7,9 +7,31 @@ and how per-AS community counts correlate with per-AS route counts.
 from __future__ import annotations
 
 import math
+import types
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from .. import obs
 from .aggregate import SnapshotAggregate
+
+_METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
+    member_undercount=reg.counter(
+        "repro_analysis_member_undercount_total",
+        "ASes observed tagging action communities beyond the "
+        "snapshot's RS member count (a degraded member list padded "
+        "into the Fig. 4b denominators)", ("ixp", "family")),
+))
+
+
+def _member_floor(aggregate: SnapshotAggregate, ranked: int) -> int:
+    """The Fig. 4b denominator: RS member count, padded up to the
+    number of distinct tagging ASes when the member list undercounts
+    (degraded captures). Padding is no longer silent — it increments
+    ``repro_analysis_member_undercount_total`` by the shortfall."""
+    if ranked > aggregate.member_count:
+        _METRICS().member_undercount.labels(
+            aggregate.ixp, str(aggregate.family)).inc(
+                ranked - aggregate.member_count)
+    return max(aggregate.member_count, ranked)
 
 
 def ases_using_actions(
@@ -42,7 +64,7 @@ def usage_concentration_curve(
     """
     counts = sorted(aggregate.per_as_action.values(), reverse=True)
     total = sum(counts)
-    members = max(aggregate.member_count, len(counts))
+    members = _member_floor(aggregate, len(counts))
     if not total or not members:
         return []
     curve: List[Tuple[float, float]] = []
@@ -59,7 +81,7 @@ def concentration_at(aggregate: SnapshotAggregate,
     members (e.g. 0.01 → the paper's "1% of the ASes" checkpoints)."""
     counts = sorted(aggregate.per_as_action.values(), reverse=True)
     total = sum(counts)
-    members = max(aggregate.member_count, len(counts))
+    members = _member_floor(aggregate, len(counts))
     if not total or not members:
         return 0.0
     top_n = max(1, math.floor(members * as_fraction))

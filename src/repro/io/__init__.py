@@ -13,6 +13,11 @@ filesystem operation goes through, plus the seeded
 :class:`~repro.io.faultfs.FsFaultPlan` that turns those hazards into
 deterministic, countable fault injections — the substrate of the
 multi-host chaos harness in ``tests/chaos``.
+
+:mod:`repro.io.columnar` is the interned columnar snapshot codec (the
+compact alternative to JSON route lists behind the same integrity
+envelope), and :mod:`repro.io.prefixindex` the sorted binary-search
+prefix index built over decoded snapshots.
 """
 
 from .faultfs import (
@@ -42,4 +47,19 @@ __all__ = [
     "FsFaultRule", "HostIdentity", "StorageUnavailable", "active_fs",
     "host_identity", "install", "is_fatal_fs_error",
     "is_transient_fs_error", "with_fs_retries",
+    "COLUMNAR_CODEC", "ColumnarFormatError", "JSON_CODEC",
+    "SNAPSHOT_CODECS", "decode_snapshot_payload",
+    "encode_snapshot_payload", "payload_codec",
+    "PrefixIndex", "PrefixMatch",
 ]
+
+from .columnar import (
+    COLUMNAR_CODEC,
+    ColumnarFormatError,
+    JSON_CODEC,
+    SNAPSHOT_CODECS,
+    decode_snapshot_payload,
+    encode_snapshot_payload,
+    payload_codec,
+)
+from .prefixindex import PrefixIndex, PrefixMatch

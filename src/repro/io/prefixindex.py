@@ -1,0 +1,168 @@
+"""Sorted binary-search prefix index over snapshot routes.
+
+Per-prefix questions — "which routes cover this address?", "is there a
+more-specific announcement inside this block?", "which prefixes does
+this snapshot blackhole?" — need something better than scanning a
+route list. Radix tries are the classic answer; over a *static*
+snapshot the same queries fall out of a sorted array of
+``(family, address, prefixlen)`` keys and :mod:`bisect`, with far less
+constant factor in pure Python and zero extra dependencies.
+
+The index maps each distinct prefix to the positions of its routes in
+the snapshot's route list (so callers can get back to full
+:class:`~repro.bgp.route.Route` objects, preserving duplicate
+announcements from different peers), and answers:
+
+* exact-prefix lookup (:meth:`PrefixIndex.routes_for`),
+* longest/most-specific match for an address or prefix
+  (:meth:`PrefixIndex.most_specific_match`),
+* all covering (less-specific) prefixes (:meth:`PrefixIndex.covering`),
+* all covered (more-specific) prefixes (:meth:`PrefixIndex.subnets_of`).
+
+Construction is O(n log n) in the number of distinct prefixes; every
+query is O(log n + answer). Filtered routes are excluded by default —
+the analyses this index feeds (blackholing target profiles, per-prefix
+action churn) follow the paper in consuming accepted routes only.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from bisect import bisect_left, bisect_right, insort
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..bgp.route import Route
+
+#: index key: (family, network address int, prefix length).
+_Key = Tuple[int, int, int]
+
+
+def _parse(prefix: str) -> Tuple[_Key, int]:
+    """Return the index key and host-address width for *prefix*."""
+    network = ipaddress.ip_network(prefix)
+    return ((network.version, int(network.network_address),
+             network.prefixlen), network.max_prefixlen)
+
+
+@dataclass(frozen=True)
+class PrefixMatch:
+    """One matched prefix and the routes announcing it."""
+
+    prefix: str
+    prefixlen: int
+    routes: Tuple[Route, ...]
+
+
+class PrefixIndex:
+    """Immutable most-specific-match index over one route list."""
+
+    def __init__(self, routes: Sequence[Route], *,
+                 include_filtered: bool = False) -> None:
+        self._routes = routes
+        positions: Dict[_Key, List[int]] = {}
+        strings: Dict[_Key, str] = {}
+        widths = {4: 32, 6: 128}
+        for position, route in enumerate(routes):
+            if route.filtered and not include_filtered:
+                continue
+            key, _width = _parse(route.prefix)
+            if key in positions:
+                positions[key].append(position)
+            else:
+                positions[key] = [position]
+                strings[key] = route.prefix
+        self._keys: List[_Key] = sorted(positions)
+        self._positions = positions
+        self._strings = strings
+        #: distinct prefix lengths present, longest first, per family —
+        #: most-specific match probes only lengths that exist.
+        lengths: Dict[int, List[int]] = {4: [], 6: []}
+        for family, _address, prefixlen in self._keys:
+            bucket = lengths[family]
+            if prefixlen not in bucket:
+                insort(bucket, prefixlen)
+        self._lengths = {family: bucket[::-1]
+                         for family, bucket in lengths.items()}
+        self._widths = widths
+
+    # -- basics ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, prefix: str) -> bool:
+        key, _ = _parse(prefix)
+        return key in self._positions
+
+    def prefixes(self) -> Iterator[str]:
+        """Distinct indexed prefixes in (family, address, length) order."""
+        for key in self._keys:
+            yield self._strings[key]
+
+    def routes_for(self, prefix: str) -> Tuple[Route, ...]:
+        """All indexed routes announcing exactly *prefix* (snapshot
+        order, one per announcing peer)."""
+        key, _ = _parse(prefix)
+        return tuple(self._routes[i]
+                     for i in self._positions.get(key, ()))
+
+    def _match(self, key: _Key) -> PrefixMatch:
+        return PrefixMatch(
+            prefix=self._strings[key], prefixlen=key[2],
+            routes=tuple(self._routes[i] for i in self._positions[key]))
+
+    # -- longest-prefix matching ---------------------------------------
+
+    def most_specific_match(self, target: str) -> Optional[PrefixMatch]:
+        """The longest indexed prefix containing *target* (an address
+        like ``"203.0.113.9"`` or a prefix like ``"203.0.113.0/28"``).
+
+        A prefix *contains* a target prefix when it covers its whole
+        range and is no more specific; an address behaves like a
+        host-length prefix.
+        """
+        if "/" not in target:
+            target = target + "/" + str(
+                ipaddress.ip_address(target).max_prefixlen)
+        (family, address, prefixlen), width = _parse(target)
+        for candidate_len in self._lengths[family]:
+            if candidate_len > prefixlen:
+                continue
+            masked = address >> (width - candidate_len) \
+                << (width - candidate_len) if candidate_len else 0
+            key = (family, masked, candidate_len)
+            if key in self._positions:
+                return self._match(key)
+        return None
+
+    def covering(self, target: str) -> List[PrefixMatch]:
+        """Every indexed prefix containing *target*, most specific
+        first (the full covering chain, e.g. a blackholed /32 under
+        its /24 and /19)."""
+        if "/" not in target:
+            target = target + "/" + str(
+                ipaddress.ip_address(target).max_prefixlen)
+        (family, address, prefixlen), width = _parse(target)
+        matches = []
+        for candidate_len in self._lengths[family]:
+            if candidate_len > prefixlen:
+                continue
+            masked = address >> (width - candidate_len) \
+                << (width - candidate_len) if candidate_len else 0
+            key = (family, masked, candidate_len)
+            if key in self._positions:
+                matches.append(self._match(key))
+        return matches
+
+    def subnets_of(self, target: str) -> List[PrefixMatch]:
+        """Every indexed prefix strictly inside *target* (more
+        specific), in address order — binary search over the sorted
+        key array for the target's address range."""
+        (family, address, prefixlen), width = _parse(target)
+        span = 1 << (width - prefixlen)
+        low = bisect_left(self._keys, (family, address, prefixlen + 1))
+        high = bisect_right(self._keys,
+                            (family, address + span - 1, width + 1))
+        return [self._match(self._keys[i]) for i in range(low, high)
+                if self._keys[i][2] > prefixlen]

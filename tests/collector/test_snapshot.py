@@ -94,3 +94,69 @@ class TestSorting:
         assert [(s.ixp, s.family, s.captured_on) for s in ordered] == [
             ("a", 4, "2021-07-19"), ("a", 4, "2021-07-26"),
             ("a", 6, "2021-07-19"), ("b", 4, "2021-08-01")]
+
+
+class TestDateNormalisation:
+    """Regression: __post_init__ used to *validate* the date but throw
+    the parsed value away, so non-canonical ISO inputs survived into
+    store paths and broke chronological sorting."""
+
+    def test_compact_form_normalised(self):
+        snapshot = Snapshot(ixp="x", family=4, captured_on="20211004")
+        assert snapshot.captured_on == "2021-10-04"
+
+    def test_canonical_form_unchanged(self):
+        snapshot = Snapshot(ixp="x", family=4,
+                            captured_on="2021-10-04")
+        assert snapshot.captured_on == "2021-10-04"
+        assert snapshot.key == "x/v4/2021-10-04"
+
+    def test_week_date_normalised(self):
+        snapshot = Snapshot(ixp="x", family=4,
+                            captured_on="2021-W40-1")
+        assert snapshot.captured_on == "2021-10-04"
+
+
+class TestFilteredRouteCounters:
+    """Regression: counters must describe what the route server
+    accepted; retained filtered routes only surface through
+    filtered_route_count."""
+
+    @pytest.fixture()
+    def with_filtered(self):
+        return Snapshot(
+            ixp="linx", family=4, captured_on="2021-10-04",
+            members=[member(1), member(2)],
+            routes=[
+                route("20.0.0.0/16", 1, {standard(0, 6939)}),
+                route("20.1.0.0/16", 1),
+                Route(prefix="20.2.0.0/16", next_hop="192.0.2.1",
+                      as_path=AsPath.from_asns([2]), peer_asn=2,
+                      communities=frozenset({standard(0, 6939),
+                                             standard(1, 2)}),
+                      filtered=True, filter_reason="rpki-invalid"),
+            ],
+            filtered_count=2,
+        )
+
+    def test_route_count_excludes_filtered(self, with_filtered):
+        assert with_filtered.route_count == 2
+
+    def test_prefix_count_excludes_filtered(self, with_filtered):
+        assert with_filtered.prefix_count == 2
+
+    def test_community_count_excludes_filtered(self, with_filtered):
+        assert with_filtered.community_count == 1
+
+    def test_filtered_route_count_sums_both_sources(self, with_filtered):
+        # 1 retained filtered route + 2 observed-but-dropped
+        assert with_filtered.filtered_route_count == 3
+
+    def test_accepted_routes(self, with_filtered):
+        accepted = with_filtered.accepted_routes()
+        assert len(accepted) == 2
+        assert all(not r.filtered for r in accepted)
+
+    def test_summary_uses_accepted_only(self, with_filtered):
+        assert with_filtered.summary() == {
+            "members": 2, "prefixes": 2, "routes": 2, "communities": 1}

@@ -1,0 +1,146 @@
+"""Property-based serialisation contract for Route and Snapshot.
+
+One parametrised contract over *both* payload codecs: whatever routes
+a snapshot holds — any mix of the three community flavours, filtered
+routes with or without reasons, AS_SET paths, paths not rooted at the
+announcing peer, host routes, duplicate prefixes — encoding and
+decoding must reproduce the exact snapshot value (``to_dict``
+equality, which is the byte basis of every envelope digest and
+aggregate cache key).
+"""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.aspath import AsPath
+from repro.bgp.communities import (
+    ExtendedCommunity,
+    LargeCommunity,
+    StandardCommunity,
+)
+from repro.bgp.route import Route
+from repro.collector.snapshot import Snapshot
+from repro.io import (
+    COLUMNAR_CODEC,
+    JSON_CODEC,
+    decode_snapshot_payload,
+    encode_snapshot_payload,
+)
+from repro.ixp.member import Member, MemberRole
+
+u16 = st.integers(min_value=0, max_value=0xFFFF)
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+u8 = st.integers(min_value=0, max_value=0xFF)
+asns = st.integers(min_value=1, max_value=64495)
+
+standard_communities = st.builds(StandardCommunity, asn=u16, value=u16)
+large_communities = st.builds(
+    LargeCommunity, global_admin=u32, local_data1=u32, local_data2=u32)
+extended_communities = st.builds(
+    ExtendedCommunity, type_high=u8, type_low=u8,
+    global_admin=u16, local_admin=u32)
+
+
+@st.composite
+def prefixes(draw):
+    """Canonical v4 or v6 prefixes, host routes included."""
+    if draw(st.booleans()):
+        plen = draw(st.integers(min_value=8, max_value=32))
+        base = draw(st.integers(min_value=0, max_value=(1 << plen) - 1))
+        return f"{ipaddress.IPv4Address(base << (32 - plen))}/{plen}"
+    plen = draw(st.integers(min_value=16, max_value=128))
+    base = draw(st.integers(min_value=0, max_value=(1 << plen) - 1))
+    return f"{ipaddress.IPv6Address(base << (128 - plen))}/{plen}"
+
+
+@st.composite
+def as_paths(draw, peer):
+    """Paths rooted at *peer* (the common case), arbitrary-origin
+    paths, and paths ending in an AS_SET."""
+    tail = draw(st.lists(asns, min_size=0, max_size=6))
+    rooted = draw(st.booleans())
+    sequence = ([peer] + tail) if rooted else (tail or [peer])
+    if draw(st.booleans()):
+        aggregated = draw(st.lists(asns, min_size=2, max_size=3,
+                                   unique=True))
+        return AsPath.from_string(
+            " ".join(str(asn) for asn in sequence)
+            + " {" + ",".join(str(asn) for asn in aggregated) + "}")
+    return AsPath.from_asns(sequence)
+
+
+@st.composite
+def routes(draw):
+    peer = draw(asns)
+    filtered = draw(st.booleans())
+    reason = (draw(st.one_of(
+        st.none(), st.text(min_size=1, max_size=20).filter(str.strip)))
+        if filtered else None)
+    return Route(
+        prefix=draw(prefixes()),
+        next_hop="192.0.2.1",
+        as_path=draw(as_paths(peer)),
+        peer_asn=peer,
+        communities=frozenset(draw(st.lists(
+            standard_communities, max_size=4))),
+        extended_communities=frozenset(draw(st.lists(
+            extended_communities, max_size=3))),
+        large_communities=frozenset(draw(st.lists(
+            large_communities, max_size=3))),
+        filtered=filtered,
+        filter_reason=reason,
+    )
+
+
+@st.composite
+def snapshots(draw):
+    members = [Member(asn=asn, name=f"AS{asn}",
+                      role=MemberRole.ACCESS_ISP)
+               for asn in draw(st.lists(asns, max_size=4, unique=True))]
+    return Snapshot(
+        ixp="linx", family=draw(st.sampled_from([4, 6])),
+        captured_on="2021-10-04",
+        members=members,
+        routes=draw(st.lists(routes(), max_size=12)),
+        filtered_count=draw(st.integers(min_value=0, max_value=9)),
+        meta=draw(st.dictionaries(
+            st.sampled_from(["seed", "scale", "degraded", "note"]),
+            st.one_of(st.integers(), st.booleans(),
+                      st.text(max_size=8)),
+            max_size=3)),
+    )
+
+
+class TestRouteDictContract:
+    @given(route=routes())
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip(self, route):
+        restored = Route.from_dict(route.to_dict())
+        assert restored == route
+        assert restored.to_dict() == route.to_dict()
+
+
+@pytest.mark.parametrize("codec", [JSON_CODEC, COLUMNAR_CODEC])
+class TestSnapshotCodecContract:
+    @given(snapshot=snapshots())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_exact(self, codec, snapshot):
+        payload = encode_snapshot_payload(snapshot, codec)
+        restored = decode_snapshot_payload(payload)
+        assert restored.to_dict() == snapshot.to_dict()
+        assert list(restored.routes) == list(snapshot.routes)
+        assert restored.filtered_count == snapshot.filtered_count
+        assert restored.meta == snapshot.meta
+
+    @given(snapshot=snapshots())
+    @settings(max_examples=20, deadline=None)
+    def test_encoding_deterministic(self, codec, snapshot):
+        import json
+        first = json.dumps(encode_snapshot_payload(snapshot, codec),
+                           sort_keys=True)
+        second = json.dumps(encode_snapshot_payload(snapshot, codec),
+                            sort_keys=True)
+        assert first == second

@@ -155,3 +155,35 @@ class TestGeneratedSnapshot:
     def test_users_subset_of_members(self, linx_aggregate):
         assert linx_aggregate.ases_using_actions <= \
             set(linx_aggregate.rs_member_asns)
+
+
+class TestFilteredRouteParity:
+    """Regression: retained filtered routes must not move any §4/§5
+    counter — a snapshot with them aggregates identically (Table 2
+    parity) to the same snapshot without them."""
+
+    def _routes(self):
+        return [
+            route("20.0.0.0/16", 60001,
+                  {standard(0, 6939), standard(6695, 1000)}),
+            route("20.1.0.0/16", 60002, {standard(6695, 6695)}),
+        ]
+
+    def test_table2_parity(self):
+        dictionary = dictionary_for(get_profile("decix-fra"))
+        members = [member(60001), member(60002), member(6939)]
+        clean = Snapshot(
+            ixp="decix-fra", family=4, captured_on="2021-10-04",
+            members=members, routes=self._routes())
+        noisy_routes = self._routes() + [
+            Route(prefix="20.9.0.0/16", next_hop="80.81.192.10",
+                  as_path=AsPath.from_asns([60001]), peer_asn=60001,
+                  communities=frozenset({standard(6695, 1000),
+                                         standard(0, 15169)}),
+                  filtered=True, filter_reason="bogon"),
+        ]
+        noisy = Snapshot(
+            ixp="decix-fra", family=4, captured_on="2021-10-04",
+            members=members, routes=noisy_routes, filtered_count=1)
+        assert aggregate_snapshot(clean, dictionary).to_dict() \
+            == aggregate_snapshot(noisy, dictionary).to_dict()

@@ -1,0 +1,168 @@
+"""Tests for the blackholing target-prefix profile analysis."""
+
+import pytest
+
+from repro.bgp.aspath import AsPath
+from repro.bgp.communities import standard
+from repro.bgp.route import Route
+from repro.collector.snapshot import Snapshot
+from repro.core import blackholing
+from repro.ixp import get_profile
+from repro.ixp.member import Member, MemberRole
+from repro.ixp.schemes import dictionary_for
+
+#: RFC 7999 BLACKHOLE — IXP-defined at DE-CIX and AMS-IX (the two
+#: profiles whose dictionaries accept blackholing, as in the paper).
+BLACKHOLE = standard(65535, 666)
+DATES = ("2021-10-04", "2021-10-05", "2021-10-06")
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    return dictionary_for(get_profile("decix-fra"))
+
+
+def member(asn):
+    return Member(asn=asn, name=f"AS{asn}", role=MemberRole.ACCESS_ISP)
+
+
+def route(prefix, peer, comms=(), filtered=False):
+    return Route(prefix=prefix, next_hop="192.0.2.1",
+                 as_path=AsPath.from_asns([peer]), peer_asn=peer,
+                 communities=frozenset(comms), filtered=filtered)
+
+
+def snapshot(routes, captured_on=DATES[0]):
+    return Snapshot(ixp="decix-fra", family=4, captured_on=captured_on,
+                    members=[member(64500), member(64501)],
+                    routes=routes)
+
+
+@pytest.fixture()
+def rtbh_snapshot():
+    """Two victims blackholing /32s under their aggregates, one
+    blackhole from two peers, plus untagged background routes."""
+    return snapshot([
+        route("203.0.113.0/24", 64500),
+        route("203.0.113.7/32", 64500, {BLACKHOLE}),
+        route("203.0.113.7/32", 64501, {BLACKHOLE}),
+        route("198.51.100.0/24", 64501),
+        route("198.51.100.0/26", 64501, {BLACKHOLE}),
+        route("192.0.2.0/24", 64501),
+        # informational tags are not blackholes
+        route("192.0.2.128/25", 64500, {standard(0, 64500)}),
+        # filtered routes never count
+        route("198.51.100.9/32", 64500, {BLACKHOLE}, filtered=True),
+    ])
+
+
+class TestBlackholedPrefixes:
+    def test_finds_exactly_the_tagged_targets(self, rtbh_snapshot,
+                                              dictionary):
+        targets = blackholing.blackholed_prefixes(rtbh_snapshot,
+                                                  dictionary)
+        assert [t.prefix for t in targets] \
+            == ["198.51.100.0/26", "203.0.113.7/32"]
+
+    def test_peers_and_communities(self, rtbh_snapshot, dictionary):
+        by_prefix = {t.prefix: t for t in
+                     blackholing.blackholed_prefixes(rtbh_snapshot,
+                                                     dictionary)}
+        host = by_prefix["203.0.113.7/32"]
+        assert host.peers == (64500, 64501)
+        assert host.communities == ("65535:666",)
+        assert host.host_route
+        assert not by_prefix["198.51.100.0/26"].host_route
+
+    def test_covering_prefix_resolved(self, rtbh_snapshot, dictionary):
+        by_prefix = {t.prefix: t for t in
+                     blackholing.blackholed_prefixes(rtbh_snapshot,
+                                                     dictionary)}
+        assert by_prefix["203.0.113.7/32"].covering_prefix \
+            == "203.0.113.0/24"
+        assert by_prefix["203.0.113.7/32"].covered
+
+    def test_uncovered_target(self, dictionary):
+        targets = blackholing.blackholed_prefixes(
+            snapshot([route("203.0.113.7/32", 64500, {BLACKHOLE})]),
+            dictionary)
+        assert targets[0].covering_prefix is None
+        assert not targets[0].covered
+
+    def test_no_blackholes(self, dictionary):
+        assert blackholing.blackholed_prefixes(
+            snapshot([route("203.0.113.0/24", 64500)]),
+            dictionary) == []
+
+
+class TestSpecificityProfile:
+    def test_profile(self, rtbh_snapshot, dictionary):
+        targets = blackholing.blackholed_prefixes(rtbh_snapshot,
+                                                  dictionary)
+        profile = blackholing.specificity_profile(rtbh_snapshot,
+                                                  targets)
+        assert profile["blackholed_prefixes"] == 2
+        assert profile["plen_histogram"] == {"26": 1, "32": 1}
+        assert profile["host_route_share"] == 0.5
+        assert profile["covered_share"] == 1.0
+        assert profile["median_plen_blackholed"] == 29.0
+        assert profile["median_plen_blackholed"] \
+            > profile["median_plen_table"]
+
+
+class TestPersistence:
+    def test_streaks_and_gaps(self, dictionary):
+        # 203.0.113.7/32 blackholed on days 0 and 2 (a gap breaks the
+        # streak); 198.51.100.0/26 on days 1-2 (streak of 2).
+        series = [
+            snapshot([route("203.0.113.7/32", 64500, {BLACKHOLE})],
+                     DATES[0]),
+            snapshot([route("198.51.100.0/26", 64501, {BLACKHOLE})],
+                     DATES[1]),
+            snapshot([route("203.0.113.7/32", 64500, {BLACKHOLE}),
+                      route("198.51.100.0/26", 64501, {BLACKHOLE})],
+                     DATES[2]),
+        ]
+        rows = {row["prefix"]: row
+                for row in blackholing.persistence_rows(series,
+                                                        dictionary)}
+        host = rows["203.0.113.7/32"]
+        assert host["days_observed"] == 2
+        assert host["max_streak"] == 1
+        assert (host["first_seen"], host["last_seen"]) \
+            == (DATES[0], DATES[2])
+        assert rows["198.51.100.0/26"]["max_streak"] == 2
+
+    def test_mixed_series_rejected(self, dictionary):
+        mixed = [snapshot([]),
+                 Snapshot(ixp="amsix", family=4, captured_on=DATES[0])]
+        with pytest.raises(ValueError):
+            blackholing.persistence_rows(mixed, dictionary)
+
+
+class TestProfileSummary:
+    def test_headline(self, rtbh_snapshot, dictionary):
+        profile = blackholing.blackholing_profile([rtbh_snapshot],
+                                                  dictionary)
+        assert profile["targets_over_series"] == 2
+        assert profile["max_streak_days"] == 1
+        assert profile["single_day_share"] == 1.0
+
+
+class TestOnGeneratedData:
+    def test_generator_produces_rtbh_shape(self):
+        """The synthetic workload's blackholes look like real RTBH:
+        host routes under covering aggregates, far more specific than
+        the table median."""
+        from repro.workload import ScenarioConfig, SnapshotGenerator
+        generator = SnapshotGenerator(
+            get_profile("decix-fra"), ScenarioConfig(scale=0.03, seed=5))
+        snap = generator.snapshot(4, 80)
+        dictionary = dictionary_for(get_profile("decix-fra"))
+        targets = blackholing.blackholed_prefixes(snap, dictionary)
+        assert targets, "expected blackholed prefixes in the workload"
+        profile = blackholing.specificity_profile(snap, targets)
+        assert profile["host_route_share"] == 1.0
+        assert profile["covered_share"] == 1.0
+        assert profile["median_plen_blackholed"] \
+            >= profile["median_plen_table"] + 5

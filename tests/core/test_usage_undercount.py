@@ -1,0 +1,65 @@
+"""Regression: Fig. 4b member padding is observable, not silent.
+
+``concentration_at`` / ``usage_concentration_curve`` pad the member
+denominator when more ASes tag actions than the snapshot's member list
+holds (degraded captures). That padding used to be invisible; it now
+increments ``repro_analysis_member_undercount_total`` by the shortfall.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro import obs
+from repro.core.aggregate import SnapshotAggregate
+from repro.core.usage import concentration_at, usage_concentration_curve
+
+
+@pytest.fixture()
+def registry():
+    obs.disable()
+    registry = obs.enable()
+    yield registry
+    obs.disable()
+
+
+def _aggregate(member_count, tagging_ases):
+    return SnapshotAggregate(
+        ixp="linx", family=4, captured_on="2021-10-04",
+        member_count=member_count,
+        per_as_action=Counter({64500 + i: 10 - i
+                               for i in range(tagging_ases)}))
+
+
+METRIC = "repro_analysis_member_undercount_total"
+
+
+class TestUndercountCounter:
+    def test_padded_denominator_counts(self, registry):
+        aggregate = _aggregate(member_count=2, tagging_ases=5)
+        share = concentration_at(aggregate, 1.0)
+        assert share == 1.0  # every instance, padded members or not
+        assert registry.value(METRIC, "linx", "4") == 3
+
+    def test_no_undercount_no_count(self, registry):
+        concentration_at(_aggregate(member_count=8, tagging_ases=3),
+                         0.5)
+        assert registry.value(METRIC, "linx", "4") == 0
+
+    def test_curve_counts_too(self, registry):
+        curve = usage_concentration_curve(
+            _aggregate(member_count=1, tagging_ases=4))
+        assert len(curve) == 4
+        assert registry.value(METRIC, "linx", "4") == 3
+
+    def test_padding_still_applied(self, registry):
+        # behaviour is unchanged: the denominator still pads up so the
+        # curve reaches x=1.0 exactly
+        curve = usage_concentration_curve(
+            _aggregate(member_count=2, tagging_ases=4))
+        assert curve[-1][0] == 1.0
+
+    def test_disabled_registry_is_noop(self):
+        obs.disable()
+        assert concentration_at(
+            _aggregate(member_count=1, tagging_ases=3), 1.0) == 1.0

@@ -1,0 +1,105 @@
+"""Tests for the sorted binary-search prefix index."""
+
+import pytest
+
+from repro.bgp.aspath import AsPath
+from repro.bgp.route import Route
+from repro.io import PrefixIndex
+
+
+def route(prefix, peer=64500, filtered=False):
+    return Route(prefix=prefix, next_hop="192.0.2.1",
+                 as_path=AsPath.from_asns([peer]), peer_asn=peer,
+                 filtered=filtered)
+
+
+@pytest.fixture()
+def index():
+    return PrefixIndex([
+        route("10.0.0.0/8"),
+        route("10.1.0.0/16", peer=64501),
+        route("10.1.0.0/16", peer=64502),     # second announcer
+        route("10.1.2.0/24"),
+        route("10.1.2.3/32"),
+        route("10.2.0.0/16"),
+        route("192.0.2.0/24"),
+        route("2001:db8::/32"),
+        route("2001:db8:0:1::/64"),
+    ])
+
+
+class TestBasics:
+    def test_len_counts_distinct_prefixes(self, index):
+        assert len(index) == 8
+
+    def test_contains(self, index):
+        assert "10.1.0.0/16" in index
+        assert "10.3.0.0/16" not in index
+
+    def test_prefixes_sorted(self, index):
+        prefixes = list(index.prefixes())
+        assert prefixes[0] == "10.0.0.0/8"
+        assert prefixes[-1] == "2001:db8:0:1::/64"
+
+    def test_routes_for_keeps_every_announcement(self, index):
+        routes = index.routes_for("10.1.0.0/16")
+        assert [r.peer_asn for r in routes] == [64501, 64502]
+        assert index.routes_for("10.9.0.0/16") == ()
+
+    def test_filtered_routes_excluded_by_default(self):
+        routes = [route("10.0.0.0/8"),
+                  route("10.1.0.0/16", filtered=True)]
+        assert len(PrefixIndex(routes)) == 1
+        assert len(PrefixIndex(routes, include_filtered=True)) == 2
+
+
+class TestMostSpecificMatch:
+    def test_address_hits_longest(self, index):
+        match = index.most_specific_match("10.1.2.3")
+        assert match.prefix == "10.1.2.3/32"
+
+    def test_address_inside_covering(self, index):
+        assert index.most_specific_match("10.1.2.9").prefix \
+            == "10.1.2.0/24"
+        assert index.most_specific_match("10.9.9.9").prefix \
+            == "10.0.0.0/8"
+
+    def test_prefix_target_never_matches_more_specific(self, index):
+        # a /20 target can match the /16 and /8, never the /24 inside
+        assert index.most_specific_match("10.1.0.0/20").prefix \
+            == "10.1.0.0/16"
+
+    def test_miss(self, index):
+        assert index.most_specific_match("172.16.0.1") is None
+
+    def test_v6(self, index):
+        assert index.most_specific_match("2001:db8:0:1::42").prefix \
+            == "2001:db8:0:1::/64"
+        assert index.most_specific_match("2001:db8:ffff::1").prefix \
+            == "2001:db8::/32"
+
+
+class TestCoveringAndSubnets:
+    def test_covering_chain_most_specific_first(self, index):
+        chain = [m.prefix for m in index.covering("10.1.2.3")]
+        assert chain == ["10.1.2.3/32", "10.1.2.0/24",
+                         "10.1.0.0/16", "10.0.0.0/8"]
+
+    def test_subnets_of(self, index):
+        inside = [m.prefix for m in index.subnets_of("10.1.0.0/16")]
+        assert inside == ["10.1.2.0/24", "10.1.2.3/32"]
+
+    def test_subnets_of_whole_family_root(self, index):
+        inside = [m.prefix for m in index.subnets_of("10.0.0.0/8")]
+        assert inside == ["10.1.0.0/16", "10.1.2.0/24",
+                          "10.1.2.3/32", "10.2.0.0/16"]
+
+    def test_subnets_excludes_siblings(self, index):
+        assert [m.prefix for m in index.subnets_of("192.0.2.0/24")] \
+            == []
+
+    def test_empty_index(self):
+        index = PrefixIndex([])
+        assert len(index) == 0
+        assert index.most_specific_match("10.0.0.1") is None
+        assert index.covering("10.0.0.1") == []
