@@ -314,6 +314,8 @@ def _run_dispatch(args: argparse.Namespace,
         snapshot_deadline=args.deadline,
         checkpoint_every=args.checkpoint_every,
         fetch_workers=args.workers,
+        io=args.io,
+        max_inflight=args.max_inflight,
         breaker_threshold=args.breaker_threshold,
         breaker_reset=args.breaker_reset,
         max_retries=args.max_retries,
@@ -365,6 +367,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         workers=args.workers,
         target_workers=args.target_workers,
+        io=args.io,
+        max_inflight=args.max_inflight,
         breaker_threshold=args.breaker_threshold,
         breaker_reset=args.breaker_reset,
         max_retries=args.max_retries,
@@ -631,6 +635,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--target-workers", type=int, default=1,
                         help="(ixp, family) mounts collected "
                              "concurrently")
+    p_camp.add_argument("--io", choices=("threads", "async"),
+                        default="threads",
+                        help="per-peer fetch engine: 'threads' fans "
+                             "peers over --workers pool threads, "
+                             "'async' fans route pages over one "
+                             "selectors event loop (snapshots are "
+                             "byte-identical either way)")
+    p_camp.add_argument("--max-inflight", type=int, default=32,
+                        help="concurrent page fetches (and at most "
+                             "that many connections) under "
+                             "--io async; ignored for threads")
     p_camp.add_argument("--dispatch", type=int, default=0, metavar="N",
                         help="shard units across N worker processes "
                              "under lease-based claims (0 = run "

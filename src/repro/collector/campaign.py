@@ -70,7 +70,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from .. import obs
 from ..bgp.route import Route
 from ..ixp.member import Member, MemberRole
-from ..lg.api import NeighborSummary
+from ..lg.aio import AsyncLookingGlassClient
+from ..lg.api import DEFAULT_PAGE_SIZE, NeighborSummary
 from ..lg.breaker import BreakerRegistry
 from ..lg.client import (
     FAILURE_CLASSES,
@@ -175,6 +176,16 @@ class CampaignConfig:
     backoff_base: float = 0.05
     backoff_cap: float = 2.0
     page_retries: int = 1
+    #: fetch engine within one target: "threads" fans whole peers over
+    #: a bounded pool (``workers``); "async" fans individual route
+    #: *pages* onto one selectors event loop (see repro.lg.aio), whose
+    #: concurrency the next two knobs bound.
+    io: str = "threads"
+    #: async engine: page fetches in flight at once per target — also
+    #: the per-mount connection cap handed to the keep-alive pool.
+    max_inflight: int = 32
+    #: routes per page requested from the LG (both engines).
+    page_size: int = DEFAULT_PAGE_SIZE
 
 
 @dataclass
@@ -344,7 +355,13 @@ class CollectionCampaign:
             reset_timeout=config.breaker_reset,
             clock=clock)
         self._clients: Dict[Tuple[str, int], LookingGlassClient] = {}
+        self._aio_clients: Dict[Tuple[str, int],
+                                AsyncLookingGlassClient] = {}
         self._client_lock = threading.Lock()
+        if config.io not in ("threads", "async"):
+            raise ValueError(
+                f"unknown io engine {config.io!r} "
+                f"(expected 'threads' or 'async')")
         self._shutdown = threading.Event()
         self._dictionary_digests: Dict[str, Optional[str]] = {}
 
@@ -545,7 +562,10 @@ class CollectionCampaign:
             (n for n in neighbors if n.established),
             key=lambda n: n.asn)
         pending = [n for n in established if str(n.asn) not in peers]
-        if max(1, self.config.workers) == 1:
+        if self.config.io == "async":
+            self._collect_peers_async(client, pending, peers, report,
+                                      target, captured_on, started)
+        elif max(1, self.config.workers) == 1:
             self._collect_peers_serial(client, pending, peers, report,
                                        target, captured_on, started)
         else:
@@ -655,6 +675,125 @@ class CollectionCampaign:
                                           report)
                     since_checkpoint = 0
 
+    def _aio_client_for(self, target: CampaignTarget,
+                        client: LookingGlassClient,
+                        ) -> AsyncLookingGlassClient:
+        """One async client (loop + pool) per mount, wrapping the
+        mount's sync client so stats and breaker stay shared."""
+        key = (target.ixp, target.family)
+        with self._client_lock:
+            if key not in self._aio_clients:
+                self._aio_clients[key] = \
+                    AsyncLookingGlassClient.from_client(
+                        client,
+                        max_inflight=self.config.max_inflight)
+            return self._aio_clients[key]
+
+    def _collect_peers_async(self, client: LookingGlassClient,
+                             pending: Sequence[NeighborSummary],
+                             peers: Dict[str, Dict[str, Any]],
+                             report: TargetReport,
+                             target: CampaignTarget, captured_on: str,
+                             started: float) -> None:
+        """The ``io="async"`` path: every pending peer's paginated
+        fetch fans onto one selectors event loop, page-parallel under
+        the client's ``max_inflight`` bound.
+
+        The coordinating thread drives the loop one bounded turn at a
+        time and folds finished peers between turns — report mutation,
+        checkpoint cadence, and shutdown/deadline parks keep exactly
+        the pooled path's semantics (stop submitting, drain in-flight
+        peers, checkpoint them too).
+        """
+        aclient = self._aio_client_for(target, client)
+        loop = aclient.loop
+        queue = deque(pending)
+        inflight: Dict[Any, NeighborSummary] = {}  # Task -> neighbor
+        window = max(1, self.config.max_inflight)
+        since_checkpoint = 0
+        stopped = False
+        while queue or inflight:
+            if not stopped:
+                if self._shutdown.is_set():
+                    report.interrupted = True
+                    stopped = True
+                elif self._deadline_exceeded(started):
+                    report.deadline_hit = True
+                    stopped = True
+            while (not stopped and queue
+                   and len(inflight) < window):
+                neighbor = queue.popleft()
+                report.peers_attempted += 1
+                task = loop.spawn(
+                    self._collect_peer_coro(aclient, neighbor, target),
+                    name=f"peer:{neighbor.asn}")
+                inflight[task] = neighbor
+            if stopped:
+                queue.clear()
+            if not inflight:
+                continue
+            loop.run_once()
+            done = [task for task in inflight if task.done]
+            for task in done:
+                neighbor = inflight.pop(task)
+                if task.error is not None:
+                    raise task.error  # a bug, not a taxonomy failure
+                if self._apply_outcome(target, report, neighbor,
+                                       task.result, peers):
+                    since_checkpoint += 1
+            if since_checkpoint >= max(1, self.config.checkpoint_every):
+                self._save_checkpoint(target, captured_on, peers,
+                                      report)
+                since_checkpoint = 0
+
+    def _collect_peer_coro(self, aclient: AsyncLookingGlassClient,
+                           neighbor: NeighborSummary,
+                           target: CampaignTarget,
+                           ) -> Any:
+        """Coroutine twin of :meth:`_collect_peer`: the per-peer retry
+        budget with the same breaker-cooldown and definitive-failure
+        handling, all waits through the loop."""
+        from ..net import aio
+        metrics = _METRICS()
+        mount = (target.ixp, str(target.family))
+        metrics.inflight_peers.labels(*mount).inc()
+        fetch_started = time.perf_counter()
+        try:
+            attempts = max(1, self.config.peer_attempts)
+            skips = 0
+            last: Optional[LookingGlassError] = None
+            for attempt in range(attempts):
+                try:
+                    routes = yield from aclient.peer_routes_coro(
+                        neighbor.asn,
+                        page_size=self.config.page_size)
+                    return _PeerOutcome(routes=routes,
+                                        circuit_open_skips=skips)
+                except CircuitOpenError as error:
+                    skips += 1
+                    last = error
+                    cooldown = (aclient.breaker.seconds_until_probe
+                                if aclient.breaker is not None else 0.0)
+                    if attempt < attempts - 1 and cooldown > 0:
+                        # same cushion as the threaded path: sleep past
+                        # the cooldown boundary, not exactly onto it.
+                        yield from aio.sleep(cooldown + 1e-3)
+                except TransientError as error:
+                    last = error
+                except LookingGlassError as error:
+                    last = error
+                    break  # definitive — retrying is pointless
+            assert last is not None
+            return _PeerOutcome(
+                failure=PeerFailure(
+                    asn=neighbor.asn, failure_class=last.failure_class,
+                    error=str(last)),
+                circuit_open_skips=skips)
+        finally:
+            metrics.inflight_peers.labels(*mount).dec()
+            metrics.peer_seconds.labels(*mount, "aio").observe(
+                time.perf_counter() - fetch_started)
+
     def _apply_outcome(self, target: CampaignTarget,
                        report: TargetReport,
                        neighbor: NeighborSummary,
@@ -711,7 +850,9 @@ class CollectionCampaign:
         for attempt in range(attempts):
             try:
                 return _PeerOutcome(
-                    routes=list(client.routes(neighbor.asn)),
+                    routes=list(client.routes(
+                        neighbor.asn,
+                        page_size=self.config.page_size)),
                     circuit_open_skips=skips)
             except CircuitOpenError as error:
                 # The mount is known-down: wait out the cooldown once

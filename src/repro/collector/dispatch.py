@@ -582,6 +582,13 @@ class DispatchConfig:
     snapshot_deadline: Optional[float] = None
     checkpoint_every: int = 1
     fetch_workers: int = 1
+    #: per-peer fetch engine inside each worker (``--io``): "threads"
+    #: fans peers over ``fetch_workers`` pool threads, "async" fans
+    #: route *pages* over one selectors loop per mount.
+    io: str = "threads"
+    #: concurrent page-fetch bound of the async engine
+    #: (``--max-inflight``); ignored under ``io="threads"``.
+    max_inflight: int = 32
     breaker_threshold: int = 3
     breaker_reset: float = 5.0
     max_retries: int = 3
@@ -626,6 +633,7 @@ class DispatchConfig:
                      "poll_interval", "worker_grace", "verify",
                      "peer_attempts", "snapshot_deadline",
                      "checkpoint_every", "fetch_workers",
+                     "io", "max_inflight",
                      "breaker_threshold", "breaker_reset",
                      "max_retries", "request_timeout",
                      "backoff_base", "backoff_cap", "snapshot_codec",
@@ -801,6 +809,8 @@ class DispatchWorker:
             snapshot_deadline=config.snapshot_deadline,
             checkpoint_every=config.checkpoint_every,
             workers=config.fetch_workers,
+            io=config.io,
+            max_inflight=config.max_inflight,
             breaker_threshold=config.breaker_threshold,
             breaker_reset=config.breaker_reset,
             max_retries=config.max_retries,

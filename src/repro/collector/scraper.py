@@ -15,11 +15,14 @@ members; failed peers appear solely in the report and the snapshot's
 RS showed us).
 
 Per-peer fetches can fan out over a bounded worker pool (``workers``;
-default 1 is exactly the serial behaviour). Snapshots are
-deterministic regardless of worker count: peers are fetched from a
-list sorted by ASN and reassembled in that same order, so the member
-list, route list, and on-disk bytes of a ``workers=8`` snapshot are
-identical to a serial run's.
+default 1 is exactly the serial behaviour) or — with ``io="async"`` —
+over one selectors event loop that fans every peer's individual route
+*pages* concurrently under a ``max_inflight`` bound (see
+:mod:`repro.lg.aio`). Snapshots are deterministic regardless of worker
+count or I/O engine: peers are fetched from a list sorted by ASN and
+reassembled in that same order (pages in page order within a peer), so
+the member list, route list, and on-disk bytes of a ``workers=8`` or
+async snapshot are identical to a serial run's.
 
 The default capture date is computed in UTC — a scrape started near
 local midnight must date its snapshot the same way on every machine.
@@ -39,6 +42,8 @@ from .. import obs
 from ..bgp.route import Route
 from ..ixp.dictionary import CommunityDictionary
 from ..ixp.member import Member, MemberRole
+from ..lg import api
+from ..lg.aio import AsyncLookingGlassClient
 from ..lg.api import NeighborSummary
 from ..lg.client import LookingGlassClient, LookingGlassError
 from .snapshot import Snapshot
@@ -110,12 +115,37 @@ class SnapshotScraper:
 
     ``workers`` bounds the per-peer fetch pool; 1 (the default) keeps
     the paper's strictly sequential single-connection discipline.
+    ``io="async"`` switches to the event-driven engine instead: all
+    peers' paginated fetches share one selectors loop, bounded by
+    ``max_inflight`` page fetches (and as many connections at most).
     """
 
     def __init__(self, client: LookingGlassClient,
-                 workers: int = 1) -> None:
+                 workers: int = 1, io: str = "threads",
+                 max_inflight: int = 32,
+                 page_size: Optional[int] = None) -> None:
+        if io not in ("threads", "async"):
+            raise ValueError(f"unknown io engine {io!r} "
+                             f"(expected 'threads' or 'async')")
         self.client = client
         self.workers = max(1, int(workers))
+        self.io = io
+        self.max_inflight = max(1, int(max_inflight))
+        #: None = leave the client's own default page size alone (so
+        #: minimal stub clients without a page_size kwarg keep working).
+        self.page_size = None if page_size is None else int(page_size)
+        self._aio_client: Optional[AsyncLookingGlassClient] = None
+
+    def _async_client(self) -> AsyncLookingGlassClient:
+        """The mount's async twin (lazily built; shares stats and
+        breaker with the sync client)."""
+        if self._aio_client is None:
+            if isinstance(self.client, AsyncLookingGlassClient):
+                self._aio_client = self.client
+            else:
+                self._aio_client = AsyncLookingGlassClient.from_client(
+                    self.client, max_inflight=self.max_inflight)
+        return self._aio_client
 
     def fetch_dictionary(
             self,
@@ -142,7 +172,10 @@ class SnapshotScraper:
         metrics.inflight.labels(*mount).inc()
         started = time.perf_counter()
         try:
-            return list(self.client.routes(neighbor.asn))
+            if self.page_size is None:
+                return list(self.client.routes(neighbor.asn))
+            return list(self.client.routes(neighbor.asn,
+                                           page_size=self.page_size))
         except LookingGlassError as error:
             return error
         finally:
@@ -152,9 +185,14 @@ class SnapshotScraper:
 
     def _fetch_all(self, established: List[NeighborSummary],
                    ) -> Dict[int, Union[List[Route], LookingGlassError]]:
-        """Fetch every established peer's routes — serially, or fanned
-        out over the worker pool. Results are keyed by ASN; ordering is
+        """Fetch every established peer's routes — serially, fanned
+        out over the worker pool, or fanned page-by-page onto the
+        async engine's loop. Results are keyed by ASN; ordering is
         reimposed by the caller, so completion order is irrelevant."""
+        if self.io == "async":
+            return self._async_client().fetch_peers(
+                established,
+                page_size=self.page_size or api.DEFAULT_PAGE_SIZE)
         if self.workers == 1 or len(established) <= 1:
             return {neighbor.asn: self._fetch_peer(neighbor)
                     for neighbor in established}

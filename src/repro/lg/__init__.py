@@ -3,6 +3,7 @@
 from .api import DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, NeighborSummary
 from .breaker import BreakerRegistry, CircuitBreaker
 from .dialects import DIALECT_ALICE, DIALECT_BIRDSEYE, DIALECTS
+from .aio import AsyncLookingGlassClient
 from .client import (
     FAILURE_CLASSES,
     FAILURE_LG_OUTAGE,
@@ -18,12 +19,14 @@ from .client import (
     QueryTimeoutError,
     RateLimitedError,
     TransientError,
+    parse_retry_after,
 )
 from .ratelimit import FaultSchedule, InstabilityInjector, TokenBucket
 from .server import LookingGlassServer
 
 __all__ = [
-    "LookingGlassServer", "LookingGlassClient", "LookingGlassError",
+    "LookingGlassServer", "LookingGlassClient",
+    "AsyncLookingGlassClient", "parse_retry_after", "LookingGlassError",
     "TransientError", "RateLimitedError", "OutageError",
     "QueryTimeoutError", "MalformedPayloadError", "CircuitOpenError",
     "FAILURE_CLASSES", "FAILURE_RATE_LIMITED", "FAILURE_LG_OUTAGE",

@@ -26,6 +26,7 @@ observability is enabled.
 from __future__ import annotations
 
 import json
+import math
 import random
 import socket
 import threading
@@ -85,6 +86,27 @@ _METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
 ))
 
 
+def parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Parse a ``Retry-After`` header into seconds, or None.
+
+    RFC 9110 allows both delta-seconds and an HTTP-date. Only the
+    numeric form is honoured (a non-negative float); an HTTP-date —
+    or any garbage — returns None so the caller falls back to its own
+    backoff schedule instead of crashing mid-retry-loop (computing a
+    delta from a server-supplied wall-clock date would import the
+    server's clock skew into our sleep).
+    """
+    if value is None:
+        return None
+    try:
+        seconds = float(value.strip())
+    except ValueError:
+        return None
+    if not math.isfinite(seconds) or seconds < 0:
+        return None
+    return seconds
+
+
 class LookingGlassError(Exception):
     """The LG could not be queried (after retries)."""
 
@@ -142,6 +164,9 @@ class ClientStats:
     server_errors: int = 0
     timeouts: int = 0
     malformed: int = 0
+    #: definitive 4xx answers — "the LG said no", as opposed to the
+    #: transport-loss buckets above (campaign reports distinguish them).
+    http_4xx: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False)
 
@@ -232,12 +257,16 @@ class LookingGlassClient:
                     self.stats.incr("rate_limited")
                     metrics.errors.labels(*mount, "rate_limited").inc()
                     error_type = RateLimitedError
-                    retry_after = float(
-                        error.headers.get("Retry-After", "0.1") or 0.1)
-                    if error.headers.get("Retry-After"):
+                    retry_after = parse_retry_after(
+                        error.headers.get("Retry-After"))
+                    if retry_after is not None:
                         metrics.retry_after.labels(*mount).inc()
-                    delay = min(self.retry_after_cap,
-                                max(retry_after, 0.01))
+                        delay = min(self.retry_after_cap,
+                                    max(retry_after, 0.01))
+                    else:
+                        # absent, HTTP-date, or garbage header: our own
+                        # backoff schedule decides the wait.
+                        delay = self._backoff_delay(attempt)
                 elif 500 <= error.code < 600:
                     self.stats.incr("server_errors")
                     metrics.errors.labels(*mount, "server_error").inc()
@@ -246,6 +275,7 @@ class LookingGlassClient:
                 else:
                     # 4xx: the LG is alive and answered definitively.
                     self._record(success=True)
+                    self.stats.incr("http_4xx")
                     metrics.errors.labels(*mount, "http_4xx").inc()
                     raise LookingGlassError(
                         f"GET {url} failed: HTTP {error.code}") from error

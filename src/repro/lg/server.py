@@ -62,12 +62,65 @@ _BIRDSEYE_PATTERN = re.compile(
 #: format (never rate limited, never fault injected).
 METRICS_PATH = "/metrics"
 
+#: mount prefix of any API path: /<ixp>/v<4|6>/...
+_MOUNT_PATTERN = re.compile(r"^/(?P<ixp>[\w.-]+)/v(?P<family>[46])/")
+
 _METRICS = obs.MetricSet(lambda reg: types.SimpleNamespace(
     requests=reg.counter(
         "repro_lg_server_requests_total",
         "Requests answered by the simulated LG, by HTTP status",
         ("status",)),
+    cap_rejections=reg.counter(
+        "repro_lg_server_cap_rejections_total",
+        "Connections refused by the per-mount connection cap",
+        ("mount",)),
 ))
+
+
+class _ConnectionLedger:
+    """Per-mount accounting of open front-end connections.
+
+    The cap fault mode models a real LG's reverse proxy shedding load:
+    a connection is pinned to the mount of its first request (moved if
+    a later request targets another mount) and released when it
+    closes. ``peak`` and ``rejections`` are kept per mount so tests and
+    benchmarks can assert that a well-capped client never trips the
+    server's limit.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._mount_of: Dict[int, str] = {}
+        self._count: Dict[str, int] = {}
+        self.peak: Dict[str, int] = {}
+        self.rejections: Dict[str, int] = {}
+
+    def admit(self, conn_id: int, mount: str,
+              cap: Optional[int]) -> bool:
+        with self._lock:
+            current = self._mount_of.get(conn_id)
+            if current == mount:
+                return True
+            if current is not None:
+                self._release_locked(conn_id)
+            count = self._count.get(mount, 0)
+            if cap is not None and count >= cap:
+                self.rejections[mount] = \
+                    self.rejections.get(mount, 0) + 1
+                return False
+            self._mount_of[conn_id] = mount
+            self._count[mount] = count + 1
+            self.peak[mount] = max(self.peak.get(mount, 0), count + 1)
+            return True
+
+    def drop(self, conn_id: int) -> None:
+        with self._lock:
+            self._release_locked(conn_id)
+
+    def _release_locked(self, conn_id: int) -> None:
+        mount = self._mount_of.pop(conn_id, None)
+        if mount is not None:
+            self._count[mount] = max(0, self._count.get(mount, 0) - 1)
 
 
 class LookingGlassServer:
@@ -81,6 +134,7 @@ class LookingGlassServer:
                  port: int = 0,
                  dialect_overrides: Optional[Dict[str, str]] = None,
                  faults: Optional[FaultSchedule] = None,
+                 connection_cap: Optional[int] = None,
                  ) -> None:
         self.route_servers = dict(route_servers)
         #: IXP key → dialect; alice unless overridden (e.g. BCIX runs
@@ -92,6 +146,12 @@ class LookingGlassServer:
         #: deterministic fault plan (outage windows, slow responses,
         #: truncated JSON); None disables.
         self.faults = faults
+        #: concurrent-connection cap fault mode: beyond this many open
+        #: connections per (ixp, family) mount, further connections are
+        #: answered 503-and-close. None disables. Lets tests prove the
+        #: async client's connection cap actually bounds LG pressure.
+        self.connection_cap = connection_cap
+        self._ledger = _ConnectionLedger()
         #: injectable so slow-response tests need not really stall.
         self.slow_sleep = time.sleep
         self.host = host
@@ -219,12 +279,61 @@ class LookingGlassServer:
 
     # -- HTTP plumbing ---------------------------------------------------
 
+    @property
+    def cap_rejections(self) -> int:
+        """Connections refused by the cap fault mode (all mounts)."""
+        return sum(self._ledger.rejections.values())
+
+    @property
+    def peak_connections(self) -> Dict[str, int]:
+        """Highest concurrent connection count seen, per mount."""
+        return dict(self._ledger.peak)
+
+    def _admit_connection(self, conn_id: int, path: str) -> bool:
+        """Apply the connection-cap fault mode; True = serve."""
+        if self.connection_cap is None:
+            return True
+        parsed = _MOUNT_PATTERN.match(urlparse(path).path)
+        if parsed is None:
+            return True  # /metrics and unroutable paths are uncapped
+        mount = f"{parsed.group('ixp')}/v{parsed.group('family')}"
+        if self._ledger.admit(conn_id, mount, self.connection_cap):
+            return True
+        _METRICS().cap_rejections.labels(mount).inc()
+        return False
+
     def _make_handler(self):
         outer = self
 
         class Handler(BaseHTTPRequestHandler):
+            # HTTP/1.1 so keep-alive is the default: the async
+            # client's connection pool depends on it (every response
+            # already carries Content-Length). urllib-based clients
+            # still send "Connection: close" and get single-use
+            # connections, exactly as before.
+            protocol_version = "HTTP/1.1"
+            #: an idle keep-alive connection is dropped after this —
+            #: lingering handler threads must not outlive tests.
+            timeout = 30.0
+            #: headers and body are separate small writes; with Nagle
+            #: on, the second waits out the client's delayed ACK
+            #: (~40ms) on every keep-alive response.
+            disable_nagle_algorithm = True
+
             def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+                if not outer._admit_connection(id(self.connection),
+                                               self.path):
+                    body = json.dumps(api.error_payload(
+                        "connection limit exceeded", 503)).encode("utf-8")
+                    _METRICS().requests.labels("503").inc()
+                    self._answer(503, body, {"Connection": "close"})
+                    self.close_connection = True
+                    return
                 status, body, headers = outer.handle_bytes(self.path)
+                self._answer(status, body, headers)
+
+            def _answer(self, status: int, body: bytes,
+                        headers: Dict[str, str]) -> None:
                 try:
                     self.send_response(status)
                     self.send_header(
@@ -240,6 +349,10 @@ class LookingGlassServer:
                     # scheduled slow response) — nothing to answer.
                     pass
 
+            def finish(self) -> None:
+                outer._ledger.drop(id(self.connection))
+                super().finish()
+
             def log_message(self, fmt: str, *args: object) -> None:
                 pass  # keep test output clean
 
@@ -249,7 +362,13 @@ class LookingGlassServer:
         """Start serving in a daemon thread; returns the base URL."""
         if self._httpd is not None:
             raise RuntimeError("server already started")
-        self._httpd = ThreadingHTTPServer(
+        # A deep accept backlog: the async client opens its whole
+        # connection budget in one burst, and the socketserver default
+        # of 5 drops the overflow SYNs — each dropped one costs the
+        # kernel's ~1s retransmission before the connect completes.
+        server_cls = type("_LGServer", (ThreadingHTTPServer,),
+                          {"request_queue_size": 128})
+        self._httpd = server_cls(
             (self.host, self.port), self._make_handler())
         self.port = self._httpd.server_address[1]
         self._thread = threading.Thread(

@@ -12,16 +12,36 @@ Both HTTP front doors of this repository — the simulated Looking Glass
   loops that only ``KeyboardInterrupt`` can break, and
 * the shared full-jitter backoff schedule (:mod:`repro.net.backoff`)
   every retry loop in the repository draws its delays from — the LG
-  client, dispatch work stealing, and filesystem fault retries.
+  client, dispatch work stealing, and filesystem fault retries, and
+* the client-side event-driven I/O substrate (:mod:`repro.net.aio`):
+  a selectors event loop, HTTP/1.1 client codec, and capped keep-alive
+  connection pool behind the async LG client.
 
 Keeping them here (rather than inside ``repro.lg``) lets the query
 service depend on the rate limiter without importing the Looking
 Glass, route servers, and workload machinery behind it.
 """
 
+from .aio import (
+    ConnectionClosed,
+    ConnectionPool,
+    EventLoop,
+    HTTPResponse,
+    IOTimeout,
+    ProtocolError,
+    Semaphore,
+    Task,
+    TaskCancelled,
+    TimerWheel,
+    http_request,
+)
 from .backoff import FullJitterBackoff, full_jitter_delay
 from .ratelimit import MIN_RETRY_AFTER, TokenBucket
 from .shutdown import ShutdownLatch
 
 __all__ = ["TokenBucket", "MIN_RETRY_AFTER", "ShutdownLatch",
-           "FullJitterBackoff", "full_jitter_delay"]
+           "FullJitterBackoff", "full_jitter_delay",
+           "EventLoop", "Task", "TimerWheel", "Semaphore",
+           "ConnectionPool", "HTTPResponse", "http_request",
+           "IOTimeout", "ConnectionClosed", "ProtocolError",
+           "TaskCancelled"]

@@ -4,9 +4,10 @@ campaign collects, only how fast.
 Three contracts, each driven over real HTTP against the simulated LG:
 
 1. **byte determinism under faults** — the same world and the same
-   :class:`FaultSchedule` collected with ``workers=1`` and ``workers=8``
-   must produce byte-identical snapshot files, equivalent reports, and
-   identical analysis output (``Study.table1``);
+   :class:`FaultSchedule` collected serially, with ``workers=8``, and
+   with the ``io="async"`` event-loop engine must produce byte-identical
+   snapshot files, equivalent reports, and identical analysis output
+   (``Study.table1``);
 2. **crash/resume under concurrency** — a pooled campaign killed at a
    checkpoint boundary must leave a repairable store and a resumable
    checkpoint, and ``--resume`` with a pool must converge to the
@@ -80,43 +81,57 @@ def report_essence(report):
     return payload
 
 
+#: fetch-engine grid: label → extra campaign kwargs. Serial threads is
+#: the control every other engine must be byte-equal to.
+ENGINES = {
+    "threads-8": {"workers": 8},
+    "async": {"io": "async", "max_inflight": 8},
+}
+
+
 class TestByteDeterminism:
-    def test_workers_1_and_8_write_identical_bytes_under_faults(
-            self, lg_world, tmp_path):
-        """Same seed, same FaultSchedule → the pooled run's snapshot
-        file, report, and analysis tables equal the serial run's."""
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    def test_engines_write_identical_bytes_under_faults(
+            self, lg_world, tmp_path, engine):
+        """Same seed, same FaultSchedule → the concurrent engine's
+        snapshot file, report, and analysis tables equal the serial
+        run's. Faults land on *different* requests per engine (request
+        order differs), but every malformed payload is retried to
+        recovery, so all engines converge to the same complete bytes."""
         _generator, route_server = lg_world("linx")
         stores = {}
         reports = {}
         port = 0
-        for workers in (1, 8):
+        for label, kwargs in (("serial", {"workers": 1}),
+                              (engine, ENGINES[engine])):
             # a fresh schedule per run: the fault counter is part of
             # the "same inputs" contract
             faults = FaultSchedule(malformed_every=7)
             server = start_server(route_server, faults=faults, port=port)
-            store = DatasetStore(tmp_path / f"w{workers}")
+            store = DatasetStore(tmp_path / label)
             with server.serve() as url:
-                reports[workers] = make_campaign(
-                    store, url, workers=workers).run()
+                reports[label] = make_campaign(
+                    store, url, **kwargs).run()
             # recycle the ephemeral port so both snapshots carry the
             # same source URL
             port = server.port
-            stores[workers] = store
+            stores[label] = store
 
-        assert reports[1].complete and reports[8].complete
-        assert report_essence(reports[8]) == report_essence(reports[1])
+        assert reports["serial"].complete and reports[engine].complete
+        assert report_essence(reports[engine]) \
+            == report_essence(reports["serial"])
 
-        serial_bytes = stores[1]._snapshot_path(
+        serial_bytes = stores["serial"]._snapshot_path(
             "linx", 4, DATE).read_bytes()
-        pooled_bytes = stores[8]._snapshot_path(
+        engine_bytes = stores[engine]._snapshot_path(
             "linx", 4, DATE).read_bytes()
-        assert pooled_bytes == serial_bytes
+        assert engine_bytes == serial_bytes
 
         tables = {
-            workers: Study.from_store(stores[workers], ixps=("linx",),
-                                      families=(4,)).table1()
-            for workers in (1, 8)}
-        assert tables[8] == tables[1]
+            label: Study.from_store(stores[label], ixps=("linx",),
+                                    families=(4,)).table1()
+            for label in ("serial", engine)}
+        assert tables[engine] == tables["serial"]
 
 
 class TestConcurrentCrashSweep:
@@ -160,12 +175,14 @@ class TestConcurrentCrashSweep:
 
 
 class TestConcurrentFaultSurvival:
-    def test_pooled_campaign_survives_outage_and_malformed(
-            self, lg_world, tmp_path):
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    def test_concurrent_campaign_survives_outage_and_malformed(
+            self, lg_world, tmp_path, engine):
         """An outage window long enough to trip the breaker, plus
-        periodic malformed payloads, against eight workers sharing one
-        client/breaker: the run must end in a defined state with the
-        taxonomy fully reported — never an unhandled exception."""
+        periodic malformed payloads, against a concurrent engine
+        sharing one client/breaker: the run must end in a defined state
+        with the taxonomy fully reported — never an unhandled
+        exception."""
         _generator, route_server = lg_world("linx")
         faults = FaultSchedule(outage_windows=[(5, 13)],
                                malformed_every=17)
@@ -173,9 +190,10 @@ class TestConcurrentFaultSurvival:
                               rate_per_second=2000, burst=25)
         store = DatasetStore(tmp_path / "ds")
         with server.serve() as url:
-            report = make_campaign(store, url, workers=8,
+            report = make_campaign(store, url,
                                    max_retries=1,
-                                   breaker_threshold=2).run()
+                                   breaker_threshold=2,
+                                   **ENGINES[engine]).run()
         target = report.targets[0]
         assert target.status in (STATUS_COMPLETE, STATUS_DEGRADED,
                                  STATUS_INCOMPLETE, STATUS_FAILED)

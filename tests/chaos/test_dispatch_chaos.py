@@ -182,6 +182,53 @@ class TestWorkerKillConvergence:
             assert all(unit.status == UNIT_COMPLETE
                        for unit in report.units)
 
+    def test_async_engine_crash_then_park_then_resume_converges(
+            self, mounts, tmp_path):
+        """The async fetch engine under the dispatch protocol: workers
+        collecting with ``io="async"`` are killed at distinct
+        boundaries, the run parks resumable, and an async resume
+        converges to the serial (threads) control — the event-loop
+        engine must survive the exact same crash/park round-trip the
+        pooled engine does, including the config round-trip into the
+        worker subprocess environment."""
+        lg = LookingGlassServer(mounts, port=0,
+                                rate_per_second=100_000,
+                                burst=100_000)
+        with lg.serve() as url:
+            store_root = tmp_path / "chaos-async"
+            store = DatasetStore(store_root)
+
+            plan = (WorkerCrashSchedule()
+                    .kill(0, "unit:claimed")           # mid-unit
+                    .kill(1, "checkpoint:temp"))       # mid-checkpoint
+            config = _dispatch_config(url, workers=2, crash_plan=plan,
+                                      worker_restarts=0,
+                                      io="async", max_inflight=8)
+            report = DispatchCoordinator(store, config).run()
+            assert report.worker_crashes == 2
+            assert report.fsck_clean is True
+            assert not report.complete
+
+            resumed = DispatchCoordinator(
+                store, _dispatch_config(url, workers=2,
+                                        io="async",
+                                        max_inflight=8)).run()
+            assert resumed.complete, resumed.to_dict()
+            assert resumed.fsck_clean is True
+            assert all(unit.status == UNIT_COMPLETE
+                       for unit in resumed.units)
+
+            control_root = tmp_path / "control-async"
+            _serial_control(url, control_root)
+            for ixp in IXPS:
+                for date in DATES:
+                    chaotic = _snapshot_essence(store_root, ixp, date)
+                    serial = _snapshot_essence(control_root, ixp, date)
+                    assert chaotic == serial, \
+                        f"{ixp}/{date} diverged from serial control"
+            assert (_analysis_essence(store_root)
+                    == _analysis_essence(control_root))
+
     def test_crash_exit_code_is_distinct(self):
         # chaos shell scripts key on this to tell a worker kill from a
         # store-level crash boundary (86)

@@ -115,6 +115,38 @@ class TestRetryAfter:
             client.status()
         assert excinfo.value.failure_class == "rate_limited"
 
+    def test_http_date_retry_after_falls_back_to_backoff(self, script):
+        """Regression: an HTTP-date Retry-After (RFC 9110's other legal
+        form) used to escape the taxonomy as an uncaught ValueError
+        from ``float(...)``. It must fall back to the backoff schedule
+        and stay a retried 429."""
+        steps, _urls = script
+        steps += [http_error(
+            429, retry_after="Fri, 31 Dec 2021 23:59:59 GMT"), OK_STATUS]
+        client, sleeps = make_client(jitter=False, backoff_base=0.25)
+        assert client.status() == {"status": "ok"}
+        # backoff schedule, not a parsed date (and not a crash)
+        assert sleeps == [0.25]
+        assert client.stats.rate_limited == 1
+
+    def test_garbage_retry_after_falls_back_to_backoff(self, script):
+        steps, _urls = script
+        steps += [http_error(429, retry_after="soon-ish"), OK_STATUS]
+        client, sleeps = make_client(jitter=False, backoff_base=0.25)
+        assert client.status() == {"status": "ok"}
+        assert sleeps == [0.25]
+
+    def test_parse_retry_after_forms(self):
+        from repro.lg.client import parse_retry_after
+        assert parse_retry_after("5") == 5.0
+        assert parse_retry_after(" 2.5 ") == 2.5
+        assert parse_retry_after("0") == 0.0
+        assert parse_retry_after(None) is None
+        assert parse_retry_after("-3") is None
+        assert parse_retry_after("Fri, 31 Dec 2021 23:59:59 GMT") is None
+        assert parse_retry_after("nan") is None
+        assert parse_retry_after("inf") is None
+
 
 class TestTaxonomy:
     def test_malformed_payload(self, script):
@@ -157,6 +189,18 @@ class TestTaxonomy:
         with pytest.raises(LookingGlassError):
             client.status()
         assert client.stats.requests == 1
+        # "LG said no" is now countable apart from transport loss
+        assert client.stats.http_4xx == 1
+        assert client.stats.server_errors == 0
+
+    def test_http_4xx_stat_accumulates(self, script):
+        steps, _urls = script
+        steps += [http_error(404), http_error(410)]
+        client, _sleeps = make_client()
+        for _ in range(2):
+            with pytest.raises(LookingGlassError):
+                client.status()
+        assert client.stats.http_4xx == 2
 
 
 class TestBackoff:
